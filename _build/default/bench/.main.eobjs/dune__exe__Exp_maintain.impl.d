@@ -1,0 +1,1 @@
+bench/exp_maintain.ml: Buffer_pool Float Fmt Int64 Io_stats List Minirel_index Minirel_matview Minirel_query Minirel_storage Minirel_txn Minirel_workload Monotonic_clock Output Pmv Value

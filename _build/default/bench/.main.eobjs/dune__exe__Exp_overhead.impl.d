@@ -1,0 +1,1 @@
+bench/exp_overhead.ml: Array Buffer_pool Float Fmt List Minirel_index Minirel_query Minirel_storage Minirel_workload Output Pmv Value

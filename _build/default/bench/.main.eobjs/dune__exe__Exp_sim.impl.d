@@ -1,0 +1,1 @@
+bench/exp_sim.ml: Fmt List Minirel_cache Output Pmv Pmv_sim

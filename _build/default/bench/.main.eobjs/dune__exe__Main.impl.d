@@ -1,0 +1,1 @@
+bench/main.ml: Arg Cmd Cmdliner Exp_maintain Exp_micro Exp_overhead Exp_sim Fmt List Term

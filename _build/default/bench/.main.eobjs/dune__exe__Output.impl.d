@@ -1,0 +1,1 @@
+bench/output.ml: Fmt Int64 String

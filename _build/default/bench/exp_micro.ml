@@ -1,0 +1,82 @@
+(* Bechamel micro-benchmarks of the PMV fast path: one Test.make per
+   operation the per-query overhead is built from (O1 decomposition, O2
+   probe, DS bookkeeping, entry fill/remove). *)
+
+open Bechamel
+open Toolkit
+open Minirel_storage
+module Rid = Minirel_storage.Rid
+module Template = Minirel_query.Template
+module Condition_part = Minirel_query.Condition_part
+module Entry_store = Pmv.Entry_store
+module Catalog = Minirel_index.Catalog
+module Tpcr = Minirel_workload.Tpcr
+module Querygen = Minirel_workload.Querygen
+module Zipf = Minirel_workload.Zipf
+module SM = Minirel_workload.Split_mix
+
+let build () =
+  let pool = Buffer_pool.create ~capacity:2_000 () in
+  let catalog = Catalog.create pool in
+  let params = Tpcr.params_for_scale ~seed:5 0.005 in
+  ignore (Tpcr.generate catalog params);
+  let t1 = Template.compile catalog Querygen.t1_spec in
+  let view = Pmv.View.create ~capacity:2_000 ~f_max:3 ~name:"micro" t1 in
+  let dz = Zipf.create ~n:params.Tpcr.n_dates ~alpha:1.07 in
+  let sz = Zipf.create ~n:params.Tpcr.n_suppliers ~alpha:1.07 in
+  let rng = SM.create ~seed:6 in
+  for _ = 1 to 300 do
+    let inst = Querygen.gen_t1 t1 ~dates_zipf:dz ~supp_zipf:sz ~e:2 ~f:2 rng in
+    ignore (Pmv.Answer.answer ~view catalog inst ~on_tuple:(fun _ _ -> ()))
+  done;
+  (catalog, t1, view, dz, sz)
+
+let tests () =
+  let _catalog, t1, view, dz, sz = build () in
+  let rng = SM.create ~seed:7 in
+  let inst = Querygen.gen_t1 t1 ~dates_zipf:dz ~supp_zipf:sz ~e:2 ~f:2 rng in
+  let store = Pmv.View.store view in
+  let cps = Condition_part.decompose inst in
+  let some_bcp = Condition_part.bcp (List.hd cps) in
+  let ds = Pmv.Ds.create () in
+  let sample_tuple = [| Value.Int 1; Value.Float 1.0; Value.Int 1; Value.Int 1; Value.Float 1.0; Value.Int 1; Value.Int 1 |] in
+  let bulk_pairs =
+    List.init 5_000 (fun i ->
+        (([| Value.Int i |] : Tuple.t), [ Rid.make ~page:i ~slot:0 ]))
+  in
+  Test.make_grouped ~name:"pmv"
+    [
+      Test.make ~name:"o1-decompose" (Staged.stage (fun () -> Condition_part.decompose inst));
+      Test.make ~name:"o2-probe" (Staged.stage (fun () -> Entry_store.find store some_bcp));
+      Test.make ~name:"bcp-of-result"
+        (Staged.stage (fun () ->
+             Condition_part.bcp_of_result t1
+               (Array.sub sample_tuple 0 (List.length t1.Template.expanded_select))));
+      Test.make ~name:"ds-add-remove"
+        (Staged.stage (fun () ->
+             Pmv.Ds.add ds sample_tuple;
+             ignore (Pmv.Ds.remove_one ds sample_tuple)));
+      Test.make ~name:"btree-bulk-load-5k"
+        (Staged.stage (fun () -> Minirel_index.Btree.bulk_load bulk_pairs));
+      Test.make ~name:"btree-insert-5k"
+        (Staged.stage (fun () ->
+             let t = Minirel_index.Btree.create () in
+             List.iter (fun (k, rids) -> Minirel_index.Btree.insert t k (List.hd rids)) bulk_pairs;
+             t));
+    ]
+
+let run () =
+  Output.header ~id:"Micro" ~title:"Bechamel micro-benchmarks of the PMV fast path"
+    ~paper:"(supporting) all operations are sub-microsecond in-memory work";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] (tests ()) in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Output.row "%-24s %-14s@." "operation" "ns/op";
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, r) ->
+      match Analyze.OLS.estimates r with
+      | Some (est :: _) -> Output.row "%-24s %-14.1f@." name est
+      | Some [] | None -> Output.row "%-24s %-14s@." name "n/a")
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)

@@ -1,0 +1,135 @@
+(* Figures 6 and 7 (hit-probability simulation, Section 4.1) and the
+   policy ablation (extra B). *)
+
+module Hitprob = Pmv_sim.Hitprob
+module Policies = Minirel_cache.Policies
+
+type config = { full : bool; seed : int }
+
+let base_cfg { full; seed } =
+  if full then { Hitprob.paper_default with seed } else { Hitprob.scaled_default with seed }
+
+(* Figure 6: hit probability vs h (1..5), CLOCK vs 2Q, alpha in
+   {1.07, 1.01}, N fixed (paper: 20K over a 1M-bcp universe). *)
+let fig6 cfg =
+  let base = base_cfg cfg in
+  Output.header ~id:"Figure 6" ~title:"hit probability vs combination factor h"
+    ~paper:
+      "all curves rise toward 100% as h grows; higher alpha is higher; 2Q above CLOCK"
+  ;
+  Fmt.pr "universe=%d N=%d warmup=%d measure=%d@." base.Hitprob.universe base.Hitprob.n
+    base.Hitprob.warmup base.Hitprob.measure;
+  Output.row "%-6s %-24s %-24s@." "" "alpha=1.07" "alpha=1.01";
+  Output.row "%-6s %-11s %-12s %-11s %-12s@." "h" "2Q" "CLOCK" "2Q" "CLOCK";
+  let cell policy alpha h =
+    (Hitprob.run { base with Hitprob.policy; alpha; h }).Hitprob.hit_prob
+  in
+  List.iter
+    (fun h ->
+      Output.row "%-6d %-11.4f %-12.4f %-11.4f %-12.4f@." h
+        (cell Policies.Two_q 1.07 h)
+        (cell Policies.Clock 1.07 h)
+        (cell Policies.Two_q 1.01 h)
+        (cell Policies.Clock 1.01 h))
+    [ 1; 2; 3; 4; 5 ]
+
+(* Figure 7: hit probability vs N (paper: 10K..30K), alpha=1.07, h=2. *)
+let fig7 cfg =
+  let base = base_cfg cfg in
+  let scale_n = if cfg.full then 1 else 10 in
+  Output.header ~id:"Figure 7" ~title:"hit probability vs PMV size N"
+    ~paper:"both curves rise toward 100% as N grows; 2Q above CLOCK";
+  Output.row "%-10s %-11s %-12s@." "N" "2Q" "CLOCK";
+  List.iter
+    (fun n_paper ->
+      let n = n_paper / scale_n in
+      let cell policy =
+        (Hitprob.run { base with Hitprob.policy; n; alpha = 1.07; h = 2 }).Hitprob.hit_prob
+      in
+      Output.row "%-10d %-11.4f %-12.4f@." n
+        (cell Policies.Two_q) (cell Policies.Clock))
+    [ 10_000; 15_000; 20_000; 25_000; 30_000 ]
+
+(* The Section 3.2 F tradeoff: "Given the storage limit UB of V_PM,
+   this F makes a tradeoff between (a) the probability that V_PM can
+   provide some partial results to Q, and (b) the number of partial
+   result tuples that V_PM can provide". Under a fixed budget, raising
+   F shrinks L = UB / (F * At * 1.04): hit probability falls while
+   tuples-per-hit grows. *)
+let ablation_f cfg =
+  let base = base_cfg cfg in
+  Output.header ~id:"Ablation F" ~title:"the F tradeoff under a fixed storage budget"
+    ~paper:
+      "(Section 3.2, qualitative) larger F: fewer entries -> lower hit probability but \
+       more partial tuples per hit";
+  let avg_tuple_bytes = 50 in
+  let ub = Pmv.Sizing.footprint_bytes ~l:base.Hitprob.n ~f_max:2 ~avg_tuple_bytes in
+  Output.row "%-4s %-10s %-12s %-16s %-18s@." "F" "entries L" "hit prob" "bcps hit/query"
+    "partial tuples/query";
+  List.iter
+    (fun f ->
+      let l =
+        Pmv.Sizing.max_entries { Pmv.Sizing.ub_bytes = ub; f_max = f; avg_tuple_bytes }
+      in
+      let r = Hitprob.run { base with Hitprob.n = l; alpha = 1.07; h = 2 } in
+      Output.row "%-4d %-10d %-12.4f %-16.3f %-18.2f@." f l r.Hitprob.hit_prob
+        r.Hitprob.avg_hit_bcps
+        (float_of_int f *. r.Hitprob.avg_hit_bcps))
+    [ 1; 2; 3; 4; 5; 8 ]
+
+(* Warm-up sensitivity: the paper "also tested other numbers of warm-up
+   queries. The results were similar and thus omitted." *)
+let sens_warmup cfg =
+  let base = base_cfg cfg in
+  Output.header ~id:"Sensitivity" ~title:"hit probability vs warm-up length (h=2, alpha=1.07)"
+    ~paper:"stable once the PMV has filled: 'the results were similar and thus omitted'";
+  Output.row "%-10s %-12s@." "warm-up" "hit prob";
+  List.iter
+    (fun frac ->
+      let warmup = base.Hitprob.warmup * frac / 100 in
+      let r = Hitprob.run { base with Hitprob.warmup; alpha = 1.07; h = 2 } in
+      Output.row "%-10d %-12.4f@." warmup r.Hitprob.hit_prob)
+    [ 25; 50; 100; 200 ]
+
+(* Pattern drift: the query distribution's hot region shifts between
+   windows; the PMV must re-learn it ("we continuously update the
+   content in the PMV to adapt to the current query pattern"). *)
+let ablation_drift cfg =
+  let base = base_cfg cfg in
+  (* a window is roughly the refill timescale of the PMV; the shift
+     moves the whole hot region well past the cached set *)
+  let every = max 1_000 base.Hitprob.n in
+  let drift = 5 * base.Hitprob.n in
+  Output.header ~id:"Ablation Drift"
+    ~title:"hit probability per window while the hot region shifts (h=2, alpha=1.07)"
+    ~paper:
+      "(Section 3.2, qualitative) every policy dips right after a shift and recovers as \
+       the PMV refills; recency-aware policies recover fastest";
+  Output.row "the hot region jumps %d ranks once; windows of %d queries@." drift every;
+  Output.row "%-8s %-10s | %s@." "policy" "baseline" "post-shift windows";
+  List.iter
+    (fun policy ->
+      let baseline, windows =
+        Hitprob.run_drift { base with Hitprob.policy; alpha = 1.07; h = 2 } ~drift ~every
+          ~windows:6
+      in
+      Output.row "%-8s %-10.3f | %a@."
+        (Policies.to_string policy)
+        baseline
+        Fmt.(list ~sep:(any " ") (fmt "%.3f"))
+        windows)
+    Policies.all
+
+(* Extra B: the same simulation across all four policies. *)
+let ablation_policy cfg =
+  let base = base_cfg cfg in
+  Output.header ~id:"Ablation B" ~title:"replacement policy comparison (h=2, alpha=1.07)"
+    ~paper:"(extra, not in the paper) expected order: 2Q >= LRU ~ CLOCK > FIFO";
+  Output.row "%-8s %-12s %-10s@." "policy" "hit prob" "resident";
+  List.iter
+    (fun policy ->
+      let r = Hitprob.run { base with Hitprob.policy; alpha = 1.07; h = 2 } in
+      Output.row "%-8s %-12.4f %-10d@."
+        (Policies.to_string policy)
+        r.Hitprob.hit_prob r.Hitprob.resident)
+    Policies.all

@@ -1,0 +1,18 @@
+(* Table printing for the experiment harness. *)
+
+let rule () = Fmt.pr "%s@." (String.make 78 '-')
+
+let header ~id ~title ~paper =
+  Fmt.pr "@.";
+  rule ();
+  Fmt.pr "%s — %s@." id title;
+  Fmt.pr "paper shape: %s@." paper;
+  rule ()
+
+let row fmt = Fmt.pr fmt
+
+let sec_of_ns ns = Int64.to_float ns /. 1e9
+
+let pp_opt_ns ppf = function
+  | None -> Fmt.string ppf "-"
+  | Some ns -> Fmt.pf ppf "%.6f" (sec_of_ns ns)

@@ -1,0 +1,283 @@
+(* pmvctl: a small demonstration CLI over the library.
+
+   Subcommands:
+     demo     generate a TPC-R-shaped database, attach a PMV to template
+              T1 and stream a query workload, printing periodic stats
+     query    answer a single T1 query (dates/suppliers from the CLI),
+              showing partial results arriving before execution results
+     simulate run one hit-probability simulation cell
+
+   Examples:
+     pmvctl demo --scale 0.02 --queries 500 --policy 2q
+     pmvctl query --dates 3,7 --suppliers 2 --scale 0.01
+     pmvctl simulate --alpha 1.07 --h 2 --n 2000
+*)
+
+open Minirel_storage
+module Catalog = Minirel_index.Catalog
+module Template = Minirel_query.Template
+module Instance = Minirel_query.Instance
+module Tpcr = Minirel_workload.Tpcr
+module Querygen = Minirel_workload.Querygen
+module Zipf = Minirel_workload.Zipf
+module SM = Minirel_workload.Split_mix
+module Shell = Minirel_shell.Shell
+
+let build ~scale ~seed =
+  let pool = Buffer_pool.create ~capacity:4_000 () in
+  let catalog = Catalog.create pool in
+  let params = Tpcr.params_for_scale ~seed scale in
+  let counts = Tpcr.generate catalog params in
+  Fmt.pr "generated: %d customers, %d orders, %d lineitems (dates 1..%d, suppliers 1..%d)@."
+    counts.Tpcr.customers counts.Tpcr.orders counts.Tpcr.lineitems params.Tpcr.n_dates
+    params.Tpcr.n_suppliers;
+  (catalog, params, Template.compile catalog Querygen.t1_spec)
+
+let demo scale seed queries policy f_max capacity =
+  let catalog, params, t1 = build ~scale ~seed in
+  let policy =
+    match Minirel_cache.Policies.of_string policy with
+    | Some p -> p
+    | None -> Minirel_cache.Policies.Clock
+  in
+  let view = Pmv.View.create ~policy ~capacity ~f_max ~name:"t1" t1 in
+  let mgr = Minirel_txn.Txn.create catalog in
+  Pmv.Maintain.attach view mgr;
+  let dz = Zipf.create ~n:params.Tpcr.n_dates ~alpha:1.07 in
+  let sz = Zipf.create ~n:params.Tpcr.n_suppliers ~alpha:1.07 in
+  let rng = SM.create ~seed:(seed + 1) in
+  Fmt.pr "@.%-8s %-10s %-10s %-10s %-12s@." "queries" "hit ratio" "bcps" "tuples" "partials";
+  for i = 1 to queries do
+    let q = Querygen.gen_t1 t1 ~dates_zipf:dz ~supp_zipf:sz ~e:2 ~f:2 rng in
+    ignore (Pmv.Answer.answer ~view catalog q ~on_tuple:(fun _ _ -> ()));
+    if i mod (max 1 (queries / 10)) = 0 then
+      Fmt.pr "%-8d %-10.3f %-10d %-10d %-12d@." i (Pmv.View.hit_ratio view)
+        (Pmv.View.n_entries view) (Pmv.View.n_tuples view)
+        (Pmv.View.stats view).Pmv.View.partial_tuples
+  done;
+  Fmt.pr "@.PMV footprint: ~%d bytes (policy %s, F=%d, capacity %d)@."
+    (Pmv.View.size_bytes view)
+    (Minirel_cache.Policies.to_string policy)
+    f_max capacity
+
+let parse_ints s =
+  String.split_on_char ',' s
+  |> List.filter_map (fun x ->
+         match int_of_string_opt (String.trim x) with
+         | Some v -> Some (Value.Int v)
+         | None -> None)
+
+let query scale seed dates suppliers =
+  let catalog, _params, t1 = build ~scale ~seed in
+  let view = Pmv.View.create ~capacity:1_000 ~f_max:3 ~name:"t1" t1 in
+  let dates = parse_ints dates and suppliers = parse_ints suppliers in
+  if dates = [] || suppliers = [] then begin
+    Fmt.epr "need at least one date and one supplier@.";
+    exit 2
+  end;
+  let inst = Instance.make t1 [| Instance.Dvalues dates; Instance.Dvalues suppliers |] in
+  let show label =
+    Fmt.pr "@.-- %s@." label;
+    let st =
+      Pmv.Answer.answer ~view catalog inst ~on_tuple:(fun phase t ->
+          let tag = match phase with Pmv.Answer.Partial -> "partial" | _ -> "exec" in
+          Fmt.pr "  [%s] %a@." tag Tuple.pp (Template.visible_of_result t1 t))
+    in
+    Fmt.pr "  %d results (%d before execution); overhead %.1f µs@." st.Pmv.Answer.total_count
+      st.Pmv.Answer.partial_count
+      (Int64.to_float st.Pmv.Answer.overhead_ns /. 1e3)
+  in
+  show "first run (cold PMV)";
+  show "second run (hot results come back instantly)"
+
+let simulate alpha h n policy =
+  let policy =
+    match Minirel_cache.Policies.of_string policy with
+    | Some p -> p
+    | None -> Minirel_cache.Policies.Clock
+  in
+  let cfg = { Pmv_sim.Hitprob.scaled_default with alpha; h; n; policy } in
+  let r = Pmv_sim.Hitprob.run cfg in
+  Fmt.pr "universe=%d N=%d alpha=%.2f h=%d policy=%s -> hit probability %.4f@."
+    cfg.Pmv_sim.Hitprob.universe n alpha h
+    (Minirel_cache.Policies.to_string policy)
+    r.Pmv_sim.Hitprob.hit_prob
+
+(* Run SQL statements against generated TPC-R data, one PMV per
+   template. Each statement runs twice to show the warm-cache effect. *)
+let sql scale seed statements =
+  if statements = [] then begin
+    Fmt.epr "pass one or more SQL statements as positional arguments@.";
+    exit 2
+  end;
+  let catalog, _params, _t1 = build ~scale ~seed in
+  let session = Minirel_sql.Session.create catalog in
+  let manager = Pmv.Manager.create catalog in
+  let run sql =
+    let compiled, inst = Minirel_sql.Session.query session sql in
+    let template = compiled.Minirel_query.Template.spec.Minirel_query.Template.name in
+    if Pmv.Manager.find manager ~template = None then
+      ignore (Pmv.Manager.create_view ~ub_bytes:262_144 ~f_max:3 manager compiled);
+    let shown = ref 0 and partial = ref 0 and total = ref 0 in
+    let stats, _ =
+      Pmv.Manager.answer manager inst ~on_tuple:(fun phase t ->
+          incr total;
+          if phase = Pmv.Answer.Partial then incr partial;
+          if !shown < 5 then begin
+            incr shown;
+            Fmt.pr "  %s %a@."
+              (match phase with Pmv.Answer.Partial -> "[pmv] " | _ -> "[exec]")
+              Tuple.pp
+              (Minirel_query.Template.visible_of_result compiled t)
+          end)
+    in
+    Fmt.pr "  -> %d rows (%d from the PMV), overhead %.1f µs@." !total !partial
+      (Int64.to_float stats.Pmv.Answer.overhead_ns /. 1e3)
+  in
+  List.iter
+    (fun stmt ->
+      Fmt.pr "@.sql> %s@." stmt;
+      (try
+         run stmt;
+         Fmt.pr "  (again, warm)@.";
+         run stmt
+       with
+      | Minirel_sql.Lexer.Error e | Minirel_sql.Parser.Error e | Minirel_sql.Binder.Error e
+        ->
+          Fmt.epr "  error: %s@." e
+      | Invalid_argument e -> Fmt.epr "  error: %s@." e))
+    statements
+
+(* Interactive loop: full SQL statements (SELECT with GROUP BY / ORDER
+   BY / LIMIT, CREATE TABLE/INDEX, INSERT, DELETE) from stdin via the
+   shell, one PMV per template, with dot-commands for introspection. *)
+let repl scale seed fresh persist =
+  (* with --persist BASE, the catalog survives across sessions as
+     BASE.snapshot + BASE.wal: load both on entry, append the wal while
+     running, and fold the wal into a fresh snapshot on exit *)
+  let shell =
+    match persist with
+    | Some base when Sys.file_exists (base ^ ".snapshot") ->
+        let pool = Buffer_pool.create ~capacity:8_000 () in
+        let catalog = Minirel_index.Snapshot.load ~pool ~filename:(base ^ ".snapshot") in
+        let replayed =
+          if Sys.file_exists (base ^ ".wal") then
+            Minirel_txn.Wal.replay catalog ~filename:(base ^ ".wal")
+          else 0
+        in
+        Fmt.pr "restored %s.snapshot (+%d logged changes)@." base replayed;
+        Shell.create catalog
+    | Some _ | None ->
+        if fresh || persist <> None then
+          Shell.create (Catalog.create (Buffer_pool.create ~capacity:4_000 ()))
+        else begin
+          let catalog, _params, _t1 = build ~scale ~seed in
+          Shell.create catalog
+        end
+  in
+  let finish =
+    match persist with
+    | None -> fun () -> ()
+    | Some base ->
+        let wal = Minirel_txn.Wal.open_log ~filename:(base ^ ".wal") in
+        Minirel_txn.Wal.attach wal (Shell.txn_mgr shell);
+        fun () ->
+          Minirel_txn.Wal.close wal;
+          Minirel_index.Snapshot.save (Shell.catalog shell) ~filename:(base ^ ".snapshot");
+          (try Sys.remove (base ^ ".wal") with Sys_error _ -> ());
+          Fmt.pr "saved %s.snapshot@." base
+  in
+  Fmt.pr
+    "SQL statements (joins unparenthesised, parameterised selections in parens),@.also: \
+     create table/index, insert into ... values, update ... set, delete from, select \
+     distinct, group by, order by, limit, explain.@.dot-commands: .views — PMV report   \
+     .templates — parsed templates   .quit@.";
+  let rec loop () =
+    Fmt.pr "pmv> %!";
+    match input_line stdin with
+    | exception End_of_file -> finish ()
+    | ".quit" | ".exit" -> finish ()
+    | ".views" ->
+        Fmt.pr "%a@." Pmv.Manager.pp_report (Shell.manager shell);
+        loop ()
+    | ".templates" ->
+        Fmt.pr "%d templates parsed this session@."
+          (Minirel_sql.Session.n_templates (Shell.session shell));
+        loop ()
+    | "" -> loop ()
+    | line ->
+        (try Fmt.pr "%a@." Shell.pp_result (Shell.exec shell line) with
+        | Minirel_sql.Lexer.Error e
+        | Minirel_sql.Parser.Error e
+        | Minirel_sql.Binder.Error e
+        | Shell.Error e ->
+            Fmt.pr "error: %s@." e
+        | Invalid_argument e | Failure e -> Fmt.pr "error: %s@." e
+        | Not_found -> Fmt.pr "error: unknown relation@.");
+        loop ()
+  in
+  loop ()
+
+open Cmdliner
+
+let scale_arg = Arg.(value & opt float 0.01 & info [ "scale" ] ~docv:"S" ~doc:"TPC-R scale.")
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+
+let demo_cmd =
+  let queries = Arg.(value & opt int 500 & info [ "queries" ] ~docv:"N") in
+  let policy = Arg.(value & opt string "clock" & info [ "policy" ] ~docv:"P") in
+  let f_max = Arg.(value & opt int 3 & info [ "f" ] ~docv:"F") in
+  let capacity = Arg.(value & opt int 2_000 & info [ "capacity" ] ~docv:"L") in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Stream a Zipfian T1 workload through a PMV")
+    Term.(const demo $ scale_arg $ seed_arg $ queries $ policy $ f_max $ capacity)
+
+let query_cmd =
+  let dates = Arg.(value & opt string "1,2" & info [ "dates" ] ~docv:"D1,D2,...") in
+  let suppliers = Arg.(value & opt string "1" & info [ "suppliers" ] ~docv:"S1,S2,...") in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Answer one T1 query twice, cold then hot")
+    Term.(const query $ scale_arg $ seed_arg $ dates $ suppliers)
+
+let simulate_cmd =
+  let alpha = Arg.(value & opt float 1.07 & info [ "alpha" ] ~docv:"A") in
+  let h = Arg.(value & opt int 2 & info [ "h" ] ~docv:"H") in
+  let n = Arg.(value & opt int 2_000 & info [ "n" ] ~docv:"N") in
+  let policy = Arg.(value & opt string "clock" & info [ "policy" ] ~docv:"P") in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"One hit-probability simulation cell (Section 4.1)")
+    Term.(const simulate $ alpha $ h $ n $ policy)
+
+let sql_cmd =
+  let statements =
+    Arg.(value & pos_all string [] & info [] ~docv:"SQL" ~doc:"SQL statements to run.")
+  in
+  Cmd.v
+    (Cmd.info "sql"
+       ~doc:
+         "Run SQL statements over TPC-R data, one PMV per template (e.g. \"select \
+          o.orderkey, l.quantity from orders o, lineitem l where o.orderkey = l.orderkey \
+          and (o.orderdate = 3) and (l.suppkey = 2)\")")
+    Term.(const sql $ scale_arg $ seed_arg $ statements)
+
+let repl_cmd =
+  let fresh =
+    Arg.(value & flag & info [ "fresh" ] ~doc:"Start with an empty catalog (use CREATE TABLE).")
+  in
+  let persist =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "persist" ] ~docv:"BASE"
+          ~doc:"Persist the catalog across sessions as BASE.snapshot + BASE.wal.")
+  in
+  Cmd.v
+    (Cmd.info "repl" ~doc:"Interactive SQL over TPC-R data with per-template PMVs")
+    Term.(const repl $ scale_arg $ seed_arg $ fresh $ persist)
+
+let () =
+  let doc = "partial materialized views demonstration tool" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "pmvctl" ~doc)
+          [ demo_cmd; query_cmd; simulate_cmd; sql_cmd; repl_cmd ]))

@@ -1,0 +1,1 @@
+examples/adaptive_workload.ml: Buffer_pool Fmt Instance List Minirel_cache Minirel_index Minirel_query Minirel_storage Minirel_workload Pmv Schema Template Value

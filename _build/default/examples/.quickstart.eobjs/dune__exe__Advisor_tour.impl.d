@@ -1,0 +1,1 @@
+examples/advisor_tour.ml: Fmt Helpers_catalog List Minirel_shell Minirel_workload Pmv

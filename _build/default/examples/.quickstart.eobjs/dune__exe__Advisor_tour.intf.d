@@ -1,0 +1,1 @@
+examples/advisor_tour.mli:

@@ -1,0 +1,1 @@
+examples/call_center.ml: Buffer_pool Discretize Fmt Instance Interval List Minirel_index Minirel_query Minirel_storage Minirel_txn Minirel_workload Pmv Predicate Schema Template Value

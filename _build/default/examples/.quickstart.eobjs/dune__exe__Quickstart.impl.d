@@ -1,0 +1,1 @@
+examples/quickstart.ml: Buffer_pool Fmt Instance Int64 Minirel_index Minirel_query Minirel_storage Minirel_workload Pmv Schema Template Tuple Value

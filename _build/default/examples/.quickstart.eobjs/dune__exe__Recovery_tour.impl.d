@@ -1,0 +1,1 @@
+examples/recovery_tour.ml: Buffer_pool Filename Fmt Heap_file List Minirel_index Minirel_query Minirel_storage Minirel_txn Minirel_workload Pmv Schema Sys Unix Value

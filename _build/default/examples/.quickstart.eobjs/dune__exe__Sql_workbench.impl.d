@@ -1,0 +1,1 @@
+examples/sql_workbench.ml: Buffer_pool Fmt Int64 Minirel_index Minirel_query Minirel_sql Minirel_storage Minirel_txn Minirel_workload Pmv

@@ -1,0 +1,1 @@
+examples/tpcr_explorer.ml: Buffer_pool Fmt Fun Int64 List Minirel_index Minirel_query Minirel_storage Minirel_txn Minirel_workload Pmv Value

@@ -1,0 +1,1 @@
+examples/tpcr_explorer.mli:

@@ -1,0 +1,96 @@
+(* Trace-driven PMV selection, end to end: run a day of SQL against a
+   shop database with NO views, record the trace, ask the advisor which
+   templates deserve a PMV under a memory budget, apply its
+   recommendations, and replay the workload to see the difference.
+
+   This is the Section 2.2 story (automatic view selection from query
+   traces) adapted to partial materialized views.
+
+   Run with: dune exec examples/advisor_tour.exe *)
+
+module Shell = Minirel_shell.Shell
+module Trace = Minirel_shell.Trace
+module SM = Minirel_workload.Split_mix
+
+let day_of_queries trace_shell rng zipf_cat zipf_store n =
+  let hits = ref 0 and total_pmv = ref 0 in
+  for _ = 1 to n do
+    let c = Minirel_workload.Zipf.sample zipf_cat rng in
+    let s = Minirel_workload.Zipf.sample zipf_store rng in
+    let sql =
+      match SM.int rng ~bound:3 with
+      | 0 ->
+          Fmt.str
+            "select i.label, st.qty from items i, stock st where i.ik = st.ik and \
+             (i.category = %d) and (st.store = %d)"
+            c s
+      | 1 ->
+          Fmt.str
+            "select i.ik, i.price from items i where (i.category = %d) order by i.price \
+             desc limit 5"
+            c
+      | _ ->
+          Fmt.str
+            "select st.store, count(*) from items i, stock st where i.ik = st.ik and \
+             (i.category in (%d, %d)) group by st.store"
+            c ((c + 1) mod 8)
+    in
+    match Shell.exec trace_shell sql with
+    | Shell.Rows { from_pmv; _ } ->
+        total_pmv := !total_pmv + from_pmv;
+        if from_pmv > 0 then incr hits
+    | Shell.Grouped { partial_groups; _ } -> if partial_groups <> [] then incr hits
+    | _ -> ()
+  done;
+  (!hits, !total_pmv)
+
+let build_shop ~auto_views =
+  let shell = Shell.create ~auto_views (Helpers_catalog.fresh ()) in
+  ignore (Shell.exec shell "create table items (ik int, category int, price float, label string)");
+  ignore (Shell.exec shell "create table stock (ik int, store int, qty int)");
+  List.iter
+    (fun sql -> ignore (Shell.exec shell sql))
+    [
+      "create index items_ik on items (ik)";
+      "create index items_category on items (category)";
+      "create index stock_ik on stock (ik)";
+      "create index stock_store on stock (store)";
+    ];
+  for ik = 1 to 600 do
+    ignore
+      (Shell.exec shell
+         (Fmt.str "insert into items values (%d, %d, %d.9, 'item %d')" ik (ik mod 8)
+            (ik * 3) ik));
+    ignore
+      (Shell.exec shell (Fmt.str "insert into stock values (%d, %d, %d)" ik (ik mod 6) (ik mod 9)))
+  done;
+  shell
+
+let () =
+  let rng = SM.create ~seed:77 in
+  let zipf_cat = Minirel_workload.Zipf.create ~n:8 ~alpha:1.2 in
+  let zipf_store = Minirel_workload.Zipf.create ~n:6 ~alpha:1.2 in
+
+  (* day 1: no PMVs at all, but record the trace *)
+  let shell = build_shop ~auto_views:false in
+  let trace = Trace.create () in
+  Trace.attach trace shell;
+  let day1_hits, _ = day_of_queries shell rng zipf_cat zipf_store 300 in
+  Fmt.pr "day 1 (no PMVs): %d of 300 queries got early partial results@." day1_hits;
+  Fmt.pr "trace recorded: %d statements@.@." (Trace.length trace);
+
+  (* the advisor studies the trace *)
+  let advisor = Pmv.Advisor.create () in
+  let observed = Trace.observe trace (Shell.session shell) advisor in
+  Fmt.pr "advisor observed %d queries across %d templates; recommendations under 512 KB:@."
+    observed (Pmv.Advisor.n_templates advisor);
+  let recs = Pmv.Advisor.recommend advisor ~budget_bytes:524_288 in
+  List.iter (fun r -> Fmt.pr "  %a@." Pmv.Advisor.pp_recommendation r) recs;
+  let created = Pmv.Advisor.apply advisor (Shell.manager shell) recs in
+  Fmt.pr "created %d views@.@." created;
+
+  (* day 2: same query pattern, now with the advised PMVs *)
+  let day2_hits, day2_tuples = day_of_queries shell rng zipf_cat zipf_store 300 in
+  Fmt.pr "day 2 (advised PMVs): %d of 300 queries got early partial results (%d tuples)@."
+    day2_hits day2_tuples;
+  Fmt.pr "@.%a@." Pmv.Manager.pp_report (Shell.manager shell)

@@ -1,0 +1,153 @@
+(* The paper's motivating scenario (Section 1): a retailer's customer
+   service call center. When a customer calls, the operator queries for
+   on-sale items related to the customer's recent purchases:
+
+     from the [related] relation, the items related to a purchased item;
+     from [sale], the items currently on sale with discount >= p%.
+
+   The operator starts making offers from the *partial* results; once
+   they find enough to talk about, the remaining results are not needed
+   (early termination, the paper's Benefit 2). The discount threshold p
+   is an interval-form condition, discretised into basic intervals.
+
+   Run with: dune exec examples/call_center.exe *)
+
+open Minirel_storage
+open Minirel_query
+module Catalog = Minirel_index.Catalog
+module SM = Minirel_workload.Split_mix
+
+let () =
+  let pool = Buffer_pool.create ~capacity:2_000 () in
+  let catalog = Catalog.create pool in
+  let rng = SM.create ~seed:9 in
+
+  (* related(item, related_item): catalogue cross-sell graph *)
+  let related =
+    Schema.create "related" [ ("item", Schema.Tint); ("related_item", Schema.Tint) ]
+  in
+  (* sale(item, discount, store): items currently on sale *)
+  let sale =
+    Schema.create "sale"
+      [ ("item", Schema.Tint); ("discount", Schema.Tint); ("store", Schema.Tint) ]
+  in
+  let _ = Catalog.create_relation catalog related in
+  let _ = Catalog.create_relation catalog sale in
+  let n_items = 3_000 in
+  for item = 1 to n_items do
+    (* each item relates to ~6 pseudo-random others *)
+    for _ = 1 to 6 do
+      ignore
+        (Catalog.insert catalog ~rel:"related"
+           [| Value.Int item; Value.Int (1 + SM.int rng ~bound:n_items) |])
+    done
+  done;
+  for _ = 1 to 4_000 do
+    ignore
+      (Catalog.insert catalog ~rel:"sale"
+         [|
+           Value.Int (1 + SM.int rng ~bound:n_items);
+           Value.Int (5 + (5 * SM.int rng ~bound:10));  (* 5..50 % *)
+           Value.Int (SM.int rng ~bound:5);
+         |])
+  done;
+  ignore (Catalog.create_index catalog ~rel:"related" ~name:"related_item" ~attrs:[ "item" ] ());
+  ignore
+    (Catalog.create_index catalog ~rel:"related" ~name:"related_target"
+       ~attrs:[ "related_item" ] ());
+  ignore (Catalog.create_index catalog ~rel:"sale" ~name:"sale_item" ~attrs:[ "item" ] ());
+  ignore (Catalog.create_index catalog ~rel:"sale" ~name:"sale_discount" ~attrs:[ "discount" ] ());
+
+  (* The template: items related to a purchased item that are on sale
+     with discount in a customer-loyalty-dependent range. The discount
+     condition is interval-form; the UI's from/to lists (10/20/30/40%)
+     serve as dividing values (Section 3.1). *)
+  let grid =
+    Discretize.of_from_to_lists
+      ~from_values:[ Value.Int 10; Value.Int 20; Value.Int 30 ]
+      ~to_values:[ Value.Int 40 ]
+  in
+  let spec =
+    {
+      Template.name = "offers";
+      relations = [| "related"; "sale" |];
+      joins =
+        [ (Template.attr_ref ~rel:0 ~attr:"related_item", Template.attr_ref ~rel:1 ~attr:"item") ];
+      fixed = [];
+      select_list =
+        [ Template.attr_ref ~rel:1 ~attr:"item"; Template.attr_ref ~rel:1 ~attr:"store" ];
+      selections =
+        [|
+          Template.Eq_sel (Template.attr_ref ~rel:0 ~attr:"item");
+          Template.Range_sel (Template.attr_ref ~rel:1 ~attr:"discount", grid);
+        |];
+    }
+  in
+  let compiled = Template.compile catalog spec in
+  let view = Pmv.View.create ~capacity:500 ~f_max:3 ~name:"offers" compiled in
+  let mgr = Minirel_txn.Txn.create catalog in
+  Pmv.Maintain.attach view mgr;
+
+  (* Simulate a day of calls. Purchases are Zipf-hot: everyone buys the
+     bestsellers, so their related-items lookups share PMV entries. *)
+  let zipf = Minirel_workload.Zipf.create ~n:n_items ~alpha:1.05 in
+  let offers_needed = 3 in
+  let calls = 400 in
+  let served_from_pmv = ref 0 and early_terminations = ref 0 in
+  let exception Enough in
+  for _ = 1 to calls do
+    let purchased =
+      List.map
+        (fun r -> Value.Int (1 + r))
+        (SM.distinct rng ~n:2 (Minirel_workload.Zipf.sample zipf))
+    in
+    let loyalty_threshold = if SM.bool rng then 10 else 20 in
+    let query =
+      Instance.make compiled
+        [|
+          Instance.Dvalues purchased;
+          Instance.Dintervals [ Interval.at_least (Value.Int loyalty_threshold) ];
+        |]
+    in
+    let offers = ref [] in
+    (try
+       ignore
+         (Pmv.Answer.answer ~view catalog query ~on_tuple:(fun phase t ->
+              offers := t :: !offers;
+              if phase = Pmv.Answer.Partial then incr served_from_pmv;
+              (* the operator hangs up the query as soon as they have
+                 enough offers to make *)
+              if List.length !offers >= offers_needed then raise Enough))
+     with Enough -> incr early_terminations)
+  done;
+  let stats = Pmv.View.stats view in
+  Fmt.pr "calls handled:              %d@." calls;
+  Fmt.pr "offers served from the PMV: %d@." !served_from_pmv;
+  Fmt.pr "early terminations:         %d (operator had %d offers before the query finished)@."
+    !early_terminations offers_needed;
+  Fmt.pr "PMV hit ratio:              %.2f@." (Pmv.View.hit_ratio view);
+  Fmt.pr "PMV size:                   %d bcps, %d tuples@." (Pmv.View.n_entries view)
+    (Pmv.View.n_tuples view);
+  ignore stats;
+
+  (* Prices change: a flash sale ends. Deletes defer-maintain the PMV;
+     the next queries stay transactionally consistent. *)
+  ignore
+    (Minirel_txn.Txn.run mgr
+       [
+         Minirel_txn.Txn.Delete
+           { rel = "sale"; pred = Predicate.Cmp (Predicate.Ge, 1, Value.Int 40) };
+       ]);
+  Fmt.pr "@.after the 40%%+ flash sale ended: %d tuples were dropped from the PMV@."
+    (Pmv.View.stats view).Pmv.View.maint_removed;
+  let check_query =
+    Instance.make compiled
+      [|
+        Instance.Dvalues [ Value.Int 1 ];
+        Instance.Dintervals [ Interval.at_least (Value.Int 40) ];
+      |]
+  in
+  let leftover = ref 0 in
+  let st = Pmv.Answer.answer ~view catalog check_query ~on_tuple:(fun _ _ -> incr leftover) in
+  Fmt.pr "a 40%%+ query now returns %d offers (stale served: %d)@." !leftover
+    st.Pmv.Answer.stale_purged

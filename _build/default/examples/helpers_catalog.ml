@@ -1,0 +1,3 @@
+(* Shared catalog constructor for the examples. *)
+let fresh ?(pool_pages = 4_000) () =
+  Minirel_index.Catalog.create (Minirel_storage.Buffer_pool.create ~capacity:pool_pages ())

@@ -1,0 +1,121 @@
+(* Durability for the engine underneath the PMVs: snapshot + redo log.
+   A shop database takes a snapshot, keeps logging transactions, and
+   then "crashes"; the recovered catalog is bit-for-bit the live one,
+   and PMVs rebuilt on top of it warm up from queries as usual (PMV
+   content itself needs no recovery: it is a cache, deferred-filled).
+
+   Run with: dune exec examples/recovery_tour.exe *)
+
+open Minirel_storage
+module Catalog = Minirel_index.Catalog
+module Snapshot = Minirel_index.Snapshot
+module Txn = Minirel_txn.Txn
+module Wal = Minirel_txn.Wal
+module Template = Minirel_query.Template
+module Instance = Minirel_query.Instance
+module Predicate = Minirel_query.Predicate
+module SM = Minirel_workload.Split_mix
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let spec =
+  {
+    Template.name = "orders_by_status_region";
+    relations = [| "orders2"; "region" |];
+    joins = [ (Template.attr_ref ~rel:0 ~attr:"rid", Template.attr_ref ~rel:1 ~attr:"rid") ];
+    fixed = [];
+    select_list =
+      [ Template.attr_ref ~rel:0 ~attr:"oid"; Template.attr_ref ~rel:1 ~attr:"name" ];
+    selections =
+      [|
+        Template.Eq_sel (Template.attr_ref ~rel:0 ~attr:"status");
+        Template.Eq_sel (Template.attr_ref ~rel:1 ~attr:"zone");
+      |];
+  }
+
+let () =
+  let snap = tmp "pmv_recovery.snapshot" and log = tmp "pmv_recovery.wal" in
+  if Sys.file_exists log then Sys.remove log;
+  let pool = Buffer_pool.create ~capacity:2_000 () in
+  let catalog = Catalog.create pool in
+  let orders =
+    Schema.create "orders2"
+      [ ("oid", Schema.Tint); ("rid", Schema.Tint); ("status", Schema.Tint) ]
+  in
+  let region =
+    Schema.create "region"
+      [ ("rid", Schema.Tint); ("zone", Schema.Tint); ("name", Schema.Tstr) ]
+  in
+  let _ = Catalog.create_relation catalog orders in
+  let _ = Catalog.create_relation catalog region in
+  let rng = SM.create ~seed:3 in
+  for rid = 1 to 20 do
+    ignore
+      (Catalog.insert catalog ~rel:"region"
+         [| Value.Int rid; Value.Int (rid mod 4); Value.Str (Fmt.str "region-%d" rid) |])
+  done;
+  for oid = 1 to 2_000 do
+    ignore
+      (Catalog.insert catalog ~rel:"orders2"
+         [| Value.Int oid; Value.Int (1 + SM.int rng ~bound:20); Value.Int (SM.int rng ~bound:5) |])
+  done;
+  List.iter
+    (fun (rel, name, attrs) -> ignore (Catalog.create_index catalog ~rel ~name ~attrs ()))
+    [
+      ("orders2", "orders2_status", [ "status" ]);
+      ("orders2", "orders2_rid", [ "rid" ]);
+      ("region", "region_rid", [ "rid" ]);
+      ("region", "region_zone", [ "zone" ]);
+    ];
+
+  (* checkpoint, then keep working with the log attached *)
+  Snapshot.save catalog ~filename:snap;
+  Fmt.pr "checkpoint: %d bytes of snapshot@." (Unix.stat snap).Unix.st_size;
+  let mgr = Txn.create catalog in
+  let wal = Wal.open_log ~filename:log in
+  Wal.attach wal mgr;
+  for i = 1 to 150 do
+    ignore
+      (Txn.run mgr
+         [
+           Txn.Insert
+             {
+               rel = "orders2";
+               tuple =
+                 [| Value.Int (10_000 + i); Value.Int (1 + SM.int rng ~bound:20); Value.Int 1 |];
+             };
+         ]);
+    if i mod 30 = 0 then
+      ignore
+        (Txn.run mgr
+           [
+             Txn.Delete
+               { rel = "orders2"; pred = Predicate.Cmp (Predicate.Eq, 0, Value.Int (i * 7)) };
+           ])
+  done;
+  Wal.close wal;
+  let live_count = Heap_file.n_tuples (Catalog.heap catalog "orders2") in
+  Fmt.pr "after 150+ logged transactions: %d orders live@." live_count;
+
+  (* CRASH. Recover from snapshot + log. *)
+  let pool2 = Buffer_pool.create ~capacity:2_000 () in
+  let recovered = Snapshot.load ~pool:pool2 ~filename:snap in
+  let replayed = Wal.replay recovered ~filename:log in
+  Fmt.pr "recovered: %d changes replayed, %d orders live@." replayed
+    (Heap_file.n_tuples (Catalog.heap recovered "orders2"));
+  Catalog.validate recovered;
+  Fmt.pr "catalog integrity check (fsck): ok@.";
+  assert (live_count = Heap_file.n_tuples (Catalog.heap recovered "orders2"));
+
+  (* PMVs are caches: rebuilt empty, they re-learn from the workload *)
+  let compiled = Template.compile recovered spec in
+  let view = Pmv.View.create ~capacity:200 ~f_max:3 ~name:"recovered" compiled in
+  let q =
+    Instance.make compiled [| Instance.Dvalues [ Value.Int 1 ]; Instance.Dvalues [ Value.Int 2 ] |]
+  in
+  ignore (Pmv.Answer.answer ~view recovered q ~on_tuple:(fun _ _ -> ()));
+  let st = Pmv.Answer.answer ~view recovered q ~on_tuple:(fun _ _ -> ()) in
+  Fmt.pr "PMV on the recovered catalog: %d partials on the second query@."
+    st.Pmv.Answer.partial_count;
+  Sys.remove snap;
+  Sys.remove log

@@ -1,0 +1,1 @@
+lib/cache/cache_stats.ml: Fmt

@@ -1,0 +1,1 @@
+lib/cache/clock.ml: Array Cache_stats Hashtbl List Policy

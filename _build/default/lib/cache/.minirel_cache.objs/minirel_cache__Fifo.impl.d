@@ -1,0 +1,1 @@
+lib/cache/fifo.ml: Cache_stats Hashtbl Policy Queue

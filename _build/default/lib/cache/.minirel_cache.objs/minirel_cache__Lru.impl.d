@@ -1,0 +1,1 @@
+lib/cache/lru.ml: Cache_stats Hashtbl Policy

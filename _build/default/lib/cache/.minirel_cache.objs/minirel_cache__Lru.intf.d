@@ -1,0 +1,1 @@
+lib/cache/lru.mli: Policy

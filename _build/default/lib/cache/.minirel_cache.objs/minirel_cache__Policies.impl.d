@@ -1,0 +1,1 @@
+lib/cache/policies.ml: Clock Fifo Lru Two_q Two_q_full

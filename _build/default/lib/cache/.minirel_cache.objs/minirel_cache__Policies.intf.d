@@ -1,0 +1,1 @@
+lib/cache/policies.mli: Policy

@@ -1,0 +1,1 @@
+lib/cache/policy.ml: Cache_stats

@@ -1,0 +1,1 @@
+lib/cache/policy.mli: Cache_stats

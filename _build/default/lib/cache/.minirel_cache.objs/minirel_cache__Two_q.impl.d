@@ -1,0 +1,1 @@
+lib/cache/two_q.ml: Cache_stats Clock Hashtbl Policy Queue

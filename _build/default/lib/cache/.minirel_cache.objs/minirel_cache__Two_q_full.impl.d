@@ -1,0 +1,1 @@
+lib/cache/two_q_full.ml: Cache_stats Hashtbl Lru Policy Queue

@@ -1,0 +1,1 @@
+lib/cache/two_q_full.mli: Policy

@@ -1,0 +1,14 @@
+(** Counters shared by every replacement policy. *)
+
+type t = {
+  mutable references : int;  (** total [reference] calls *)
+  mutable hits : int;  (** references that found the key resident *)
+  mutable admissions : int;  (** keys made resident *)
+  mutable rejections : int;  (** references recorded without residency *)
+  mutable evictions : int;  (** resident keys pushed out *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val hit_ratio : t -> float
+val pp : t Fmt.t

@@ -1,0 +1,8 @@
+(** CLOCK (second-chance) replacement — the paper's default manager for
+    the basic condition parts of a PMV (Section 3.2). A hit sets the
+    slot's reference bit; admission fills a free slot if one exists,
+    otherwise the hand sweeps, clearing bits, and evicts the first slot
+    whose bit is clear.
+
+    @raise Invalid_argument if [capacity <= 0]. *)
+val create : capacity:int -> 'k Policy.t

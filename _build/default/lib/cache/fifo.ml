@@ -1,0 +1,71 @@
+(* FIFO replacement: evict in admission order, ignore recency. Included
+   as the weakest baseline for the policy ablation. *)
+
+type 'k state = {
+  order : 'k Queue.t;  (* admission order; may hold stale entries *)
+  tbl : ('k, unit) Hashtbl.t;
+  capacity : int;
+  mutable on_evict : 'k -> unit;
+  stats : Cache_stats.t;
+}
+
+let evict_oldest st =
+  let rec pop () =
+    match Queue.pop st.order with
+    | k when Hashtbl.mem st.tbl k ->
+        Hashtbl.remove st.tbl k;
+        st.stats.Cache_stats.evictions <- st.stats.Cache_stats.evictions + 1;
+        st.on_evict k
+    | _ -> pop ()
+    | exception Queue.Empty -> ()
+  in
+  pop ()
+
+let create ~capacity : 'k Policy.t =
+  if capacity <= 0 then invalid_arg "Fifo.create: capacity must be positive";
+  let st =
+    {
+      order = Queue.create ();
+      tbl = Hashtbl.create (2 * capacity);
+      capacity;
+      on_evict = ignore;
+      stats = Cache_stats.create ();
+    }
+  in
+  let mem k = Hashtbl.mem st.tbl k in
+  let reference k =
+    st.stats.Cache_stats.references <- st.stats.Cache_stats.references + 1;
+    if Hashtbl.mem st.tbl k then begin
+      st.stats.Cache_stats.hits <- st.stats.Cache_stats.hits + 1;
+      `Resident
+    end
+    else begin
+      st.stats.Cache_stats.rejections <- st.stats.Cache_stats.rejections + 1;
+      `Rejected
+    end
+  in
+  let admit k =
+    if not (Hashtbl.mem st.tbl k) then begin
+      if Hashtbl.length st.tbl >= st.capacity then evict_oldest st;
+      Queue.push k st.order;
+      Hashtbl.replace st.tbl k ();
+      st.stats.Cache_stats.admissions <- st.stats.Cache_stats.admissions + 1
+    end
+  in
+  let remove k = Hashtbl.remove st.tbl k in
+  let size () = Hashtbl.length st.tbl in
+  let iter f = Hashtbl.iter (fun k _ -> f k) st.tbl in
+  let set_on_evict f = st.on_evict <- f in
+  {
+    Policy.name = "fifo";
+    capacity;
+    admit_on_fill = true;
+    mem;
+    reference;
+    admit;
+    remove;
+    size;
+    iter;
+    set_on_evict;
+    stats = st.stats;
+  }

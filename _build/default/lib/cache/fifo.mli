@@ -1,0 +1,5 @@
+(** FIFO replacement: evict in admission order, ignoring recency. The
+    weakest baseline in the policy ablation.
+
+    @raise Invalid_argument if [capacity <= 0]. *)
+val create : capacity:int -> 'k Policy.t

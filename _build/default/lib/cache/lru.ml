@@ -1,0 +1,96 @@
+(* LRU replacement via an intrusive doubly-linked list plus a hash table.
+   Included for the policy ablation (the paper uses CLOCK and 2Q). *)
+
+type 'k node = {
+  key : 'k;
+  mutable prev : 'k node option;
+  mutable next : 'k node option;
+}
+
+type 'k state = {
+  tbl : ('k, 'k node) Hashtbl.t;
+  mutable head : 'k node option;  (* most recently used *)
+  mutable tail : 'k node option;  (* least recently used *)
+  capacity : int;
+  mutable on_evict : 'k -> unit;
+  stats : Cache_stats.t;
+}
+
+let unlink st n =
+  (match n.prev with Some p -> p.next <- n.next | None -> st.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> st.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front st n =
+  n.next <- st.head;
+  n.prev <- None;
+  (match st.head with Some h -> h.prev <- Some n | None -> st.tail <- Some n);
+  st.head <- Some n
+
+let evict_lru st =
+  match st.tail with
+  | None -> ()
+  | Some n ->
+      unlink st n;
+      Hashtbl.remove st.tbl n.key;
+      st.stats.Cache_stats.evictions <- st.stats.Cache_stats.evictions + 1;
+      st.on_evict n.key
+
+let create ~capacity : 'k Policy.t =
+  if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
+  let st =
+    {
+      tbl = Hashtbl.create (2 * capacity);
+      head = None;
+      tail = None;
+      capacity;
+      on_evict = ignore;
+      stats = Cache_stats.create ();
+    }
+  in
+  let mem k = Hashtbl.mem st.tbl k in
+  let reference k =
+    st.stats.Cache_stats.references <- st.stats.Cache_stats.references + 1;
+    match Hashtbl.find_opt st.tbl k with
+    | Some n ->
+        unlink st n;
+        push_front st n;
+        st.stats.Cache_stats.hits <- st.stats.Cache_stats.hits + 1;
+        `Resident
+    | None ->
+        st.stats.Cache_stats.rejections <- st.stats.Cache_stats.rejections + 1;
+        `Rejected
+  in
+  let admit k =
+    if not (Hashtbl.mem st.tbl k) then begin
+      if Hashtbl.length st.tbl >= st.capacity then evict_lru st;
+      let n = { key = k; prev = None; next = None } in
+      push_front st n;
+      Hashtbl.replace st.tbl k n;
+      st.stats.Cache_stats.admissions <- st.stats.Cache_stats.admissions + 1
+    end
+  in
+  let remove k =
+    match Hashtbl.find_opt st.tbl k with
+    | None -> ()
+    | Some n ->
+        unlink st n;
+        Hashtbl.remove st.tbl k
+  in
+  let size () = Hashtbl.length st.tbl in
+  let iter f = Hashtbl.iter (fun k _ -> f k) st.tbl in
+  let set_on_evict f = st.on_evict <- f in
+  {
+    Policy.name = "lru";
+    capacity;
+    admit_on_fill = true;
+    mem;
+    reference;
+    admit;
+    remove;
+    size;
+    iter;
+    set_on_evict;
+    stats = st.stats;
+  }

@@ -1,0 +1,5 @@
+(** LRU replacement (intrusive doubly-linked list + hash table).
+    Included for the policy ablation; the paper evaluates CLOCK and 2Q.
+
+    @raise Invalid_argument if [capacity <= 0]. *)
+val create : capacity:int -> 'k Policy.t

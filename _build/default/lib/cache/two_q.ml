@@ -1,0 +1,107 @@
+(* Simplified 2Q [Johnson & Shasha, VLDB'94] exactly as specialised in
+   Section 4.1 of the paper:
+
+   - [Am]: N entries, managed by CLOCK, each holding a basic condition
+     part and its data (the resident set).
+   - [A1]: a FIFO ghost queue of N' = 50% x N entries holding keys only.
+
+   The first reference of a cold key stages it in A1 ([`Rejected]). A
+   second reference while it is still staged promotes it to Am
+   ([`Admitted]). References of Am keys behave like CLOCK hits. *)
+
+type 'k state = {
+  am : 'k Policy.t;
+  a1 : 'k Queue.t;  (* FIFO of staged keys; may hold stale entries *)
+  a1_mem : ('k, unit) Hashtbl.t;  (* live staged keys *)
+  a1_capacity : int;
+  stats : Cache_stats.t;
+}
+
+(* Drop stale queue heads (keys promoted or explicitly removed). *)
+let rec compact st =
+  match Queue.peek_opt st.a1 with
+  | Some k when not (Hashtbl.mem st.a1_mem k) ->
+      ignore (Queue.pop st.a1);
+      compact st
+  | _ -> ()
+
+let stage st k =
+  compact st;
+  if Hashtbl.length st.a1_mem >= st.a1_capacity then begin
+    (* evict the oldest live ghost *)
+    let rec pop_live () =
+      match Queue.pop st.a1 with
+      | victim when Hashtbl.mem st.a1_mem victim -> Hashtbl.remove st.a1_mem victim
+      | _ -> pop_live ()
+      | exception Queue.Empty -> ()
+    in
+    pop_live ()
+  end;
+  Queue.push k st.a1;
+  Hashtbl.replace st.a1_mem k ()
+
+let create ~capacity : 'k Policy.t =
+  if capacity <= 0 then invalid_arg "Two_q.create: capacity must be positive";
+  let a1_capacity = max 1 (capacity / 2) in
+  let st =
+    {
+      am = Clock.create ~capacity;
+      a1 = Queue.create ();
+      a1_mem = Hashtbl.create (4 * a1_capacity);
+      a1_capacity;
+      stats = Cache_stats.create ();
+    }
+  in
+  let mem k = Policy.mem st.am k in
+  let reference k =
+    st.stats.Cache_stats.references <- st.stats.Cache_stats.references + 1;
+    if Policy.mem st.am k then begin
+      (match Policy.reference st.am k with
+      | `Resident -> ()
+      | `Admitted | `Rejected -> assert false);
+      st.stats.Cache_stats.hits <- st.stats.Cache_stats.hits + 1;
+      `Resident
+    end
+    else if Hashtbl.mem st.a1_mem k then begin
+      Hashtbl.remove st.a1_mem k;
+      Policy.admit st.am k;
+      st.stats.Cache_stats.admissions <- st.stats.Cache_stats.admissions + 1;
+      `Admitted
+    end
+    else begin
+      stage st k;
+      st.stats.Cache_stats.rejections <- st.stats.Cache_stats.rejections + 1;
+      `Rejected
+    end
+  in
+  let admit k =
+    if not (Policy.mem st.am k) then begin
+      Hashtbl.remove st.a1_mem k;
+      Policy.admit st.am k;
+      st.stats.Cache_stats.admissions <- st.stats.Cache_stats.admissions + 1
+    end
+  in
+  let remove k =
+    Policy.remove st.am k;
+    Hashtbl.remove st.a1_mem k
+  in
+  let size () = Policy.size st.am in
+  let iter f = Policy.iter st.am f in
+  let set_on_evict f =
+    Policy.set_on_evict st.am (fun k ->
+        st.stats.Cache_stats.evictions <- st.stats.Cache_stats.evictions + 1;
+        f k)
+  in
+  {
+    Policy.name = "2q";
+    capacity;
+    admit_on_fill = false;
+    mem;
+    reference;
+    admit;
+    remove;
+    size;
+    iter;
+    set_on_evict;
+    stats = st.stats;
+  }

@@ -1,0 +1,9 @@
+(** Simplified 2Q [Johnson & Shasha, VLDB'94], exactly as specialised in
+    Section 4.1 of the paper: [Am] is a CLOCK of [capacity] resident
+    entries; [A1] is a FIFO {e ghost} queue of [capacity/2] keys. A cold
+    key's first reference stages it in A1 ([`Rejected]); a second
+    reference while staged promotes it to Am ([`Admitted]); Am
+    references behave like CLOCK hits. [admit_on_fill] is [false].
+
+    @raise Invalid_argument if [capacity <= 0]. *)
+val create : capacity:int -> 'k Policy.t

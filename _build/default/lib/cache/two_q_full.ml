@@ -1,0 +1,140 @@
+(* Full 2Q [Johnson & Shasha, VLDB'94], as opposed to the simplified
+   variant the paper's Section 4.1 uses:
+
+   - [A1in]: a FIFO of recently admitted, data-holding entries
+     (Kin = 25% of the capacity);
+   - [A1out]: a ghost FIFO of keys recently evicted from A1in
+     (Kout = 50% of the capacity, keys only);
+   - [Am]: an LRU of proven-hot entries (the remaining 75%).
+
+   A cold key is admitted into A1in immediately (unlike simplified 2Q);
+   a reference while ghost-staged in A1out promotes to Am; A1in hits do
+   not promote. [admit_on_fill] is false: [reference] already admits. *)
+
+type 'k state = {
+  am : 'k Policy.t;  (* LRU *)
+  a1in : 'k Queue.t;
+  a1in_mem : ('k, unit) Hashtbl.t;
+  a1in_capacity : int;
+  a1out : 'k Queue.t;  (* ghosts; may hold stale entries *)
+  a1out_mem : ('k, unit) Hashtbl.t;
+  a1out_capacity : int;
+  mutable on_evict : 'k -> unit;
+  stats : Cache_stats.t;
+}
+
+let rec ghost_compact st =
+  match Queue.peek_opt st.a1out with
+  | Some k when not (Hashtbl.mem st.a1out_mem k) ->
+      ignore (Queue.pop st.a1out);
+      ghost_compact st
+  | _ -> ()
+
+let ghost_stage st k =
+  ghost_compact st;
+  if Hashtbl.length st.a1out_mem >= st.a1out_capacity then begin
+    let rec pop_live () =
+      match Queue.pop st.a1out with
+      | victim when Hashtbl.mem st.a1out_mem victim -> Hashtbl.remove st.a1out_mem victim
+      | _ -> pop_live ()
+      | exception Queue.Empty -> ()
+    in
+    pop_live ()
+  end;
+  Queue.push k st.a1out;
+  Hashtbl.replace st.a1out_mem k ()
+
+(* Admit into A1in, spilling its oldest resident to the ghost queue. *)
+let a1in_admit st k =
+  if Hashtbl.length st.a1in_mem >= st.a1in_capacity then begin
+    let rec pop_live () =
+      match Queue.pop st.a1in with
+      | victim when Hashtbl.mem st.a1in_mem victim ->
+          Hashtbl.remove st.a1in_mem victim;
+          st.stats.Cache_stats.evictions <- st.stats.Cache_stats.evictions + 1;
+          st.on_evict victim;
+          ghost_stage st victim
+      | _ -> pop_live ()
+      | exception Queue.Empty -> ()
+    in
+    pop_live ()
+  end;
+  Queue.push k st.a1in;
+  Hashtbl.replace st.a1in_mem k ()
+
+let create ~capacity : 'k Policy.t =
+  if capacity <= 0 then invalid_arg "Two_q_full.create: capacity must be positive";
+  (* capacity 1 degenerates to a pure LRU: no room for a separate A1in *)
+  let a1in_capacity = if capacity < 2 then 0 else max 1 (capacity / 4) in
+  let am_capacity = max 1 (capacity - a1in_capacity) in
+  let st =
+    {
+      am = Lru.create ~capacity:am_capacity;
+      a1in = Queue.create ();
+      a1in_mem = Hashtbl.create (4 * a1in_capacity);
+      a1in_capacity;
+      a1out = Queue.create ();
+      a1out_mem = Hashtbl.create capacity;
+      a1out_capacity = max 1 (capacity / 2);
+      on_evict = ignore;
+      stats = Cache_stats.create ();
+    }
+  in
+  Policy.set_on_evict st.am (fun k ->
+      st.stats.Cache_stats.evictions <- st.stats.Cache_stats.evictions + 1;
+      st.on_evict k);
+  let mem k = Policy.mem st.am k || Hashtbl.mem st.a1in_mem k in
+  let admit_cold k =
+    if Hashtbl.mem st.a1out_mem k then begin
+      (* proven hot: straight into Am *)
+      Hashtbl.remove st.a1out_mem k;
+      Policy.admit st.am k
+    end
+    else if st.a1in_capacity = 0 then Policy.admit st.am k
+    else a1in_admit st k
+  in
+  let reference k =
+    st.stats.Cache_stats.references <- st.stats.Cache_stats.references + 1;
+    if Policy.mem st.am k then begin
+      (match Policy.reference st.am k with
+      | `Resident -> ()
+      | `Admitted | `Rejected -> assert false);
+      st.stats.Cache_stats.hits <- st.stats.Cache_stats.hits + 1;
+      `Resident
+    end
+    else if Hashtbl.mem st.a1in_mem k then begin
+      (* classic 2Q: an A1in hit does not promote *)
+      st.stats.Cache_stats.hits <- st.stats.Cache_stats.hits + 1;
+      `Resident
+    end
+    else begin
+      admit_cold k;
+      st.stats.Cache_stats.admissions <- st.stats.Cache_stats.admissions + 1;
+      `Admitted
+    end
+  in
+  let admit k = if not (mem k) then admit_cold k in
+  let remove k =
+    Policy.remove st.am k;
+    Hashtbl.remove st.a1in_mem k;
+    Hashtbl.remove st.a1out_mem k
+  in
+  let size () = Policy.size st.am + Hashtbl.length st.a1in_mem in
+  let iter f =
+    Policy.iter st.am f;
+    Hashtbl.iter (fun k () -> f k) st.a1in_mem
+  in
+  let set_on_evict f = st.on_evict <- f in
+  {
+    Policy.name = "2q-full";
+    capacity;
+    admit_on_fill = false;
+    mem;
+    reference;
+    admit;
+    remove;
+    size;
+    iter;
+    set_on_evict;
+    stats = st.stats;
+  }

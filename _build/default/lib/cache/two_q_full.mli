@@ -1,0 +1,9 @@
+(** Full 2Q [Johnson & Shasha, VLDB'94]: data-holding FIFO [A1in]
+    (25% of capacity), ghost FIFO [A1out] (50%), LRU [Am] (75%). Cold
+    keys are admitted into A1in on first reference; a ghost-staged key
+    promotes to Am; A1in hits do not promote. [admit_on_fill] is false.
+    Included alongside the paper's simplified variant for the policy
+    ablation.
+
+    @raise Invalid_argument if [capacity <= 0]. *)
+val create : capacity:int -> 'k Policy.t

@@ -1,0 +1,1 @@
+lib/exec/cursor.ml: List Option

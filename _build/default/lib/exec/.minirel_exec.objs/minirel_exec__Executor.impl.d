@@ -1,0 +1,1 @@
+lib/exec/executor.ml: Array Cursor Fmt Heap_file List Minirel_index Minirel_query Minirel_storage Option Plan Predicate Tuple Value

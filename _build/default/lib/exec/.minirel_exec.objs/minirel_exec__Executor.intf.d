@@ -1,0 +1,1 @@
+lib/exec/executor.mli: Cursor Minirel_index Minirel_storage Plan

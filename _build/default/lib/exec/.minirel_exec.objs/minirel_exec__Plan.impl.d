@@ -1,0 +1,1 @@
+lib/exec/plan.ml: Fmt List Minirel_index Minirel_query Minirel_storage Predicate Tuple

@@ -1,0 +1,1 @@
+lib/exec/plan.mli: Fmt Minirel_index Minirel_query Minirel_storage Predicate Tuple

@@ -1,0 +1,1 @@
+lib/exec/planner.ml: Array Fun Instance Interval List Minirel_index Minirel_query Minirel_storage Plan Predicate Schema Stats Template

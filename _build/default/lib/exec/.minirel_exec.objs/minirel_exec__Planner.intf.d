@@ -1,0 +1,1 @@
+lib/exec/planner.mli: Minirel_index Minirel_query Minirel_storage Plan Stats

@@ -1,0 +1,1 @@
+lib/exec/stats.ml: Array Discretize Float Fmt Hashtbl Heap_file Instance Interval List Minirel_index Minirel_query Minirel_storage Option Schema Value

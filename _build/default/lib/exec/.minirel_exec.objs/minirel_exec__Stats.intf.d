@@ -1,0 +1,1 @@
+lib/exec/stats.mli: Discretize Fmt Instance Interval Minirel_index Minirel_query Minirel_storage Value

@@ -1,0 +1,76 @@
+(* Pull-based cursors: the executor's iterator model. A cursor yields
+   [Some x] until exhausted, then [None] forever. Pull-based execution
+   is what makes "time to first result tuple" measurable. *)
+
+type 'a t = unit -> 'a option
+
+let empty : 'a t = fun () -> None
+
+let of_list xs : 'a t =
+  let rest = ref xs in
+  fun () ->
+    match !rest with
+    | [] -> None
+    | x :: tl ->
+        rest := tl;
+        Some x
+
+let map f (c : 'a t) : 'b t = fun () -> Option.map f (c ())
+
+let filter p (c : 'a t) : 'a t =
+  let rec next () =
+    match c () with
+    | None -> None
+    | Some x when p x -> Some x
+    | Some _ -> next ()
+  in
+  next
+
+(* Expand each element into a list of results, streamed in order. *)
+let concat_map_list f (c : 'a t) : 'b t =
+  let pending = ref [] in
+  let rec next () =
+    match !pending with
+    | x :: tl ->
+        pending := tl;
+        Some x
+    | [] -> (
+        match c () with
+        | None -> None
+        | Some x ->
+            pending := f x;
+            next ())
+  in
+  next
+
+let append (a : 'a t) (b : 'a t) : 'a t =
+  let first = ref true in
+  let rec next () =
+    if !first then
+      match a () with
+      | Some x -> Some x
+      | None ->
+          first := false;
+          next ()
+    else b ()
+  in
+  next
+
+let iter f (c : 'a t) =
+  let rec go () =
+    match c () with
+    | None -> ()
+    | Some x ->
+        f x;
+        go ()
+  in
+  go ()
+
+let fold f init (c : 'a t) =
+  let acc = ref init in
+  iter (fun x -> acc := f !acc x) c;
+  !acc
+
+let to_list c = List.rev (fold (fun acc x -> x :: acc) [] c)
+
+let count c = fold (fun n _ -> n + 1) 0 c

@@ -1,0 +1,19 @@
+(** Pull-based cursors: the executor's iterator model. A cursor yields
+    [Some x] until exhausted, then [None] forever. Pull execution is
+    what makes "time to first result tuple" measurable. *)
+
+type 'a t = unit -> 'a option
+
+val empty : 'a t
+val of_list : 'a list -> 'a t
+val map : ('a -> 'b) -> 'a t -> 'b t
+val filter : ('a -> bool) -> 'a t -> 'a t
+
+(** Expand each element into a list, streamed in order. *)
+val concat_map_list : ('a -> 'b list) -> 'a t -> 'b t
+
+val append : 'a t -> 'a t -> 'a t
+val iter : ('a -> unit) -> 'a t -> unit
+val fold : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+val to_list : 'a t -> 'a list
+val count : 'a t -> int

@@ -1,0 +1,202 @@
+(* Plan interpreter: compiles a [Plan.t] into a pull cursor against a
+   catalog. Heap fetches and index node visits are charged to the
+   catalog's buffer pool, so [Io_stats] diffs around a cursor drain give
+   the simulated I/O cost of the query. *)
+
+open Minirel_storage
+open Minirel_query
+module Catalog = Minirel_index.Catalog
+module Index = Minirel_index.Index
+
+let find_index catalog ~rel ~name =
+  match List.find_opt (fun ix -> Index.name ix = name) (Catalog.indexes catalog rel) with
+  | Some ix -> ix
+  | None -> invalid_arg (Fmt.str "Executor: no index %s on %s" name rel)
+
+(* Fetch the tuples for a rid list, dropping rids whose slot has been
+   emptied between index lookup and fetch (cannot happen inside one
+   query, but keeps the engine robust during maintenance replays). *)
+let fetch_all heap rids = List.filter_map (fun rid -> Heap_file.fetch heap rid) rids
+
+(* --- aggregate machinery for the Aggregate node --- *)
+
+type agg_state = {
+  spec : Plan.agg;
+  mutable cnt : int;
+  mutable sum : float;
+  mutable min_a : Value.t option;
+  mutable max_a : Value.t option;
+}
+
+let new_agg_state spec = { spec; cnt = 0; sum = 0.0; min_a = None; max_a = None }
+
+let agg_input_value spec (t : Tuple.t) =
+  match spec with
+  | Plan.Count_star -> None
+  | Plan.Sum_of i | Plan.Avg_of i | Plan.Min_of i | Plan.Max_of i -> Some t.(i)
+
+let float_of_num = function
+  | Value.Int i -> float_of_int i
+  | Value.Float f -> f
+  | Value.Null -> 0.0
+  | Value.Str _ -> invalid_arg "Executor: cannot aggregate a string attribute"
+
+let agg_step st t =
+  st.cnt <- st.cnt + 1;
+  match agg_input_value st.spec t with
+  | None -> ()
+  | Some v ->
+      st.sum <- st.sum +. float_of_num v;
+      (match st.min_a with
+      | None -> st.min_a <- Some v
+      | Some m -> if Value.compare v m < 0 then st.min_a <- Some v);
+      (match st.max_a with
+      | None -> st.max_a <- Some v
+      | Some m -> if Value.compare v m > 0 then st.max_a <- Some v)
+
+let agg_finish st =
+  match st.spec with
+  | Plan.Count_star -> Value.Int st.cnt
+  | Plan.Sum_of _ -> Value.Float st.sum
+  | Plan.Avg_of _ ->
+      if st.cnt = 0 then Value.Null else Value.Float (st.sum /. float_of_int st.cnt)
+  | Plan.Min_of _ -> Option.value ~default:Value.Null st.min_a
+  | Plan.Max_of _ -> Option.value ~default:Value.Null st.max_a
+
+let rec cursor catalog (plan : Plan.t) : Tuple.t Cursor.t =
+  match plan with
+  | Plan.Literal ts -> Cursor.of_list ts
+  | Plan.Scan { rel; pred } ->
+      let heap = Catalog.heap catalog rel in
+      (* stream page by page; page count snapshot keeps the cursor
+         insensitive to pages appended while it is drained *)
+      let n_pages = Heap_file.n_pages heap in
+      let page = ref 0 in
+      let buffered = ref [] in
+      let rec next () =
+        match !buffered with
+        | t :: tl ->
+            buffered := tl;
+            if Predicate.eval pred t then Some t else next ()
+        | [] ->
+            if !page >= n_pages then None
+            else begin
+              let p = !page in
+              incr page;
+              let acc = ref [] in
+              Heap_file.iter_page heap p (fun _rid t -> acc := t :: !acc);
+              buffered := List.rev !acc;
+              next ()
+            end
+      in
+      next
+  | Plan.Index_lookup { rel; index; keys; pred } ->
+      let heap = Catalog.heap catalog rel in
+      let ix = find_index catalog ~rel ~name:index in
+      Cursor.of_list keys
+      |> Cursor.concat_map_list (fun key -> fetch_all heap (Index.find ix key))
+      |> Cursor.filter (Predicate.eval pred)
+  | Plan.Index_range { rel; index; ranges; pred } ->
+      let heap = Catalog.heap catalog rel in
+      let ix = find_index catalog ~rel ~name:index in
+      Cursor.of_list ranges
+      |> Cursor.concat_map_list (fun (lo, hi) ->
+             let rids = ref [] in
+             Index.range ix ~lo ~hi (fun _key krids -> rids := krids :: !rids);
+             fetch_all heap (List.concat (List.rev !rids)))
+      |> Cursor.filter (Predicate.eval pred)
+  | Plan.Inlj { outer; rel; index; outer_key; pred } ->
+      let heap = Catalog.heap catalog rel in
+      let ix = find_index catalog ~rel ~name:index in
+      cursor catalog outer
+      |> Cursor.concat_map_list (fun outer_t ->
+             let key = Tuple.project outer_t outer_key in
+             fetch_all heap (Index.find ix key)
+             |> List.filter (Predicate.eval pred)
+             |> List.map (fun inner_t -> Tuple.concat outer_t inner_t))
+  | Plan.Nlj { outer; rel; eq; pred } ->
+      let heap = Catalog.heap catalog rel in
+      cursor catalog outer
+      |> Cursor.concat_map_list (fun outer_t ->
+             let matches = ref [] in
+             Heap_file.iter heap (fun _rid inner_t ->
+                 if
+                   Predicate.eval pred inner_t
+                   && List.for_all
+                        (fun (op, ip) -> Value.equal outer_t.(op) inner_t.(ip))
+                        eq
+                 then matches := Tuple.concat outer_t inner_t :: !matches);
+             List.rev !matches)
+  | Plan.Filter (pred, inner) -> Cursor.filter (Predicate.eval pred) (cursor catalog inner)
+  | Plan.Project (positions, inner) ->
+      Cursor.map (fun t -> Tuple.project t positions) (cursor catalog inner)
+  | Plan.Sort { keys; desc; input } ->
+      (* blocking: drain, sort, stream. Materialisation is delayed until
+         the first pull so upstream I/O is charged when the sort runs. *)
+      let sorted = ref None in
+      let cmp a b =
+        let c = Tuple.compare (Tuple.project a keys) (Tuple.project b keys) in
+        if desc then -c else c
+      in
+      let inner = cursor catalog input in
+      fun () ->
+        let cur =
+          match !sorted with
+          | Some cur -> cur
+          | None ->
+              let cur = Cursor.of_list (List.stable_sort cmp (Cursor.to_list inner)) in
+              sorted := Some cur;
+              cur
+        in
+        cur ()
+  | Plan.Limit (n, input) ->
+      let remaining = ref n in
+      let inner = cursor catalog input in
+      fun () ->
+        if !remaining <= 0 then None
+        else begin
+          decr remaining;
+          inner ()
+        end
+  | Plan.Aggregate { group_by; aggs; input } ->
+      let inner = cursor catalog input in
+      let materialized = ref None in
+      fun () ->
+        let cur =
+          match !materialized with
+          | Some cur -> cur
+          | None ->
+              let groups : (Tuple.t * agg_state list) Tuple.Table.t =
+                Tuple.Table.create 64
+              in
+              let order = ref [] in
+              Cursor.iter
+                (fun t ->
+                  let key = Tuple.project t group_by in
+                  let _, states =
+                    match Tuple.Table.find_opt groups key with
+                    | Some entry -> entry
+                    | None ->
+                        let entry = (key, List.map new_agg_state aggs) in
+                        Tuple.Table.replace groups key entry;
+                        order := key :: !order;
+                        entry
+                  in
+                  List.iter (fun st -> agg_step st t) states)
+                inner;
+              let rows =
+                List.rev_map
+                  (fun key ->
+                    let _, states = Option.get (Tuple.Table.find_opt groups key) in
+                    Tuple.concat key (Array.of_list (List.map agg_finish states)))
+                  !order
+              in
+              let cur = Cursor.of_list rows in
+              materialized := Some cur;
+              cur
+        in
+        cur ()
+
+let run_to_list catalog plan = Cursor.to_list (cursor catalog plan)
+
+let count catalog plan = Cursor.count (cursor catalog plan)

@@ -1,0 +1,71 @@
+(* Physical query plans. Leaf accesses filter with a relation-local
+   predicate; join nodes concatenate outer ++ inner tuples, so positions
+   in downstream nodes refer to the concatenated layout. *)
+
+open Minirel_storage
+open Minirel_query
+
+type range = Minirel_index.Btree.bound * Minirel_index.Btree.bound
+
+type t =
+  | Literal of Tuple.t list  (* in-memory delta tuples *)
+  | Scan of { rel : string; pred : Predicate.t }
+  | Index_lookup of { rel : string; index : string; keys : Tuple.t list; pred : Predicate.t }
+  | Index_range of { rel : string; index : string; ranges : range list; pred : Predicate.t }
+  | Inlj of {
+      outer : t;
+      rel : string;  (* inner relation *)
+      index : string;  (* index on the inner join attribute(s) *)
+      outer_key : int array;  (* positions of the join key in the outer tuple *)
+      pred : Predicate.t;  (* inner-relation-local filter *)
+    }
+  | Nlj of {
+      outer : t;
+      rel : string;
+      eq : (int * int) list;  (* (outer position, inner position) equalities *)
+      pred : Predicate.t;
+    }
+  | Filter of Predicate.t * t
+  | Project of int array * t
+  | Sort of { keys : int array; desc : bool; input : t }  (* blocking *)
+  | Limit of int * t
+  | Aggregate of {
+      group_by : int array;  (* positions forming the group key *)
+      aggs : agg list;  (* one output column per aggregate, after the key *)
+      input : t;
+    }  (* blocking; output = group key ++ aggregate values *)
+
+and agg = Count_star | Sum_of of int | Avg_of of int | Min_of of int | Max_of of int
+
+let pp_agg ppf = function
+  | Count_star -> Fmt.string ppf "count(*)"
+  | Sum_of i -> Fmt.pf ppf "sum(#%d)" i
+  | Avg_of i -> Fmt.pf ppf "avg(#%d)" i
+  | Min_of i -> Fmt.pf ppf "min(#%d)" i
+  | Max_of i -> Fmt.pf ppf "max(#%d)" i
+
+let rec pp ppf = function
+  | Literal ts -> Fmt.pf ppf "literal(%d)" (List.length ts)
+  | Scan { rel; pred } -> Fmt.pf ppf "scan(%s | %a)" rel Predicate.pp pred
+  | Index_lookup { rel; index; keys; pred } ->
+      Fmt.pf ppf "ixlookup(%s.%s, %d keys | %a)" rel index (List.length keys) Predicate.pp pred
+  | Index_range { rel; index; ranges; pred } ->
+      Fmt.pf ppf "ixrange(%s.%s, %d ranges | %a)" rel index (List.length ranges) Predicate.pp
+        pred
+  | Inlj { outer; rel; index; _ } -> Fmt.pf ppf "inlj(%a ⋈ %s.%s)" pp outer rel index
+  | Nlj { outer; rel; _ } -> Fmt.pf ppf "nlj(%a ⋈ %s)" pp outer rel
+  | Filter (p, t) -> Fmt.pf ppf "filter(%a | %a)" pp t Predicate.pp p
+  | Project (ps, t) -> Fmt.pf ppf "project([%a] | %a)" Fmt.(array ~sep:semi int) ps pp t
+  | Sort { keys; desc; input } ->
+      Fmt.pf ppf "sort([%a]%s | %a)"
+        Fmt.(array ~sep:semi int)
+        keys
+        (if desc then " desc" else "")
+        pp input
+  | Limit (n, t) -> Fmt.pf ppf "limit(%d | %a)" n pp t
+  | Aggregate { group_by; aggs; input } ->
+      Fmt.pf ppf "aggregate([%a] | %a | %a)"
+        Fmt.(array ~sep:semi int)
+        group_by
+        Fmt.(list ~sep:comma pp_agg)
+        aggs pp input

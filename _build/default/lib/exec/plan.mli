@@ -1,0 +1,41 @@
+(** Physical query plans. Leaf accesses filter with a relation-local
+    predicate; join nodes concatenate outer ++ inner tuples, so
+    positions in downstream nodes refer to the concatenated layout. *)
+
+open Minirel_storage
+open Minirel_query
+
+type range = Minirel_index.Btree.bound * Minirel_index.Btree.bound
+
+type t =
+  | Literal of Tuple.t list  (** in-memory delta tuples *)
+  | Scan of { rel : string; pred : Predicate.t }
+  | Index_lookup of { rel : string; index : string; keys : Tuple.t list; pred : Predicate.t }
+  | Index_range of { rel : string; index : string; ranges : range list; pred : Predicate.t }
+  | Inlj of {
+      outer : t;
+      rel : string;  (** inner relation *)
+      index : string;  (** index on the inner join attribute(s) *)
+      outer_key : int array;  (** join-key positions in the outer tuple *)
+      pred : Predicate.t;  (** inner-relation-local filter *)
+    }
+  | Nlj of {
+      outer : t;
+      rel : string;
+      eq : (int * int) list;  (** (outer position, inner position) equalities *)
+      pred : Predicate.t;
+    }
+  | Filter of Predicate.t * t
+  | Project of int array * t
+  | Sort of { keys : int array; desc : bool; input : t }  (** blocking *)
+  | Limit of int * t
+  | Aggregate of {
+      group_by : int array;  (** positions forming the group key *)
+      aggs : agg list;  (** one output column per aggregate, after the key *)
+      input : t;
+    }  (** blocking; output = group key ++ aggregate values *)
+
+and agg = Count_star | Sum_of of int | Avg_of of int | Min_of of int | Max_of of int
+
+val pp_agg : agg Fmt.t
+val pp : t Fmt.t

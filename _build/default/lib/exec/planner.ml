@@ -1,0 +1,292 @@
+(* Plan construction for template queries.
+
+   Queries drive from an indexed selection condition (the paper's plans:
+   "fetch tuples from R using the index on R.f; for each retrieved tuple
+   use the index on S.d to search S"), then chain index-nested-loop
+   joins across the template's join graph, applying every remaining
+   selection at its relation's access point, and finally project the
+   expanded select list Ls'.
+
+   The same machinery plans delta joins for view maintenance: the
+   changed relation's delta tuples replace its access path. *)
+
+open Minirel_storage
+open Minirel_query
+module Catalog = Minirel_index.Catalog
+module Index = Minirel_index.Index
+module Btree = Minirel_index.Btree
+
+(* A layout tracks which template relations compose the current joined
+   tuple, in visit order. *)
+type layout = { order : int list; compiled : Template.compiled }
+
+let layout_offset layout rel =
+  let rec go acc = function
+    | [] -> invalid_arg "Planner: relation not in layout"
+    | r :: rest ->
+        if r = rel then acc
+        else go (acc + Schema.arity layout.compiled.Template.schemas.(r)) rest
+  in
+  go 0 layout.order
+
+let layout_pos layout { Template.rel; attr } =
+  layout_offset layout rel + Schema.pos layout.compiled.Template.schemas.(rel) attr
+
+let interval_to_range (iv : Interval.t) : Plan.range =
+  let lo =
+    match iv.Interval.lo with
+    | Interval.Neg_inf -> Btree.Unbounded
+    | Interval.L_incl v -> Btree.Inclusive [| v |]
+    | Interval.L_excl v -> Btree.Exclusive [| v |]
+  in
+  let hi =
+    match iv.Interval.hi with
+    | Interval.Pos_inf -> Btree.Unbounded
+    | Interval.U_incl v -> Btree.Inclusive [| v |]
+    | Interval.U_excl v -> Btree.Exclusive [| v |]
+  in
+  (lo, hi)
+
+(* Relation-local predicate: fixed (parameter-free) filters plus every
+   selection condition on this relation, minus the skipped one. *)
+let local_pred compiled params ?(skip = -1) rel =
+  let spec = compiled.Template.spec in
+  let fixed =
+    List.filter_map (fun (r, p) -> if r = rel then Some p else None) spec.Template.fixed
+  in
+  let sels =
+    Array.to_list spec.Template.selections
+    |> List.mapi (fun i s -> (i, s))
+    |> List.filter_map (fun (i, s) ->
+           let a = Template.selection_attr s in
+           if a.Template.rel = rel && i <> skip then
+             let pos = Schema.pos compiled.Template.schemas.(rel) a.Template.attr in
+             Some (Instance.condition_pred pos params.(i))
+           else None)
+  in
+  Predicate.conj (fixed @ sels)
+
+let index_on_attr catalog compiled (a : Template.attr_ref) =
+  let rel_name = compiled.Template.spec.Template.relations.(a.Template.rel) in
+  Catalog.index_on catalog ~rel:rel_name ~attrs:[ a.Template.attr ]
+
+(* Pick the driving selection among the Ci whose attribute carries a
+   usable index (interval form needs a B-tree): without statistics, the
+   first such Ci; with statistics, the one expected to fetch the fewest
+   base rows. *)
+let choose_driver ?stats catalog compiled (params : Instance.disjuncts array) =
+  let sels = compiled.Template.spec.Template.selections in
+  let usable i =
+    let a = Template.selection_attr sels.(i) in
+    match index_on_attr catalog compiled a with
+    | Some ix -> (
+        match (params.(i), Index.kind ix) with
+        | Instance.Dvalues _, _ -> Some (i, a, ix)
+        | Instance.Dintervals _, Index.Btree_kind -> Some (i, a, ix)
+        | Instance.Dintervals _, Index.Hash_kind -> None)
+    | None -> None
+  in
+  let candidates = List.filter_map usable (List.init (Array.length sels) Fun.id) in
+  match (candidates, stats) with
+  | [], _ -> None
+  | first :: _, None -> Some first
+  | _, Some st ->
+      let cost (i, (a : Template.attr_ref), _) =
+        Stats.condition_cardinality st
+          ~rel:compiled.Template.spec.Template.relations.(a.Template.rel)
+          ~attr:a.Template.attr params.(i)
+      in
+      List.fold_left
+        (fun best c ->
+          match best with
+          | None -> Some c
+          | Some b -> if cost c < cost b then Some c else best)
+        None candidates
+
+(* Expected tuples of [rel] matching one join key: n_tuples / n_distinct
+   of the join attribute. Used to greedily keep intermediate results
+   small when statistics are available. *)
+let join_fanout stats compiled (to_ref : Template.attr_ref) =
+  let rel_name = compiled.Template.spec.Template.relations.(to_ref.Template.rel) in
+  match Stats.attr stats ~rel:rel_name ~attr:to_ref.Template.attr with
+  | Some a when a.Stats.n_distinct > 0 ->
+      float_of_int a.Stats.n_values /. float_of_int a.Stats.n_distinct
+  | Some _ | None -> 1e9
+
+(* Chain the not-yet-visited relations onto [base] along join edges.
+   Returns the final plan and layout. Without statistics, edges are
+   taken in template order; with statistics, the edge with the smallest
+   expected join fanout goes first. *)
+let join_rest ?stats catalog compiled params base start_rel =
+  let spec = compiled.Template.spec in
+  let n = Array.length spec.Template.relations in
+  let visited = Array.make n false in
+  visited.(start_rel) <- true;
+  let layout = ref { order = [ start_rel ]; compiled } in
+  let plan = ref base in
+  let remaining = ref (n - 1) in
+  while !remaining > 0 do
+    (* join edges from the visited set to a new relation *)
+    let candidates =
+      List.filter_map
+        (fun (a, b) ->
+          if visited.(a.Template.rel) && not (visited.(b.Template.rel)) then Some (a, b)
+          else if visited.(b.Template.rel) && not (visited.(a.Template.rel)) then
+            Some (b, a)
+          else None)
+        spec.Template.joins
+    in
+    let edge =
+      match (candidates, stats) with
+      | [], _ -> None
+      | first :: _, None -> Some first
+      | _, Some st ->
+          List.fold_left
+            (fun best ((_, to_ref) as c) ->
+              match best with
+              | None -> Some c
+              | Some (_, best_to) ->
+                  if join_fanout st compiled to_ref < join_fanout st compiled best_to then
+                    Some c
+                  else best)
+            None candidates
+    in
+    match edge with
+    | Some (from_ref, to_ref) ->
+        let inner_rel = to_ref.Template.rel in
+        let inner_name = spec.Template.relations.(inner_rel) in
+        let pred = local_pred compiled params inner_rel in
+        let outer_pos = layout_pos !layout from_ref in
+        (plan :=
+           match index_on_attr catalog compiled to_ref with
+           | Some ix ->
+               Plan.Inlj
+                 {
+                   outer = !plan;
+                   rel = inner_name;
+                   index = Index.name ix;
+                   outer_key = [| outer_pos |];
+                   pred;
+                 }
+           | None ->
+               let inner_pos =
+                 Schema.pos compiled.Template.schemas.(inner_rel) to_ref.Template.attr
+               in
+               Plan.Nlj
+                 { outer = !plan; rel = inner_name; eq = [ (outer_pos, inner_pos) ]; pred });
+        visited.(inner_rel) <- true;
+        layout := { !layout with order = !layout.order @ [ inner_rel ] };
+        decr remaining
+    | None ->
+        (* disconnected join graph: cross product with the first
+           unvisited relation (legal but never produced by our
+           workloads) *)
+        let inner_rel =
+          let rec first i = if visited.(i) then first (i + 1) else i in
+          first 0
+        in
+        let inner_name = spec.Template.relations.(inner_rel) in
+        plan :=
+          Plan.Nlj
+            {
+              outer = !plan;
+              rel = inner_name;
+              eq = [];
+              pred = local_pred compiled params inner_rel;
+            };
+        visited.(inner_rel) <- true;
+        layout := { !layout with order = !layout.order @ [ inner_rel ] };
+        decr remaining
+  done;
+  (!plan, !layout)
+
+(* Final projection: Ls' positions within the produced layout. *)
+let project_expanded compiled layout plan =
+  let positions =
+    Array.of_list
+      (List.map (fun a -> layout_pos layout a) compiled.Template.expanded_select)
+  in
+  Plan.Project (positions, plan)
+
+(* Plan a template query; the cursor yields Ls' result tuples. *)
+let plan_query ?stats catalog instance =
+  let compiled = Instance.compiled instance in
+  let params = Instance.params instance in
+  let spec = compiled.Template.spec in
+  let base, start_rel =
+    match choose_driver ?stats catalog compiled params with
+    | Some (i, a, ix) -> (
+        let rel = a.Template.rel in
+        let rel_name = spec.Template.relations.(rel) in
+        let pred = local_pred compiled params ~skip:i rel in
+        match params.(i) with
+        | Instance.Dvalues vs ->
+            ( Plan.Index_lookup
+                {
+                  rel = rel_name;
+                  index = Index.name ix;
+                  keys = List.map (fun v -> [| v |]) vs;
+                  pred;
+                },
+              rel )
+        | Instance.Dintervals ivs ->
+            ( Plan.Index_range
+                {
+                  rel = rel_name;
+                  index = Index.name ix;
+                  ranges = List.map interval_to_range ivs;
+                  pred;
+                },
+              rel ))
+    | None ->
+        (* no usable index: scan the first selection's relation *)
+        let rel = (Template.selection_attr spec.Template.selections.(0)).Template.rel in
+        (Plan.Scan { rel = spec.Template.relations.(rel); pred = local_pred compiled params rel }, rel)
+  in
+  let plan, layout = join_rest ?stats catalog compiled params base start_rel in
+  project_expanded compiled layout plan
+
+(* Plan the delta join for maintenance: join the changed relation's
+   delta tuples with the other base relations; Cselect is NOT applied
+   (maintenance concerns the containing view; Section 3.4). The cursor
+   yields Ls' tuples. *)
+let plan_delta_join catalog compiled ~delta_rel deltas =
+  let fixed_only rel =
+    Predicate.conj
+      (List.filter_map
+         (fun (r, p) -> if r = rel then Some p else None)
+         compiled.Template.spec.Template.fixed)
+  in
+  let base =
+    Plan.Literal (List.filter (Predicate.eval (fixed_only delta_rel)) deltas)
+  in
+  (* join with fixed predicates only: Cselect has no parameters here, so
+     hand join_rest a spec stripped of its selections *)
+  let stripped =
+    { compiled with Template.spec = { compiled.Template.spec with Template.selections = [||] } }
+  in
+  let plan, layout = join_rest catalog stripped [||] base delta_rel in
+  let layout = { layout with compiled } in
+  project_expanded compiled layout plan
+
+(* Full join of the template (the containing MV's contents): drive from
+   relation 0 with a scan. *)
+let plan_full_join catalog compiled =
+  let spec = compiled.Template.spec in
+  let empty_params = Array.make (Array.length spec.Template.selections) (Instance.Dvalues []) in
+  let base =
+    Plan.Scan
+      {
+        rel = spec.Template.relations.(0);
+        pred =
+          Predicate.conj
+            (List.filter_map (fun (r, p) -> if r = 0 then Some p else None) spec.Template.fixed);
+      }
+  in
+  let plan, layout =
+    join_rest catalog
+      { compiled with Template.spec = { spec with Template.selections = [||] } }
+      empty_params base 0
+  in
+  let layout = { layout with compiled } in
+  project_expanded compiled layout plan

@@ -1,0 +1,29 @@
+(** Plan construction for template queries.
+
+    Queries drive from an indexed selection condition (the paper's
+    plans: fetch from R via the index on R.f, probe S via the index on
+    S.d per outer tuple), chain index-nested-loop joins across the
+    template's join graph — falling back to naive nested loops where an
+    index is missing — apply every remaining selection at its
+    relation's access point, and project the expanded select list Ls'.
+
+    The same machinery plans maintenance delta joins and the containing
+    view's full join. *)
+
+(** Plan a template query; the cursor yields Ls' result tuples. With
+    [stats], the driving selection is the indexed condition expected to
+    fetch the fewest base rows; without, the first indexed one. *)
+val plan_query : ?stats:Stats.t -> Minirel_index.Catalog.t -> Minirel_query.Instance.t -> Plan.t
+
+(** Delta join for view maintenance: join the changed relation's
+    [deltas] (passed literally) with the other base relations; Cselect
+    is not applied (Section 3.4). Yields Ls' tuples. *)
+val plan_delta_join :
+  Minirel_index.Catalog.t ->
+  Minirel_query.Template.compiled ->
+  delta_rel:int ->
+  Minirel_storage.Tuple.t list ->
+  Plan.t
+
+(** Full join of the template — the containing MV's contents. *)
+val plan_full_join : Minirel_index.Catalog.t -> Minirel_query.Template.compiled -> Plan.t

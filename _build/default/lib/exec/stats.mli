@@ -1,0 +1,46 @@
+(** Per-attribute statistics: distinct-value counts and equi-depth
+    histograms, collected by scanning relations (the paper runs the
+    PostgreSQL statistics collector before its experiments). The
+    planner uses them to drive each query from its most selective
+    indexed condition. *)
+
+open Minirel_storage
+open Minirel_query
+
+type attr_stats = {
+  n_values : int;  (** non-null values seen *)
+  n_distinct : int;
+  min_v : Value.t option;
+  max_v : Value.t option;
+  histogram : Discretize.t;  (** equi-depth bucket boundaries *)
+  bucket_counts : int array;  (** values per histogram bucket *)
+}
+
+type rel_stats = { rel : string; n_tuples : int; attrs : (string * attr_stats) list }
+
+type t
+
+val histogram_buckets : int
+
+(** Scan one relation and build statistics for all its attributes.
+    @raise Not_found on unknown relations. *)
+val analyze_relation : Minirel_index.Catalog.t -> string -> rel_stats
+
+(** Analyze every relation in the catalog. *)
+val analyze : Minirel_index.Catalog.t -> t
+
+val relation : t -> string -> rel_stats option
+val attr : t -> rel:string -> attr:string -> attr_stats option
+val n_tuples : t -> string -> int option
+
+(** Estimated fraction of rows with attribute = v (1 when the relation
+    or attribute is unknown). *)
+val eq_selectivity : t -> rel:string -> attr:string -> Value.t -> float
+
+(** Estimated fraction of rows with the attribute inside the interval. *)
+val range_selectivity : t -> rel:string -> attr:string -> Interval.t -> float
+
+(** Estimated rows produced by one selection condition of a query. *)
+val condition_cardinality : t -> rel:string -> attr:string -> Instance.disjuncts -> float
+
+val pp_relation : rel_stats Fmt.t

@@ -1,0 +1,1 @@
+lib/index/btree.ml: Array Fmt Int List Minirel_storage Option

@@ -1,0 +1,1 @@
+lib/index/catalog.ml: Array Btree Fmt Hashtbl Index List Minirel_storage

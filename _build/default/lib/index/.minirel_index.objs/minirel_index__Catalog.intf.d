@@ -1,0 +1,1 @@
+lib/index/catalog.mli: Index Minirel_storage

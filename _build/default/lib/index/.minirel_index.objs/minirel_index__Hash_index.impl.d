@@ -1,0 +1,1 @@
+lib/index/hash_index.ml: List Minirel_storage Option

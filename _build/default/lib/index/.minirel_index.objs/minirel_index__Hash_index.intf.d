@@ -1,0 +1,1 @@
+lib/index/hash_index.mli: Minirel_storage

@@ -1,0 +1,1 @@
+lib/index/index.ml: Btree Hash_index List Minirel_storage

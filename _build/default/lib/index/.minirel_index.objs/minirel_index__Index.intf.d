@@ -1,0 +1,1 @@
+lib/index/index.mli: Btree Minirel_storage

@@ -1,0 +1,1 @@
+lib/index/snapshot.ml: Array Catalog Fmt Fun Heap_file Index List Minirel_storage Printf Scanf Schema String Value

@@ -1,0 +1,1 @@
+lib/index/snapshot.mli: Catalog Minirel_storage

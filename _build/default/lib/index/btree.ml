@@ -1,0 +1,603 @@
+(* A B+tree over composite keys ([Tuple.t], compared lexicographically)
+   mapping each key to the multiset of RIDs holding it.
+
+   Structure invariants (checked by [validate], exercised by qcheck):
+   - every non-root node holds between [b] and [2b] keys (leaves) or
+     between [b+1] and [2b+1] children (inner nodes);
+   - all leaves are at the same depth and chained left-to-right;
+   - inner separator keys strictly increase and bound their subtrees.
+
+   Every node carries an id; [set_visit_hook] lets the executor charge a
+   simulated page access per node touched on a root-to-leaf descent and
+   per leaf visited by a range scan. *)
+
+type key = Minirel_storage.Tuple.t
+
+let key_compare = Minirel_storage.Tuple.compare
+
+type node = Leaf of leaf | Inner of inner
+
+and leaf = {
+  mutable keys : key array;
+  mutable rids : Minirel_storage.Rid.t list array;
+  mutable nk : int;
+  mutable next : leaf option;
+  leaf_id : int;
+}
+
+and inner = {
+  mutable seps : key array;  (* nk separators *)
+  mutable children : node array;  (* nk + 1 children *)
+  mutable nkeys : int;
+  inner_id : int;
+}
+
+type t = {
+  b : int;  (* minimum keys per non-root leaf; capacity is 2b *)
+  mutable root : node;
+  mutable n_keys : int;  (* distinct keys *)
+  mutable n_entries : int;  (* total rids *)
+  mutable next_id : int;
+  mutable visit : int -> unit;
+  mutable height : int;
+}
+
+let default_b = 16
+
+let node_id = function Leaf l -> l.leaf_id | Inner n -> n.inner_id
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let dummy_key : key = [||]
+
+(* Placeholder for unused child slots; never read. *)
+let dummy_leaf : leaf =
+  { keys = [||]; rids = [||]; nk = 0; next = None; leaf_id = -1 }
+
+let new_leaf t =
+  {
+    keys = Array.make ((2 * t.b) + 1) dummy_key;
+    rids = Array.make ((2 * t.b) + 1) [];
+    nk = 0;
+    next = None;
+    leaf_id = fresh_id t;
+  }
+
+let new_inner t =
+  {
+    seps = Array.make ((2 * t.b) + 1) dummy_key;
+    children = Array.make ((2 * t.b) + 2) (Leaf dummy_leaf);
+    nkeys = 0;
+    inner_id = fresh_id t;
+  }
+
+let create ?(b = default_b) () =
+  if b < 2 then invalid_arg "Btree.create: b must be >= 2";
+  let t =
+    {
+      b;
+      root = Leaf { keys = [||]; rids = [||]; nk = 0; next = None; leaf_id = 0 };
+      n_keys = 0;
+      n_entries = 0;
+      next_id = 0;
+      visit = ignore;
+      height = 1;
+    }
+  in
+  t.root <- Leaf (new_leaf t);
+  t
+
+let set_visit_hook t f = t.visit <- f
+let n_keys t = t.n_keys
+let n_entries t = t.n_entries
+let height t = t.height
+
+(* Number of allocated node ids; an over-approximation of live nodes,
+   good enough for sizing a simulated index file. *)
+let n_node_ids t = t.next_id
+
+(* Index of the first key in [keys[0..nk)] that is >= [k], or [nk]. *)
+let lower_bound keys nk k =
+  let lo = ref 0 and hi = ref nk in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if key_compare keys.(mid) k < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Child to descend into for key [k]: first separator > k decides. *)
+let child_index inner k =
+  let lo = ref 0 and hi = ref inner.nkeys in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if key_compare inner.seps.(mid) k <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let rec descend t node k =
+  t.visit (node_id node);
+  match node with
+  | Leaf l -> l
+  | Inner n -> descend t n.children.(child_index n k) k
+
+let find t k =
+  let l = descend t t.root k in
+  let i = lower_bound l.keys l.nk k in
+  if i < l.nk && key_compare l.keys.(i) k = 0 then l.rids.(i) else []
+
+let mem t k = find t k <> []
+
+(* --- insertion --- *)
+
+type split = (key * node) option  (* separator, new right sibling *)
+
+let leaf_insert_at l i k rid =
+  for j = l.nk downto i + 1 do
+    l.keys.(j) <- l.keys.(j - 1);
+    l.rids.(j) <- l.rids.(j - 1)
+  done;
+  l.keys.(i) <- k;
+  l.rids.(i) <- [ rid ];
+  l.nk <- l.nk + 1
+
+let split_leaf t l =
+  let right = new_leaf t in
+  let half = l.nk / 2 in
+  let moved = l.nk - half in
+  Array.blit l.keys half right.keys 0 moved;
+  Array.blit l.rids half right.rids 0 moved;
+  (* clear moved slots so stale keys cannot alias live data *)
+  Array.fill l.keys half moved dummy_key;
+  Array.fill l.rids half moved [];
+  right.nk <- moved;
+  l.nk <- half;
+  right.next <- l.next;
+  l.next <- Some right;
+  (right.keys.(0), Leaf right)
+
+let inner_insert_at n i sep child =
+  for j = n.nkeys downto i + 1 do
+    n.seps.(j) <- n.seps.(j - 1)
+  done;
+  for j = n.nkeys + 1 downto i + 2 do
+    n.children.(j) <- n.children.(j - 1)
+  done;
+  n.seps.(i) <- sep;
+  n.children.(i + 1) <- child;
+  n.nkeys <- n.nkeys + 1
+
+let split_inner t n =
+  let right = new_inner t in
+  let mid = n.nkeys / 2 in
+  let sep = n.seps.(mid) in
+  let moved = n.nkeys - mid - 1 in
+  Array.blit n.seps (mid + 1) right.seps 0 moved;
+  Array.blit n.children (mid + 1) right.children 0 (moved + 1);
+  right.nkeys <- moved;
+  Array.fill n.seps mid (n.nkeys - mid) dummy_key;
+  n.nkeys <- mid;
+  (sep, Inner right)
+
+let rec insert_node t node k rid : split =
+  match node with
+  | Leaf l ->
+      let i = lower_bound l.keys l.nk k in
+      if i < l.nk && key_compare l.keys.(i) k = 0 then begin
+        l.rids.(i) <- rid :: l.rids.(i);
+        None
+      end
+      else begin
+        leaf_insert_at l i k rid;
+        t.n_keys <- t.n_keys + 1;
+        if l.nk > 2 * t.b then Some (split_leaf t l) else None
+      end
+  | Inner n -> (
+      let ci = child_index n k in
+      match insert_node t n.children.(ci) k rid with
+      | None -> None
+      | Some (sep, right) ->
+          inner_insert_at n ci sep right;
+          if n.nkeys > 2 * t.b then Some (split_inner t n) else None)
+
+let insert t k rid =
+  t.n_entries <- t.n_entries + 1;
+  match insert_node t t.root k rid with
+  | None -> ()
+  | Some (sep, right) ->
+      let root = new_inner t in
+      root.seps.(0) <- sep;
+      root.children.(0) <- t.root;
+      root.children.(1) <- right;
+      root.nkeys <- 1;
+      t.root <- Inner root;
+      t.height <- t.height + 1
+
+(* --- deletion --- *)
+
+let leaf_remove_at l i =
+  for j = i to l.nk - 2 do
+    l.keys.(j) <- l.keys.(j + 1);
+    l.rids.(j) <- l.rids.(j + 1)
+  done;
+  l.keys.(l.nk - 1) <- dummy_key;
+  l.rids.(l.nk - 1) <- [];
+  l.nk <- l.nk - 1
+
+let inner_remove_at n i =
+  (* removes separator i and child i+1 *)
+  for j = i to n.nkeys - 2 do
+    n.seps.(j) <- n.seps.(j + 1)
+  done;
+  for j = i + 1 to n.nkeys - 1 do
+    n.children.(j) <- n.children.(j + 1)
+  done;
+  n.seps.(n.nkeys - 1) <- dummy_key;
+  n.nkeys <- n.nkeys - 1
+
+let node_underflow t = function
+  | Leaf l -> l.nk < t.b
+  | Inner n -> n.nkeys < t.b
+
+(* Rebalance child [ci] of [parent], which just underflowed. *)
+let fix_child t parent ci =
+  let left_sib = if ci > 0 then Some (ci - 1) else None in
+  let right_sib = if ci < parent.nkeys then Some (ci + 1) else None in
+  let child = parent.children.(ci) in
+  match (child, left_sib, right_sib) with
+  | Leaf l, Some li, _ when (match parent.children.(li) with
+                             | Leaf s -> s.nk > t.b
+                             | Inner _ -> false) -> (
+      (* borrow rightmost entry from the left leaf sibling *)
+      match parent.children.(li) with
+      | Leaf s ->
+          leaf_insert_at l 0 s.keys.(s.nk - 1) (Minirel_storage.Rid.make ~page:0 ~slot:0);
+          l.rids.(0) <- s.rids.(s.nk - 1);
+          leaf_remove_at s (s.nk - 1);
+          parent.seps.(li) <- l.keys.(0)
+      | Inner _ -> assert false)
+  | Leaf l, _, Some ri when (match parent.children.(ri) with
+                             | Leaf s -> s.nk > t.b
+                             | Inner _ -> false) -> (
+      match parent.children.(ri) with
+      | Leaf s ->
+          leaf_insert_at l l.nk s.keys.(0) (Minirel_storage.Rid.make ~page:0 ~slot:0);
+          l.rids.(l.nk - 1) <- s.rids.(0);
+          leaf_remove_at s 0;
+          parent.seps.(ci) <- s.keys.(0)
+      | Inner _ -> assert false)
+  | Leaf l, Some li, _ -> (
+      (* merge into the left leaf sibling *)
+      match parent.children.(li) with
+      | Leaf s ->
+          Array.blit l.keys 0 s.keys s.nk l.nk;
+          Array.blit l.rids 0 s.rids s.nk l.nk;
+          s.nk <- s.nk + l.nk;
+          s.next <- l.next;
+          inner_remove_at parent li
+      | Inner _ -> assert false)
+  | Leaf l, None, Some ri -> (
+      (* merge the right leaf sibling into this leaf *)
+      match parent.children.(ri) with
+      | Leaf s ->
+          Array.blit s.keys 0 l.keys l.nk s.nk;
+          Array.blit s.rids 0 l.rids l.nk s.nk;
+          l.nk <- l.nk + s.nk;
+          l.next <- s.next;
+          inner_remove_at parent ci
+      | Inner _ -> assert false)
+  | Leaf _, None, None -> ()  (* root leaf; nothing to do *)
+  | Inner n, Some li, _ when (match parent.children.(li) with
+                              | Inner s -> s.nkeys > t.b
+                              | Leaf _ -> false) -> (
+      match parent.children.(li) with
+      | Inner s ->
+          (* rotate right through the parent separator *)
+          for j = n.nkeys downto 1 do
+            n.seps.(j) <- n.seps.(j - 1)
+          done;
+          for j = n.nkeys + 1 downto 1 do
+            n.children.(j) <- n.children.(j - 1)
+          done;
+          n.seps.(0) <- parent.seps.(li);
+          n.children.(0) <- s.children.(s.nkeys);
+          n.nkeys <- n.nkeys + 1;
+          parent.seps.(li) <- s.seps.(s.nkeys - 1);
+          s.seps.(s.nkeys - 1) <- dummy_key;
+          s.nkeys <- s.nkeys - 1
+      | Leaf _ -> assert false)
+  | Inner n, _, Some ri when (match parent.children.(ri) with
+                              | Inner s -> s.nkeys > t.b
+                              | Leaf _ -> false) -> (
+      match parent.children.(ri) with
+      | Inner s ->
+          (* rotate left through the parent separator *)
+          n.seps.(n.nkeys) <- parent.seps.(ci);
+          n.children.(n.nkeys + 1) <- s.children.(0);
+          n.nkeys <- n.nkeys + 1;
+          parent.seps.(ci) <- s.seps.(0);
+          for j = 0 to s.nkeys - 2 do
+            s.seps.(j) <- s.seps.(j + 1)
+          done;
+          for j = 0 to s.nkeys - 1 do
+            s.children.(j) <- s.children.(j + 1)
+          done;
+          s.seps.(s.nkeys - 1) <- dummy_key;
+          s.nkeys <- s.nkeys - 1
+      | Leaf _ -> assert false)
+  | Inner n, Some li, _ -> (
+      (* merge into left inner sibling, pulling the separator down *)
+      match parent.children.(li) with
+      | Inner s ->
+          s.seps.(s.nkeys) <- parent.seps.(li);
+          Array.blit n.seps 0 s.seps (s.nkeys + 1) n.nkeys;
+          Array.blit n.children 0 s.children (s.nkeys + 1) (n.nkeys + 1);
+          s.nkeys <- s.nkeys + 1 + n.nkeys;
+          inner_remove_at parent li
+      | Leaf _ -> assert false)
+  | Inner n, None, Some ri -> (
+      match parent.children.(ri) with
+      | Inner s ->
+          n.seps.(n.nkeys) <- parent.seps.(ci);
+          Array.blit s.seps 0 n.seps (n.nkeys + 1) s.nkeys;
+          Array.blit s.children 0 n.children (n.nkeys + 1) (s.nkeys + 1);
+          n.nkeys <- n.nkeys + 1 + s.nkeys;
+          inner_remove_at parent ci
+      | Leaf _ -> assert false)
+  | Inner _, None, None -> ()
+
+(* Remove one occurrence of [rid] under [k]. Returns true if removed. *)
+let rec delete_node t node k rid =
+  match node with
+  | Leaf l ->
+      let i = lower_bound l.keys l.nk k in
+      if i < l.nk && key_compare l.keys.(i) k = 0 then begin
+        let rec remove_one = function
+          | [] -> None
+          | r :: rest ->
+              if Minirel_storage.Rid.equal r rid then Some rest
+              else Option.map (fun rest' -> r :: rest') (remove_one rest)
+        in
+        match remove_one l.rids.(i) with
+        | None -> false
+        | Some [] ->
+            leaf_remove_at l i;
+            t.n_keys <- t.n_keys - 1;
+            t.n_entries <- t.n_entries - 1;
+            true
+        | Some rest ->
+            l.rids.(i) <- rest;
+            t.n_entries <- t.n_entries - 1;
+            true
+      end
+      else false
+  | Inner n ->
+      let ci = child_index n k in
+      let removed = delete_node t n.children.(ci) k rid in
+      if removed && node_underflow t n.children.(ci) then fix_child t n ci;
+      removed
+
+let delete t k rid =
+  let removed = delete_node t t.root k rid in
+  (match t.root with
+  | Inner n when n.nkeys = 0 ->
+      t.root <- n.children.(0);
+      t.height <- t.height - 1
+  | Inner _ | Leaf _ -> ());
+  removed
+
+(* Remove a key with all its rids. Returns how many entries went away. *)
+let delete_all t k =
+  let rec loop acc =
+    match find t k with
+    | [] -> acc
+    | rid :: _ -> if delete t k rid then loop (acc + 1) else acc
+  in
+  loop 0
+
+(* --- bulk loading --- *)
+
+(* Group sizes for packing [n] items into chunks of at most [fanout],
+   each chunk at least [min_size] (assuming n >= min_size or a single
+   chunk): full chunks, with the trailing two rebalanced when the last
+   would underflow. Requires fanout + 1 >= 2 * min_size. *)
+let chunk_sizes ~n ~fanout ~min_size =
+  let k = (n + fanout - 1) / fanout in
+  let sizes = Array.make k fanout in
+  sizes.(k - 1) <- n - (fanout * (k - 1));
+  if k >= 2 && sizes.(k - 1) < min_size then begin
+    let combined = sizes.(k - 2) + sizes.(k - 1) in
+    sizes.(k - 1) <- combined / 2;
+    sizes.(k - 2) <- combined - (combined / 2)
+  end;
+  sizes
+
+(* Build a tree from (key, rids) pairs sorted by strictly increasing
+   key, packing nodes full and stacking parent levels bottom-up — the
+   standard bulk-load, used to backfill indexes over existing relations
+   much faster than repeated inserts.
+   @raise Invalid_argument when keys are not strictly increasing or a
+   rid list is empty. *)
+let bulk_load ?(b = default_b) pairs =
+  let t = create ~b () in
+  let pairs = Array.of_list pairs in
+  let n = Array.length pairs in
+  if n = 0 then t
+  else begin
+    Array.iteri
+      (fun i (k, rids) ->
+        if i > 0 && key_compare (fst pairs.(i - 1)) k >= 0 then
+          invalid_arg "Btree.bulk_load: keys must be strictly increasing";
+        if rids = [] then invalid_arg "Btree.bulk_load: empty rid list";
+        t.n_keys <- t.n_keys + 1;
+        t.n_entries <- t.n_entries + List.length rids)
+      pairs;
+    (* leaf level: full leaves of 2b keys, trailing pair rebalanced *)
+    let sizes = chunk_sizes ~n ~fanout:(2 * t.b) ~min_size:t.b in
+    let pos = ref 0 in
+    let leaves =
+      Array.map
+        (fun size ->
+          let l = new_leaf t in
+          for i = 0 to size - 1 do
+            let k, rids = pairs.(!pos + i) in
+            l.keys.(i) <- k;
+            l.rids.(i) <- rids
+          done;
+          l.nk <- size;
+          pos := !pos + size;
+          l)
+        sizes
+    in
+    for i = 0 to Array.length leaves - 2 do
+      leaves.(i).next <- Some leaves.(i + 1)
+    done;
+    let first_key node =
+      let rec go = function Leaf l -> l.keys.(0) | Inner n -> go n.children.(0) in
+      go node
+    in
+    (* inner levels: full nodes of 2b+1 children, trailing pair
+       rebalanced (fanout + 1 = 2b + 2 >= 2 * (b + 1)) *)
+    let rec build_level (nodes : node array) height =
+      if Array.length nodes = 1 then begin
+        t.root <- nodes.(0);
+        t.height <- height
+      end
+      else begin
+        let sizes =
+          chunk_sizes ~n:(Array.length nodes) ~fanout:((2 * t.b) + 1) ~min_size:(t.b + 1)
+        in
+        let pos = ref 0 in
+        let parents =
+          Array.map
+            (fun size ->
+              let inner = new_inner t in
+              for i = 0 to size - 1 do
+                inner.children.(i) <- nodes.(!pos + i);
+                if i > 0 then inner.seps.(i - 1) <- first_key nodes.(!pos + i)
+              done;
+              inner.nkeys <- size - 1;
+              pos := !pos + size;
+              Inner inner)
+            sizes
+        in
+        build_level parents (height + 1)
+      end
+    in
+    build_level (Array.map (fun l -> Leaf l) leaves) 1;
+    t
+  end
+
+(* --- range scans --- *)
+
+let leftmost_leaf t =
+  let rec go node =
+    t.visit (node_id node);
+    match node with Leaf l -> l | Inner n -> go n.children.(0)
+  in
+  go t.root
+
+type bound = Unbounded | Inclusive of key | Exclusive of key
+
+let above_lower bound k =
+  match bound with
+  | Unbounded -> true
+  | Inclusive b -> key_compare k b >= 0
+  | Exclusive b -> key_compare k b > 0
+
+let below_upper bound k =
+  match bound with
+  | Unbounded -> true
+  | Inclusive b -> key_compare k b <= 0
+  | Exclusive b -> key_compare k b < 0
+
+(* Iterate keys in [lo, hi] in order, calling [f key rids]. Charges a
+   visit per node on the initial descent and per leaf traversed. *)
+let range t ~lo ~hi f =
+  let start =
+    match lo with
+    | Unbounded -> leftmost_leaf t
+    | Inclusive k | Exclusive k -> descend t t.root k
+  in
+  let rec walk (l : leaf) =
+    let continue_ = ref true in
+    let i = ref 0 in
+    while !continue_ && !i < l.nk do
+      let k = l.keys.(!i) in
+      if not (below_upper hi k) then continue_ := false
+      else begin
+        if above_lower lo k then f k l.rids.(!i);
+        incr i
+      end
+    done;
+    if !continue_ then
+      match l.next with
+      | Some next ->
+          t.visit next.leaf_id;
+          walk next
+      | None -> ()
+  in
+  walk start
+
+let iter t f = range t ~lo:Unbounded ~hi:Unbounded f
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun k rids -> acc := (k, rids) :: !acc);
+  List.rev !acc
+
+(* --- invariant checking (for tests) --- *)
+
+exception Invalid of string
+
+let validate t =
+  let fail fmt = Fmt.kstr (fun s -> raise (Invalid s)) fmt in
+  let leaf_depths = ref [] in
+  let rec check node ~is_root ~lo ~hi ~depth =
+    match node with
+    | Leaf l ->
+        if (not is_root) && l.nk < t.b then fail "leaf underflow (%d < %d)" l.nk t.b;
+        if l.nk > 2 * t.b then fail "leaf overflow";
+        for i = 0 to l.nk - 1 do
+          if l.rids.(i) = [] then fail "empty rid list";
+          if i > 0 && key_compare l.keys.(i - 1) l.keys.(i) >= 0 then
+            fail "leaf keys not strictly increasing";
+          if not (above_lower lo l.keys.(i)) then fail "leaf key below lower bound";
+          if not (below_upper hi l.keys.(i)) then fail "leaf key above upper bound"
+        done;
+        leaf_depths := depth :: !leaf_depths
+    | Inner n ->
+        if (not is_root) && n.nkeys < t.b then fail "inner underflow";
+        if is_root && n.nkeys < 1 then fail "empty inner root";
+        if n.nkeys > 2 * t.b then fail "inner overflow";
+        for i = 0 to n.nkeys - 1 do
+          if i > 0 && key_compare n.seps.(i - 1) n.seps.(i) >= 0 then
+            fail "separators not strictly increasing"
+        done;
+        for i = 0 to n.nkeys do
+          let lo' = if i = 0 then lo else Inclusive n.seps.(i - 1) in
+          let hi' = if i = n.nkeys then hi else Exclusive n.seps.(i) in
+          check n.children.(i) ~is_root:false ~lo:lo' ~hi:hi' ~depth:(depth + 1)
+        done
+  in
+  check t.root ~is_root:true ~lo:Unbounded ~hi:Unbounded ~depth:1;
+  (match !leaf_depths with
+  | [] -> fail "tree has no leaves"
+  | d :: rest ->
+      if not (List.for_all (Int.equal d) rest) then fail "leaves at unequal depths";
+      if d <> t.height then fail "height mismatch: %d vs recorded %d" d t.height);
+  (* leaf chain must visit every key in order *)
+  let count = ref 0 and entries = ref 0 in
+  let last = ref None in
+  iter t (fun k rids ->
+      (match !last with
+      | Some prev when key_compare prev k >= 0 -> fail "leaf chain out of order"
+      | _ -> ());
+      last := Some k;
+      incr count;
+      entries := !entries + List.length rids);
+  if !count <> t.n_keys then fail "n_keys mismatch: chain %d vs %d" !count t.n_keys;
+  if !entries <> t.n_entries then
+    fail "n_entries mismatch: chain %d vs %d" !entries t.n_entries

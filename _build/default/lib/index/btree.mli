@@ -1,0 +1,67 @@
+(** A B+tree over composite keys ([Tuple.t], compared lexicographically)
+    mapping each key to the multiset of RIDs holding it. Supports
+    duplicates, range scans over a chained leaf level, and full delete
+    rebalancing (borrow/merge).
+
+    Every node carries an id; [set_visit_hook] lets the executor charge
+    a simulated page access per node touched on a root-to-leaf descent
+    and per leaf walked by a range scan. *)
+
+type key = Minirel_storage.Tuple.t
+
+type t
+
+(** [create ~b ()] builds an empty tree where every non-root node holds
+    between [b] and [2b] keys. @raise Invalid_argument if [b < 2]. *)
+val create : ?b:int -> unit -> t
+
+val default_b : int
+
+val set_visit_hook : t -> (int -> unit) -> unit
+
+(** Number of distinct keys. *)
+val n_keys : t -> int
+
+(** Total number of (key, rid) entries. *)
+val n_entries : t -> int
+
+val height : t -> int
+
+(** Allocated node ids; an over-approximation of live nodes, good
+    enough for sizing a simulated index file. *)
+val n_node_ids : t -> int
+
+(** All rids stored under the key ([[]] when absent). *)
+val find : t -> key -> Minirel_storage.Rid.t list
+
+val mem : t -> key -> bool
+
+val insert : t -> key -> Minirel_storage.Rid.t -> unit
+
+(** Build a tree from (key, rids) pairs sorted by strictly increasing
+    key, packing nodes full — much faster than repeated inserts when
+    backfilling an index over an existing relation.
+    @raise Invalid_argument on unsorted keys or empty rid lists. *)
+val bulk_load : ?b:int -> (key * Minirel_storage.Rid.t list) list -> t
+
+(** Remove one occurrence of the rid under the key; [false] if absent. *)
+val delete : t -> key -> Minirel_storage.Rid.t -> bool
+
+(** Remove a key with all its rids; returns how many entries went away. *)
+val delete_all : t -> key -> int
+
+type bound = Unbounded | Inclusive of key | Exclusive of key
+
+(** [range t ~lo ~hi f] visits every key in the bound range in
+    ascending order with its rid list. *)
+val range : t -> lo:bound -> hi:bound -> (key -> Minirel_storage.Rid.t list -> unit) -> unit
+
+val iter : t -> (key -> Minirel_storage.Rid.t list -> unit) -> unit
+val to_list : t -> (key * Minirel_storage.Rid.t list) list
+
+exception Invalid of string
+
+(** Check every structural invariant (occupancy bounds, ordered
+    separators, equal leaf depths, chain completeness, counters).
+    @raise Invalid describing the first violation. *)
+val validate : t -> unit

@@ -1,0 +1,18 @@
+(** Equality-only hash index: composite key -> RID multiset. Lookups
+    are charged as a single simulated bucket-page visit. *)
+
+type t
+
+val create : ?n_buckets:int -> unit -> t
+val set_visit_hook : t -> (int -> unit) -> unit
+val insert : t -> Minirel_storage.Tuple.t -> Minirel_storage.Rid.t -> unit
+
+(** All rids stored under the key ([[]] when absent). *)
+val find : t -> Minirel_storage.Tuple.t -> Minirel_storage.Rid.t list
+
+(** Remove one occurrence; [false] if absent. *)
+val delete : t -> Minirel_storage.Tuple.t -> Minirel_storage.Rid.t -> bool
+
+val n_keys : t -> int
+val n_entries : t -> int
+val iter : t -> (Minirel_storage.Tuple.t -> Minirel_storage.Rid.t list -> unit) -> unit

@@ -1,0 +1,90 @@
+(* Unified secondary-index interface over one or more key attributes of
+   a relation. The index stores the projection of each tuple onto
+   [key_positions] and maps it to the tuple's RID. *)
+
+type kind = Btree_kind | Hash_kind
+
+type impl = B of Btree.t | H of Hash_index.t
+
+type t = {
+  name : string;
+  key_positions : int array;  (* positions within the relation schema *)
+  impl : impl;
+  file_id : int;  (* simulated file for buffer-pool charging *)
+}
+
+(* [prefill] backfills the index at creation: B-trees are bulk-loaded
+   (sort + group + pack), hash indexes filled by insertion. *)
+let create ?(kind = Btree_kind) ?(prefill = []) ~name ~key_positions ~file_id () =
+  let impl =
+    match kind with
+    | Btree_kind when prefill <> [] ->
+        let keyed =
+          List.map
+            (fun (tuple, rid) -> (Minirel_storage.Tuple.project tuple key_positions, rid))
+            prefill
+        in
+        let sorted =
+          List.sort (fun (a, _) (b, _) -> Minirel_storage.Tuple.compare a b) keyed
+        in
+        let grouped =
+          List.fold_left
+            (fun acc (k, rid) ->
+              match acc with
+              | (gk, rids) :: rest when Minirel_storage.Tuple.equal gk k ->
+                  (gk, rid :: rids) :: rest
+              | _ -> (k, [ rid ]) :: acc)
+            [] sorted
+        in
+        B (Btree.bulk_load (List.rev grouped))
+    | Btree_kind -> B (Btree.create ())
+    | Hash_kind ->
+        let h = Hash_index.create () in
+        List.iter
+          (fun (tuple, rid) ->
+            Hash_index.insert h (Minirel_storage.Tuple.project tuple key_positions) rid)
+          prefill;
+        H h
+  in
+  { name; key_positions; impl; file_id }
+
+let name t = t.name
+let key_positions t = t.key_positions
+let file_id t = t.file_id
+let kind t = match t.impl with B _ -> Btree_kind | H _ -> Hash_kind
+
+let key_of_tuple t tuple = Minirel_storage.Tuple.project tuple t.key_positions
+
+(* Route simulated node/bucket visits into the buffer pool. *)
+let attach_pool t pool =
+  let visit page = Minirel_storage.Buffer_pool.access pool ~file:t.file_id ~page ~mode:`Read in
+  match t.impl with
+  | B b -> Btree.set_visit_hook b visit
+  | H h -> Hash_index.set_visit_hook h visit
+
+let insert t tuple rid =
+  let key = key_of_tuple t tuple in
+  match t.impl with B b -> Btree.insert b key rid | H h -> Hash_index.insert h key rid
+
+let delete t tuple rid =
+  let key = key_of_tuple t tuple in
+  match t.impl with
+  | B b -> Btree.delete b key rid
+  | H h -> Hash_index.delete h key rid
+
+let find t key =
+  match t.impl with B b -> Btree.find b key | H h -> Hash_index.find h key
+
+(* Range scan; only meaningful on B-tree indexes. @raise Invalid_argument
+   on hash indexes. *)
+let range t ~lo ~hi f =
+  match t.impl with
+  | B b -> Btree.range b ~lo ~hi f
+  | H _ -> invalid_arg "Index.range: hash index does not support ranges"
+
+let n_entries t =
+  match t.impl with B b -> Btree.n_entries b | H h -> Hash_index.n_entries h
+
+(* Structural self-check: B-tree invariants (no-op for hash indexes).
+   @raise Btree.Invalid on violation. *)
+let validate t = match t.impl with B b -> Btree.validate b | H _ -> ()

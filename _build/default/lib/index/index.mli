@@ -1,0 +1,50 @@
+(** Unified secondary-index interface over one or more key attributes
+    of a relation. The index maps the projection of each tuple onto
+    [key_positions] to the tuple's RID. *)
+
+type kind = Btree_kind | Hash_kind
+
+type t
+
+(** [prefill] backfills the index at creation: B-trees are bulk-loaded,
+    hash indexes filled by insertion. *)
+val create :
+  ?kind:kind ->
+  ?prefill:(Minirel_storage.Tuple.t * Minirel_storage.Rid.t) list ->
+  name:string ->
+  key_positions:int array ->
+  file_id:int ->
+  unit ->
+  t
+
+val name : t -> string
+val key_positions : t -> int array
+val file_id : t -> int
+val kind : t -> kind
+val key_of_tuple : t -> Minirel_storage.Tuple.t -> Minirel_storage.Tuple.t
+
+(** Route simulated node/bucket visits into the buffer pool under this
+    index's file id. *)
+val attach_pool : t -> Minirel_storage.Buffer_pool.t -> unit
+
+val insert : t -> Minirel_storage.Tuple.t -> Minirel_storage.Rid.t -> unit
+
+(** Remove one (key-of-tuple, rid) entry; [false] if absent. *)
+val delete : t -> Minirel_storage.Tuple.t -> Minirel_storage.Rid.t -> bool
+
+val find : t -> Minirel_storage.Tuple.t -> Minirel_storage.Rid.t list
+
+(** Range scan in key order; B-tree indexes only.
+    @raise Invalid_argument on hash indexes. *)
+val range :
+  t ->
+  lo:Btree.bound ->
+  hi:Btree.bound ->
+  (Btree.key -> Minirel_storage.Rid.t list -> unit) ->
+  unit
+
+val n_entries : t -> int
+
+(** Structural self-check (B-tree invariants; no-op for hash indexes).
+    @raise Btree.Invalid on violation. *)
+val validate : t -> unit

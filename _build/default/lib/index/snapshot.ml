@@ -1,0 +1,171 @@
+(* Save and load catalog contents as a line-oriented text format, so
+   generated datasets (and experiment states) can be reproduced without
+   regenerating them:
+
+     relation <name>
+     attr <name> <int|float|string>
+     tuple <v1>\t<v2>\t...
+     index <rel> <name> <btree|hash> <attr1> <attr2> ...
+
+   Values are tagged (i/f/s/n) and strings are OCaml-escaped, which
+   keeps the format tab- and newline-safe. *)
+
+open Minirel_storage
+
+exception Corrupt of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Corrupt s)) fmt
+
+let encode_value = function
+  | Value.Null -> "n"
+  | Value.Int i -> "i" ^ string_of_int i
+  | Value.Float f ->
+      (* round-trippable float text *)
+      "f" ^ Printf.sprintf "%h" f
+  | Value.Str s -> "s" ^ String.escaped s
+
+let decode_value s =
+  if String.length s = 0 then fail "empty value field";
+  let payload = String.sub s 1 (String.length s - 1) in
+  match s.[0] with
+  | 'n' -> Value.Null
+  | 'i' -> (
+      match int_of_string_opt payload with
+      | Some i -> Value.Int i
+      | None -> fail "bad int %S" payload)
+  | 'f' -> (
+      match float_of_string_opt payload with
+      | Some f -> Value.Float f
+      | None -> fail "bad float %S" payload)
+  | 's' -> (
+      match Scanf.unescaped payload with
+      | v -> Value.Str v
+      | exception Scanf.Scan_failure _ -> fail "bad string %S" payload)
+  | c -> fail "unknown value tag %C" c
+
+let ty_to_text = function
+  | Schema.Tint -> "int"
+  | Schema.Tfloat -> "float"
+  | Schema.Tstr -> "string"
+
+let ty_of_text = function
+  | "int" -> Schema.Tint
+  | "float" -> Schema.Tfloat
+  | "string" -> Schema.Tstr
+  | other -> fail "unknown type %S" other
+
+(* Write the whole catalog to [filename]. Relation order is
+   alphabetical so snapshots are deterministic. *)
+let save catalog ~filename =
+  let oc = open_out filename in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let rels = List.sort String.compare (Catalog.relations catalog) in
+      List.iter
+        (fun rel ->
+          let heap = Catalog.heap catalog rel in
+          let schema = Heap_file.schema heap in
+          Printf.fprintf oc "relation %s\n" rel;
+          for i = 0 to Schema.arity schema - 1 do
+            Printf.fprintf oc "attr %s %s\n" (Schema.attr_name schema i)
+              (ty_to_text (Schema.attr_ty schema i))
+          done;
+          Heap_file.iter heap (fun _rid tuple ->
+              output_string oc "tuple ";
+              Array.iteri
+                (fun i v ->
+                  if i > 0 then output_char oc '\t';
+                  output_string oc (encode_value v))
+                tuple;
+              output_char oc '\n'))
+        rels;
+      List.iter
+        (fun rel ->
+          let schema = Catalog.schema catalog rel in
+          List.iter
+            (fun ix ->
+              let kind =
+                match Index.kind ix with
+                | Index.Btree_kind -> "btree"
+                | Index.Hash_kind -> "hash"
+              in
+              let attrs =
+                Array.to_list
+                  (Array.map (Schema.attr_name schema) (Index.key_positions ix))
+              in
+              Printf.fprintf oc "index %s %s %s %s\n" rel (Index.name ix) kind
+                (String.concat " " attrs))
+            (List.rev (Catalog.indexes catalog rel)))
+        rels)
+
+let split_first_space line =
+  match String.index_opt line ' ' with
+  | None -> (line, "")
+  | Some i ->
+      (String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+
+(* Load a snapshot into a fresh catalog backed by [pool].
+   @raise Corrupt on malformed input; Sys_error on I/O failures. *)
+let load ~pool ~filename =
+  let catalog = Catalog.create pool in
+  let ic = open_in filename in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      (* current relation being defined: name, pending attrs (reversed),
+         whether its heap has been created yet *)
+      let pending_rel = ref None in
+      let flush_schema () =
+        match !pending_rel with
+        | Some (name, attrs, false) ->
+            let schema = Schema.create name (List.rev attrs) in
+            ignore (Catalog.create_relation catalog schema);
+            pending_rel := Some (name, attrs, true)
+        | Some (_, _, true) | None -> ()
+      in
+      let rec loop () =
+        match input_line ic with
+        | exception End_of_file -> ()
+        | line ->
+            (if line <> "" then
+               let keyword, rest = split_first_space line in
+               match keyword with
+               | "relation" ->
+                   flush_schema ();
+                   if rest = "" then fail "relation without a name";
+                   pending_rel := Some (rest, [], false)
+               | "attr" -> (
+                   match (!pending_rel, String.split_on_char ' ' rest) with
+                   | Some (name, attrs, false), [ a_name; a_ty ] ->
+                       pending_rel := Some (name, (a_name, ty_of_text a_ty) :: attrs, false)
+                   | Some (_, _, true), _ -> fail "attr after tuples"
+                   | None, _ -> fail "attr outside a relation"
+                   | _, _ -> fail "malformed attr line %S" rest)
+               | "tuple" -> (
+                   flush_schema ();
+                   match !pending_rel with
+                   | Some (name, _, true) ->
+                       let values =
+                         String.split_on_char '\t' rest |> List.map decode_value
+                       in
+                       ignore (Catalog.insert catalog ~rel:name (Array.of_list values))
+                   | _ -> fail "tuple outside a relation")
+               | "index" -> (
+                   flush_schema ();
+                   match String.split_on_char ' ' rest with
+                   | rel :: name :: kind :: attrs when attrs <> [] ->
+                       let kind =
+                         match kind with
+                         | "btree" -> Index.Btree_kind
+                         | "hash" -> Index.Hash_kind
+                         | k -> fail "unknown index kind %S" k
+                       in
+                       ignore (Catalog.create_index catalog ~kind ~rel ~name ~attrs ())
+                   | _ -> fail "malformed index line %S" rest)
+               | k -> fail "unknown line keyword %S" k);
+            loop ()
+      in
+      loop ();
+      flush_schema ();
+      catalog)

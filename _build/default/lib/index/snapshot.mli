@@ -1,0 +1,20 @@
+(** Save and load catalog contents (schemas, tuples, index definitions)
+    as a line-oriented text format, so generated datasets and
+    experiment states can be reproduced without regenerating them. *)
+
+exception Corrupt of string
+
+(** Tagged, escape-safe value text (i/f/s/n prefix); shared with the
+    redo log. *)
+val encode_value : Minirel_storage.Value.t -> string
+
+(** @raise Corrupt on malformed input. *)
+val decode_value : string -> Minirel_storage.Value.t
+
+(** Write the whole catalog; deterministic relation order. *)
+val save : Catalog.t -> filename:string -> unit
+
+(** Load a snapshot into a fresh catalog backed by [pool]; indexes are
+    rebuilt from the loaded tuples.
+    @raise Corrupt on malformed input. *)
+val load : pool:Minirel_storage.Buffer_pool.t -> filename:string -> Catalog.t

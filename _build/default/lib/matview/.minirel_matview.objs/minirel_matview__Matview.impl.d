@@ -1,0 +1,1 @@
+lib/matview/matview.ml: Array Fmt Heap_file Instance List Minirel_exec Minirel_index Minirel_query Minirel_storage Minirel_txn Predicate Schema Template

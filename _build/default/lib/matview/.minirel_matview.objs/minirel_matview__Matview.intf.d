@@ -1,0 +1,1 @@
+lib/matview/matview.mli: Minirel_index Minirel_query Minirel_storage Minirel_txn

@@ -1,0 +1,1 @@
+lib/matview/mv_cost.ml: Float

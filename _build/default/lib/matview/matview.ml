@@ -1,0 +1,128 @@
+(* Traditional materialized views: the baseline the paper compares
+   against (Section 2.2). A MV over a template stores *all* Ls' tuples
+   of Cjoin and is maintained immediately on every base-table change:
+   inserts and deletes delta-join into the view, updates are
+   delete+insert. The MV lives in the catalog as a regular relation so
+   its maintenance is charged real (simulated) I/Os. *)
+
+open Minirel_storage
+open Minirel_query
+module Catalog = Minirel_index.Catalog
+module Index = Minirel_index.Index
+
+type t = {
+  name : string;
+  compiled : Template.compiled;
+  catalog : Catalog.t;
+  rel_name : string;  (* catalog relation backing the view *)
+  lookup_index : string;  (* composite index over all view attributes *)
+  mutable maintenance_inserts : int;
+  mutable maintenance_deletes : int;
+}
+
+let view_schema ~name compiled =
+  let attr_ty (a : Template.attr_ref) =
+    let sch = compiled.Template.schemas.(a.Template.rel) in
+    Schema.attr_ty sch (Schema.pos sch a.Template.attr)
+  in
+  Schema.create name
+    (List.mapi
+       (fun i a ->
+         (Fmt.str "c%d_r%d_%s" i a.Template.rel a.Template.attr, attr_ty a))
+       compiled.Template.expanded_select)
+
+(* Create the view relation, a full-tuple index for delete lookups, and
+   populate it with the current join result. *)
+let create catalog ~name compiled =
+  let rel_name = "mv_" ^ name in
+  let schema = view_schema ~name:rel_name compiled in
+  let _heap = Catalog.create_relation catalog schema in
+  let all_attrs = Array.to_list (Array.init (Schema.arity schema) (Schema.attr_name schema)) in
+  let lookup_index = rel_name ^ "_full" in
+  let _ix = Catalog.create_index catalog ~rel:rel_name ~name:lookup_index ~attrs:all_attrs () in
+  let t =
+    {
+      name;
+      compiled;
+      catalog;
+      rel_name;
+      lookup_index;
+      maintenance_inserts = 0;
+      maintenance_deletes = 0;
+    }
+  in
+  let plan = Minirel_exec.Planner.plan_full_join catalog compiled in
+  Minirel_exec.Cursor.iter
+    (fun tuple -> ignore (Catalog.insert catalog ~rel:rel_name tuple))
+    (Minirel_exec.Executor.cursor catalog plan);
+  t
+
+let rel_name t = t.rel_name
+let cardinality t = Heap_file.n_tuples (Catalog.heap t.catalog t.rel_name)
+let size_bytes t = Heap_file.size_bytes (Catalog.heap t.catalog t.rel_name)
+
+let template_rel_index t rel =
+  let rels = t.compiled.Template.spec.Template.relations in
+  let rec find i =
+    if i >= Array.length rels then None else if rels.(i) = rel then Some i else find (i + 1)
+  in
+  find 0
+
+let insert_results t tuples =
+  List.iter
+    (fun tuple ->
+      ignore (Catalog.insert t.catalog ~rel:t.rel_name tuple);
+      t.maintenance_inserts <- t.maintenance_inserts + 1)
+    tuples
+
+let delete_results t tuples =
+  let ix =
+    match
+      List.find_opt
+        (fun ix -> Index.name ix = t.lookup_index)
+        (Catalog.indexes t.catalog t.rel_name)
+    with
+    | Some ix -> ix
+    | None -> assert false
+  in
+  List.iter
+    (fun tuple ->
+      match Index.find ix tuple with
+      | [] -> ()  (* duplicate delta rows may race for the same victim *)
+      | rid :: _ ->
+          ignore (Catalog.delete t.catalog ~rel:t.rel_name rid);
+          t.maintenance_deletes <- t.maintenance_deletes + 1)
+    tuples
+
+let delta_join t ~delta_rel deltas =
+  let plan = Minirel_exec.Planner.plan_delta_join t.catalog t.compiled ~delta_rel deltas in
+  Minirel_exec.Executor.run_to_list t.catalog plan
+
+(* Immediate maintenance: hook this into [Txn.register_hook]. *)
+let on_delta t (delta : Minirel_txn.Txn.delta) =
+  match template_rel_index t delta.Minirel_txn.Txn.rel with
+  | None -> ()  (* change to a relation outside this view *)
+  | Some i ->
+      let { Minirel_txn.Txn.inserted; deleted; updated; _ } = delta in
+      (* note: the delta join must run against the post-change base
+         tables for inserts and, for deletes, still works because the
+         deleted tuples are passed literally *)
+      if deleted <> [] then delete_results t (delta_join t ~delta_rel:i deleted);
+      if inserted <> [] then insert_results t (delta_join t ~delta_rel:i inserted);
+      if updated <> [] then begin
+        let olds = List.map fst updated and news = List.map snd updated in
+        delete_results t (delta_join t ~delta_rel:i olds);
+        insert_results t (delta_join t ~delta_rel:i news)
+      end
+
+let attach t txn_mgr =
+  Minirel_txn.Txn.register_hook txn_mgr ~name:("mv:" ^ t.name) (on_delta t)
+
+(* All current view tuples (Ls' shape); for tests and MV-based answers. *)
+let contents t =
+  Heap_file.fold (Catalog.heap t.catalog t.rel_name) (fun acc _rid tuple -> tuple :: acc) []
+
+(* Answer a query entirely from the view: filter by Cselect. *)
+let answer t instance =
+  let pred = Instance.cselect_pred_result instance in
+  List.filter (Predicate.eval pred) (contents t)

@@ -1,0 +1,28 @@
+(** Traditional materialized views — the baseline of Section 2.2. A MV
+    over a template stores {e all} Ls' tuples of Cjoin in a catalog
+    relation (so maintenance is charged simulated I/Os) and is
+    maintained immediately on every base-table change: delta joins for
+    inserts and deletes, delete+insert for updates. *)
+
+type t
+
+(** Create the backing relation [mv_<name>], a full-tuple index for
+    delete lookups, and populate it with the current join result. *)
+val create :
+  Minirel_index.Catalog.t -> name:string -> Minirel_query.Template.compiled -> t
+
+val rel_name : t -> string
+val cardinality : t -> int
+val size_bytes : t -> int
+
+(** Immediate maintenance; give this to {!Minirel_txn.Txn.register_hook}
+    or use {!attach}. *)
+val on_delta : t -> Minirel_txn.Txn.delta -> unit
+
+val attach : t -> Minirel_txn.Txn.t -> unit
+
+(** Current view contents (Ls' tuples). *)
+val contents : t -> Minirel_storage.Tuple.t list
+
+(** Answer a template query entirely from the view. *)
+val answer : t -> Minirel_query.Instance.t -> Minirel_storage.Tuple.t list

@@ -1,0 +1,75 @@
+(* Analytical maintenance-cost model behind Figures 11 and 12.
+
+   The paper's model (full version [25], validated against NCR Teradata
+   in [24]) is unavailable; DESIGN.md Section 6 documents the explicit
+   reconstruction used here. One transaction T applies p*|ΔR| inserts
+   and (1-p)*|ΔR| deletes to base relation R of an R ⋈ S view. Costs
+   are logical I/Os per changed base tuple; PMV-side in-memory work is
+   expressed in I/O-equivalents so the two curves share one axis.
+
+   - MV insert: delta-join probe into S + fanout view-tuple insertions.
+   - MV delete: same probe + fanout view-tuple deletions (more expensive
+     than insertions, per the paper).
+   - PMV insert: a pure in-memory "nothing to do" check ([pmv_insert_io],
+     epsilon). The paper's text reports PMV maintenance 0 at p = 100%;
+     its speedup figure still shows a finite ~550x there, implying this
+     epsilon-class bookkeeping term. Both views are exposed:
+     [tw_pmv ~idealized:true] drops the term (text), the default keeps
+     it (figure).
+   - PMV delete: auxiliary-index probe on the (mostly memory-resident)
+     PMV plus a residual disk-touch probability for its uncached tail. *)
+
+type params = {
+  delta_size : int;  (* |ΔR|; the paper fixes 1000 *)
+  probe_io : float;  (* index probe into S per changed R tuple *)
+  fanout : float;  (* view tuples affected per changed R tuple *)
+  view_insert_io : float;  (* per view tuple inserted into VM *)
+  view_delete_io : float;  (* per view tuple deleted from VM *)
+  pmv_delete_io : float;  (* per deleted R tuple, aux-index path *)
+  pmv_residual_io : float;  (* uncached-PMV disk touch, per deleted R tuple *)
+  pmv_insert_io : float;  (* epsilon bookkeeping per inserted R tuple *)
+}
+
+let default =
+  {
+    delta_size = 1000;
+    probe_io = 2.0;
+    fanout = 2.0;
+    view_insert_io = 1.5;
+    view_delete_io = 2.5;
+    pmv_delete_io = 0.02;
+    pmv_residual_io = 0.01;
+    pmv_insert_io = 0.009;
+  }
+
+let check_p p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Mv_cost: p must be within [0, 1]"
+
+(* Total workload (I/Os) to maintain the traditional MV. *)
+let tw_mv params ~p =
+  check_p p;
+  let n = float_of_int params.delta_size in
+  let insert_cost = params.probe_io +. (params.fanout *. params.view_insert_io) in
+  let delete_cost = params.probe_io +. (params.fanout *. params.view_delete_io) in
+  n *. ((p *. insert_cost) +. ((1.0 -. p) *. delete_cost))
+
+(* Total workload (I/O-equivalents) to maintain the PMV. *)
+let tw_pmv ?(idealized = false) params ~p =
+  check_p p;
+  let n = float_of_int params.delta_size in
+  let delete_cost = params.pmv_delete_io +. params.pmv_residual_io in
+  let insert_cost = if idealized then 0.0 else params.pmv_insert_io in
+  n *. (((1.0 -. p) *. delete_cost) +. (p *. insert_cost))
+
+let speedup params ~p =
+  let pmv = tw_pmv params ~p in
+  if pmv <= 0.0 then infinity else tw_mv params ~p /. pmv
+
+(* The paper's claim: PMV maintenance is at least two orders of
+   magnitude cheaper for every insert fraction. *)
+let min_speedup params =
+  let rec go p best =
+    if p > 100 then best
+    else go (p + 10) (Float.min best (speedup params ~p:(float_of_int p /. 100.)))
+  in
+  go 0 infinity

@@ -1,0 +1,36 @@
+(** Analytical maintenance-cost model behind Figures 11 and 12: one
+    transaction applies [p * delta_size] inserts and
+    [(1-p) * delta_size] deletes to base relation R of an R ⋈ S view.
+    Costs are logical I/Os per changed base tuple; PMV in-memory work
+    is expressed in I/O-equivalents so both curves share an axis. The
+    parameter reconstruction is documented in DESIGN.md Section 6. *)
+
+type params = {
+  delta_size : int;  (** |ΔR|; the paper fixes 1000 *)
+  probe_io : float;  (** delta-join index probe into S per changed tuple *)
+  fanout : float;  (** view tuples affected per changed R tuple *)
+  view_insert_io : float;  (** per view tuple inserted into the MV *)
+  view_delete_io : float;  (** per view tuple deleted (dearer than insert) *)
+  pmv_delete_io : float;  (** per deleted R tuple, aux-index path *)
+  pmv_residual_io : float;  (** uncached-PMV disk touch per deleted tuple *)
+  pmv_insert_io : float;  (** epsilon bookkeeping per inserted tuple *)
+}
+
+val default : params
+
+(** Total workload (I/Os) to maintain the traditional MV.
+    @raise Invalid_argument unless [0 <= p <= 1]. *)
+val tw_mv : params -> p:float -> float
+
+(** Total workload (I/O-equivalents) to maintain the PMV.
+    [idealized] drops the insert-side epsilon, matching the paper's
+    text ("the maintenance overhead of V_PM is 0" at p = 100%); the
+    default keeps it, matching its Figure 12.
+    @raise Invalid_argument unless [0 <= p <= 1]. *)
+val tw_pmv : ?idealized:bool -> params -> p:float -> float
+
+val speedup : params -> p:float -> float
+
+(** Minimum speedup over p in {0, 0.1, ..., 1}; the paper claims it
+    stays above two orders of magnitude. *)
+val min_speedup : params -> float

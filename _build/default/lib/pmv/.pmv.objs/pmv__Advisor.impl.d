@@ -1,0 +1,1 @@
+lib/pmv/advisor.ml: Bcp Condition_part Float Fmt Hashtbl Instance Int List Manager Minirel_query Minirel_storage Sizing Template Tuple

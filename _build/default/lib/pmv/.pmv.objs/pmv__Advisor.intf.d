@@ -1,0 +1,1 @@
+lib/pmv/advisor.mli: Fmt Instance Manager Minirel_query Minirel_storage Template

@@ -1,0 +1,1 @@
+lib/pmv/answer.ml: Bcp Condition_part Ds Entry_store Fun Instance Int64 Io_stats List Minirel_exec Minirel_index Minirel_query Minirel_storage Minirel_txn Monotonic_clock View

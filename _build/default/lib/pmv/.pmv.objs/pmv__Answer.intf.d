@@ -1,0 +1,1 @@
+lib/pmv/answer.mli: Instance Minirel_index Minirel_query Minirel_storage Minirel_txn Tuple View

@@ -1,0 +1,1 @@
+lib/pmv/ds.ml: Minirel_storage Tuple

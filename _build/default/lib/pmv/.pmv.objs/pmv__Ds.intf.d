@@ -1,0 +1,1 @@
+lib/pmv/ds.mli: Minirel_storage Tuple

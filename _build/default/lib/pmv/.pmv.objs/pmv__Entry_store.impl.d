@@ -1,0 +1,1 @@
+lib/pmv/entry_store.ml: Bcp List Minirel_cache Minirel_query Minirel_storage Tuple

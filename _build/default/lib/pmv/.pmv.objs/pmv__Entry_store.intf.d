@@ -1,0 +1,1 @@
+lib/pmv/entry_store.mli: Bcp Minirel_cache Minirel_query Minirel_storage Tuple

@@ -1,0 +1,1 @@
+lib/pmv/extensions.ml: Answer Array Condition_part Entry_store Float Instance List Minirel_exec Minirel_query Minirel_storage Tuple Value View

@@ -1,0 +1,1 @@
+lib/pmv/extensions.mli: Answer Instance Minirel_index Minirel_query Minirel_storage Minirel_txn Tuple View

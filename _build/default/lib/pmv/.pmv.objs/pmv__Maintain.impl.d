@@ -1,0 +1,1 @@
+lib/pmv/maintain.ml: Array Condition_part Entry_store Fun Int List Minirel_exec Minirel_index Minirel_query Minirel_storage Minirel_txn Predicate Schema Template Value View

@@ -1,0 +1,1 @@
+lib/pmv/maintain.mli: Minirel_index Minirel_query Minirel_storage Minirel_txn View

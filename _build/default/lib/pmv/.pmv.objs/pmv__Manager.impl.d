@@ -1,0 +1,1 @@
+lib/pmv/manager.ml: Answer Fmt Instance List Maintain Minirel_cache Minirel_index Minirel_query Minirel_txn Option Sizing Template View

@@ -1,0 +1,1 @@
+lib/pmv/manager.mli: Answer Fmt Instance Minirel_cache Minirel_index Minirel_query Minirel_storage Minirel_txn Template View

@@ -1,0 +1,1 @@
+lib/pmv/ranking.ml: Condition_part Entry_store Int List Minirel_query Minirel_storage Tuple View

@@ -1,0 +1,1 @@
+lib/pmv/ranking.mli: Bcp Minirel_query Minirel_storage Tuple View

@@ -1,0 +1,1 @@
+lib/pmv/sizing.ml:

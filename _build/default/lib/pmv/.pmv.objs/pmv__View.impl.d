@@ -1,0 +1,1 @@
+lib/pmv/view.ml: Array Bcp Condition_part Entry_store List Minirel_cache Minirel_query Minirel_storage Minirel_txn Schema Template Tuple

@@ -1,0 +1,1 @@
+lib/pmv/view.mli: Bcp Entry_store Minirel_cache Minirel_query Minirel_storage Minirel_txn Template Tuple

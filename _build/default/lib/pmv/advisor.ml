@@ -1,0 +1,172 @@
+(* Trace-driven PMV selection — the PMV counterpart of the automatic
+   MV-selection tools the paper discusses in Section 2.2 [2, 33].
+
+   The advisor observes a query trace, keeps per-template statistics
+   (query counts, bcp reference frequencies, result sizes) and then
+   recommends which templates deserve a PMV under a global storage
+   budget: templates are ranked by traffic, the budget is split
+   proportionally, F comes from the observed results-per-bcp, and the
+   expected usefulness of each view is estimated from the trace's bcp
+   concentration (what fraction of bcp references the hottest L bcps
+   would have absorbed). *)
+
+open Minirel_storage
+open Minirel_query
+
+type template_stats = {
+  compiled : Template.compiled;
+  mutable queries : int;
+  mutable total_h : int;  (* condition parts across all queries *)
+  mutable bcp_refs : int;  (* bcp references recorded *)
+  bcp_counts : int ref Bcp.Table.t;  (* reference count per bcp *)
+  mutable result_tuples : int;  (* results observed via samples *)
+  mutable result_bytes : int;
+  mutable sampled_queries : int;  (* queries that came with a result sample *)
+}
+
+type t = {
+  templates : (string, template_stats) Hashtbl.t;
+  mutable observed : int;  (* total queries in the trace *)
+}
+
+let create () = { templates = Hashtbl.create 16; observed = 0 }
+
+let n_observed t = t.observed
+let n_templates t = Hashtbl.length t.templates
+
+(* Record one query (and optionally a sample of its result tuples). *)
+let observe ?(result_sample = []) t instance =
+  t.observed <- t.observed + 1;
+  let compiled = Instance.compiled instance in
+  let name = compiled.Template.spec.Template.name in
+  let st =
+    match Hashtbl.find_opt t.templates name with
+    | Some st -> st
+    | None ->
+        let st =
+          {
+            compiled;
+            queries = 0;
+            total_h = 0;
+            bcp_refs = 0;
+            bcp_counts = Bcp.Table.create 256;
+            result_tuples = 0;
+            result_bytes = 0;
+            sampled_queries = 0;
+          }
+        in
+        Hashtbl.replace t.templates name st;
+        st
+  in
+  st.queries <- st.queries + 1;
+  let cps = Condition_part.decompose instance in
+  st.total_h <- st.total_h + List.length cps;
+  List.iter
+    (fun cp ->
+      let bcp = Condition_part.bcp cp in
+      st.bcp_refs <- st.bcp_refs + 1;
+      match Bcp.Table.find_opt st.bcp_counts bcp with
+      | Some r -> incr r
+      | None -> Bcp.Table.replace st.bcp_counts bcp (ref 1))
+    cps;
+  if result_sample <> [] then begin
+    st.sampled_queries <- st.sampled_queries + 1;
+    List.iter
+      (fun tuple ->
+        st.result_tuples <- st.result_tuples + 1;
+        st.result_bytes <- st.result_bytes + Tuple.size_bytes tuple)
+      result_sample
+  end
+
+let avg_tuple_bytes st =
+  if st.result_tuples = 0 then 64 else st.result_bytes / st.result_tuples
+
+(* Fraction of recorded bcp references that the [l] most referenced
+   bcps account for — a proxy for the hit rate a view of capacity [l]
+   would have achieved on this trace. *)
+let concentration st ~l =
+  if st.bcp_refs = 0 then 0.0
+  else begin
+    let counts = Bcp.Table.fold (fun _ r acc -> !r :: acc) st.bcp_counts [] in
+    let sorted = List.sort (fun a b -> Int.compare b a) counts in
+    let rec take n acc = function
+      | [] -> acc
+      | _ when n = 0 -> acc
+      | c :: rest -> take (n - 1) (acc + c) rest
+    in
+    float_of_int (take l 0 sorted) /. float_of_int st.bcp_refs
+  end
+
+type recommendation = {
+  template : Template.compiled;
+  queries_seen : int;
+  share : float;  (* of the whole trace *)
+  suggested_f : int;
+  suggested_ub : int;  (* bytes of the global budget *)
+  suggested_capacity : int;  (* entries, via the Section 3.2 rule *)
+  trace_hit_estimate : float;  (* concentration at the suggested capacity *)
+}
+
+(* Recommend PMVs under [budget_bytes], most valuable first. Templates
+   with fewer than [min_queries] trace appearances are skipped. *)
+let recommend ?(max_views = 8) ?(min_queries = 2) ?(f_max = 4) t ~budget_bytes =
+  if budget_bytes <= 0 then invalid_arg "Advisor.recommend: budget must be positive";
+  let ranked =
+    Hashtbl.fold (fun _ st acc -> st :: acc) t.templates []
+    |> List.filter (fun st -> st.queries >= min_queries)
+    |> List.sort (fun a b -> Int.compare b.queries a.queries)
+    |> List.filteri (fun i _ -> i < max_views)
+  in
+  let total_queries = List.fold_left (fun acc st -> acc + st.queries) 0 ranked in
+  if total_queries = 0 then []
+  else
+    List.map
+      (fun st ->
+        let share = float_of_int st.queries /. float_of_int total_queries in
+        let ub = int_of_float (share *. float_of_int budget_bytes) in
+        (* F: the typical per-bcp result volume observed in the trace
+           (mean results per sampled query / mean h per query), bounded
+           to keep hit probability high (Section 3.2's tradeoff). *)
+        let avg_results_per_bcp =
+          if st.sampled_queries = 0 || st.total_h = 0 then 2
+          else
+            let per_query = float_of_int st.result_tuples /. float_of_int st.sampled_queries in
+            let h_per_query = float_of_int st.total_h /. float_of_int st.queries in
+            int_of_float (Float.round (per_query /. Float.max 1.0 h_per_query))
+        in
+        let suggested_f = max 1 (min f_max avg_results_per_bcp) in
+        let capacity =
+          Sizing.max_entries
+            { Sizing.ub_bytes = max 1 ub; f_max = suggested_f; avg_tuple_bytes = avg_tuple_bytes st }
+        in
+        {
+          template = st.compiled;
+          queries_seen = st.queries;
+          share = float_of_int st.queries /. float_of_int t.observed;
+          suggested_f;
+          suggested_ub = ub;
+          suggested_capacity = capacity;
+          trace_hit_estimate = concentration st ~l:capacity;
+        })
+      ranked
+
+(* Create the recommended views in a manager. Returns how many were
+   created (templates that already have one are skipped). *)
+let apply t manager recs =
+  ignore t;
+  List.fold_left
+    (fun created r ->
+      let name = r.template.Template.spec.Template.name in
+      match Manager.find manager ~template:name with
+      | Some _ -> created
+      | None ->
+          ignore
+            (Manager.create_view ~f_max:r.suggested_f ~capacity:r.suggested_capacity manager
+               r.template);
+          created + 1)
+    0 recs
+
+let pp_recommendation ppf r =
+  Fmt.pf ppf "%s: %d queries (%.0f%% of trace), F=%d, UB=%dB, L=%d, est. trace hit %.2f"
+    r.template.Template.spec.Template.name r.queries_seen (100. *. r.share) r.suggested_f
+    r.suggested_ub r.suggested_capacity r.trace_hit_estimate

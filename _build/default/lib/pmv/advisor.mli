@@ -1,0 +1,43 @@
+(** Trace-driven PMV selection — the PMV counterpart of the automatic
+    MV-selection tools the paper discusses in Section 2.2. Observe a
+    query trace, then recommend which templates deserve a PMV under a
+    global storage budget: ranked by traffic, budget split
+    proportionally, F from observed results-per-bcp, and expected
+    usefulness estimated from the trace's bcp concentration. *)
+
+open Minirel_query
+
+type t
+
+val create : unit -> t
+val n_observed : t -> int
+val n_templates : t -> int
+
+(** Record one query; [result_sample] (some or all of its result
+    tuples) refines the F and At estimates. *)
+val observe : ?result_sample:Minirel_storage.Tuple.t list -> t -> Instance.t -> unit
+
+type recommendation = {
+  template : Template.compiled;
+  queries_seen : int;
+  share : float;  (** of the whole trace *)
+  suggested_f : int;
+  suggested_ub : int;  (** bytes of the global budget *)
+  suggested_capacity : int;  (** entries, via the Section 3.2 rule *)
+  trace_hit_estimate : float;
+      (** fraction of trace bcp references the hottest
+          [suggested_capacity] bcps account for *)
+}
+
+(** Recommendations under [budget_bytes], most valuable first;
+    templates seen fewer than [min_queries] times are skipped.
+    @raise Invalid_argument on a non-positive budget. *)
+val recommend :
+  ?max_views:int -> ?min_queries:int -> ?f_max:int -> t -> budget_bytes:int ->
+  recommendation list
+
+(** Create the recommended views in a manager (skipping templates that
+    already have one); returns how many were created. *)
+val apply : t -> Manager.t -> recommendation list -> int
+
+val pp_recommendation : recommendation Fmt.t

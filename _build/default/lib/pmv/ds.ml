@@ -1,0 +1,34 @@
+(* The temporary in-memory structure DS of Operation O2/O3 (Section
+   3.3): a multiset of the result tuples already delivered from the PMV.
+   O3 consults it to deliver every result tuple to the user exactly
+   once, including duplicates ("if t is not removed from DS and later
+   another tuple t' = t comes, the user can miss some result tuples"). *)
+
+open Minirel_storage
+
+type t = { counts : int ref Tuple.Table.t; mutable size : int }
+
+let create () = { counts = Tuple.Table.create 64; size = 0 }
+
+let add t tuple =
+  (match Tuple.Table.find_opt t.counts tuple with
+  | Some r -> incr r
+  | None -> Tuple.Table.replace t.counts tuple (ref 1));
+  t.size <- t.size + 1
+
+(* Remove one occurrence; false if the tuple is absent. *)
+let remove_one t tuple =
+  match Tuple.Table.find_opt t.counts tuple with
+  | None -> false
+  | Some r ->
+      if !r <= 1 then Tuple.Table.remove t.counts tuple else decr r;
+      t.size <- t.size - 1;
+      true
+
+let mem t tuple = Tuple.Table.mem t.counts tuple
+let size t = t.size
+let is_empty t = t.size = 0
+
+let clear t =
+  Tuple.Table.reset t.counts;
+  t.size <- 0

@@ -1,0 +1,19 @@
+(** The temporary in-memory structure DS of Operations O2/O3 (Section
+    3.3): a multiset of the result tuples already delivered from the
+    PMV, consulted during execution so every result tuple — duplicates
+    included — reaches the user exactly once. *)
+
+open Minirel_storage
+
+type t
+
+val create : unit -> t
+val add : t -> Tuple.t -> unit
+
+(** Remove one occurrence; [false] when absent. *)
+val remove_one : t -> Tuple.t -> bool
+
+val mem : t -> Tuple.t -> bool
+val size : t -> int
+val is_empty : t -> bool
+val clear : t -> unit

@@ -1,0 +1,192 @@
+(* Bounded storage for PMV entries (Section 3.2): a hash table from
+   basic condition part to its cached result tuples — the "index I on
+   bcp" — with residency governed by a pluggable replacement policy
+   (CLOCK by default, 2Q per Section 3.5) and at most F tuples per bcp.
+
+   The entry table and the policy are kept in lock step: an entry exists
+   iff its bcp is resident in the policy; eviction drops the entry (and
+   reports each dropped tuple through [on_change], so auxiliary
+   maintenance indexes stay consistent). *)
+
+open Minirel_storage
+open Minirel_query
+
+type entry = {
+  e_bcp : Bcp.t;
+  mutable tuples : Tuple.t list;  (* most recently cached first; <= f_max *)
+  mutable n : int;
+  mutable refs : int;  (* lifetime references; feeds popularity ranking *)
+}
+
+type change = Added | Removed
+
+type t = {
+  table : entry Bcp.Table.t;
+  policy : Bcp.t Minirel_cache.Policy.t;
+  f_max : int;
+  mutable n_tuples : int;
+  mutable tuple_bytes : int;
+  mutable on_change : change -> Bcp.t -> Tuple.t -> unit;
+}
+
+let create ?(policy = Minirel_cache.Policies.Clock) ~capacity ~f_max () =
+  if f_max <= 0 then invalid_arg "Entry_store.create: f_max must be positive";
+  let t =
+    {
+      table = Bcp.Table.create (2 * capacity);
+      policy = Minirel_cache.Policies.make policy ~capacity;
+      f_max;
+      n_tuples = 0;
+      tuple_bytes = 0;
+      on_change = (fun _ _ _ -> ());
+    }
+  in
+  Minirel_cache.Policy.set_on_evict t.policy (fun bcp ->
+      match Bcp.Table.find_opt t.table bcp with
+      | None -> ()
+      | Some entry ->
+          Bcp.Table.remove t.table bcp;
+          t.n_tuples <- t.n_tuples - entry.n;
+          List.iter
+            (fun tuple ->
+              t.tuple_bytes <- t.tuple_bytes - Tuple.size_bytes tuple;
+              t.on_change Removed bcp tuple)
+            entry.tuples);
+  t
+
+let set_on_change t f = t.on_change <- f
+
+let f_max t = t.f_max
+let capacity t = Minirel_cache.Policy.capacity t.policy
+let n_entries t = Bcp.Table.length t.table
+let n_tuples t = t.n_tuples
+let tuple_bytes t = t.tuple_bytes
+let policy_name t = Minirel_cache.Policy.name t.policy
+let policy_stats t = Minirel_cache.Policy.stats t.policy
+
+(* Pure lookup: no recency update, no admission. *)
+let find t bcp = Bcp.Table.find_opt t.table bcp
+
+(* One query-time reference of [bcp] (Operation O2).
+
+   - [`Resident]: the entry is in the PMV; serve its tuples.
+   - [`Admitted]: 2Q promoted the bcp from its ghost queue; an empty
+     entry was created, to be filled with this query's O3 results.
+   - [`Rejected storable]: not resident. With a fill-admitting policy
+     (CLOCK/LRU/FIFO) [storable] is true and Operation O3 may admit the
+     bcp when its first result tuple materialises ([admit_for_fill]);
+     under 2Q the reference was only recorded in A1 and no tuples may
+     be stored this time. *)
+let reference t bcp =
+  match Minirel_cache.Policy.reference t.policy bcp with
+  | `Resident -> (
+      match Bcp.Table.find_opt t.table bcp with
+      | Some entry ->
+          entry.refs <- entry.refs + 1;
+          `Resident entry
+      | None ->
+          (* policy and table out of sync: impossible by construction *)
+          assert false)
+  | `Admitted ->
+      let entry = { e_bcp = bcp; tuples = []; n = 0; refs = 1 } in
+      Bcp.Table.replace t.table bcp entry;
+      `Admitted entry
+  | `Rejected -> `Rejected (Minirel_cache.Policy.admit_on_fill t.policy)
+
+(* Operation O3 admission: a result tuple belonging to a non-resident
+   bcp arrived and the policy admits on fill — "a new basic condition
+   part bcp_j is added into V_PM", possibly purging a victim. *)
+let admit_for_fill t bcp =
+  Minirel_cache.Policy.admit t.policy bcp;
+  match Bcp.Table.find_opt t.table bcp with
+  | Some entry -> entry
+  | None ->
+      let entry = { e_bcp = bcp; tuples = []; n = 0; refs = 1 } in
+      Bcp.Table.replace t.table bcp entry;
+      entry
+
+(* Cache one result tuple under [entry] (Operation O3), respecting the
+   per-bcp bound F. *)
+let add_tuple t entry tuple =
+  if entry.n >= t.f_max then false
+  else begin
+    entry.tuples <- tuple :: entry.tuples;
+    entry.n <- entry.n + 1;
+    t.n_tuples <- t.n_tuples + 1;
+    t.tuple_bytes <- t.tuple_bytes + Tuple.size_bytes tuple;
+    t.on_change Added entry.e_bcp tuple;
+    true
+  end
+
+(* Remove one occurrence of [tuple] from the entry of [bcp] (deferred
+   maintenance). Entries may legitimately become empty; they keep their
+   slot until evicted, mirroring a bcp whose hot tuples were deleted. *)
+let remove_tuple t bcp tuple =
+  match Bcp.Table.find_opt t.table bcp with
+  | None -> false
+  | Some entry ->
+      let removed = ref false in
+      entry.tuples <-
+        List.filter
+          (fun cached ->
+            if (not !removed) && Tuple.equal cached tuple then begin
+              removed := true;
+              false
+            end
+            else true)
+          entry.tuples;
+      if !removed then begin
+        entry.n <- entry.n - 1;
+        t.n_tuples <- t.n_tuples - 1;
+        t.tuple_bytes <- t.tuple_bytes - Tuple.size_bytes tuple;
+        t.on_change Removed bcp tuple
+      end;
+      !removed
+
+(* Remove every cached tuple satisfying [victim]; returns the count.
+   Used by the conservative auxiliary-index maintenance path. *)
+let remove_matching t victim =
+  let removed = ref 0 in
+  let entries = Bcp.Table.fold (fun _ e acc -> e :: acc) t.table [] in
+  List.iter
+    (fun entry ->
+      let keep, drop = List.partition (fun tuple -> not (victim tuple)) entry.tuples in
+      if drop <> [] then begin
+        entry.tuples <- keep;
+        entry.n <- List.length keep;
+        List.iter
+          (fun tuple ->
+            incr removed;
+            t.n_tuples <- t.n_tuples - 1;
+            t.tuple_bytes <- t.tuple_bytes - Tuple.size_bytes tuple;
+            t.on_change Removed entry.e_bcp tuple)
+          drop
+      end)
+    entries;
+  !removed
+
+let drop_entry t bcp =
+  (match Bcp.Table.find_opt t.table bcp with
+  | None -> ()
+  | Some entry ->
+      Bcp.Table.remove t.table bcp;
+      t.n_tuples <- t.n_tuples - entry.n;
+      List.iter
+        (fun tuple ->
+          t.tuple_bytes <- t.tuple_bytes - Tuple.size_bytes tuple;
+          t.on_change Removed bcp tuple)
+        entry.tuples);
+  Minirel_cache.Policy.remove t.policy bcp
+
+let iter t f = Bcp.Table.iter (fun _ entry -> f entry) t.table
+
+let fold t f init =
+  let acc = ref init in
+  iter t (fun e -> acc := f !acc e);
+  !acc
+
+(* Paper invariant (Section 3.2): L*F*At bounds the PMV footprint. *)
+let invariants_ok t =
+  n_entries t <= capacity t
+  && t.n_tuples <= capacity t * t.f_max
+  && fold t (fun ok e -> ok && e.n <= t.f_max && e.n = List.length e.tuples) true

@@ -1,0 +1,76 @@
+(** Bounded storage for PMV entries (Section 3.2): a hash table from
+    basic condition part to its cached result tuples — the paper's
+    "index I on bcp" — with residency governed by a pluggable
+    replacement policy (CLOCK by default, 2Q per Section 3.5) and at
+    most F tuples per bcp. The entry table and the policy stay in lock
+    step: an entry exists iff its bcp is resident; evictions drop the
+    entry and report each dropped tuple through [on_change]. *)
+
+open Minirel_storage
+open Minirel_query
+
+type entry = {
+  e_bcp : Bcp.t;
+  mutable tuples : Tuple.t list;  (** most recently cached first; length <= F *)
+  mutable n : int;
+  mutable refs : int;  (** lifetime references; feeds popularity ranking *)
+}
+
+type change = Added | Removed
+
+type t
+
+(** @raise Invalid_argument if [f_max <= 0] or [capacity <= 0]. *)
+val create :
+  ?policy:Minirel_cache.Policies.kind -> capacity:int -> f_max:int -> unit -> t
+
+(** Observe every cached-tuple addition and removal (fills, deferred
+    maintenance, evictions); used to maintain auxiliary indexes. *)
+val set_on_change : t -> (change -> Bcp.t -> Tuple.t -> unit) -> unit
+
+val f_max : t -> int
+val capacity : t -> int
+val n_entries : t -> int
+val n_tuples : t -> int
+
+(** Current bytes of cached tuples (excluding the bcp index side). *)
+val tuple_bytes : t -> int
+
+val policy_name : t -> string
+val policy_stats : t -> Minirel_cache.Cache_stats.t
+
+(** Pure lookup: no recency update, no admission. *)
+val find : t -> Bcp.t -> entry option
+
+(** One query-time reference (Operation O2): [`Resident entry] serves;
+    [`Admitted entry] is 2Q's ghost promotion (empty entry, to be
+    filled by this query's O3); [`Rejected storable] is a miss —
+    [storable] tells whether O3 may admit the bcp when a result tuple
+    materialises ({!admit_for_fill}). *)
+val reference : t -> Bcp.t -> [ `Resident of entry | `Admitted of entry | `Rejected of bool ]
+
+(** Operation O3 admission: make the bcp resident (possibly purging a
+    victim) and return its (possibly fresh, empty) entry. *)
+val admit_for_fill : t -> Bcp.t -> entry
+
+(** Cache one result tuple, respecting the per-bcp bound F; [false]
+    when the entry is full. *)
+val add_tuple : t -> entry -> Tuple.t -> bool
+
+(** Remove one occurrence from the bcp's entry (deferred maintenance);
+    entries may become empty but keep their slot until evicted. *)
+val remove_tuple : t -> Bcp.t -> Tuple.t -> bool
+
+(** Remove every cached tuple satisfying the predicate; returns the
+    count. Conservative auxiliary-maintenance path. *)
+val remove_matching : t -> (Tuple.t -> bool) -> int
+
+(** Drop an entry and its residency entirely. *)
+val drop_entry : t -> Bcp.t -> unit
+
+val iter : t -> (entry -> unit) -> unit
+val fold : t -> ('a -> entry -> 'a) -> 'a -> 'a
+
+(** The Section 3.2 bounds: entries <= L, tuples <= L*F, every entry
+    consistent. *)
+val invariants_ok : t -> bool

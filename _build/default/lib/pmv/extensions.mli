@@ -1,0 +1,110 @@
+(** Extensions from Section 3.6: DISTINCT, aggregates, early
+    termination, and EXISTS-style nested queries, built on the same
+    O1/O2/O3 machinery. *)
+
+open Minirel_storage
+open Minirel_query
+
+(** {1 DISTINCT} *)
+
+(** Answer with set semantics: each distinct result tuple is delivered
+    exactly once, cached tuples first. Returns the answer statistics
+    and the number of distinct tuples delivered. *)
+val answer_distinct :
+  ?locks:Minirel_txn.Lock_manager.t ->
+  ?txn:int ->
+  view:View.t ->
+  Minirel_index.Catalog.t ->
+  Instance.t ->
+  on_tuple:(Answer.phase -> Tuple.t -> unit) ->
+  Answer.stats * int
+
+(** {1 Aggregates (group by)} *)
+
+type agg =
+  | Count
+  | Sum of int  (** position within the Ls' tuple *)
+  | Avg of int
+  | Min_agg of int
+  | Max_agg of int
+
+type grouped = {
+  partial_groups : (Tuple.t * float) list;
+      (** early, approximate: aggregated over the PMV-cached subset *)
+  exact_groups : (Tuple.t * float) list;  (** the final answer *)
+  answer_stats : Answer.stats;
+}
+
+(** Group-by aggregation with early partial aggregates; [group_by] and
+    the aggregate position index into the Ls' result tuple. The partial
+    groups summarise only the hot cached tuples and are delivered as
+    approximate, per the paper's adjusted user interface. *)
+val answer_grouped :
+  ?locks:Minirel_txn.Lock_manager.t ->
+  ?txn:int ->
+  view:View.t ->
+  Minirel_index.Catalog.t ->
+  Instance.t ->
+  group_by:int array ->
+  agg:agg ->
+  grouped
+
+(** {1 ORDER BY} *)
+
+type ordered = {
+  early_sorted : Tuple.t list;
+      (** the PMV-served subset, sorted — an immediate hot preview *)
+  final_sorted : Tuple.t list;  (** the full sorted answer *)
+  ordered_stats : Answer.stats;
+}
+
+(** Answer a query with an ORDER BY over the Ls'-tuple positions
+    [order_by] (Section 3.6's adjusted interface): a sorted preview of
+    the cached tuples is available before execution; the exact sorted
+    result follows. *)
+val answer_ordered :
+  ?locks:Minirel_txn.Lock_manager.t ->
+  ?txn:int ->
+  view:View.t ->
+  Minirel_index.Catalog.t ->
+  Instance.t ->
+  order_by:int array ->
+  ?desc:bool ->
+  unit ->
+  ordered
+
+(** {1 Early termination (Benefit 2)} *)
+
+exception Stop
+
+(** The first [k] result tuples (hot ones first), terminating the query
+    early once they are in hand. @raise Invalid_argument if [k <= 0]. *)
+val answer_first_k :
+  ?locks:Minirel_txn.Lock_manager.t ->
+  ?txn:int ->
+  view:View.t ->
+  Minirel_index.Catalog.t ->
+  Instance.t ->
+  k:int ->
+  Tuple.t list
+
+(** {1 EXISTS nested queries} *)
+
+(** Witness check for an EXISTS subquery: [true, `From_pmv] when the
+    subquery's PMV caches a satisfying tuple (pure lookups, no engine
+    work); otherwise executes just far enough to find one tuple. *)
+val exists_ :
+  view:View.t ->
+  Minirel_index.Catalog.t ->
+  Instance.t ->
+  bool * [ `From_pmv | `Executed ]
+
+(** Filter [candidates] by an EXISTS subquery built per candidate,
+    short-circuiting through the subquery's PMV. Returns the kept
+    candidates and how many checks the PMV answered. *)
+val filter_exists :
+  view:View.t ->
+  Minirel_index.Catalog.t ->
+  candidates:'a list ->
+  subquery_of:('a -> Instance.t) ->
+  'a list * int

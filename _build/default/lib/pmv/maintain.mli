@@ -1,0 +1,46 @@
+(** Deferred PMV maintenance (Section 3.4). On a change to a base
+    relation of the view:
+    {ul
+    {- insert: nothing — future queries fill new results lazily;}
+    {- delete: remove affected cached tuples, either by delta join (the
+       paper's base algorithm) or through the auxiliary indexes (the
+       full version's optimisation, conservative but join-free);}
+    {- update: skipped entirely when no attribute in Ls' or Cjoin
+       changed, otherwise the old versions are handled as deletions.}} *)
+
+type strategy =
+  | Delta_join  (** ΔR ⋈ other relations, then bcp-index lookups *)
+  | Aux_index  (** join-free victim lookup; falls back to [Delta_join]
+                   when the view has no auxiliary indexes *)
+
+val strategy_to_string : strategy -> string
+
+(** Positions in relation [i]'s schema that matter to the view (Ls',
+    join and fixed-predicate attributes). *)
+val relevant_positions : Minirel_query.Template.compiled -> int -> int list
+
+(** Whether an (old, new) update pair touches a relevant position. *)
+val update_is_relevant :
+  Minirel_query.Template.compiled ->
+  int ->
+  Minirel_storage.Tuple.t * Minirel_storage.Tuple.t ->
+  bool
+
+(** Process one transaction delta against the view. *)
+val on_delta :
+  ?strategy:strategy -> View.t -> Minirel_index.Catalog.t -> Minirel_txn.Txn.delta -> unit
+
+(** Subscribe the view to a transaction manager. With [use_locks]
+    (default true), maintenance takes an X lock on the view (Section
+    3.6); if a reader holds its S lock across O2-O3, the delta queues
+    and is applied at the next grantable opportunity — the answering
+    layer's stale purge keeps answers exact in the interim. *)
+val attach : ?strategy:strategy -> ?use_locks:bool -> View.t -> Minirel_txn.Txn.t -> unit
+
+(** Deltas waiting for the view's X lock. *)
+val n_pending : View.t -> int
+
+(** Apply queued deltas now (e.g. after the blocking reader finished). *)
+val flush_pending : ?strategy:strategy -> View.t -> Minirel_txn.Txn.t -> unit
+
+val detach : View.t -> Minirel_txn.Txn.t -> unit

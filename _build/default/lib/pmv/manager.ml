@@ -1,0 +1,114 @@
+(* Managing many PMVs at once: the paper argues the RDBMS "can afford
+   storing many PMVs" (Section 3.2's sizing example) — one per
+   frequently used query template. The manager owns a set of views
+   keyed by template name, sizes each one from a per-view storage
+   budget UB via the Section 3.2 rule, routes queries to the right
+   view, and attaches deferred maintenance for all of them. *)
+
+open Minirel_query
+module Catalog = Minirel_index.Catalog
+
+type entry = { view : View.t; ub_bytes : int option }
+
+type t = {
+  catalog : Catalog.t;
+  mutable views : (string * entry) list;  (* template name -> entry *)
+  mutable txn_mgr : Minirel_txn.Txn.t option;
+  default_f_max : int;
+  default_policy : Minirel_cache.Policies.kind;
+}
+
+let create ?(default_f_max = 2) ?(default_policy = Minirel_cache.Policies.Clock) catalog =
+  { catalog; views = []; txn_mgr = None; default_f_max; default_policy }
+
+let catalog t = t.catalog
+let views t = List.map (fun (_, e) -> e.view) t.views
+let n_views t = List.length t.views
+
+let find t ~template = Option.map (fun e -> e.view) (List.assoc_opt template t.views)
+
+(* Average tuple size used when no result sample is available. *)
+let default_avg_tuple_bytes = 64
+
+(* Create (and register) a PMV for the template. [ub_bytes] sizes the
+   view by the Section 3.2 rule L = UB / (F * At * 1.04); [sample]
+   refines At from representative result tuples. Alternatively pass
+   [capacity] directly. @raise Invalid_argument when the template
+   already has a view or when neither capacity nor budget is given. *)
+let create_view ?policy ?f_max ?capacity ?ub_bytes ?(sample = []) t compiled =
+  let name = compiled.Template.spec.Template.name in
+  if List.mem_assoc name t.views then
+    invalid_arg (Fmt.str "Manager.create_view: template %s already has a view" name);
+  let f_max = Option.value ~default:t.default_f_max f_max in
+  let policy = Option.value ~default:t.default_policy policy in
+  let capacity =
+    match (capacity, ub_bytes) with
+    | Some c, _ -> c
+    | None, Some ub ->
+        let avg =
+          match Template.avg_result_bytes sample with 0 -> default_avg_tuple_bytes | n -> n
+        in
+        let l = Sizing.max_entries { Sizing.ub_bytes = ub; f_max; avg_tuple_bytes = avg } in
+        if policy = Minirel_cache.Policies.Two_q then Sizing.two_q_am_of_clock_l l else l
+    | None, None ->
+        invalid_arg "Manager.create_view: pass either ~capacity or ~ub_bytes"
+  in
+  let view = View.create ~policy ~f_max ~capacity ~name compiled in
+  t.views <- (name, { view; ub_bytes }) :: t.views;
+  (match t.txn_mgr with Some mgr -> Maintain.attach view mgr | None -> ());
+  view
+
+(* Attach deferred maintenance for every current and future view. *)
+let attach_maintenance t mgr =
+  t.txn_mgr <- Some mgr;
+  List.iter (fun (_, e) -> Maintain.attach e.view mgr) t.views
+
+let drop_view t ~template =
+  (match (List.assoc_opt template t.views, t.txn_mgr) with
+  | Some e, Some mgr -> Maintain.detach e.view mgr
+  | _ -> ());
+  t.views <- List.remove_assoc template t.views
+
+(* Answer through the template's view when one exists, plainly
+   otherwise. Returns the stats and whether a view was used. *)
+let answer ?locks ?txn t instance ~on_tuple =
+  let name = (Instance.compiled instance).Template.spec.Template.name in
+  match find t ~template:name with
+  | Some view -> (Answer.answer ?locks ?txn ~view t.catalog instance ~on_tuple, true)
+  | None -> (Answer.answer_plain t.catalog instance ~on_tuple, false)
+
+(* Total approximate bytes across all views. *)
+let total_bytes t =
+  List.fold_left (fun acc (_, e) -> acc + View.size_bytes e.view) 0 t.views
+
+type report_row = {
+  template : string;
+  entries : int;
+  tuples : int;
+  bytes : int;
+  hit_ratio : float;
+  queries : int;
+}
+
+let report t =
+  List.map
+    (fun (template, e) ->
+      {
+        template;
+        entries = View.n_entries e.view;
+        tuples = View.n_tuples e.view;
+        bytes = View.size_bytes e.view;
+        hit_ratio = View.hit_ratio e.view;
+        queries = (View.stats e.view).View.queries;
+      })
+    t.views
+
+let pp_report ppf t =
+  Fmt.pf ppf "%-16s %-8s %-8s %-10s %-8s %-8s@." "template" "bcps" "tuples" "bytes" "hit"
+    "queries";
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "%-16s %-8d %-8d %-10d %-8.2f %-8d@." r.template r.entries r.tuples r.bytes
+        r.hit_ratio r.queries)
+    (report t);
+  Fmt.pf ppf "total: %d bytes across %d views@." (total_bytes t) (n_views t)

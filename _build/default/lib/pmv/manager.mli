@@ -1,0 +1,67 @@
+(** Managing many PMVs at once — one per frequently used query
+    template, as the paper's sizing example anticipates ("the memory
+    can hold many PMVs"). The manager sizes views from per-view storage
+    budgets via the Section 3.2 rule, routes queries to the right view,
+    and attaches deferred maintenance for all of them. *)
+
+open Minirel_query
+
+type t
+
+val create :
+  ?default_f_max:int ->
+  ?default_policy:Minirel_cache.Policies.kind ->
+  Minirel_index.Catalog.t ->
+  t
+
+val catalog : t -> Minirel_index.Catalog.t
+val views : t -> View.t list
+val n_views : t -> int
+
+(** The view registered for a template name, if any. *)
+val find : t -> template:string -> View.t option
+
+(** Create and register a PMV for the template. Size it either directly
+    ([capacity]) or from a storage budget ([ub_bytes], with [sample]
+    result tuples refining the paper's At). If maintenance is attached,
+    the new view subscribes immediately.
+    @raise Invalid_argument when the template already has a view or
+    when neither [capacity] nor [ub_bytes] is given. *)
+val create_view :
+  ?policy:Minirel_cache.Policies.kind ->
+  ?f_max:int ->
+  ?capacity:int ->
+  ?ub_bytes:int ->
+  ?sample:Minirel_storage.Tuple.t list ->
+  t ->
+  Template.compiled ->
+  View.t
+
+(** Attach deferred maintenance for every current and future view. *)
+val attach_maintenance : t -> Minirel_txn.Txn.t -> unit
+
+val drop_view : t -> template:string -> unit
+
+(** Answer through the template's view when one exists, plainly
+    otherwise; the boolean reports whether a view was used. *)
+val answer :
+  ?locks:Minirel_txn.Lock_manager.t ->
+  ?txn:int ->
+  t ->
+  Instance.t ->
+  on_tuple:(Answer.phase -> Minirel_storage.Tuple.t -> unit) ->
+  Answer.stats * bool
+
+val total_bytes : t -> int
+
+type report_row = {
+  template : string;
+  entries : int;
+  tuples : int;
+  bytes : int;
+  hit_ratio : float;
+  queries : int;
+}
+
+val report : t -> report_row list
+val pp_report : t Fmt.t

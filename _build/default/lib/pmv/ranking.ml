@@ -1,0 +1,31 @@
+(* Popularity ranking (the conclusion's "ranking query result tuples
+   according to their popularity"): the PMV already tracks how often
+   each basic condition part is referenced; result tuples inherit the
+   popularity of their containing bcp. *)
+
+open Minirel_storage
+open Minirel_query
+
+(* Lifetime reference count of the bcp containing [tuple]; 0 when the
+   bcp is not (or no longer) cached. *)
+let popularity view (tuple : Tuple.t) =
+  let compiled = View.compiled view in
+  let bcp = Condition_part.bcp_of_result compiled tuple in
+  match Entry_store.find (View.store view) bcp with
+  | Some entry -> entry.Entry_store.refs
+  | None -> 0
+
+(* Stable sort, most popular first. *)
+let rank_results view tuples =
+  let scored = List.map (fun t -> (popularity view t, t)) tuples in
+  List.map snd (List.stable_sort (fun (a, _) (b, _) -> Int.compare b a) scored)
+
+(* The hottest cached bcps with their reference counts, best first. *)
+let top_bcps view ~k =
+  let all =
+    Entry_store.fold (View.store view)
+      (fun acc e -> (e.Entry_store.e_bcp, e.Entry_store.refs) :: acc)
+      []
+  in
+  let sorted = List.stable_sort (fun (_, a) (_, b) -> Int.compare b a) all in
+  List.filteri (fun i _ -> i < k) sorted

@@ -1,0 +1,15 @@
+(** Popularity ranking (the conclusion's extension): result tuples
+    inherit the lifetime reference count of their containing basic
+    condition part. *)
+
+open Minirel_storage
+open Minirel_query
+
+(** 0 when the tuple's bcp is not (or no longer) cached. *)
+val popularity : View.t -> Tuple.t -> int
+
+(** Stable sort, most popular first. *)
+val rank_results : View.t -> Tuple.t list -> Tuple.t list
+
+(** The hottest cached bcps with their reference counts, best first. *)
+val top_bcps : View.t -> k:int -> (Bcp.t * int) list

@@ -1,0 +1,33 @@
+(* Sizing rules from Section 3.2 and the Section 4.1 accounting:
+
+     L * F * At <= UB           (entries x tuples-per-entry x bytes)
+
+   plus the simulation study's conventions: a bcp costs 4% of its F
+   tuples' storage, and matching the CLOCK and 2Q budgets means
+   L = 1.02 * N (2Q spends 0.02N-worth of budget on A1 ghosts). *)
+
+type t = {
+  ub_bytes : int;  (* the DBA's storage upper bound UB *)
+  f_max : int;  (* F: max result tuples cached per bcp *)
+  avg_tuple_bytes : int;  (* At, e.g. measured over a result sample *)
+}
+
+let bcp_overhead_fraction = 0.04
+
+(* Max entry count L under the budget: UB / (F*At * (1 + 4%)). *)
+let max_entries t =
+  if t.ub_bytes <= 0 || t.f_max <= 0 || t.avg_tuple_bytes <= 0 then
+    invalid_arg "Sizing.max_entries: all parameters must be positive";
+  let per_entry =
+    float_of_int (t.f_max * t.avg_tuple_bytes) *. (1.0 +. bcp_overhead_fraction)
+  in
+  max 1 (int_of_float (float_of_int t.ub_bytes /. per_entry))
+
+(* Equal-budget 2Q Am size: L = 1.02 * N (Section 4.1). *)
+let two_q_am_of_clock_l l = max 1 (int_of_float (float_of_int l /. 1.02))
+
+(* The paper's example: L = 10K entries, F = 2, At = 50 B -> <= ~1 MB,
+   "the memory can hold many PMVs". *)
+let footprint_bytes ~l ~f_max ~avg_tuple_bytes =
+  int_of_float
+    (float_of_int (l * f_max * avg_tuple_bytes) *. (1.0 +. bcp_overhead_fraction))

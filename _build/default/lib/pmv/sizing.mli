@@ -1,0 +1,23 @@
+(** Sizing rules from Sections 3.2 and 4.1: [L * F * At <= UB], a bcp
+    costs 4% of its F tuples' storage, and matching CLOCK and 2Q
+    budgets means L = 1.02 N. *)
+
+type t = {
+  ub_bytes : int;  (** the DBA's storage upper bound UB *)
+  f_max : int;  (** F: max cached result tuples per bcp *)
+  avg_tuple_bytes : int;  (** At, e.g. measured over a result sample *)
+}
+
+val bcp_overhead_fraction : float
+
+(** Maximum entry count L under the budget.
+    @raise Invalid_argument on non-positive parameters. *)
+val max_entries : t -> int
+
+(** Equal-budget 2Q Am size for a CLOCK capacity L (Section 4.1). *)
+val two_q_am_of_clock_l : int -> int
+
+(** Bytes used by [l] entries of [f_max] tuples averaging
+    [avg_tuple_bytes], bcp side included — the paper's example:
+    L=10K, F=2, At=50B is about 1 MB. *)
+val footprint_bytes : l:int -> f_max:int -> avg_tuple_bytes:int -> int

@@ -1,0 +1,1 @@
+lib/query/bcp.ml: Minirel_storage Tuple

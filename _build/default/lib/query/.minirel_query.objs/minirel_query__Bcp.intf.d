@@ -1,0 +1,1 @@
+lib/query/bcp.mli: Fmt Hashtbl Minirel_storage Tuple

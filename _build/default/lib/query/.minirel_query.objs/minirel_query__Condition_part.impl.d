@@ -1,0 +1,1 @@
+lib/query/condition_part.ml: Array Bcp Discretize Fmt Instance Interval List Minirel_storage Template Tuple Value

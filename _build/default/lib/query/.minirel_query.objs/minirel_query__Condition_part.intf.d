@@ -1,0 +1,1 @@
+lib/query/condition_part.mli: Bcp Fmt Instance Interval Minirel_storage Template Tuple Value

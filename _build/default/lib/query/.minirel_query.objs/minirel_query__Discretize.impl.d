@@ -1,0 +1,1 @@
+lib/query/discretize.ml: Array Fmt Interval List Minirel_storage Value

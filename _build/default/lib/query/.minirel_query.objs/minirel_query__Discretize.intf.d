@@ -1,0 +1,1 @@
+lib/query/discretize.mli: Fmt Interval Minirel_storage Value

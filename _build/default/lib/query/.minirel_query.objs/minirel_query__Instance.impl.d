@@ -1,0 +1,1 @@
+lib/query/instance.ml: Array Fmt Interval List Minirel_storage Predicate Template Value

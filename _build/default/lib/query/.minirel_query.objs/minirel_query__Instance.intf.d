@@ -1,0 +1,1 @@
+lib/query/instance.mli: Interval Minirel_storage Predicate Template Tuple Value

@@ -1,0 +1,1 @@
+lib/query/interval.ml: Fmt List Minirel_storage Value

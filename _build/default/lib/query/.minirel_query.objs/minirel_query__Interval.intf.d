@@ -1,0 +1,1 @@
+lib/query/interval.mli: Fmt Minirel_storage Value

@@ -1,0 +1,1 @@
+lib/query/predicate.ml: Array Fmt Interval List Minirel_storage Tuple Value

@@ -1,0 +1,1 @@
+lib/query/predicate.mli: Fmt Interval Minirel_storage Tuple Value

@@ -1,0 +1,1 @@
+lib/query/template.ml: Array Discretize Fmt List Minirel_index Minirel_storage Predicate Schema Tuple

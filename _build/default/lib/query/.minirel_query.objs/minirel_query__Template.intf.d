@@ -1,0 +1,1 @@
+lib/query/template.mli: Discretize Minirel_index Minirel_storage Predicate Schema Tuple

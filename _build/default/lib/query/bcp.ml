@@ -1,0 +1,22 @@
+(* Basic condition parts (Section 3.1), stored compactly: one coordinate
+   per selection condition Ci —
+
+   - equality form:  the value b_i itself;
+   - interval form:  [Value.Int id] of the basic interval (b_i, c_i).
+
+   A bcp is thus a small value array; equality, hashing and ordering are
+   those of [Tuple]. *)
+
+open Minirel_storage
+
+type t = Tuple.t
+
+let equal = Tuple.equal
+let compare = Tuple.compare
+let hash = Tuple.hash
+let pp = Tuple.pp
+let to_string = Tuple.to_string
+
+let size_bytes = Tuple.size_bytes
+
+module Table = Tuple.Table

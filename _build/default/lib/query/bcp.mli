@@ -1,0 +1,17 @@
+(** Basic condition parts (Section 3.1), stored compactly as one
+    coordinate per selection condition Ci: the value itself for
+    equality form, [Value.Int id] of the basic interval for interval
+    form. Equality, hashing and ordering are those of {!Tuple}. *)
+
+open Minirel_storage
+
+type t = Tuple.t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : t Fmt.t
+val to_string : t -> string
+val size_bytes : t -> int
+
+module Table : Hashtbl.S with type key = t

@@ -1,0 +1,102 @@
+(* Operation O1 (Section 3.3): break a query's Cselect into
+   non-overlapping condition parts, each tagged with its containing
+   basic condition part.
+
+   Per condition Ci the atoms are:
+   - equality form: one atom per value v (the condition part coordinate
+     equals its containing bcp coordinate — always exact);
+   - interval form: one atom per (basic interval ∩ query interval)
+     piece; exact iff the piece covers the whole basic interval.
+
+   The condition parts are the cross product of the per-Ci atoms. They
+   are pairwise non-overlapping because the values within an equality Ci
+   are distinct and both the query intervals and the basic intervals are
+   pairwise disjoint. *)
+
+open Minirel_storage
+
+type atom =
+  | A_eq of Value.t
+  | A_range of { id : int; piece : Interval.t; exact : bool }
+
+type t = { bcp : Bcp.t; exact : bool; atoms : atom array }
+
+let bcp t = t.bcp
+let is_exact t = t.exact
+
+let atom_coord = function
+  | A_eq v -> v
+  | A_range { id; _ } -> Value.Int id
+
+(* Atoms of condition Ci for the given disjuncts. *)
+let atoms_of_condition sel d =
+  match (sel, d) with
+  | Template.Eq_sel _, Instance.Dvalues vs -> List.map (fun v -> A_eq v) vs
+  | Template.Range_sel (_, grid), Instance.Dintervals ivs ->
+      List.concat_map
+        (fun iv ->
+          List.map
+            (fun (id, piece) ->
+              let exact = Interval.equal piece (Discretize.interval_of_id grid id) in
+              A_range { id; piece; exact })
+            (Discretize.decompose grid iv))
+        ivs
+  | Template.Eq_sel _, Instance.Dintervals _ | Template.Range_sel _, Instance.Dvalues _ ->
+      invalid_arg "Condition_part: parameter form mismatch"
+
+(* All condition parts of a query, cross product over the Ci atoms. *)
+let decompose instance =
+  let compiled = Instance.compiled instance in
+  let sels = compiled.Template.spec.Template.selections in
+  let per_condition =
+    Array.to_list (Array.mapi (fun i d -> atoms_of_condition sels.(i) d) (Instance.params instance))
+  in
+  let rec cross = function
+    | [] -> [ [] ]
+    | atoms :: rest ->
+        let tails = cross rest in
+        List.concat_map (fun a -> List.map (fun tail -> a :: tail) tails) atoms
+  in
+  List.map
+    (fun atom_list ->
+      let atoms = Array.of_list atom_list in
+      let bcp = Array.map atom_coord atoms in
+      let exact =
+        Array.for_all
+          (function A_eq _ -> true | A_range { exact; _ } -> exact)
+          atoms
+      in
+      { bcp; exact; atoms })
+    (cross per_condition)
+
+(* The paper's combination factor h: the number of condition parts. *)
+let combination_factor instance = List.length (decompose instance)
+
+(* Does the Ls' result tuple [result] belong to this condition part?
+   Note for Operation O2: when the tuple is already known to belong to
+   the cp's containing bcp (it came out of that bcp's PMV entry) and the
+   cp is exact, the check can be skipped — test [is_exact] first. *)
+let check compiled cp (result : Tuple.t) =
+  Array.for_all2
+    (fun atom pos ->
+      match atom with
+      | A_eq v -> Value.equal result.(pos) v
+      | A_range { piece; _ } -> Interval.contains piece result.(pos))
+    cp.atoms compiled.Template.sel_pos
+
+(* The containing bcp of a result tuple: read each selection attribute
+   out of the Ls' tuple and encode it as a bcp coordinate. Used in
+   Operation O3 to decide where a freshly computed tuple may be cached,
+   and by deferred maintenance to locate victims. *)
+let bcp_of_result compiled (result : Tuple.t) : Bcp.t =
+  let sels = compiled.Template.spec.Template.selections in
+  Array.mapi
+    (fun i sel ->
+      let v = result.(compiled.Template.sel_pos.(i)) in
+      match sel with
+      | Template.Eq_sel _ -> v
+      | Template.Range_sel (_, grid) -> Value.Int (Discretize.id_of_value grid v))
+    sels
+
+let pp ppf t =
+  Fmt.pf ppf "cp{bcp=%a%s}" Bcp.pp t.bcp (if t.exact then "" else " partial")

@@ -1,0 +1,37 @@
+(** Operation O1 (Section 3.3): break a query's Cselect into
+    non-overlapping condition parts, each tagged with its containing
+    basic condition part. Equality atoms are always exact; an interval
+    atom is exact iff the query covers its whole basic interval. *)
+
+open Minirel_storage
+
+type atom =
+  | A_eq of Value.t
+  | A_range of { id : int; piece : Interval.t; exact : bool }
+
+type t = { bcp : Bcp.t; exact : bool; atoms : atom array }
+
+val bcp : t -> Bcp.t
+
+(** Whether the condition part equals its containing bcp. *)
+val is_exact : t -> bool
+
+(** All condition parts of a query: the cross product of the per-Ci
+    atoms. Pairwise non-overlapping by construction. *)
+val decompose : Instance.t -> t list
+
+(** The paper's combination factor h = number of condition parts. *)
+val combination_factor : Instance.t -> int
+
+(** Membership of an Ls' result tuple in this condition part. For
+    tuples already known to belong to the part's bcp (they came out of
+    that bcp's PMV entry), test {!is_exact} first and skip the check. *)
+val check : Template.compiled -> t -> Tuple.t -> bool
+
+(** The containing bcp of a result tuple: selection attributes read
+    from the Ls' tuple, interval attributes mapped to basic-interval
+    ids. Operation O3 uses it to place freshly computed tuples;
+    deferred maintenance uses it to locate victims. *)
+val bcp_of_result : Template.compiled -> Tuple.t -> Bcp.t
+
+val pp : t Fmt.t

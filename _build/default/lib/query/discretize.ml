@@ -1,0 +1,105 @@
+(* Discretisation of an interval-form selection attribute into "basic
+   intervals" via dividing values (Section 3.1).
+
+   [cuts] = sorted distinct dividing values c_0 < c_1 < ... < c_{n-1}
+   induce n+1 basic intervals, identified by 0..n:
+
+     id 0  = (-inf, c_0)
+     id i  = [c_{i-1}, c_i)     for 0 < i < n
+     id n  = [c_{n-1}, +inf)
+
+   They are pairwise disjoint and cover the whole domain, as required.
+
+   Dividing values come from (a) the from/to lists of a form-based UI
+   ([of_from_to_lists]), (b) the DBA ([of_cuts]), or (c) a trace — the
+   paper cites continuous-feature discretisation [11]; [equi_depth]
+   implements the standard unsupervised variant: quantile cuts over a
+   sample of queried values. *)
+
+open Minirel_storage
+
+type t = { cuts : Value.t array }
+
+let of_cuts cuts =
+  let cuts = Array.of_list cuts in
+  Array.sort Value.compare cuts;
+  let distinct = ref [] in
+  Array.iter
+    (fun v ->
+      match !distinct with
+      | prev :: _ when Value.equal prev v -> ()
+      | _ -> distinct := v :: !distinct)
+    cuts;
+  { cuts = Array.of_list (List.rev !distinct) }
+
+(* n equal-width bins over integer domain [lo, hi): cuts at lo + k*w. *)
+let equal_width ~lo ~hi ~bins =
+  if bins < 1 then invalid_arg "Discretize.equal_width: bins must be >= 1";
+  if hi <= lo then invalid_arg "Discretize.equal_width: empty domain";
+  let w = max 1 ((hi - lo + bins - 1) / bins) in
+  let rec build acc c = if c >= hi then List.rev acc else build (Value.Int c :: acc) (c + w) in
+  of_cuts (build [] lo)
+
+(* Union of the UI's from-values and to-values (Section 3.1). *)
+let of_from_to_lists ~from_values ~to_values = of_cuts (from_values @ to_values)
+
+(* Quantile cuts from a sample (equi-depth / unsupervised discretisation). *)
+let equi_depth ~bins samples =
+  if bins < 1 then invalid_arg "Discretize.equi_depth: bins must be >= 1";
+  let arr = Array.of_list samples in
+  Array.sort Value.compare arr;
+  let n = Array.length arr in
+  if n = 0 then { cuts = [||] }
+  else begin
+    let cuts = ref [] in
+    for k = 1 to bins - 1 do
+      let idx = k * n / bins in
+      if idx < n then cuts := arr.(idx) :: !cuts
+    done;
+    of_cuts !cuts
+  end
+
+let n_intervals t = Array.length t.cuts + 1
+
+(* @raise Invalid_argument on out-of-range id. *)
+let interval_of_id t id =
+  let n = Array.length t.cuts in
+  if id < 0 || id > n then invalid_arg "Discretize.interval_of_id";
+  if n = 0 then Interval.full
+  else if id = 0 then Interval.below t.cuts.(0)
+  else if id = n then Interval.at_least t.cuts.(n - 1)
+  else Interval.half_open ~lo:t.cuts.(id - 1) ~hi:t.cuts.(id)
+
+(* id of the basic interval containing [v]: the number of cuts <= v. *)
+let id_of_value t v =
+  let lo = ref 0 and hi = ref (Array.length t.cuts) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Value.compare t.cuts.(mid) v <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* All (basic interval id, basic ∩ query) pieces overlapping a query
+   interval, in id order. This is the per-Ci step of Operation O1. *)
+let decompose t query_interval =
+  let n = n_intervals t in
+  (* Locate the first candidate id via the query's lower bound. *)
+  let first =
+    match query_interval.Interval.lo with
+    | Interval.Neg_inf -> 0
+    | Interval.L_incl v | Interval.L_excl v -> id_of_value t v
+  in
+  let rec collect id acc =
+    if id >= n then List.rev acc
+    else
+      let basic = interval_of_id t id in
+      match Interval.intersect basic query_interval with
+      | Some piece -> collect (id + 1) ((id, piece) :: acc)
+      | None ->
+          (* ids are ordered; once past the query's upper end, stop *)
+          if acc = [] then collect (id + 1) acc else List.rev acc
+  in
+  collect first []
+
+let pp ppf t =
+  Fmt.pf ppf "cuts=[%a]" Fmt.(array ~sep:semi Value.pp) t.cuts

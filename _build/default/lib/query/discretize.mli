@@ -1,0 +1,43 @@
+(** Discretisation of an interval-form selection attribute into "basic
+    intervals" via dividing values (Section 3.1 of the paper).
+
+    Sorted distinct cuts [c_0 < ... < c_{n-1}] induce [n+1] basic
+    intervals identified by [0..n]:
+    {ul
+    {- id [0] = (-inf, c_0)}
+    {- id [i] = [c_{i-1}, c_i) for 0 < i < n}
+    {- id [n] = [c_{n-1}, +inf)}}
+    They are pairwise disjoint and cover the whole domain. *)
+
+open Minirel_storage
+
+type t
+
+(** Build a grid; cuts are sorted and deduplicated. *)
+val of_cuts : Value.t list -> t
+
+(** [bins] equal-width cuts over the integer domain [lo, hi).
+    @raise Invalid_argument on an empty domain or [bins < 1]. *)
+val equal_width : lo:int -> hi:int -> bins:int -> t
+
+(** Dividing values from a form-based UI's from/to lists (Section 3.1). *)
+val of_from_to_lists : from_values:Value.t list -> to_values:Value.t list -> t
+
+(** Quantile cuts from a sample of queried values — the unsupervised
+    continuous-feature-discretisation stand-in the paper cites.
+    @raise Invalid_argument if [bins < 1]. *)
+val equi_depth : bins:int -> Value.t list -> t
+
+val n_intervals : t -> int
+
+(** @raise Invalid_argument on out-of-range ids. *)
+val interval_of_id : t -> int -> Interval.t
+
+(** Id of the basic interval containing the value. *)
+val id_of_value : t -> Value.t -> int
+
+(** All (basic id, basic ∩ query) pieces overlapping the query
+    interval, in id order — the per-condition step of Operation O1. *)
+val decompose : t -> Interval.t -> (int * Interval.t) list
+
+val pp : t Fmt.t

@@ -1,0 +1,68 @@
+(* A query: a compiled template plus one disjunct list per selection
+   condition Ci. Different queries from one template may have different
+   numbers of disjuncts (the paper's u_i). *)
+
+open Minirel_storage
+
+type disjuncts =
+  | Dvalues of Value.t list  (* equality form: v_{i,1} or ... or v_{i,u} *)
+  | Dintervals of Interval.t list  (* interval form: disjoint intervals *)
+
+type t = { compiled : Template.compiled; params : disjuncts array }
+
+(* @raise Invalid_argument when the parameter shapes do not match the
+   template: wrong arity, an equality Ci given intervals (or vice
+   versa), empty or duplicated values, overlapping intervals. *)
+let make compiled params =
+  let sels = compiled.Template.spec.Template.selections in
+  if Array.length params <> Array.length sels then
+    invalid_arg "Instance.make: wrong number of parameter groups";
+  Array.iteri
+    (fun i d ->
+      match (sels.(i), d) with
+      | Template.Eq_sel _, Dvalues [] -> invalid_arg "Instance.make: empty value list"
+      | Template.Eq_sel _, Dvalues vs ->
+          let sorted = List.sort_uniq Value.compare vs in
+          if List.length sorted <> List.length vs then
+            invalid_arg "Instance.make: duplicate values in an equality condition"
+      | Template.Range_sel _, Dintervals [] ->
+          invalid_arg "Instance.make: empty interval list"
+      | Template.Range_sel _, Dintervals ivs ->
+          if List.exists Interval.is_empty ivs then
+            invalid_arg "Instance.make: empty interval";
+          if not (Interval.pairwise_disjoint ivs) then
+            invalid_arg "Instance.make: intervals of one condition must be disjoint"
+      | Template.Eq_sel _, Dintervals _ | Template.Range_sel _, Dvalues _ ->
+          invalid_arg (Fmt.str "Instance.make: parameter %d has the wrong form" i))
+    params;
+  { compiled; params }
+
+let compiled t = t.compiled
+let params t = t.params
+
+(* Ci as a predicate over a tuple where the attribute of Ci sits at
+   position [pos]. *)
+let condition_pred pos = function
+  | Dvalues vs -> Predicate.In_set (pos, vs)
+  | Dintervals ivs -> Predicate.Or (List.map (fun iv -> Predicate.In_interval (pos, iv)) ivs)
+
+(* Cselect over an Ls' result tuple. *)
+let cselect_pred_result t =
+  Predicate.conj
+    (Array.to_list
+       (Array.mapi (fun i d -> condition_pred t.compiled.Template.sel_pos.(i) d) t.params))
+
+(* Cselect over a joined tuple. *)
+let cselect_pred_joined t =
+  let sels = t.compiled.Template.spec.Template.selections in
+  Predicate.conj
+    (Array.to_list
+       (Array.mapi
+          (fun i d ->
+            let pos = Template.joined_pos t.compiled (Template.selection_attr sels.(i)) in
+            condition_pred pos d)
+          t.params))
+
+(* A result tuple satisfies the query iff it satisfies Cselect (all PMV
+   tuples and all executor outputs already satisfy Cjoin). *)
+let accepts_result t result = Predicate.eval (cselect_pred_result t) result

@@ -1,0 +1,32 @@
+(** A query: a compiled template plus one disjunct list per selection
+    condition Ci. Different queries from one template may have
+    different numbers of disjuncts (the paper's u_i). *)
+
+open Minirel_storage
+
+type disjuncts =
+  | Dvalues of Value.t list  (** equality form: v1 or v2 or ... *)
+  | Dintervals of Interval.t list  (** interval form: disjoint intervals *)
+
+type t
+
+(** @raise Invalid_argument when the parameter shapes do not match the
+    template: wrong arity, wrong form for a condition, empty or
+    duplicate values, empty or overlapping intervals. *)
+val make : Template.compiled -> disjuncts array -> t
+
+val compiled : t -> Template.compiled
+val params : t -> disjuncts array
+
+(** Ci as a predicate over a tuple whose Ci-attribute sits at [pos]. *)
+val condition_pred : int -> disjuncts -> Predicate.t
+
+(** Cselect over an Ls' result tuple. *)
+val cselect_pred_result : t -> Predicate.t
+
+(** Cselect over a joined tuple. *)
+val cselect_pred_joined : t -> Predicate.t
+
+(** Whether an Ls' result tuple satisfies the query (every PMV tuple
+    and executor output already satisfies Cjoin). *)
+val accepts_result : t -> Tuple.t -> bool

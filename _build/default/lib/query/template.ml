@@ -1,0 +1,149 @@
+(* Query templates (Section 2.1):
+
+     qt: select Ls from R1, ..., Rn where Cjoin and Cselect
+
+   [Cjoin] = equijoins + parameter-free per-relation predicates.
+   [Cselect] = C1 ∧ ... ∧ Cm, each Ci a disjunction of equalities or of
+   disjoint intervals over one attribute, with the attribute fixed by
+   the template and the constants supplied per query.
+
+   [compile] resolves attribute names against a catalog and precomputes
+   the positional layout: the joined tuple is the concatenation of the
+   base tuples in relation order; the PMV works over the *expanded*
+   select list Ls' = Ls ∪ attrs(Cselect) (Section 3.2). *)
+
+open Minirel_storage
+
+type attr_ref = { rel : int; attr : string }
+
+let attr_ref ~rel ~attr = { rel; attr }
+
+type selection = Eq_sel of attr_ref | Range_sel of attr_ref * Discretize.t
+
+let selection_attr = function Eq_sel a -> a | Range_sel (a, _) -> a
+
+type spec = {
+  name : string;
+  relations : string array;  (* catalog relation names, join order *)
+  joins : (attr_ref * attr_ref) list;  (* equijoin edges of Cjoin *)
+  fixed : (int * Predicate.t) list;  (* per-relation parameter-free filters *)
+  select_list : attr_ref list;  (* Ls *)
+  selections : selection array;  (* C1 .. Cm *)
+}
+
+type compiled = {
+  spec : spec;
+  schemas : Schema.t array;
+  offsets : int array;  (* start position of relation i in the joined tuple *)
+  joined_arity : int;
+  expanded_select : attr_ref list;  (* Ls' *)
+  expanded_joined_pos : int array;  (* joined-tuple position of each Ls' attr *)
+  sel_pos : int array;  (* per Ci: position of its attribute inside the Ls' tuple *)
+  visible_pos : int array;  (* positions of Ls inside the Ls' tuple *)
+}
+
+let m spec = Array.length spec.selections
+let n_relations spec = Array.length spec.relations
+
+let validate_spec spec =
+  let n = n_relations spec in
+  if n < 1 then invalid_arg "Template: need at least one relation";
+  let check_ref ctx { rel; attr } =
+    if rel < 0 || rel >= n then
+      invalid_arg (Fmt.str "Template %s: %s refers to relation #%d" spec.name ctx rel);
+    if attr = "" then invalid_arg (Fmt.str "Template %s: empty attribute" spec.name)
+  in
+  List.iter
+    (fun (a, b) ->
+      check_ref "join" a;
+      check_ref "join" b)
+    spec.joins;
+  List.iter (check_ref "select list") spec.select_list;
+  Array.iter (fun s -> check_ref "selection" (selection_attr s)) spec.selections;
+  List.iter
+    (fun (rel, _) ->
+      if rel < 0 || rel >= n then invalid_arg (Fmt.str "Template %s: fixed pred relation" spec.name))
+    spec.fixed;
+  if spec.select_list = [] then invalid_arg "Template: empty select list";
+  if Array.length spec.selections = 0 then
+    invalid_arg "Template: Cselect needs at least one condition"
+
+(* Resolve against the catalog. @raise Not_found for unknown relations,
+   Invalid_argument for unknown attributes. *)
+let compile catalog spec =
+  validate_spec spec;
+  let schemas =
+    Array.map (fun name -> Minirel_index.Catalog.schema catalog name) spec.relations
+  in
+  let n = Array.length schemas in
+  let offsets = Array.make n 0 in
+  for i = 1 to n - 1 do
+    offsets.(i) <- offsets.(i - 1) + Schema.arity schemas.(i - 1)
+  done;
+  let joined_arity = offsets.(n - 1) + Schema.arity schemas.(n - 1) in
+  let joined_pos { rel; attr } =
+    match Schema.pos_opt schemas.(rel) attr with
+    | Some p -> offsets.(rel) + p
+    | None ->
+        invalid_arg
+          (Fmt.str "Template %s: attribute %s not in relation %s" spec.name attr
+             spec.relations.(rel))
+  in
+  (* Ls' = Ls followed by the Cselect attributes not already in Ls. *)
+  let sel_attrs = Array.to_list (Array.map selection_attr spec.selections) in
+  let expanded_select =
+    spec.select_list
+    @ List.filter
+        (fun a -> not (List.exists (fun b -> joined_pos a = joined_pos b) spec.select_list))
+        (List.sort_uniq compare sel_attrs)
+  in
+  let expanded_joined_pos = Array.of_list (List.map joined_pos expanded_select) in
+  let pos_in_expanded a =
+    let target = joined_pos a in
+    let rec find i =
+      if i >= Array.length expanded_joined_pos then
+        invalid_arg "Template.compile: attr missing from Ls'"
+      else if expanded_joined_pos.(i) = target then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let sel_pos = Array.map (fun s -> pos_in_expanded (selection_attr s)) spec.selections in
+  let visible_pos = Array.of_list (List.map pos_in_expanded spec.select_list) in
+  { spec; schemas; offsets; joined_arity; expanded_select; expanded_joined_pos; sel_pos; visible_pos }
+
+let joined_pos c { rel; attr } = c.offsets.(rel) + Schema.pos c.schemas.(rel) attr
+
+(* Position of an attribute within the Ls' result tuple.
+   @raise Not_found when the attribute is not part of Ls'. *)
+let expanded_pos c a =
+  let target = joined_pos c a in
+  let rec find i =
+    if i >= Array.length c.expanded_joined_pos then raise Not_found
+    else if c.expanded_joined_pos.(i) = target then i
+    else find (i + 1)
+  in
+  find 0
+
+(* Project a joined tuple onto Ls' — the shape stored in PMVs and
+   returned to the answering layer. *)
+let result_of_joined c joined = Tuple.project joined c.expanded_joined_pos
+
+(* Project an Ls' result tuple onto the user-visible Ls. *)
+let visible_of_result c result = Tuple.project result c.visible_pos
+
+(* Fixed (parameter-free) predicate of relation [i], positions shifted
+   into joined-tuple coordinates. *)
+let fixed_pred_joined c i =
+  Predicate.conj
+    (List.filter_map
+       (fun (rel, p) -> if rel = i then Some (Predicate.shift c.offsets.(i) p) else None)
+       c.spec.fixed)
+
+(* Average Ls'-tuple size in bytes over a sample; the paper's [At]. *)
+let avg_result_bytes sample =
+  match sample with
+  | [] -> 0
+  | _ ->
+      let total = List.fold_left (fun acc t -> acc + Tuple.size_bytes t) 0 sample in
+      total / List.length sample

@@ -1,0 +1,74 @@
+(** Query templates (Section 2.1 of the paper):
+
+    {v qt: select Ls from R1, ..., Rn where Cjoin and Cselect v}
+
+    [Cjoin] = equijoin edges plus parameter-free per-relation
+    predicates; [Cselect] = C1 ∧ ... ∧ Cm, each Ci a disjunction of
+    equalities or of disjoint intervals over one attribute fixed by the
+    template, with the constants supplied per query ({!Instance}).
+
+    [compile] resolves names against a catalog and precomputes the
+    positional layout. The joined tuple is the concatenation of base
+    tuples in relation order; PMVs work over the {e expanded} select
+    list Ls' = Ls ∪ attrs(Cselect) (Section 3.2). *)
+
+open Minirel_storage
+
+type attr_ref = { rel : int  (** index into [relations] *); attr : string }
+
+val attr_ref : rel:int -> attr:string -> attr_ref
+
+type selection = Eq_sel of attr_ref | Range_sel of attr_ref * Discretize.t
+
+val selection_attr : selection -> attr_ref
+
+type spec = {
+  name : string;
+  relations : string array;  (** catalog relation names, join order *)
+  joins : (attr_ref * attr_ref) list;  (** equijoin edges of Cjoin *)
+  fixed : (int * Predicate.t) list;
+      (** per-relation parameter-free filters; positions are local to
+          that relation's schema *)
+  select_list : attr_ref list;  (** Ls *)
+  selections : selection array;  (** C1 .. Cm *)
+}
+
+type compiled = {
+  spec : spec;
+  schemas : Schema.t array;
+  offsets : int array;  (** start of relation i in the joined tuple *)
+  joined_arity : int;
+  expanded_select : attr_ref list;  (** Ls' *)
+  expanded_joined_pos : int array;  (** joined-tuple position per Ls' attr *)
+  sel_pos : int array;  (** per Ci: its attribute's position in the Ls' tuple *)
+  visible_pos : int array;  (** positions of Ls within the Ls' tuple *)
+}
+
+val m : spec -> int
+val n_relations : spec -> int
+
+(** Resolve the spec against the catalog.
+    @raise Invalid_argument on malformed specs or unknown attributes;
+    @raise Not_found on unknown relations. *)
+val compile : Minirel_index.Catalog.t -> spec -> compiled
+
+(** Joined-tuple position of an attribute. *)
+val joined_pos : compiled -> attr_ref -> int
+
+(** Position of an attribute within the Ls' result tuple.
+    @raise Not_found when the attribute is not part of Ls'. *)
+val expanded_pos : compiled -> attr_ref -> int
+
+(** Project a joined tuple onto Ls' — the shape PMVs store and the
+    answering layer streams. *)
+val result_of_joined : compiled -> Tuple.t -> Tuple.t
+
+(** Project an Ls' result tuple onto the user-visible Ls. *)
+val visible_of_result : compiled -> Tuple.t -> Tuple.t
+
+(** Fixed predicate of relation [i] with positions shifted into
+    joined-tuple coordinates. *)
+val fixed_pred_joined : compiled -> int -> Predicate.t
+
+(** Mean Ls'-tuple size in bytes over a sample; the paper's [At]. *)
+val avg_result_bytes : Tuple.t list -> int

@@ -1,0 +1,1 @@
+lib/shell/shell.ml: Array Fmt Int64 Interval List Minirel_exec Minirel_index Minirel_query Minirel_sql Minirel_storage Minirel_txn Option Pmv Predicate Schema String Template Tuple Value

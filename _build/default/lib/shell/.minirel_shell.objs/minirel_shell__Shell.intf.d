@@ -1,0 +1,1 @@
+lib/shell/shell.mli: Fmt Minirel_index Minirel_sql Minirel_storage Minirel_txn Pmv Tuple Value

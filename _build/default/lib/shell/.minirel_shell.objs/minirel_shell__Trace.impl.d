@@ -1,0 +1,1 @@
+lib/shell/trace.ml: Fun List Minirel_sql Pmv Shell String

@@ -1,0 +1,1 @@
+lib/shell/trace.mli: Minirel_sql Pmv Shell

@@ -1,0 +1,411 @@
+(* The shell: a complete statement interpreter tying the SQL frontend to
+   the engine and the PMV layer. One shell owns a catalog, a SQL
+   session (template cache + grids), a transaction manager, and a
+   Pmv.Manager with one budgeted view per query template.
+
+   SELECTs route through the template's PMV (partial results counted);
+   GROUP BY aggregates are evaluated over the answer stream with an
+   early partial-groups preview; ORDER BY and LIMIT are applied at the
+   end (LIMIT without ORDER BY terminates execution early through the
+   PMV's first-k path). DDL and DML statements run through the
+   transaction manager so deferred PMV maintenance fires. *)
+
+open Minirel_storage
+open Minirel_query
+module Catalog = Minirel_index.Catalog
+module Session = Minirel_sql.Session
+module Ast = Minirel_sql.Ast
+module Parser = Minirel_sql.Parser
+module Binder = Minirel_sql.Binder
+
+type t = {
+  catalog : Catalog.t;
+  session : Session.t;
+  txn_mgr : Minirel_txn.Txn.t;
+  manager : Pmv.Manager.t;
+  view_ub_bytes : int;  (* budget per automatically created view *)
+  auto_views : bool;
+  mutable recorder : (string -> unit) option;  (* successful statements *)
+}
+
+let create ?(view_ub_bytes = 262_144) ?(auto_views = true) catalog =
+  let txn_mgr = Minirel_txn.Txn.create catalog in
+  let manager = Pmv.Manager.create catalog in
+  Pmv.Manager.attach_maintenance manager txn_mgr;
+  {
+    catalog;
+    session = Session.create catalog;
+    txn_mgr;
+    manager;
+    view_ub_bytes;
+    auto_views;
+    recorder = None;
+  }
+
+(* Observe every successfully executed statement (e.g. into a Trace). *)
+let set_recorder t f = t.recorder <- Some f
+
+let catalog t = t.catalog
+let session t = t.session
+let manager t = t.manager
+let txn_mgr t = t.txn_mgr
+
+type result =
+  | Rows of {
+      header : string list;
+      rows : Tuple.t list;  (* user-visible shape, ordered/limited *)
+      from_pmv : int;  (* tuples that arrived via O2 *)
+      total : int;  (* result tuples before LIMIT *)
+      overhead_ns : int64;
+    }
+  | Grouped of {
+      header : string list;
+      groups : (Tuple.t * Value.t list) list;  (* key, aggregate values *)
+      partial_groups : (Tuple.t * Value.t list) list;
+          (* early preview over the PMV-cached subset *)
+    }
+  | Table_created of string
+  | Index_created of string
+  | Inserted of int
+  | Updated of int
+  | Deleted of int
+  | Explained of string  (* physical plan text *)
+
+exception Error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+(* --- aggregate folding over collected Ls' tuples --- *)
+
+type acc = { mutable cnt : int; mutable sum : float; mutable mn : Value.t option; mutable mx : Value.t option }
+
+let new_acc () = { cnt = 0; sum = 0.0; mn = None; mx = None }
+
+let acc_add acc v =
+  acc.cnt <- acc.cnt + 1;
+  match v with
+  | None -> ()
+  | Some v ->
+      (match v with
+      | Value.Int i -> acc.sum <- acc.sum +. float_of_int i
+      | Value.Float f -> acc.sum <- acc.sum +. f
+      | Value.Null -> ()
+      | Value.Str _ -> ());
+      (match acc.mn with
+      | None -> acc.mn <- Some v
+      | Some m -> if Value.compare v m < 0 then acc.mn <- Some v);
+      match acc.mx with
+      | None -> acc.mx <- Some v
+      | Some m -> if Value.compare v m > 0 then acc.mx <- Some v
+
+let acc_finish f acc =
+  match f with
+  | Ast.F_count -> Value.Int acc.cnt
+  | Ast.F_sum -> Value.Float acc.sum
+  | Ast.F_avg -> if acc.cnt = 0 then Value.Null else Value.Float (acc.sum /. float_of_int acc.cnt)
+  | Ast.F_min -> Option.value ~default:Value.Null acc.mn
+  | Ast.F_max -> Option.value ~default:Value.Null acc.mx
+
+let group_rows compiled (bound : Binder.bound) rows =
+  let key_pos =
+    Array.of_list (List.map (Template.expanded_pos compiled) bound.Binder.group_by)
+  in
+  let agg_pos =
+    List.map
+      (fun (f, arg) -> (f, Option.map (Template.expanded_pos compiled) arg))
+      bound.Binder.aggregates
+  in
+  let tbl = Tuple.Table.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun row ->
+      let key = Tuple.project row key_pos in
+      let accs =
+        match Tuple.Table.find_opt tbl key with
+        | Some accs -> accs
+        | None ->
+            let accs = List.map (fun _ -> new_acc ()) agg_pos in
+            Tuple.Table.replace tbl key accs;
+            order := key :: !order;
+            accs
+      in
+      List.iter2
+        (fun acc (_, pos) -> acc_add acc (Option.map (fun p -> row.(p)) pos))
+        accs agg_pos)
+    rows;
+  List.rev_map
+    (fun key ->
+      let accs = Option.get (Tuple.Table.find_opt tbl key) in
+      (key, List.map2 (fun acc (f, _) -> acc_finish f acc) accs agg_pos))
+    !order
+  |> List.sort (fun (a, _) (b, _) -> Tuple.compare a b)
+
+let agg_name (f, arg) =
+  let fname =
+    match f with
+    | Ast.F_count -> "count"
+    | Ast.F_sum -> "sum"
+    | Ast.F_avg -> "avg"
+    | Ast.F_min -> "min"
+    | Ast.F_max -> "max"
+  in
+  match arg with
+  | None -> fname ^ "(*)"
+  | Some (r : Template.attr_ref) -> Fmt.str "%s(%s)" fname r.Template.attr
+
+(* --- SELECT --- *)
+
+let ensure_view t compiled =
+  let template = compiled.Template.spec.Template.name in
+  if t.auto_views && Pmv.Manager.find t.manager ~template = None then
+    ignore (Pmv.Manager.create_view ~ub_bytes:t.view_ub_bytes ~f_max:3 t.manager compiled)
+
+let run_select t sql =
+  let compiled, instance, bound = Session.query_bound t.session sql in
+  ensure_view t compiled;
+  let all = ref [] and partial = ref 0 in
+  let collect phase tuple =
+    all := tuple :: !all;
+    if phase = Pmv.Answer.Partial then incr partial
+  in
+  if bound.Binder.aggregates = [] then begin
+    (* plain rows; LIMIT without ORDER BY can stop execution early *)
+    let stats_overhead = ref 0L and total = ref 0 in
+    (match (bound.Binder.limit, bound.Binder.order_by) with
+    | Some 0, [] -> ()
+    | Some k, [] -> (
+        (* no ordering: stop execution after k tuples (Benefit 2) *)
+        match Pmv.Manager.find t.manager ~template:compiled.Template.spec.Template.name with
+        | Some view ->
+            let rows = Pmv.Extensions.answer_first_k ~view t.catalog instance ~k in
+            all := List.rev rows;
+            total := List.length rows
+        | None ->
+            let stats, _ = Pmv.Manager.answer t.manager instance ~on_tuple:collect in
+            stats_overhead := stats.Pmv.Answer.overhead_ns;
+            total := stats.Pmv.Answer.total_count)
+    | _ ->
+        let stats, _ = Pmv.Manager.answer t.manager instance ~on_tuple:collect in
+        stats_overhead := stats.Pmv.Answer.overhead_ns;
+        total := stats.Pmv.Answer.total_count);
+    let rows = List.rev !all in
+    let rows =
+      match bound.Binder.order_by with
+      | [] -> rows
+      | order ->
+          let keys = Array.of_list (List.map (fun (a, _) -> Template.expanded_pos compiled a) order) in
+          let descs = List.map snd order in
+          let cmp a b =
+            let rec go i = function
+              | [] -> 0
+              | desc :: rest ->
+                  let c = Value.compare a.(keys.(i)) b.(keys.(i)) in
+                  if c <> 0 then if desc then -c else c else go (i + 1) rest
+            in
+            go 0 descs
+          in
+          List.stable_sort cmp rows
+    in
+    let rows =
+      match bound.Binder.limit with
+      | Some k -> List.filteri (fun i _ -> i < k) rows
+      | None -> rows
+    in
+    let header =
+      List.map (fun (a : Template.attr_ref) -> a.Template.attr) compiled.Template.spec.Template.select_list
+    in
+    let visible = List.map (Template.visible_of_result compiled) rows in
+    let visible =
+      if not bound.Binder.distinct then visible
+      else begin
+        (* set semantics over the user-visible rows, first occurrence
+           kept (so ORDER BY order survives) *)
+        let seen = Tuple.Table.create 64 in
+        List.filter
+          (fun row ->
+            if Tuple.Table.mem seen row then false
+            else begin
+              Tuple.Table.replace seen row ();
+              true
+            end)
+          visible
+      end
+    in
+    Rows
+      {
+        header;
+        rows = visible;
+        from_pmv = !partial;
+        total = !total;
+        overhead_ns = !stats_overhead;
+      }
+  end
+  else begin
+    let partial_rows = ref [] in
+    let collect2 phase tuple =
+      all := tuple :: !all;
+      if phase = Pmv.Answer.Partial then begin
+        incr partial;
+        partial_rows := tuple :: !partial_rows
+      end
+    in
+    let _stats, _ = Pmv.Manager.answer t.manager instance ~on_tuple:collect2 in
+    let groups = group_rows compiled bound (List.rev !all) in
+    let partial_groups = group_rows compiled bound (List.rev !partial_rows) in
+    let limit gs =
+      match bound.Binder.limit with
+      | Some k -> List.filteri (fun i _ -> i < k) gs
+      | None -> gs
+    in
+    let header =
+      List.map (fun (a : Template.attr_ref) -> a.Template.attr) bound.Binder.group_by
+      @ List.map agg_name bound.Binder.aggregates
+    in
+    Grouped { header; groups = limit groups; partial_groups = limit partial_groups }
+  end
+
+(* --- DDL / DML --- *)
+
+let col_ty = function
+  | Ast.T_int -> Schema.Tint
+  | Ast.T_float -> Schema.Tfloat
+  | Ast.T_string -> Schema.Tstr
+
+let typed_value schema pos lit =
+  let v = Ast.lit_to_value lit in
+  match (Schema.attr_ty schema pos, v) with
+  | Schema.Tfloat, Value.Int i -> Value.Float (float_of_int i)
+  | ty, v ->
+      if Schema.ty_matches ty v then v
+      else fail "value %a has the wrong type for column %s" Value.pp v (Schema.attr_name schema pos)
+
+(* conjunctive WHERE of a DELETE as a predicate over the relation *)
+let delete_pred schema atoms =
+  let resolve (a : Ast.qattr) =
+    match Schema.pos_opt schema a.Ast.q_attr with
+    | Some p -> p
+    | None -> fail "unknown column %s" a.Ast.q_attr
+  in
+  Predicate.conj
+    (List.map
+       (function
+         | Ast.A_join _ -> fail "DELETE supports only column-vs-literal conditions"
+         | Ast.A_cmp (a, op, lit) ->
+             let pos = resolve a in
+             let v = typed_value schema pos lit in
+             let cmp =
+               match op with
+               | Ast.Ceq -> Predicate.Eq
+               | Ast.Cne -> Predicate.Ne
+               | Ast.Clt -> Predicate.Lt
+               | Ast.Cle -> Predicate.Le
+               | Ast.Cgt -> Predicate.Gt
+               | Ast.Cge -> Predicate.Ge
+             in
+             Predicate.Cmp (cmp, pos, v)
+         | Ast.A_between (a, lo, hi) ->
+             let pos = resolve a in
+             Predicate.In_interval
+               (pos, Interval.closed ~lo:(typed_value schema pos lo) ~hi:(typed_value schema pos hi))
+         | Ast.A_in (a, lits) ->
+             let pos = resolve a in
+             Predicate.In_set (pos, List.map (typed_value schema pos) lits))
+       atoms)
+
+let exec_statement t sql =
+  match Parser.parse_statement sql with
+  | Ast.St_select _ -> run_select t sql
+  | Ast.St_create_table { table; cols } ->
+      let schema = Schema.create table (List.map (fun (n, ty) -> (n, col_ty ty)) cols) in
+      ignore (Catalog.create_relation t.catalog schema);
+      Table_created table
+  | Ast.St_create_index { index; table; attrs } ->
+      if not (Catalog.mem t.catalog table) then fail "unknown relation %s" table;
+      ignore (Catalog.create_index t.catalog ~rel:table ~name:index ~attrs ());
+      Index_created index
+  | Ast.St_insert { table; values } ->
+      if not (Catalog.mem t.catalog table) then fail "unknown relation %s" table;
+      let schema = Catalog.schema t.catalog table in
+      if List.length values <> Schema.arity schema then
+        fail "%s expects %d values" table (Schema.arity schema);
+      let tuple = Array.of_list (List.mapi (fun i l -> typed_value schema i l) values) in
+      ignore
+        (Minirel_txn.Txn.run t.txn_mgr [ Minirel_txn.Txn.Insert { rel = table; tuple } ]);
+      Inserted 1
+  | Ast.St_update { table; set; where } ->
+      if not (Catalog.mem t.catalog table) then fail "unknown relation %s" table;
+      let schema = Catalog.schema t.catalog table in
+      let pred = delete_pred schema where in
+      let assignments =
+        List.map
+          (fun (col, lit) ->
+            match Schema.pos_opt schema col with
+            | Some pos -> (pos, typed_value schema pos lit)
+            | None -> fail "unknown column %s" col)
+          set
+      in
+      let deltas =
+        Minirel_txn.Txn.run t.txn_mgr
+          [ Minirel_txn.Txn.Update { rel = table; pred; set = assignments } ]
+      in
+      Updated
+        (List.fold_left
+           (fun acc d -> acc + List.length d.Minirel_txn.Txn.updated)
+           0 deltas)
+  | Ast.St_explain _ ->
+      (* strip the EXPLAIN keyword and bind the query itself *)
+      let sql_body =
+        let trimmed = String.trim sql in
+        match String.index_opt trimmed ' ' with
+        | Some i -> String.sub trimmed i (String.length trimmed - i)
+        | None -> fail "EXPLAIN needs a query"
+      in
+      let compiled, instance, bound = Session.query_bound t.session sql_body in
+      let plan = Minirel_exec.Planner.plan_query t.catalog instance in
+      let h = Minirel_query.Condition_part.combination_factor instance in
+      Explained
+        (Fmt.str "template %s (h = %d)%s@.%a"
+           compiled.Template.spec.Template.name h
+           (if bound.Binder.aggregates <> [] then ", aggregated" else "")
+           Minirel_exec.Plan.pp plan)
+  | Ast.St_delete { table; where } ->
+      if not (Catalog.mem t.catalog table) then fail "unknown relation %s" table;
+      let schema = Catalog.schema t.catalog table in
+      let pred = delete_pred schema where in
+      let deltas =
+        Minirel_txn.Txn.run t.txn_mgr [ Minirel_txn.Txn.Delete { rel = table; pred } ]
+      in
+      Deleted
+        (List.fold_left
+           (fun acc d -> acc + List.length d.Minirel_txn.Txn.deleted)
+           0 deltas)
+
+(* Execute one statement.
+   @raise Error (plus the frontend's Lexer/Parser/Binder errors and
+   Invalid_argument) on bad input. *)
+let exec t sql =
+  let result = exec_statement t sql in
+  (match t.recorder with Some f -> f sql | None -> ());
+  result
+
+let pp_result ppf = function
+  | Rows { header; rows; from_pmv; total; overhead_ns } ->
+      Fmt.pf ppf "%s@." (String.concat " | " header);
+      List.iter (fun row -> Fmt.pf ppf "%a@." Tuple.pp row) rows;
+      Fmt.pf ppf "%d rows (%d from the PMV, %d before limit), overhead %.1f µs"
+        (List.length rows) from_pmv total
+        (Int64.to_float overhead_ns /. 1e3)
+  | Grouped { header; groups; partial_groups } ->
+      Fmt.pf ppf "%s@." (String.concat " | " header);
+      List.iter
+        (fun (key, aggs) ->
+          Fmt.pf ppf "%a -> %a@." Tuple.pp key Fmt.(list ~sep:comma Value.pp) aggs)
+        groups;
+      Fmt.pf ppf "%d groups (%d previewed early from the PMV)" (List.length groups)
+        (List.length partial_groups)
+  | Table_created name -> Fmt.pf ppf "table %s created" name
+  | Index_created name -> Fmt.pf ppf "index %s created" name
+  | Inserted n -> Fmt.pf ppf "%d row inserted" n
+  | Updated n -> Fmt.pf ppf "%d rows updated" n
+  | Deleted n -> Fmt.pf ppf "%d rows deleted" n
+  | Explained text -> Fmt.pf ppf "%s" text

@@ -1,0 +1,57 @@
+(** The shell: a statement interpreter tying the SQL frontend to the
+    engine and the PMV layer. One shell owns a catalog, a SQL session
+    (template cache + grids), a transaction manager, and a
+    {!Pmv.Manager} with one budgeted view per query template, created
+    on first use.
+
+    SELECTs route through the template's PMV; GROUP BY aggregates are
+    evaluated over the answer stream with an early partial-groups
+    preview; ORDER BY and LIMIT apply at the end (LIMIT without ORDER
+    BY terminates execution early). DDL/DML statements run through the
+    transaction manager, so deferred PMV maintenance fires. *)
+
+open Minirel_storage
+
+type t
+
+val create : ?view_ub_bytes:int -> ?auto_views:bool -> Minirel_index.Catalog.t -> t
+
+val catalog : t -> Minirel_index.Catalog.t
+val session : t -> Minirel_sql.Session.t
+val manager : t -> Pmv.Manager.t
+val txn_mgr : t -> Minirel_txn.Txn.t
+
+type result =
+  | Rows of {
+      header : string list;
+      rows : Tuple.t list;  (** user-visible shape, ordered/limited *)
+      from_pmv : int;  (** tuples that arrived via O2 *)
+      total : int;  (** result tuples before LIMIT *)
+      overhead_ns : int64;
+    }
+  | Grouped of {
+      header : string list;
+      groups : (Tuple.t * Value.t list) list;  (** key, aggregate values *)
+      partial_groups : (Tuple.t * Value.t list) list;
+          (** early preview over the PMV-cached subset *)
+    }
+  | Table_created of string
+  | Index_created of string
+  | Inserted of int
+  | Updated of int
+  | Deleted of int
+  | Explained of string  (** physical plan text *)
+
+exception Error of string
+
+(** Execute one statement (SELECT [DISTINCT] / EXPLAIN / CREATE TABLE /
+    CREATE INDEX / INSERT / UPDATE / DELETE).
+    @raise Error, the frontend's Lexer/Parser/Binder errors, or
+    Invalid_argument on bad input. *)
+val exec : t -> string -> result
+
+(** Observe every successfully executed statement (e.g. into a
+    {!Trace}). *)
+val set_recorder : t -> (string -> unit) -> unit
+
+val pp_result : result Fmt.t

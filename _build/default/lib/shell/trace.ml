@@ -1,0 +1,77 @@
+(* Query traces: record the statements a shell executes, persist them,
+   replay them elsewhere, and feed their SELECTs into the PMV advisor —
+   the workflow the paper's Section 2.2 describes for MV advisors,
+   adapted to PMVs. Statements are stored one per line (the grammar is
+   single-line). *)
+
+type t = { mutable rev_entries : string list; mutable n : int }
+
+let create () = { rev_entries = []; n = 0 }
+
+let record t sql =
+  (* the grammar never spans lines; normalise just in case *)
+  let flat = String.map (function '\n' | '\r' -> ' ' | c -> c) sql in
+  t.rev_entries <- flat :: t.rev_entries;
+  t.n <- t.n + 1
+
+let entries t = List.rev t.rev_entries
+let length t = t.n
+
+(* Subscribe to a shell: every successfully executed statement lands in
+   the trace. *)
+let attach t shell = Shell.set_recorder shell (record t)
+
+let save t ~filename =
+  let oc = open_out filename in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun sql ->
+          output_string oc sql;
+          output_char oc '\n')
+        (entries t))
+
+let load ~filename =
+  let ic = open_in filename in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let t = create () in
+      let rec loop () =
+        match input_line ic with
+        | exception End_of_file -> ()
+        | "" -> loop ()
+        | line ->
+            record t line;
+            loop ()
+      in
+      loop ();
+      t)
+
+(* Replay every statement into a shell. Returns (executed, failed);
+   failures (e.g. re-creating an existing table) are skipped. *)
+let replay t shell =
+  List.fold_left
+    (fun (ok, failed) sql ->
+      match Shell.exec shell sql with
+      | _ -> (ok + 1, failed)
+      | exception _ -> (ok, failed + 1))
+    (0, 0) (entries t)
+
+(* Feed the trace's SELECT statements into an advisor via a session
+   (templates deduplicated by canonical signature as usual). Returns
+   how many queries were observed. *)
+let observe t session advisor =
+  List.fold_left
+    (fun observed sql ->
+      match Minirel_sql.Parser.parse_statement sql with
+      | Minirel_sql.Ast.St_select _ -> (
+          match Minirel_sql.Session.query session sql with
+          | _, instance ->
+              Pmv.Advisor.observe advisor instance;
+              observed + 1
+          | exception _ -> observed)
+      | _ -> observed
+      | exception _ -> observed)
+    0 (entries t)

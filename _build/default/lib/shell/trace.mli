@@ -1,0 +1,27 @@
+(** Query traces: record the statements a shell executes, persist and
+    replay them, and feed their SELECTs to the PMV advisor — the
+    Section 2.2 advisor workflow, adapted to PMVs. *)
+
+type t
+
+val create : unit -> t
+val record : t -> string -> unit
+
+(** Oldest first. *)
+val entries : t -> string list
+
+val length : t -> int
+
+(** Record every statement the shell successfully executes. *)
+val attach : t -> Shell.t -> unit
+
+val save : t -> filename:string -> unit
+val load : filename:string -> t
+
+(** Replay every statement into a shell; returns (executed, failed).
+    Failures are skipped, not raised. *)
+val replay : t -> Shell.t -> int * int
+
+(** Feed the trace's SELECTs into an advisor via a session; returns the
+    number of queries observed. *)
+val observe : t -> Minirel_sql.Session.t -> Pmv.Advisor.t -> int

@@ -1,0 +1,1 @@
+lib/sim/hitprob.ml: List Minirel_cache Minirel_workload

@@ -1,0 +1,1 @@
+lib/sim/hitprob.mli: Minirel_cache

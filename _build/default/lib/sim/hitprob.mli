@@ -1,0 +1,45 @@
+(** The Section 4.1 simulation study: a universe of basic condition
+    parts, queries of h iid Zipfian bcps, and a PMV managed by a
+    replacement policy. A query is a {e hit} if any of its h bcps is
+    resident when it arrives (the paper's "partial hit"). CLOCK gets
+    L = 1.02 N entries and 2Q gets Am = N + ghost A1 = N/2 under the
+    same storage budget. *)
+
+type config = {
+  universe : int;  (** distinct bcps (paper: 1M) *)
+  n : int;  (** the paper's N (2Q Am capacity; CLOCK gets 1.02N) *)
+  alpha : float;
+  h : int;  (** bcps per query *)
+  policy : Minirel_cache.Policies.kind;
+  warmup : int;  (** queries before measurement (paper: 1M) *)
+  measure : int;  (** measured queries (paper: 1M) *)
+  seed : int;
+}
+
+(** The paper's exact sizes. *)
+val paper_default : config
+
+(** Universe and N scaled /10 (same cache-to-universe ratio), 200K+200K
+    queries; minutes become seconds. *)
+val scaled_default : config
+
+type result = {
+  config : config;
+  hit_prob : float;
+  avg_hit_bcps : float;  (** mean resident bcps per query, of its h *)
+  resident : int;  (** entries resident at the end *)
+  capacity : int;
+  top_ranks_for_90pct : int;  (** hottest bcps holding 90% of query mass *)
+}
+
+(** @raise Invalid_argument if [h < 1]. *)
+val run : config -> result
+
+(** Pattern-drift variant: after the warm-up, one baseline window of
+    [every] queries is measured, then the rank -> bcp mapping shifts by
+    [drift] (yesterday's hot bcps go cold) and [windows] consecutive
+    windows are measured. Returns (baseline, per-window hit
+    probabilities): the expected dip-then-recovery is the Section 3.2
+    adaptation story, measured.
+    @raise Invalid_argument on non-positive window parameters. *)
+val run_drift : config -> drift:int -> every:int -> windows:int -> float * float list

@@ -1,0 +1,1 @@
+lib/sql/ast.ml: Fmt Minirel_storage

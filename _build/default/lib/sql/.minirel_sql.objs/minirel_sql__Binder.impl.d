@@ -1,0 +1,1 @@
+lib/sql/binder.ml: Array Ast Discretize Fmt Hashtbl Instance Interval List Minirel_index Minirel_query Minirel_storage Predicate Schema String Template Value

@@ -1,0 +1,1 @@
+lib/sql/binder.mli: Ast Discretize Instance Minirel_index Minirel_query Template

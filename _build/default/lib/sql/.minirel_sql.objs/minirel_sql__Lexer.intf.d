@@ -1,0 +1,1 @@
+lib/sql/lexer.mli:

@@ -1,0 +1,1 @@
+lib/sql/parser.ml: Ast Fmt Lexer List Option String

@@ -1,0 +1,1 @@
+lib/sql/print.ml: Array Fmt Instance Interval List Minirel_query Minirel_storage Predicate Printf Schema String Template Value

@@ -1,0 +1,1 @@
+lib/sql/print.mli: Minirel_query

@@ -1,0 +1,1 @@
+lib/sql/session.ml: Array Binder Discretize Hashtbl Instance List Minirel_index Minirel_query Minirel_storage Parser Template

@@ -1,0 +1,1 @@
+lib/sql/session.mli: Binder Discretize Instance Minirel_index Minirel_query Template

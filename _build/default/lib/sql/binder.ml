@@ -1,0 +1,268 @@
+(* Bind a parsed query against a catalog: resolve relations and
+   attributes, split WHERE into Cjoin (joins + fixed predicates) and
+   Cselect (the parenthesised groups, in order), and extract this
+   query's parameters.
+
+   Two queries with the same template structure but different literals
+   bind to the same canonical signature, so PMVs built for the template
+   serve them all — the paper's form-based-application setting. *)
+
+open Minirel_storage
+open Minirel_query
+open Ast
+
+exception Error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+type bound = {
+  spec : Template.spec;
+  params : Instance.disjuncts array;
+  signature : string;  (* canonical template identity *)
+  distinct : bool;
+  aggregates : (Ast.agg_fun * Template.attr_ref option) list;
+      (* aggregate select items, in order; empty for plain queries *)
+  group_by : Template.attr_ref list;
+  order_by : (Template.attr_ref * bool) list;  (* attr, descending *)
+  limit : int option;
+}
+
+(* Interval grids for interval-form selection attributes, keyed by
+   (relation name, attribute name). *)
+type grids = (string * string) * Discretize.t
+
+let resolve_from catalog from =
+  let relations = Array.of_list (List.map fst from) in
+  Array.iter
+    (fun rel ->
+      if not (Minirel_index.Catalog.mem catalog rel) then fail "unknown relation %s" rel)
+    relations;
+  let alias_map = Hashtbl.create 8 in
+  List.iteri
+    (fun i (rel, alias) ->
+      let add name =
+        if Hashtbl.mem alias_map name then fail "ambiguous relation name or alias %s" name;
+        Hashtbl.replace alias_map name i
+      in
+      add (match alias with Some a -> a | None -> rel);
+      match alias with Some _ when not (Hashtbl.mem alias_map rel) -> add rel | _ -> ())
+    from;
+  (relations, alias_map)
+
+let bind ?(grids : grids list = []) catalog (q : query) =
+  let relations, alias_map = resolve_from catalog q.from in
+  let schema_of i = Minirel_index.Catalog.schema catalog relations.(i) in
+  let resolve (a : qattr) : Template.attr_ref =
+    match Hashtbl.find_opt alias_map a.q_rel with
+    | None -> fail "unknown relation or alias %s in %a" a.q_rel pp_qattr a
+    | Some rel ->
+        if not (Schema.mem (schema_of rel) a.q_attr) then
+          fail "relation %s has no attribute %s" relations.(rel) a.q_attr;
+        Template.attr_ref ~rel ~attr:a.q_attr
+  in
+  let local_pos (r : Template.attr_ref) =
+    Schema.pos (schema_of r.Template.rel) r.Template.attr
+  in
+  (* SQL-style literal coercion: integer literals against a float
+     column become floats; anything else must match the column type. *)
+  let typed_value (r : Template.attr_ref) lit =
+    let sch = schema_of r.Template.rel in
+    let ty = Schema.attr_ty sch (local_pos r) in
+    match (lit, ty) with
+    | L_int i, Schema.Tfloat -> Value.Float (float_of_int i)
+    | _ ->
+        let v = lit_to_value lit in
+        if Schema.ty_matches ty v then v
+        else
+          fail "literal %a has the wrong type for %s.%s" Value.pp v
+            relations.(r.Template.rel) r.Template.attr
+  in
+  (* select list: plain attributes and aggregate items *)
+  let aggregates = ref [] in
+  let plain_select =
+    List.concat_map
+      (function
+        | S_attr a -> [ resolve a ]
+        | S_star ->
+            List.concat
+              (List.init (Array.length relations) (fun rel ->
+                   let sch = schema_of rel in
+                   List.init (Schema.arity sch) (fun i ->
+                       Template.attr_ref ~rel ~attr:(Schema.attr_name sch i))))
+        | S_agg (f, arg) ->
+            (match (f, arg) with
+            | F_count, None -> aggregates := (f, None) :: !aggregates
+            | F_count, Some a | (F_min | F_max), Some a ->
+                aggregates := (f, Some (resolve a)) :: !aggregates
+            | (F_sum | F_avg), Some a ->
+                let r = resolve a in
+                (match Schema.attr_ty (schema_of r.Template.rel) (local_pos r) with
+                | Schema.Tint | Schema.Tfloat -> ()
+                | Schema.Tstr -> fail "sum/avg need a numeric column, %a is a string" pp_qattr a);
+                aggregates := (f, Some r) :: !aggregates
+            | (F_sum | F_avg | F_min | F_max), None ->
+                fail "this aggregate needs an attribute argument");
+            [])
+      q.select
+  in
+  let aggregates = List.rev !aggregates in
+  let group_by = List.map resolve q.group_by in
+  let order_by = List.map (fun (a, desc) -> (resolve a, desc)) q.order_by in
+  (* SQL grouping rules *)
+  if aggregates <> [] && List.exists (fun a -> not (List.mem a group_by)) plain_select then
+    fail "plain select attributes must appear in GROUP BY when aggregating";
+  if group_by <> [] && aggregates = [] then
+    fail "GROUP BY needs at least one aggregate in the select list";
+  if q.distinct && aggregates <> [] then
+    fail "DISTINCT cannot be combined with aggregates";
+  (* the template's Ls must carry every attribute the shell reads back:
+     plain attrs, group keys, aggregate arguments, order keys *)
+  let agg_args = List.filter_map snd aggregates in
+  let select_list =
+    let seen = Hashtbl.create 8 in
+    List.filter
+      (fun (a : Template.attr_ref) ->
+        if Hashtbl.mem seen a then false
+        else begin
+          Hashtbl.replace seen a ();
+          true
+        end)
+      (plain_select @ group_by @ agg_args @ List.map fst order_by)
+  in
+  let select_list =
+    if select_list <> [] then select_list
+    else
+      (* e.g. a bare count star: fall back to the selection conditions'
+         attributes, which always exist *)
+      List.filter_map
+        (function
+          | W_group (atom :: _) -> (
+              match atom with
+              | A_cmp (a, _, _) | A_between (a, _, _) | A_in (a, _) -> Some (resolve a)
+              | A_join _ -> None)
+          | _ -> None)
+        q.where
+  in
+  if select_list = [] then fail "nothing to select";
+  (* Cjoin: plain atoms *)
+  let joins = ref [] and fixed = ref [] in
+  let plain_atom = function
+    | A_join (a, b) ->
+        let ra = resolve a and rb = resolve b in
+        joins := (ra, rb) :: !joins
+    | A_cmp (a, op, lit) ->
+        let r = resolve a in
+        let v = typed_value r lit in
+        let cmp =
+          match op with
+          | Ceq -> Predicate.Eq
+          | Cne -> Predicate.Ne
+          | Clt -> Predicate.Lt
+          | Cle -> Predicate.Le
+          | Cgt -> Predicate.Gt
+          | Cge -> Predicate.Ge
+        in
+        fixed := (r.Template.rel, Predicate.Cmp (cmp, local_pos r, v)) :: !fixed
+    | A_between (a, lo, hi) ->
+        let r = resolve a in
+        fixed :=
+          ( r.Template.rel,
+            Predicate.In_interval
+              (local_pos r, Interval.closed ~lo:(typed_value r lo) ~hi:(typed_value r hi)) )
+          :: !fixed
+    | A_in (a, lits) ->
+        let r = resolve a in
+        fixed :=
+          (r.Template.rel, Predicate.In_set (local_pos r, List.map (typed_value r) lits))
+          :: !fixed
+  in
+  (* Cselect: one parenthesised group = one Ci *)
+  let grid_for (r : Template.attr_ref) =
+    match List.assoc_opt (relations.(r.Template.rel), r.Template.attr) grids with
+    | Some g -> g
+    | None -> Discretize.of_cuts []  (* single full-domain basic interval *)
+  in
+  let atom_attr = function
+    | A_join (a, _) -> fail "join condition %a = ... inside a selection group" pp_qattr a
+    | A_cmp (a, _, _) | A_between (a, _, _) | A_in (a, _) -> a
+  in
+  let group_condition atoms =
+    let attrs = List.map atom_attr atoms in
+    let r =
+      match attrs with
+      | [] -> fail "empty selection group"
+      | first :: rest ->
+          let fr = resolve first in
+          List.iter
+            (fun a ->
+              if resolve a <> fr then
+                fail "a selection group must range over one attribute (saw %a and %a)"
+                  pp_qattr first pp_qattr a)
+            rest;
+          fr
+    in
+    let values = ref [] and intervals = ref [] in
+    let tv = typed_value r in
+    List.iter
+      (function
+        | A_cmp (_, Ceq, lit) -> values := tv lit :: !values
+        | A_in (_, lits) -> values := List.rev_map tv lits @ !values
+        | A_between (_, lo, hi) ->
+            intervals := Interval.closed ~lo:(tv lo) ~hi:(tv hi) :: !intervals
+        | A_cmp (_, Clt, lit) -> intervals := Interval.below (tv lit) :: !intervals
+        | A_cmp (_, Cle, lit) ->
+            intervals :=
+              Interval.make Interval.Neg_inf (Interval.U_incl (tv lit)) :: !intervals
+        | A_cmp (_, Cgt, lit) ->
+            intervals :=
+              Interval.make (Interval.L_excl (tv lit)) Interval.Pos_inf :: !intervals
+        | A_cmp (_, Cge, lit) -> intervals := Interval.at_least (tv lit) :: !intervals
+        | A_cmp (_, Cne, _) -> fail "<> is not allowed in a selection group"
+        | A_join _ -> assert false (* ruled out by atom_attr *))
+      atoms;
+    match (List.rev !values, List.rev !intervals) with
+    | vs, [] -> (Template.Eq_sel r, Instance.Dvalues vs)
+    | [], ivs -> (Template.Range_sel (r, grid_for r), Instance.Dintervals ivs)
+    | _ -> fail "a selection group cannot mix equalities and ranges"
+  in
+  let selections = ref [] in
+  List.iter
+    (function
+      | W_plain a -> plain_atom a
+      | W_group atoms -> selections := group_condition atoms :: !selections)
+    q.where;
+  let selections = List.rev !selections in
+  if selections = [] then
+    fail "the query needs at least one parenthesised selection condition";
+  let spec_selections = Array.of_list (List.map fst selections) in
+  let params = Array.of_list (List.map snd selections) in
+  (* canonical template identity: everything except the parameters *)
+  let signature =
+    let attr_sig (r : Template.attr_ref) = Fmt.str "%d.%s" r.Template.rel r.Template.attr in
+    Fmt.str "from[%s]|join[%s]|fixed[%s]|sel[%s]|cs[%s]"
+      (String.concat "," (Array.to_list relations))
+      (String.concat ","
+         (List.map (fun (a, b) -> attr_sig a ^ "=" ^ attr_sig b) (List.rev !joins)))
+      (String.concat ","
+         (List.map
+            (fun (rel, p) -> Fmt.str "%d:%a" rel Predicate.pp p)
+            (List.rev !fixed)))
+      (String.concat "," (List.map attr_sig select_list))
+      (String.concat ","
+         (List.map
+            (function
+              | Template.Eq_sel r -> "eq:" ^ attr_sig r
+              | Template.Range_sel (r, _) -> "rng:" ^ attr_sig r)
+            (Array.to_list spec_selections)))
+  in
+  let spec =
+    {
+      Template.name = Fmt.str "sql_%08x" (Hashtbl.hash signature land 0xFFFFFFFF);
+      relations;
+      joins = List.rev !joins;
+      fixed = List.rev !fixed;
+      select_list;
+      selections = spec_selections;
+    }
+  in
+  { spec; params; signature; distinct = q.distinct; aggregates; group_by; order_by; limit = q.limit }

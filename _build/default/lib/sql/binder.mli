@@ -1,0 +1,29 @@
+(** Bind a parsed query against a catalog: resolve relations and
+    attributes, split WHERE into Cjoin (joins + fixed predicates,
+    unparenthesised) and Cselect (the parenthesised groups, one Ci
+    each), and extract this query's parameters. Queries with the same
+    structure but different literals share a canonical [signature]. *)
+
+open Minirel_query
+
+exception Error of string
+
+type bound = {
+  spec : Template.spec;
+  params : Instance.disjuncts array;
+  signature : string;  (** canonical template identity *)
+  distinct : bool;
+  aggregates : (Ast.agg_fun * Template.attr_ref option) list;
+      (** aggregate select items, in order; empty for plain queries *)
+  group_by : Template.attr_ref list;
+  order_by : (Template.attr_ref * bool) list;  (** attr, descending *)
+  limit : int option;
+}
+
+(** Interval grids for interval-form selection attributes, keyed by
+    (relation name, attribute name); attributes without one get a
+    single full-domain basic interval. *)
+type grids = (string * string) * Discretize.t
+
+(** @raise Error on unresolvable or ill-formed queries. *)
+val bind : ?grids:grids list -> Minirel_index.Catalog.t -> Ast.query -> bound

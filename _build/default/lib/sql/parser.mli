@@ -1,0 +1,12 @@
+(** Recursive-descent parser producing {!Ast.query}. *)
+
+exception Error of string
+
+(** Parse one SELECT query.
+    @raise Error or {!Lexer.Error} on malformed input. *)
+val parse : string -> Ast.query
+
+(** Parse one top-level statement: SELECT, CREATE TABLE, CREATE INDEX,
+    INSERT INTO ... VALUES, or DELETE FROM.
+    @raise Error or {!Lexer.Error} on malformed input. *)
+val parse_statement : string -> Ast.statement

@@ -1,0 +1,104 @@
+(* Render a compiled template + instance back to SQL text accepted by
+   {!Parser} — the inverse of {!Binder}, used by tooling and by the
+   round-trip property tests. Shapes the grammar cannot express (Or/Not
+   fixed predicates, bounded intervals open on both ends) raise
+   [Unsupported]. *)
+
+open Minirel_storage
+open Minirel_query
+
+exception Unsupported of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Unsupported s)) fmt
+
+let lit_of_value = function
+  | Value.Int i -> string_of_int i
+  | Value.Float f ->
+      let s = Printf.sprintf "%.17g" f in
+      (* the grammar has no bare ".5" or "5." forms *)
+      if String.contains s '.' || String.contains s 'e' || String.contains s 'E' then s
+      else s ^ ".0"
+  | Value.Str s -> "'" ^ String.concat "''" (String.split_on_char '\'' s) ^ "'"
+  | Value.Null -> fail "NULL literals are not part of the grammar"
+
+let attr_text (compiled : Template.compiled) (r : Template.attr_ref) =
+  Fmt.str "%s.%s" compiled.Template.spec.Template.relations.(r.Template.rel) r.Template.attr
+
+(* One fixed predicate (relation-local positions) as atoms. *)
+let rec fixed_pred_text compiled rel p =
+  let schema = compiled.Template.schemas.(rel) in
+  let attr pos = Fmt.str "%s.%s" compiled.Template.spec.Template.relations.(rel) (Schema.attr_name schema pos) in
+  match p with
+  | Predicate.True -> []
+  | Predicate.Cmp (op, pos, v) ->
+      let op_s =
+        match op with
+        | Predicate.Eq -> "="
+        | Predicate.Ne -> "<>"
+        | Predicate.Lt -> "<"
+        | Predicate.Le -> "<="
+        | Predicate.Gt -> ">"
+        | Predicate.Ge -> ">="
+      in
+      [ Fmt.str "%s %s %s" (attr pos) op_s (lit_of_value v) ]
+  | Predicate.In_set (pos, vs) ->
+      [ Fmt.str "%s in (%s)" (attr pos) (String.concat ", " (List.map lit_of_value vs)) ]
+  | Predicate.In_interval (pos, iv) -> (
+      match (iv.Interval.lo, iv.Interval.hi) with
+      | Interval.L_incl lo, Interval.U_incl hi ->
+          [ Fmt.str "%s between %s and %s" (attr pos) (lit_of_value lo) (lit_of_value hi) ]
+      | _ -> fail "only closed intervals are expressible as fixed predicates")
+  | Predicate.And ps -> List.concat_map (fixed_pred_text compiled rel) ps
+  | Predicate.Or _ | Predicate.Not _ ->
+      fail "Or/Not fixed predicates are outside the grammar"
+
+let interval_atom attr (iv : Interval.t) =
+  match (iv.Interval.lo, iv.Interval.hi) with
+  | Interval.L_incl lo, Interval.U_incl hi ->
+      Fmt.str "%s between %s and %s" attr (lit_of_value lo) (lit_of_value hi)
+  | Interval.L_incl lo, Interval.Pos_inf -> Fmt.str "%s >= %s" attr (lit_of_value lo)
+  | Interval.L_excl lo, Interval.Pos_inf -> Fmt.str "%s > %s" attr (lit_of_value lo)
+  | Interval.Neg_inf, Interval.U_incl hi -> Fmt.str "%s <= %s" attr (lit_of_value hi)
+  | Interval.Neg_inf, Interval.U_excl hi -> Fmt.str "%s < %s" attr (lit_of_value hi)
+  | Interval.Neg_inf, Interval.Pos_inf -> fail "the full interval needs no condition"
+  | _ -> fail "bounded intervals open on an end are outside the grammar"
+
+(* Render the query. @raise Unsupported for shapes outside the grammar;
+   @raise Invalid_argument when relation names repeat (ambiguous FROM). *)
+let to_sql instance =
+  let compiled = Instance.compiled instance in
+  let spec = compiled.Template.spec in
+  let rels = Array.to_list spec.Template.relations in
+  if List.length (List.sort_uniq String.compare rels) <> List.length rels then
+    invalid_arg "Print.to_sql: repeated relation names are ambiguous in FROM";
+  let select =
+    String.concat ", " (List.map (attr_text compiled) spec.Template.select_list)
+  in
+  let from = String.concat ", " rels in
+  let joins =
+    List.map
+      (fun (a, b) -> Fmt.str "%s = %s" (attr_text compiled a) (attr_text compiled b))
+      spec.Template.joins
+  in
+  let fixed =
+    List.concat_map (fun (rel, p) -> fixed_pred_text compiled rel p) spec.Template.fixed
+  in
+  let params = Instance.params instance in
+  let groups =
+    Array.to_list
+      (Array.mapi
+         (fun i sel ->
+           let attr = attr_text compiled (Template.selection_attr sel) in
+           let atoms =
+             match (sel, params.(i)) with
+             | Template.Eq_sel _, Instance.Dvalues vs ->
+                 List.map (fun v -> Fmt.str "%s = %s" attr (lit_of_value v)) vs
+             | Template.Range_sel _, Instance.Dintervals ivs ->
+                 List.map (interval_atom attr) ivs
+             | _ -> fail "parameter form mismatch"
+           in
+           "(" ^ String.concat " or " atoms ^ ")")
+         spec.Template.selections)
+  in
+  Fmt.str "select %s from %s where %s" select from
+    (String.concat " and " (joins @ fixed @ groups))

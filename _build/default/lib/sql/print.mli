@@ -1,0 +1,9 @@
+(** Render a compiled template + instance back to SQL accepted by
+    {!Parser} — the inverse of {!Binder}. *)
+
+exception Unsupported of string
+
+(** @raise Unsupported for shapes outside the grammar (Or/Not fixed
+    predicates, bounded intervals open on an end, NULL literals);
+    @raise Invalid_argument when relation names repeat in FROM. *)
+val to_sql : Minirel_query.Instance.t -> string

@@ -1,0 +1,66 @@
+(* A SQL session: parse + bind queries against one catalog, caching
+   compiled templates by canonical signature so that all queries from
+   one form-based template share a single Template.compiled — and
+   therefore a single PMV when used with Pmv.Manager. *)
+
+open Minirel_query
+
+type t = {
+  catalog : Minirel_index.Catalog.t;
+  mutable grids : Binder.grids list;
+  templates : (string, Template.compiled) Hashtbl.t;  (* signature -> compiled *)
+  names : (string, string) Hashtbl.t;  (* template name -> signature *)
+}
+
+let create catalog =
+  { catalog; grids = []; templates = Hashtbl.create 16; names = Hashtbl.create 16 }
+
+let catalog t = t.catalog
+
+(* Register the dividing values for an interval-form attribute
+   (Section 3.1); affects templates bound afterwards. *)
+let set_grid t ~rel ~attr grid =
+  t.grids <- ((rel, attr), grid) :: List.remove_assoc (rel, attr) t.grids
+
+(* Derive a grid from an equi-depth sample of the attribute's data. *)
+let set_grid_from_data t ~rel ~attr ~bins =
+  let heap = Minirel_index.Catalog.heap t.catalog rel in
+  let schema = Minirel_storage.Heap_file.schema heap in
+  let pos = Minirel_storage.Schema.pos schema attr in
+  let values = ref [] in
+  Minirel_storage.Heap_file.iter heap (fun _ tuple -> values := tuple.(pos) :: !values);
+  set_grid t ~rel ~attr (Discretize.equi_depth ~bins !values)
+
+(* Parse, bind and compile a query. Queries sharing a template (same
+   structure, different literals) return the same [Template.compiled].
+   @raise Lexer.Error, Parser.Error or Binder.Error on bad input;
+   Invalid_argument on malformed parameters (e.g. overlapping
+   intervals). *)
+let compile_bound t (bound : Binder.bound) =
+  let compiled =
+    match Hashtbl.find_opt t.templates bound.Binder.signature with
+    | Some compiled -> compiled
+    | None ->
+        let compiled = Template.compile t.catalog bound.Binder.spec in
+        Hashtbl.replace t.templates bound.Binder.signature compiled;
+        Hashtbl.replace t.names bound.Binder.spec.Template.name bound.Binder.signature;
+        compiled
+  in
+  (compiled, Instance.make compiled bound.Binder.params)
+
+let query t sql =
+  let ast = Parser.parse sql in
+  compile_bound t (Binder.bind ~grids:t.grids t.catalog ast)
+
+(* Like [query] but also returns the bound clauses the template itself
+   does not carry (aggregates, group by, order by, limit). *)
+let query_bound t sql =
+  let ast = Parser.parse sql in
+  let bound = Binder.bind ~grids:t.grids t.catalog ast in
+  let compiled, instance = compile_bound t bound in
+  (compiled, instance, bound)
+
+(* Number of distinct templates seen so far. *)
+let n_templates t = Hashtbl.length t.templates
+
+let signature_of_name t name = Hashtbl.find_opt t.names name

@@ -1,0 +1,30 @@
+(** A SQL session: parse + bind queries against one catalog, caching
+    compiled templates by canonical signature. All queries from one
+    form-based template share one {!Minirel_query.Template.compiled} —
+    and therefore one PMV when routed through {!Pmv.Manager}. *)
+
+open Minirel_query
+
+type t
+
+val create : Minirel_index.Catalog.t -> t
+val catalog : t -> Minirel_index.Catalog.t
+
+(** Register dividing values for an interval-form attribute (Section
+    3.1); affects templates bound afterwards. *)
+val set_grid : t -> rel:string -> attr:string -> Discretize.t -> unit
+
+(** Derive the grid from an equi-depth scan of the attribute's data. *)
+val set_grid_from_data : t -> rel:string -> attr:string -> bins:int -> unit
+
+(** Parse, bind and compile one query.
+    @raise Lexer.Error, Parser.Error or Binder.Error on bad input;
+    @raise Invalid_argument on malformed parameters. *)
+val query : t -> string -> Template.compiled * Instance.t
+
+(** Like {!query} but also returns the bound clauses the template
+    itself does not carry (aggregates, group by, order by, limit). *)
+val query_bound : t -> string -> Template.compiled * Instance.t * Binder.bound
+
+val n_templates : t -> int
+val signature_of_name : t -> string -> string option

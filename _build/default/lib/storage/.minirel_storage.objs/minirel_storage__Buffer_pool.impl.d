@@ -1,0 +1,1 @@
+lib/storage/buffer_pool.ml: Hashtbl Io_stats List Minirel_cache

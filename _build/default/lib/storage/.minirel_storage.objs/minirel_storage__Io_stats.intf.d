@@ -1,0 +1,1 @@
+lib/storage/io_stats.mli: Fmt

@@ -1,0 +1,1 @@
+lib/storage/page.mli: Tuple

@@ -1,0 +1,1 @@
+lib/storage/rid.ml: Fmt Int

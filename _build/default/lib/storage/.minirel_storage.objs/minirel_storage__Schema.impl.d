@@ -1,0 +1,1 @@
+lib/storage/schema.ml: Array Fmt Hashtbl List Value

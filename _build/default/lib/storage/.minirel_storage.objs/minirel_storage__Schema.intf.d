@@ -1,0 +1,1 @@
+lib/storage/schema.mli: Fmt Value

@@ -1,0 +1,1 @@
+lib/storage/tuple.mli: Fmt Hashtbl Value

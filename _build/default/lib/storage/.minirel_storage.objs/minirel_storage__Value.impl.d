@@ -1,0 +1,1 @@
+lib/storage/value.ml: Float Fmt Hashtbl Int String

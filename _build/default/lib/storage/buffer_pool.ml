@@ -1,0 +1,70 @@
+(* A simulated buffer pool. All page contents live in memory; the pool
+   only tracks which (file, page) pairs are resident and charges logical
+   I/Os for the accesses that would have missed. Replacement is
+   pluggable (CLOCK by default, matching common engine defaults).
+
+   Simplification, documented in DESIGN.md: a write miss admits the page
+   without charging a read (covers appends); a read miss charges one
+   read; evicting or flushing a dirty page charges one write. *)
+
+type key = int * int (* file id, page number *)
+
+type t = {
+  policy : key Minirel_cache.Policy.t;
+  dirty : (key, unit) Hashtbl.t;
+  stats : Io_stats.t;
+  mutable next_file_id : int;
+}
+
+let create ?(policy = Minirel_cache.Policies.Clock) ~capacity () =
+  let policy = Minirel_cache.Policies.make policy ~capacity in
+  let t =
+    { policy; dirty = Hashtbl.create 1024; stats = Io_stats.create (); next_file_id = 0 }
+  in
+  Minirel_cache.Policy.set_on_evict policy (fun key ->
+      if Hashtbl.mem t.dirty key then begin
+        Hashtbl.remove t.dirty key;
+        Io_stats.add_write t.stats
+      end);
+  t
+
+let stats t = t.stats
+let capacity t = Minirel_cache.Policy.capacity t.policy
+let resident t = Minirel_cache.Policy.size t.policy
+
+(* Allocate a fresh file id for a heap file or an index. *)
+let register_file t =
+  let id = t.next_file_id in
+  t.next_file_id <- id + 1;
+  id
+
+let access t ~file ~page ~mode =
+  let key = (file, page) in
+  (match Minirel_cache.Policy.reference t.policy key with
+  | `Resident -> ()
+  | `Admitted ->
+      (* 2Q ghost promotion: the page was not held, so it is fetched now *)
+      (match mode with `Read -> Io_stats.add_read t.stats | `Write -> ())
+  | `Rejected ->
+      (* miss: fetch (reads only; a write miss models an append) and,
+         for policies that admit on fill, make the page resident *)
+      (match mode with `Read -> Io_stats.add_read t.stats | `Write -> ());
+      if Minirel_cache.Policy.admit_on_fill t.policy then
+        Minirel_cache.Policy.admit t.policy key);
+  match mode with `Write -> Hashtbl.replace t.dirty key () | `Read -> ()
+
+let flush t =
+  Hashtbl.iter (fun _ () -> Io_stats.add_write t.stats) t.dirty;
+  Hashtbl.reset t.dirty
+
+(* Drop every resident page of [file], without write-back accounting;
+   used when a relation is rebuilt from scratch. *)
+let invalidate_file t ~file =
+  let doomed = ref [] in
+  Minirel_cache.Policy.iter t.policy (fun ((f, _) as key) ->
+      if f = file then doomed := key :: !doomed);
+  List.iter
+    (fun key ->
+      Minirel_cache.Policy.remove t.policy key;
+      Hashtbl.remove t.dirty key)
+    !doomed

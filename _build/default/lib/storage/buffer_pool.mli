@@ -1,0 +1,31 @@
+(** A simulated buffer pool. Page contents stay in memory; the pool
+    tracks which (file, page) pairs are resident under a pluggable
+    replacement policy (CLOCK by default) and charges logical I/Os for
+    the accesses that would have missed: reads on read misses, writes
+    when dirty pages are evicted or flushed. A write miss admits the
+    page without charging a read (it models an append). *)
+
+type t
+
+(** @raise Invalid_argument if [capacity <= 0]. *)
+val create : ?policy:Minirel_cache.Policies.kind -> capacity:int -> unit -> t
+
+val stats : t -> Io_stats.t
+val capacity : t -> int
+
+(** Number of currently resident pages. *)
+val resident : t -> int
+
+(** Allocate a fresh file id for a heap file or a simulated index file. *)
+val register_file : t -> int
+
+(** Record one page access, charging I/O on a miss and marking the page
+    dirty on writes. *)
+val access : t -> file:int -> page:int -> mode:[ `Read | `Write ] -> unit
+
+(** Write back every dirty page (one write charge each). *)
+val flush : t -> unit
+
+(** Drop every resident page of [file] without write-back accounting;
+    for relations rebuilt from scratch. *)
+val invalidate_file : t -> file:int -> unit

@@ -1,0 +1,24 @@
+(* Logical I/O counters. The engine keeps all data in memory; the buffer
+   pool decides which page accesses *would* have touched the disk and
+   charges them here. This is what the overhead and maintenance
+   experiments report. *)
+
+type t = { mutable reads : int; mutable writes : int }
+
+let create () = { reads = 0; writes = 0 }
+
+let reset t =
+  t.reads <- 0;
+  t.writes <- 0
+
+let total t = t.reads + t.writes
+
+let snapshot t = { reads = t.reads; writes = t.writes }
+
+(* I/Os performed since [before] was captured. *)
+let diff ~before t = { reads = t.reads - before.reads; writes = t.writes - before.writes }
+
+let add_read t = t.reads <- t.reads + 1
+let add_write t = t.writes <- t.writes + 1
+
+let pp ppf t = Fmt.pf ppf "reads=%d writes=%d" t.reads t.writes

@@ -1,0 +1,20 @@
+(** Logical I/O counters. The engine keeps all data in memory; the
+    buffer pool decides which page accesses {e would} have touched the
+    disk and charges them here. The overhead and maintenance
+    experiments report these counters. *)
+
+type t = { mutable reads : int; mutable writes : int }
+
+val create : unit -> t
+val reset : t -> unit
+val total : t -> int
+
+(** An independent copy of the current counters. *)
+val snapshot : t -> t
+
+(** [diff ~before t] is the I/O performed since [before] was captured. *)
+val diff : before:t -> t -> t
+
+val add_read : t -> unit
+val add_write : t -> unit
+val pp : t Fmt.t

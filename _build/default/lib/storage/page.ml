@@ -1,0 +1,49 @@
+(* A slotted page: a fixed number of slots, each either free or holding
+   one tuple. Pages are the unit of buffer-pool residency and therefore
+   the unit of simulated I/O. *)
+
+type t = {
+  id : int;
+  slots : Tuple.t option array;
+  mutable live : int;  (* occupied slots *)
+}
+
+let create ~id ~slots_per_page =
+  if slots_per_page <= 0 then invalid_arg "Page.create: slots_per_page";
+  { id; slots = Array.make slots_per_page None; live = 0 }
+
+let capacity t = Array.length t.slots
+let live t = t.live
+let is_full t = t.live >= Array.length t.slots
+
+let get t slot =
+  if slot < 0 || slot >= Array.length t.slots then None else t.slots.(slot)
+
+(* Store [tuple] in the first free slot. @raise Invalid_argument if full. *)
+let insert t tuple =
+  let rec find i =
+    if i >= Array.length t.slots then invalid_arg "Page.insert: page full"
+    else if t.slots.(i) = None then i
+    else find (i + 1)
+  in
+  let slot = find 0 in
+  t.slots.(slot) <- Some tuple;
+  t.live <- t.live + 1;
+  slot
+
+(* Free the slot. Returns the tuple that was there. @raise Not_found *)
+let delete t slot =
+  match get t slot with
+  | None -> raise Not_found
+  | Some tuple ->
+      t.slots.(slot) <- None;
+      t.live <- t.live - 1;
+      tuple
+
+let replace t slot tuple =
+  match get t slot with
+  | None -> raise Not_found
+  | Some _ -> t.slots.(slot) <- Some tuple
+
+let iter t f =
+  Array.iteri (fun slot -> function None -> () | Some tuple -> f slot tuple) t.slots

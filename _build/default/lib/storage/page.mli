@@ -1,0 +1,28 @@
+(** A slotted page: a fixed number of slots, each free or holding one
+    tuple. Pages are the unit of buffer-pool residency and therefore
+    the unit of simulated I/O. *)
+
+type t
+
+(** @raise Invalid_argument if [slots_per_page <= 0]. *)
+val create : id:int -> slots_per_page:int -> t
+
+val capacity : t -> int
+val live : t -> int
+val is_full : t -> bool
+
+(** [None] when the slot is free or out of range. *)
+val get : t -> int -> Tuple.t option
+
+(** Store the tuple in the first free slot; returns the slot number.
+    @raise Invalid_argument when the page is full. *)
+val insert : t -> Tuple.t -> int
+
+(** Free the slot, returning its tuple. @raise Not_found if empty. *)
+val delete : t -> int -> Tuple.t
+
+(** Overwrite an occupied slot. @raise Not_found if empty. *)
+val replace : t -> int -> Tuple.t -> unit
+
+(** Visit occupied slots in slot order. *)
+val iter : t -> (int -> Tuple.t -> unit) -> unit

@@ -1,0 +1,15 @@
+(* Record identifiers: (page number, slot within page). *)
+
+type t = { page : int; slot : int }
+
+let make ~page ~slot = { page; slot }
+
+let compare a b =
+  let c = Int.compare a.page b.page in
+  if c <> 0 then c else Int.compare a.slot b.slot
+
+let equal a b = compare a b = 0
+
+let hash t = (t.page * 1_000_003) + t.slot
+
+let pp ppf t = Fmt.pf ppf "(%d,%d)" t.page t.slot

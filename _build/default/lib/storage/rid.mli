@@ -1,0 +1,9 @@
+(** Record identifiers: (page number, slot within page). *)
+
+type t = { page : int; slot : int }
+
+val make : page:int -> slot:int -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : t Fmt.t

@@ -1,0 +1,33 @@
+(** Tuples: immutable-by-convention arrays of values. Query results and
+    PMV contents are multisets of these, so equality, hashing and
+    comparison are structural and total. *)
+
+type t = Value.t array
+
+val arity : t -> int
+val get : t -> int -> Value.t
+val of_list : Value.t list -> t
+
+val equal : t -> t -> bool
+
+(** Lexicographic; shorter tuples order first on a common prefix. *)
+val compare : t -> t -> int
+
+val hash : t -> int
+
+(** [project t positions] is the tuple of [t]'s values at [positions],
+    in order. *)
+val project : t -> int array -> t
+
+val concat : t -> t -> t
+
+(** Sum of the attribute footprints (see {!Value.size_bytes}). *)
+val size_bytes : t -> int
+
+val pp : t Fmt.t
+val to_string : t -> string
+
+module Key : Hashtbl.HashedType with type t = t
+
+(** Hash tables keyed by tuples with structural value equality. *)
+module Table : Hashtbl.S with type key = t

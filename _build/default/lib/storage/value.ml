@@ -1,0 +1,56 @@
+(* Typed attribute values.
+
+   The engine is deliberately small: integers (also used for dates,
+   encoded as day numbers), floats, and strings, plus NULL. Values of
+   different types are ordered by a fixed type rank so that composite
+   index keys always have a total order. *)
+
+type t = Null | Int of int | Float of float | Str of string
+
+let rank = function Null -> 0 | Int _ -> 1 | Float _ -> 2 | Str _ -> 3
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Str x, Str y -> String.compare x y
+  | _ -> Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Null -> 0
+  | Int x -> Hashtbl.hash x
+  | Float x -> Hashtbl.hash x
+  | Str x -> Hashtbl.hash x
+
+(* Nominal on-disk footprint in bytes, used for sizing PMVs (the paper's
+   [At]) and for Table 1's dataset-size accounting. *)
+let size_bytes = function
+  | Null -> 1
+  | Int _ -> 8
+  | Float _ -> 8
+  | Str s -> 4 + String.length s
+
+let pp ppf = function
+  | Null -> Fmt.string ppf "NULL"
+  | Int x -> Fmt.int ppf x
+  | Float x -> Fmt.pf ppf "%g" x
+  | Str s -> Fmt.pf ppf "%S" s
+
+let to_string v = Fmt.str "%a" pp v
+
+let int_exn = function
+  | Int x -> x
+  | v -> invalid_arg (Fmt.str "Value.int_exn: %a" pp v)
+
+let str_exn = function
+  | Str s -> s
+  | v -> invalid_arg (Fmt.str "Value.str_exn: %a" pp v)
+
+let float_exn = function
+  | Float x -> x
+  | v -> invalid_arg (Fmt.str "Value.float_exn: %a" pp v)
+
+let is_null = function Null -> true | _ -> false

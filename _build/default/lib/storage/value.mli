@@ -1,0 +1,32 @@
+(** Typed attribute values: integers (also used for date day-numbers),
+    floats, strings, and NULL. Values of different types are ordered by
+    a fixed type rank so composite index keys always have a total
+    order. *)
+
+type t = Null | Int of int | Float of float | Str of string
+
+(** Total order: within a type, the natural order; across types, the
+    fixed rank Null < Int < Float < Str. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+(** Nominal on-disk footprint in bytes: 8 for numbers, [4 + length] for
+    strings, 1 for NULL. Used for PMV sizing (the paper's [At]) and
+    Table 1 accounting. *)
+val size_bytes : t -> int
+
+val pp : t Fmt.t
+val to_string : t -> string
+
+(** @raise Invalid_argument when the value has a different type. *)
+val int_exn : t -> int
+
+(** @raise Invalid_argument when the value has a different type. *)
+val str_exn : t -> string
+
+(** @raise Invalid_argument when the value has a different type. *)
+val float_exn : t -> float
+
+val is_null : t -> bool

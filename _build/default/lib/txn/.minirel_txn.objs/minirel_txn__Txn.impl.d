@@ -1,0 +1,1 @@
+lib/txn/txn.ml: Array Fun Heap_file List Lock_manager Minirel_index Minirel_query Minirel_storage Predicate String Tuple Value

@@ -1,0 +1,1 @@
+lib/txn/txn.mli: Lock_manager Minirel_index Minirel_query Minirel_storage Predicate Tuple Value

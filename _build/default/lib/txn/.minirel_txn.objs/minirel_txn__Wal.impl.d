@@ -1,0 +1,1 @@
+lib/txn/wal.ml: Array Fmt Fun Heap_file List Minirel_index Minirel_storage String Tuple Txn

@@ -1,0 +1,1 @@
+lib/txn/wal.mli: Minirel_index Txn

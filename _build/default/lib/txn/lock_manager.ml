@@ -1,0 +1,66 @@
+(* A strict S/X lock manager over named objects (relations, views,
+   PMVs). The engine is single-threaded, so instead of blocking, a
+   conflicting request returns [Error conflict]; callers either give up
+   or retry after the holder commits. Section 3.6's protocol — queries
+   hold an S lock on the PMV across O2 and O3, maintenance takes X —
+   is expressed in these terms and exercised by the tests. *)
+
+type mode = S | X
+
+let mode_to_string = function S -> "S" | X -> "X"
+
+type holders = { mutable mode : mode; mutable owners : int list }
+
+type conflict = { obj : string; holders : int list; held : mode; requested : mode }
+
+let pp_conflict ppf c =
+  Fmt.pf ppf "%s held in %s by [%a], requested %s" c.obj (mode_to_string c.held)
+    Fmt.(list ~sep:comma int)
+    c.holders (mode_to_string c.requested)
+
+type t = { table : (string, holders) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 64 }
+
+let acquire t ~txn ~obj mode =
+  match Hashtbl.find_opt t.table obj with
+  | None ->
+      Hashtbl.replace t.table obj { mode; owners = [ txn ] };
+      Ok ()
+  | Some h -> (
+      let holds = List.mem txn h.owners in
+      match (h.mode, mode) with
+      | S, S ->
+          if not holds then h.owners <- txn :: h.owners;
+          Ok ()
+      | S, X ->
+          if holds && List.length h.owners = 1 then begin
+            (* sole S holder: upgrade *)
+            h.mode <- X;
+            Ok ()
+          end
+          else Error { obj; holders = h.owners; held = h.mode; requested = mode }
+      | X, _ ->
+          if holds then Ok () (* X subsumes S; re-entrant *)
+          else Error { obj; holders = h.owners; held = h.mode; requested = mode })
+
+let release t ~txn ~obj =
+  match Hashtbl.find_opt t.table obj with
+  | None -> ()
+  | Some h ->
+      h.owners <- List.filter (fun o -> o <> txn) h.owners;
+      if h.owners = [] then Hashtbl.remove t.table obj
+
+let release_all t ~txn =
+  let objs = Hashtbl.fold (fun obj _ acc -> obj :: acc) t.table [] in
+  List.iter (fun obj -> release t ~txn ~obj) objs
+
+let held_by t ~obj =
+  Option.map (fun h -> (h.mode, h.owners)) (Hashtbl.find_opt t.table obj)
+
+(* @raise Failure when the lock cannot be granted; convenience for
+   single-threaded flows where conflict means a protocol bug. *)
+let acquire_exn t ~txn ~obj mode =
+  match acquire t ~txn ~obj mode with
+  | Ok () -> ()
+  | Error c -> failwith (Fmt.str "lock conflict: %a" pp_conflict c)

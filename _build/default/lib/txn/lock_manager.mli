@@ -1,0 +1,31 @@
+(** A strict S/X lock manager over named objects (relations, views,
+    PMVs). The engine is single-threaded, so a conflicting request
+    returns [Error conflict] instead of blocking. Section 3.6's
+    protocol — queries hold an S lock on the PMV across O2 and O3,
+    maintenance takes X — is expressed in these terms. *)
+
+type mode = S | X
+
+val mode_to_string : mode -> string
+
+type conflict = { obj : string; holders : int list; held : mode; requested : mode }
+
+val pp_conflict : conflict Fmt.t
+
+type t
+
+val create : unit -> t
+
+(** Grant rules: S shares with S; a sole S holder may upgrade to X;
+    X is exclusive but re-entrant for its holder. *)
+val acquire : t -> txn:int -> obj:string -> mode -> (unit, conflict) result
+
+val release : t -> txn:int -> obj:string -> unit
+val release_all : t -> txn:int -> unit
+
+(** Current holders of the object, if any. *)
+val held_by : t -> obj:string -> (mode * int list) option
+
+(** @raise Failure on conflict; for single-threaded flows where a
+    conflict means a protocol bug. *)
+val acquire_exn : t -> txn:int -> obj:string -> mode -> unit

@@ -1,0 +1,105 @@
+(* Transactions over the catalog: batches of inserts/deletes/updates
+   that keep heap files and secondary indexes consistent and feed the
+   resulting deltas to registered view-maintenance hooks (traditional
+   MVs maintain immediately; PMVs defer per Section 3.4). *)
+
+open Minirel_storage
+open Minirel_query
+module Catalog = Minirel_index.Catalog
+
+type change =
+  | Insert of { rel : string; tuple : Tuple.t }
+  | Delete of { rel : string; pred : Predicate.t }
+  | Update of { rel : string; pred : Predicate.t; set : (int * Value.t) list }
+
+type delta = {
+  rel : string;
+  inserted : Tuple.t list;
+  deleted : Tuple.t list;
+  updated : (Tuple.t * Tuple.t) list;  (* (old, new) *)
+}
+
+let empty_delta rel = { rel; inserted = []; deleted = []; updated = [] }
+
+type hook = { hook_name : string; on_delta : delta -> unit }
+
+type t = {
+  catalog : Catalog.t;
+  locks : Lock_manager.t;
+  mutable hooks : hook list;
+  mutable next_txn : int;
+}
+
+let create catalog = { catalog; locks = Lock_manager.create (); hooks = []; next_txn = 1 }
+
+let catalog t = t.catalog
+let locks t = t.locks
+
+let register_hook t ~name on_delta =
+  t.hooks <- { hook_name = name; on_delta } :: t.hooks
+
+let unregister_hook t ~name =
+  t.hooks <- List.filter (fun h -> h.hook_name <> name) t.hooks
+
+let fresh_txn t =
+  let id = t.next_txn in
+  t.next_txn <- id + 1;
+  id
+
+let rel_lock rel = "rel:" ^ rel
+
+let matching_rids catalog ~rel pred =
+  let heap = Catalog.heap catalog rel in
+  let acc = ref [] in
+  Heap_file.iter heap (fun rid tuple -> if Predicate.eval pred tuple then acc := rid :: !acc);
+  List.rev !acc
+
+let apply_change catalog change =
+  match change with
+  | Insert { rel; tuple } ->
+      let _rid = Catalog.insert catalog ~rel tuple in
+      { (empty_delta rel) with inserted = [ tuple ] }
+  | Delete { rel; pred } ->
+      let rids = matching_rids catalog ~rel pred in
+      let deleted = List.map (fun rid -> Catalog.delete catalog ~rel rid) rids in
+      { (empty_delta rel) with deleted }
+  | Update { rel; pred; set } ->
+      let rids = matching_rids catalog ~rel pred in
+      let updated =
+        List.map
+          (fun rid ->
+            let heap = Catalog.heap catalog rel in
+            let old =
+              match Heap_file.fetch heap rid with
+              | Some t -> t
+              | None -> assert false (* rid came from a scan moments ago *)
+            in
+            let fresh = Array.copy old in
+            List.iter (fun (pos, v) -> fresh.(pos) <- v) set;
+            ignore (Catalog.update catalog ~rel rid fresh);
+            (old, fresh))
+          rids
+      in
+      { (empty_delta rel) with updated }
+
+(* Run a transaction. X-locks every touched relation for its duration,
+   applies the changes in order, then notifies hooks once per change.
+   Returns the deltas. @raise Failure on lock conflict. *)
+let run t changes =
+  let txn = fresh_txn t in
+  let rels =
+    List.sort_uniq String.compare
+      (List.map
+         (function Insert { rel; _ } | Delete { rel; _ } | Update { rel; _ } -> rel)
+         changes)
+  in
+  List.iter (fun rel -> Lock_manager.acquire_exn t.locks ~txn ~obj:(rel_lock rel) Lock_manager.X) rels;
+  Fun.protect
+    ~finally:(fun () -> Lock_manager.release_all t.locks ~txn)
+    (fun () ->
+      List.map
+        (fun change ->
+          let delta = apply_change t.catalog change in
+          List.iter (fun h -> h.on_delta delta) t.hooks;
+          delta)
+        changes)

@@ -1,0 +1,35 @@
+(** Transactions over the catalog: batches of inserts/deletes/updates
+    that keep heap files and secondary indexes consistent and feed the
+    resulting deltas to registered view-maintenance hooks (traditional
+    MVs maintain immediately; PMVs defer per Section 3.4). *)
+
+open Minirel_storage
+open Minirel_query
+
+type change =
+  | Insert of { rel : string; tuple : Tuple.t }
+  | Delete of { rel : string; pred : Predicate.t }  (** all matching rows *)
+  | Update of { rel : string; pred : Predicate.t; set : (int * Value.t) list }
+
+type delta = {
+  rel : string;
+  inserted : Tuple.t list;
+  deleted : Tuple.t list;
+  updated : (Tuple.t * Tuple.t) list;  (** (old, new) *)
+}
+
+type t
+
+val create : Minirel_index.Catalog.t -> t
+val catalog : t -> Minirel_index.Catalog.t
+val locks : t -> Lock_manager.t
+
+(** Hooks run once per change, after it is applied. *)
+val register_hook : t -> name:string -> (delta -> unit) -> unit
+
+val unregister_hook : t -> name:string -> unit
+
+(** Run a transaction: X-lock every touched relation, apply the changes
+    in order, notify hooks after each, release locks. Returns the
+    deltas. @raise Failure on a lock conflict. *)
+val run : t -> change list -> delta list

@@ -1,0 +1,130 @@
+(* A redo log for the engine: every transaction delta is appended as
+   text, so a catalog state can be recovered as
+   snapshot + log replay. Updates are logged as delete+insert pairs;
+   deletes identify their victim by value (the heaps carry no stable
+   external row ids), which is exact under multiset semantics.
+
+     ins <rel> <v1>\t<v2>...
+     del <rel> <v1>\t<v2>...
+
+   Values use the snapshot encoding (tagged, escape-safe). *)
+
+open Minirel_storage
+module Catalog = Minirel_index.Catalog
+module Snapshot = Minirel_index.Snapshot
+
+type t = { filename : string; mutable oc : out_channel option }
+
+let open_log ~filename = { filename; oc = Some (open_out_gen [ Open_append; Open_creat ] 0o644 filename) }
+
+let filename t = t.filename
+
+let close t =
+  match t.oc with
+  | Some oc ->
+      close_out oc;
+      t.oc <- None
+  | None -> ()
+
+let write_tuple oc tag rel tuple =
+  output_string oc tag;
+  output_char oc ' ';
+  output_string oc rel;
+  output_char oc ' ';
+  Array.iteri
+    (fun i v ->
+      if i > 0 then output_char oc '\t';
+      output_string oc (Snapshot.encode_value v))
+    tuple;
+  output_char oc '\n'
+
+(* Append one delta; flushed immediately so a crash after a transaction
+   loses nothing that was acknowledged. @raise Failure if closed. *)
+let log_delta t (delta : Txn.delta) =
+  match t.oc with
+  | None -> failwith "Wal.log_delta: log is closed"
+  | Some oc ->
+      let rel = delta.Txn.rel in
+      List.iter (fun tuple -> write_tuple oc "ins" rel tuple) delta.Txn.inserted;
+      List.iter (fun tuple -> write_tuple oc "del" rel tuple) delta.Txn.deleted;
+      List.iter
+        (fun (old_t, new_t) ->
+          write_tuple oc "del" rel old_t;
+          write_tuple oc "ins" rel new_t)
+        delta.Txn.updated;
+      flush oc
+
+(* Subscribe the log to a transaction manager. *)
+let attach t mgr = Txn.register_hook mgr ~name:("wal:" ^ t.filename) (log_delta t)
+
+let detach t mgr = Txn.unregister_hook mgr ~name:("wal:" ^ t.filename)
+
+exception Corrupt of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Corrupt s)) fmt
+
+(* Find one rid holding exactly [tuple]. *)
+let rid_of_value catalog ~rel tuple =
+  let heap = Catalog.heap catalog rel in
+  let found = ref None in
+  (try
+     Heap_file.iter heap (fun rid t ->
+         if !found = None && Tuple.equal t tuple then begin
+           found := Some rid;
+           raise Exit
+         end)
+   with Exit -> ());
+  !found
+
+(* Replay a log onto [catalog] (normally one restored from the matching
+   snapshot). Returns the number of changes applied.
+   @raise Corrupt on malformed lines or when a logged delete cannot
+   find its victim (snapshot/log mismatch). *)
+let replay catalog ~filename =
+  let ic = open_in filename in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let applied = ref 0 in
+      (* split on the first two spaces only: encoded strings may contain
+         spaces *)
+      let split3 line =
+        match String.index_opt line ' ' with
+        | None -> None
+        | Some i -> (
+            let rest = String.sub line (i + 1) (String.length line - i - 1) in
+            match String.index_opt rest ' ' with
+            | None -> None
+            | Some j ->
+                Some
+                  ( String.sub line 0 i,
+                    String.sub rest 0 j,
+                    String.sub rest (j + 1) (String.length rest - j - 1) ))
+      in
+      let rec loop () =
+        match input_line ic with
+        | exception End_of_file -> ()
+        | "" -> loop ()
+        | line ->
+            (match split3 line with
+            | Some (tag, rel, fields) -> (
+                let tuple =
+                  Array.of_list
+                    (List.map Snapshot.decode_value (String.split_on_char '\t' fields))
+                in
+                match tag with
+                | "ins" ->
+                    ignore (Catalog.insert catalog ~rel tuple);
+                    incr applied
+                | "del" -> (
+                    match rid_of_value catalog ~rel tuple with
+                    | Some rid ->
+                        ignore (Catalog.delete catalog ~rel rid);
+                        incr applied
+                    | None -> fail "logged delete found no victim in %s" rel)
+                | other -> fail "unknown log tag %S" other)
+            | None -> fail "malformed log line %S" line);
+            loop ()
+      in
+      loop ();
+      !applied)

@@ -1,0 +1,29 @@
+(** A redo log: every transaction delta is appended as text, so a
+    catalog state is recoverable as snapshot + log replay. Updates are
+    logged as delete+insert pairs; deletes identify victims by value,
+    which is exact under multiset semantics. Relation names must not
+    contain spaces. *)
+
+type t
+
+(** Open (or create) a log file in append mode. *)
+val open_log : filename:string -> t
+
+val filename : t -> string
+val close : t -> unit
+
+(** Append one delta, flushing immediately.
+    @raise Failure when the log is closed. *)
+val log_delta : t -> Txn.delta -> unit
+
+(** Subscribe the log to a transaction manager. *)
+val attach : t -> Txn.t -> unit
+
+val detach : t -> Txn.t -> unit
+
+exception Corrupt of string
+
+(** Replay a log onto a catalog (normally one restored from the
+    matching snapshot); returns the number of changes applied.
+    @raise Corrupt on malformed lines or snapshot/log mismatches. *)
+val replay : Minirel_index.Catalog.t -> filename:string -> int

@@ -1,0 +1,1 @@
+lib/workload/querygen.ml: Array Discretize Hashtbl Instance Interval List Minirel_query Minirel_storage Split_mix Template Value Zipf

@@ -1,0 +1,1 @@
+lib/workload/querygen.mli: Discretize Instance Interval Minirel_query Minirel_storage Split_mix Template Value Zipf

@@ -1,0 +1,1 @@
+lib/workload/split_mix.ml: Array Hashtbl Int64 List

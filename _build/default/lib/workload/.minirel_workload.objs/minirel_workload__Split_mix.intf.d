@@ -1,0 +1,1 @@
+lib/workload/split_mix.mli:

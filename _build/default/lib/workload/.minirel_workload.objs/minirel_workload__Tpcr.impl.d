@@ -1,0 +1,1 @@
+lib/workload/tpcr.ml: Float Heap_file Minirel_index Minirel_storage Option Schema Split_mix String Value Zipf

@@ -1,0 +1,1 @@
+lib/workload/tpcr.mli: Minirel_index Minirel_storage Schema

@@ -1,0 +1,1 @@
+lib/workload/zipf.ml: Array Float Split_mix

@@ -1,0 +1,1 @@
+lib/workload/zipf.mli: Split_mix

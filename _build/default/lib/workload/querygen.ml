@@ -1,0 +1,134 @@
+(* Query templates and query streams for the paper's experiments.
+
+   T1 (Section 4.2): lineitems of certain suppliers sold on certain days
+       select ... from orders o, lineitem l
+       where o.orderkey = l.orderkey
+         and (o.orderdate = d1 or ... or o.orderdate = de)
+         and (l.suppkey = s1 or ... or l.suppkey = sf)
+
+   T2: T1 plus customer with a nationkey disjunction; combination
+   factor h = e*f (T1) or e*f*g (T2).
+
+   Hot/cold structure comes from Zipfian draws over the selection-value
+   domains; rank r maps to value r+1, so low values are the hot ones. *)
+
+open Minirel_storage
+open Minirel_query
+
+let t1_spec =
+  {
+    Template.name = "t1";
+    relations = [| "orders"; "lineitem" |];
+    joins =
+      [ (Template.attr_ref ~rel:0 ~attr:"orderkey", Template.attr_ref ~rel:1 ~attr:"orderkey") ];
+    fixed = [];
+    select_list =
+      [
+        Template.attr_ref ~rel:0 ~attr:"orderkey";
+        Template.attr_ref ~rel:0 ~attr:"totalprice";
+        Template.attr_ref ~rel:1 ~attr:"linenumber";
+        Template.attr_ref ~rel:1 ~attr:"quantity";
+        Template.attr_ref ~rel:1 ~attr:"extendedprice";
+      ];
+    selections =
+      [|
+        Template.Eq_sel (Template.attr_ref ~rel:0 ~attr:"orderdate");
+        Template.Eq_sel (Template.attr_ref ~rel:1 ~attr:"suppkey");
+      |];
+  }
+
+let t2_spec =
+  {
+    Template.name = "t2";
+    relations = [| "orders"; "lineitem"; "customer" |];
+    joins =
+      [
+        (Template.attr_ref ~rel:0 ~attr:"orderkey", Template.attr_ref ~rel:1 ~attr:"orderkey");
+        (Template.attr_ref ~rel:0 ~attr:"custkey", Template.attr_ref ~rel:2 ~attr:"custkey");
+      ];
+    fixed = [];
+    select_list =
+      [
+        Template.attr_ref ~rel:0 ~attr:"orderkey";
+        Template.attr_ref ~rel:0 ~attr:"totalprice";
+        Template.attr_ref ~rel:1 ~attr:"quantity";
+        Template.attr_ref ~rel:1 ~attr:"extendedprice";
+        Template.attr_ref ~rel:2 ~attr:"acctbal";
+      ];
+    selections =
+      [|
+        Template.Eq_sel (Template.attr_ref ~rel:0 ~attr:"orderdate");
+        Template.Eq_sel (Template.attr_ref ~rel:1 ~attr:"suppkey");
+        Template.Eq_sel (Template.attr_ref ~rel:2 ~attr:"nationkey");
+      |];
+  }
+
+(* Zipf rank -> selection value. Rank 0 is the hottest. *)
+let value_of_rank r = Value.Int (r + 1)
+
+(* [count] distinct values drawn Zipf-skewed from [zipf]. *)
+let draw_values zipf rng ~count =
+  List.map value_of_rank (Split_mix.distinct rng ~n:count (Zipf.sample zipf))
+
+(* A T1 query with e dates and f suppliers (h = e*f). *)
+let gen_t1 compiled ~dates_zipf ~supp_zipf ~e ~f rng =
+  Instance.make compiled
+    [|
+      Instance.Dvalues (draw_values dates_zipf rng ~count:e);
+      Instance.Dvalues (draw_values supp_zipf rng ~count:f);
+    |]
+
+(* A T2 query with e dates, f suppliers, g nations (h = e*f*g). *)
+let gen_t2 compiled ~dates_zipf ~supp_zipf ~nation_zipf ~e ~f ~g rng =
+  Instance.make compiled
+    [|
+      Instance.Dvalues (draw_values dates_zipf rng ~count:e);
+      Instance.Dvalues (draw_values supp_zipf rng ~count:f);
+      Instance.Dvalues
+        (List.map (fun v ->
+             (* nationkey domain starts at 0 *)
+             match v with Value.Int i -> Value.Int (i - 1) | other -> other)
+            (draw_values nation_zipf rng ~count:g));
+    |]
+
+(* Zipf-skewed disjoint intervals over a grid: [count] chunks of [span]
+   consecutive basic intervals each, anchored at Zipf-chosen ids. *)
+let draw_intervals grid zipf rng ~count ~span =
+  let n = Discretize.n_intervals grid in
+  let taken = Hashtbl.create 16 in
+  let overlaps start =
+    let rec check i = i < span && (Hashtbl.mem taken (start + i) || check (i + 1)) in
+    check 0
+  in
+  let rec pick acc found tries =
+    if found >= count || tries > 1000 * count then List.rev acc
+    else
+      let start = min (Zipf.sample zipf rng) (n - span) in
+      if start < 0 || overlaps start then pick acc found (tries + 1)
+      else begin
+        for i = 0 to span - 1 do
+          Hashtbl.replace taken (start + i) ()
+        done;
+        let first = Discretize.interval_of_id grid start in
+        let last = Discretize.interval_of_id grid (start + span - 1) in
+        let iv = Interval.make first.Interval.lo last.Interval.hi in
+        pick (iv :: acc) (found + 1) (tries + 1)
+      end
+  in
+  pick [] 0 0
+
+(* Generic instance generator: one Zipf source per selection condition;
+   equality conditions get [counts.(i)] distinct values, interval
+   conditions get [counts.(i)] disjoint single-basic-interval pieces. *)
+let gen_generic compiled ~zipfs ~counts rng =
+  let sels = compiled.Template.spec.Template.selections in
+  let params =
+    Array.mapi
+      (fun i sel ->
+        match sel with
+        | Template.Eq_sel _ -> Instance.Dvalues (draw_values zipfs.(i) rng ~count:counts.(i))
+        | Template.Range_sel (_, grid) ->
+            Instance.Dintervals (draw_intervals grid zipfs.(i) rng ~count:counts.(i) ~span:1))
+      sels
+  in
+  Instance.make compiled params

@@ -1,0 +1,187 @@
+(* TPC-R-style data generator (the paper's Section 4.2 test data,
+   Table 1). Schema and key distribution follow the paper:
+
+     customer (custkey, nationkey, ...)        0.15M x s rows, ~153 B/row
+     orders   (orderkey, custkey, orderdate, ...)  1.5M x s rows, ~76 B/row
+     lineitem (orderkey, suppkey, ...)         6M x s rows, ~126 B/row
+
+   On average each customer matches 10 orders on custkey and each order
+   matches 4 lineitems on orderkey (exactly, in this generator). The
+   absolute scale is a CLI knob; shapes depend on the ratios, not the
+   row counts (DESIGN.md Section 2). *)
+
+open Minirel_storage
+module Catalog = Minirel_index.Catalog
+
+type params = {
+  scale : float;  (* the paper's s *)
+  seed : int;
+  n_dates : int;  (* orderdate domain: 1..n_dates *)
+  n_suppliers : int;  (* suppkey domain: 1..n_suppliers *)
+  n_nations : int;  (* nationkey domain: 0..n_nations-1 *)
+  nation_alpha : float;
+      (* customers per nation follow a Zipfian with this skew (real
+         populations are heavily skewed); keeps hot T2 basic condition
+         parts dense enough to hold > F result tuples *)
+  pad : bool;  (* attach padding strings to realise Table 1 byte sizes *)
+}
+
+let default_params =
+  {
+    scale = 0.02;
+    seed = 42;
+    n_dates = 2405;
+    n_suppliers = 1000;
+    n_nations = 25;
+    nation_alpha = 1.5;
+    pad = true;
+  }
+
+(* Parameters whose selection-value domains scale with the data so that
+   each (orderdate, suppkey) basic condition part keeps more than F
+   matching lineitems — the paper's Section 4.2 setup ("for each basic
+   condition part, the number of query result tuples that belong to it
+   is greater than F"). Density target: ~8 lineitems per (date, supp)
+   pair, split 4:1 between the two domains. *)
+let params_for_scale ?(seed = 42) ?(pad = true) scale =
+  let customers = max 1 (int_of_float (Float.round (150_000.0 *. scale))) in
+  let lineitems = 40 * customers in
+  let pairs = max 4 (lineitems / 8) in
+  let n_dates = max 4 (int_of_float (2.0 *. sqrt (float_of_int pairs))) in
+  let n_suppliers = max 2 (pairs / n_dates) in
+  { scale; seed; n_dates; n_suppliers; n_nations = 25; nation_alpha = 1.5; pad }
+
+type counts = { customers : int; orders : int; lineitems : int }
+
+let counts_of_scale scale =
+  let customers = max 1 (int_of_float (Float.round (150_000.0 *. scale))) in
+  { customers; orders = 10 * customers; lineitems = 40 * customers }
+
+let customer_schema =
+  Schema.create "customer"
+    [
+      ("custkey", Schema.Tint);
+      ("nationkey", Schema.Tint);
+      ("acctbal", Schema.Tfloat);
+      ("pad", Schema.Tstr);
+    ]
+
+let orders_schema =
+  Schema.create "orders"
+    [
+      ("orderkey", Schema.Tint);
+      ("custkey", Schema.Tint);
+      ("orderdate", Schema.Tint);
+      ("totalprice", Schema.Tfloat);
+      ("pad", Schema.Tstr);
+    ]
+
+let lineitem_schema =
+  Schema.create "lineitem"
+    [
+      ("orderkey", Schema.Tint);
+      ("suppkey", Schema.Tint);
+      ("linenumber", Schema.Tint);
+      ("quantity", Schema.Tint);
+      ("extendedprice", Schema.Tfloat);
+      ("pad", Schema.Tstr);
+    ]
+
+let pad_string params n = if params.pad then String.make n 'x' else ""
+
+(* Populate the three relations plus the paper's indexes ("an index on
+   each selection/join attribute"). Returns the row counts. *)
+let generate catalog params =
+  let rng = Split_mix.create ~seed:params.seed in
+  let c = counts_of_scale params.scale in
+  let nation_zipf = Zipf.create ~n:params.n_nations ~alpha:params.nation_alpha in
+  let _ = Catalog.create_relation catalog customer_schema in
+  let _ = Catalog.create_relation catalog orders_schema in
+  let _ = Catalog.create_relation catalog lineitem_schema in
+  let cust_pad = Value.Str (pad_string params 120) in
+  for custkey = 1 to c.customers do
+    ignore
+      (Catalog.insert catalog ~rel:"customer"
+         [|
+           Value.Int custkey;
+           Value.Int (Zipf.sample nation_zipf rng);
+           Value.Float (float_of_int (Split_mix.int rng ~bound:1_000_000) /. 100.0);
+           cust_pad;
+         |])
+  done;
+  let ord_pad = Value.Str (pad_string params 45) in
+  let li_pad = Value.Str (pad_string params 90) in
+  let orderkey = ref 0 in
+  for custkey = 1 to c.customers do
+    for _ = 1 to 10 do
+      incr orderkey;
+      let ok = !orderkey in
+      ignore
+        (Catalog.insert catalog ~rel:"orders"
+           [|
+             Value.Int ok;
+             Value.Int custkey;
+             Value.Int (Split_mix.int_range rng ~lo:1 ~hi:params.n_dates);
+             Value.Float (float_of_int (Split_mix.int rng ~bound:50_000_000) /. 100.0);
+             ord_pad;
+           |]);
+      for linenumber = 1 to 4 do
+        ignore
+          (Catalog.insert catalog ~rel:"lineitem"
+             [|
+               Value.Int ok;
+               Value.Int (Split_mix.int_range rng ~lo:1 ~hi:params.n_suppliers);
+               Value.Int linenumber;
+               Value.Int (Split_mix.int_range rng ~lo:1 ~hi:50);
+               Value.Float (float_of_int (Split_mix.int rng ~bound:10_000_000) /. 100.0);
+               li_pad;
+             |])
+      done
+    done
+  done;
+  (* indexes on every selection/join attribute (Section 4.2) *)
+  let ix rel name attrs = ignore (Catalog.create_index catalog ~rel ~name ~attrs ()) in
+  ix "customer" "customer_custkey" [ "custkey" ];
+  ix "customer" "customer_nationkey" [ "nationkey" ];
+  ix "orders" "orders_orderkey" [ "orderkey" ];
+  ix "orders" "orders_custkey" [ "custkey" ];
+  ix "orders" "orders_orderdate" [ "orderdate" ];
+  ix "lineitem" "lineitem_orderkey" [ "orderkey" ];
+  ix "lineitem" "lineitem_suppkey" [ "suppkey" ];
+  c
+
+(* Table 1 rows: tuple counts and relation sizes for a scale factor,
+   using the paper's nominal MB-per-scale figures alongside the sizes
+   this generator actually materialises. *)
+type table1_row = {
+  relation : string;
+  tuples : int;
+  nominal_mb : float;  (* the paper's formula: 23s / 114s / 755s *)
+  actual_bytes : int option;  (* measured, when the data was generated *)
+}
+
+let table1 ?catalog ~scale () =
+  let c = counts_of_scale scale in
+  let actual rel =
+    Option.map (fun cat -> Heap_file.size_bytes (Catalog.heap cat rel)) catalog
+  in
+  [
+    {
+      relation = "customer";
+      tuples = c.customers;
+      nominal_mb = 23.0 *. scale;
+      actual_bytes = actual "customer";
+    };
+    {
+      relation = "orders";
+      tuples = c.orders;
+      nominal_mb = 114.0 *. scale;
+      actual_bytes = actual "orders";
+    };
+    {
+      relation = "lineitem";
+      tuples = c.lineitems;
+      nominal_mb = 755.0 *. scale;
+      actual_bytes = actual "lineitem";
+    };
+  ]

@@ -1,0 +1,46 @@
+(** TPC-R-style data generator (the paper's Section 4.2 data, Table 1):
+    customer / orders / lineitem with the paper's fanouts (10 orders
+    per customer, 4 lineitems per order) and per-relation byte
+    accounting. DESIGN.md Section 2 documents the deviations: domains
+    scale with the data and customer nationkey is Zipf-skewed so hot
+    basic condition parts keep more than F matching tuples. *)
+
+open Minirel_storage
+
+type params = {
+  scale : float;  (** the paper's s *)
+  seed : int;
+  n_dates : int;  (** orderdate domain 1..n_dates *)
+  n_suppliers : int;  (** suppkey domain 1..n_suppliers *)
+  n_nations : int;  (** nationkey domain 0..n_nations-1 *)
+  nation_alpha : float;  (** Zipf skew of customers across nations *)
+  pad : bool;  (** padding strings realise Table 1 byte sizes *)
+}
+
+val default_params : params
+
+(** Parameters whose selection-value domains scale with the data,
+    targeting ~8 lineitems per (orderdate, suppkey) pair. *)
+val params_for_scale : ?seed:int -> ?pad:bool -> float -> params
+
+type counts = { customers : int; orders : int; lineitems : int }
+
+(** Row counts implied by a scale factor (0.15M/1.5M/6M at s = 1). *)
+val counts_of_scale : float -> counts
+
+val customer_schema : Schema.t
+val orders_schema : Schema.t
+val lineitem_schema : Schema.t
+
+(** Create and populate the three relations plus an index on every
+    selection/join attribute (the paper's setup). *)
+val generate : Minirel_index.Catalog.t -> params -> counts
+
+type table1_row = {
+  relation : string;
+  tuples : int;
+  nominal_mb : float;  (** the paper's formula: 23s / 114s / 755s MB *)
+  actual_bytes : int option;  (** measured when a catalog is supplied *)
+}
+
+val table1 : ?catalog:Minirel_index.Catalog.t -> scale:float -> unit -> table1_row list

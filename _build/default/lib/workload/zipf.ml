@@ -1,0 +1,48 @@
+(* Zipfian sampler over ranks 0..n-1 with P(i) proportional to
+   1/(i+1)^alpha — the paper's query-pattern model (Section 4.1:
+   alpha = 1.07 is "high skew", 1.01 "moderate skew").
+
+   Sampling inverts the cumulative distribution with binary search;
+   build is O(n), draw is O(log n). *)
+
+type t = { cum : float array; alpha : float }
+
+let create ~n ~alpha =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  let cum = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    total := !total +. (1.0 /. Float.pow (float_of_int (i + 1)) alpha);
+    cum.(i) <- !total
+  done;
+  let z = !total in
+  for i = 0 to n - 1 do
+    cum.(i) <- cum.(i) /. z
+  done;
+  { cum; alpha }
+
+let n t = Array.length t.cum
+let alpha t = t.alpha
+
+let pmf t i =
+  if i = 0 then t.cum.(0) else t.cum.(i) -. t.cum.(i - 1)
+
+(* Rank sampled according to the distribution. *)
+let sample t rng =
+  let u = Split_mix.float rng in
+  let lo = ref 0 and hi = ref (Array.length t.cum - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cum.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Smallest number of top ranks holding at least [mass] probability;
+   e.g. the paper: with alpha=1.07, 10% of 1M ranks hold 90% of mass. *)
+let ranks_holding t ~mass =
+  let lo = ref 0 and hi = ref (Array.length t.cum - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cum.(mid) < mass then lo := mid + 1 else hi := mid
+  done;
+  !lo + 1

@@ -1,0 +1,18 @@
+(** Zipfian sampler over ranks [0..n-1] with P(i) proportional to
+    [1/(i+1)^alpha] — the paper's query-pattern model (Section 4.1:
+    alpha = 1.07 is "high skew", 1.01 "moderate"). Build is O(n),
+    sampling inverts the CDF in O(log n). *)
+
+type t
+
+(** @raise Invalid_argument if [n <= 0]. *)
+val create : n:int -> alpha:float -> t
+
+val n : t -> int
+val alpha : t -> float
+val pmf : t -> int -> float
+val sample : t -> Split_mix.t -> int
+
+(** Smallest number of top ranks holding at least [mass] probability
+    (e.g. the paper: alpha=1.07 -> 10% of 1M ranks hold 90%). *)
+val ranks_holding : t -> mass:float -> int

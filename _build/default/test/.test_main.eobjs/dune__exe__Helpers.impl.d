@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Buffer_pool Fmt Heap_file Instance List Minirel_index Minirel_query Minirel_storage Option Pmv Predicate Schema Template Tuple Value

@@ -1,0 +1,1 @@
+test/test_advisor.ml: Alcotest Discretize Helpers Instance Interval List Minirel_index Minirel_query Minirel_storage Pmv Template Value

@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Array Fmt Hashtbl Helpers Int List Minirel_index Minirel_storage Option QCheck2 QCheck_alcotest Rid Tuple Value

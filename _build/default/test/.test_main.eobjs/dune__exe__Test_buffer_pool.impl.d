@@ -1,0 +1,1 @@
+test/test_buffer_pool.ml: Alcotest Buffer_pool Io_stats Minirel_storage

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Fmt Hashtbl List Minirel_cache QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_condition_part.ml: Alcotest Array Bcp Condition_part Discretize Helpers Instance Int Interval List Minirel_query Minirel_storage QCheck2 QCheck_alcotest Template Value

@@ -1,0 +1,1 @@
+test/test_discretize.ml: Alcotest Discretize Fun Interval List Minirel_query Minirel_storage QCheck2 QCheck_alcotest Value

@@ -1,0 +1,1 @@
+test/test_ds_faults.ml: Alcotest Helpers Instance List Minirel_query Minirel_storage Minirel_txn Minirel_workload Pmv Predicate Template Value

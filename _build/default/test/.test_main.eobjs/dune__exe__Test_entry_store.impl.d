@@ -1,0 +1,1 @@
+test/test_entry_store.ml: Alcotest Array Bcp List Minirel_cache Minirel_query Minirel_storage Pmv QCheck2 QCheck_alcotest Tuple Value

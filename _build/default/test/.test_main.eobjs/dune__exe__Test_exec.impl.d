@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Discretize Heap_file Helpers Instance Interval List Minirel_exec Minirel_index Minirel_query Minirel_storage Minirel_workload Predicate Template Tuple Value

@@ -1,0 +1,1 @@
+test/test_exec_extra.ml: Alcotest Array Fmt Helpers Instance Int List Minirel_exec Minirel_index Minirel_query Minirel_storage Minirel_workload Predicate QCheck2 QCheck_alcotest Schema Template Value

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Hashtbl Helpers Instance List Minirel_query Minirel_storage Option Pmv Template Tuple Value

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Array Buffer_pool Hashtbl Heap_file Helpers Int Io_stats List Minirel_storage QCheck2 QCheck_alcotest Rid Schema Tuple Value

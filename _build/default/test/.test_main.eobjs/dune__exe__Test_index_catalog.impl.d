@@ -1,0 +1,1 @@
+test/test_index_catalog.ml: Alcotest Heap_file Helpers List Minirel_index Minirel_storage Minirel_workload QCheck2 QCheck_alcotest Rid Schema Tuple Value

@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Interval Minirel_query Minirel_storage QCheck2 QCheck_alcotest Value

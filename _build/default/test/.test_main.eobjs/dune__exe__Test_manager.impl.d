@@ -1,0 +1,1 @@
+test/test_manager.ml: Alcotest Array Discretize Helpers Instance Interval List Minirel_index Minirel_query Minirel_storage Minirel_txn Pmv Template Value

@@ -1,0 +1,1 @@
+test/test_matview.ml: Alcotest Array Heap_file Helpers Instance List Minirel_index Minirel_matview Minirel_query Minirel_storage Minirel_txn Predicate QCheck2 QCheck_alcotest Template Tuple Value

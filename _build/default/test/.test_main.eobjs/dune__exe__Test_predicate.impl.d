@@ -1,0 +1,1 @@
+test/test_predicate.ml: Alcotest Int Interval List Minirel_query Minirel_storage Predicate Tuple Value

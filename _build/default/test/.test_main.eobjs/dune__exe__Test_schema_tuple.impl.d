@@ -1,0 +1,1 @@
+test/test_schema_tuple.ml: Alcotest Array Fun Helpers List Minirel_storage QCheck2 QCheck_alcotest Schema Tuple Value

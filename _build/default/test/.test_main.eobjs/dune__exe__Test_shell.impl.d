@@ -1,0 +1,1 @@
+test/test_shell.ml: Alcotest Array Fmt Helpers List Minirel_shell Minirel_sql Minirel_storage Printexc QCheck2 QCheck_alcotest String Value

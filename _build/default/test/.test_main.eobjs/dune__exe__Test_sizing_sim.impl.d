@@ -1,0 +1,1 @@
+test/test_sizing_sim.ml: Alcotest Minirel_cache Pmv Pmv_sim

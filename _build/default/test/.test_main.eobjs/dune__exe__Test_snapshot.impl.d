@@ -1,0 +1,1 @@
+test/test_snapshot.ml: Alcotest Buffer_pool Filename Heap_file Helpers List Minirel_index Minirel_query Minirel_storage Pmv Schema String Sys Value

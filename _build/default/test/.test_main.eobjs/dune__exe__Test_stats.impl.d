@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Fmt Helpers Instance Interval List Minirel_exec Minirel_index Minirel_query Minirel_storage Minirel_workload String Template Value

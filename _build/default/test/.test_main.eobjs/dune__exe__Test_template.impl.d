@@ -1,0 +1,1 @@
+test/test_template.ml: Alcotest Array Discretize Helpers Instance Interval List Minirel_query Minirel_storage Predicate Template Tuple Value

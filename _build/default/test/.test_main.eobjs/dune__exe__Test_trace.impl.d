@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Filename Helpers List Minirel_shell Pmv Sys

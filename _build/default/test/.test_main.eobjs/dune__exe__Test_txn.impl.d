@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Array Heap_file Helpers List Minirel_index Minirel_query Minirel_storage Minirel_txn Predicate Value

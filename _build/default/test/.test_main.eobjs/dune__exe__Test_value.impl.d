@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Minirel_storage QCheck2 QCheck_alcotest Value

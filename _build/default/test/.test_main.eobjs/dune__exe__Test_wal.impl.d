@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Buffer_pool Filename Heap_file Helpers Instance List Minirel_index Minirel_query Minirel_storage Minirel_txn Pmv Predicate Sys Template Value

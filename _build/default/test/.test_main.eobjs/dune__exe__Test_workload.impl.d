@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Condition_part Discretize Hashtbl Heap_file Helpers Instance Int Interval List Minirel_index Minirel_query Minirel_storage Minirel_workload Option Template Value

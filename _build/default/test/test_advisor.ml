@@ -1,0 +1,95 @@
+open Minirel_storage
+open Minirel_query
+module Advisor = Pmv.Advisor
+module Manager = Pmv.Manager
+
+let check = Alcotest.check
+let vi i = Value.Int i
+
+let setup () =
+  let catalog = Helpers.fresh_catalog () in
+  Helpers.build_rs catalog;
+  ignore (Minirel_index.Catalog.create_index catalog ~rel:"s" ~name:"s_e" ~attrs:[ "e" ] ());
+  let c_eqt = Template.compile catalog Helpers.eqt_spec in
+  let grid = Discretize.of_cuts (List.init 11 (fun i -> vi (i * 10))) in
+  let c_iv = Template.compile catalog (Helpers.eqt_interval_spec ~grid) in
+  (catalog, c_eqt, c_iv)
+
+let eqt_query c_eqt f g =
+  Instance.make c_eqt [| Instance.Dvalues [ vi f ]; Instance.Dvalues [ vi g ] |]
+
+let feed advisor catalog c_eqt c_iv ~hot_queries ~cold_queries =
+  (* hot template: many queries concentrated on few bcps *)
+  for i = 1 to hot_queries do
+    let inst = eqt_query c_eqt (i mod 3) (i mod 2) in
+    let sample = Helpers.brute_force_answer catalog inst in
+    Advisor.observe ~result_sample:sample advisor inst
+  done;
+  (* cold template: few queries, spread out *)
+  for i = 1 to cold_queries do
+    let inst =
+      Instance.make c_iv
+        [|
+          Instance.Dvalues [ vi (i mod 10) ];
+          Instance.Dintervals [ Interval.half_open ~lo:(vi (i * 7 mod 100)) ~hi:(vi ((i * 7 mod 100) + 5)) ];
+        |]
+    in
+    Advisor.observe advisor inst
+  done
+
+let test_observe_and_rank () =
+  let catalog, c_eqt, c_iv = setup () in
+  let advisor = Advisor.create () in
+  feed advisor catalog c_eqt c_iv ~hot_queries:40 ~cold_queries:8;
+  check Alcotest.int "observed" 48 (Advisor.n_observed advisor);
+  check Alcotest.int "two templates" 2 (Advisor.n_templates advisor);
+  let recs = Advisor.recommend advisor ~budget_bytes:1_000_000 in
+  check Alcotest.int "both recommended" 2 (List.length recs);
+  (match recs with
+  | top :: second :: _ ->
+      check Alcotest.string "hot template first" "eqt"
+        top.Advisor.template.Template.spec.Template.name;
+      check Alcotest.bool "budget follows traffic" true
+        (top.Advisor.suggested_ub > second.Advisor.suggested_ub);
+      (* the hot template's trace is concentrated on 6 bcps *)
+      check Alcotest.bool "high trace-hit estimate" true
+        (top.Advisor.trace_hit_estimate > 0.9);
+      check Alcotest.bool "F within bounds" true
+        (top.Advisor.suggested_f >= 1 && top.Advisor.suggested_f <= 4)
+  | _ -> Alcotest.fail "recs");
+  (* min_queries filter *)
+  let strict = Advisor.recommend advisor ~min_queries:20 ~budget_bytes:1_000_000 in
+  check Alcotest.int "cold template filtered" 1 (List.length strict)
+
+let test_apply_to_manager () =
+  let catalog, c_eqt, c_iv = setup () in
+  let advisor = Advisor.create () in
+  feed advisor catalog c_eqt c_iv ~hot_queries:30 ~cold_queries:5;
+  let manager = Manager.create catalog in
+  let recs = Advisor.recommend advisor ~budget_bytes:500_000 in
+  let created = Advisor.apply advisor manager recs in
+  check Alcotest.int "views created" 2 created;
+  check Alcotest.bool "eqt view exists" true (Manager.find manager ~template:"eqt" <> None);
+  (* applying again creates nothing new *)
+  check Alcotest.int "idempotent" 0 (Advisor.apply advisor manager recs);
+  (* the advised views actually serve the hot workload *)
+  let inst = eqt_query c_eqt 1 1 in
+  ignore (Manager.answer manager inst ~on_tuple:(fun _ _ -> ()));
+  let stats, used = Manager.answer manager inst ~on_tuple:(fun _ _ -> ()) in
+  check Alcotest.bool "routed" true used;
+  check Alcotest.bool "hot query served" true (stats.Pmv.Answer.partial_count > 0)
+
+let test_empty_and_errors () =
+  let advisor = Advisor.create () in
+  check (Alcotest.list Alcotest.bool) "no trace, no recs" []
+    (List.map (fun _ -> true) (Advisor.recommend advisor ~budget_bytes:1_000));
+  match Advisor.recommend advisor ~budget_bytes:0 with
+  | _ -> Alcotest.fail "zero budget accepted"
+  | exception Invalid_argument _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "observe and rank" `Quick test_observe_and_rank;
+    Alcotest.test_case "apply to manager" `Quick test_apply_to_manager;
+    Alcotest.test_case "empty and errors" `Quick test_empty_and_errors;
+  ]

@@ -1,0 +1,84 @@
+open Minirel_storage
+
+let check = Alcotest.check
+
+let test_read_miss_then_hit () =
+  let pool = Buffer_pool.create ~capacity:4 () in
+  let f = Buffer_pool.register_file pool in
+  let stats = Buffer_pool.stats pool in
+  Buffer_pool.access pool ~file:f ~page:0 ~mode:`Read;
+  check Alcotest.int "first access misses" 1 stats.Io_stats.reads;
+  Buffer_pool.access pool ~file:f ~page:0 ~mode:`Read;
+  check Alcotest.int "second access hits" 1 stats.Io_stats.reads;
+  check Alcotest.int "resident" 1 (Buffer_pool.resident pool)
+
+let test_write_miss_no_read () =
+  let pool = Buffer_pool.create ~capacity:4 () in
+  let f = Buffer_pool.register_file pool in
+  let stats = Buffer_pool.stats pool in
+  Buffer_pool.access pool ~file:f ~page:0 ~mode:`Write;
+  check Alcotest.int "append does not read" 0 stats.Io_stats.reads;
+  Buffer_pool.flush pool;
+  check Alcotest.int "dirty page flushed" 1 stats.Io_stats.writes
+
+let test_dirty_eviction_writes () =
+  let pool = Buffer_pool.create ~capacity:2 () in
+  let f = Buffer_pool.register_file pool in
+  let stats = Buffer_pool.stats pool in
+  Buffer_pool.access pool ~file:f ~page:0 ~mode:`Write;
+  Buffer_pool.access pool ~file:f ~page:1 ~mode:`Read;
+  (* pool full; bringing in page 2 evicts a page; if it is the dirty one,
+     a write is charged. Touch two more to make sure page 0 leaves. *)
+  Buffer_pool.access pool ~file:f ~page:2 ~mode:`Read;
+  Buffer_pool.access pool ~file:f ~page:3 ~mode:`Read;
+  check Alcotest.bool "dirty eviction wrote" true (stats.Io_stats.writes >= 1);
+  Buffer_pool.flush pool;
+  (* flushing twice writes nothing new *)
+  let w = stats.Io_stats.writes in
+  Buffer_pool.flush pool;
+  check Alcotest.int "flush idempotent" w stats.Io_stats.writes
+
+let test_distinct_files () =
+  let pool = Buffer_pool.create ~capacity:8 () in
+  let f1 = Buffer_pool.register_file pool in
+  let f2 = Buffer_pool.register_file pool in
+  check Alcotest.bool "fresh ids" true (f1 <> f2);
+  let stats = Buffer_pool.stats pool in
+  Buffer_pool.access pool ~file:f1 ~page:0 ~mode:`Read;
+  Buffer_pool.access pool ~file:f2 ~page:0 ~mode:`Read;
+  check Alcotest.int "same page of different files are distinct" 2 stats.Io_stats.reads
+
+let test_invalidate_file () =
+  let pool = Buffer_pool.create ~capacity:8 () in
+  let f1 = Buffer_pool.register_file pool in
+  let f2 = Buffer_pool.register_file pool in
+  Buffer_pool.access pool ~file:f1 ~page:0 ~mode:`Read;
+  Buffer_pool.access pool ~file:f2 ~page:0 ~mode:`Read;
+  Buffer_pool.invalidate_file pool ~file:f1;
+  check Alcotest.int "only f2 resident" 1 (Buffer_pool.resident pool);
+  let stats = Buffer_pool.stats pool in
+  let r = stats.Io_stats.reads in
+  Buffer_pool.access pool ~file:f2 ~page:0 ~mode:`Read;
+  check Alcotest.int "f2 still cached" r stats.Io_stats.reads
+
+let test_io_stats_diff () =
+  let s = Io_stats.create () in
+  Io_stats.add_read s;
+  Io_stats.add_read s;
+  let snap = Io_stats.snapshot s in
+  Io_stats.add_read s;
+  Io_stats.add_write s;
+  let d = Io_stats.diff ~before:snap s in
+  check Alcotest.int "diff reads" 1 d.Io_stats.reads;
+  check Alcotest.int "diff writes" 1 d.Io_stats.writes;
+  check Alcotest.int "total" 4 (Io_stats.total s)
+
+let suite =
+  [
+    Alcotest.test_case "read miss then hit" `Quick test_read_miss_then_hit;
+    Alcotest.test_case "write miss appends" `Quick test_write_miss_no_read;
+    Alcotest.test_case "dirty eviction" `Quick test_dirty_eviction_writes;
+    Alcotest.test_case "distinct files" `Quick test_distinct_files;
+    Alcotest.test_case "invalidate file" `Quick test_invalidate_file;
+    Alcotest.test_case "io stats diff" `Quick test_io_stats_diff;
+  ]

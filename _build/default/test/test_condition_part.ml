@@ -1,0 +1,158 @@
+(* Operation O1: decomposition of Cselect into condition parts. *)
+
+open Minirel_storage
+open Minirel_query
+
+let check = Alcotest.check
+let vi i = Value.Int i
+
+let setup () =
+  let catalog = Helpers.fresh_catalog () in
+  Helpers.build_rs catalog;
+  catalog
+
+let test_equality_decompose () =
+  let catalog = setup () in
+  let c = Template.compile catalog Helpers.eqt_spec in
+  let inst =
+    Instance.make c [| Instance.Dvalues [ vi 1; vi 3 ]; Instance.Dvalues [ vi 2; vi 4; vi 6 ] |]
+  in
+  let cps = Condition_part.decompose inst in
+  (* h = u1 * u2 = 2 * 3 = 6, the paper's combination factor *)
+  check Alcotest.int "h = product" 6 (List.length cps);
+  check Alcotest.int "combination_factor agrees" 6 (Condition_part.combination_factor inst);
+  List.iter
+    (fun cp -> check Alcotest.bool "equality cps are exact" true (Condition_part.is_exact cp))
+    cps;
+  (* bcps are the cross product of the value lists *)
+  let bcps = List.map Condition_part.bcp cps in
+  check Alcotest.bool "contains (1,2)" true
+    (List.exists (Bcp.equal [| vi 1; vi 2 |]) bcps);
+  check Alcotest.bool "contains (3,6)" true
+    (List.exists (Bcp.equal [| vi 3; vi 6 |]) bcps);
+  (* all distinct *)
+  check Alcotest.int "no duplicate bcps" 6
+    (List.length (List.sort_uniq Bcp.compare bcps))
+
+let test_interval_decompose () =
+  let catalog = setup () in
+  let grid = Discretize.of_cuts [ vi 10; vi 20; vi 30 ] in
+  let c = Template.compile catalog (Helpers.eqt_interval_spec ~grid) in
+  (* s.e in [15, 25): pieces [15,20) (partial) and [20,25) (partial) *)
+  let inst =
+    Instance.make c
+      [|
+        Instance.Dvalues [ vi 1 ];
+        Instance.Dintervals [ Interval.half_open ~lo:(vi 15) ~hi:(vi 25) ];
+      |]
+  in
+  let cps = Condition_part.decompose inst in
+  check Alcotest.int "two pieces" 2 (List.length cps);
+  List.iter
+    (fun cp ->
+      check Alcotest.bool "clipped pieces are not exact" false (Condition_part.is_exact cp))
+    cps;
+  (* interval coordinate is the basic-interval id *)
+  let ids =
+    List.map (fun cp -> Value.int_exn (Condition_part.bcp cp).(1)) cps
+    |> List.sort Int.compare
+  in
+  check (Alcotest.list Alcotest.int) "basic ids" [ 1; 2 ] ids;
+  (* an aligned query produces exact parts *)
+  let aligned =
+    Instance.make c
+      [|
+        Instance.Dvalues [ vi 1 ];
+        Instance.Dintervals [ Interval.half_open ~lo:(vi 10) ~hi:(vi 20) ];
+      |]
+  in
+  match Condition_part.decompose aligned with
+  | [ cp ] -> check Alcotest.bool "aligned is exact" true (Condition_part.is_exact cp)
+  | other -> Alcotest.failf "expected 1 cp, got %d" (List.length other)
+
+let test_check_membership () =
+  let catalog = setup () in
+  let grid = Discretize.of_cuts [ vi 10; vi 20; vi 30 ] in
+  let c = Template.compile catalog (Helpers.eqt_interval_spec ~grid) in
+  let inst =
+    Instance.make c
+      [|
+        Instance.Dvalues [ vi 1 ];
+        Instance.Dintervals [ Interval.half_open ~lo:(vi 15) ~hi:(vi 18) ];
+      |]
+  in
+  match Condition_part.decompose inst with
+  | [ cp ] ->
+      (* result layout: rkey, e, f (e is in Ls already: rkey, e, f) *)
+      let mk e = [| vi 99; vi e; vi 1 |] in
+      check Alcotest.bool "inside piece" true (Condition_part.check c cp (mk 16));
+      check Alcotest.bool "in bcp but outside piece" false (Condition_part.check c cp (mk 12));
+      check Alcotest.bool "outside bcp" false (Condition_part.check c cp (mk 25))
+  | other -> Alcotest.failf "expected 1 cp, got %d" (List.length other)
+
+let test_bcp_of_result () =
+  let catalog = setup () in
+  let grid = Discretize.of_cuts [ vi 10; vi 20; vi 30 ] in
+  let c = Template.compile catalog (Helpers.eqt_interval_spec ~grid) in
+  (* result layout: rkey, e, f *)
+  let bcp = Condition_part.bcp_of_result c [| vi 99; vi 25; vi 7 |] in
+  check Helpers.tuple "eq coord is value, range coord is id" [| vi 7; vi 2 |] bcp
+
+let test_cp_bcp_containment () =
+  (* every result tuple accepted by the query belongs to exactly one cp,
+     and that cp's bcp equals bcp_of_result *)
+  let catalog = setup () in
+  let c = Template.compile catalog Helpers.eqt_spec in
+  let inst =
+    Instance.make c [| Instance.Dvalues [ vi 1; vi 3 ]; Instance.Dvalues [ vi 2; vi 4 ] |]
+  in
+  let cps = Condition_part.decompose inst in
+  let mk f g = [| vi 0; vi 0; vi f; vi g |] in
+  List.iter
+    (fun (f, g) ->
+      let t = mk f g in
+      if Instance.accepts_result inst t then begin
+        let holders = List.filter (fun cp -> Condition_part.check c cp t) cps in
+        check Alcotest.int "exactly one cp" 1 (List.length holders);
+        check Helpers.tuple "containing bcp"
+          (Condition_part.bcp (List.hd holders))
+          (Condition_part.bcp_of_result c t)
+      end)
+    [ (1, 2); (1, 4); (3, 2); (3, 4); (1, 5); (9, 2) ]
+
+let prop_decompose_partition =
+  (* against the interval template: accepted tuples fall in exactly one
+     cp; rejected tuples fall in none *)
+  QCheck2.Test.make ~name:"O1 parts partition accepted results" ~count:150
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 0 6) (int_range 0 40))
+        (pair (int_range 0 45) (int_range 0 45))
+        (pair (int_range 0 50) (int_range 0 9)))
+    (fun (cuts, (a, b), (e_val, f_val)) ->
+      let catalog = Helpers.fresh_catalog () in
+      Helpers.build_rs ~n_r:5 ~n_s:5 catalog;
+      let grid = Discretize.of_cuts (List.map (fun i -> vi i) cuts) in
+      let c = Template.compile catalog (Helpers.eqt_interval_spec ~grid) in
+      let lo, hi = (min a b, max a b + 1) in
+      let inst =
+        Instance.make c
+          [|
+            Instance.Dvalues [ vi f_val ];
+            Instance.Dintervals [ Interval.half_open ~lo:(vi lo) ~hi:(vi hi) ];
+          |]
+      in
+      let cps = Condition_part.decompose inst in
+      let t = [| vi 0; vi e_val; vi f_val |] in
+      let holders = List.length (List.filter (fun cp -> Condition_part.check c cp t) cps) in
+      if Instance.accepts_result inst t then holders = 1 else holders = 0)
+
+let suite =
+  [
+    Alcotest.test_case "equality decompose" `Quick test_equality_decompose;
+    Alcotest.test_case "interval decompose" `Quick test_interval_decompose;
+    Alcotest.test_case "cp membership check" `Quick test_check_membership;
+    Alcotest.test_case "bcp_of_result" `Quick test_bcp_of_result;
+    Alcotest.test_case "cp/bcp containment" `Quick test_cp_bcp_containment;
+    QCheck_alcotest.to_alcotest prop_decompose_partition;
+  ]

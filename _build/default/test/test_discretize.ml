@@ -1,0 +1,129 @@
+open Minirel_storage
+open Minirel_query
+
+let check = Alcotest.check
+let vi i = Value.Int i
+
+let grid = Discretize.of_cuts [ vi 10; vi 20; vi 30 ]
+
+let test_of_cuts_sorted_dedup () =
+  let g = Discretize.of_cuts [ vi 30; vi 10; vi 20; vi 10 ] in
+  check Alcotest.int "distinct cuts" 4 (Discretize.n_intervals g);
+  (* same grid as sorted input *)
+  check Alcotest.int "id of 15" (Discretize.id_of_value grid (vi 15))
+    (Discretize.id_of_value g (vi 15))
+
+let test_interval_of_id () =
+  check Alcotest.bool "id 0 unbounded below" true
+    (Interval.contains (Discretize.interval_of_id grid 0) (vi (-1000)));
+  check Alcotest.bool "id 0 excludes cut" false
+    (Interval.contains (Discretize.interval_of_id grid 0) (vi 10));
+  check Alcotest.bool "id 1 includes lower cut" true
+    (Interval.contains (Discretize.interval_of_id grid 1) (vi 10));
+  check Alcotest.bool "last unbounded above" true
+    (Interval.contains (Discretize.interval_of_id grid 3) (vi 1_000_000));
+  Alcotest.check_raises "out of range" (Invalid_argument "Discretize.interval_of_id")
+    (fun () -> ignore (Discretize.interval_of_id grid 4))
+
+let test_id_of_value () =
+  check Alcotest.int "below all cuts" 0 (Discretize.id_of_value grid (vi 5));
+  check Alcotest.int "at first cut" 1 (Discretize.id_of_value grid (vi 10));
+  check Alcotest.int "mid" 2 (Discretize.id_of_value grid (vi 25));
+  check Alcotest.int "beyond" 3 (Discretize.id_of_value grid (vi 99))
+
+let test_decompose () =
+  (* query interval [15, 25) overlaps basic 1 (partially) and 2 (partially) *)
+  let pieces = Discretize.decompose grid (Interval.half_open ~lo:(vi 15) ~hi:(vi 25)) in
+  check (Alcotest.list Alcotest.int) "ids" [ 1; 2 ] (List.map fst pieces);
+  (* the piece inside basic 1 is [15, 20) — not the full basic interval *)
+  let _, piece1 = List.hd pieces in
+  check Alcotest.bool "piece clipped" true
+    (Interval.equal piece1 (Interval.half_open ~lo:(vi 15) ~hi:(vi 20)));
+  (* an exactly-aligned query yields the basic interval itself *)
+  let aligned = Discretize.decompose grid (Interval.half_open ~lo:(vi 10) ~hi:(vi 20)) in
+  (match aligned with
+  | [ (1, piece) ] ->
+      check Alcotest.bool "aligned is exact" true
+        (Interval.equal piece (Discretize.interval_of_id grid 1))
+  | _ -> Alcotest.fail "expected exactly basic 1");
+  (* unbounded query covers everything *)
+  check Alcotest.int "full covers all" 4 (List.length (Discretize.decompose grid Interval.full))
+
+let test_equal_width () =
+  let g = Discretize.equal_width ~lo:0 ~hi:100 ~bins:10 in
+  check Alcotest.bool "at least 10 intervals" true (Discretize.n_intervals g >= 10);
+  (* ids partition: consecutive values map to non-decreasing ids *)
+  let ids = List.init 100 (fun v -> Discretize.id_of_value g (vi v)) in
+  check Alcotest.bool "monotone" true
+    (List.for_all2 (fun a b -> a <= b) ids (List.tl ids @ [ List.nth ids 99 ]))
+
+let test_equi_depth () =
+  (* heavily skewed sample: cuts concentrate where the data is *)
+  let samples = List.init 1000 (fun i -> vi (if i < 900 then i mod 10 else i)) in
+  let g = Discretize.equi_depth ~bins:5 samples in
+  check Alcotest.bool "some cuts" true (Discretize.n_intervals g > 1);
+  check Alcotest.bool "hot region split" true (Discretize.id_of_value g (vi 9) >= 1);
+  check Alcotest.int "empty sample" 1 (Discretize.n_intervals (Discretize.equi_depth ~bins:5 []))
+
+let test_from_to_lists () =
+  let g =
+    Discretize.of_from_to_lists ~from_values:[ vi 0; vi 10 ] ~to_values:[ vi 5; vi 15 ]
+  in
+  check Alcotest.int "four cuts" 5 (Discretize.n_intervals g)
+
+let prop_partition =
+  (* The basic intervals partition the domain: every value belongs to
+     exactly the interval whose id [id_of_value] reports. *)
+  QCheck2.Test.make ~name:"basic intervals partition the domain" ~count:300
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 8) (int_range (-40) 40))
+        (int_range (-50) 50))
+    (fun (cuts, x) ->
+      let g = Discretize.of_cuts (List.map (fun i -> vi i) cuts) in
+      let v = vi x in
+      let id = Discretize.id_of_value g v in
+      let n = Discretize.n_intervals g in
+      Interval.contains (Discretize.interval_of_id g id) v
+      && List.for_all
+           (fun other ->
+             other = id || not (Interval.contains (Discretize.interval_of_id g other) v))
+           (List.init n Fun.id))
+
+let prop_decompose_covers =
+  (* decompose pieces are disjoint, each inside its basic interval, and
+     together they cover exactly the query interval *)
+  QCheck2.Test.make ~name:"decompose partitions the query interval" ~count:300
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 0 8) (int_range (-40) 40))
+        (pair (int_range (-45) 45) (int_range (-45) 45))
+        (int_range (-50) 50))
+    (fun (cuts, (a, b), x) ->
+      let lo, hi = (min a b, max a b + 1) in
+      let g = Discretize.of_cuts (List.map (fun i -> vi i) cuts) in
+      let q = Interval.half_open ~lo:(vi lo) ~hi:(vi hi) in
+      let pieces = Discretize.decompose g q in
+      let v = vi x in
+      let in_query = Interval.contains q v in
+      let holders = List.filter (fun (_, piece) -> Interval.contains piece v) pieces in
+      List.for_all
+        (fun (id, piece) -> Interval.subset piece (Discretize.interval_of_id g id))
+        pieces
+      && (if in_query then List.length holders = 1 else holders = [])
+      && List.for_all
+           (fun (id, piece) -> Discretize.id_of_value g (vi x) = id || not (Interval.contains piece v))
+           pieces)
+
+let suite =
+  [
+    Alcotest.test_case "of_cuts sorts and dedups" `Quick test_of_cuts_sorted_dedup;
+    Alcotest.test_case "interval_of_id" `Quick test_interval_of_id;
+    Alcotest.test_case "id_of_value" `Quick test_id_of_value;
+    Alcotest.test_case "decompose" `Quick test_decompose;
+    Alcotest.test_case "equal width" `Quick test_equal_width;
+    Alcotest.test_case "equi depth" `Quick test_equi_depth;
+    Alcotest.test_case "from/to lists" `Quick test_from_to_lists;
+    QCheck_alcotest.to_alcotest prop_partition;
+    QCheck_alcotest.to_alcotest prop_decompose_covers;
+  ]

@@ -1,0 +1,168 @@
+(* Aggregate / Sort / Limit plan nodes, and random-template planner
+   equivalence. *)
+
+open Minirel_storage
+open Minirel_query
+module Plan = Minirel_exec.Plan
+module Executor = Minirel_exec.Executor
+module Planner = Minirel_exec.Planner
+
+let check = Alcotest.check
+let vi i = Value.Int i
+
+let setup () =
+  let catalog = Helpers.fresh_catalog () in
+  Helpers.build_rs catalog;
+  catalog
+
+let s_scan = Plan.Scan { rel = "s"; pred = Predicate.True }
+
+let test_sort () =
+  let catalog = setup () in
+  let plan = Plan.Sort { keys = [| 2 |]; desc = false; input = s_scan } in
+  let rows = Executor.run_to_list catalog plan in
+  check Alcotest.int "all rows" 120 (List.length rows);
+  let es = List.map (fun t -> Value.int_exn t.(2)) rows in
+  check Alcotest.bool "ascending" true (List.sort Int.compare es = es);
+  let desc =
+    Executor.run_to_list catalog (Plan.Sort { keys = [| 2 |]; desc = true; input = s_scan })
+  in
+  check Alcotest.int "desc first is max" 120 (Value.int_exn (List.hd desc).(2))
+
+let test_limit () =
+  let catalog = setup () in
+  let plan = Plan.Limit (5, Plan.Sort { keys = [| 2 |]; desc = true; input = s_scan }) in
+  let rows = Executor.run_to_list catalog plan in
+  check Alcotest.int "five rows" 5 (List.length rows);
+  (* a top-k: the 5 largest e values *)
+  check (Alcotest.list Alcotest.int) "top-5"
+    [ 120; 119; 118; 117; 116 ]
+    (List.map (fun t -> Value.int_exn t.(2)) rows);
+  check Alcotest.int "limit 0" 0 (List.length (Executor.run_to_list catalog (Plan.Limit (0, s_scan))))
+
+let test_aggregate_count () =
+  let catalog = setup () in
+  (* count s rows per g value (s.g = row mod 8) *)
+  let plan = Plan.Aggregate { group_by = [| 1 |]; aggs = [ Plan.Count_star ]; input = s_scan } in
+  let rows = Executor.run_to_list catalog plan in
+  check Alcotest.int "eight groups" 8 (List.length rows);
+  let total = List.fold_left (fun acc t -> acc + Value.int_exn t.(1)) 0 rows in
+  check Alcotest.int "counts add up" 120 total
+
+let test_aggregate_sum_avg_minmax () =
+  let catalog = setup () in
+  let plan =
+    Plan.Aggregate
+      {
+        group_by = [||];
+        aggs = [ Plan.Sum_of 2; Plan.Avg_of 2; Plan.Min_of 2; Plan.Max_of 2; Plan.Count_star ];
+        input = s_scan;
+      }
+  in
+  match Executor.run_to_list catalog plan with
+  | [ row ] ->
+      (* e = 1..120 *)
+      check (Alcotest.float 1e-6) "sum" (float_of_int (120 * 121 / 2)) (Value.float_exn row.(0));
+      check (Alcotest.float 1e-6) "avg" 60.5 (Value.float_exn row.(1));
+      check Helpers.value "min" (vi 1) row.(2);
+      check Helpers.value "max" (vi 120) row.(3);
+      check Helpers.value "count" (vi 120) row.(4)
+  | rows -> Alcotest.failf "expected one group, got %d" (List.length rows)
+
+let test_aggregate_empty_input () =
+  let catalog = setup () in
+  let plan =
+    Plan.Aggregate
+      {
+        group_by = [| 0 |];
+        aggs = [ Plan.Count_star ];
+        input = Plan.Scan { rel = "s"; pred = Predicate.Cmp (Predicate.Eq, 2, vi 9999) };
+      }
+  in
+  check Alcotest.int "no groups" 0 (List.length (Executor.run_to_list catalog plan))
+
+(* Random-template planner equivalence: random chain-join templates
+   over randomly populated relations must execute identically to the
+   brute-force reference. *)
+let prop_random_template_equivalence =
+  QCheck2.Test.make ~name:"planner == brute force over random templates" ~count:40
+    QCheck2.Gen.(
+      tup5 (int_range 2 3)  (* relations in the chain *)
+        (int_range 10 60)  (* rows per relation *)
+        (int_range 2 8)  (* join-attr domain *)
+        (int_range 2 6)  (* selection-attr domain *)
+        (pair (int_range 0 9) (list_size (int_range 1 3) (int_range 0 9))))
+    (fun (n_rels, rows, n_join, n_sel, (seed, sel_vals)) ->
+      let catalog = Helpers.fresh_catalog () in
+      let rng = Minirel_workload.Split_mix.create ~seed in
+      (* chain schema: rel_i(j_prev, j_next, sel, payload) *)
+      for i = 0 to n_rels - 1 do
+        let sch =
+          Schema.create
+            (Fmt.str "rel%d" i)
+            [
+              ("jp", Schema.Tint); ("jn", Schema.Tint); ("sel", Schema.Tint); ("pay", Schema.Tint);
+            ]
+        in
+        let _ = Minirel_index.Catalog.create_relation catalog sch in
+        for r = 1 to rows do
+          ignore
+            (Minirel_index.Catalog.insert catalog
+               ~rel:(Fmt.str "rel%d" i)
+               [|
+                 vi (Minirel_workload.Split_mix.int rng ~bound:n_join);
+                 vi (Minirel_workload.Split_mix.int rng ~bound:n_join);
+                 vi (Minirel_workload.Split_mix.int rng ~bound:n_sel);
+                 vi r;
+               |])
+        done;
+        (* index only on some relations: exercises the Nlj fallback *)
+        if i mod 2 = 0 then begin
+          ignore
+            (Minirel_index.Catalog.create_index catalog
+               ~rel:(Fmt.str "rel%d" i)
+               ~name:(Fmt.str "rel%d_sel" i) ~attrs:[ "sel" ] ());
+          ignore
+            (Minirel_index.Catalog.create_index catalog
+               ~rel:(Fmt.str "rel%d" i)
+               ~name:(Fmt.str "rel%d_jp" i) ~attrs:[ "jp" ] ())
+        end
+      done;
+      let spec =
+        {
+          Template.name = "rand";
+          relations = Array.init n_rels (Fmt.str "rel%d");
+          joins =
+            List.init (n_rels - 1) (fun i ->
+                (Template.attr_ref ~rel:i ~attr:"jn", Template.attr_ref ~rel:(i + 1) ~attr:"jp"));
+          fixed = [];
+          select_list =
+            [ Template.attr_ref ~rel:0 ~attr:"pay"; Template.attr_ref ~rel:(n_rels - 1) ~attr:"pay" ];
+          selections =
+            [|
+              Template.Eq_sel (Template.attr_ref ~rel:0 ~attr:"sel");
+              Template.Eq_sel (Template.attr_ref ~rel:(n_rels - 1) ~attr:"sel");
+            |];
+        }
+      in
+      let compiled = Template.compile catalog spec in
+      let values = List.sort_uniq Int.compare (List.map (fun v -> v mod n_sel) sel_vals) in
+      let inst =
+        Instance.make compiled
+          [|
+            Instance.Dvalues (List.map (fun v -> vi v) values);
+            Instance.Dvalues [ vi (seed mod n_sel) ];
+          |]
+      in
+      let got = Executor.run_to_list catalog (Planner.plan_query catalog inst) in
+      Helpers.same_multiset got (Helpers.brute_force_answer catalog inst))
+
+let suite =
+  [
+    Alcotest.test_case "sort" `Quick test_sort;
+    Alcotest.test_case "limit / top-k" `Quick test_limit;
+    Alcotest.test_case "aggregate count" `Quick test_aggregate_count;
+    Alcotest.test_case "aggregate sum/avg/min/max" `Quick test_aggregate_sum_avg_minmax;
+    Alcotest.test_case "aggregate empty input" `Quick test_aggregate_empty_input;
+    QCheck_alcotest.to_alcotest prop_random_template_equivalence;
+  ]

@@ -1,0 +1,116 @@
+open Minirel_storage
+
+let check = Alcotest.check
+
+let sch = Schema.create "h" [ ("k", Schema.Tint); ("v", Schema.Tstr) ]
+let mk k v : Tuple.t = [| Value.Int k; Value.Str v |]
+
+let fresh ?(pool_pages = 100) ?(slots_per_page = 4) () =
+  let pool = Buffer_pool.create ~capacity:pool_pages () in
+  (pool, Heap_file.create ~slots_per_page pool sch)
+
+let test_insert_fetch () =
+  let _, h = fresh () in
+  let rid = Heap_file.insert h (mk 1 "a") in
+  check (Alcotest.option Helpers.tuple) "fetch" (Some (mk 1 "a")) (Heap_file.fetch h rid);
+  check Alcotest.int "count" 1 (Heap_file.n_tuples h);
+  check (Alcotest.option Helpers.tuple) "missing page" None
+    (Heap_file.fetch h (Rid.make ~page:99 ~slot:0))
+
+let test_schema_enforced () =
+  let _, h = fresh () in
+  match Heap_file.insert h [| Value.Str "bad" |] with
+  | _ -> Alcotest.fail "non-conforming tuple accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_delete_and_reuse () =
+  let _, h = fresh ~slots_per_page:2 () in
+  let r1 = Heap_file.insert h (mk 1 "a") in
+  let _r2 = Heap_file.insert h (mk 2 "b") in
+  let _r3 = Heap_file.insert h (mk 3 "c") in
+  check Alcotest.int "pages" 2 (Heap_file.n_pages h);
+  let old = Heap_file.delete h r1 in
+  check Helpers.tuple "deleted tuple returned" (mk 1 "a") old;
+  check Alcotest.int "count after delete" 2 (Heap_file.n_tuples h);
+  Alcotest.check_raises "double delete" Not_found (fun () -> ignore (Heap_file.delete h r1));
+  (* freed slot is reused before new pages are allocated *)
+  let r4 = Heap_file.insert h (mk 4 "d") in
+  check Alcotest.int "page reused" r1.Rid.page r4.Rid.page;
+  check Alcotest.int "no page growth" 2 (Heap_file.n_pages h)
+
+let test_update () =
+  let _, h = fresh () in
+  let rid = Heap_file.insert h (mk 1 "a") in
+  Heap_file.update h rid (mk 1 "z");
+  check (Alcotest.option Helpers.tuple) "updated" (Some (mk 1 "z")) (Heap_file.fetch h rid);
+  Alcotest.check_raises "update empty slot" Not_found (fun () ->
+      Heap_file.update h (Rid.make ~page:0 ~slot:3) (mk 9 "x"))
+
+let test_iter_fold () =
+  let _, h = fresh ~slots_per_page:3 () in
+  for i = 1 to 10 do
+    ignore (Heap_file.insert h (mk i "x"))
+  done;
+  let seen = Heap_file.fold h (fun acc _ t -> Value.int_exn t.(0) :: acc) [] in
+  check (Alcotest.list Alcotest.int) "all tuples visited" (List.init 10 (fun i -> i + 1))
+    (List.sort Int.compare seen);
+  check Alcotest.int "size bytes" (10 * (8 + 4 + 1)) (Heap_file.size_bytes h)
+
+let test_io_charging () =
+  let pool, h = fresh ~pool_pages:2 ~slots_per_page:1 () in
+  let stats = Buffer_pool.stats pool in
+  Io_stats.reset stats;
+  (* 5 pages of one tuple each through a 2-page pool *)
+  let rids = List.init 5 (fun i -> Heap_file.insert h (mk i "x")) in
+  check Alcotest.int "writes are misses without reads" 0 stats.Io_stats.reads;
+  Io_stats.reset stats;
+  List.iter (fun rid -> ignore (Heap_file.fetch h rid)) rids;
+  (* pool holds 2 of 5 pages: at least 3 fetches miss *)
+  check Alcotest.bool "read misses charged" true (stats.Io_stats.reads >= 3);
+  Buffer_pool.flush pool;
+  check Alcotest.bool "dirty pages written on flush" true (stats.Io_stats.writes >= 1)
+
+let prop_heap_vs_model =
+  (* random insert/delete sequence behaves like a list-based model *)
+  QCheck2.Test.make ~name:"heap file contents match reference model" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 120) (pair bool small_nat))
+    (fun ops ->
+      let _, h = fresh ~pool_pages:1000 ~slots_per_page:3 () in
+      let model = Hashtbl.create 16 in
+      let rids = ref [] in
+      List.iter
+        (fun (is_insert, k) ->
+          if is_insert || !rids = [] then begin
+            let t = mk k "v" in
+            let rid = Heap_file.insert h t in
+            rids := rid :: !rids;
+            Hashtbl.replace model rid t
+          end
+          else begin
+            match !rids with
+            | rid :: rest ->
+                rids := rest;
+                ignore (Heap_file.delete h rid);
+                Hashtbl.remove model rid
+            | [] -> ()
+          end)
+        ops;
+      let actual = Heap_file.fold h (fun acc rid t -> (rid, t) :: acc) [] in
+      List.length actual = Hashtbl.length model
+      && List.for_all
+           (fun (rid, t) ->
+             match Hashtbl.find_opt model rid with
+             | Some expect -> Tuple.equal t expect
+             | None -> false)
+           actual)
+
+let suite =
+  [
+    Alcotest.test_case "insert and fetch" `Quick test_insert_fetch;
+    Alcotest.test_case "schema enforced" `Quick test_schema_enforced;
+    Alcotest.test_case "delete and slot reuse" `Quick test_delete_and_reuse;
+    Alcotest.test_case "update" `Quick test_update;
+    Alcotest.test_case "iter and fold" `Quick test_iter_fold;
+    Alcotest.test_case "io charging" `Quick test_io_charging;
+    QCheck_alcotest.to_alcotest prop_heap_vs_model;
+  ]

@@ -1,0 +1,155 @@
+(* End-to-end scenario on TPC-R-shaped data: two PMVs (T1 and T2) and a
+   traditional MV coexisting, interleaved queries and transactions, with
+   the MV's immediately-maintained contents as ground truth for the
+   PMVs' deferred maintenance. *)
+
+open Minirel_storage
+open Minirel_query
+module Catalog = Minirel_index.Catalog
+module View = Pmv.View
+module Answer = Pmv.Answer
+module Maintain = Pmv.Maintain
+module Txn = Minirel_txn.Txn
+module Tpcr = Minirel_workload.Tpcr
+module Querygen = Minirel_workload.Querygen
+module Zipf = Minirel_workload.Zipf
+module SM = Minirel_workload.Split_mix
+
+let check = Alcotest.check
+let vi i = Value.Int i
+
+let setup () =
+  let catalog = Helpers.fresh_catalog ~pool_pages:20_000 () in
+  let params = Tpcr.params_for_scale 0.003 in
+  let _counts = Tpcr.generate catalog params in
+  let t1 = Template.compile catalog Querygen.t1_spec in
+  let t2 = Template.compile catalog Querygen.t2_spec in
+  let v1 = View.create ~capacity:200 ~f_max:3 ~name:"t1" t1 in
+  let v2 = View.create ~capacity:200 ~f_max:2 ~name:"t2" t2 in
+  let mgr = Txn.create catalog in
+  Maintain.attach ~use_locks:false v1 mgr;
+  Maintain.attach ~strategy:Maintain.Delta_join ~use_locks:false v2 mgr;
+  (catalog, params, t1, t2, v1, v2, mgr)
+
+let test_full_scenario () =
+  let catalog, params, t1, t2, v1, v2, mgr = setup () in
+  let rng = SM.create ~seed:21 in
+  let dz = Zipf.create ~n:params.Tpcr.n_dates ~alpha:1.07 in
+  let sz = Zipf.create ~n:params.Tpcr.n_suppliers ~alpha:1.07 in
+  let nz = Zipf.create ~n:params.Tpcr.n_nations ~alpha:1.01 in
+  let mismatches = ref 0 and stale = ref 0 in
+  let next_order = ref 10_000_000 in
+  for round = 1 to 25 do
+    (* T1 query *)
+    let q1 = Querygen.gen_t1 t1 ~dates_zipf:dz ~supp_zipf:sz ~e:2 ~f:2 rng in
+    let got1, _, st1 = Helpers.collect_answer ~view:v1 catalog q1 in
+    if not (Helpers.same_multiset got1 (Helpers.brute_force_answer catalog q1)) then
+      incr mismatches;
+    stale := !stale + st1.Answer.stale_purged;
+    (* T2 query *)
+    let q2 =
+      Querygen.gen_t2 t2 ~dates_zipf:dz ~supp_zipf:sz ~nation_zipf:nz ~e:2 ~f:1 ~g:2 rng
+    in
+    let got2, _, st2 = Helpers.collect_answer ~view:v2 catalog q2 in
+    if not (Helpers.same_multiset got2 (Helpers.brute_force_answer catalog q2)) then
+      incr mismatches;
+    stale := !stale + st2.Answer.stale_purged;
+    (* transactions touching all three relations *)
+    incr next_order;
+    let date = vi (1 + SM.int rng ~bound:params.Tpcr.n_dates) in
+    let supp = vi (1 + SM.int rng ~bound:params.Tpcr.n_suppliers) in
+    ignore
+      (Txn.run mgr
+         [
+           Txn.Insert
+             {
+               rel = "orders";
+               tuple = [| vi !next_order; vi 1; date; Value.Float 1.0; Value.Str "" |];
+             };
+           Txn.Insert
+             {
+               rel = "lineitem";
+               tuple = [| vi !next_order; supp; vi 1; vi 1; Value.Float 1.0; Value.Str "" |];
+             };
+         ]);
+    if round mod 5 = 0 then begin
+      (* delete a whole supplier's lineitems and a nation's customers *)
+      ignore
+        (Txn.run mgr
+           [
+             Txn.Delete { rel = "lineitem"; pred = Predicate.Cmp (Predicate.Eq, 1, supp) };
+             Txn.Delete
+               {
+                 rel = "customer";
+                 pred = Predicate.Cmp (Predicate.Eq, 1, vi (SM.int rng ~bound:25));
+               };
+           ]);
+      (* and shift some orders to another date (relevant update) *)
+      ignore
+        (Txn.run mgr
+           [
+             Txn.Update
+               {
+                 rel = "orders";
+                 pred = Predicate.Cmp (Predicate.Eq, 2, date);
+                 set = [ (2, vi (1 + SM.int rng ~bound:params.Tpcr.n_dates)) ];
+               };
+           ])
+    end
+  done;
+  check Alcotest.int "no mismatching answers" 0 !mismatches;
+  check Alcotest.int "no stale tuples ever served" 0 !stale;
+  check Alcotest.bool "v1 invariants" true (View.invariants_ok v1);
+  check Alcotest.bool "v2 invariants" true (View.invariants_ok v2);
+  check Alcotest.bool "v1 served partials" true ((View.stats v1).View.partial_tuples > 0);
+  check Alcotest.bool "deferred inserts counted" true
+    ((View.stats v1).View.skipped_inserts > 0)
+
+let test_mv_and_pmv_agree () =
+  let catalog, params, t1, _, v1, _, mgr = setup () in
+  let mv = Minirel_matview.Matview.create catalog ~name:"t1" t1 in
+  Minirel_matview.Matview.attach mv mgr;
+  let rng = SM.create ~seed:22 in
+  let dz = Zipf.create ~n:params.Tpcr.n_dates ~alpha:1.07 in
+  let sz = Zipf.create ~n:params.Tpcr.n_suppliers ~alpha:1.07 in
+  for _ = 1 to 10 do
+    let q = Querygen.gen_t1 t1 ~dates_zipf:dz ~supp_zipf:sz ~e:2 ~f:2 rng in
+    let got, _, _ = Helpers.collect_answer ~view:v1 catalog q in
+    let from_mv = Minirel_matview.Matview.answer mv q in
+    check Alcotest.bool "PMV pipeline = MV answer" true (Helpers.same_multiset got from_mv);
+    (* mutate and re-check on the next loop iteration *)
+    ignore
+      (Txn.run mgr
+         [
+           Txn.Delete
+             {
+               rel = "lineitem";
+               pred =
+                 Predicate.Cmp (Predicate.Eq, 1, vi (1 + SM.int rng ~bound:params.Tpcr.n_suppliers));
+             };
+         ])
+  done
+
+let test_pmv_much_smaller_than_mv () =
+  let catalog, params, t1, _, v1, _, _ = setup () in
+  let mv = Minirel_matview.Matview.create catalog ~name:"t1" t1 in
+  let rng = SM.create ~seed:23 in
+  let dz = Zipf.create ~n:params.Tpcr.n_dates ~alpha:1.07 in
+  let sz = Zipf.create ~n:params.Tpcr.n_suppliers ~alpha:1.07 in
+  for _ = 1 to 60 do
+    ignore
+      (Helpers.collect_answer ~view:v1 catalog
+         (Querygen.gen_t1 t1 ~dates_zipf:dz ~supp_zipf:sz ~e:2 ~f:2 rng))
+  done;
+  let pmv_bytes = View.size_bytes v1 in
+  let mv_bytes = Minirel_matview.Matview.size_bytes mv in
+  check Alcotest.bool "PMV serves partials" true ((View.stats v1).View.partial_tuples > 0);
+  check Alcotest.bool "PMV is a small fraction of the MV" true
+    (float_of_int pmv_bytes < 0.25 *. float_of_int mv_bytes)
+
+let suite =
+  [
+    Alcotest.test_case "two PMVs + transactions" `Quick test_full_scenario;
+    Alcotest.test_case "MV and PMV agree" `Quick test_mv_and_pmv_agree;
+    Alcotest.test_case "PMV storage much smaller than MV" `Quick test_pmv_much_smaller_than_mv;
+  ]

@@ -1,0 +1,104 @@
+open Minirel_storage
+open Minirel_query
+
+let check = Alcotest.check
+let vi i = Value.Int i
+let iv = Alcotest.testable Interval.pp Interval.equal
+
+let test_contains () =
+  let t = Interval.half_open ~lo:(vi 10) ~hi:(vi 20) in
+  check Alcotest.bool "inside" true (Interval.contains t (vi 15));
+  check Alcotest.bool "lower closed" true (Interval.contains t (vi 10));
+  check Alcotest.bool "upper open" false (Interval.contains t (vi 20));
+  check Alcotest.bool "below" false (Interval.contains t (vi 9));
+  let o = Interval.open_ ~lo:(vi 10) ~hi:(vi 20) in
+  check Alcotest.bool "open lower excluded" false (Interval.contains o (vi 10));
+  let c = Interval.closed ~lo:(vi 10) ~hi:(vi 20) in
+  check Alcotest.bool "closed upper included" true (Interval.contains c (vi 20));
+  check Alcotest.bool "full contains all" true (Interval.contains Interval.full (vi (-999)));
+  check Alcotest.bool "point" true (Interval.contains (Interval.point (vi 5)) (vi 5))
+
+let test_unbounded () =
+  check Alcotest.bool "at_least" true (Interval.contains (Interval.at_least (vi 3)) (vi 3));
+  check Alcotest.bool "at_least below" false
+    (Interval.contains (Interval.at_least (vi 3)) (vi 2));
+  check Alcotest.bool "below" true (Interval.contains (Interval.below (vi 3)) (vi 2));
+  check Alcotest.bool "below at bound" false (Interval.contains (Interval.below (vi 3)) (vi 3))
+
+let test_is_empty () =
+  check Alcotest.bool "reversed closed" true
+    (Interval.is_empty (Interval.closed ~lo:(vi 5) ~hi:(vi 4)));
+  check Alcotest.bool "degenerate closed ok" false
+    (Interval.is_empty (Interval.closed ~lo:(vi 5) ~hi:(vi 5)));
+  check Alcotest.bool "degenerate open empty" true
+    (Interval.is_empty (Interval.open_ ~lo:(vi 5) ~hi:(vi 5)));
+  check Alcotest.bool "half open same bound empty" true
+    (Interval.is_empty (Interval.half_open ~lo:(vi 5) ~hi:(vi 5)))
+
+let test_intersect () =
+  let a = Interval.half_open ~lo:(vi 0) ~hi:(vi 10) in
+  let b = Interval.half_open ~lo:(vi 5) ~hi:(vi 15) in
+  (match Interval.intersect a b with
+  | Some i -> check iv "overlap" (Interval.half_open ~lo:(vi 5) ~hi:(vi 10)) i
+  | None -> Alcotest.fail "expected overlap");
+  check Alcotest.bool "disjoint" true
+    (Interval.intersect a (Interval.at_least (vi 10)) = None);
+  check Alcotest.bool "touching closed" true
+    (Interval.intersect (Interval.closed ~lo:(vi 0) ~hi:(vi 5))
+       (Interval.closed ~lo:(vi 5) ~hi:(vi 9))
+    <> None)
+
+let test_subset () =
+  let big = Interval.closed ~lo:(vi 0) ~hi:(vi 100) in
+  check Alcotest.bool "strict subset" true
+    (Interval.subset (Interval.open_ ~lo:(vi 10) ~hi:(vi 20)) big);
+  check Alcotest.bool "self subset" true (Interval.subset big big);
+  check Alcotest.bool "not subset" false (Interval.subset Interval.full big);
+  (* open vs closed at same endpoints *)
+  check Alcotest.bool "open in closed" true
+    (Interval.subset (Interval.open_ ~lo:(vi 0) ~hi:(vi 100)) big);
+  check Alcotest.bool "closed not in open" false
+    (Interval.subset big (Interval.open_ ~lo:(vi 0) ~hi:(vi 100)))
+
+let test_pairwise_disjoint () =
+  let mk l h = Interval.half_open ~lo:(vi l) ~hi:(vi h) in
+  check Alcotest.bool "disjoint" true (Interval.pairwise_disjoint [ mk 0 5; mk 5 10; mk 12 20 ]);
+  check Alcotest.bool "overlap detected" false (Interval.pairwise_disjoint [ mk 0 6; mk 5 10 ])
+
+let gen_interval =
+  QCheck2.Gen.(
+    let bnd = int_range (-50) 50 in
+    map2
+      (fun a b ->
+        let lo, hi = (min a b, max a b) in
+        Interval.half_open ~lo:(vi lo) ~hi:(vi hi))
+      bnd bnd)
+
+let prop_intersect_sound =
+  QCheck2.Test.make ~name:"intersection contains exactly the common points" ~count:300
+    QCheck2.Gen.(triple gen_interval gen_interval (int_range (-60) 60))
+    (fun (a, b, x) ->
+      let v = vi x in
+      let in_both = Interval.contains a v && Interval.contains b v in
+      match Interval.intersect a b with
+      | None -> not in_both
+      | Some i -> Interval.contains i v = in_both)
+
+let prop_subset_implies_containment =
+  QCheck2.Test.make ~name:"subset implies pointwise containment" ~count:300
+    QCheck2.Gen.(triple gen_interval gen_interval (int_range (-60) 60))
+    (fun (a, b, x) ->
+      if Interval.subset a b && Interval.contains a (vi x) then Interval.contains b (vi x)
+      else true)
+
+let suite =
+  [
+    Alcotest.test_case "contains" `Quick test_contains;
+    Alcotest.test_case "unbounded" `Quick test_unbounded;
+    Alcotest.test_case "is_empty" `Quick test_is_empty;
+    Alcotest.test_case "intersect" `Quick test_intersect;
+    Alcotest.test_case "subset" `Quick test_subset;
+    Alcotest.test_case "pairwise disjoint" `Quick test_pairwise_disjoint;
+    QCheck_alcotest.to_alcotest prop_intersect_sound;
+    QCheck_alcotest.to_alcotest prop_subset_implies_containment;
+  ]

@@ -1,0 +1,36 @@
+let () =
+  Alcotest.run "pmv"
+    [
+      ("value", Test_value.suite);
+      ("schema+tuple", Test_schema_tuple.suite);
+      ("heap", Test_heap.suite);
+      ("cache", Test_cache.suite);
+      ("btree", Test_btree.suite);
+      ("buffer-pool", Test_buffer_pool.suite);
+      ("index+catalog", Test_index_catalog.suite);
+      ("interval", Test_interval.suite);
+      ("discretize", Test_discretize.suite);
+      ("predicate", Test_predicate.suite);
+      ("template", Test_template.suite);
+      ("condition-part", Test_condition_part.suite);
+      ("exec", Test_exec.suite);
+      ("txn", Test_txn.suite);
+      ("matview", Test_matview.suite);
+      ("workload", Test_workload.suite);
+      ("entry-store", Test_entry_store.suite);
+      ("view+answer", Test_view_answer.suite);
+      ("extensions", Test_extensions.suite);
+      ("sizing+sim", Test_sizing_sim.suite);
+      ("exec-extra", Test_exec_extra.suite);
+      ("snapshot", Test_snapshot.suite);
+      ("wal", Test_wal.suite);
+      ("advisor", Test_advisor.suite);
+      ("ds+faults", Test_ds_faults.suite);
+      ("stats", Test_stats.suite);
+      ("manager", Test_manager.suite);
+      ("sql", Test_sql.suite);
+      ("shell", Test_shell.suite);
+      ("trace", Test_trace.suite);
+      ("coverage-extra", Test_coverage_extra.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,160 @@
+open Minirel_storage
+open Minirel_query
+module Matview = Minirel_matview.Matview
+module Mv_cost = Minirel_matview.Mv_cost
+module Txn = Minirel_txn.Txn
+module Catalog = Minirel_index.Catalog
+
+let check = Alcotest.check
+let vi i = Value.Int i
+
+let setup () =
+  let catalog = Helpers.fresh_catalog () in
+  Helpers.build_rs ~n_r:60 ~n_s:40 ~n_join:20 catalog;
+  let c = Template.compile catalog Helpers.eqt_spec in
+  (catalog, c)
+
+(* ground truth: Ls' tuples of the full join, recomputed from scratch *)
+let full_join_now catalog c =
+  List.concat_map
+    (fun rt ->
+      List.filter_map
+        (fun st ->
+          if Value.equal rt.(1) st.(0) then
+            Some (Template.result_of_joined c (Tuple.concat rt st))
+          else None)
+        (Heap_file.fold (Catalog.heap catalog "s") (fun a _ t -> t :: a) []))
+    (Heap_file.fold (Catalog.heap catalog "r") (fun a _ t -> t :: a) [])
+
+let test_create_populates () =
+  let catalog, c = setup () in
+  let mv = Matview.create catalog ~name:"eqt" c in
+  check Alcotest.bool "contents = full join" true
+    (Helpers.same_multiset (Matview.contents mv) (full_join_now catalog c));
+  check Alcotest.bool "nonempty" true (Matview.cardinality mv > 0)
+
+let test_immediate_maintenance () =
+  let catalog, c = setup () in
+  let mv = Matview.create catalog ~name:"eqt" c in
+  let mgr = Txn.create catalog in
+  Matview.attach mv mgr;
+  (* inserts into both relations *)
+  ignore
+    (Txn.run mgr
+       [
+         Txn.Insert { rel = "r"; tuple = [| vi 700; vi 5; vi 3; Value.Str "n" |] };
+         Txn.Insert { rel = "s"; tuple = [| vi 5; vi 2; vi 777 |] };
+       ]);
+  check Alcotest.bool "after inserts" true
+    (Helpers.same_multiset (Matview.contents mv) (full_join_now catalog c));
+  (* deletes *)
+  ignore (Txn.run mgr [ Txn.Delete { rel = "r"; pred = Predicate.Cmp (Predicate.Eq, 1, vi 5) } ]);
+  check Alcotest.bool "after delete" true
+    (Helpers.same_multiset (Matview.contents mv) (full_join_now catalog c));
+  (* updates that move join keys *)
+  ignore
+    (Txn.run mgr
+       [
+         Txn.Update
+           { rel = "s"; pred = Predicate.Cmp (Predicate.Eq, 0, vi 7); set = [ (0, vi 8) ] };
+       ]);
+  check Alcotest.bool "after update" true
+    (Helpers.same_multiset (Matview.contents mv) (full_join_now catalog c))
+
+let test_mv_answers_queries () =
+  let catalog, c = setup () in
+  let mv = Matview.create catalog ~name:"eqt" c in
+  let inst = Instance.make c [| Instance.Dvalues [ vi 1; vi 2 ]; Instance.Dvalues [ vi 3 ] |] in
+  check Alcotest.bool "MV answer = brute force" true
+    (Helpers.same_multiset (Matview.answer mv inst) (Helpers.brute_force_answer catalog inst))
+
+let prop_maintenance_random_ops =
+  QCheck2.Test.make ~name:"MV stays consistent under random transactions" ~count:25
+    QCheck2.Gen.(list_size (int_range 1 12) (triple (int_range 0 2) bool (int_range 0 30)))
+    (fun ops ->
+      let catalog, c = setup () in
+      let mv = Matview.create catalog ~name:"eqt" c in
+      let mgr = Txn.create catalog in
+      Matview.attach mv mgr;
+      let fresh = ref 1000 in
+      List.iter
+        (fun (op, on_r, k) ->
+          incr fresh;
+          let change =
+            match op with
+            | 0 ->
+                if on_r then
+                  Txn.Insert
+                    { rel = "r"; tuple = [| vi !fresh; vi (k mod 20); vi (k mod 10); Value.Str "x" |] }
+                else Txn.Insert { rel = "s"; tuple = [| vi (k mod 20); vi (k mod 8); vi !fresh |] }
+            | 1 ->
+                let rel = if on_r then "r" else "s" in
+                let pos = if on_r then 1 else 0 in
+                Txn.Delete { rel; pred = Predicate.Cmp (Predicate.Eq, pos, vi (k mod 20)) }
+            | _ ->
+                if on_r then
+                  Txn.Update
+                    {
+                      rel = "r";
+                      pred = Predicate.Cmp (Predicate.Eq, 2, vi (k mod 10));
+                      set = [ (1, vi ((k + 3) mod 20)) ];
+                    }
+                else
+                  Txn.Update
+                    {
+                      rel = "s";
+                      pred = Predicate.Cmp (Predicate.Eq, 1, vi (k mod 8));
+                      set = [ (0, vi ((k + 5) mod 20)) ];
+                    }
+          in
+          ignore (Txn.run mgr [ change ]))
+        ops;
+      Helpers.same_multiset (Matview.contents mv) (full_join_now catalog c))
+
+(* --- analytical model (Figures 11-12) --- *)
+
+let p_grid = List.init 11 (fun i -> float_of_int i /. 10.0)
+
+let test_model_shape () =
+  let m = Mv_cost.default in
+  (* both maintenance costs decrease with the insert fraction p *)
+  let mv = List.map (fun p -> Mv_cost.tw_mv m ~p) p_grid in
+  let pmv = List.map (fun p -> Mv_cost.tw_pmv m ~p) p_grid in
+  let decreasing xs = List.for_all2 (fun a b -> a >= b -. 1e-9) xs (List.tl xs @ [ List.nth xs 10 ]) in
+  check Alcotest.bool "MV cost decreasing in p" true (decreasing mv);
+  check Alcotest.bool "PMV cost decreasing in p" true (decreasing pmv);
+  (* the paper: at least two orders of magnitude cheaper everywhere *)
+  check Alcotest.bool ">= 100x cheaper" true (Mv_cost.min_speedup m >= 100.0);
+  (* speedup grows with p (Figure 12) *)
+  let sp = List.map (fun p -> Mv_cost.speedup m ~p) p_grid in
+  check Alcotest.bool "speedup increasing" true
+    (List.for_all2 (fun a b -> a <= b +. 1e-9) (List.filteri (fun i _ -> i < 10) sp) (List.tl sp))
+
+let test_model_idealized () =
+  let m = Mv_cost.default in
+  check (Alcotest.float 1e-9) "idealized PMV cost is 0 at p=1" 0.0
+    (Mv_cost.tw_pmv ~idealized:true m ~p:1.0);
+  check Alcotest.bool "figure PMV cost small but nonzero at p=1" true
+    (Mv_cost.tw_pmv m ~p:1.0 > 0.0);
+  Alcotest.check_raises "p out of range" (Invalid_argument "Mv_cost: p must be within [0, 1]")
+    (fun () -> ignore (Mv_cost.tw_mv m ~p:1.5))
+
+let test_model_magnitudes () =
+  (* sanity against the published figure: MV maintenance of |ΔR| = 1000
+     sits in the thousands of I/Os, PMV in the tens *)
+  let m = Mv_cost.default in
+  check Alcotest.bool "MV magnitude" true
+    (Mv_cost.tw_mv m ~p:0.0 > 1000.0 && Mv_cost.tw_mv m ~p:0.0 < 100_000.0);
+  check Alcotest.bool "PMV magnitude" true
+    (Mv_cost.tw_pmv m ~p:0.0 < 100.0)
+
+let suite =
+  [
+    Alcotest.test_case "create populates" `Quick test_create_populates;
+    Alcotest.test_case "immediate maintenance" `Quick test_immediate_maintenance;
+    Alcotest.test_case "MV answers queries" `Quick test_mv_answers_queries;
+    QCheck_alcotest.to_alcotest prop_maintenance_random_ops;
+    Alcotest.test_case "cost model shape" `Quick test_model_shape;
+    Alcotest.test_case "cost model idealized" `Quick test_model_idealized;
+    Alcotest.test_case "cost model magnitudes" `Quick test_model_magnitudes;
+  ]

@@ -1,0 +1,84 @@
+module Sizing = Pmv.Sizing
+module Hitprob = Pmv_sim.Hitprob
+module Policies = Minirel_cache.Policies
+
+let check = Alcotest.check
+
+(* --- sizing (Section 3.2 / 4.1 accounting) --- *)
+
+let test_paper_example () =
+  (* L = 10K, F = 2, At = 50B: "the size of V_PM is no more than 1MB" *)
+  let fp = Sizing.footprint_bytes ~l:10_000 ~f_max:2 ~avg_tuple_bytes:50 in
+  check Alcotest.bool "about 1MB" true (fp >= 1_000_000 && fp <= 1_100_000)
+
+let test_max_entries () =
+  let t = { Sizing.ub_bytes = 1_040_000; f_max = 2; avg_tuple_bytes = 50 } in
+  let l = Sizing.max_entries t in
+  check Alcotest.bool "near 10K" true (l >= 9_900 && l <= 10_100);
+  (* the derived footprint respects UB *)
+  check Alcotest.bool "footprint under budget" true
+    (Sizing.footprint_bytes ~l ~f_max:2 ~avg_tuple_bytes:50 <= t.Sizing.ub_bytes);
+  match Sizing.max_entries { t with Sizing.ub_bytes = 0 } with
+  | _ -> Alcotest.fail "zero budget accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_two_q_budget () =
+  check Alcotest.int "L = 1.02N" 10_000 (Sizing.two_q_am_of_clock_l 10_200)
+
+(* --- hit probability simulation (Section 4.1) --- *)
+
+let small cfg = { cfg with Hitprob.universe = 20_000; n = 600; warmup = 30_000; measure = 30_000 }
+
+let test_deterministic () =
+  let cfg = small Hitprob.scaled_default in
+  let a = Hitprob.run cfg and b = Hitprob.run cfg in
+  check (Alcotest.float 1e-12) "same seed same result" a.Hitprob.hit_prob b.Hitprob.hit_prob
+
+let test_hit_prob_increases_with_h () =
+  let cfg = small Hitprob.scaled_default in
+  let p1 = (Hitprob.run { cfg with Hitprob.h = 1 }).Hitprob.hit_prob in
+  let p3 = (Hitprob.run { cfg with Hitprob.h = 3 }).Hitprob.hit_prob in
+  let p5 = (Hitprob.run { cfg with Hitprob.h = 5 }).Hitprob.hit_prob in
+  check Alcotest.bool "h=3 > h=1" true (p3 > p1);
+  check Alcotest.bool "h=5 > h=3" true (p5 >= p3);
+  check Alcotest.bool "h=5 near 1" true (p5 > 0.9)
+
+let test_hit_prob_increases_with_n () =
+  let cfg = small Hitprob.scaled_default in
+  let small_n = (Hitprob.run { cfg with Hitprob.n = 200 }).Hitprob.hit_prob in
+  let big_n = (Hitprob.run { cfg with Hitprob.n = 2_000 }).Hitprob.hit_prob in
+  check Alcotest.bool "bigger PMV hits more" true (big_n > small_n)
+
+let test_skew_helps () =
+  let cfg = small Hitprob.scaled_default in
+  let hi = (Hitprob.run { cfg with Hitprob.alpha = 1.07 }).Hitprob.hit_prob in
+  let lo = (Hitprob.run { cfg with Hitprob.alpha = 1.01 }).Hitprob.hit_prob in
+  check Alcotest.bool "alpha=1.07 beats 1.01" true (hi > lo)
+
+let test_two_q_beats_clock () =
+  (* the paper's consistent finding across Figures 6-7 *)
+  let cfg = small Hitprob.scaled_default in
+  let clock = (Hitprob.run { cfg with Hitprob.policy = Policies.Clock }).Hitprob.hit_prob in
+  let two_q = (Hitprob.run { cfg with Hitprob.policy = Policies.Two_q }).Hitprob.hit_prob in
+  check Alcotest.bool "2Q >= CLOCK" true (two_q >= clock -. 0.01)
+
+let test_capacity_accounting () =
+  let cfg = { (small Hitprob.scaled_default) with Hitprob.n = 1_000 } in
+  let r_clock = Hitprob.run { cfg with Hitprob.policy = Policies.Clock } in
+  check Alcotest.int "clock gets 1.02N" 1_020 r_clock.Hitprob.capacity;
+  let r2q = Hitprob.run { cfg with Hitprob.policy = Policies.Two_q } in
+  check Alcotest.int "2q Am gets N" 1_000 r2q.Hitprob.capacity;
+  check Alcotest.bool "resident bounded" true (r_clock.Hitprob.resident <= 1_020)
+
+let suite =
+  [
+    Alcotest.test_case "paper sizing example" `Quick test_paper_example;
+    Alcotest.test_case "max entries" `Quick test_max_entries;
+    Alcotest.test_case "2q budget" `Quick test_two_q_budget;
+    Alcotest.test_case "sim deterministic" `Quick test_deterministic;
+    Alcotest.test_case "hit prob grows with h" `Slow test_hit_prob_increases_with_h;
+    Alcotest.test_case "hit prob grows with N" `Slow test_hit_prob_increases_with_n;
+    Alcotest.test_case "skew helps" `Slow test_skew_helps;
+    Alcotest.test_case "2Q beats CLOCK" `Slow test_two_q_beats_clock;
+    Alcotest.test_case "capacity accounting" `Quick test_capacity_accounting;
+  ]

@@ -1,0 +1,103 @@
+open Minirel_storage
+module Catalog = Minirel_index.Catalog
+module Snapshot = Minirel_index.Snapshot
+module Index = Minirel_index.Index
+
+let check = Alcotest.check
+let vi i = Value.Int i
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let contents catalog rel =
+  Heap_file.fold (Catalog.heap catalog rel) (fun acc _ t -> t :: acc) []
+
+let test_roundtrip () =
+  let catalog = Helpers.fresh_catalog () in
+  Helpers.build_rs ~n_r:50 ~n_s:30 catalog;
+  let file = tmp "pmv_snapshot_test.db" in
+  Snapshot.save catalog ~filename:file;
+  let pool = Buffer_pool.create ~capacity:1_000 () in
+  let loaded = Snapshot.load ~pool ~filename:file in
+  (* relations, tuples and schemas survive *)
+  check
+    (Alcotest.list Alcotest.string)
+    "relations"
+    (List.sort String.compare (Catalog.relations catalog))
+    (List.sort String.compare (Catalog.relations loaded));
+  List.iter
+    (fun rel ->
+      check Alcotest.bool
+        (rel ^ " contents equal")
+        true
+        (Helpers.same_multiset (contents catalog rel) (contents loaded rel)))
+    [ "r"; "s" ];
+  (* index definitions survive and are rebuilt *)
+  check Alcotest.int "r indexes" 2 (List.length (Catalog.indexes loaded "r"));
+  (match Catalog.index_on loaded ~rel:"r" ~attrs:[ "f" ] with
+  | Some ix -> check Alcotest.int "backfilled" 50 (Index.n_entries ix)
+  | None -> Alcotest.fail "index r_f lost");
+  Sys.remove file
+
+let test_value_escaping () =
+  let catalog = Helpers.fresh_catalog () in
+  let sch =
+    Schema.create "weird"
+      [ ("k", Schema.Tint); ("txt", Schema.Tstr); ("x", Schema.Tfloat) ]
+  in
+  let _ = Catalog.create_relation catalog sch in
+  let nasty =
+    [
+      [| vi 1; Value.Str "tab\there"; Value.Float 0.1 |];
+      [| vi 2; Value.Str "new\nline"; Value.Float (-1.5e-9) |];
+      [| vi 3; Value.Str "quote'and\\slash"; Value.Float 1e300 |];
+      [| vi 4; Value.Null; Value.Null |];
+      [| vi 5; Value.Str ""; Value.Float 0.0 |];
+    ]
+  in
+  List.iter (fun t -> ignore (Catalog.insert catalog ~rel:"weird" t)) nasty;
+  let file = tmp "pmv_snapshot_escape.db" in
+  Snapshot.save catalog ~filename:file;
+  let pool = Buffer_pool.create ~capacity:100 () in
+  let loaded = Snapshot.load ~pool ~filename:file in
+  check Alcotest.bool "nasty values round-trip" true
+    (Helpers.same_multiset nasty (contents loaded "weird"));
+  Sys.remove file
+
+let test_corrupt_detected () =
+  let file = tmp "pmv_snapshot_corrupt.db" in
+  let oc = open_out file in
+  output_string oc "relation x\nattr a int\nbogus line here\n";
+  close_out oc;
+  let pool = Buffer_pool.create ~capacity:100 () in
+  (match Snapshot.load ~pool ~filename:file with
+  | _ -> Alcotest.fail "corrupt snapshot accepted"
+  | exception Snapshot.Corrupt _ -> ());
+  Sys.remove file
+
+let test_queries_after_reload () =
+  (* a loaded catalog supports the full PMV pipeline *)
+  let catalog = Helpers.fresh_catalog () in
+  Helpers.build_rs catalog;
+  let file = tmp "pmv_snapshot_pipeline.db" in
+  Snapshot.save catalog ~filename:file;
+  let pool = Buffer_pool.create ~capacity:2_000 () in
+  let loaded = Snapshot.load ~pool ~filename:file in
+  let compiled = Minirel_query.Template.compile loaded Helpers.eqt_spec in
+  let view = Pmv.View.create ~capacity:20 ~f_max:2 ~name:"snap" compiled in
+  let inst =
+    Minirel_query.Instance.make compiled
+      [| Minirel_query.Instance.Dvalues [ vi 1 ]; Minirel_query.Instance.Dvalues [ vi 1 ] |]
+  in
+  let out = ref [] in
+  let _ = Pmv.Answer.answer ~view loaded inst ~on_tuple:(fun _ t -> out := t :: !out) in
+  check Alcotest.bool "answers on loaded catalog" true
+    (Helpers.same_multiset !out (Helpers.brute_force_answer loaded inst));
+  Sys.remove file
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "value escaping" `Quick test_value_escaping;
+    Alcotest.test_case "corrupt detected" `Quick test_corrupt_detected;
+    Alcotest.test_case "pipeline after reload" `Quick test_queries_after_reload;
+  ]

@@ -1,0 +1,288 @@
+open Minirel_storage
+open Minirel_query
+module Lexer = Minirel_sql.Lexer
+module Parser = Minirel_sql.Parser
+module Ast = Minirel_sql.Ast
+module Binder = Minirel_sql.Binder
+module Session = Minirel_sql.Session
+
+let check = Alcotest.check
+let vi i = Value.Int i
+
+(* --- lexer --- *)
+
+let test_lexer_basics () =
+  let toks = Lexer.tokenize "SELECT r.a FROM r WHERE (r.f = 1)" in
+  check Alcotest.int "token count" 15 (List.length toks);
+  check Alcotest.bool "keywords case-insensitive" true
+    (Lexer.tokenize "select" = Lexer.tokenize "SeLeCt");
+  check Alcotest.bool "string escape" true
+    (List.mem (Lexer.STRING "it's") (Lexer.tokenize "'it''s'"));
+  check Alcotest.bool "negative int" true (List.mem (Lexer.INT (-5)) (Lexer.tokenize "-5"));
+  check Alcotest.bool "float" true (List.mem (Lexer.FLOAT 2.5) (Lexer.tokenize "2.5"));
+  check Alcotest.bool "two-char ops" true
+    (List.mem Lexer.GE (Lexer.tokenize ">=") && List.mem Lexer.NE (Lexer.tokenize "<>"));
+  match Lexer.tokenize "@" with
+  | _ -> Alcotest.fail "bad character accepted"
+  | exception Lexer.Error _ -> ()
+
+(* --- parser --- *)
+
+let test_parser_shapes () =
+  let q =
+    Parser.parse
+      "select r.rkey, s.e from r, s where r.c = s.d and r.rkey > 5 and (r.f = 1 or r.f = \
+       3) and (s.g in (2, 4))"
+  in
+  check Alcotest.int "select items" 2 (List.length q.Ast.select);
+  check Alcotest.int "from items" 2 (List.length q.Ast.from);
+  check Alcotest.int "where items" 4 (List.length q.Ast.where);
+  let groups = List.filter (function Ast.W_group _ -> true | _ -> false) q.Ast.where in
+  check Alcotest.int "two selection groups" 2 (List.length groups);
+  (* star and aliases *)
+  let q2 = Parser.parse "select * from r x, s y where x.c = y.d and (x.f = 1)" in
+  check Alcotest.bool "star" true (List.mem Ast.S_star q2.Ast.select);
+  check Alcotest.bool "alias" true (List.mem ("r", Some "x") q2.Ast.from);
+  (* between *)
+  let q3 = Parser.parse "select r.rkey from r where (r.f between 1 and 3)" in
+  (match q3.Ast.where with
+  | [ Ast.W_group [ Ast.A_between (_, Ast.L_int 1, Ast.L_int 3) ] ] -> ()
+  | _ -> Alcotest.fail "between shape");
+  match Parser.parse "select from r where (r.f = 1)" with
+  | _ -> Alcotest.fail "bad query accepted"
+  | exception Parser.Error _ -> ()
+
+(* --- binder + end-to-end --- *)
+
+let setup () =
+  let catalog = Helpers.fresh_catalog () in
+  Helpers.build_rs catalog;
+  ignore (Minirel_index.Catalog.create_index catalog ~rel:"s" ~name:"s_e" ~attrs:[ "e" ] ());
+  (catalog, Session.create catalog)
+
+let sql_answer catalog compiled inst =
+  ignore compiled;
+  Helpers.brute_force_answer catalog inst
+
+let test_bind_equality_template () =
+  let catalog, session = setup () in
+  let compiled, inst =
+    Session.query session
+      "select r.rkey, s.e from r, s where r.c = s.d and (r.f = 1 or r.f = 3) and (s.g = 2)"
+  in
+  let spec = compiled.Template.spec in
+  check Alcotest.int "two relations" 2 (Array.length spec.Template.relations);
+  check Alcotest.int "one join" 1 (List.length spec.Template.joins);
+  check Alcotest.int "two selections" 2 (Array.length spec.Template.selections);
+  (* answers equal ground truth through the full PMV pipeline *)
+  let view = Pmv.View.create ~capacity:20 ~f_max:2 ~name:"sqlv" compiled in
+  let out = ref [] in
+  let _ = Pmv.Answer.answer ~view catalog inst ~on_tuple:(fun _ t -> out := t :: !out) in
+  check Alcotest.bool "sql answer correct" true
+    (Helpers.same_multiset !out (sql_answer catalog compiled inst))
+
+let test_template_sharing () =
+  let _, session = setup () in
+  let c1, i1 =
+    Session.query session "select r.rkey from r, s where r.c = s.d and (r.f = 1) and (s.g = 2)"
+  in
+  let c2, i2 =
+    Session.query session "select r.rkey from r, s where r.c = s.d and (r.f = 7) and (s.g = 5)"
+  in
+  check Alcotest.bool "same compiled template" true (c1 == c2);
+  check Alcotest.int "one template cached" 1 (Session.n_templates session);
+  check Alcotest.bool "different parameters" true
+    (Instance.params i1 <> Instance.params i2);
+  (* a different structure is a different template *)
+  let c3, _ =
+    Session.query session "select s.e from r, s where r.c = s.d and (r.f = 1) and (s.g = 2)"
+  in
+  check Alcotest.bool "different select list differs" true (c1 != c3);
+  check Alcotest.int "two templates" 2 (Session.n_templates session)
+
+let test_interval_template_with_grid () =
+  let catalog, session = setup () in
+  Session.set_grid session ~rel:"s" ~attr:"e"
+    (Discretize.of_cuts (List.init 12 (fun i -> vi (i * 10))));
+  let compiled, inst =
+    Session.query session
+      "select r.rkey, s.e from r, s where r.c = s.d and (r.f = 1) and (s.e between 15 and 42)"
+  in
+  (match compiled.Template.spec.Template.selections.(1) with
+  | Template.Range_sel (_, grid) ->
+      check Alcotest.bool "grid applied" true (Discretize.n_intervals grid > 1)
+  | Template.Eq_sel _ -> Alcotest.fail "expected interval form");
+  check Alcotest.bool "h > 1 thanks to the grid" true
+    (Condition_part.combination_factor inst > 1);
+  let view = Pmv.View.create ~capacity:30 ~f_max:3 ~name:"sqliv" compiled in
+  let out = ref [] in
+  let _ = Pmv.Answer.answer ~view catalog inst ~on_tuple:(fun _ t -> out := t :: !out) in
+  check Alcotest.bool "interval sql correct" true
+    (Helpers.same_multiset !out (Helpers.brute_force_answer catalog inst))
+
+let test_grid_from_data () =
+  let _, session = setup () in
+  Session.set_grid_from_data session ~rel:"s" ~attr:"e" ~bins:8;
+  let compiled, _ =
+    Session.query session
+      "select r.rkey from r, s where r.c = s.d and (r.f = 1) and (s.e between 1 and 60)"
+  in
+  match compiled.Template.spec.Template.selections.(1) with
+  | Template.Range_sel (_, grid) ->
+      check Alcotest.bool "equi-depth grid has cuts" true (Discretize.n_intervals grid >= 4)
+  | Template.Eq_sel _ -> Alcotest.fail "expected interval form"
+
+let test_fixed_and_in () =
+  let catalog, session = setup () in
+  let compiled, inst =
+    Session.query session
+      "select r.rkey from r, s where r.c = s.d and r.rkey <= 100 and s.e in (1, 2, 3, 4) \
+       and (r.f = 1 or r.f = 2)"
+  in
+  check Alcotest.int "two fixed predicates" 2
+    (List.length compiled.Template.spec.Template.fixed);
+  let out = ref [] in
+  let _ = Pmv.Answer.answer_plain catalog inst ~on_tuple:(fun _ t -> out := t :: !out) in
+  check Alcotest.bool "fixed predicates honoured" true
+    (Helpers.same_multiset !out (Helpers.brute_force_answer catalog inst));
+  (* IN-sugar inside a group is an equality-form condition *)
+  let compiled2, inst2 =
+    Session.query session
+      "select r.rkey from r, s where r.c = s.d and (r.f in (1, 2)) and (s.g = 3)"
+  in
+  (match compiled2.Template.spec.Template.selections.(0) with
+  | Template.Eq_sel _ -> ()
+  | Template.Range_sel _ -> Alcotest.fail "IN should bind as equality form");
+  check Alcotest.int "h = 2 * 1" 2 (Condition_part.combination_factor inst2)
+
+let test_type_coercion () =
+  let catalog = Helpers.fresh_catalog () in
+  let sch =
+    Schema.create "m" [ ("k", Schema.Tint); ("price", Schema.Tfloat); ("tag", Schema.Tstr) ]
+  in
+  let _ = Minirel_index.Catalog.create_relation catalog sch in
+  for i = 1 to 20 do
+    ignore
+      (Minirel_index.Catalog.insert catalog ~rel:"m"
+         [| vi i; Value.Float (float_of_int (i * 10)); Value.Str (Fmt.str "t%d" (i mod 3)) |])
+  done;
+  ignore (Minirel_index.Catalog.create_index catalog ~rel:"m" ~name:"m_k" ~attrs:[ "k" ] ());
+  let session = Session.create catalog in
+  (* integer literals against the float column are coerced *)
+  let _, inst =
+    Session.query session "select m.k from m where (m.price between 50 and 100) and (m.k = 7)"
+  in
+  let out = ref [] in
+  let _ = Pmv.Answer.answer_plain catalog inst ~on_tuple:(fun _ t -> out := t :: !out) in
+  check Alcotest.int "coerced between matches" 1 (List.length !out);
+  (* string literals work on string columns *)
+  let _, inst2 = Session.query session "select m.k from m where (m.tag = 't1')" in
+  let n = ref 0 in
+  let _ = Pmv.Answer.answer_plain catalog inst2 ~on_tuple:(fun _ _ -> incr n) in
+  check Alcotest.bool "string selection" true (!n > 0);
+  (* a string literal against an int column is a bind error *)
+  match Session.query session "select m.k from m where (m.k = 'oops')" with
+  | _ -> Alcotest.fail "type mismatch accepted"
+  | exception Binder.Error _ -> ()
+
+let test_bind_errors () =
+  let _, session = setup () in
+  let expect_error sql =
+    match Session.query session sql with
+    | _ -> Alcotest.failf "accepted: %s" sql
+    | exception (Binder.Error _ | Invalid_argument _) -> ()
+  in
+  expect_error "select r.rkey from zzz where (zzz.f = 1)";
+  expect_error "select r.nope from r where (r.f = 1)";
+  expect_error "select r.rkey from r where r.f = 1";  (* no selection group *)
+  expect_error "select r.rkey from r, s where r.c = s.d and (r.f = 1 or s.g = 2)";
+  (* mixed eq and range in one group *)
+  expect_error
+    "select r.rkey from r, s where r.c = s.d and (r.f = 1 or r.f between 2 and 3)";
+  (* duplicate alias *)
+  expect_error "select x.rkey from r x, s x where x.c = x.d and (x.f = 1)"
+
+let test_print_roundtrip_basic () =
+  let _, session = setup () in
+  let sql = "select r.rkey, s.e from r, s where r.c = s.d and r.rkey <= 100 and (r.f = 1 or r.f = 3) and (s.g in (2, 4))" in
+  let _, inst = Session.query session sql in
+  let printed = Minirel_sql.Print.to_sql inst in
+  let _, inst2 = Session.query session printed in
+  check Alcotest.bool "round trip preserves parameters" true
+    (Instance.params inst = Instance.params inst2)
+
+let prop_print_roundtrip =
+  (* random instances over the Eqt template with an interval condition:
+     print -> parse -> bind -> identical answers *)
+  QCheck2.Test.make ~name:"SQL print/parse round trip preserves answers" ~count:40
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 1 3) (int_range 0 9))
+        (pair (int_range 0 100) (int_range 1 30))
+        (int_range 0 2))
+    (fun (fs, (lo, len), shape) ->
+      let catalog = Helpers.fresh_catalog () in
+      Helpers.build_rs catalog;
+      ignore
+        (Minirel_index.Catalog.create_index catalog ~rel:"s" ~name:"s_e" ~attrs:[ "e" ] ());
+      let session = Session.create catalog in
+      let grid = Discretize.of_cuts (List.init 6 (fun i -> vi (i * 20))) in
+      Session.set_grid session ~rel:"s" ~attr:"e" grid;
+      let compiled =
+        Template.compile catalog
+          { (Helpers.eqt_interval_spec ~grid) with Template.name = "rt" }
+      in
+      let interval =
+        match shape with
+        | 0 -> Interval.closed ~lo:(vi lo) ~hi:(vi (lo + len))
+        | 1 -> Interval.at_least (vi lo)
+        | _ -> Interval.below (vi (lo + len))
+      in
+      let inst =
+        Instance.make compiled
+          [|
+            Instance.Dvalues (List.map (fun v -> vi v) (List.sort_uniq Int.compare fs));
+            Instance.Dintervals [ interval ];
+          |]
+      in
+      let printed = Minirel_sql.Print.to_sql inst in
+      let _, inst2 = Session.query session printed in
+      Helpers.same_multiset
+        (Helpers.brute_force_answer catalog inst)
+        (Helpers.brute_force_answer catalog inst2))
+
+let test_sql_through_manager () =
+  let catalog, session = setup () in
+  let m = Pmv.Manager.create catalog in
+  let run sql =
+    let compiled, inst = Session.query session sql in
+    if Pmv.Manager.find m ~template:compiled.Template.spec.Template.name = None then
+      ignore (Pmv.Manager.create_view ~capacity:30 ~f_max:2 m compiled);
+    let out = ref [] in
+    let stats, used = Pmv.Manager.answer m inst ~on_tuple:(fun _ t -> out := t :: !out) in
+    check Alcotest.bool "manager routed sql query" true used;
+    check Alcotest.bool "correct" true
+      (Helpers.same_multiset !out (Helpers.brute_force_answer catalog inst));
+    stats
+  in
+  let _ = run "select r.rkey from r, s where r.c = s.d and (r.f = 1) and (s.g = 1)" in
+  (* same template, same hot constants: the repeat hits the view *)
+  let st = run "select r.rkey from r, s where r.c = s.d and (r.f = 1) and (s.g = 1)" in
+  check Alcotest.bool "second identical query served partials" true
+    (st.Pmv.Answer.partial_count > 0)
+
+let suite =
+  [
+    Alcotest.test_case "lexer" `Quick test_lexer_basics;
+    Alcotest.test_case "parser" `Quick test_parser_shapes;
+    Alcotest.test_case "bind equality template" `Quick test_bind_equality_template;
+    Alcotest.test_case "template sharing" `Quick test_template_sharing;
+    Alcotest.test_case "interval template with grid" `Quick test_interval_template_with_grid;
+    Alcotest.test_case "grid from data" `Quick test_grid_from_data;
+    Alcotest.test_case "fixed predicates and IN" `Quick test_fixed_and_in;
+    Alcotest.test_case "type coercion" `Quick test_type_coercion;
+    Alcotest.test_case "bind errors" `Quick test_bind_errors;
+    Alcotest.test_case "sql through manager" `Quick test_sql_through_manager;
+    Alcotest.test_case "print roundtrip basic" `Quick test_print_roundtrip_basic;
+    QCheck_alcotest.to_alcotest prop_print_roundtrip;
+  ]

@@ -1,0 +1,156 @@
+open Minirel_storage
+open Minirel_query
+module Stats = Minirel_exec.Stats
+module Planner = Minirel_exec.Planner
+module Executor = Minirel_exec.Executor
+
+let check = Alcotest.check
+let vi i = Value.Int i
+
+let setup () =
+  let catalog = Helpers.fresh_catalog () in
+  Helpers.build_rs ~n_r:200 ~n_s:120 catalog;
+  (catalog, Stats.analyze catalog)
+
+let test_relation_stats () =
+  let _, st = setup () in
+  (match Stats.relation st "r" with
+  | Some rs ->
+      check Alcotest.int "tuple count" 200 rs.Stats.n_tuples;
+      check Alcotest.int "four attrs" 4 (List.length rs.Stats.attrs)
+  | None -> Alcotest.fail "no stats for r");
+  check (Alcotest.option Alcotest.int) "n_tuples" (Some 120) (Stats.n_tuples st "s");
+  check (Alcotest.option Alcotest.int) "unknown relation" None (Stats.n_tuples st "zzz")
+
+let test_attr_stats () =
+  let _, st = setup () in
+  match Stats.attr st ~rel:"r" ~attr:"f" with
+  | Some a ->
+      check Alcotest.int "values" 200 a.Stats.n_values;
+      (* f = rkey mod 10 -> 10 distinct *)
+      check Alcotest.int "distinct" 10 a.Stats.n_distinct;
+      check (Alcotest.option Helpers.value) "min" (Some (vi 0)) a.Stats.min_v;
+      check (Alcotest.option Helpers.value) "max" (Some (vi 9)) a.Stats.max_v;
+      check Alcotest.int "bucket counts total" 200 (Array.fold_left ( + ) 0 a.Stats.bucket_counts)
+  | None -> Alcotest.fail "no stats for r.f"
+
+let test_eq_selectivity () =
+  let _, st = setup () in
+  (* r.f is uniform over 10 values: selectivity ~0.1 *)
+  let sel = Stats.eq_selectivity st ~rel:"r" ~attr:"f" (vi 3) in
+  check Alcotest.bool "uniform selectivity" true (sel > 0.05 && sel < 0.2);
+  (* rkey is unique: selectivity ~1/200 *)
+  let sel_key = Stats.eq_selectivity st ~rel:"r" ~attr:"rkey" (vi 17) in
+  check Alcotest.bool "key selectivity small" true (sel_key < 0.05);
+  check Alcotest.bool "key more selective than f" true (sel_key < sel);
+  check (Alcotest.float 1e-9) "unknown attr" 1.0
+    (Stats.eq_selectivity st ~rel:"r" ~attr:"nope" (vi 1))
+
+let test_range_selectivity () =
+  let _, st = setup () in
+  (* s.e is 1..120 uniform; [1,60] covers about half *)
+  let half =
+    Stats.range_selectivity st ~rel:"s" ~attr:"e" (Interval.closed ~lo:(vi 1) ~hi:(vi 60))
+  in
+  check Alcotest.bool "about half" true (half > 0.3 && half < 0.7);
+  let all = Stats.range_selectivity st ~rel:"s" ~attr:"e" Interval.full in
+  check (Alcotest.float 1e-9) "full range" 1.0 all
+
+let test_condition_cardinality () =
+  let _, st = setup () in
+  let two_vals = Instance.Dvalues [ vi 1; vi 2 ] in
+  let c = Stats.condition_cardinality st ~rel:"r" ~attr:"f" two_vals in
+  (* 2 of 10 uniform values over 200 rows ~ 40 *)
+  check Alcotest.bool "cardinality estimate" true (c > 20.0 && c < 60.0)
+
+let test_planner_uses_stats () =
+  (* r.f has 10 distinct values, r.rkey is unique. A query with
+     selections on both should drive from rkey when stats are given. *)
+  let catalog = Helpers.fresh_catalog () in
+  Helpers.build_rs ~n_r:200 ~n_s:120 catalog;
+  ignore (Minirel_index.Catalog.create_index catalog ~rel:"r" ~name:"r_rkey" ~attrs:[ "rkey" ] ());
+  let spec =
+    {
+      Helpers.eqt_spec with
+      Template.selections =
+        [|
+          Template.Eq_sel (Template.attr_ref ~rel:0 ~attr:"f");
+          Template.Eq_sel (Template.attr_ref ~rel:0 ~attr:"rkey");
+        |];
+    }
+  in
+  let compiled = Template.compile catalog spec in
+  let inst =
+    Instance.make compiled [| Instance.Dvalues [ vi 3 ]; Instance.Dvalues [ vi 13 ] |]
+  in
+  let st = Minirel_exec.Stats.analyze catalog in
+  let uses_index name plan =
+    let s = Fmt.str "%a" Minirel_exec.Plan.pp plan in
+    (* the driving access is the innermost leaf: check the index name *)
+    let contains hay needle =
+      let nl = String.length needle and hl = String.length hay in
+      let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+      go 0
+    in
+    contains s name
+  in
+  let without = Planner.plan_query catalog inst in
+  let with_stats = Planner.plan_query ~stats:st catalog inst in
+  check Alcotest.bool "first-index default drives from f" true (uses_index "r_f" without);
+  check Alcotest.bool "stats drive from the unique key" true (uses_index "r_rkey" with_stats);
+  (* both plans agree with ground truth *)
+  let expect = Helpers.brute_force_answer catalog inst in
+  check Alcotest.bool "plain plan correct" true
+    (Helpers.same_multiset (Executor.run_to_list catalog without) expect);
+  check Alcotest.bool "stats plan correct" true
+    (Helpers.same_multiset (Executor.run_to_list catalog with_stats) expect)
+
+let test_stats_join_ordering () =
+  (* T2 drives from orders; with stats the planner joins customer
+     (fanout 1 on custkey) before lineitem (fanout 4 on orderkey) *)
+  let catalog = Helpers.fresh_catalog ~pool_pages:20_000 () in
+  ignore (Minirel_workload.Tpcr.generate catalog (Minirel_workload.Tpcr.params_for_scale 0.002));
+  let t2 = Template.compile catalog Minirel_workload.Querygen.t2_spec in
+  let inst =
+    Instance.make t2
+      [| Instance.Dvalues [ vi 1 ]; Instance.Dvalues [ vi 1 ]; Instance.Dvalues [ vi 0 ] |]
+  in
+  let st = Stats.analyze catalog in
+  let plan_str plan = Fmt.str "%a" Minirel_exec.Plan.pp plan in
+  let index_of hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = if i + nl > hl then None else if String.sub hay i nl = needle then Some i else go (i + 1) in
+    go 0
+  in
+  let default_plan = plan_str (Planner.plan_query catalog inst) in
+  let stats_plan = plan_str (Planner.plan_query ~stats:st catalog inst) in
+  (* without stats: drive from the first indexed selection (orderdate),
+     joining in template order *)
+  check Alcotest.bool "default drives from orderdate" true
+    (index_of default_plan "ixlookup(orders.orders_orderdate" <> None);
+  (match (index_of default_plan "lineitem_orderkey", index_of default_plan "customer_custkey") with
+  | Some l, Some c -> check Alcotest.bool "template join order without stats" true (l < c)
+  | _ -> Alcotest.fail "expected both joins in the default plan");
+  (* with stats: the driver is the estimated-most-selective condition
+     (the hot-but-few-distinct nationkey beats orderdate here) and the
+     join order follows estimated fanouts *)
+  check Alcotest.bool "stats change the plan" true (default_plan <> stats_plan);
+  check Alcotest.bool "stats drive from nationkey" true
+    (index_of stats_plan "ixlookup(customer.customer_nationkey" <> None);
+  (* both orders produce the same answer *)
+  let expect = Helpers.brute_force_answer catalog inst in
+  check Alcotest.bool "stats order correct" true
+    (Helpers.same_multiset (Executor.run_to_list catalog (Planner.plan_query ~stats:st catalog inst)) expect);
+  check Alcotest.bool "default order correct" true
+    (Helpers.same_multiset (Executor.run_to_list catalog (Planner.plan_query catalog inst)) expect)
+
+let suite =
+  [
+    Alcotest.test_case "relation stats" `Quick test_relation_stats;
+    Alcotest.test_case "stats-driven join ordering" `Quick test_stats_join_ordering;
+    Alcotest.test_case "attribute stats" `Quick test_attr_stats;
+    Alcotest.test_case "eq selectivity" `Quick test_eq_selectivity;
+    Alcotest.test_case "range selectivity" `Quick test_range_selectivity;
+    Alcotest.test_case "condition cardinality" `Quick test_condition_cardinality;
+    Alcotest.test_case "planner uses stats" `Quick test_planner_uses_stats;
+  ]

@@ -1,0 +1,158 @@
+open Minirel_storage
+open Minirel_query
+
+let check = Alcotest.check
+let vi i = Value.Int i
+
+let compiled_eqt () =
+  let catalog = Helpers.fresh_catalog () in
+  Helpers.build_rs catalog;
+  (catalog, Template.compile catalog Helpers.eqt_spec)
+
+let test_compile_layout () =
+  let _, c = compiled_eqt () in
+  check Alcotest.int "joined arity" 7 c.Template.joined_arity;
+  check (Alcotest.list Alcotest.int) "offsets" [ 0; 4 ] (Array.to_list c.Template.offsets);
+  check Alcotest.int "r.c position" 1
+    (Template.joined_pos c (Template.attr_ref ~rel:0 ~attr:"c"));
+  check Alcotest.int "s.g position" 5
+    (Template.joined_pos c (Template.attr_ref ~rel:1 ~attr:"g"))
+
+let test_expanded_select () =
+  let _, c = compiled_eqt () in
+  (* Ls = (rkey, e); Cselect adds f and g -> Ls' has 4 attrs *)
+  check Alcotest.int "Ls' size" 4 (List.length c.Template.expanded_select);
+  (* sel_pos points at f then g inside the Ls' tuple *)
+  check Alcotest.int "m = 2" 2 (Array.length c.Template.sel_pos);
+  let result = [| vi 1; vi 2; vi 3; vi 4 |] in
+  (* visible projection returns the original Ls prefix *)
+  check Helpers.tuple "visible" [| vi 1; vi 2 |] (Template.visible_of_result c result)
+
+let test_select_attr_in_ls () =
+  (* when a Cselect attr already appears in Ls, Ls' must not duplicate it *)
+  let catalog = Helpers.fresh_catalog () in
+  Helpers.build_rs catalog;
+  let spec =
+    {
+      Helpers.eqt_spec with
+      Template.select_list =
+        [
+          Template.attr_ref ~rel:0 ~attr:"f";
+          Template.attr_ref ~rel:0 ~attr:"rkey";
+        ];
+    }
+  in
+  let c = Template.compile catalog spec in
+  check Alcotest.int "Ls' dedups f" 3 (List.length c.Template.expanded_select);
+  check Alcotest.int "sel_pos of f is its Ls slot" 0 c.Template.sel_pos.(0)
+
+let test_result_of_joined () =
+  let _, c = compiled_eqt () in
+  let r_t = [| vi 7; vi 3; vi 2; Value.Str "p" |] in
+  let s_t = [| vi 3; vi 4; vi 99 |] in
+  let joined = Tuple.concat r_t s_t in
+  let result = Template.result_of_joined c joined in
+  check Alcotest.int "Ls' tuple arity" 4 (Tuple.arity result);
+  (* rkey, e, then f and g *)
+  check Helpers.tuple "projection" [| vi 7; vi 99; vi 2; vi 4 |] result
+
+let test_validation_errors () =
+  let catalog = Helpers.fresh_catalog () in
+  Helpers.build_rs catalog;
+  let expect_invalid spec =
+    match Template.compile catalog spec with
+    | _ -> Alcotest.fail "invalid template accepted"
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid { Helpers.eqt_spec with Template.select_list = [] };
+  expect_invalid { Helpers.eqt_spec with Template.selections = [||] };
+  expect_invalid
+    {
+      Helpers.eqt_spec with
+      Template.select_list = [ Template.attr_ref ~rel:5 ~attr:"x" ];
+    };
+  expect_invalid
+    {
+      Helpers.eqt_spec with
+      Template.select_list = [ Template.attr_ref ~rel:0 ~attr:"nope" ];
+    }
+
+let test_fixed_pred_joined () =
+  let catalog = Helpers.fresh_catalog () in
+  Helpers.build_rs catalog;
+  let spec =
+    { Helpers.eqt_spec with Template.fixed = [ (1, Predicate.Cmp (Predicate.Gt, 2, vi 50)) ] }
+  in
+  let c = Template.compile catalog spec in
+  let p = Template.fixed_pred_joined c 1 in
+  (* s.e sits at joined position 4 + 2 = 6 *)
+  let joined = Array.make 7 (vi 0) in
+  joined.(6) <- vi 60;
+  check Alcotest.bool "shifted fixed pred" true (Predicate.eval p joined);
+  joined.(6) <- vi 10;
+  check Alcotest.bool "fails below" false (Predicate.eval p joined);
+  check Alcotest.bool "other relation empty" true
+    (Template.fixed_pred_joined c 0 = Predicate.True)
+
+let test_avg_result_bytes () =
+  check Alcotest.int "empty" 0 (Template.avg_result_bytes []);
+  let sample = [ [| vi 1 |]; [| vi 2 |]; [| vi 3 |] ] in
+  check Alcotest.int "ints are 8 bytes" 8 (Template.avg_result_bytes sample)
+
+let test_instance_validation () =
+  let _, c = compiled_eqt () in
+  let ok = Instance.make c [| Instance.Dvalues [ vi 1 ]; Instance.Dvalues [ vi 2 ] |] in
+  check Alcotest.bool "valid instance" true (Instance.params ok |> Array.length = 2);
+  let expect_invalid params =
+    match Instance.make c params with
+    | _ -> Alcotest.fail "invalid instance accepted"
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid [| Instance.Dvalues [ vi 1 ] |];
+  expect_invalid [| Instance.Dvalues []; Instance.Dvalues [ vi 2 ] |];
+  expect_invalid [| Instance.Dvalues [ vi 1; vi 1 ]; Instance.Dvalues [ vi 2 ] |];
+  expect_invalid [| Instance.Dintervals [ Interval.full ]; Instance.Dvalues [ vi 2 ] |];
+  (* overlapping intervals rejected on interval-form templates *)
+  let grid = Discretize.of_cuts [ vi 10 ] in
+  let civ = Template.compile (fst (compiled_eqt ())) (Helpers.eqt_interval_spec ~grid) in
+  ignore civ;
+  let catalog = Helpers.fresh_catalog () in
+  Helpers.build_rs catalog;
+  let civ = Template.compile catalog (Helpers.eqt_interval_spec ~grid) in
+  (match
+     Instance.make civ
+       [|
+         Instance.Dvalues [ vi 1 ];
+         Instance.Dintervals
+           [
+             Interval.half_open ~lo:(vi 0) ~hi:(vi 10);
+             Interval.half_open ~lo:(vi 5) ~hi:(vi 15);
+           ];
+       |]
+   with
+  | _ -> Alcotest.fail "overlapping intervals accepted"
+  | exception Invalid_argument _ -> ())
+
+let test_cselect_pred () =
+  let _, c = compiled_eqt () in
+  let inst = Instance.make c [| Instance.Dvalues [ vi 2; vi 3 ]; Instance.Dvalues [ vi 4 ] |] in
+  (* result tuple layout: rkey, e, f, g *)
+  check Alcotest.bool "accepts matching" true
+    (Instance.accepts_result inst [| vi 1; vi 1; vi 2; vi 4 |]);
+  check Alcotest.bool "accepts second disjunct" true
+    (Instance.accepts_result inst [| vi 1; vi 1; vi 3; vi 4 |]);
+  check Alcotest.bool "rejects wrong g" false
+    (Instance.accepts_result inst [| vi 1; vi 1; vi 2; vi 5 |])
+
+let suite =
+  [
+    Alcotest.test_case "compile layout" `Quick test_compile_layout;
+    Alcotest.test_case "expanded select list" `Quick test_expanded_select;
+    Alcotest.test_case "Cselect attr already in Ls" `Quick test_select_attr_in_ls;
+    Alcotest.test_case "result_of_joined" `Quick test_result_of_joined;
+    Alcotest.test_case "validation errors" `Quick test_validation_errors;
+    Alcotest.test_case "fixed pred joined" `Quick test_fixed_pred_joined;
+    Alcotest.test_case "avg result bytes" `Quick test_avg_result_bytes;
+    Alcotest.test_case "instance validation" `Quick test_instance_validation;
+    Alcotest.test_case "cselect predicate" `Quick test_cselect_pred;
+  ]

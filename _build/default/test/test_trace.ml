@@ -1,0 +1,63 @@
+(* Trace recording, persistence, replay and advisor feeding. *)
+
+module Shell = Minirel_shell.Shell
+module Trace = Minirel_shell.Trace
+
+let check = Alcotest.check
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let statements =
+  [
+    "create table t (a int, b int)";
+    "create index t_a on t (a)";
+    "insert into t values (1, 10)";
+    "insert into t values (1, 20)";
+    "insert into t values (2, 30)";
+    "select t.b from t where (t.a = 1)";
+    "select t.b from t where (t.a = 1)";
+    "select t.b from t where (t.a = 2)";
+  ]
+
+let test_record_and_replay () =
+  let shell = Shell.create (Helpers.fresh_catalog ()) in
+  let trace = Trace.create () in
+  Trace.attach trace shell;
+  List.iter (fun sql -> ignore (Shell.exec shell sql)) statements;
+  check Alcotest.int "all recorded" (List.length statements) (Trace.length trace);
+  (* a failing statement is not recorded *)
+  (try ignore (Shell.exec shell "insert into nope values (1)") with _ -> ());
+  check Alcotest.int "failure skipped" (List.length statements) (Trace.length trace);
+  (* persist and reload *)
+  let file = tmp "pmv_trace_test.sql" in
+  Trace.save trace ~filename:file;
+  let loaded = Trace.load ~filename:file in
+  check (Alcotest.list Alcotest.string) "roundtrip" (Trace.entries trace)
+    (Trace.entries loaded);
+  (* replay rebuilds an identical database *)
+  let shell2 = Shell.create (Helpers.fresh_catalog ()) in
+  let ok, failed = Trace.replay loaded shell2 in
+  check Alcotest.int "all replayed" (List.length statements) ok;
+  check Alcotest.int "no failures" 0 failed;
+  (match Shell.exec shell2 "select t.b from t where (t.a = 1)" with
+  | Shell.Rows { total = 2; _ } -> ()
+  | _ -> Alcotest.fail "replayed data wrong");
+  Sys.remove file
+
+let test_observe_into_advisor () =
+  let shell = Shell.create (Helpers.fresh_catalog ()) in
+  let trace = Trace.create () in
+  Trace.attach trace shell;
+  List.iter (fun sql -> ignore (Shell.exec shell sql)) statements;
+  let advisor = Pmv.Advisor.create () in
+  let observed = Trace.observe trace (Shell.session shell) advisor in
+  check Alcotest.int "selects observed" 3 observed;
+  check Alcotest.int "one template" 1 (Pmv.Advisor.n_templates advisor);
+  match Pmv.Advisor.recommend advisor ~budget_bytes:100_000 ~min_queries:2 with
+  | [ r ] -> check Alcotest.int "trace queries counted" 3 r.Pmv.Advisor.queries_seen
+  | other -> Alcotest.failf "expected one recommendation, got %d" (List.length other)
+
+let suite =
+  [
+    Alcotest.test_case "record, save, load, replay" `Quick test_record_and_replay;
+    Alcotest.test_case "observe into advisor" `Quick test_observe_into_advisor;
+  ]

@@ -1,0 +1,149 @@
+open Minirel_storage
+open Minirel_query
+module Lock = Minirel_txn.Lock_manager
+module Txn = Minirel_txn.Txn
+module Catalog = Minirel_index.Catalog
+
+let check = Alcotest.check
+let vi i = Value.Int i
+
+(* --- lock manager --- *)
+
+let test_s_locks_share () =
+  let lm = Lock.create () in
+  check Alcotest.bool "t1 S" true (Lock.acquire lm ~txn:1 ~obj:"v" Lock.S = Ok ());
+  check Alcotest.bool "t2 S shares" true (Lock.acquire lm ~txn:2 ~obj:"v" Lock.S = Ok ());
+  (match Lock.held_by lm ~obj:"v" with
+  | Some (Lock.S, owners) -> check Alcotest.int "two owners" 2 (List.length owners)
+  | _ -> Alcotest.fail "expected shared holders");
+  (* X conflicts with the S group *)
+  check Alcotest.bool "t3 X blocked" true
+    (match Lock.acquire lm ~txn:3 ~obj:"v" Lock.X with Error _ -> true | Ok () -> false)
+
+let test_upgrade () =
+  let lm = Lock.create () in
+  ignore (Lock.acquire lm ~txn:1 ~obj:"v" Lock.S);
+  check Alcotest.bool "sole S upgrades to X" true
+    (Lock.acquire lm ~txn:1 ~obj:"v" Lock.X = Ok ());
+  (match Lock.held_by lm ~obj:"v" with
+  | Some (Lock.X, [ 1 ]) -> ()
+  | _ -> Alcotest.fail "expected X by txn 1");
+  (* with two S holders the upgrade fails *)
+  let lm2 = Lock.create () in
+  ignore (Lock.acquire lm2 ~txn:1 ~obj:"v" Lock.S);
+  ignore (Lock.acquire lm2 ~txn:2 ~obj:"v" Lock.S);
+  check Alcotest.bool "upgrade blocked" true
+    (match Lock.acquire lm2 ~txn:1 ~obj:"v" Lock.X with Error _ -> true | Ok () -> false)
+
+let test_x_exclusive_and_reentrant () =
+  let lm = Lock.create () in
+  ignore (Lock.acquire lm ~txn:1 ~obj:"v" Lock.X);
+  check Alcotest.bool "other S blocked" true
+    (match Lock.acquire lm ~txn:2 ~obj:"v" Lock.S with Error _ -> true | Ok () -> false);
+  check Alcotest.bool "own re-acquire ok" true (Lock.acquire lm ~txn:1 ~obj:"v" Lock.S = Ok ());
+  Lock.release lm ~txn:1 ~obj:"v";
+  check Alcotest.bool "after release" true (Lock.acquire lm ~txn:2 ~obj:"v" Lock.S = Ok ())
+
+let test_release_all () =
+  let lm = Lock.create () in
+  ignore (Lock.acquire lm ~txn:1 ~obj:"a" Lock.S);
+  ignore (Lock.acquire lm ~txn:1 ~obj:"b" Lock.X);
+  ignore (Lock.acquire lm ~txn:2 ~obj:"a" Lock.S);
+  Lock.release_all lm ~txn:1;
+  check Alcotest.bool "b free" true (Lock.held_by lm ~obj:"b" = None);
+  match Lock.held_by lm ~obj:"a" with
+  | Some (Lock.S, [ 2 ]) -> ()
+  | _ -> Alcotest.fail "txn 2 should still hold a"
+
+(* --- transactions --- *)
+
+let setup () =
+  let catalog = Helpers.fresh_catalog () in
+  Helpers.build_rs ~n_r:40 ~n_s:30 catalog;
+  (catalog, Txn.create catalog)
+
+let test_txn_insert_delete () =
+  let catalog, mgr = setup () in
+  let before = Heap_file.n_tuples (Catalog.heap catalog "r") in
+  let deltas =
+    Txn.run mgr
+      [
+        Txn.Insert { rel = "r"; tuple = [| vi 900; vi 1; vi 2; Value.Str "n" |] };
+        Txn.Delete { rel = "r"; pred = Predicate.Cmp (Predicate.Eq, 0, vi 1) };
+      ]
+  in
+  check Alcotest.int "two deltas" 2 (List.length deltas);
+  check Alcotest.int "net count" before (Heap_file.n_tuples (Catalog.heap catalog "r"));
+  (match deltas with
+  | [ d1; d2 ] ->
+      check Alcotest.int "insert delta" 1 (List.length d1.Txn.inserted);
+      check Alcotest.int "delete delta" 1 (List.length d2.Txn.deleted);
+      check Helpers.tuple "deleted tuple value"
+        [| vi 1; vi 1; vi 1; Value.Str "pay1" |]
+        (List.hd d2.Txn.deleted)
+  | _ -> Alcotest.fail "deltas")
+
+let test_txn_update () =
+  let catalog, mgr = setup () in
+  let deltas =
+    Txn.run mgr
+      [
+        Txn.Update
+          {
+            rel = "s";
+            pred = Predicate.Cmp (Predicate.Eq, 2, vi 5);
+            set = [ (1, vi 77) ];
+          };
+      ]
+  in
+  (match deltas with
+  | [ d ] -> (
+      match d.Txn.updated with
+      | [ (old_t, new_t) ] ->
+          check Helpers.value "old g" old_t.(1) (vi (5 mod 8));
+          check Helpers.value "new g" (vi 77) new_t.(1);
+          check Helpers.value "key unchanged" old_t.(2) new_t.(2)
+      | _ -> Alcotest.fail "expected one update")
+  | _ -> Alcotest.fail "expected one delta");
+  (* the heap reflects it *)
+  let updated =
+    Heap_file.fold (Catalog.heap catalog "s")
+      (fun acc _ t -> if Value.equal t.(2) (vi 5) then t :: acc else acc)
+      []
+  in
+  check Alcotest.int "one row" 1 (List.length updated);
+  check Helpers.value "persisted" (vi 77) (List.hd updated).(1)
+
+let test_hooks_invoked () =
+  let _, mgr = setup () in
+  let log = ref [] in
+  Txn.register_hook mgr ~name:"probe" (fun d -> log := d.Txn.rel :: !log);
+  ignore
+    (Txn.run mgr
+       [
+         Txn.Insert { rel = "r"; tuple = [| vi 901; vi 1; vi 2; Value.Str "n" |] };
+         Txn.Delete { rel = "s"; pred = Predicate.Cmp (Predicate.Eq, 2, vi 3) };
+       ]);
+  check (Alcotest.list Alcotest.string) "hooks saw both" [ "s"; "r" ] !log;
+  Txn.unregister_hook mgr ~name:"probe";
+  ignore (Txn.run mgr [ Txn.Insert { rel = "r"; tuple = [| vi 902; vi 1; vi 2; Value.Str "n" |] } ]);
+  check Alcotest.int "unregistered" 2 (List.length !log)
+
+let test_txn_locks_released () =
+  let catalog, mgr = setup () in
+  ignore (Txn.run mgr [ Txn.Insert { rel = "r"; tuple = [| vi 903; vi 1; vi 2; Value.Str "n" |] } ]);
+  (* relation lock must be free afterwards *)
+  check Alcotest.bool "rel lock released" true (Lock.held_by (Txn.locks mgr) ~obj:"rel:r" = None);
+  ignore catalog
+
+let suite =
+  [
+    Alcotest.test_case "S locks share" `Quick test_s_locks_share;
+    Alcotest.test_case "upgrade" `Quick test_upgrade;
+    Alcotest.test_case "X exclusive + reentrant" `Quick test_x_exclusive_and_reentrant;
+    Alcotest.test_case "release_all" `Quick test_release_all;
+    Alcotest.test_case "insert/delete txn" `Quick test_txn_insert_delete;
+    Alcotest.test_case "update txn" `Quick test_txn_update;
+    Alcotest.test_case "hooks invoked" `Quick test_hooks_invoked;
+    Alcotest.test_case "locks released" `Quick test_txn_locks_released;
+  ]

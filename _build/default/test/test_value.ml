@@ -1,0 +1,76 @@
+open Minirel_storage
+
+let check = Alcotest.check
+let vi i = Value.Int i
+
+let test_compare_same_type () =
+  check Alcotest.bool "int order" true (Value.compare (vi 1) (vi 2) < 0);
+  check Alcotest.bool "int equal" true (Value.compare (vi 5) (vi 5) = 0);
+  check Alcotest.bool "float order" true
+    (Value.compare (Value.Float 1.5) (Value.Float 2.5) < 0);
+  check Alcotest.bool "string order" true
+    (Value.compare (Value.Str "abc") (Value.Str "abd") < 0)
+
+let test_compare_cross_type () =
+  (* fixed rank order: Null < Int < Float < Str *)
+  check Alcotest.bool "null < int" true (Value.compare Value.Null (vi 0) < 0);
+  check Alcotest.bool "int < float" true (Value.compare (vi 9999) (Value.Float 0.0) < 0);
+  check Alcotest.bool "float < str" true
+    (Value.compare (Value.Float 1e9) (Value.Str "") < 0)
+
+let test_equal_and_hash () =
+  check Alcotest.bool "equal" true (Value.equal (Value.Str "x") (Value.Str "x"));
+  check Alcotest.bool "not equal" false (Value.equal (vi 1) (vi 2));
+  check Alcotest.int "hash consistent" (Value.hash (vi 42)) (Value.hash (vi 42))
+
+let test_size_bytes () =
+  check Alcotest.int "int" 8 (Value.size_bytes (vi 7));
+  check Alcotest.int "null" 1 (Value.size_bytes Value.Null);
+  check Alcotest.int "str" (4 + 3) (Value.size_bytes (Value.Str "abc"))
+
+let test_accessors () =
+  check Alcotest.int "int_exn" 3 (Value.int_exn (vi 3));
+  check Alcotest.string "str_exn" "s" (Value.str_exn (Value.Str "s"));
+  check (Alcotest.float 0.0) "float_exn" 2.5 (Value.float_exn (Value.Float 2.5));
+  Alcotest.check_raises "int_exn on str" (Invalid_argument "Value.int_exn: \"a\"")
+    (fun () -> ignore (Value.int_exn (Value.Str "a")));
+  check Alcotest.bool "is_null" true (Value.is_null Value.Null);
+  check Alcotest.bool "is_null int" false (Value.is_null (vi 0))
+
+let test_to_string () =
+  check Alcotest.string "int" "42" (Value.to_string (vi 42));
+  check Alcotest.string "null" "NULL" (Value.to_string Value.Null)
+
+let prop_compare_total_order =
+  let gen =
+    QCheck2.Gen.(
+      oneof
+        [
+          return Value.Null;
+          map (fun i -> Value.Int i) small_signed_int;
+          map (fun f -> Value.Float f) (float_range (-1000.) 1000.);
+          map (fun s -> Value.Str s) (string_size (int_range 0 6));
+        ])
+  in
+  QCheck2.Test.make ~name:"Value.compare is a total order (antisym + trans sample)"
+    ~count:500
+    QCheck2.Gen.(triple gen gen gen)
+    (fun (a, b, c) ->
+      let ab = Value.compare a b and ba = Value.compare b a in
+      let antisym = compare ab (-ba) = 0 in
+      let trans =
+        if Value.compare a b <= 0 && Value.compare b c <= 0 then Value.compare a c <= 0
+        else true
+      in
+      antisym && trans)
+
+let suite =
+  [
+    Alcotest.test_case "compare within type" `Quick test_compare_same_type;
+    Alcotest.test_case "compare across types" `Quick test_compare_cross_type;
+    Alcotest.test_case "equal and hash" `Quick test_equal_and_hash;
+    Alcotest.test_case "size_bytes" `Quick test_size_bytes;
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "to_string" `Quick test_to_string;
+    QCheck_alcotest.to_alcotest prop_compare_total_order;
+  ]

@@ -1,0 +1,109 @@
+(* Snapshot + redo-log recovery: a catalog that crashes after N
+   transactions is reconstructed exactly from its last snapshot plus
+   the log. *)
+
+open Minirel_storage
+open Minirel_query
+module Catalog = Minirel_index.Catalog
+module Snapshot = Minirel_index.Snapshot
+module Txn = Minirel_txn.Txn
+module Wal = Minirel_txn.Wal
+
+let check = Alcotest.check
+let vi i = Value.Int i
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let contents catalog rel =
+  Heap_file.fold (Catalog.heap catalog rel) (fun acc _ t -> t :: acc) []
+
+let test_recovery () =
+  let snap_file = tmp "pmv_wal_snap.db" and log_file = tmp "pmv_wal_log.db" in
+  if Sys.file_exists log_file then Sys.remove log_file;
+  (* live system: snapshot, then logged transactions *)
+  let catalog = Helpers.fresh_catalog () in
+  Helpers.build_rs ~n_r:40 ~n_s:25 catalog;
+  Snapshot.save catalog ~filename:snap_file;
+  let mgr = Txn.create catalog in
+  let wal = Wal.open_log ~filename:log_file in
+  Wal.attach wal mgr;
+  ignore
+    (Txn.run mgr
+       [
+         Txn.Insert { rel = "r"; tuple = [| vi 900; vi 3; vi 1; Value.Str "with space" |] };
+         Txn.Delete { rel = "s"; pred = Predicate.Cmp (Predicate.Eq, 1, vi 2) };
+         Txn.Update
+           { rel = "r"; pred = Predicate.Cmp (Predicate.Eq, 2, vi 5); set = [ (2, vi 55) ] };
+       ]);
+  ignore
+    (Txn.run mgr
+       [ Txn.Insert { rel = "s"; tuple = [| vi 9; vi 9; vi 999 |] } ]);
+  Wal.close wal;
+  (* "crash": rebuild from snapshot + log *)
+  let pool = Buffer_pool.create ~capacity:2_000 () in
+  let recovered = Snapshot.load ~pool ~filename:snap_file in
+  let applied = Wal.replay recovered ~filename:log_file in
+  check Alcotest.bool "changes replayed" true (applied >= 5);
+  List.iter
+    (fun rel ->
+      check Alcotest.bool (rel ^ " recovered exactly") true
+        (Helpers.same_multiset (contents catalog rel) (contents recovered rel)))
+    [ "r"; "s" ];
+  (* recovered catalog serves PMV queries *)
+  let compiled = Template.compile recovered Helpers.eqt_spec in
+  let view = Pmv.View.create ~capacity:20 ~f_max:2 ~name:"rec" compiled in
+  let inst = Instance.make compiled [| Instance.Dvalues [ vi 1 ]; Instance.Dvalues [ vi 1 ] |] in
+  let out = ref [] in
+  let _ = Pmv.Answer.answer ~view recovered inst ~on_tuple:(fun _ t -> out := t :: !out) in
+  check Alcotest.bool "recovered answers correct" true
+    (Helpers.same_multiset !out (Helpers.brute_force_answer recovered inst));
+  Sys.remove snap_file;
+  Sys.remove log_file
+
+let test_detach_stops_logging () =
+  let log_file = tmp "pmv_wal_detach.db" in
+  if Sys.file_exists log_file then Sys.remove log_file;
+  let catalog = Helpers.fresh_catalog () in
+  Helpers.build_rs ~n_r:5 ~n_s:5 catalog;
+  let mgr = Txn.create catalog in
+  let wal = Wal.open_log ~filename:log_file in
+  Wal.attach wal mgr;
+  ignore (Txn.run mgr [ Txn.Insert { rel = "s"; tuple = [| vi 1; vi 1; vi 500 |] } ]);
+  Wal.detach wal mgr;
+  ignore (Txn.run mgr [ Txn.Insert { rel = "s"; tuple = [| vi 1; vi 1; vi 501 |] } ]);
+  Wal.close wal;
+  let ic = open_in log_file in
+  let lines = ref 0 in
+  (try
+     while true do
+       ignore (input_line ic);
+       incr lines
+     done
+   with End_of_file -> close_in ic);
+  check Alcotest.int "only the attached txn logged" 1 !lines;
+  Sys.remove log_file
+
+let test_corrupt_log () =
+  let log_file = tmp "pmv_wal_corrupt.db" in
+  let oc = open_out log_file in
+  output_string oc "zap r i1\n";
+  close_out oc;
+  let catalog = Helpers.fresh_catalog () in
+  Helpers.build_rs ~n_r:5 ~n_s:5 catalog;
+  (match Wal.replay catalog ~filename:log_file with
+  | _ -> Alcotest.fail "corrupt log accepted"
+  | exception Wal.Corrupt _ -> ());
+  (* a delete with no victim is a mismatch *)
+  let oc = open_out log_file in
+  output_string oc "del s i999\ti999\ti999\n";
+  close_out oc;
+  (match Wal.replay catalog ~filename:log_file with
+  | _ -> Alcotest.fail "mismatched delete accepted"
+  | exception Wal.Corrupt _ -> ());
+  Sys.remove log_file
+
+let suite =
+  [
+    Alcotest.test_case "snapshot + log recovery" `Quick test_recovery;
+    Alcotest.test_case "detach stops logging" `Quick test_detach_stops_logging;
+    Alcotest.test_case "corrupt log rejected" `Quick test_corrupt_log;
+  ]

@@ -1,0 +1,179 @@
+open Minirel_storage
+open Minirel_query
+module Split_mix = Minirel_workload.Split_mix
+module Zipf = Minirel_workload.Zipf
+module Tpcr = Minirel_workload.Tpcr
+module Querygen = Minirel_workload.Querygen
+module Catalog = Minirel_index.Catalog
+
+let check = Alcotest.check
+
+let test_split_mix_deterministic () =
+  let a = Split_mix.create ~seed:1 and b = Split_mix.create ~seed:1 in
+  for _ = 1 to 50 do
+    check Alcotest.int "same stream" (Split_mix.int a ~bound:1000) (Split_mix.int b ~bound:1000)
+  done;
+  let c = Split_mix.create ~seed:2 in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Split_mix.int a ~bound:1000 <> Split_mix.int c ~bound:1000 then differs := true
+  done;
+  check Alcotest.bool "different seeds differ" true !differs
+
+let test_split_mix_ranges () =
+  let rng = Split_mix.create ~seed:3 in
+  for _ = 1 to 500 do
+    let x = Split_mix.int rng ~bound:10 in
+    check Alcotest.bool "bound respected" true (x >= 0 && x < 10);
+    let y = Split_mix.int_range rng ~lo:5 ~hi:7 in
+    check Alcotest.bool "range respected" true (y >= 5 && y <= 7);
+    let f = Split_mix.float rng in
+    check Alcotest.bool "unit float" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_distinct () =
+  let rng = Split_mix.create ~seed:4 in
+  let xs = Split_mix.distinct rng ~n:20 (fun r -> Split_mix.int r ~bound:25) in
+  check Alcotest.int "got n" 20 (List.length xs);
+  check Alcotest.int "distinct" 20 (List.length (List.sort_uniq Int.compare xs))
+
+let test_zipf_pmf () =
+  let z = Zipf.create ~n:1000 ~alpha:1.07 in
+  let total = ref 0.0 in
+  for i = 0 to 999 do
+    total := !total +. Zipf.pmf z i
+  done;
+  check Alcotest.bool "pmf sums to 1" true (abs_float (!total -. 1.0) < 1e-9);
+  check Alcotest.bool "monotone decreasing" true (Zipf.pmf z 0 > Zipf.pmf z 1);
+  check Alcotest.bool "rank 0 heaviest" true (Zipf.pmf z 0 > Zipf.pmf z 500)
+
+let test_zipf_skew_matches_paper () =
+  (* Section 4.1: alpha = 1.07 -> ~10% of 1M bcps hold 90% of the mass;
+     alpha = 1.01 -> ~21%. Tolerances are loose: the statement is about
+     orders of concentration, and we run it at the paper's n. *)
+  let hot_frac alpha =
+    let z = Zipf.create ~n:1_000_000 ~alpha in
+    float_of_int (Zipf.ranks_holding z ~mass:0.9) /. 1_000_000.0
+  in
+  let f107 = hot_frac 1.07 and f101 = hot_frac 1.01 in
+  check Alcotest.bool "alpha=1.07 around 10%" true (f107 > 0.05 && f107 < 0.16);
+  check Alcotest.bool "alpha=1.01 around 21%" true (f101 > 0.14 && f101 < 0.30);
+  check Alcotest.bool "higher skew concentrates more" true (f107 < f101)
+
+let test_zipf_sampling () =
+  let z = Zipf.create ~n:100 ~alpha:1.07 in
+  let rng = Split_mix.create ~seed:5 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 20_000 do
+    let r = Zipf.sample z rng in
+    counts.(r) <- counts.(r) + 1
+  done;
+  check Alcotest.bool "rank 0 sampled most" true
+    (counts.(0) > counts.(10) && counts.(0) > counts.(50));
+  (* empirical mass of rank 0 within 20% of pmf *)
+  let emp = float_of_int counts.(0) /. 20_000.0 in
+  check Alcotest.bool "empirical close to pmf" true
+    (abs_float (emp -. Zipf.pmf z 0) < 0.2 *. Zipf.pmf z 0)
+
+let test_tpcr_generation () =
+  let catalog = Helpers.fresh_catalog () in
+  let params = Tpcr.params_for_scale 0.002 in
+  let counts = Tpcr.generate catalog params in
+  check Alcotest.int "customers" 300 counts.Tpcr.customers;
+  check Alcotest.int "orders = 10x" 3000 counts.Tpcr.orders;
+  check Alcotest.int "lineitems = 4x orders" 12_000 counts.Tpcr.lineitems;
+  check Alcotest.int "customer heap" 300
+    (Heap_file.n_tuples (Catalog.heap catalog "customer"));
+  check Alcotest.int "lineitem heap" 12_000
+    (Heap_file.n_tuples (Catalog.heap catalog "lineitem"));
+  (* join fanouts are exact in this generator *)
+  let orders_per_cust = Hashtbl.create 64 in
+  Heap_file.iter (Catalog.heap catalog "orders") (fun _ t ->
+      let ck = Value.int_exn t.(1) in
+      Hashtbl.replace orders_per_cust ck (1 + Option.value ~default:0 (Hashtbl.find_opt orders_per_cust ck)));
+  Hashtbl.iter (fun _ n -> check Alcotest.int "10 orders per customer" 10 n) orders_per_cust;
+  (* every selection/join attribute is indexed *)
+  List.iter
+    (fun (rel, attr) ->
+      check Alcotest.bool (rel ^ "." ^ attr ^ " indexed") true
+        (Catalog.index_on catalog ~rel ~attrs:[ attr ] <> None))
+    [
+      ("orders", "orderkey"); ("orders", "orderdate"); ("orders", "custkey");
+      ("lineitem", "orderkey"); ("lineitem", "suppkey");
+      ("customer", "custkey"); ("customer", "nationkey");
+    ]
+
+let test_table1 () =
+  let rows = Tpcr.table1 ~scale:1.0 () in
+  (match rows with
+  | [ c; o; l ] ->
+      check Alcotest.int "customer tuples" 150_000 c.Tpcr.tuples;
+      check Alcotest.int "orders tuples" 1_500_000 o.Tpcr.tuples;
+      check Alcotest.int "lineitem tuples" 6_000_000 l.Tpcr.tuples;
+      check (Alcotest.float 1e-6) "customer MB" 23.0 c.Tpcr.nominal_mb;
+      check (Alcotest.float 1e-6) "orders MB" 114.0 o.Tpcr.nominal_mb;
+      check (Alcotest.float 1e-6) "lineitem MB" 755.0 l.Tpcr.nominal_mb
+  | _ -> Alcotest.fail "three rows");
+  (* scale 0.5 and 2 from the paper's sweep *)
+  let half = List.hd (Tpcr.table1 ~scale:0.5 ()) in
+  check Alcotest.int "s=0.5 customers" 75_000 half.Tpcr.tuples
+
+let test_querygen_t1 () =
+  let catalog = Helpers.fresh_catalog () in
+  let params = Tpcr.params_for_scale 0.002 in
+  ignore (Tpcr.generate catalog params);
+  let c = Template.compile catalog Querygen.t1_spec in
+  let dz = Zipf.create ~n:params.Tpcr.n_dates ~alpha:1.07 in
+  let sz = Zipf.create ~n:params.Tpcr.n_suppliers ~alpha:1.07 in
+  let rng = Split_mix.create ~seed:6 in
+  let inst = Querygen.gen_t1 c ~dates_zipf:dz ~supp_zipf:sz ~e:2 ~f:3 rng in
+  check Alcotest.int "h = e*f" 6 (Condition_part.combination_factor inst);
+  match Instance.params inst with
+  | [| Instance.Dvalues dates; Instance.Dvalues supps |] ->
+      check Alcotest.int "e dates" 2 (List.length dates);
+      check Alcotest.int "f suppliers" 3 (List.length supps);
+      List.iter
+        (fun v ->
+          let d = Value.int_exn v in
+          check Alcotest.bool "date in domain" true (d >= 1 && d <= params.Tpcr.n_dates))
+        dates
+  | _ -> Alcotest.fail "parameter shape"
+
+let test_querygen_t2 () =
+  let catalog = Helpers.fresh_catalog () in
+  let params = Tpcr.params_for_scale 0.002 in
+  ignore (Tpcr.generate catalog params);
+  let c = Template.compile catalog Querygen.t2_spec in
+  let z n = Zipf.create ~n ~alpha:1.07 in
+  let rng = Split_mix.create ~seed:7 in
+  let inst =
+    Querygen.gen_t2 c ~dates_zipf:(z params.Tpcr.n_dates)
+      ~supp_zipf:(z params.Tpcr.n_suppliers) ~nation_zipf:(z params.Tpcr.n_nations) ~e:2
+      ~f:2 ~g:2 rng
+  in
+  check Alcotest.int "h = e*f*g" 8 (Condition_part.combination_factor inst)
+
+let test_draw_intervals_disjoint () =
+  let grid = Discretize.equal_width ~lo:0 ~hi:1000 ~bins:50 in
+  let z = Zipf.create ~n:50 ~alpha:1.07 in
+  let rng = Split_mix.create ~seed:8 in
+  for _ = 1 to 30 do
+    let ivs = Querygen.draw_intervals grid z rng ~count:4 ~span:2 in
+    check Alcotest.int "four intervals" 4 (List.length ivs);
+    check Alcotest.bool "disjoint" true (Interval.pairwise_disjoint ivs)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "splitmix deterministic" `Quick test_split_mix_deterministic;
+    Alcotest.test_case "splitmix ranges" `Quick test_split_mix_ranges;
+    Alcotest.test_case "distinct draws" `Quick test_distinct;
+    Alcotest.test_case "zipf pmf" `Quick test_zipf_pmf;
+    Alcotest.test_case "zipf skew (paper numbers)" `Slow test_zipf_skew_matches_paper;
+    Alcotest.test_case "zipf sampling" `Quick test_zipf_sampling;
+    Alcotest.test_case "tpcr generation" `Quick test_tpcr_generation;
+    Alcotest.test_case "table 1" `Quick test_table1;
+    Alcotest.test_case "querygen t1" `Quick test_querygen_t1;
+    Alcotest.test_case "querygen t2" `Quick test_querygen_t2;
+    Alcotest.test_case "interval drawing disjoint" `Quick test_draw_intervals_disjoint;
+  ]
