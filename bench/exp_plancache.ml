@@ -1,0 +1,160 @@
+(* Plan cache + executor fast path benchmark.
+
+   Measures answer() throughput and first-partial latency over a TPC-R
+   template mix (T1: orders ⋈ lineitem, T2: + customer) with the
+   template plan cache on vs off. To expose the fast path the
+   customer_custkey index is dropped after data generation: with the
+   cache off the orders→customer edge of T2 plans as a naive nested
+   loop (full customer heap scan per outer tuple); with the cache on
+   the bound skeleton emits a hash join whose build side is read once
+   per query. T1 plans identically in both modes, so the mix measures
+   an honest blend, not a pure worst case.
+
+   Both modes run the same seeds against freshly generated data; the
+   result-multiset checksums must agree. Results are printed and written
+   to BENCH_plancache.json in the working directory. *)
+
+open Minirel_storage
+module Catalog = Minirel_index.Catalog
+module Template = Minirel_query.Template
+module Plan_cache = Minirel_exec.Plan_cache
+module Tpcr = Minirel_workload.Tpcr
+module Querygen = Minirel_workload.Querygen
+module Zipf = Minirel_workload.Zipf
+module SM = Minirel_workload.Split_mix
+
+type cfg = { full : bool; seed : int; scale : float option }
+
+type mode_result = {
+  mode : string;
+  queries : int;
+  wall_ns : int64;
+  qps : float;
+  p50_first_partial_ns : int64;  (* -1 when no query produced partials *)
+  p99_first_partial_ns : int64;
+  partial_queries : int;  (* queries that streamed >= 1 tuple from the PMV *)
+  total_tuples : int;
+  checksum : int;  (* order-independent result-multiset hash *)
+  cache : Plan_cache.counters;
+}
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> -1L
+  | n ->
+      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
+      sorted.(max 0 (min (n - 1) rank))
+
+(* One full pass: fresh data, fresh views, same query stream. *)
+let run_mode cfg ~scale ~enabled =
+  let pool = Buffer_pool.create ~capacity:4_000 () in
+  let catalog = Catalog.create pool in
+  let params = Tpcr.params_for_scale ~seed:cfg.seed scale in
+  ignore (Tpcr.generate catalog params);
+  (* no index on the T2 orders→customer join edge: the uncached planner
+     must fall back to a naive nested loop there *)
+  Catalog.drop_index catalog ~rel:"customer" ~name:"customer_custkey";
+  let t1 = Template.compile catalog Querygen.t1_spec in
+  let t2 = Template.compile catalog Querygen.t2_spec in
+  let manager = Pmv.Manager.create catalog in
+  Plan_cache.set_enabled (Pmv.Manager.plan_cache manager) enabled;
+  ignore (Pmv.Manager.create_view ~capacity:2_000 ~f_max:3 manager t1);
+  ignore (Pmv.Manager.create_view ~capacity:2_000 ~f_max:3 manager t2);
+  let dz = Zipf.create ~n:params.Tpcr.n_dates ~alpha:1.07 in
+  let sz = Zipf.create ~n:params.Tpcr.n_suppliers ~alpha:1.07 in
+  let nz = Zipf.create ~n:params.Tpcr.n_nations ~alpha:1.07 in
+  let gen rng i =
+    (* alternate T1 and T2 *)
+    if i mod 2 = 0 then Querygen.gen_t1 t1 ~dates_zipf:dz ~supp_zipf:sz ~e:2 ~f:2 rng
+    else Querygen.gen_t2 t2 ~dates_zipf:dz ~supp_zipf:sz ~nation_zipf:nz ~e:3 ~f:2 ~g:2 rng
+  in
+  let answer inst ~checksum ~tuples =
+    Pmv.Manager.answer manager inst ~on_tuple:(fun _ tuple ->
+        incr tuples;
+        checksum := !checksum + Tuple.hash tuple)
+  in
+  (* warmup: fill the PMVs (and the plan cache, when enabled) *)
+  let warm_rng = SM.create ~seed:(cfg.seed + 1) in
+  let sink = ref 0 and nsink = ref 0 in
+  let n_warm = if cfg.full then 160 else 80 in
+  for i = 0 to n_warm - 1 do
+    ignore (answer (gen warm_rng i) ~checksum:sink ~tuples:nsink)
+  done;
+  (* timed mix *)
+  let n_queries = if cfg.full then 1_280 else 640 in
+  let rng = SM.create ~seed:(cfg.seed + 2) in
+  let instances = List.init n_queries (gen rng) in
+  let checksum = ref 0 and total_tuples = ref 0 and partial_queries = ref 0 in
+  let first_partials = ref [] in
+  let t0 = Monotonic_clock.now () in
+  List.iter
+    (fun inst ->
+      let stats, _ = answer inst ~checksum ~tuples:total_tuples in
+      match stats.Pmv.Answer.first_partial_ns with
+      | Some ns ->
+          incr partial_queries;
+          first_partials := ns :: !first_partials
+      | None -> ())
+    instances;
+  let wall_ns = Int64.sub (Monotonic_clock.now ()) t0 in
+  let sorted = Array.of_list !first_partials in
+  Array.sort Int64.compare sorted;
+  {
+    mode = (if enabled then "on" else "off");
+    queries = n_queries;
+    wall_ns;
+    qps = float_of_int n_queries /. (Int64.to_float wall_ns /. 1e9);
+    p50_first_partial_ns = percentile sorted 50.0;
+    p99_first_partial_ns = percentile sorted 99.0;
+    partial_queries = !partial_queries;
+    total_tuples = !total_tuples;
+    checksum = !checksum;
+    cache = Plan_cache.counters (Pmv.Manager.plan_cache manager);
+  }
+
+let json_of_mode r =
+  Fmt.str
+    {|{"queries": %d, "wall_ns": %Ld, "queries_per_sec": %.1f, "p50_first_partial_ns": %Ld, "p99_first_partial_ns": %Ld, "partial_queries": %d, "total_tuples": %d, "checksum": %d, "cache": {"hits": %d, "misses": %d, "invalidations": %d, "fallbacks": %d}}|}
+    r.queries r.wall_ns r.qps r.p50_first_partial_ns r.p99_first_partial_ns
+    r.partial_queries r.total_tuples r.checksum r.cache.Plan_cache.hits
+    r.cache.Plan_cache.misses r.cache.Plan_cache.invalidations r.cache.Plan_cache.fallbacks
+
+let run cfg =
+  Output.header ~id:"Plancache"
+    ~title:"answer() throughput with the template plan cache on vs off"
+    ~paper:"(extension) O2/O3 fast path: skeleton binding + hash-join fallback";
+  let scale = Option.value cfg.scale ~default:(if cfg.full then 0.02 else 0.005) in
+  let off = run_mode cfg ~scale ~enabled:false in
+  let on = run_mode cfg ~scale ~enabled:true in
+  if on.checksum <> off.checksum || on.total_tuples <> off.total_tuples then
+    Fmt.epr "WARNING: cached and uncached runs disagree (%d/%d tuples, %d/%d checksum)@."
+      on.total_tuples off.total_tuples on.checksum off.checksum;
+  let speedup = on.qps /. off.qps in
+  Output.row "%-6s %-9s %-12s %-14s %-14s %-18s@." "cache" "queries" "queries/s"
+    "p50 1st-part" "p99 1st-part" "hits/misses";
+  List.iter
+    (fun r ->
+      Output.row "%-6s %-9d %-12.1f %-14s %-14s %d/%d@." r.mode r.queries r.qps
+        (Fmt.str "%.1f µs" (Int64.to_float r.p50_first_partial_ns /. 1e3))
+        (Fmt.str "%.1f µs" (Int64.to_float r.p99_first_partial_ns /. 1e3))
+        r.cache.Plan_cache.hits r.cache.Plan_cache.misses)
+    [ off; on ];
+  Output.row "speedup (mix throughput, on/off): %.2fx@." speedup;
+  let json =
+    Fmt.str
+      {|{
+  "experiment": "plancache",
+  "scale": %g,
+  "seed": %d,
+  "mix": "1:1 t1:t2 alternating, t1 e=f=2, t2 e=3 f=g=2",
+  "off": %s,
+  "on": %s,
+  "speedup": %.3f
+}
+|}
+      scale cfg.seed (json_of_mode off) (json_of_mode on) speedup
+  in
+  let oc = open_out "BENCH_plancache.json" in
+  output_string oc json;
+  close_out oc;
+  Output.row "wrote BENCH_plancache.json@."

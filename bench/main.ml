@@ -29,6 +29,7 @@ let experiments ~full ~seed ~scale =
     ("ablation-interval", fun () -> Exp_overhead.ablation_interval ov);
     ("sens-warmup", fun () -> Exp_sim.sens_warmup sim);
     ("micro", fun () -> Exp_micro.run ());
+    ("plancache", fun () -> Exp_plancache.run { Exp_plancache.full; seed; scale });
   ]
 
 let run full scale seed names =
@@ -76,7 +77,7 @@ let names =
     & info [] ~docv:"EXPERIMENT"
         ~doc:
           "Experiments to run: table1 fig6 fig7 fig8 fig9 fig10 fig11 fig12 \
-           maintain-measured ablation-policy ablation-aux ablation-f ablation-drift ablation-interval sens-warmup micro. \
+           maintain-measured ablation-policy ablation-aux ablation-f ablation-drift ablation-interval sens-warmup micro plancache. \
            Default: all.")
 
 let cmd =

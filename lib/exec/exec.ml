@@ -1,0 +1,4 @@
+(* Namespaced entry points for executor instrumentation: [Exec.Stats]
+   is the per-operator profile collected by [Executor.cursor ~profile]. *)
+
+module Stats = Exec_stats

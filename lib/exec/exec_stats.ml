@@ -1,0 +1,49 @@
+(* Per-operator executor counters. A profile is created per traced
+   query; building a cursor with one registers a node per plan operator
+   (pre-order), and every pull through that operator is counted and
+   timed. Times are inclusive: an operator's ns contains its children's,
+   so the root row approximates the whole drain.
+
+   Profiles are opt-in — the executor adds no instrumentation when no
+   profile is supplied — so the hot path pays nothing for them. *)
+
+type node = {
+  id : int;  (* pre-order position in the plan *)
+  label : string;  (* operator name, e.g. "inlj(lineitem.lineitem_orderkey)" *)
+  mutable rows_out : int;  (* tuples this operator produced *)
+  mutable ns : int64;  (* inclusive wall time spent inside pulls *)
+}
+
+type t = { mutable rev_nodes : node list; mutable next_id : int }
+
+let create () = { rev_nodes = []; next_id = 0 }
+
+let register t label =
+  let node = { id = t.next_id; label; rows_out = 0; ns = 0L } in
+  t.next_id <- t.next_id + 1;
+  t.rev_nodes <- node :: t.rev_nodes;
+  node
+
+(* Nodes in plan pre-order. *)
+let nodes t = List.rev t.rev_nodes
+
+let clear t =
+  t.rev_nodes <- [];
+  t.next_id <- 0
+
+(* Wrap a cursor so every pull updates [node]. *)
+let instrument node (cursor : unit -> 'a option) : unit -> 'a option =
+ fun () ->
+  let t0 = Monotonic_clock.now () in
+  let result = cursor () in
+  node.ns <- Int64.add node.ns (Int64.sub (Monotonic_clock.now ()) t0);
+  (match result with Some _ -> node.rows_out <- node.rows_out + 1 | None -> ());
+  result
+
+let pp_node ppf n =
+  Fmt.pf ppf "#%-3d %-40s %8d rows %10.1f us" n.id n.label n.rows_out
+    (Int64.to_float n.ns /. 1e3)
+
+let pp ppf t =
+  Fmt.pf ppf "%-4s %-40s %13s %13s@." "op" "operator" "rows out" "time (incl)";
+  List.iter (fun n -> Fmt.pf ppf "%a@." pp_node n) (nodes t)

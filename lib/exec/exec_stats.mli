@@ -1,0 +1,29 @@
+(** Per-operator executor counters (rows out, inclusive ns), collected
+    when a profile is passed to {!Executor.cursor}. Without a profile
+    the executor is uninstrumented and pays nothing. *)
+
+type node = {
+  id : int;  (** pre-order position in the plan *)
+  label : string;  (** operator name *)
+  mutable rows_out : int;  (** tuples produced *)
+  mutable ns : int64;  (** inclusive wall time inside pulls *)
+}
+
+type t
+
+val create : unit -> t
+
+(** Add a node for one plan operator; the executor calls this while
+    building cursors. *)
+val register : t -> string -> node
+
+(** Nodes in plan pre-order. *)
+val nodes : t -> node list
+
+val clear : t -> unit
+
+(** Wrap a cursor so every pull updates [node]. *)
+val instrument : node -> (unit -> 'a option) -> unit -> 'a option
+
+val pp_node : node Fmt.t
+val pp : t Fmt.t

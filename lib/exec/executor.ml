@@ -1,7 +1,12 @@
 (* Plan interpreter: compiles a [Plan.t] into a pull cursor against a
    catalog. Heap fetches and index node visits are charged to the
    catalog's buffer pool, so [Io_stats] diffs around a cursor drain give
-   the simulated I/O cost of the query. *)
+   the simulated I/O cost of the query.
+
+   The drains avoid intermediate lists: Scan refills a reusable array
+   batch per page, and the index access paths stream rids straight into
+   heap fetches. Passing [profile] wraps every operator with row/time
+   counters (Exec_stats); without it the cursors are uninstrumented. *)
 
 open Minirel_storage
 open Minirel_query
@@ -12,11 +17,6 @@ let find_index catalog ~rel ~name =
   match List.find_opt (fun ix -> Index.name ix = name) (Catalog.indexes catalog rel) with
   | Some ix -> ix
   | None -> invalid_arg (Fmt.str "Executor: no index %s on %s" name rel)
-
-(* Fetch the tuples for a rid list, dropping rids whose slot has been
-   emptied between index lookup and fetch (cannot happen inside one
-   query, but keeps the engine robust during maintenance replays). *)
-let fetch_all heap rids = List.filter_map (fun rid -> Heap_file.fetch heap rid) rids
 
 (* --- aggregate machinery for the Aggregate node --- *)
 
@@ -63,60 +63,134 @@ let agg_finish st =
   | Plan.Min_of _ -> Option.value ~default:Value.Null st.min_a
   | Plan.Max_of _ -> Option.value ~default:Value.Null st.max_a
 
-let rec cursor catalog (plan : Plan.t) : Tuple.t Cursor.t =
+let label = function
+  | Plan.Literal ts -> Fmt.str "literal(%d)" (List.length ts)
+  | Plan.Scan { rel; _ } -> Fmt.str "scan(%s)" rel
+  | Plan.Index_lookup { rel; index; _ } -> Fmt.str "ixlookup(%s.%s)" rel index
+  | Plan.Index_range { rel; index; _ } -> Fmt.str "ixrange(%s.%s)" rel index
+  | Plan.Inlj { rel; index; _ } -> Fmt.str "inlj(%s.%s)" rel index
+  | Plan.Nlj { rel; _ } -> Fmt.str "nlj(%s)" rel
+  | Plan.Hash_join { rel; _ } -> Fmt.str "hashjoin(%s)" rel
+  | Plan.Filter _ -> "filter"
+  | Plan.Project _ -> "project"
+  | Plan.Sort _ -> "sort"
+  | Plan.Limit (n, _) -> Fmt.str "limit(%d)" n
+  | Plan.Aggregate _ -> "aggregate"
+
+let rec cursor ?profile catalog (plan : Plan.t) : Tuple.t Cursor.t =
+  (* register before recursing so profile nodes appear in plan pre-order *)
+  let node = Option.map (fun p -> Exec_stats.register p (label plan)) profile in
+  let c = build ?profile catalog plan in
+  match node with None -> c | Some n -> Exec_stats.instrument n c
+
+and build ?profile catalog (plan : Plan.t) : Tuple.t Cursor.t =
   match plan with
   | Plan.Literal ts -> Cursor.of_list ts
   | Plan.Scan { rel; pred } ->
       let heap = Catalog.heap catalog rel in
-      (* stream page by page; page count snapshot keeps the cursor
-         insensitive to pages appended while it is drained *)
+      (* page by page through a reusable array batch; the page count
+         snapshot keeps the cursor insensitive to pages appended while
+         it is drained *)
       let n_pages = Heap_file.n_pages heap in
       let page = ref 0 in
-      let buffered = ref [] in
+      let buf = ref (Array.make 64 ([||] : Tuple.t)) in
+      let len = ref 0 and pos = ref 0 in
+      let stash t =
+        if !len >= Array.length !buf then begin
+          let bigger = Array.make (2 * Array.length !buf) ([||] : Tuple.t) in
+          Array.blit !buf 0 bigger 0 !len;
+          buf := bigger
+        end;
+        !buf.(!len) <- t;
+        incr len
+      in
       let rec next () =
-        match !buffered with
-        | t :: tl ->
-            buffered := tl;
-            if Predicate.eval pred t then Some t else next ()
-        | [] ->
-            if !page >= n_pages then None
-            else begin
-              let p = !page in
-              incr page;
-              let acc = ref [] in
-              Heap_file.iter_page heap p (fun _rid t -> acc := t :: !acc);
-              buffered := List.rev !acc;
-              next ()
-            end
+        if !pos < !len then begin
+          let t = !buf.(!pos) in
+          incr pos;
+          if Predicate.eval pred t then Some t else next ()
+        end
+        else if !page >= n_pages then None
+        else begin
+          let p = !page in
+          incr page;
+          len := 0;
+          pos := 0;
+          Heap_file.iter_page heap p (fun _rid t -> stash t);
+          next ()
+        end
       in
       next
   | Plan.Index_lookup { rel; index; keys; pred } ->
       let heap = Catalog.heap catalog rel in
       let ix = find_index catalog ~rel ~name:index in
-      Cursor.of_list keys
-      |> Cursor.concat_map_list (fun key -> fetch_all heap (Index.find ix key))
-      |> Cursor.filter (Predicate.eval pred)
+      let remaining = ref keys in
+      let pending = ref [] in
+      let rec next () =
+        match !pending with
+        | rid :: rest -> (
+            pending := rest;
+            match Heap_file.fetch heap rid with
+            | Some t when Predicate.eval pred t -> Some t
+            | Some _ | None -> next ())
+        | [] -> (
+            match !remaining with
+            | [] -> None
+            | key :: rest ->
+                remaining := rest;
+                pending := Index.find ix key;
+                next ())
+      in
+      next
   | Plan.Index_range { rel; index; ranges; pred } ->
       let heap = Catalog.heap catalog rel in
       let ix = find_index catalog ~rel ~name:index in
-      Cursor.of_list ranges
-      |> Cursor.concat_map_list (fun (lo, hi) ->
-             let rids = ref [] in
-             Index.range ix ~lo ~hi (fun _key krids -> rids := krids :: !rids);
-             fetch_all heap (List.concat (List.rev !rids)))
-      |> Cursor.filter (Predicate.eval pred)
+      let remaining = ref ranges in
+      let pending = ref [] in
+      let rec next () =
+        match !pending with
+        | rid :: rest -> (
+            pending := rest;
+            match Heap_file.fetch heap rid with
+            | Some t when Predicate.eval pred t -> Some t
+            | Some _ | None -> next ())
+        | [] -> (
+            match !remaining with
+            | [] -> None
+            | (lo, hi) :: rest ->
+                remaining := rest;
+                let rids = ref [] in
+                Index.range ix ~lo ~hi (fun _key krids -> rids := krids :: !rids);
+                pending := List.concat (List.rev !rids);
+                next ())
+      in
+      next
   | Plan.Inlj { outer; rel; index; outer_key; pred } ->
       let heap = Catalog.heap catalog rel in
       let ix = find_index catalog ~rel ~name:index in
-      cursor catalog outer
-      |> Cursor.concat_map_list (fun outer_t ->
-             let key = Tuple.project outer_t outer_key in
-             fetch_all heap (Index.find ix key)
-             |> List.filter (Predicate.eval pred)
-             |> List.map (fun inner_t -> Tuple.concat outer_t inner_t))
+      let out = cursor ?profile catalog outer in
+      let current = ref ([||] : Tuple.t) in
+      let pending = ref [] in
+      let rec next () =
+        match !pending with
+        | rid :: rest -> (
+            pending := rest;
+            match Heap_file.fetch heap rid with
+            | Some inner_t when Predicate.eval pred inner_t ->
+                Some (Tuple.concat !current inner_t)
+            | Some _ | None -> next ())
+        | [] -> (
+            match out () with
+            | None -> None
+            | Some outer_t ->
+                current := outer_t;
+                pending := Index.find ix (Tuple.project outer_t outer_key);
+                next ())
+      in
+      next
   | Plan.Nlj { outer; rel; eq; pred } ->
       let heap = Catalog.heap catalog rel in
-      cursor catalog outer
+      cursor ?profile catalog outer
       |> Cursor.concat_map_list (fun outer_t ->
              let matches = ref [] in
              Heap_file.iter heap (fun _rid inner_t ->
@@ -127,9 +201,51 @@ let rec cursor catalog (plan : Plan.t) : Tuple.t Cursor.t =
                         eq
                  then matches := Tuple.concat outer_t inner_t :: !matches);
              List.rev !matches)
-  | Plan.Filter (pred, inner) -> Cursor.filter (Predicate.eval pred) (cursor catalog inner)
+  | Plan.Hash_join { outer; rel; outer_key; inner_key; pred } ->
+      let heap = Catalog.heap catalog rel in
+      (* build side hashed once per cursor open, on the first pull so
+         upstream I/O is charged when the join runs; buckets keep heap
+         order, so results match the Nlj fallback exactly *)
+      let table =
+        lazy
+          (let tbl : Tuple.t list ref Tuple.Table.t = Tuple.Table.create 1024 in
+           Heap_file.iter heap (fun _rid inner_t ->
+               if Predicate.eval pred inner_t then begin
+                 let key = Tuple.project inner_t inner_key in
+                 match Tuple.Table.find_opt tbl key with
+                 | Some bucket -> bucket := inner_t :: !bucket
+                 | None -> Tuple.Table.replace tbl key (ref [ inner_t ])
+               end);
+           Tuple.Table.iter (fun _ bucket -> bucket := List.rev !bucket) tbl;
+           tbl)
+      in
+      let out = cursor ?profile catalog outer in
+      let current = ref ([||] : Tuple.t) in
+      let pending = ref [] in
+      let rec next () =
+        match !pending with
+        | inner_t :: rest ->
+            pending := rest;
+            Some (Tuple.concat !current inner_t)
+        | [] -> (
+            match out () with
+            | None -> None
+            | Some outer_t ->
+                current := outer_t;
+                (pending :=
+                   match
+                     Tuple.Table.find_opt (Lazy.force table)
+                       (Tuple.project outer_t outer_key)
+                   with
+                   | Some bucket -> !bucket
+                   | None -> []);
+                next ())
+      in
+      next
+  | Plan.Filter (pred, inner) ->
+      Cursor.filter (Predicate.eval pred) (cursor ?profile catalog inner)
   | Plan.Project (positions, inner) ->
-      Cursor.map (fun t -> Tuple.project t positions) (cursor catalog inner)
+      Cursor.map (fun t -> Tuple.project t positions) (cursor ?profile catalog inner)
   | Plan.Sort { keys; desc; input } ->
       (* blocking: drain, sort, stream. Materialisation is delayed until
          the first pull so upstream I/O is charged when the sort runs. *)
@@ -138,7 +254,7 @@ let rec cursor catalog (plan : Plan.t) : Tuple.t Cursor.t =
         let c = Tuple.compare (Tuple.project a keys) (Tuple.project b keys) in
         if desc then -c else c
       in
-      let inner = cursor catalog input in
+      let inner = cursor ?profile catalog input in
       fun () ->
         let cur =
           match !sorted with
@@ -151,7 +267,7 @@ let rec cursor catalog (plan : Plan.t) : Tuple.t Cursor.t =
         cur ()
   | Plan.Limit (n, input) ->
       let remaining = ref n in
-      let inner = cursor catalog input in
+      let inner = cursor ?profile catalog input in
       fun () ->
         if !remaining <= 0 then None
         else begin
@@ -159,7 +275,7 @@ let rec cursor catalog (plan : Plan.t) : Tuple.t Cursor.t =
           inner ()
         end
   | Plan.Aggregate { group_by; aggs; input } ->
-      let inner = cursor catalog input in
+      let inner = cursor ?profile catalog input in
       let materialized = ref None in
       fun () ->
         let cur =
@@ -197,6 +313,6 @@ let rec cursor catalog (plan : Plan.t) : Tuple.t Cursor.t =
         in
         cur ()
 
-let run_to_list catalog plan = Cursor.to_list (cursor catalog plan)
+let run_to_list ?profile catalog plan = Cursor.to_list (cursor ?profile catalog plan)
 
-let count catalog plan = Cursor.count (cursor catalog plan)
+let count ?profile catalog plan = Cursor.count (cursor ?profile catalog plan)

@@ -1,11 +1,21 @@
 (** Plan interpreter: compiles a {!Plan.t} into a pull cursor against a
     catalog. Heap fetches and index node visits are charged to the
     catalog's buffer pool, so {!Minirel_storage.Io_stats} diffs around a
-    cursor drain give the simulated I/O cost of a query. *)
+    cursor drain give the simulated I/O cost of a query.
+
+    Passing [profile] registers one {!Exec_stats} node per plan operator
+    and counts rows/time through each; omitting it leaves the cursors
+    uninstrumented. *)
 
 (** @raise Invalid_argument on plans naming unknown indexes;
     @raise Not_found on unknown relations. *)
-val cursor : Minirel_index.Catalog.t -> Plan.t -> Minirel_storage.Tuple.t Cursor.t
+val cursor :
+  ?profile:Exec_stats.t ->
+  Minirel_index.Catalog.t ->
+  Plan.t ->
+  Minirel_storage.Tuple.t Cursor.t
 
-val run_to_list : Minirel_index.Catalog.t -> Plan.t -> Minirel_storage.Tuple.t list
-val count : Minirel_index.Catalog.t -> Plan.t -> int
+val run_to_list :
+  ?profile:Exec_stats.t -> Minirel_index.Catalog.t -> Plan.t -> Minirel_storage.Tuple.t list
+
+val count : ?profile:Exec_stats.t -> Minirel_index.Catalog.t -> Plan.t -> int

@@ -25,6 +25,13 @@ type t =
       eq : (int * int) list;  (* (outer position, inner position) equalities *)
       pred : Predicate.t;
     }
+  | Hash_join of {
+      outer : t;
+      rel : string;  (* inner relation; hashed once per cursor open *)
+      outer_key : int array;  (* join-key positions in the outer tuple *)
+      inner_key : int array;  (* join-key positions in the inner relation *)
+      pred : Predicate.t;  (* inner-relation-local filter, applied at build *)
+    }
   | Filter of Predicate.t * t
   | Project of int array * t
   | Sort of { keys : int array; desc : bool; input : t }  (* blocking *)
@@ -54,6 +61,7 @@ let rec pp ppf = function
         pred
   | Inlj { outer; rel; index; _ } -> Fmt.pf ppf "inlj(%a ⋈ %s.%s)" pp outer rel index
   | Nlj { outer; rel; _ } -> Fmt.pf ppf "nlj(%a ⋈ %s)" pp outer rel
+  | Hash_join { outer; rel; _ } -> Fmt.pf ppf "hashjoin(%a ⋈ %s)" pp outer rel
   | Filter (p, t) -> Fmt.pf ppf "filter(%a | %a)" pp t Predicate.pp p
   | Project (ps, t) -> Fmt.pf ppf "project([%a] | %a)" Fmt.(array ~sep:semi int) ps pp t
   | Sort { keys; desc; input } ->

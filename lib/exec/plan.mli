@@ -25,6 +25,13 @@ type t =
       eq : (int * int) list;  (** (outer position, inner position) equalities *)
       pred : Predicate.t;
     }
+  | Hash_join of {
+      outer : t;
+      rel : string;  (** inner relation; hashed once per cursor open *)
+      outer_key : int array;  (** join-key positions in the outer tuple *)
+      inner_key : int array;  (** join-key positions in the inner relation *)
+      pred : Predicate.t;  (** inner-relation-local filter, applied at build *)
+    }
   | Filter of Predicate.t * t
   | Project of int array * t
   | Sort of { keys : int array; desc : bool; input : t }  (** blocking *)

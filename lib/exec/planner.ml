@@ -7,6 +7,16 @@
    selection at its relation's access point, and finally project the
    expanded select list Ls'.
 
+   Everything about those plans except the parameter values — driver
+   access path, join order, per-relation predicate structure, projection
+   positions — is a function of (template, driver, statistics, indexes)
+   alone. That template-constant part is reified as a [skeleton] with
+   parameter slots; [bind] fills the slots from an instance's disjuncts
+   in O(params). [plan_query] is compile-then-bind, so a skeleton cached
+   across queries of one template yields exactly the plan a fresh call
+   would. Compiling with [~fast:true] upgrades the index-less join
+   fallback from naive nested loops to a hash join.
+
    The same machinery plans delta joins for view maintenance: the
    changed relation's delta tuples replace its access path. *)
 
@@ -47,9 +57,18 @@ let interval_to_range (iv : Interval.t) : Plan.range =
   in
   (lo, hi)
 
-(* Relation-local predicate: fixed (parameter-free) filters plus every
-   selection condition on this relation, minus the skipped one. *)
-let local_pred compiled params ?(skip = -1) rel =
+(* --- parameter slots --------------------------------------------------- *)
+
+(* The template-constant shape of a relation-local predicate: fixed
+   (parameter-free) filters plus, for each selection condition on this
+   relation, the selection index and the attribute's position — the
+   parameter value itself is bound later. *)
+type pred_slot = {
+  ps_fixed : Predicate.t list;
+  ps_sels : (int * int) list;  (* (selection index, position in relation tuple) *)
+}
+
+let pred_slot ?(skip = -1) compiled rel =
   let spec = compiled.Template.spec in
   let fixed =
     List.filter_map (fun (r, p) -> if r = rel then Some p else None) spec.Template.fixed
@@ -60,11 +79,15 @@ let local_pred compiled params ?(skip = -1) rel =
     |> List.filter_map (fun (i, s) ->
            let a = Template.selection_attr s in
            if a.Template.rel = rel && i <> skip then
-             let pos = Schema.pos compiled.Template.schemas.(rel) a.Template.attr in
-             Some (Instance.condition_pred pos params.(i))
+             Some (i, Schema.pos compiled.Template.schemas.(rel) a.Template.attr)
            else None)
   in
-  Predicate.conj (fixed @ sels)
+  { ps_fixed = fixed; ps_sels = sels }
+
+let bind_pred slot (params : Instance.disjuncts array) =
+  Predicate.conj
+    (slot.ps_fixed
+    @ List.map (fun (i, pos) -> Instance.condition_pred pos params.(i)) slot.ps_sels)
 
 let index_on_attr catalog compiled (a : Template.attr_ref) =
   let rel_name = compiled.Template.spec.Template.relations.(a.Template.rel) in
@@ -103,6 +126,30 @@ let choose_driver ?stats catalog compiled (params : Instance.disjuncts array) =
           | Some b -> if cost c < cost b then Some c else best)
         None candidates
 
+(* The driving selection's index number, or None when no index is
+   usable. The driver depends only on the parameter FORM (values vs
+   intervals), which [Instance.make] fixes per template — so for given
+   statistics it is a pure template property, usable as a cache key. *)
+let driver_index ?stats catalog instance =
+  let compiled = Instance.compiled instance in
+  Option.map
+    (fun (i, _, _) -> i)
+    (choose_driver ?stats catalog compiled (Instance.params instance))
+
+(* --- skeletons --------------------------------------------------------- *)
+
+type base_skel =
+  | B_indexed of { rel : string; index : string; driver : int; pred : pred_slot }
+      (* Index_lookup or Index_range depending on the driver's form *)
+  | B_scan of { rel : string; pred : pred_slot }
+
+type step_skel =
+  | J_inlj of { rel : string; index : string; outer_key : int array; pred : pred_slot }
+  | J_hash of { rel : string; outer_key : int array; inner_key : int array; pred : pred_slot }
+  | J_nlj of { rel : string; eq : (int * int) list; pred : pred_slot }
+
+type skeleton = { base : base_skel; steps : step_skel list; project : int array }
+
 (* Expected tuples of [rel] matching one join key: n_tuples / n_distinct
    of the join attribute. Used to greedily keep intermediate results
    small when statistics are available. *)
@@ -113,17 +160,18 @@ let join_fanout stats compiled (to_ref : Template.attr_ref) =
       float_of_int a.Stats.n_values /. float_of_int a.Stats.n_distinct
   | Some _ | None -> 1e9
 
-(* Chain the not-yet-visited relations onto [base] along join edges.
-   Returns the final plan and layout. Without statistics, edges are
-   taken in template order; with statistics, the edge with the smallest
-   expected join fanout goes first. *)
-let join_rest ?stats catalog compiled params base start_rel =
+(* Chain the not-yet-visited relations along join edges. Returns the
+   join steps and final layout. Without statistics, edges are taken in
+   template order; with statistics, the edge with the smallest expected
+   join fanout goes first. An edge whose inner relation lacks an index
+   becomes a naive nested loop — or a hash join under [~fast:true]. *)
+let chain_steps ?stats ?(fast = false) catalog compiled start_rel =
   let spec = compiled.Template.spec in
   let n = Array.length spec.Template.relations in
   let visited = Array.make n false in
   visited.(start_rel) <- true;
   let layout = ref { order = [ start_rel ]; compiled } in
-  let plan = ref base in
+  let steps = ref [] in
   let remaining = ref (n - 1) in
   while !remaining > 0 do
     (* join edges from the visited set to a new relation *)
@@ -155,25 +203,28 @@ let join_rest ?stats catalog compiled params base start_rel =
     | Some (from_ref, to_ref) ->
         let inner_rel = to_ref.Template.rel in
         let inner_name = spec.Template.relations.(inner_rel) in
-        let pred = local_pred compiled params inner_rel in
+        let pred = pred_slot compiled inner_rel in
         let outer_pos = layout_pos !layout from_ref in
-        (plan :=
-           match index_on_attr catalog compiled to_ref with
-           | Some ix ->
-               Plan.Inlj
-                 {
-                   outer = !plan;
-                   rel = inner_name;
-                   index = Index.name ix;
-                   outer_key = [| outer_pos |];
-                   pred;
-                 }
-           | None ->
-               let inner_pos =
-                 Schema.pos compiled.Template.schemas.(inner_rel) to_ref.Template.attr
-               in
-               Plan.Nlj
-                 { outer = !plan; rel = inner_name; eq = [ (outer_pos, inner_pos) ]; pred });
+        let inner_pos =
+          Schema.pos compiled.Template.schemas.(inner_rel) to_ref.Template.attr
+        in
+        let step =
+          match index_on_attr catalog compiled to_ref with
+          | Some ix ->
+              J_inlj
+                { rel = inner_name; index = Index.name ix; outer_key = [| outer_pos |]; pred }
+          | None ->
+              if fast then
+                J_hash
+                  {
+                    rel = inner_name;
+                    outer_key = [| outer_pos |];
+                    inner_key = [| inner_pos |];
+                    pred;
+                  }
+              else J_nlj { rel = inner_name; eq = [ (outer_pos, inner_pos) ]; pred }
+        in
+        steps := step :: !steps;
         visited.(inner_rel) <- true;
         layout := { !layout with order = !layout.order @ [ inner_rel ] };
         decr remaining
@@ -185,20 +236,75 @@ let join_rest ?stats catalog compiled params base start_rel =
           let rec first i = if visited.(i) then first (i + 1) else i in
           first 0
         in
-        let inner_name = spec.Template.relations.(inner_rel) in
-        plan :=
-          Plan.Nlj
-            {
-              outer = !plan;
-              rel = inner_name;
-              eq = [];
-              pred = local_pred compiled params inner_rel;
-            };
+        steps :=
+          J_nlj
+            { rel = spec.Template.relations.(inner_rel); eq = []; pred = pred_slot compiled inner_rel }
+          :: !steps;
         visited.(inner_rel) <- true;
         layout := { !layout with order = !layout.order @ [ inner_rel ] };
         decr remaining
   done;
-  (!plan, !layout)
+  (List.rev !steps, !layout)
+
+let bind_step params plan = function
+  | J_inlj { rel; index; outer_key; pred } ->
+      Plan.Inlj { outer = plan; rel; index; outer_key; pred = bind_pred pred params }
+  | J_hash { rel; outer_key; inner_key; pred } ->
+      Plan.Hash_join { outer = plan; rel; outer_key; inner_key; pred = bind_pred pred params }
+  | J_nlj { rel; eq; pred } -> Plan.Nlj { outer = plan; rel; eq; pred = bind_pred pred params }
+
+(* Compile the template-constant plan shape for [instance]'s template.
+   The instance supplies only the parameter form (for driver choice);
+   the resulting skeleton binds any instance of the same template. *)
+let compile_skeleton ?stats ?fast catalog instance =
+  let compiled = Instance.compiled instance in
+  let params = Instance.params instance in
+  let spec = compiled.Template.spec in
+  let base, start_rel =
+    match choose_driver ?stats catalog compiled params with
+    | Some (i, a, ix) ->
+        let rel = a.Template.rel in
+        ( B_indexed
+            {
+              rel = spec.Template.relations.(rel);
+              index = Index.name ix;
+              driver = i;
+              pred = pred_slot ~skip:i compiled rel;
+            },
+          rel )
+    | None ->
+        (* no usable index: scan the first selection's relation *)
+        let rel = (Template.selection_attr spec.Template.selections.(0)).Template.rel in
+        (B_scan { rel = spec.Template.relations.(rel); pred = pred_slot compiled rel }, rel)
+  in
+  let steps, layout = chain_steps ?stats ?fast catalog compiled start_rel in
+  let project =
+    Array.of_list (List.map (layout_pos layout) compiled.Template.expanded_select)
+  in
+  { base; steps; project }
+
+(* Bind an instance's parameters into a skeleton: O(params), no catalog
+   or statistics access. *)
+let bind skeleton (params : Instance.disjuncts array) =
+  let base =
+    match skeleton.base with
+    | B_indexed { rel; index; driver; pred } -> (
+        let pred = bind_pred pred params in
+        match params.(driver) with
+        | Instance.Dvalues vs ->
+            Plan.Index_lookup { rel; index; keys = List.map (fun v -> [| v |]) vs; pred }
+        | Instance.Dintervals ivs ->
+            Plan.Index_range
+              { rel; index; ranges = List.map interval_to_range ivs; pred })
+    | B_scan { rel; pred } -> Plan.Scan { rel; pred = bind_pred pred params }
+  in
+  let plan = List.fold_left (bind_step params) base skeleton.steps in
+  Plan.Project (skeleton.project, plan)
+
+(* Chain the not-yet-visited relations onto [base] (plan form). *)
+let join_rest ?stats catalog compiled params base start_rel =
+  let steps, layout = chain_steps ?stats catalog compiled start_rel in
+  (List.fold_left (bind_step params) base steps, layout)
 
 (* Final projection: Ls' positions within the produced layout. *)
 let project_expanded compiled layout plan =
@@ -208,43 +314,10 @@ let project_expanded compiled layout plan =
   in
   Plan.Project (positions, plan)
 
-(* Plan a template query; the cursor yields Ls' result tuples. *)
+(* Plan a template query; the cursor yields Ls' result tuples.
+   Compile-then-bind: identical plans to the pre-skeleton planner. *)
 let plan_query ?stats catalog instance =
-  let compiled = Instance.compiled instance in
-  let params = Instance.params instance in
-  let spec = compiled.Template.spec in
-  let base, start_rel =
-    match choose_driver ?stats catalog compiled params with
-    | Some (i, a, ix) -> (
-        let rel = a.Template.rel in
-        let rel_name = spec.Template.relations.(rel) in
-        let pred = local_pred compiled params ~skip:i rel in
-        match params.(i) with
-        | Instance.Dvalues vs ->
-            ( Plan.Index_lookup
-                {
-                  rel = rel_name;
-                  index = Index.name ix;
-                  keys = List.map (fun v -> [| v |]) vs;
-                  pred;
-                },
-              rel )
-        | Instance.Dintervals ivs ->
-            ( Plan.Index_range
-                {
-                  rel = rel_name;
-                  index = Index.name ix;
-                  ranges = List.map interval_to_range ivs;
-                  pred;
-                },
-              rel ))
-    | None ->
-        (* no usable index: scan the first selection's relation *)
-        let rel = (Template.selection_attr spec.Template.selections.(0)).Template.rel in
-        (Plan.Scan { rel = spec.Template.relations.(rel); pred = local_pred compiled params rel }, rel)
-  in
-  let plan, layout = join_rest ?stats catalog compiled params base start_rel in
-  project_expanded compiled layout plan
+  bind (compile_skeleton ?stats catalog instance) (Instance.params instance)
 
 (* Plan the delta join for maintenance: join the changed relation's
    delta tuples with the other base relations; Cselect is NOT applied

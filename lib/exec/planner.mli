@@ -7,6 +7,13 @@
     index is missing — apply every remaining selection at its
     relation's access point, and project the expanded select list Ls'.
 
+    The template-constant part of those plans is reified as a
+    {!skeleton} with parameter slots: {!compile_skeleton} runs the full
+    planner once per (template, driver, statistics, indexes), and
+    {!bind} fills the slots from an instance's disjuncts in O(params).
+    {!plan_query} is compile-then-bind. {!Plan_cache} keeps skeletons
+    across queries.
+
     The same machinery plans maintenance delta joins and the containing
     view's full join. *)
 
@@ -14,6 +21,36 @@
     [stats], the driving selection is the indexed condition expected to
     fetch the fewest base rows; without, the first indexed one. *)
 val plan_query : ?stats:Stats.t -> Minirel_index.Catalog.t -> Minirel_query.Instance.t -> Plan.t
+
+(** {1 Plan skeletons} *)
+
+(** A compiled plan shape with parameter slots: driver access path, join
+    order, per-relation predicate structure and projection positions are
+    baked in; only parameter values are missing. *)
+type skeleton
+
+(** The driving selection's index number for this instance's template,
+    or [None] when no index is usable. Depends only on the parameter
+    form (fixed per template) and the given statistics, so it is a
+    cache-key component, not a per-query property. *)
+val driver_index :
+  ?stats:Stats.t -> Minirel_index.Catalog.t -> Minirel_query.Instance.t -> int option
+
+(** Compile the template-constant plan shape for [instance]'s template.
+    The skeleton binds any instance of the same template. With
+    [~fast:true], join edges whose inner relation lacks an index become
+    hash joins instead of naive nested loops. *)
+val compile_skeleton :
+  ?stats:Stats.t ->
+  ?fast:bool ->
+  Minirel_index.Catalog.t ->
+  Minirel_query.Instance.t ->
+  skeleton
+
+(** Bind an instance's parameters into a skeleton: O(params), no
+    catalog or statistics access. [bind (compile_skeleton c i)
+    (Instance.params i)] equals [plan_query c i]. *)
+val bind : skeleton -> Minirel_query.Instance.disjuncts array -> Plan.t
 
 (** Delta join for view maintenance: join the changed relation's
     [deltas] (passed literally) with the other base relations; Cselect

@@ -11,11 +11,13 @@ type rel = {
 type t = {
   pool : Minirel_storage.Buffer_pool.t;
   rels : (string, rel) Hashtbl.t;
+  mutable version : int;  (* bumped on index DDL; plan caches validate against it *)
 }
 
-let create pool = { pool; rels = Hashtbl.create 16 }
+let create pool = { pool; rels = Hashtbl.create 16; version = 0 }
 
 let pool t = t.pool
+let version t = t.version
 
 let create_relation t ?slots_per_page schema =
   let name = schema.Minirel_storage.Schema.name in
@@ -54,7 +56,20 @@ let create_index t ?(kind = Index.Btree_kind) ~rel ~name ~attrs () =
   let ix = Index.create ~kind ~prefill ~name ~key_positions ~file_id () in
   Index.attach_pool ix t.pool;
   r.indexes <- ix :: r.indexes;
+  t.version <- t.version + 1;
   ix
+
+(* Drop an index by name, releasing its buffer-pool pages.
+   @raise Invalid_argument when [rel] has no index called [name]. *)
+let drop_index t ~rel ~name =
+  let r = find_rel t rel in
+  let doomed, kept = List.partition (fun ix -> Index.name ix = name) r.indexes in
+  match doomed with
+  | [] -> invalid_arg (Fmt.str "Catalog.drop_index: no index %s on %s" name rel)
+  | ix :: _ ->
+      Minirel_storage.Buffer_pool.invalidate_file t.pool ~file:(Index.file_id ix);
+      r.indexes <- kept;
+      t.version <- t.version + 1
 
 let indexes t rel = (find_rel t rel).indexes
 
@@ -111,6 +126,7 @@ let vacuum t ~rel =
         Index.attach_pool fresh_ix t.pool;
         fresh_ix)
       r.indexes;
+  t.version <- t.version + 1;
   max 0 (old_pages - Minirel_storage.Heap_file.n_pages fresh)
 
 exception Inconsistent of string

@@ -8,6 +8,12 @@ type t
 val create : Minirel_storage.Buffer_pool.t -> t
 val pool : t -> Minirel_storage.Buffer_pool.t
 
+(** Monotonic counter bumped by every index DDL operation
+    ([create_index], [drop_index], [vacuum]). Plan caches compare it to
+    decide whether a compiled skeleton still matches the physical
+    design. *)
+val version : t -> int
+
 (** Create an empty relation named by the schema.
     @raise Invalid_argument when the name is taken. *)
 val create_relation :
@@ -27,6 +33,11 @@ val relations : t -> string list
     @raise Not_found on unknown relations or attributes. *)
 val create_index :
   t -> ?kind:Index.kind -> rel:string -> name:string -> attrs:string list -> unit -> Index.t
+
+(** Drop an index by name, releasing its buffer-pool pages.
+    @raise Invalid_argument when [rel] has no index called [name];
+    @raise Not_found on unknown relations. *)
+val drop_index : t -> rel:string -> name:string -> unit
 
 val indexes : t -> string -> Index.t list
 

@@ -33,26 +33,15 @@ let template_rel compiled rel =
   in
   find 0
 
-(* Positions (in relation [i]'s schema) that matter to the view: Ls'
-   attributes, join attributes, fixed-predicate attributes. An update
-   leaving all of them unchanged cannot affect cached tuples. *)
-let relevant_positions compiled i =
-  let spec = compiled.Template.spec in
-  let schema = compiled.Template.schemas.(i) in
-  let of_ref (a : Template.attr_ref) =
-    if a.Template.rel = i then [ Schema.pos schema a.Template.attr ] else []
-  in
-  let ls' = List.concat_map of_ref compiled.Template.expanded_select in
-  let joins = List.concat_map (fun (a, b) -> of_ref a @ of_ref b) spec.Template.joins in
-  let fixed =
-    List.concat_map (fun (r, p) -> if r = i then Predicate.positions p else []) spec.Template.fixed
-  in
-  List.sort_uniq Int.compare (ls' @ joins @ fixed)
+(* Positions in relation [i]'s schema that matter to the view: Ls',
+   join and fixed-predicate attributes. An update leaving all of them
+   unchanged cannot affect cached tuples. *)
+let relevant_positions = View.relevant_positions_of
 
-let update_is_relevant compiled i (old_t, new_t) =
-  List.exists
-    (fun pos -> not (Value.equal old_t.(pos) new_t.(pos)))
-    (relevant_positions compiled i)
+let update_touches positions (old_t, new_t) =
+  List.exists (fun pos -> not (Value.equal old_t.(pos) new_t.(pos))) positions
+
+let update_is_relevant compiled i pair = update_touches (relevant_positions compiled i) pair
 
 let remove_via_delta_join view catalog ~delta_rel removed_tuples =
   let compiled = View.compiled view in
@@ -96,7 +85,10 @@ let on_delta ?(strategy = Aux_index) view catalog (delta : Minirel_txn.Txn.delta
       let { Minirel_txn.Txn.inserted; deleted; updated; _ } = delta in
       stats.View.skipped_inserts <- stats.View.skipped_inserts + List.length inserted;
       let removed = ref (handle_removal view catalog strategy ~delta_rel:i deleted) in
-      let relevant, irrelevant = List.partition (update_is_relevant compiled i) updated in
+      (* positions memoized on the view: once per (view, relation), not
+         per updated tuple *)
+      let positions = View.relevant_positions view i in
+      let relevant, irrelevant = List.partition (update_touches positions) updated in
       stats.View.maint_skipped_updates <-
         stats.View.maint_skipped_updates + List.length irrelevant;
       removed :=

@@ -3,29 +3,48 @@
    frequently used query template. The manager owns a set of views
    keyed by template name, sizes each one from a per-view storage
    budget UB via the Section 3.2 rule, routes queries to the right
-   view, and attaches deferred maintenance for all of them. *)
+   view, and attaches deferred maintenance for all of them.
+
+   Views live in a hash table so routing stays O(1) however many
+   templates are registered; a separate creation-order list keeps
+   reports deterministic. The manager also owns the template plan
+   cache every routed query answers through. *)
 
 open Minirel_query
 module Catalog = Minirel_index.Catalog
+module Plan_cache = Minirel_exec.Plan_cache
 
 type entry = { view : View.t; ub_bytes : int option }
 
 type t = {
   catalog : Catalog.t;
-  mutable views : (string * entry) list;  (* template name -> entry *)
+  views : (string, entry) Hashtbl.t;  (* template name -> entry *)
+  mutable order : string list;  (* template names, most recently created first *)
+  plan_cache : Plan_cache.t;
   mutable txn_mgr : Minirel_txn.Txn.t option;
   default_f_max : int;
   default_policy : Minirel_cache.Policies.kind;
 }
 
 let create ?(default_f_max = 2) ?(default_policy = Minirel_cache.Policies.Clock) catalog =
-  { catalog; views = []; txn_mgr = None; default_f_max; default_policy }
+  {
+    catalog;
+    views = Hashtbl.create 16;
+    order = [];
+    plan_cache = Plan_cache.create catalog;
+    txn_mgr = None;
+    default_f_max;
+    default_policy;
+  }
 
 let catalog t = t.catalog
-let views t = List.map (fun (_, e) -> e.view) t.views
-let n_views t = List.length t.views
+let plan_cache t = t.plan_cache
 
-let find t ~template = Option.map (fun e -> e.view) (List.assoc_opt template t.views)
+let entries t = List.filter_map (Hashtbl.find_opt t.views) t.order
+let views t = List.map (fun e -> e.view) (entries t)
+let n_views t = Hashtbl.length t.views
+
+let find t ~template = Option.map (fun e -> e.view) (Hashtbl.find_opt t.views template)
 
 (* Average tuple size used when no result sample is available. *)
 let default_avg_tuple_bytes = 64
@@ -37,7 +56,7 @@ let default_avg_tuple_bytes = 64
    already has a view or when neither capacity nor budget is given. *)
 let create_view ?policy ?f_max ?capacity ?ub_bytes ?(sample = []) t compiled =
   let name = compiled.Template.spec.Template.name in
-  if List.mem_assoc name t.views then
+  if Hashtbl.mem t.views name then
     invalid_arg (Fmt.str "Manager.create_view: template %s already has a view" name);
   let f_max = Option.value ~default:t.default_f_max f_max in
   let policy = Option.value ~default:t.default_policy policy in
@@ -54,32 +73,39 @@ let create_view ?policy ?f_max ?capacity ?ub_bytes ?(sample = []) t compiled =
         invalid_arg "Manager.create_view: pass either ~capacity or ~ub_bytes"
   in
   let view = View.create ~policy ~f_max ~capacity ~name compiled in
-  t.views <- (name, { view; ub_bytes }) :: t.views;
+  Hashtbl.replace t.views name { view; ub_bytes };
+  t.order <- name :: t.order;
   (match t.txn_mgr with Some mgr -> Maintain.attach view mgr | None -> ());
   view
 
 (* Attach deferred maintenance for every current and future view. *)
 let attach_maintenance t mgr =
   t.txn_mgr <- Some mgr;
-  List.iter (fun (_, e) -> Maintain.attach e.view mgr) t.views
+  List.iter (fun e -> Maintain.attach e.view mgr) (entries t)
 
 let drop_view t ~template =
-  (match (List.assoc_opt template t.views, t.txn_mgr) with
+  (match (Hashtbl.find_opt t.views template, t.txn_mgr) with
   | Some e, Some mgr -> Maintain.detach e.view mgr
   | _ -> ());
-  t.views <- List.remove_assoc template t.views
+  Hashtbl.remove t.views template;
+  t.order <- List.filter (fun n -> n <> template) t.order
 
 (* Answer through the template's view when one exists, plainly
-   otherwise. Returns the stats and whether a view was used. *)
-let answer ?locks ?txn t instance ~on_tuple =
+   otherwise. Returns the stats and whether a view was used. Plans come
+   from the manager's template plan cache. *)
+let answer ?locks ?txn ?profile t instance ~on_tuple =
   let name = (Instance.compiled instance).Template.spec.Template.name in
   match find t ~template:name with
-  | Some view -> (Answer.answer ?locks ?txn ~view t.catalog instance ~on_tuple, true)
-  | None -> (Answer.answer_plain t.catalog instance ~on_tuple, false)
+  | Some view ->
+      ( Answer.answer ?locks ?txn ~plan_cache:t.plan_cache ?profile ~view t.catalog
+          instance ~on_tuple,
+        true )
+  | None ->
+      (Answer.answer_plain ~plan_cache:t.plan_cache ?profile t.catalog instance ~on_tuple, false)
 
 (* Total approximate bytes across all views. *)
 let total_bytes t =
-  List.fold_left (fun acc (_, e) -> acc + View.size_bytes e.view) 0 t.views
+  List.fold_left (fun acc e -> acc + View.size_bytes e.view) 0 (entries t)
 
 type report_row = {
   template : string;
@@ -92,16 +118,16 @@ type report_row = {
 
 let report t =
   List.map
-    (fun (template, e) ->
+    (fun (e : entry) ->
       {
-        template;
+        template = View.name e.view;
         entries = View.n_entries e.view;
         tuples = View.n_tuples e.view;
         bytes = View.size_bytes e.view;
         hit_ratio = View.hit_ratio e.view;
         queries = (View.stats e.view).View.queries;
       })
-    t.views
+    (entries t)
 
 let pp_report ppf t =
   Fmt.pf ppf "%-16s %-8s %-8s %-10s %-8s %-8s@." "template" "bcps" "tuples" "bytes" "hit"

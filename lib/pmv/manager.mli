@@ -15,6 +15,10 @@ val create :
   t
 
 val catalog : t -> Minirel_index.Catalog.t
+
+(** The template plan cache every routed query answers through. *)
+val plan_cache : t -> Minirel_exec.Plan_cache.t
+
 val views : t -> View.t list
 val n_views : t -> int
 
@@ -43,10 +47,13 @@ val attach_maintenance : t -> Minirel_txn.Txn.t -> unit
 val drop_view : t -> template:string -> unit
 
 (** Answer through the template's view when one exists, plainly
-    otherwise; the boolean reports whether a view was used. *)
+    otherwise; the boolean reports whether a view was used. Plans come
+    from the manager's plan cache; [profile] collects per-operator
+    executor counters. *)
 val answer :
   ?locks:Minirel_txn.Lock_manager.t ->
   ?txn:int ->
+  ?profile:Minirel_exec.Exec_stats.t ->
   t ->
   Instance.t ->
   on_tuple:(Answer.phase -> Minirel_storage.Tuple.t -> unit) ->

@@ -41,6 +41,7 @@ type t = {
   store : Entry_store.t;
   aux : aux array option;
   stats : stats;
+  relevant : int list array;  (* per relation: positions that matter to the view *)
   mutable pending_deltas : Minirel_txn.Txn.delta list;
       (* maintenance deferred past a reader's S lock (newest first) *)
 }
@@ -56,11 +57,27 @@ let empty_stats () =
     maint_skipped_updates = 0;
   }
 
+(* Positions (in relation [i]'s schema) that matter to the view: Ls'
+   attributes, join attributes, fixed-predicate attributes. An update
+   leaving all of them unchanged cannot affect cached tuples. *)
+let relevant_positions_of compiled i =
+  let spec = compiled.Template.spec in
+  let schema = compiled.Template.schemas.(i) in
+  let of_ref (a : Template.attr_ref) =
+    if a.Template.rel = i then [ Schema.pos schema a.Template.attr ] else []
+  in
+  let ls' = List.concat_map of_ref compiled.Template.expanded_select in
+  let joins = List.concat_map (fun (a, b) -> of_ref a @ of_ref b) spec.Template.joins in
+  let fixed =
+    List.concat_map (fun (r, p) -> if r = i then Predicate.positions p else []) spec.Template.fixed
+  in
+  List.sort_uniq Int.compare (ls' @ joins @ fixed)
+
 let build_aux compiled =
   let spec = compiled.Template.spec in
   Array.init (Array.length spec.Template.relations) (fun rel ->
       let pairs =
-        List.filteri (fun _ _ -> true) compiled.Template.expanded_select
+        compiled.Template.expanded_select
         |> List.mapi (fun i a -> (i, a))
         |> List.filter_map (fun (i, (a : Template.attr_ref)) ->
                if a.Template.rel = rel then
@@ -125,7 +142,14 @@ let create ?(policy = Minirel_cache.Policies.Clock) ?(f_max = 2) ?(aux_maintenan
     end
     else None
   in
-  let t = { name; compiled; store; aux; stats = empty_stats (); pending_deltas = [] } in
+  let relevant =
+    Array.init
+      (Array.length compiled.Template.spec.Template.relations)
+      (relevant_positions_of compiled)
+  in
+  let t =
+    { name; compiled; store; aux; stats = empty_stats (); relevant; pending_deltas = [] }
+  in
   Entry_store.set_on_change store (fun change bcp tuple ->
       match (t.aux, change) with
       | Some auxes, Entry_store.Added -> Array.iter (fun a -> aux_add a bcp tuple) auxes
@@ -140,6 +164,7 @@ let name t = t.name
 let compiled t = t.compiled
 let store t = t.store
 let stats t = t.stats
+let relevant_positions t i = t.relevant.(i)
 let has_aux t = t.aux <> None
 let lock_object t = "pmv:" ^ t.name
 

@@ -54,6 +54,14 @@ val store : t -> Entry_store.t
 val stats : t -> stats
 val has_aux : t -> bool
 
+(** Positions in relation [i]'s schema that matter to the view (Ls',
+    join and fixed-predicate attributes); pure, uncached form. *)
+val relevant_positions_of : Template.compiled -> int -> int list
+
+(** Memoized {!relevant_positions_of} — computed once per (view,
+    relation) at creation, O(1) thereafter. *)
+val relevant_positions : t -> int -> int list
+
 (** Lock-manager object name for the Section 3.6 protocol. *)
 val lock_object : t -> string
 

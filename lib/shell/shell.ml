@@ -70,6 +70,7 @@ type result =
   | Updated of int
   | Deleted of int
   | Explained of string  (* physical plan text *)
+  | Traced of string  (* per-operator profile + plan-cache counters *)
 
 exception Error of string
 
@@ -368,6 +369,30 @@ let exec_statement t sql =
            compiled.Template.spec.Template.name h
            (if bound.Binder.aggregates <> [] then ", aggregated" else "")
            Minirel_exec.Plan.pp plan)
+  | Ast.St_trace _ ->
+      (* strip the TRACE keyword, answer the query with per-operator
+         profiling, and report the profile plus plan-cache counters *)
+      let sql_body =
+        let trimmed = String.trim sql in
+        match String.index_opt trimmed ' ' with
+        | Some i -> String.sub trimmed i (String.length trimmed - i)
+        | None -> fail "TRACE needs a query"
+      in
+      let compiled, instance, _bound = Session.query_bound t.session sql_body in
+      ensure_view t compiled;
+      let profile = Minirel_exec.Exec_stats.create () in
+      let stats, used_view =
+        Pmv.Manager.answer ~profile t.manager instance ~on_tuple:(fun _ _ -> ())
+      in
+      Traced
+        (Fmt.str "template %s%s@.%a%a@.%d tuples (%d from the PMV), exec %.1f µs, overhead %.1f µs"
+           compiled.Template.spec.Template.name
+           (if used_view then " (answered through its PMV)" else "")
+           Minirel_exec.Exec_stats.pp profile Minirel_exec.Plan_cache.pp
+           (Pmv.Manager.plan_cache t.manager)
+           stats.Pmv.Answer.total_count stats.Pmv.Answer.partial_count
+           (Int64.to_float stats.Pmv.Answer.exec_ns /. 1e3)
+           (Int64.to_float stats.Pmv.Answer.overhead_ns /. 1e3))
   | Ast.St_delete { table; where } ->
       if not (Catalog.mem t.catalog table) then fail "unknown relation %s" table;
       let schema = Catalog.schema t.catalog table in
@@ -409,3 +434,4 @@ let pp_result ppf = function
   | Updated n -> Fmt.pf ppf "%d rows updated" n
   | Deleted n -> Fmt.pf ppf "%d rows deleted" n
   | Explained text -> Fmt.pf ppf "%s" text
+  | Traced text -> Fmt.pf ppf "%s" text

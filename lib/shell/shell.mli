@@ -41,11 +41,14 @@ type result =
   | Updated of int
   | Deleted of int
   | Explained of string  (** physical plan text *)
+  | Traced of string
+      (** per-operator executor profile + plan-cache counters for one
+          answered query *)
 
 exception Error of string
 
-(** Execute one statement (SELECT [DISTINCT] / EXPLAIN / CREATE TABLE /
-    CREATE INDEX / INSERT / UPDATE / DELETE).
+(** Execute one statement (SELECT [DISTINCT] / EXPLAIN / TRACE / CREATE
+    TABLE / CREATE INDEX / INSERT / UPDATE / DELETE).
     @raise Error, the frontend's Lexer/Parser/Binder errors, or
     Invalid_argument on bad input. *)
 val exec : t -> string -> result

@@ -60,6 +60,7 @@ type statement =
     }
   | St_delete of { table : string; where : atom list }  (* conjunctive *)
   | St_explain of query
+  | St_trace of query  (* run with per-operator executor profiling *)
 
 let lit_to_value = function
   | L_int i -> Minirel_storage.Value.Int i

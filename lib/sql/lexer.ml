@@ -22,6 +22,7 @@ type token =
   | SET
   | DISTINCT
   | EXPLAIN
+  | TRACE
   | GROUP
   | ORDER
   | BY
@@ -65,6 +66,7 @@ let token_to_string = function
   | SET -> "SET"
   | DISTINCT -> "DISTINCT"
   | EXPLAIN -> "EXPLAIN"
+  | TRACE -> "TRACE"
   | GROUP -> "GROUP"
   | ORDER -> "ORDER"
   | BY -> "BY"
@@ -117,6 +119,7 @@ let keyword_of_string s =
   | "set" -> Some SET
   | "distinct" -> Some DISTINCT
   | "explain" -> Some EXPLAIN
+  | "trace" -> Some TRACE
   | "group" -> Some GROUP
   | "order" -> Some ORDER
   | "by" -> Some BY

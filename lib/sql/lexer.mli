@@ -22,6 +22,7 @@ type token =
   | SET
   | DISTINCT
   | EXPLAIN
+  | TRACE
   | GROUP
   | ORDER
   | BY

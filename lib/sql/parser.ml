@@ -316,6 +316,9 @@ let parse_statement input =
     | Lexer.EXPLAIN ->
         advance st;
         St_explain (select_query st)
+    | Lexer.TRACE ->
+        advance st;
+        St_trace (select_query st)
     | t -> fail "expected a statement, found %s" (Lexer.token_to_string t)
   in
   expect st Lexer.EOF;

@@ -27,6 +27,7 @@ let () =
       ("advisor", Test_advisor.suite);
       ("ds+faults", Test_ds_faults.suite);
       ("stats", Test_stats.suite);
+      ("plan-cache", Test_plan_cache.suite);
       ("manager", Test_manager.suite);
       ("sql", Test_sql.suite);
       ("shell", Test_shell.suite);

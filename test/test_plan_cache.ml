@@ -1,0 +1,208 @@
+(* The template plan cache: skeleton binding equals the full planner,
+   hits/misses/invalidations behave, the fast path's hash join matches
+   the naive-nested-loop fallback, and TRACE surfaces the counters. *)
+
+open Minirel_storage
+module Catalog = Minirel_index.Catalog
+module Template = Minirel_query.Template
+module Instance = Minirel_query.Instance
+module Plan = Minirel_exec.Plan
+module Planner = Minirel_exec.Planner
+module Plan_cache = Minirel_exec.Plan_cache
+module Executor = Minirel_exec.Executor
+module Shell = Minirel_shell.Shell
+
+let check = Alcotest.check
+let vi i = Value.Int i
+
+let plan_str plan = Fmt.str "%a" Plan.pp plan
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let eqt_catalog () =
+  let catalog = Helpers.fresh_catalog () in
+  Helpers.build_rs catalog;
+  (catalog, Template.compile catalog Helpers.eqt_spec)
+
+let inst compiled ~f ~g =
+  Instance.make compiled
+    [| Instance.Dvalues (List.map vi f); Instance.Dvalues (List.map vi g) |]
+
+let run catalog plan = Executor.run_to_list catalog plan
+
+(* bind (compile_skeleton c i) (params i) reproduces plan_query c i
+   byte for byte, values and intervals alike. *)
+let test_bind_equals_plan_query () =
+  let catalog, compiled = eqt_catalog () in
+  let cases =
+    [ inst compiled ~f:[ 3 ] ~g:[ 2 ]; inst compiled ~f:[ 1; 4; 7 ] ~g:[ 0; 5 ] ]
+  in
+  List.iter
+    (fun i ->
+      let fresh = Planner.plan_query catalog i in
+      let bound = Planner.bind (Planner.compile_skeleton catalog i) (Instance.params i) in
+      check Alcotest.string "same plan" (plan_str fresh) (plan_str bound))
+    cases;
+  let grid = Minirel_query.Discretize.of_cuts [ vi 0; vi 40; vi 80; vi 120 ] in
+  let civ = Template.compile catalog (Helpers.eqt_interval_spec ~grid) in
+  let iv =
+    Instance.make civ
+      [|
+        Instance.Dvalues [ vi 2 ];
+        Instance.Dintervals [ Minirel_query.Discretize.interval_of_id grid 1 ];
+      |]
+  in
+  check Alcotest.string "same interval plan"
+    (plan_str (Planner.plan_query catalog iv))
+    (plan_str (Planner.bind (Planner.compile_skeleton catalog iv) (Instance.params iv)))
+
+(* First query per (template, driver) misses, later ones hit; both
+   deliver the brute-force multiset. *)
+let test_hit_miss_and_results () =
+  let catalog, compiled = eqt_catalog () in
+  let pc = Plan_cache.create catalog in
+  let q1 = inst compiled ~f:[ 3 ] ~g:[ 2 ] and q2 = inst compiled ~f:[ 5; 8 ] ~g:[ 1 ] in
+  List.iter
+    (fun q ->
+      check Alcotest.bool "cached results correct" true
+        (Helpers.same_multiset (run catalog (Plan_cache.plan pc q))
+           (Helpers.brute_force_answer catalog q)))
+    [ q1; q2; q1 ];
+  let c = Plan_cache.counters pc in
+  check Alcotest.int "one miss" 1 c.Plan_cache.misses;
+  check Alcotest.int "then hits" 2 c.Plan_cache.hits;
+  check Alcotest.int "one skeleton" 1 (Plan_cache.size pc);
+  check Alcotest.int "no fallbacks" 0 c.Plan_cache.fallbacks
+
+(* Index DDL bumps the catalog version: the stale skeleton is
+   recompiled against the new indexes, never served as-is. *)
+let test_invalidation_on_index_ddl () =
+  let catalog, compiled = eqt_catalog () in
+  let pc = Plan_cache.create catalog in
+  let q = inst compiled ~f:[ 3 ] ~g:[ 2 ] in
+  let before = plan_str (Plan_cache.plan pc q) in
+  check Alcotest.bool "uses s_d inlj before drop" true (contains before "⋈ s.s_d)");
+  Catalog.drop_index catalog ~rel:"s" ~name:"s_d";
+  let after = plan_str (Plan_cache.plan pc q) in
+  let c = Plan_cache.counters pc in
+  check Alcotest.int "drop invalidates" 1 c.Plan_cache.invalidations;
+  check Alcotest.bool "dropped index gone from plan" false (contains after "s_d");
+  check Alcotest.bool "fast path hash join replaces it" true (contains after "hashjoin");
+  check Alcotest.bool "post-drop results correct" true
+    (Helpers.same_multiset (run catalog (Plan_cache.plan pc q))
+       (Helpers.brute_force_answer catalog q));
+  ignore (Catalog.create_index catalog ~rel:"s" ~name:"s_d2" ~attrs:[ "d" ] ());
+  let rebuilt = plan_str (Plan_cache.plan pc q) in
+  check Alcotest.int "create invalidates too" 2 (Plan_cache.counters pc).Plan_cache.invalidations;
+  check Alcotest.bool "new index picked up" true (contains rebuilt "⋈ s.s_d2)")
+
+(* A statistics refresh invalidates every cached skeleton. The data
+   keeps r.f the most selective driver (5 rows per f class vs 15 per g
+   class) so the refreshed plan lands on the same cache key and must go
+   through the invalidation path, not a fresh miss. *)
+let test_invalidation_on_stats_refresh () =
+  let catalog = Helpers.fresh_catalog () in
+  Helpers.build_rs ~n_r:100 ~n_f:20 catalog;
+  let compiled = Template.compile catalog Helpers.eqt_spec in
+  let pc = Plan_cache.create catalog in
+  let q = inst compiled ~f:[ 3 ] ~g:[ 2 ] in
+  ignore (Plan_cache.plan pc q);
+  ignore (Plan_cache.plan pc q);
+  Plan_cache.set_stats pc (Some (Minirel_exec.Stats.analyze catalog));
+  ignore (Plan_cache.plan pc q);
+  let c = Plan_cache.counters pc in
+  check Alcotest.int "stats refresh invalidates" 1 c.Plan_cache.invalidations;
+  check Alcotest.int "hit before the refresh" 1 c.Plan_cache.hits;
+  check Alcotest.bool "results survive refresh" true
+    (Helpers.same_multiset (run catalog (Plan_cache.plan pc q))
+       (Helpers.brute_force_answer catalog q))
+
+(* Disabled cache = pure pass-through: no entries, no counter motion. *)
+let test_disabled_passthrough () =
+  let catalog, compiled = eqt_catalog () in
+  let pc = Plan_cache.create catalog in
+  Plan_cache.set_enabled pc false;
+  let q = inst compiled ~f:[ 3 ] ~g:[ 2 ] in
+  check Alcotest.string "delegates to plan_query"
+    (plan_str (Planner.plan_query catalog q))
+    (plan_str (Plan_cache.plan pc q));
+  check Alcotest.int "no entries" 0 (Plan_cache.size pc);
+  let c = Plan_cache.counters pc in
+  check Alcotest.int "no misses" 0 c.Plan_cache.misses;
+  check Alcotest.int "no hits" 0 c.Plan_cache.hits
+
+(* With the join index gone, the legacy plan is a naive nested loop and
+   the fast skeleton a hash join — same multiset either way. *)
+let test_hash_join_matches_nlj () =
+  let catalog, compiled = eqt_catalog () in
+  Catalog.drop_index catalog ~rel:"s" ~name:"s_d";
+  List.iter
+    (fun q ->
+      let slow = Planner.plan_query catalog q in
+      let fast =
+        Planner.bind (Planner.compile_skeleton ~fast:true catalog q) (Instance.params q)
+      in
+      check Alcotest.bool "legacy falls back to nlj" true (contains (plan_str slow) "nlj(");
+      check Alcotest.bool "fast path hash joins" true (contains (plan_str fast) "hashjoin(");
+      let expect = Helpers.brute_force_answer catalog q in
+      check Alcotest.bool "nlj matches brute force" true
+        (Helpers.same_multiset (run catalog slow) expect);
+      check Alcotest.bool "hash join matches nlj" true
+        (Helpers.same_multiset (run catalog fast) expect))
+    [ inst compiled ~f:[ 3 ] ~g:[ 2 ]; inst compiled ~f:[ 1; 6 ] ~g:[ 0; 3; 7 ] ]
+
+(* Property: over random parameter sets, cached and fresh plans deliver
+   the brute-force multiset. *)
+let prop_cached_equals_fresh =
+  let catalog, compiled = eqt_catalog () in
+  let pc = Plan_cache.create catalog in
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 3) (int_range 0 9))
+        (list_size (int_range 1 3) (int_range 0 7)))
+  in
+  QCheck2.Test.make ~name:"plan cache: cached = fresh = brute force" ~count:60 gen
+    (fun (fs, gs) ->
+      let dedup xs = List.sort_uniq compare xs in
+      let q = inst compiled ~f:(dedup fs) ~g:(dedup gs) in
+      let expect = Helpers.brute_force_answer catalog q in
+      Helpers.same_multiset (run catalog (Plan_cache.plan pc q)) expect
+      && Helpers.same_multiset (run catalog (Planner.plan_query catalog q)) expect)
+
+(* TRACE in the shell: per-operator rows/time plus the cache counters. *)
+let test_shell_trace () =
+  let shell = Shell.create (Helpers.fresh_catalog ()) in
+  let run sql = Shell.exec shell sql in
+  ignore (run "create table items (ik int, category int, qty int)");
+  ignore (run "create index items_category on items (category)");
+  for ik = 1 to 20 do
+    ignore
+      (run (Fmt.str "insert into items values (%d, %d, %d)" ik (ik mod 4) (ik * 2)))
+  done;
+  let sql = "trace select i.ik from items i where (i.category = 2)" in
+  match run sql with
+  | Shell.Traced text ->
+      check Alcotest.bool "names an operator" true (contains text "ixlookup(items.items_category)");
+      check Alcotest.bool "shows rows column" true (contains text "rows out");
+      check Alcotest.bool "shows the plan cache" true (contains text "plan cache:");
+      (* first trace misses, a repeat hits *)
+      (match run sql with
+      | Shell.Traced text2 -> check Alcotest.bool "repeat hits" true (contains text2 "hits 1")
+      | _ -> Alcotest.fail "second trace")
+  | _ -> Alcotest.fail "expected a Traced result"
+
+let suite =
+  [
+    Alcotest.test_case "bind = plan_query" `Quick test_bind_equals_plan_query;
+    Alcotest.test_case "hits, misses, results" `Quick test_hit_miss_and_results;
+    Alcotest.test_case "index DDL invalidates" `Quick test_invalidation_on_index_ddl;
+    Alcotest.test_case "stats refresh invalidates" `Quick test_invalidation_on_stats_refresh;
+    Alcotest.test_case "disabled = pass-through" `Quick test_disabled_passthrough;
+    Alcotest.test_case "hash join = nlj" `Quick test_hash_join_matches_nlj;
+    QCheck_alcotest.to_alcotest prop_cached_equals_fresh;
+    Alcotest.test_case "shell trace" `Quick test_shell_trace;
+  ]
