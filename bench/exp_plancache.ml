@@ -149,10 +149,12 @@ let run cfg =
   "mix": "1:1 t1:t2 alternating, t1 e=f=2, t2 e=3 f=g=2",
   "off": %s,
   "on": %s,
-  "speedup": %.3f
+  "speedup": %.3f,
+  "telemetry": %s
 }
 |}
       scale cfg.seed (json_of_mode off) (json_of_mode on) speedup
+      (Minirel_telemetry.Export.json_string (Minirel_telemetry.Telemetry.snapshot ()))
   in
   let oc = open_out "BENCH_plancache.json" in
   output_string oc json;

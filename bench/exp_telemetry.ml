@@ -1,0 +1,147 @@
+(* Telemetry overhead benchmark.
+
+   The telemetry subsystem promises to be cheap enough to leave on:
+   counters are single field updates, histograms one bucket increment,
+   and span trees are 1-in-k sampled. This experiment measures that
+   claim: the same T1/T2 query mix (fresh data, fresh views, same
+   seeds) runs with telemetry enabled and disabled, several repetitions
+   each in alternation, and the best throughput per mode is compared.
+   The run fails its gate when enabling telemetry costs more than 5%
+   throughput (tools/check.sh enforces this on BENCH_telemetry.json).
+
+   Results are printed and written to BENCH_telemetry.json together
+   with the final enabled-mode telemetry snapshot, so the bench output
+   doubles as an example of whole-system observability. *)
+
+open Minirel_storage
+module Catalog = Minirel_index.Catalog
+module Template = Minirel_query.Template
+module Tm = Minirel_telemetry.Telemetry
+module Tpcr = Minirel_workload.Tpcr
+module Querygen = Minirel_workload.Querygen
+module Zipf = Minirel_workload.Zipf
+module SM = Minirel_workload.Split_mix
+
+type cfg = { full : bool; seed : int; scale : float option }
+
+type mode_result = {
+  mode : string;
+  queries : int;
+  wall_ns : int64;  (* best repetition *)
+  qps : float;
+  reps : int;
+  total_tuples : int;
+  checksum : int;
+}
+
+(* One repetition: fresh data and views, the same query stream, the
+   full shell-shaped stack (manager + plan cache + S locks). *)
+let run_once cfg ~scale ~enabled =
+  Tm.set_enabled enabled;
+  let pool = Buffer_pool.create ~capacity:4_000 () in
+  let catalog = Catalog.create pool in
+  let params = Tpcr.params_for_scale ~seed:cfg.seed scale in
+  ignore (Tpcr.generate catalog params);
+  let t1 = Template.compile catalog Querygen.t1_spec in
+  let t2 = Template.compile catalog Querygen.t2_spec in
+  let manager = Pmv.Manager.create catalog in
+  ignore (Pmv.Manager.create_view ~capacity:2_000 ~f_max:3 manager t1);
+  ignore (Pmv.Manager.create_view ~capacity:2_000 ~f_max:3 manager t2);
+  let locks = Minirel_txn.Lock_manager.create () in
+  let dz = Zipf.create ~n:params.Tpcr.n_dates ~alpha:1.07 in
+  let sz = Zipf.create ~n:params.Tpcr.n_suppliers ~alpha:1.07 in
+  let nz = Zipf.create ~n:params.Tpcr.n_nations ~alpha:1.07 in
+  let gen rng i =
+    if i mod 2 = 0 then Querygen.gen_t1 t1 ~dates_zipf:dz ~supp_zipf:sz ~e:2 ~f:2 rng
+    else Querygen.gen_t2 t2 ~dates_zipf:dz ~supp_zipf:sz ~nation_zipf:nz ~e:3 ~f:2 ~g:2 rng
+  in
+  let checksum = ref 0 and total_tuples = ref 0 in
+  let answer inst =
+    Pmv.Manager.answer ~locks manager inst ~on_tuple:(fun _ tuple ->
+        incr total_tuples;
+        checksum := !checksum + Tuple.hash tuple)
+  in
+  let warm_rng = SM.create ~seed:(cfg.seed + 1) in
+  let n_warm = if cfg.full then 160 else 80 in
+  for i = 0 to n_warm - 1 do
+    ignore (answer (gen warm_rng i))
+  done;
+  checksum := 0;
+  total_tuples := 0;
+  let n_queries = if cfg.full then 1_280 else 640 in
+  let rng = SM.create ~seed:(cfg.seed + 2) in
+  let instances = List.init n_queries (gen rng) in
+  let t0 = Monotonic_clock.now () in
+  List.iter (fun inst -> ignore (answer inst)) instances;
+  let wall_ns = Int64.sub (Monotonic_clock.now ()) t0 in
+  (n_queries, wall_ns, !total_tuples, !checksum)
+
+let run cfg =
+  Output.header ~id:"Telemetry"
+    ~title:"answer() throughput with telemetry enabled vs disabled"
+    ~paper:"(extension) observability overhead gate: counters+histograms+sampled spans";
+  let scale = Option.value cfg.scale ~default:(if cfg.full then 0.02 else 0.005) in
+  let reps = if cfg.full then 5 else 3 in
+  (* alternate modes within each repetition so cache/allocator drift
+     hits both equally; keep the best wall time per mode *)
+  let best = Hashtbl.create 2 in
+  let record mode (q, wall, tuples, sum) =
+    match Hashtbl.find_opt best mode with
+    | Some (_, w, _, _) when Int64.compare w wall <= 0 -> ()
+    | _ -> Hashtbl.replace best mode (q, wall, tuples, sum)
+  in
+  for _ = 1 to reps do
+    record "off" (run_once cfg ~scale ~enabled:false);
+    record "on" (run_once cfg ~scale ~enabled:true)
+  done;
+  Tm.set_enabled true;
+  let result mode =
+    let q, wall, tuples, sum = Hashtbl.find best mode in
+    {
+      mode;
+      queries = q;
+      wall_ns = wall;
+      qps = float_of_int q /. (Int64.to_float wall /. 1e9);
+      reps;
+      total_tuples = tuples;
+      checksum = sum;
+    }
+  in
+  let off = result "off" and on = result "on" in
+  if on.checksum <> off.checksum || on.total_tuples <> off.total_tuples then
+    Fmt.epr "WARNING: telemetry on/off runs disagree (%d/%d tuples, %d/%d checksum)@."
+      on.total_tuples off.total_tuples on.checksum off.checksum;
+  let regression_pct = (off.qps -. on.qps) /. off.qps *. 100.0 in
+  let pass = regression_pct < 5.0 in
+  Output.row "%-10s %-9s %-12s %-9s@." "telemetry" "queries" "queries/s" "reps";
+  List.iter
+    (fun r -> Output.row "%-10s %-9d %-12.1f %-9d@." r.mode r.queries r.qps r.reps)
+    [ off; on ];
+  Output.row "overhead: %.2f%% throughput (gate: < 5%%, %s)@." regression_pct
+    (if pass then "pass" else "FAIL");
+  let json_of_mode r =
+    Fmt.str
+      {|{"queries": %d, "wall_ns": %Ld, "queries_per_sec": %.1f, "reps": %d, "total_tuples": %d, "checksum": %d}|}
+      r.queries r.wall_ns r.qps r.reps r.total_tuples r.checksum
+  in
+  let json =
+    Fmt.str
+      {|{
+  "experiment": "telemetry",
+  "scale": %g,
+  "seed": %d,
+  "mix": "1:1 t1:t2 alternating, t1 e=f=2, t2 e=3 f=g=2",
+  "off": %s,
+  "on": %s,
+  "regression_pct": %.3f,
+  "pass": %b,
+  "snapshot": %s
+}
+|}
+      scale cfg.seed (json_of_mode off) (json_of_mode on) regression_pct pass
+      (Minirel_telemetry.Export.json_string (Tm.snapshot ()))
+  in
+  let oc = open_out "BENCH_telemetry.json" in
+  output_string oc json;
+  close_out oc;
+  Output.row "wrote BENCH_telemetry.json@."

@@ -30,6 +30,7 @@ let experiments ~full ~seed ~scale =
     ("sens-warmup", fun () -> Exp_sim.sens_warmup sim);
     ("micro", fun () -> Exp_micro.run ());
     ("plancache", fun () -> Exp_plancache.run { Exp_plancache.full; seed; scale });
+    ("telemetry", fun () -> Exp_telemetry.run { Exp_telemetry.full; seed; scale });
   ]
 
 let run full scale seed names =
@@ -77,7 +78,7 @@ let names =
     & info [] ~docv:"EXPERIMENT"
         ~doc:
           "Experiments to run: table1 fig6 fig7 fig8 fig9 fig10 fig11 fig12 \
-           maintain-measured ablation-policy ablation-aux ablation-f ablation-drift ablation-interval sens-warmup micro plancache. \
+           maintain-measured ablation-policy ablation-aux ablation-f ablation-drift ablation-interval sens-warmup micro plancache telemetry. \
            Default: all.")
 
 let cmd =

@@ -103,6 +103,27 @@ let simulate alpha h n policy =
     (Minirel_cache.Policies.to_string policy)
     r.Pmv_sim.Hitprob.hit_prob
 
+(* Drive a short T1 workload through the shell's full stack, then dump
+   the telemetry snapshot in the requested format. *)
+let metrics scale seed queries format =
+  let catalog, params, t1 = build ~scale ~seed in
+  let shell = Shell.create catalog in
+  let manager = Shell.manager shell in
+  ignore (Pmv.Manager.create_view ~capacity:2_000 ~f_max:3 manager t1);
+  let dz = Zipf.create ~n:params.Tpcr.n_dates ~alpha:1.07 in
+  let sz = Zipf.create ~n:params.Tpcr.n_suppliers ~alpha:1.07 in
+  let rng = SM.create ~seed:(seed + 1) in
+  let locks = Minirel_txn.Txn.locks (Shell.txn_mgr shell) in
+  for _ = 1 to queries do
+    let q = Querygen.gen_t1 t1 ~dates_zipf:dz ~supp_zipf:sz ~e:2 ~f:2 rng in
+    ignore (Pmv.Manager.answer ~locks manager q ~on_tuple:(fun _ _ -> ()))
+  done;
+  let snapshot = Minirel_telemetry.Telemetry.snapshot () in
+  match format with
+  | "prom" -> print_string (Minirel_telemetry.Export.prometheus_string snapshot)
+  | "json" -> print_endline (Minirel_telemetry.Export.json_string snapshot)
+  | _ -> Fmt.pr "%a@." Minirel_telemetry.Telemetry.pp_snapshot snapshot
+
 (* Run SQL statements against generated TPC-R data, one PMV per
    template. Each statement runs twice to show the warm-cache effect. *)
 let sql scale seed statements =
@@ -190,8 +211,8 @@ let repl scale seed fresh persist =
   Fmt.pr
     "SQL statements (joins unparenthesised, parameterised selections in parens),@.also: \
      create table/index, insert into ... values, update ... set, delete from, select \
-     distinct, group by, order by, limit, explain.@.dot-commands: .views — PMV report   \
-     .templates — parsed templates   .quit@.";
+     distinct, group by, order by, limit, explain, trace, metrics [reset].@.dot-commands: \
+     .views — PMV report   .templates — parsed templates   .metrics — telemetry   .quit@.";
   let rec loop () =
     Fmt.pr "pmv> %!";
     match input_line stdin with
@@ -203,6 +224,10 @@ let repl scale seed fresh persist =
     | ".templates" ->
         Fmt.pr "%d templates parsed this session@."
           (Minirel_sql.Session.n_templates (Shell.session shell));
+        loop ()
+    | ".metrics" ->
+        Fmt.pr "%a@." Minirel_telemetry.Telemetry.pp_snapshot
+          (Minirel_telemetry.Telemetry.snapshot ());
         loop ()
     | "" -> loop ()
     | line ->
@@ -260,6 +285,19 @@ let sql_cmd =
           and (o.orderdate = 3) and (l.suppkey = 2)\")")
     Term.(const sql $ scale_arg $ seed_arg $ statements)
 
+let metrics_cmd =
+  let queries = Arg.(value & opt int 200 & info [ "queries" ] ~docv:"N") in
+  let format =
+    Arg.(
+      value
+      & opt string "text"
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text, prom, or json.")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Run a short T1 workload and dump the telemetry snapshot")
+    Term.(const metrics $ scale_arg $ seed_arg $ queries $ format)
+
 let repl_cmd =
   let fresh =
     Arg.(value & flag & info [ "fresh" ] ~doc:"Start with an empty catalog (use CREATE TABLE).")
@@ -280,4 +318,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "pmvctl" ~doc)
-          [ demo_cmd; query_cmd; simulate_cmd; sql_cmd; repl_cmd ]))
+          [ demo_cmd; query_cmd; simulate_cmd; sql_cmd; metrics_cmd; repl_cmd ]))

@@ -66,8 +66,13 @@ let () =
   in
   let compiled = Template.compile catalog spec in
 
-  (* 4. A PMV: at most 100 basic condition parts, F = 2 tuples each. *)
-  let view = Pmv.View.create ~capacity:100 ~f_max:2 ~name:"quickstart" compiled in
+  (* 4. A PMV manager (it also wires the engine into the telemetry
+        registry) with one view: at most 100 basic condition parts,
+        F = 2 tuples each. Queries run under the Section 3.6 S-lock. *)
+  let manager = Pmv.Manager.create catalog in
+  let view = Pmv.Manager.create_view ~capacity:100 ~f_max:2 manager compiled in
+  let locks = Minirel_txn.Lock_manager.create () in
+  Minirel_txn.Lock_manager.register_telemetry locks;
 
   (* 5. Queries. The first one runs cold and fills the PMV for free;
         the second gets its hot results back in O2, before execution. *)
@@ -76,8 +81,8 @@ let () =
   in
   let run label =
     let partial = ref 0 and total = ref 0 in
-    let stats =
-      Pmv.Answer.answer ~view catalog query ~on_tuple:(fun phase t ->
+    let stats, _used_view =
+      Pmv.Manager.answer ~locks manager query ~on_tuple:(fun phase t ->
           incr total;
           match phase with
           | Pmv.Answer.Partial ->
@@ -96,4 +101,28 @@ let () =
   run "query 1 (cold PMV)";
   run "query 2 (warm PMV)";
   Fmt.pr "PMV now holds %d basic condition parts, %d tuples, ~%d bytes@."
-    (Pmv.View.n_entries view) (Pmv.View.n_tuples view) (Pmv.View.size_bytes view)
+    (Pmv.View.n_entries view) (Pmv.View.n_tuples view) (Pmv.View.size_bytes view);
+
+  (* 6. What the telemetry saw: every engine layer reported through one
+        registry (see DESIGN.md, "Telemetry"). *)
+  let module Tm = Minirel_telemetry.Telemetry in
+  let module R = Minirel_telemetry.Registry in
+  let snapshot = Tm.snapshot () in
+  Fmt.pr "@.telemetry (%d metrics from sources [%a]):@."
+    (List.length snapshot)
+    Fmt.(list ~sep:comma string)
+    (R.source_names R.default);
+  List.iter
+    (fun name ->
+      match R.find snapshot name with
+      | Some v -> Fmt.pr "  %-28s %a@." name R.pp_value v
+      | None -> ())
+    [
+      "answer.queries";
+      "answer.ttft_ns";
+      "bufferpool.reads";
+      "exec.root_tuples";
+      "lockmgr.acquires";
+      "plancache.hits";
+      "pmv.sales_by_category_store.partial_tuples";
+    ]

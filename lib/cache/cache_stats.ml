@@ -18,6 +18,17 @@ let reset t =
   t.rejections <- 0;
   t.evictions <- 0
 
+(* Stable name/value pairs for telemetry registration; the same names
+   appear under every policy-backed source (buffer pool, PMV store). *)
+let to_list t =
+  [
+    ("references", t.references);
+    ("hits", t.hits);
+    ("admissions", t.admissions);
+    ("rejections", t.rejections);
+    ("evictions", t.evictions);
+  ]
+
 let hit_ratio t =
   if t.references = 0 then 0.0
   else float_of_int t.hits /. float_of_int t.references

@@ -10,5 +10,9 @@ type t = {
 
 val create : unit -> t
 val reset : t -> unit
+
+(** Stable name/value pairs for telemetry registration. *)
+val to_list : t -> (string * int) list
+
 val hit_ratio : t -> float
 val pp : t Fmt.t

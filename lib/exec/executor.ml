@@ -77,7 +77,27 @@ let label = function
   | Plan.Limit (n, _) -> Fmt.str "limit(%d)" n
   | Plan.Aggregate _ -> "aggregate"
 
-let rec cursor ?profile catalog (plan : Plan.t) : Tuple.t Cursor.t =
+(* Process-wide executor telemetry: cursors opened and tuples produced
+   at plan roots. Module-global because the executor itself is
+   stateless; registered into a registry via [register_telemetry]. *)
+type telemetry_counters = { mutable cursors : int; mutable root_tuples : int }
+
+let telemetry = { cursors = 0; root_tuples = 0 }
+
+let register_telemetry ?(registry = Minirel_telemetry.Registry.default) ?(name = "exec") ()
+    =
+  let module R = Minirel_telemetry.Registry in
+  R.register_source registry ~name
+    ~reset:(fun () ->
+      telemetry.cursors <- 0;
+      telemetry.root_tuples <- 0)
+    (fun () ->
+      [
+        ("cursors", R.Counter telemetry.cursors);
+        ("root_tuples", R.Counter telemetry.root_tuples);
+      ])
+
+let rec op_cursor ?profile catalog (plan : Plan.t) : Tuple.t Cursor.t =
   (* register before recursing so profile nodes appear in plan pre-order *)
   let node = Option.map (fun p -> Exec_stats.register p (label plan)) profile in
   let c = build ?profile catalog plan in
@@ -168,7 +188,7 @@ and build ?profile catalog (plan : Plan.t) : Tuple.t Cursor.t =
   | Plan.Inlj { outer; rel; index; outer_key; pred } ->
       let heap = Catalog.heap catalog rel in
       let ix = find_index catalog ~rel ~name:index in
-      let out = cursor ?profile catalog outer in
+      let out = op_cursor ?profile catalog outer in
       let current = ref ([||] : Tuple.t) in
       let pending = ref [] in
       let rec next () =
@@ -190,7 +210,7 @@ and build ?profile catalog (plan : Plan.t) : Tuple.t Cursor.t =
       next
   | Plan.Nlj { outer; rel; eq; pred } ->
       let heap = Catalog.heap catalog rel in
-      cursor ?profile catalog outer
+      op_cursor ?profile catalog outer
       |> Cursor.concat_map_list (fun outer_t ->
              let matches = ref [] in
              Heap_file.iter heap (fun _rid inner_t ->
@@ -219,7 +239,7 @@ and build ?profile catalog (plan : Plan.t) : Tuple.t Cursor.t =
            Tuple.Table.iter (fun _ bucket -> bucket := List.rev !bucket) tbl;
            tbl)
       in
-      let out = cursor ?profile catalog outer in
+      let out = op_cursor ?profile catalog outer in
       let current = ref ([||] : Tuple.t) in
       let pending = ref [] in
       let rec next () =
@@ -243,9 +263,9 @@ and build ?profile catalog (plan : Plan.t) : Tuple.t Cursor.t =
       in
       next
   | Plan.Filter (pred, inner) ->
-      Cursor.filter (Predicate.eval pred) (cursor ?profile catalog inner)
+      Cursor.filter (Predicate.eval pred) (op_cursor ?profile catalog inner)
   | Plan.Project (positions, inner) ->
-      Cursor.map (fun t -> Tuple.project t positions) (cursor ?profile catalog inner)
+      Cursor.map (fun t -> Tuple.project t positions) (op_cursor ?profile catalog inner)
   | Plan.Sort { keys; desc; input } ->
       (* blocking: drain, sort, stream. Materialisation is delayed until
          the first pull so upstream I/O is charged when the sort runs. *)
@@ -254,7 +274,7 @@ and build ?profile catalog (plan : Plan.t) : Tuple.t Cursor.t =
         let c = Tuple.compare (Tuple.project a keys) (Tuple.project b keys) in
         if desc then -c else c
       in
-      let inner = cursor ?profile catalog input in
+      let inner = op_cursor ?profile catalog input in
       fun () ->
         let cur =
           match !sorted with
@@ -267,7 +287,7 @@ and build ?profile catalog (plan : Plan.t) : Tuple.t Cursor.t =
         cur ()
   | Plan.Limit (n, input) ->
       let remaining = ref n in
-      let inner = cursor ?profile catalog input in
+      let inner = op_cursor ?profile catalog input in
       fun () ->
         if !remaining <= 0 then None
         else begin
@@ -275,7 +295,7 @@ and build ?profile catalog (plan : Plan.t) : Tuple.t Cursor.t =
           inner ()
         end
   | Plan.Aggregate { group_by; aggs; input } ->
-      let inner = cursor ?profile catalog input in
+      let inner = op_cursor ?profile catalog input in
       let materialized = ref None in
       fun () ->
         let cur =
@@ -312,6 +332,22 @@ and build ?profile catalog (plan : Plan.t) : Tuple.t Cursor.t =
               cur
         in
         cur ()
+
+(* Public entry: the root cursor additionally feeds the process-wide
+   executor counters. The per-tuple wrapper is built only while
+   telemetry is enabled, so the disabled mode pays nothing per pull. *)
+let cursor ?profile catalog plan =
+  let c = op_cursor ?profile catalog plan in
+  if not (Minirel_telemetry.Telemetry.is_enabled ()) then c
+  else begin
+    telemetry.cursors <- telemetry.cursors + 1;
+    fun () ->
+      match c () with
+      | Some _ as r ->
+          telemetry.root_tuples <- telemetry.root_tuples + 1;
+          r
+      | None -> None
+  end
 
 let run_to_list ?profile catalog plan = Cursor.to_list (cursor ?profile catalog plan)
 

@@ -19,3 +19,9 @@ val run_to_list :
   ?profile:Exec_stats.t -> Minirel_index.Catalog.t -> Plan.t -> Minirel_storage.Tuple.t list
 
 val count : ?profile:Exec_stats.t -> Minirel_index.Catalog.t -> Plan.t -> int
+
+(** Register the process-wide executor counters (root cursors opened,
+    tuples produced at plan roots) as telemetry source [name] (default
+    ["exec"]). *)
+val register_telemetry :
+  ?registry:Minirel_telemetry.Registry.t -> ?name:string -> unit -> unit

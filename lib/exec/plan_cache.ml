@@ -101,6 +101,32 @@ let plan t instance =
       t.counters.fallbacks <- t.counters.fallbacks + 1;
       Planner.plan_query ?stats:t.stats t.catalog instance
 
+let counters_to_list c =
+  [
+    ("hits", c.hits);
+    ("misses", c.misses);
+    ("invalidations", c.invalidations);
+    ("fallbacks", c.fallbacks);
+  ]
+
+let reset_counters t =
+  t.counters.hits <- 0;
+  t.counters.misses <- 0;
+  t.counters.invalidations <- 0;
+  t.counters.fallbacks <- 0
+
+let register_telemetry ?(registry = Minirel_telemetry.Registry.default)
+    ?(name = "plancache") t =
+  let module R = Minirel_telemetry.Registry in
+  R.register_source registry ~name
+    ~reset:(fun () -> reset_counters t)
+    (fun () ->
+      List.map (fun (k, v) -> (k, R.Counter v)) (counters_to_list t.counters)
+      @ [
+          ("entries", R.Gauge (float_of_int (size t)));
+          ("enabled", R.Gauge (if t.enabled then 1.0 else 0.0));
+        ])
+
 let pp_counters ppf c =
   Fmt.pf ppf "hits %d  misses %d  invalidations %d  fallbacks %d" c.hits c.misses
     c.invalidations c.fallbacks

@@ -35,6 +35,18 @@ val set_stats : t -> Stats.t option -> unit
 val clear : t -> unit
 
 val counters : t -> counters
+
+(** Stable name/value pairs for telemetry registration. *)
+val counters_to_list : counters -> (string * int) list
+
+(** Zero the hit/miss/invalidation/fallback counters. *)
+val reset_counters : t -> unit
+
+(** Register this cache as telemetry source [name] (default
+    ["plancache"]). *)
+val register_telemetry :
+  ?registry:Minirel_telemetry.Registry.t -> ?name:string -> t -> unit
+
 val size : t -> int
 val pp_counters : counters Fmt.t
 val pp : t Fmt.t

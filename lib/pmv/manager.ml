@@ -26,16 +26,60 @@ type t = {
   default_policy : Minirel_cache.Policies.kind;
 }
 
+(* Register a view as telemetry source [pmv.<template>]: query/fill
+   counters, replacement-policy counters, and residency gauges. *)
+let register_view_telemetry view =
+  let module R = Minirel_telemetry.Registry in
+  let vstats = View.stats view in
+  R.register_source R.default
+    ~name:("pmv." ^ View.name view)
+    ~reset:(fun () ->
+      vstats.View.queries <- 0;
+      vstats.View.query_hits <- 0;
+      vstats.View.partial_tuples <- 0;
+      vstats.View.fills <- 0;
+      vstats.View.skipped_inserts <- 0;
+      vstats.View.maint_removed <- 0;
+      vstats.View.maint_skipped_updates <- 0;
+      Minirel_cache.Cache_stats.reset (Entry_store.policy_stats (View.store view)))
+    (fun () ->
+      [
+        ("queries", R.Counter vstats.View.queries);
+        ("query_hits", R.Counter vstats.View.query_hits);
+        ("partial_tuples", R.Counter vstats.View.partial_tuples);
+        ("fills", R.Counter vstats.View.fills);
+        ("skipped_inserts", R.Counter vstats.View.skipped_inserts);
+        ("maint_removed", R.Counter vstats.View.maint_removed);
+        ("maint_skipped_updates", R.Counter vstats.View.maint_skipped_updates);
+        ("entries", R.Gauge (float_of_int (View.n_entries view)));
+        ("tuples", R.Gauge (float_of_int (View.n_tuples view)));
+        ("bytes", R.Gauge (float_of_int (View.size_bytes view)));
+        ("hit_ratio", R.Gauge (View.hit_ratio view));
+      ]
+      @ List.map
+          (fun (k, v) -> ("policy." ^ k, R.Counter v))
+          (Minirel_cache.Cache_stats.to_list
+             (Entry_store.policy_stats (View.store view))))
+
 let create ?(default_f_max = 2) ?(default_policy = Minirel_cache.Policies.Clock) catalog =
-  {
-    catalog;
-    views = Hashtbl.create 16;
-    order = [];
-    plan_cache = Plan_cache.create catalog;
-    txn_mgr = None;
-    default_f_max;
-    default_policy;
-  }
+  let t =
+    {
+      catalog;
+      views = Hashtbl.create 16;
+      order = [];
+      plan_cache = Plan_cache.create catalog;
+      txn_mgr = None;
+      default_f_max;
+      default_policy;
+    }
+  in
+  (* A manager is the engine's chokepoint, so creating one (re)binds the
+     default registry's engine-level sources to this instance's
+     components. *)
+  Minirel_storage.Buffer_pool.register_telemetry (Catalog.pool catalog);
+  Plan_cache.register_telemetry t.plan_cache;
+  Minirel_exec.Executor.register_telemetry ();
+  t
 
 let catalog t = t.catalog
 let plan_cache t = t.plan_cache
@@ -75,6 +119,7 @@ let create_view ?policy ?f_max ?capacity ?ub_bytes ?(sample = []) t compiled =
   let view = View.create ~policy ~f_max ~capacity ~name compiled in
   Hashtbl.replace t.views name { view; ub_bytes };
   t.order <- name :: t.order;
+  register_view_telemetry view;
   (match t.txn_mgr with Some mgr -> Maintain.attach view mgr | None -> ());
   view
 
@@ -87,6 +132,9 @@ let drop_view t ~template =
   (match (Hashtbl.find_opt t.views template, t.txn_mgr) with
   | Some e, Some mgr -> Maintain.detach e.view mgr
   | _ -> ());
+  if Hashtbl.mem t.views template then
+    Minirel_telemetry.Registry.unregister_source Minirel_telemetry.Registry.default
+      ~name:("pmv." ^ template);
   Hashtbl.remove t.views template;
   t.order <- List.filter (fun n -> n <> template) t.order
 

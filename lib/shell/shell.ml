@@ -32,6 +32,7 @@ let create ?(view_ub_bytes = 262_144) ?(auto_views = true) catalog =
   let txn_mgr = Minirel_txn.Txn.create catalog in
   let manager = Pmv.Manager.create catalog in
   Pmv.Manager.attach_maintenance manager txn_mgr;
+  Minirel_txn.Lock_manager.register_telemetry (Minirel_txn.Txn.locks txn_mgr);
   {
     catalog;
     session = Session.create catalog;
@@ -70,7 +71,8 @@ type result =
   | Updated of int
   | Deleted of int
   | Explained of string  (* physical plan text *)
-  | Traced of string  (* per-operator profile + plan-cache counters *)
+  | Traced of string  (* per-operator profile, span tree, plan-cache counters *)
+  | Metrics of string  (* METRICS [RESET]: telemetry snapshot text *)
 
 exception Error of string
 
@@ -156,6 +158,13 @@ let agg_name (f, arg) =
 
 (* --- SELECT --- *)
 
+(* Every routed query runs under the Section 3.6 S-lock protocol, so
+   the lock-manager telemetry reflects real query traffic. *)
+let answer_locked ?profile t instance ~on_tuple =
+  Pmv.Manager.answer
+    ~locks:(Minirel_txn.Txn.locks t.txn_mgr)
+    ?profile t.manager instance ~on_tuple
+
 let ensure_view t compiled =
   let template = compiled.Template.spec.Template.name in
   if t.auto_views && Pmv.Manager.find t.manager ~template = None then
@@ -182,11 +191,11 @@ let run_select t sql =
             all := List.rev rows;
             total := List.length rows
         | None ->
-            let stats, _ = Pmv.Manager.answer t.manager instance ~on_tuple:collect in
+            let stats, _ = answer_locked t instance ~on_tuple:collect in
             stats_overhead := stats.Pmv.Answer.overhead_ns;
             total := stats.Pmv.Answer.total_count)
     | _ ->
-        let stats, _ = Pmv.Manager.answer t.manager instance ~on_tuple:collect in
+        let stats, _ = answer_locked t instance ~on_tuple:collect in
         stats_overhead := stats.Pmv.Answer.overhead_ns;
         total := stats.Pmv.Answer.total_count);
     let rows = List.rev !all in
@@ -250,7 +259,7 @@ let run_select t sql =
         partial_rows := tuple :: !partial_rows
       end
     in
-    let _stats, _ = Pmv.Manager.answer t.manager instance ~on_tuple:collect2 in
+    let _stats, _ = answer_locked t instance ~on_tuple:collect2 in
     let groups = group_rows compiled bound (List.rev !all) in
     let partial_groups = group_rows compiled bound (List.rev !partial_rows) in
     let limit gs =
@@ -381,18 +390,35 @@ let exec_statement t sql =
       let compiled, instance, _bound = Session.query_bound t.session sql_body in
       ensure_view t compiled;
       let profile = Minirel_exec.Exec_stats.create () in
+      (* record this query's span tree regardless of sampling *)
+      Minirel_telemetry.Telemetry.force_next_trace ();
       let stats, used_view =
-        Pmv.Manager.answer ~profile t.manager instance ~on_tuple:(fun _ _ -> ())
+        answer_locked ~profile t instance ~on_tuple:(fun _ _ -> ())
+      in
+      let spans =
+        match Minirel_telemetry.Telemetry.last_trace () with
+        | Some trace -> Fmt.str "@.%a" Minirel_telemetry.Span.pp_trace trace
+        | None -> ""
       in
       Traced
-        (Fmt.str "template %s%s@.%a%a@.%d tuples (%d from the PMV), exec %.1f µs, overhead %.1f µs"
+        (Fmt.str "template %s%s@.%a%a@.%d tuples (%d from the PMV), exec %.1f µs, overhead %.1f µs%s"
            compiled.Template.spec.Template.name
            (if used_view then " (answered through its PMV)" else "")
            Minirel_exec.Exec_stats.pp profile Minirel_exec.Plan_cache.pp
            (Pmv.Manager.plan_cache t.manager)
            stats.Pmv.Answer.total_count stats.Pmv.Answer.partial_count
            (Int64.to_float stats.Pmv.Answer.exec_ns /. 1e3)
-           (Int64.to_float stats.Pmv.Answer.overhead_ns /. 1e3))
+           (Int64.to_float stats.Pmv.Answer.overhead_ns /. 1e3)
+           spans)
+  | Ast.St_metrics { reset } ->
+      if reset then begin
+        Minirel_telemetry.Telemetry.reset ();
+        Metrics "telemetry counters reset (registrations kept)"
+      end
+      else
+        Metrics
+          (Fmt.str "%a" Minirel_telemetry.Telemetry.pp_snapshot
+             (Minirel_telemetry.Telemetry.snapshot ()))
   | Ast.St_delete { table; where } ->
       if not (Catalog.mem t.catalog table) then fail "unknown relation %s" table;
       let schema = Catalog.schema t.catalog table in
@@ -435,3 +461,4 @@ let pp_result ppf = function
   | Deleted n -> Fmt.pf ppf "%d rows deleted" n
   | Explained text -> Fmt.pf ppf "%s" text
   | Traced text -> Fmt.pf ppf "%s" text
+  | Metrics text -> Fmt.pf ppf "%s" text

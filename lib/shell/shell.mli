@@ -42,8 +42,11 @@ type result =
   | Deleted of int
   | Explained of string  (** physical plan text *)
   | Traced of string
-      (** per-operator executor profile + plan-cache counters for one
-          answered query *)
+      (** per-operator executor profile, telemetry span tree, and
+          plan-cache counters for one answered query *)
+  | Metrics of string
+      (** [METRICS]: a telemetry snapshot; [METRICS RESET]:
+          confirmation that counters were zeroed *)
 
 exception Error of string
 

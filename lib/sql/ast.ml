@@ -61,6 +61,7 @@ type statement =
   | St_delete of { table : string; where : atom list }  (* conjunctive *)
   | St_explain of query
   | St_trace of query  (* run with per-operator executor profiling *)
+  | St_metrics of { reset : bool }  (* METRICS [RESET]: telemetry snapshot *)
 
 let lit_to_value = function
   | L_int i -> Minirel_storage.Value.Int i

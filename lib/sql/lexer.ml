@@ -23,6 +23,7 @@ type token =
   | DISTINCT
   | EXPLAIN
   | TRACE
+  | METRICS
   | GROUP
   | ORDER
   | BY
@@ -67,6 +68,7 @@ let token_to_string = function
   | DISTINCT -> "DISTINCT"
   | EXPLAIN -> "EXPLAIN"
   | TRACE -> "TRACE"
+  | METRICS -> "METRICS"
   | GROUP -> "GROUP"
   | ORDER -> "ORDER"
   | BY -> "BY"
@@ -120,6 +122,7 @@ let keyword_of_string s =
   | "distinct" -> Some DISTINCT
   | "explain" -> Some EXPLAIN
   | "trace" -> Some TRACE
+  | "metrics" -> Some METRICS
   | "group" -> Some GROUP
   | "order" -> Some ORDER
   | "by" -> Some BY

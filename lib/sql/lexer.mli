@@ -23,6 +23,7 @@ type token =
   | DISTINCT
   | EXPLAIN
   | TRACE
+  | METRICS
   | GROUP
   | ORDER
   | BY

@@ -319,6 +319,18 @@ let parse_statement input =
     | Lexer.TRACE ->
         advance st;
         St_trace (select_query st)
+    | Lexer.METRICS ->
+        advance st;
+        let reset =
+          (* RESET is deliberately not a keyword (a column may be named
+             "reset"); accept it as a bare identifier here. *)
+          match peek st with
+          | Lexer.IDENT id when String.lowercase_ascii id = "reset" ->
+              advance st;
+              true
+          | _ -> false
+        in
+        St_metrics { reset }
     | t -> fail "expected a statement, found %s" (Lexer.token_to_string t)
   in
   expect st Lexer.EOF;

@@ -29,8 +29,32 @@ let create ?(policy = Minirel_cache.Policies.Clock) ~capacity () =
   t
 
 let stats t = t.stats
+let policy_stats t = Minirel_cache.Policy.stats t.policy
 let capacity t = Minirel_cache.Policy.capacity t.policy
 let resident t = Minirel_cache.Policy.size t.policy
+
+(* One reset for both counter families: Io_stats.reset alone used to
+   leave the policy's hit/miss counters running, skewing back-to-back
+   experiment readouts. *)
+let reset_stats t =
+  Io_stats.reset t.stats;
+  Minirel_cache.Cache_stats.reset (policy_stats t)
+
+let register_telemetry ?(registry = Minirel_telemetry.Registry.default)
+    ?(name = "bufferpool") t =
+  let module R = Minirel_telemetry.Registry in
+  R.register_source registry ~name
+    ~reset:(fun () -> reset_stats t)
+    (fun () ->
+      List.map (fun (k, v) -> (k, R.Counter v)) (Io_stats.to_list t.stats)
+      @ List.map
+          (fun (k, v) -> ("policy." ^ k, R.Counter v))
+          (Minirel_cache.Cache_stats.to_list (policy_stats t))
+      @ [
+          ("resident", R.Gauge (float_of_int (resident t)));
+          ("capacity", R.Gauge (float_of_int (capacity t)));
+          ("dirty", R.Gauge (float_of_int (Hashtbl.length t.dirty)));
+        ])
 
 (* Allocate a fresh file id for a heap file or an index. *)
 let register_file t =

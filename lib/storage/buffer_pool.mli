@@ -11,6 +11,10 @@ type t
 val create : ?policy:Minirel_cache.Policies.kind -> capacity:int -> unit -> t
 
 val stats : t -> Io_stats.t
+
+(** The replacement policy's hit/miss/eviction counters. *)
+val policy_stats : t -> Minirel_cache.Cache_stats.t
+
 val capacity : t -> int
 
 (** Number of currently resident pages. *)
@@ -29,3 +33,14 @@ val flush : t -> unit
 (** Drop every resident page of [file] without write-back accounting;
     for relations rebuilt from scratch. *)
 val invalidate_file : t -> file:int -> unit
+
+(** Reset the logical I/O counters {e and} the policy's counters in one
+    step (historically the two drifted apart between experiment runs). *)
+val reset_stats : t -> unit
+
+(** Register this pool as telemetry source [name] (default
+    ["bufferpool"]): I/O counters, policy counters, residency and
+    capacity gauges. The registry's reset then goes through
+    {!reset_stats}. *)
+val register_telemetry :
+  ?registry:Minirel_telemetry.Registry.t -> ?name:string -> t -> unit

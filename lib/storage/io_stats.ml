@@ -21,4 +21,6 @@ let diff ~before t = { reads = t.reads - before.reads; writes = t.writes - befor
 let add_read t = t.reads <- t.reads + 1
 let add_write t = t.writes <- t.writes + 1
 
+let to_list t = [ ("reads", t.reads); ("writes", t.writes) ]
+
 let pp ppf t = Fmt.pf ppf "reads=%d writes=%d" t.reads t.writes

@@ -17,4 +17,7 @@ val diff : before:t -> t -> t
 
 val add_read : t -> unit
 val add_write : t -> unit
+
+(** Stable name/value pairs for telemetry registration. *)
+val to_list : t -> (string * int) list
 val pp : t Fmt.t

@@ -1,0 +1,54 @@
+(* Edge formats for a registry snapshot. Both render from the same
+   [(name, value)] list, so the shell, pmvctl and the benches cannot
+   drift apart on what a metric is called. *)
+
+let prom_name name =
+  String.map (function '.' | '-' | ' ' -> '_' | c -> c) (String.lowercase_ascii name)
+
+let prometheus ppf snap =
+  List.iter
+    (fun (name, value) ->
+      let n = prom_name name in
+      match (value : Registry.value) with
+      | Registry.Counter c ->
+          Fmt.pf ppf "# TYPE %s counter@.%s %d@." n n c
+      | Registry.Gauge g -> Fmt.pf ppf "# TYPE %s gauge@.%s %.6f@." n n g
+      | Registry.Histogram s ->
+          Fmt.pf ppf "# TYPE %s summary@." n;
+          Fmt.pf ppf "%s{quantile=\"0.5\"} %Ld@." n s.Histogram.p50;
+          Fmt.pf ppf "%s{quantile=\"0.95\"} %Ld@." n s.Histogram.p95;
+          Fmt.pf ppf "%s{quantile=\"0.99\"} %Ld@." n s.Histogram.p99;
+          Fmt.pf ppf "%s_sum %Ld@.%s_count %d@." n s.Histogram.sum n s.Histogram.count)
+    snap
+
+let prometheus_string snap = Fmt.str "%a" prometheus snap
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json ppf snap =
+  Fmt.pf ppf "{";
+  List.iteri
+    (fun i (name, value) ->
+      if i > 0 then Fmt.pf ppf ", ";
+      Fmt.pf ppf "\"%s\": " (json_escape name);
+      match (value : Registry.value) with
+      | Registry.Counter c -> Fmt.pf ppf "%d" c
+      | Registry.Gauge g -> Fmt.pf ppf "%.6f" g
+      | Registry.Histogram s ->
+          Fmt.pf ppf
+            {|{"count": %d, "sum_ns": %Ld, "min_ns": %Ld, "max_ns": %Ld, "p50_ns": %Ld, "p95_ns": %Ld, "p99_ns": %Ld}|}
+            s.Histogram.count s.Histogram.sum s.Histogram.min s.Histogram.max
+            s.Histogram.p50 s.Histogram.p95 s.Histogram.p99)
+    snap;
+  Fmt.pf ppf "}"
+
+let json_string snap = Fmt.str "%a" json snap

@@ -1,0 +1,8 @@
+(** Snapshot exporters: Prometheus text exposition format and JSON.
+    Metric names are sanitised for Prometheus ([.] and [-] become
+    [_]); histograms export [_count], [_sum] and quantile series. *)
+
+val prometheus : Format.formatter -> (string * Registry.value) list -> unit
+val prometheus_string : (string * Registry.value) list -> string
+val json : Format.formatter -> (string * Registry.value) list -> unit
+val json_string : (string * Registry.value) list -> string

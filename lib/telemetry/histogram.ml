@@ -1,0 +1,101 @@
+(* Log-bucketed latency histogram: bucket i covers [2^i, 2^(i+1)) ns,
+   bucket 0 additionally absorbs <= 0. 63 buckets cover the whole
+   non-negative int64 range a monotonic clock can produce, so recording
+   never branches on range. Exactness contract: quantile readouts are
+   exact at bucket granularity (they return the upper bound of the
+   bucket holding the requested rank), which the tests check against a
+   reference sort. *)
+
+let n_buckets = 63
+
+type t = {
+  counts : int array;  (* length n_buckets *)
+  mutable count : int;
+  mutable sum : int64;
+  mutable min : int64;
+  mutable max : int64;
+}
+
+let create () =
+  { counts = Array.make n_buckets 0; count = 0; sum = 0L; min = 0L; max = 0L }
+
+let bucket_of_ns ns =
+  if Int64.compare ns 2L < 0 then 0
+  else begin
+    (* floor(log2 ns): position of the highest set bit *)
+    let v = ref (Int64.to_int (Int64.shift_right_logical ns 1)) in
+    let i = ref 0 in
+    while !v > 0 do
+      incr i;
+      v := !v lsr 1
+    done;
+    min !i (n_buckets - 1)
+  end
+
+let bucket_upper_ns i =
+  if i >= 62 then Int64.max_int else Int64.sub (Int64.shift_left 1L (i + 1)) 1L
+
+let record t ns =
+  let ns = if Int64.compare ns 0L < 0 then 0L else ns in
+  let i = bucket_of_ns ns in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.sum <- Int64.add t.sum ns;
+  if t.count = 0 || Int64.compare ns t.min < 0 then t.min <- ns;
+  if Int64.compare ns t.max > 0 then t.max <- ns;
+  t.count <- t.count + 1
+
+let count t = t.count
+let sum_ns t = t.sum
+let max_ns t = t.max
+let min_ns t = t.min
+let bucket_counts t = Array.copy t.counts
+
+let quantile t p =
+  if t.count = 0 then 0L
+  else begin
+    let rank = int_of_float (ceil (p *. float_of_int t.count)) in
+    let rank = max 1 (min t.count rank) in
+    let cum = ref 0 and result = ref (bucket_upper_ns (n_buckets - 1)) in
+    (try
+       for i = 0 to n_buckets - 1 do
+         cum := !cum + t.counts.(i);
+         if !cum >= rank then begin
+           result := bucket_upper_ns i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+let reset t =
+  Array.fill t.counts 0 n_buckets 0;
+  t.count <- 0;
+  t.sum <- 0L;
+  t.min <- 0L;
+  t.max <- 0L
+
+type summary = {
+  count : int;
+  sum : int64;
+  min : int64;
+  max : int64;
+  p50 : int64;
+  p95 : int64;
+  p99 : int64;
+}
+
+let summary (t : t) =
+  {
+    count = t.count;
+    sum = t.sum;
+    min = t.min;
+    max = t.max;
+    p50 = quantile t 0.5;
+    p95 = quantile t 0.95;
+    p99 = quantile t 0.99;
+  }
+
+let pp_summary ppf s =
+  Fmt.pf ppf "n=%d p50=%Ldns p95=%Ldns p99=%Ldns max=%Ldns" s.count s.p50 s.p95 s.p99
+    s.max

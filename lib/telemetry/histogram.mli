@@ -1,0 +1,49 @@
+(** Log-bucketed latency histograms. Bucket [i] holds samples in
+    [[2^i, 2^(i+1))] nanoseconds (bucket 0 also absorbs 0 and negative
+    samples), so recording is a handful of shifts and quantile readouts
+    are exact at bucket granularity: the reported quantile is the upper
+    bound of the bucket holding the rank-[ceil(p*n)] sample. *)
+
+type t
+
+val create : unit -> t
+
+(** Number of buckets (fixed). *)
+val n_buckets : int
+
+(** Bucket index a sample lands in. *)
+val bucket_of_ns : int64 -> int
+
+(** Largest value of bucket [i], i.e. [2^(i+1) - 1]. *)
+val bucket_upper_ns : int -> int64
+
+val record : t -> int64 -> unit
+val count : t -> int
+val sum_ns : t -> int64
+
+(** 0 when empty. *)
+val max_ns : t -> int64
+
+(** 0 when empty. *)
+val min_ns : t -> int64
+
+val bucket_counts : t -> int array
+
+(** [quantile t p] for [p] in (0, 1]: the upper bound of the bucket
+    containing the sample of rank [ceil (p * count)]; 0 when empty. *)
+val quantile : t -> float -> int64
+
+val reset : t -> unit
+
+type summary = {
+  count : int;
+  sum : int64;
+  min : int64;
+  max : int64;
+  p50 : int64;
+  p95 : int64;
+  p99 : int64;
+}
+
+val summary : t -> summary
+val pp_summary : Format.formatter -> summary -> unit

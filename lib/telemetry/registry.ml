@@ -1,0 +1,96 @@
+(* The metrics registry. Counters and histograms are owned here
+   (get-or-create, so callers can cache the returned handle and pay one
+   mutable-field update per event); gauges and sources are callbacks
+   evaluated at snapshot time. Sources replace on name collision —
+   when a fresh buffer pool or plan cache takes over a name, the
+   registry follows the live instance. *)
+
+type counter = { mutable v : int }
+
+let incr c = c.v <- c.v + 1
+let add c n = c.v <- c.v + n
+let counter_value c = c.v
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of Histogram.summary
+
+type source = { read : unit -> (string * value) list; src_reset : unit -> unit }
+
+type t = {
+  counters : (string, counter) Hashtbl.t;
+  histograms : (string, Histogram.t) Hashtbl.t;
+  gauges : (string, unit -> float) Hashtbl.t;
+  mutable sources : (string * source) list;  (* registration order, oldest first *)
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 64;
+    histograms = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    sources = [];
+  }
+
+let default = create ()
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> c
+  | None ->
+      if Hashtbl.mem t.histograms name then
+        invalid_arg (Fmt.str "Registry.counter: %s is already a histogram" name);
+      let c = { v = 0 } in
+      Hashtbl.replace t.counters name c;
+      c
+
+let histogram t name =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h -> h
+  | None ->
+      if Hashtbl.mem t.counters name then
+        invalid_arg (Fmt.str "Registry.histogram: %s is already a counter" name);
+      let h = Histogram.create () in
+      Hashtbl.replace t.histograms name h;
+      h
+
+let register_gauge t name f = Hashtbl.replace t.gauges name f
+
+let register_source t ~name ?(reset = fun () -> ()) read =
+  t.sources <-
+    List.filter (fun (n, _) -> n <> name) t.sources @ [ (name, { read; src_reset = reset }) ]
+
+let unregister_source t ~name = t.sources <- List.filter (fun (n, _) -> n <> name) t.sources
+
+let source_names t = List.sort String.compare (List.map fst t.sources)
+
+let snapshot t =
+  let own =
+    Hashtbl.fold (fun name c acc -> (name, Counter c.v) :: acc) t.counters []
+    |> Hashtbl.fold (fun name h acc -> (name, Histogram (Histogram.summary h)) :: acc)
+         t.histograms
+    |> Hashtbl.fold (fun name g acc -> (name, Gauge (g ())) :: acc) t.gauges
+  in
+  let sourced =
+    List.concat_map
+      (fun (src, { read; _ }) ->
+        List.map (fun (name, v) -> (src ^ "." ^ name, v)) (read ()))
+      t.sources
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) (own @ sourced)
+
+let reset t =
+  Hashtbl.iter (fun _ c -> c.v <- 0) t.counters;
+  Hashtbl.iter (fun _ h -> Histogram.reset h) t.histograms;
+  List.iter (fun (_, s) -> s.src_reset ()) t.sources
+
+let find snapshot name = List.assoc_opt name snapshot
+
+let pp_value ppf = function
+  | Counter n -> Fmt.int ppf n
+  | Gauge g -> Fmt.pf ppf "%.3f" g
+  | Histogram s -> Histogram.pp_summary ppf s
+
+let pp_snapshot ppf snap =
+  List.iter (fun (name, v) -> Fmt.pf ppf "%-44s %a@." name pp_value v) snap

@@ -1,0 +1,67 @@
+(** Process-wide metrics registry: named counters, gauges, histograms,
+    plus {e sources} — callbacks that render an existing stats object
+    (buffer pool, cache policy, plan cache, ...) into metrics at
+    snapshot time, so subsystems keep their own counter structs and
+    register a view of them here.
+
+    Naming scheme (see DESIGN.md): dot-separated
+    [subsystem.metric] or [subsystem.instance.metric]; source metrics
+    are emitted under [<source name>.<metric>]. *)
+
+type counter
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of Histogram.summary
+
+type t
+
+val create : unit -> t
+
+(** The process-wide registry every convenience function in
+    {!Telemetry} uses. *)
+val default : t
+
+(** Get or create; the same name always yields the same counter.
+    @raise Invalid_argument when the name is already a histogram. *)
+val counter : t -> string -> counter
+
+(** Get or create.
+    @raise Invalid_argument when the name is already a counter. *)
+val histogram : t -> string -> Histogram.t
+
+(** Register (or replace) a gauge callback. Gauges are read at snapshot
+    time and are not affected by {!reset}. *)
+val register_gauge : t -> string -> (unit -> float) -> unit
+
+(** Register a source under [name]. A second registration under the
+    same name replaces the first (an instance superseding another).
+    [reset] participates in {!reset}, giving every underlying stats
+    struct one shared reset path. *)
+val register_source :
+  t -> name:string -> ?reset:(unit -> unit) -> (unit -> (string * value) list) -> unit
+
+val unregister_source : t -> name:string -> unit
+
+(** Registered source names, sorted. *)
+val source_names : t -> string list
+
+(** Every metric, sorted by name: own counters/gauges/histograms plus
+    each source's metrics prefixed with the source name. *)
+val snapshot : t -> (string * value) list
+
+(** Zero every counter and histogram and run every source's reset
+    callback. Registrations (counters, histograms, gauges, sources)
+    survive. *)
+val reset : t -> unit
+
+(** Lookup helper over a snapshot. *)
+val find : (string * value) list -> string -> value option
+
+val pp_value : Format.formatter -> value -> unit
+val pp_snapshot : Format.formatter -> (string * value) list -> unit

@@ -1,0 +1,22 @@
+(* The process-wide telemetry facade. *)
+
+let enabled = ref true
+let set_enabled on = enabled := on
+let is_enabled () = !enabled
+
+let now_ns () = Monotonic_clock.now ()
+
+let counter name = Registry.counter Registry.default name
+let histogram name = Registry.histogram Registry.default name
+let snapshot () = Registry.snapshot Registry.default
+let reset () =
+  Registry.reset Registry.default;
+  Tracer.clear Tracer.default
+
+let trace_start name = if !enabled then Tracer.start Tracer.default name else None
+let trace_finish trace = Tracer.finish Tracer.default trace
+let force_next_trace () = Tracer.force_next Tracer.default
+let last_trace () = Tracer.last Tracer.default
+let set_trace_sampling ~every = Tracer.set_sampling Tracer.default ~every
+
+let pp_snapshot = Registry.pp_snapshot

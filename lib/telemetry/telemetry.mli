@@ -1,0 +1,39 @@
+(** Facade over the default registry and tracer: the one-stop API the
+    engine layers use. Counters and histograms are always-on while
+    telemetry is enabled; span trees are sampled (see {!Tracer}).
+    Disabling telemetry reduces every instrumentation site to one
+    boolean load. *)
+
+(** Globally enable/disable recording. Registrations persist either
+    way; only recording stops. Default: enabled. *)
+val set_enabled : bool -> unit
+
+val is_enabled : unit -> bool
+
+(** Monotonic nanoseconds; the clock every histogram and span uses. *)
+val now_ns : unit -> int64
+
+(** Handles into {!Registry.default}; cache them at module init and pay
+    a field update per event. *)
+val counter : string -> Registry.counter
+
+val histogram : string -> Histogram.t
+
+(** A full reading of {!Registry.default}. *)
+val snapshot : unit -> (string * Registry.value) list
+
+(** Zero counters and histograms, run source resets, drop retained
+    traces; keep every registration (see {!Registry.reset}). *)
+val reset : unit -> unit
+
+(** [None] when disabled or sampled out. *)
+val trace_start : string -> Span.trace option
+
+val trace_finish : Span.trace -> unit
+
+(** Record the next trace regardless of sampling (shell [TRACE]). *)
+val force_next_trace : unit -> unit
+
+val last_trace : unit -> Span.trace option
+val set_trace_sampling : every:int -> unit
+val pp_snapshot : Format.formatter -> (string * Registry.value) list -> unit

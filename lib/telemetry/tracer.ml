@@ -1,0 +1,46 @@
+(* Span-tree sampling. Recording every query's tree would make the
+   tracer the hottest allocator in the engine; 1-in-k sampling keeps the
+   distribution-shaped metrics in the histograms (always on) and the
+   microscope (the tree) cheap enough to leave enabled. *)
+
+type t = {
+  mutable every : int;
+  mutable tick : int;
+  mutable force : bool;
+  mutable keep : int;
+  mutable retained : Span.trace list;  (* most recent first, length <= keep *)
+}
+
+let create ?(sample_every = 16) ?(keep = 8) () =
+  { every = max 1 sample_every; tick = 0; force = false; keep = max 1 keep; retained = [] }
+
+let default = create ()
+
+let set_sampling t ~every = t.every <- max 1 every
+let sampling t = t.every
+let force_next t = t.force <- true
+
+let start t name =
+  t.tick <- t.tick + 1;
+  if t.force || t.tick mod t.every = 0 then begin
+    t.force <- false;
+    Some (Span.start name)
+  end
+  else None
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let finish t trace =
+  Span.finish trace;
+  t.retained <- take t.keep (trace :: t.retained)
+
+let last t = match t.retained with [] -> None | tr :: _ -> Some tr
+let recent t = t.retained
+
+let clear t =
+  t.tick <- 0;
+  t.force <- false;
+  t.retained <- []

@@ -1,0 +1,30 @@
+(** Sampling span recorder: counters stay always-on, span trees are
+    recorded 1-in-[every] queries (plus on demand via {!force_next}),
+    and a small ring of recent traces is retained for inspection. *)
+
+type t
+
+val create : ?sample_every:int -> ?keep:int -> unit -> t
+
+(** The tracer {!Telemetry} routes through. *)
+val default : t
+
+val set_sampling : t -> every:int -> unit
+val sampling : t -> int
+
+(** Record the next trace regardless of sampling. *)
+val force_next : t -> unit
+
+(** [None] when this query is sampled out. *)
+val start : t -> string -> Span.trace option
+
+(** Close the trace and retain it. *)
+val finish : t -> Span.trace -> unit
+
+(** Most recently finished trace. *)
+val last : t -> Span.trace option
+
+(** Retained traces, most recent first. *)
+val recent : t -> Span.trace list
+
+val clear : t -> unit

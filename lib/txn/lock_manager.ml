@@ -18,11 +18,57 @@ let pp_conflict ppf c =
     Fmt.(list ~sep:comma int)
     c.holders (mode_to_string c.requested)
 
-type t = { table : (string, holders) Hashtbl.t }
+type stats = {
+  mutable acquires : int;  (* granted requests *)
+  mutable conflicts : int;  (* requests answered [Error] *)
+  mutable upgrades : int;  (* S -> X promotions *)
+  mutable releases : int;
+  acquire_ns : Minirel_telemetry.Histogram.t;
+      (* time spent inside [acquire]; the single-threaded engine never
+         blocks, so this is the whole "wait" a request experiences *)
+}
 
-let create () = { table = Hashtbl.create 64 }
+type t = { table : (string, holders) Hashtbl.t; stats : stats }
 
-let acquire t ~txn ~obj mode =
+let create () =
+  {
+    table = Hashtbl.create 64;
+    stats =
+      {
+        acquires = 0;
+        conflicts = 0;
+        upgrades = 0;
+        releases = 0;
+        acquire_ns = Minirel_telemetry.Histogram.create ();
+      };
+  }
+
+let stats t = t.stats
+
+let reset_stats t =
+  t.stats.acquires <- 0;
+  t.stats.conflicts <- 0;
+  t.stats.upgrades <- 0;
+  t.stats.releases <- 0;
+  Minirel_telemetry.Histogram.reset t.stats.acquire_ns
+
+let register_telemetry ?(registry = Minirel_telemetry.Registry.default)
+    ?(name = "lockmgr") t =
+  let module R = Minirel_telemetry.Registry in
+  R.register_source registry ~name
+    ~reset:(fun () -> reset_stats t)
+    (fun () ->
+      [
+        ("acquires", R.Counter t.stats.acquires);
+        ("conflicts", R.Counter t.stats.conflicts);
+        ("upgrades", R.Counter t.stats.upgrades);
+        ("releases", R.Counter t.stats.releases);
+        ("held_objects", R.Gauge (float_of_int (Hashtbl.length t.table)));
+        ( "acquire_ns",
+          R.Histogram (Minirel_telemetry.Histogram.summary t.stats.acquire_ns) );
+      ])
+
+let acquire_unmeasured t ~txn ~obj mode =
   match Hashtbl.find_opt t.table obj with
   | None ->
       Hashtbl.replace t.table obj { mode; owners = [ txn ] };
@@ -37,6 +83,7 @@ let acquire t ~txn ~obj mode =
           if holds && List.length h.owners = 1 then begin
             (* sole S holder: upgrade *)
             h.mode <- X;
+            t.stats.upgrades <- t.stats.upgrades + 1;
             Ok ()
           end
           else Error { obj; holders = h.owners; held = h.mode; requested = mode }
@@ -44,11 +91,26 @@ let acquire t ~txn ~obj mode =
           if holds then Ok () (* X subsumes S; re-entrant *)
           else Error { obj; holders = h.owners; held = h.mode; requested = mode })
 
+let acquire t ~txn ~obj mode =
+  if not (Minirel_telemetry.Telemetry.is_enabled ()) then
+    acquire_unmeasured t ~txn ~obj mode
+  else begin
+    let t0 = Minirel_telemetry.Telemetry.now_ns () in
+    let r = acquire_unmeasured t ~txn ~obj mode in
+    Minirel_telemetry.Histogram.record t.stats.acquire_ns
+      (Int64.sub (Minirel_telemetry.Telemetry.now_ns ()) t0);
+    (match r with
+    | Ok () -> t.stats.acquires <- t.stats.acquires + 1
+    | Error _ -> t.stats.conflicts <- t.stats.conflicts + 1);
+    r
+  end
+
 let release t ~txn ~obj =
   match Hashtbl.find_opt t.table obj with
   | None -> ()
   | Some h ->
       h.owners <- List.filter (fun o -> o <> txn) h.owners;
+      t.stats.releases <- t.stats.releases + 1;
       if h.owners = [] then Hashtbl.remove t.table obj
 
 let release_all t ~txn =

@@ -29,3 +29,21 @@ val held_by : t -> obj:string -> (mode * int list) option
 (** @raise Failure on conflict; for single-threaded flows where a
     conflict means a protocol bug. *)
 val acquire_exn : t -> txn:int -> obj:string -> mode -> unit
+
+type stats = {
+  mutable acquires : int;  (** granted requests *)
+  mutable conflicts : int;  (** requests answered [Error] *)
+  mutable upgrades : int;  (** S -> X promotions *)
+  mutable releases : int;
+  acquire_ns : Minirel_telemetry.Histogram.t;
+      (** time spent inside {!acquire}; the engine never blocks, so this
+          is the whole wait a request experiences *)
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+(** Register this manager as telemetry source [name] (default
+    ["lockmgr"]). *)
+val register_telemetry :
+  ?registry:Minirel_telemetry.Registry.t -> ?name:string -> t -> unit

@@ -13,9 +13,39 @@ open Minirel_storage
 module Catalog = Minirel_index.Catalog
 module Snapshot = Minirel_index.Snapshot
 
-type t = { filename : string; mutable oc : out_channel option }
+type stats = {
+  mutable records : int;  (* ins/del lines appended *)
+  mutable bytes : int;  (* bytes appended, via pos_out deltas *)
+  mutable flushes : int;
+}
 
-let open_log ~filename = { filename; oc = Some (open_out_gen [ Open_append; Open_creat ] 0o644 filename) }
+type t = { filename : string; mutable oc : out_channel option; stats : stats }
+
+let open_log ~filename =
+  {
+    filename;
+    oc = Some (open_out_gen [ Open_append; Open_creat ] 0o644 filename);
+    stats = { records = 0; bytes = 0; flushes = 0 };
+  }
+
+let stats t = t.stats
+
+let reset_stats t =
+  t.stats.records <- 0;
+  t.stats.bytes <- 0;
+  t.stats.flushes <- 0
+
+let register_telemetry ?(registry = Minirel_telemetry.Registry.default)
+    ?(name = "wal") t =
+  let module R = Minirel_telemetry.Registry in
+  R.register_source registry ~name
+    ~reset:(fun () -> reset_stats t)
+    (fun () ->
+      [
+        ("records", R.Counter t.stats.records);
+        ("bytes", R.Counter t.stats.bytes);
+        ("flushes", R.Counter t.stats.flushes);
+      ])
 
 let filename t = t.filename
 
@@ -45,14 +75,21 @@ let log_delta t (delta : Txn.delta) =
   | None -> failwith "Wal.log_delta: log is closed"
   | Some oc ->
       let rel = delta.Txn.rel in
-      List.iter (fun tuple -> write_tuple oc "ins" rel tuple) delta.Txn.inserted;
-      List.iter (fun tuple -> write_tuple oc "del" rel tuple) delta.Txn.deleted;
+      let pos0 = pos_out oc in
+      let write tag tuple =
+        write_tuple oc tag rel tuple;
+        t.stats.records <- t.stats.records + 1
+      in
+      List.iter (fun tuple -> write "ins" tuple) delta.Txn.inserted;
+      List.iter (fun tuple -> write "del" tuple) delta.Txn.deleted;
       List.iter
         (fun (old_t, new_t) ->
-          write_tuple oc "del" rel old_t;
-          write_tuple oc "ins" rel new_t)
+          write "del" old_t;
+          write "ins" new_t)
         delta.Txn.updated;
-      flush oc
+      flush oc;
+      t.stats.flushes <- t.stats.flushes + 1;
+      t.stats.bytes <- t.stats.bytes + (pos_out oc - pos0)
 
 (* Subscribe the log to a transaction manager. *)
 let attach t mgr = Txn.register_hook mgr ~name:("wal:" ^ t.filename) (log_delta t)

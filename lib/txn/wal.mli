@@ -21,6 +21,19 @@ val attach : t -> Txn.t -> unit
 
 val detach : t -> Txn.t -> unit
 
+type stats = {
+  mutable records : int;  (** ins/del lines appended *)
+  mutable bytes : int;  (** bytes appended *)
+  mutable flushes : int;
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+(** Register this log as telemetry source [name] (default ["wal"]). *)
+val register_telemetry :
+  ?registry:Minirel_telemetry.Registry.t -> ?name:string -> t -> unit
+
 exception Corrupt of string
 
 (** Replay a log onto a catalog (normally one restored from the

@@ -31,6 +31,7 @@ let () =
       ("manager", Test_manager.suite);
       ("sql", Test_sql.suite);
       ("shell", Test_shell.suite);
+      ("telemetry", Test_telemetry.suite);
       ("trace", Test_trace.suite);
       ("coverage-extra", Test_coverage_extra.suite);
       ("integration", Test_integration.suite);

@@ -1,0 +1,40 @@
+#!/bin/sh
+# Repo health gate: build, tier-1 tests, telemetry overhead.
+#
+# Usage: tools/check.sh [--skip-bench]
+#   SKIP_BENCH=1          same as --skip-bench
+#   MAX_REGRESSION_PCT=N  override the telemetry overhead gate (default 5)
+#   BENCH_ARGS="..."      extra args for the telemetry bench (e.g. --full)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+skip_bench="${SKIP_BENCH:-0}"
+[ "${1:-}" = "--skip-bench" ] && skip_bench=1
+max_pct="${MAX_REGRESSION_PCT:-5}"
+
+echo "== dune build"
+dune build
+
+echo "== dune runtest (tier 1)"
+dune runtest
+
+if [ "$skip_bench" = "1" ]; then
+  echo "== telemetry overhead gate skipped"
+  exit 0
+fi
+
+echo "== telemetry overhead gate (< ${max_pct}%)"
+dune exec bench/main.exe -- telemetry ${BENCH_ARGS:-}
+
+pct=$(awk -F': ' '/"regression_pct"/ { gsub(/[ ,]/, "", $2); print $2 }' BENCH_telemetry.json)
+if [ -z "$pct" ]; then
+  echo "FAIL: no regression_pct in BENCH_telemetry.json" >&2
+  exit 1
+fi
+echo "telemetry-on vs telemetry-off regression: ${pct}%"
+awk -v pct="$pct" -v max="$max_pct" 'BEGIN { exit !(pct < max) }' || {
+  echo "FAIL: telemetry overhead ${pct}% >= ${max_pct}%" >&2
+  exit 1
+}
+echo "ok: all checks passed"
