@@ -31,6 +31,7 @@ let experiments ~full ~seed ~scale =
     ("micro", fun () -> Exp_micro.run ());
     ("plancache", fun () -> Exp_plancache.run { Exp_plancache.full; seed; scale });
     ("telemetry", fun () -> Exp_telemetry.run { Exp_telemetry.full; seed; scale });
+    ("torture", fun () -> Exp_torture.run { Exp_torture.full; seed; scale });
   ]
 
 let run full scale seed names =
@@ -78,7 +79,7 @@ let names =
     & info [] ~docv:"EXPERIMENT"
         ~doc:
           "Experiments to run: table1 fig6 fig7 fig8 fig9 fig10 fig11 fig12 \
-           maintain-measured ablation-policy ablation-aux ablation-f ablation-drift ablation-interval sens-warmup micro plancache telemetry. \
+           maintain-measured ablation-policy ablation-aux ablation-f ablation-drift ablation-interval sens-warmup micro plancache telemetry torture. \
            Default: all.")
 
 let cmd =

@@ -243,6 +243,29 @@ let repl scale seed fresh persist =
   in
   loop ()
 
+(* Replay one deterministic torture campaign (fault injection + oracle
+   checking); the same seed always reproduces the same event digest. *)
+let torture scale seed events check_every verbose =
+  let module Torture = Minirel_check.Torture in
+  let cfg =
+    {
+      (Torture.default_cfg ~seed) with
+      Torture.events;
+      scale;
+      check_every;
+      log = (if verbose then Some (Fmt.pr "  %s@.") else None);
+    }
+  in
+  Fmt.pr "torture: seed %d, %d events, scale %g%s@." seed events scale
+    (if verbose then "" else " (use --verbose for the event trace)");
+  let o = Torture.run cfg in
+  Fmt.pr "%a@." Torture.pp_outcome o;
+  if not (Torture.ok o) then begin
+    Fmt.epr "reproduce with: pmvctl torture --seed %d --events %d --scale %g --verbose@." seed
+      events scale;
+    exit 1
+  end
+
 open Cmdliner
 
 let scale_arg = Arg.(value & opt float 0.01 & info [ "scale" ] ~docv:"S" ~doc:"TPC-R scale.")
@@ -313,9 +336,26 @@ let repl_cmd =
     (Cmd.info "repl" ~doc:"Interactive SQL over TPC-R data with per-template PMVs")
     Term.(const repl $ scale_arg $ seed_arg $ fresh $ persist)
 
+let torture_cmd =
+  let events = Arg.(value & opt int 400 & info [ "events" ] ~docv:"N" ~doc:"Workload events.") in
+  let check_every =
+    Arg.(value & opt int 40 & info [ "check-every" ] ~docv:"K" ~doc:"Deep-check cadence.")
+  in
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print the event trace.") in
+  let scale =
+    Arg.(value & opt float 0.002 & info [ "scale" ] ~docv:"S" ~doc:"TPC-R scale.")
+  in
+  Cmd.v
+    (Cmd.info "torture"
+       ~doc:
+         "Replay a seeded fault-injection campaign (WAL crashes + recovery, lock \
+          conflicts, I/O errors, deferred/lost maintenance) with every query \
+          oracle-checked; exits non-zero on any consistency violation")
+    Term.(const torture $ scale $ seed_arg $ events $ check_every $ verbose)
+
 let () =
   let doc = "partial materialized views demonstration tool" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "pmvctl" ~doc)
-          [ demo_cmd; query_cmd; simulate_cmd; sql_cmd; metrics_cmd; repl_cmd ]))
+          [ demo_cmd; query_cmd; simulate_cmd; sql_cmd; metrics_cmd; repl_cmd; torture_cmd ]))

@@ -1,0 +1,46 @@
+(** Deterministic torture driver: replays a seeded Zipf workload of
+    queries and insert/delete/update transactions against a PMV with
+    WAL and deferred maintenance attached, injects faults at the
+    {!Minirel_fault.Fault} sites (WAL crashes with recovery from
+    snapshot + replay, injected lock conflicts, buffer-pool I/O errors,
+    forced maintenance deferral, lost maintenance with view rebuild),
+    and oracle-checks every query answer plus periodic deep view and
+    recovery invariants.
+
+    Everything — event choice, parameters, fault firing — derives from
+    [cfg.seed], so a failing run reproduces exactly from the seed and
+    the printed event digest matches run to run. *)
+
+type cfg = {
+  seed : int;
+  events : int;  (** workload events to replay *)
+  scale : float;  (** TPC-R scale factor for the base data *)
+  check_every : int;  (** deep view + catalog check every k events *)
+  dir : string option;  (** snapshot/WAL directory; default a temp dir *)
+  log : (string -> unit) option;  (** per-event trace sink *)
+}
+
+val default_cfg : seed:int -> cfg
+
+type outcome = {
+  events : int;
+  queries : int;  (** answered and oracle-checked *)
+  txns : int;  (** committed transactions *)
+  crashes : int;  (** WAL crash injections *)
+  recoveries : int;  (** successful snapshot+replay recoveries *)
+  deferrals : int;  (** maintenance deltas forced through the pending queue *)
+  lock_rejects : int;  (** injected lock conflicts observed *)
+  io_faults : int;  (** injected buffer-pool errors observed *)
+  rebuilds : int;  (** views rebuilt after lost maintenance *)
+  deep_checks : int;
+  failures : string list;  (** oracle violations; [] means a clean run *)
+  digest : string;  (** order-sensitive hash of the event trace *)
+}
+
+val ok : outcome -> bool
+val pp_outcome : outcome Fmt.t
+
+(** Run one torture campaign. Never raises on oracle violations — they
+    are collected in [failures]; infrastructure errors (I/O, corrupt
+    snapshot) do escape. *)
+val run : cfg -> outcome

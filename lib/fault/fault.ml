@@ -1,0 +1,105 @@
+(* Deterministic fault injection: named sites armed with firing
+   policies. The registry is process-global, off by default; while
+   disabled every probe reduces to one boolean load so hot paths can
+   keep probes unconditionally.
+
+   Determinism: probabilistic policies draw from SplitMix64 streams
+   seeded by (global seed, site name hash, arming generation). The
+   engine is single-threaded, so hit ordering — and therefore every
+   firing decision — is a pure function of the seed and the workload. *)
+
+type policy = Always | Once | Nth of int | First of int | Prob of float
+
+let policy_to_string = function
+  | Always -> "always"
+  | Once -> "once"
+  | Nth n -> Printf.sprintf "nth=%d" n
+  | First n -> Printf.sprintf "first=%d" n
+  | Prob p -> Printf.sprintf "prob=%g" p
+
+exception Injected of string
+
+type site = {
+  policy : policy;
+  mutable hits : int;
+  mutable fired : int;
+  mutable rng : int64;  (* SplitMix64 state for [Prob] *)
+}
+
+let enabled = ref false
+let global_seed = ref 0
+let generation = ref 0
+let table : (string, site) Hashtbl.t = Hashtbl.create 16
+
+(* SplitMix64, self-contained: this library sits below the workload
+   layer and must not depend on it. *)
+let sm_next state =
+  let z = Int64.add state 0x9E3779B97F4A7C15L in
+  let x = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let x = Int64.mul (Int64.logxor x (Int64.shift_right_logical x 27)) 0x94D049BB133111EBL in
+  (z, Int64.logxor x (Int64.shift_right_logical x 31))
+
+let sm_float site =
+  let state, out = sm_next site.rng in
+  site.rng <- state;
+  Int64.to_float (Int64.shift_right_logical out 11) /. 9007199254740992.0 (* 2^53 *)
+
+let derive_state name gen =
+  Int64.logxor
+    (Int64.of_int ((!global_seed * 0x01000193) lxor Hashtbl.hash name))
+    (Int64.shift_left (Int64.of_int (gen + 1)) 32)
+
+let is_enabled () = !enabled
+
+let enable ?(seed = 0) () =
+  global_seed := seed;
+  enabled := true;
+  (* rebase every armed site's stream on the new seed *)
+  Hashtbl.iter (fun name site -> site.rng <- derive_state name !generation) table
+
+let disable () = enabled := false
+
+let arm name policy =
+  incr generation;
+  Hashtbl.replace table name
+    { policy; hits = 0; fired = 0; rng = derive_state name !generation }
+
+let disarm name = Hashtbl.remove table name
+
+let reset () =
+  Hashtbl.reset table;
+  generation := 0
+
+(* Policy decision for one recorded hit (1-based). *)
+let decide site =
+  match site.policy with
+  | Always -> true
+  | Once -> site.hits = 1
+  | Nth n -> site.hits = n
+  | First n -> site.hits <= n
+  | Prob p -> sm_float site < p
+
+let fire_armed site =
+  site.hits <- site.hits + 1;
+  let f = decide site in
+  if f then site.fired <- site.fired + 1;
+  f
+
+let fire name =
+  !enabled
+  &&
+  match Hashtbl.find_opt table name with
+  | None -> false
+  | Some site -> fire_armed site
+
+let hit name = if fire name then raise (Injected name)
+
+let hits name =
+  match Hashtbl.find_opt table name with None -> 0 | Some s -> s.hits
+
+let fired name =
+  match Hashtbl.find_opt table name with None -> 0 | Some s -> s.fired
+
+let sites () =
+  Hashtbl.fold (fun name s acc -> (name, s.policy, s.hits, s.fired) :: acc) table []
+  |> List.sort (fun (a, _, _, _) (b, _, _, _) -> String.compare a b)

@@ -1,0 +1,70 @@
+(** Deterministic fault injection. A {e failpoint} is a named site in
+    engine code ([Buffer_pool.access], [Wal.log_delta],
+    [Lock_manager.acquire], [Maintain.on_delta], ...) that normally does
+    nothing; a test or the torture driver {e arms} it with a firing
+    policy, and the site then fails on the hits the policy selects.
+
+    Everything is deterministic: probabilistic policies draw from a
+    SplitMix64 stream derived from the global seed, the site name and
+    the arming generation, so a run is reproducible from its seed alone.
+
+    The registry is process-global and off by default. While disabled,
+    a probe is a single boolean load — no allocation, no hashing — so
+    production code paths can keep their probes unconditionally. *)
+
+(** When an armed site fires, counted from 1 at arming time. *)
+type policy =
+  | Always  (** every hit *)
+  | Once  (** the first hit only *)
+  | Nth of int  (** exactly the [n]-th hit (1-based) *)
+  | First of int  (** the first [n] hits *)
+  | Prob of float  (** each hit independently with probability [p] *)
+
+val policy_to_string : policy -> string
+
+(** Raised by {!hit} (and by convention by call sites acting on
+    {!fire}) with the site name. *)
+exception Injected of string
+
+(** Turn the registry on. [seed] (default 0) rebases every derived
+    per-site stream; armed sites and counters are kept. *)
+val enable : ?seed:int -> unit -> unit
+
+(** Turn every probe back into a plain boolean load. Armed sites stay
+    armed for a later {!enable}. *)
+val disable : unit -> unit
+
+val is_enabled : unit -> bool
+
+(** Arm (or re-arm) a site. Re-arming resets its hit/fired counters and
+    advances its arming generation, giving [Prob] a fresh — still
+    deterministic — stream. *)
+val arm : string -> policy -> unit
+
+(** Disarm one site; its probes return to no-ops. Unknown sites are
+    ignored. *)
+val disarm : string -> unit
+
+(** Disarm every site and drop all counters (the seed and enabled flag
+    survive). *)
+val reset : unit -> unit
+
+(** [fire site] records one hit when the registry is enabled and the
+    site is armed, and reports whether the policy selects this hit.
+    Call sites that need to clean up before failing (e.g. flush a
+    partial WAL append) branch on this and raise {!Injected}
+    themselves. Disabled or unarmed: [false]. *)
+val fire : string -> bool
+
+(** Probe that raises [Injected site] whenever {!fire} is true — the
+    common wiring. *)
+val hit : string -> unit
+
+(** Hits recorded at an armed site since arming (0 for unknown sites). *)
+val hits : string -> int
+
+(** Times the site actually fired since arming. *)
+val fired : string -> int
+
+(** Armed sites as [(name, policy, hits, fired)], sorted by name. *)
+val sites : unit -> (string * policy * int * int) list

@@ -75,13 +75,19 @@ let handle_removal view catalog strategy ~delta_rel tuples =
     | Aux_index when View.has_aux view -> remove_via_aux view ~delta_rel tuples
     | Aux_index | Delta_join -> remove_via_delta_join view catalog ~delta_rel tuples
 
-(* Process one transaction delta against the view. *)
+(* Process one transaction delta against the view.
+
+   Failpoint [maintain.apply] fires before a relevant delta is applied:
+   the view then misses this maintenance step entirely — the classic
+   stale-view drift — and the owner must rebuild or drop the view to
+   restore consistency (the torture driver does exactly that). *)
 let on_delta ?(strategy = Aux_index) view catalog (delta : Minirel_txn.Txn.delta) =
   let compiled = View.compiled view in
   let stats = View.stats view in
   match template_rel compiled delta.Minirel_txn.Txn.rel with
   | None -> ()
   | Some i ->
+      Minirel_fault.Fault.hit "maintain.apply";
       let { Minirel_txn.Txn.inserted; deleted; updated; _ } = delta in
       stats.View.skipped_inserts <- stats.View.skipped_inserts + List.length inserted;
       let removed = ref (handle_removal view catalog strategy ~delta_rel:i deleted) in
@@ -110,8 +116,20 @@ let process_with_lock ~strategy view txn_mgr delta_opt =
   let locks = Minirel_txn.Txn.locks txn_mgr in
   let txn = -1 in
   match
-    Minirel_txn.Lock_manager.acquire locks ~txn ~obj:(View.lock_object view)
-      Minirel_txn.Lock_manager.X
+    (* failpoint [maintain.defer] simulates a reader holding its S lock:
+       the delta takes the pending-queue path and is applied at the
+       next grantable opportunity (flush_pending) *)
+    if Minirel_fault.Fault.fire "maintain.defer" then
+      Error
+        {
+          Minirel_txn.Lock_manager.obj = View.lock_object view;
+          holders = [];
+          held = Minirel_txn.Lock_manager.X;
+          requested = Minirel_txn.Lock_manager.X;
+        }
+    else
+      Minirel_txn.Lock_manager.acquire locks ~txn ~obj:(View.lock_object view)
+        Minirel_txn.Lock_manager.X
   with
   | Error _ ->
       (* a reader holds its S lock: defer further *)

@@ -63,6 +63,9 @@ let register_file t =
   id
 
 let access t ~file ~page ~mode =
+  (match mode with
+  | `Read -> Minirel_fault.Fault.hit "bufferpool.read"
+  | `Write -> Minirel_fault.Fault.hit "bufferpool.write");
   let key = (file, page) in
   (match Minirel_cache.Policy.reference t.policy key with
   | `Resident -> ()

@@ -69,27 +69,36 @@ let register_telemetry ?(registry = Minirel_telemetry.Registry.default)
       ])
 
 let acquire_unmeasured t ~txn ~obj mode =
-  match Hashtbl.find_opt t.table obj with
-  | None ->
-      Hashtbl.replace t.table obj { mode; owners = [ txn ] };
-      Ok ()
-  | Some h -> (
-      let holds = List.mem txn h.owners in
-      match (h.mode, mode) with
-      | S, S ->
-          if not holds then h.owners <- txn :: h.owners;
-          Ok ()
-      | S, X ->
-          if holds && List.length h.owners = 1 then begin
-            (* sole S holder: upgrade *)
-            h.mode <- X;
-            t.stats.upgrades <- t.stats.upgrades + 1;
+  if Minirel_fault.Fault.fire "lockmgr.acquire" then
+    (* injected conflict: looks like an anonymous holder refusing the
+       request, so callers exercise their give-up/defer paths *)
+    Error { obj; holders = []; held = X; requested = mode }
+  else
+    match Hashtbl.find_opt t.table obj with
+    | None ->
+        Hashtbl.replace t.table obj { mode; owners = [ txn ] };
+        Ok ()
+    | Some h -> (
+        let holds = List.mem txn h.owners in
+        match (h.mode, mode) with
+        | S, S ->
+            if not holds then h.owners <- txn :: h.owners;
             Ok ()
-          end
-          else Error { obj; holders = h.owners; held = h.mode; requested = mode }
-      | X, _ ->
-          if holds then Ok () (* X subsumes S; re-entrant *)
-          else Error { obj; holders = h.owners; held = h.mode; requested = mode })
+        | S, X ->
+            if holds && List.for_all (fun o -> o = txn) h.owners then begin
+              (* sole S holder: upgrade. Normalise owners to exactly
+                 [txn] so no stale duplicate can survive a later
+                 [release_all] (a refused request from another txn must
+                 never have left a trace here). *)
+              h.mode <- X;
+              h.owners <- [ txn ];
+              t.stats.upgrades <- t.stats.upgrades + 1;
+              Ok ()
+            end
+            else Error { obj; holders = h.owners; held = h.mode; requested = mode }
+        | X, _ ->
+            if holds then Ok () (* X subsumes S; re-entrant *)
+            else Error { obj; holders = h.owners; held = h.mode; requested = mode })
 
 let acquire t ~txn ~obj mode =
   if not (Minirel_telemetry.Telemetry.is_enabled ()) then
@@ -109,12 +118,18 @@ let release t ~txn ~obj =
   match Hashtbl.find_opt t.table obj with
   | None -> ()
   | Some h ->
-      h.owners <- List.filter (fun o -> o <> txn) h.owners;
-      t.stats.releases <- t.stats.releases + 1;
-      if h.owners = [] then Hashtbl.remove t.table obj
+      if List.mem txn h.owners then begin
+        h.owners <- List.filter (fun o -> o <> txn) h.owners;
+        t.stats.releases <- t.stats.releases + 1;
+        if h.owners = [] then Hashtbl.remove t.table obj
+      end
 
 let release_all t ~txn =
-  let objs = Hashtbl.fold (fun obj _ acc -> obj :: acc) t.table [] in
+  let objs =
+    Hashtbl.fold
+      (fun obj h acc -> if List.mem txn h.owners then obj :: acc else acc)
+      t.table []
+  in
   List.iter (fun obj -> release t ~txn ~obj) objs
 
 let held_by t ~obj =

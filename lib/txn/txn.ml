@@ -93,10 +93,15 @@ let run t changes =
          (function Insert { rel; _ } | Delete { rel; _ } | Update { rel; _ } -> rel)
          changes)
   in
-  List.iter (fun rel -> Lock_manager.acquire_exn t.locks ~txn ~obj:(rel_lock rel) Lock_manager.X) rels;
+  (* a conflict midway through the lock list must not leak the locks
+     already granted — release everything this txn holds and re-raise *)
   Fun.protect
     ~finally:(fun () -> Lock_manager.release_all t.locks ~txn)
     (fun () ->
+      List.iter
+        (fun rel ->
+          Lock_manager.acquire_exn t.locks ~txn ~obj:(rel_lock rel) Lock_manager.X)
+        rels;
       List.map
         (fun change ->
           let delta = apply_change t.catalog change in

@@ -69,14 +69,30 @@ let write_tuple oc tag rel tuple =
   output_char oc '\n'
 
 (* Append one delta; flushed immediately so a crash after a transaction
-   loses nothing that was acknowledged. @raise Failure if closed. *)
+   loses nothing that was acknowledged. @raise Failure if closed.
+
+   Crash failpoints, modelling where durability can be torn:
+     wal.pre_append   before any record is written — the delta is lost;
+     wal.mid_flush    checked before each record — records written so
+                      far are flushed (durable prefix) and the rest is
+                      lost, a torn append;
+     wal.post_commit  after the flush — everything is durable but the
+                      caller never learns.
+   Each fires as [Fault.Injected]; recovery is snapshot + replay. *)
 let log_delta t (delta : Txn.delta) =
   match t.oc with
   | None -> failwith "Wal.log_delta: log is closed"
   | Some oc ->
+      Minirel_fault.Fault.hit "wal.pre_append";
       let rel = delta.Txn.rel in
       let pos0 = pos_out oc in
       let write tag tuple =
+        if Minirel_fault.Fault.fire "wal.mid_flush" then begin
+          (* durable prefix: what was written is flushed, the rest of
+             the delta is lost with the "crash" *)
+          flush oc;
+          raise (Minirel_fault.Fault.Injected "wal.mid_flush")
+        end;
         write_tuple oc tag rel tuple;
         t.stats.records <- t.stats.records + 1
       in
@@ -89,7 +105,8 @@ let log_delta t (delta : Txn.delta) =
         delta.Txn.updated;
       flush oc;
       t.stats.flushes <- t.stats.flushes + 1;
-      t.stats.bytes <- t.stats.bytes + (pos_out oc - pos0)
+      t.stats.bytes <- t.stats.bytes + (pos_out oc - pos0);
+      Minirel_fault.Fault.hit "wal.post_commit"
 
 (* Subscribe the log to a transaction manager. *)
 let attach t mgr = Txn.register_hook mgr ~name:("wal:" ^ t.filename) (log_delta t)

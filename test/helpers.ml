@@ -85,70 +85,12 @@ let eqt_interval_spec ~grid =
       |];
   }
 
-(* Reference implementation, independent of the planner/executor: a
-   left-deep hash join in template relation order, then fixed-predicate
-   and Cselect filtering and the Ls' projection. Ground truth for every
-   executor/PMV answer. *)
-let brute_force_answer catalog instance =
-  let compiled = Instance.compiled instance in
-  let spec = compiled.Template.spec in
-  let n = Array.length spec.Template.relations in
-  let all_tuples i =
-    Heap_file.fold
-      (Catalog.heap catalog spec.Template.relations.(i))
-      (fun acc _ t -> t :: acc)
-      []
-  in
-  let local_pos i (a : Template.attr_ref) =
-    Minirel_storage.Schema.pos compiled.Template.schemas.(i) a.Template.attr
-  in
-  (* extend the partial join (over relations 0..i-1) with relation i *)
-  let extend partials i =
-    (* join conditions linking relation i to an earlier relation *)
-    let edges =
-      List.filter_map
-        (fun (a, b) ->
-          if a.Template.rel = i && b.Template.rel < i then
-            Some (Template.joined_pos compiled b, local_pos i a)
-          else if b.Template.rel = i && a.Template.rel < i then
-            Some (Template.joined_pos compiled a, local_pos i b)
-          else None)
-        spec.Template.joins
-    in
-    let rows = all_tuples i in
-    match edges with
-    | [] ->
-        (* no edge to earlier relations: cross product *)
-        List.concat_map (fun p -> List.map (fun t -> Tuple.concat p t) rows) partials
-    | _ ->
-        let tbl = Tuple.Table.create (2 * List.length rows) in
-        List.iter
-          (fun t ->
-            let key = Array.of_list (List.map (fun (_, ip) -> t.(ip)) edges) in
-            let cur = Option.value ~default:[] (Tuple.Table.find_opt tbl key) in
-            Tuple.Table.replace tbl key (t :: cur))
-          rows;
-        List.concat_map
-          (fun p ->
-            let key = Array.of_list (List.map (fun (op, _) -> p.(op)) edges) in
-            match Tuple.Table.find_opt tbl key with
-            | Some matches -> List.map (fun t -> Tuple.concat p t) matches
-            | None -> [])
-          partials
-  in
-  let joined = ref (all_tuples 0) in
-  for i = 1 to n - 1 do
-    joined := extend !joined i
-  done;
-  let fixed_ok t =
-    List.for_all
-      (fun (i, p) -> Predicate.eval (Predicate.shift compiled.Template.offsets.(i) p) t)
-      spec.Template.fixed
-  in
-  !joined
-  |> List.filter fixed_ok
-  |> List.map (Template.result_of_joined compiled)
-  |> List.filter (Instance.accepts_result instance)
+(* Ground truth for every executor/PMV answer, independent of the
+   planner/executor: delegates to the consistency-oracle library
+   (full-scan left-deep hash join + Cselect filtering), so the tests
+   exercise the same reference implementation the torture driver
+   judges against. *)
+let brute_force_answer catalog instance = Minirel_check.Check.ground_truth catalog instance
 
 (* Collect every tuple an answer delivers. *)
 let collect_answer ?locks ?txn ~view catalog instance =

@@ -1,0 +1,60 @@
+(* The torture driver as a property: across many seeded workloads —
+   queries, transactions, WAL crashes + recovery, injected lock
+   conflicts and I/O errors, deferred and lost maintenance — the
+   consistency oracle must stay silent, and a campaign must reproduce
+   its event digest exactly from its seed. *)
+
+module Torture = Minirel_check.Torture
+
+let check = Alcotest.check
+
+(* Small but complete campaigns: every event class enabled, deep checks
+   included. *)
+let mini seed =
+  { (Torture.default_cfg ~seed) with Torture.events = 25; scale = 0.0003; check_every = 12 }
+
+let qcheck_oracle_clean =
+  QCheck.Test.make ~count:200 ~name:"torture oracle clean across seeded workloads"
+    (QCheck.make (QCheck.Gen.int_bound 1_000_000))
+    (fun seed ->
+      let o = Torture.run (mini seed) in
+      if not (Torture.ok o) then
+        QCheck.Test.fail_reportf "seed %d: %a" seed Torture.pp_outcome o;
+      true)
+
+(* One larger campaign, run twice: identical digest and counters. *)
+let test_digest_reproducible () =
+  let cfg =
+    { (Torture.default_cfg ~seed:1234) with Torture.events = 120; scale = 0.001 }
+  in
+  let a = Torture.run cfg in
+  let b = Torture.run cfg in
+  check Alcotest.string "digest reproduces" a.Torture.digest b.Torture.digest;
+  check Alcotest.int "same query count" a.Torture.queries b.Torture.queries;
+  check Alcotest.int "same crash count" a.Torture.crashes b.Torture.crashes;
+  check Alcotest.int "same txn count" a.Torture.txns b.Torture.txns;
+  check Alcotest.bool "clean" true (Torture.ok a)
+
+(* The campaign must actually exercise the machinery it claims to:
+   queries answered, transactions committed, crashes recovered, faults
+   observed. *)
+let test_campaign_coverage () =
+  let o =
+    Torture.run { (Torture.default_cfg ~seed:99) with Torture.events = 200; scale = 0.001 }
+  in
+  check Alcotest.bool "clean" true (Torture.ok o);
+  check Alcotest.bool "queries answered" true (o.Torture.queries > 0);
+  check Alcotest.bool "txns committed" true (o.Torture.txns > 0);
+  check Alcotest.bool "crashes injected" true (o.Torture.crashes > 0);
+  check Alcotest.int "every crash recovered" o.Torture.crashes o.Torture.recoveries;
+  check Alcotest.bool "lock faults observed" true (o.Torture.lock_rejects > 0);
+  check Alcotest.bool "io faults observed" true (o.Torture.io_faults > 0);
+  check Alcotest.bool "maintenance deferred" true (o.Torture.deferrals > 0);
+  check Alcotest.bool "deep checks ran" true (o.Torture.deep_checks > 0)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_oracle_clean;
+    Alcotest.test_case "digest reproducible" `Quick test_digest_reproducible;
+    Alcotest.test_case "campaign coverage" `Quick test_campaign_coverage;
+  ]

@@ -55,6 +55,54 @@ let test_release_all () =
   | Some (Lock.S, [ 2 ]) -> ()
   | _ -> Alcotest.fail "txn 2 should still hold a"
 
+(* Regression (fault-injection PR): an S holder upgrading to X after
+   another transaction's S/X request was refused must leave exactly one
+   owner behind, so a later [release_all] frees the object completely
+   instead of leaving a stale holder. *)
+let test_upgrade_after_refused_request () =
+  let lm = Lock.create () in
+  ignore (Lock.acquire lm ~txn:1 ~obj:"v" Lock.S);
+  check Alcotest.bool "t2 X refused" true
+    (match Lock.acquire lm ~txn:2 ~obj:"v" Lock.X with Error _ -> true | Ok () -> false);
+  check Alcotest.bool "t1 upgrades" true (Lock.acquire lm ~txn:1 ~obj:"v" Lock.X = Ok ());
+  (match Lock.held_by lm ~obj:"v" with
+  | Some (Lock.X, [ 1 ]) -> ()
+  | Some (_, owners) ->
+      Alcotest.failf "owners not normalised: [%a]" Fmt.(list ~sep:comma int) owners
+  | None -> Alcotest.fail "lock vanished");
+  Lock.release_all lm ~txn:1;
+  check Alcotest.bool "fully free after release_all" true (Lock.held_by lm ~obj:"v" = None);
+  check Alcotest.bool "t2 can take X now" true (Lock.acquire lm ~txn:2 ~obj:"v" Lock.X = Ok ())
+
+(* Upgrading after a re-entrant S acquire must also leave one owner:
+   one release frees the object. *)
+let test_upgrade_after_reentrant_s () =
+  let lm = Lock.create () in
+  ignore (Lock.acquire lm ~txn:1 ~obj:"v" Lock.S);
+  ignore (Lock.acquire lm ~txn:1 ~obj:"v" Lock.S);
+  check Alcotest.bool "upgrade" true (Lock.acquire lm ~txn:1 ~obj:"v" Lock.X = Ok ());
+  Lock.release lm ~txn:1 ~obj:"v";
+  check Alcotest.bool "one release frees" true (Lock.held_by lm ~obj:"v" = None)
+
+(* [release]/[release_all] for a non-holder must neither free the
+   object nor inflate the release statistics. *)
+let test_release_only_owned () =
+  let lm = Lock.create () in
+  ignore (Lock.acquire lm ~txn:1 ~obj:"a" Lock.S);
+  ignore (Lock.acquire lm ~txn:1 ~obj:"b" Lock.X);
+  ignore (Lock.acquire lm ~txn:2 ~obj:"a" Lock.S);
+  let before = (Lock.stats lm).Lock.releases in
+  Lock.release lm ~txn:2 ~obj:"b";
+  (match Lock.held_by lm ~obj:"b" with
+  | Some (Lock.X, [ 1 ]) -> ()
+  | _ -> Alcotest.fail "txn 1 must still hold b");
+  Lock.release_all lm ~txn:2;
+  check Alcotest.int "only txn 2's own lock counted" (before + 1)
+    (Lock.stats lm).Lock.releases;
+  match Lock.held_by lm ~obj:"a" with
+  | Some (Lock.S, [ 1 ]) -> ()
+  | _ -> Alcotest.fail "txn 1 must still hold a"
+
 (* --- transactions --- *)
 
 let setup () =
@@ -136,10 +184,41 @@ let test_txn_locks_released () =
   check Alcotest.bool "rel lock released" true (Lock.held_by (Txn.locks mgr) ~obj:"rel:r" = None);
   ignore catalog
 
+(* Regression (fault-injection PR): when acquiring the second
+   relation's lock fails mid-transaction, the first relation's lock
+   must not leak. *)
+let test_txn_partial_lock_failure_releases () =
+  let catalog, mgr = setup () in
+  let lm = Txn.locks mgr in
+  ignore (Lock.acquire lm ~txn:77 ~obj:"rel:s" Lock.X);
+  (match
+     Txn.run mgr
+       [
+         Txn.Insert { rel = "r"; tuple = [| vi 904; vi 1; vi 2; Value.Str "n" |] };
+         Txn.Delete { rel = "s"; pred = Predicate.Cmp (Predicate.Eq, 2, vi 1) };
+       ]
+   with
+  | _ -> Alcotest.fail "expected a lock conflict"
+  | exception Failure _ -> ());
+  check Alcotest.bool "r lock not leaked" true (Lock.held_by lm ~obj:"rel:r" = None);
+  (* nothing was applied *)
+  let r900 =
+    Heap_file.fold (Catalog.heap catalog "r")
+      (fun acc _ t -> if Value.equal t.(0) (vi 904) then t :: acc else acc)
+      []
+  in
+  check Alcotest.int "insert not applied" 0 (List.length r900);
+  Lock.release_all lm ~txn:77
+
 let suite =
   [
     Alcotest.test_case "S locks share" `Quick test_s_locks_share;
     Alcotest.test_case "upgrade" `Quick test_upgrade;
+    Alcotest.test_case "upgrade after refused request" `Quick test_upgrade_after_refused_request;
+    Alcotest.test_case "upgrade after re-entrant S" `Quick test_upgrade_after_reentrant_s;
+    Alcotest.test_case "release only owned" `Quick test_release_only_owned;
+    Alcotest.test_case "partial lock failure releases" `Quick
+      test_txn_partial_lock_failure_releases;
     Alcotest.test_case "X exclusive + reentrant" `Quick test_x_exclusive_and_reentrant;
     Alcotest.test_case "release_all" `Quick test_release_all;
     Alcotest.test_case "insert/delete txn" `Quick test_txn_insert_delete;

@@ -1,5 +1,5 @@
 #!/bin/sh
-# Repo health gate: build, tier-1 tests, telemetry overhead.
+# Repo health gate: build, tier-1 tests, torture smoke, telemetry overhead.
 #
 # Usage: tools/check.sh [--skip-bench]
 #   SKIP_BENCH=1          same as --skip-bench
@@ -18,6 +18,22 @@ dune build
 
 echo "== dune runtest (tier 1)"
 dune runtest
+
+echo "== torture smoke (fixed seed, oracle must stay silent)"
+torture_out=$(dune exec bin/pmvctl.exe -- torture --seed 42 --events 400) || {
+  echo "$torture_out"
+  echo "FAIL: torture campaign reported oracle violations" >&2
+  exit 1
+}
+echo "$torture_out"
+# the smoke must actually inject faults: WAL crashes, lock conflicts,
+# I/O errors and forced deferrals all > 0
+echo "$torture_out" | tr ' ' '\n' |
+  awk -F= '/^(crashes|lock_rejects|io_faults|deferrals)=/ { n++; if ($2 + 0 == 0) bad = 1 }
+           END { exit !(n == 4 && !bad) }' || {
+  echo "FAIL: torture smoke injected too few fault classes" >&2
+  exit 1
+}
 
 if [ "$skip_bench" = "1" ]; then
   echo "== telemetry overhead gate skipped"
