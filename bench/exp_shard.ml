@@ -1,0 +1,208 @@
+(* Shard scaling benchmark (DESIGN.md Section 11).
+
+   Answers the same Zipf T1 query stream through the PMV pipeline at
+   1/2/4 hash-partitioned shards, plus a plain single-engine baseline.
+   The host is single-core, so any speedup is the sharding model
+   itself, not parallelism: orders and lineitem are co-partitioned by
+   the join key, so each shard's O3 joins its own 1/N partitions and
+   the total join work shrinks with the shard count.
+
+   The run is pinned to the scan-bound regime that claim is about: the
+   lineitem_orderkey index is dropped (in every configuration alike)
+   and the template plan cache is off, so the join edge executes as an
+   index-nested loop over the suppkey posting lists — per-probe cost
+   proportional to partition size, exactly where co-partitioning pays.
+   With the join-key index present the inner probe touches only the
+   ~4 matching lineitems regardless of partition size and sharding one
+   core is pure fan-out overhead; that regime is what the 1-shard
+   no-regression gate measures.
+
+   Every configuration answers the identical seeded query stream
+   against identically generated data, so the result-multiset checksums
+   must agree, and a sample of merged answers is judged oracle-clean
+   by lib/check (multiset + DS exactly-once identity under summation).
+   Results go to BENCH_shard.json. *)
+
+open Minirel_storage
+module Catalog = Minirel_index.Catalog
+module Template = Minirel_query.Template
+module Engine = Minirel_engine.Engine
+module Router = Minirel_engine.Shard_router
+module Tpcr = Minirel_workload.Tpcr
+module Querygen = Minirel_workload.Querygen
+module Zipf = Minirel_workload.Zipf
+module SM = Minirel_workload.Split_mix
+
+type cfg = { full : bool; seed : int; scale : float option }
+
+type run_result = {
+  label : string;
+  shards : int;  (* 0 = plain engine baseline *)
+  queries : int;
+  wall_ns : int64;
+  qps : float;
+  pmv_queries : int;  (* every consulted shard answered through its view *)
+  total_tuples : int;
+  checksum : int;
+  oracle_clean : bool;  (* sampled merged answers pass lib/check *)
+}
+
+let fresh_tpcr cfg ~scale =
+  let pool = Buffer_pool.create ~capacity:8_000 () in
+  let catalog = Catalog.create pool in
+  let params = Tpcr.params_for_scale ~seed:cfg.seed scale in
+  ignore (Tpcr.generate catalog params);
+  (catalog, params)
+
+(* One configuration: fresh data, fresh views, same query stream.
+   [shards = 0] is the plain-engine baseline; otherwise a router over
+   [shards] scoped engines, orders/lineitem hash-partitioned by the
+   join key orderkey (co-partitioned, so T1 joins shard-locally). *)
+let run_config cfg ~scale ~per_shard_capacity ~shards =
+  let catalog, params = fresh_tpcr cfg ~scale in
+  (* scan-bound join edge, identically in every configuration (see the
+     header comment): no index on the join key, skeleton cache off *)
+  Catalog.drop_index catalog ~rel:"lineitem" ~name:"lineitem_orderkey";
+  let t1 = Template.compile catalog Querygen.t1_spec in
+  let uncache e =
+    Minirel_exec.Plan_cache.set_enabled (Engine.plan_cache e) false
+  in
+  let label, answer =
+    if shards = 0 then begin
+      let engine = Engine.scoped ~catalog () in
+      uncache engine;
+      ignore (Engine.ensure_view ~capacity:per_shard_capacity ~f_max:3 engine t1);
+      ("engine", fun inst ~on_tuple -> Engine.answer engine inst ~on_tuple)
+    end
+    else begin
+      let router = Router.create ~shards () in
+      List.iter
+        (fun rel ->
+          Router.declare router (Catalog.schema catalog rel)
+            ~part:(`Hash "orderkey"))
+        [ "orders"; "lineitem" ];
+      Router.declare router (Catalog.schema catalog "customer") ~part:`Replicated;
+      Router.load_from router catalog;
+      List.iter uncache (Router.shards router);
+      ignore (Router.create_view ~capacity:per_shard_capacity ~f_max:3 router t1);
+      ( Fmt.str "router%d" shards,
+        fun inst ~on_tuple -> Router.answer router inst ~on_tuple )
+    end
+  in
+  let dz = Zipf.create ~n:params.Tpcr.n_dates ~alpha:1.07 in
+  let sz = Zipf.create ~n:params.Tpcr.n_suppliers ~alpha:1.07 in
+  let gen rng i =
+    ignore i;
+    Querygen.gen_t1 t1 ~dates_zipf:dz ~supp_zipf:sz ~e:2 ~f:2 rng
+  in
+  (* warmup: populate the views with the hot working set *)
+  let warm_rng = SM.create ~seed:(cfg.seed + 1) in
+  let sink = ref 0 in
+  let n_warm = if cfg.full then 400 else 100 in
+  for i = 0 to n_warm - 1 do
+    ignore (answer (gen warm_rng i) ~on_tuple:(fun _ _ -> incr sink))
+  done;
+  (* timed stream *)
+  let n_queries = if cfg.full then 1_200 else 240 in
+  let rng = SM.create ~seed:(cfg.seed + 2) in
+  let instances = List.init n_queries (gen rng) in
+  let checksum = ref 0 and total_tuples = ref 0 and pmv_queries = ref 0 in
+  let t0 = Monotonic_clock.now () in
+  List.iter
+    (fun inst ->
+      let _, via_view =
+        answer inst ~on_tuple:(fun _ tuple ->
+            incr total_tuples;
+            checksum := !checksum + Tuple.hash tuple)
+      in
+      if via_view then incr pmv_queries)
+    instances;
+  let wall_ns = Int64.sub (Monotonic_clock.now ()) t0 in
+  (* oracle: a sample of merged answers must be multiset-equal to the
+     reference ground truth with the DS identity intact *)
+  let oracle_rng = SM.create ~seed:(cfg.seed + 3) in
+  let oracle_clean =
+    List.for_all
+      (fun inst ->
+        Minirel_check.Check.report_ok
+          (Minirel_check.Check.check_answer_via
+             ~expected:(Minirel_check.Check.ground_truth catalog inst)
+             (fun ~on_tuple -> fst (answer inst ~on_tuple))))
+      (List.init 8 (gen oracle_rng))
+  in
+  {
+    label;
+    shards;
+    queries = n_queries;
+    wall_ns;
+    qps = float_of_int n_queries /. (Int64.to_float wall_ns /. 1e9);
+    pmv_queries = !pmv_queries;
+    total_tuples = !total_tuples;
+    checksum = !checksum;
+    oracle_clean;
+  }
+
+let json_of_run r =
+  Fmt.str
+    {|{"label": %S, "shards": %d, "queries": %d, "wall_ns": %Ld, "queries_per_sec": %.1f, "pmv_queries": %d, "total_tuples": %d, "checksum": %d, "oracle_clean": %b}|}
+    r.label r.shards r.queries r.wall_ns r.qps r.pmv_queries r.total_tuples
+    r.checksum r.oracle_clean
+
+let run cfg =
+  Output.header ~id:"Shard"
+    ~title:"answer() throughput at 1/2/4 hash-partitioned shards"
+    ~paper:
+      "(extension) co-partitioned shards: each O3 joins its own 1/N \
+       partitions, so total join work shrinks with the shard count";
+  let scale = Option.value cfg.scale ~default:(if cfg.full then 0.01 else 0.003) in
+  let per_shard_capacity = if cfg.full then 400 else 200 in
+  let runs =
+    List.map
+      (fun shards -> run_config cfg ~scale ~per_shard_capacity ~shards)
+      [ 0; 1; 2; 4 ]
+  in
+  let baseline = List.hd runs in
+  List.iter
+    (fun r ->
+      if r.checksum <> baseline.checksum || r.total_tuples <> baseline.total_tuples
+      then
+        Fmt.epr "WARNING: %s disagrees with the engine baseline (%d/%d tuples, %d/%d checksum)@."
+          r.label r.total_tuples baseline.total_tuples r.checksum
+          baseline.checksum)
+    (List.tl runs);
+  Output.row "%-9s %-7s %-9s %-12s %-9s %-9s %-8s@." "config" "shards" "queries"
+    "queries/s" "via-pmv" "tuples" "oracle";
+  List.iter
+    (fun r ->
+      Output.row "%-9s %-7d %-9d %-12.1f %-9d %-9d %-8s@." r.label r.shards
+        r.queries r.qps r.pmv_queries r.total_tuples
+        (if r.oracle_clean then "clean" else "VIOLATED"))
+    runs;
+  let find s = List.find (fun r -> r.shards = s) runs in
+  let speedup_4 = (find 4).qps /. (find 1).qps in
+  let one_shard_ratio = (find 1).qps /. baseline.qps in
+  let oracle_clean = List.for_all (fun r -> r.oracle_clean) runs in
+  Output.row "speedup (4 shards vs 1): %.2fx@." speedup_4;
+  Output.row "1-shard router vs plain engine: %.2fx@." one_shard_ratio;
+  let json =
+    Fmt.str
+      {|{
+  "experiment": "shard",
+  "scale": %g,
+  "seed": %d,
+  "per_shard_view_capacity": %d,
+  "workload": "t1 zipf alpha=1.07, e=f=2",
+  "runs": [%s],
+  "speedup_4_shards": %.3f,
+  "one_shard_router_vs_engine": %.3f,
+  "oracle_clean": %b
+}
+|}
+      scale cfg.seed per_shard_capacity
+      (String.concat ", " (List.map json_of_run runs))
+      speedup_4 one_shard_ratio oracle_clean
+  in
+  let oc = open_out "BENCH_shard.json" in
+  output_string oc json;
+  close_out oc;
+  Output.row "wrote BENCH_shard.json@."

@@ -32,6 +32,7 @@ let experiments ~full ~seed ~scale =
     ("plancache", fun () -> Exp_plancache.run { Exp_plancache.full; seed; scale });
     ("telemetry", fun () -> Exp_telemetry.run { Exp_telemetry.full; seed; scale });
     ("torture", fun () -> Exp_torture.run { Exp_torture.full; seed; scale });
+    ("shard", fun () -> Exp_shard.run { Exp_shard.full; seed; scale });
   ]
 
 let run full scale seed names =
@@ -79,7 +80,7 @@ let names =
     & info [] ~docv:"EXPERIMENT"
         ~doc:
           "Experiments to run: table1 fig6 fig7 fig8 fig9 fig10 fig11 fig12 \
-           maintain-measured ablation-policy ablation-aux ablation-f ablation-drift ablation-interval sens-warmup micro plancache telemetry torture. \
+           maintain-measured ablation-policy ablation-aux ablation-f ablation-drift ablation-interval sens-warmup micro plancache telemetry torture shard. \
            Default: all.")
 
 let cmd =

@@ -22,6 +22,8 @@ module Querygen = Minirel_workload.Querygen
 module Zipf = Minirel_workload.Zipf
 module SM = Minirel_workload.Split_mix
 module Shell = Minirel_shell.Shell
+module Engine = Minirel_engine.Engine
+module Router = Minirel_engine.Shard_router
 
 let build ~scale ~seed =
   let pool = Buffer_pool.create ~capacity:4_000 () in
@@ -33,6 +35,20 @@ let build ~scale ~seed =
     params.Tpcr.n_suppliers;
   (catalog, params, Template.compile catalog Querygen.t1_spec)
 
+(* Hash-partition the TPC-R join relations by their join key (orders
+   and lineitem by orderkey, so T1 joins run shard-locally), replicate
+   the customer dimension, and split [catalog] across [shards]
+   engines. *)
+let shard_tpcr ~shards catalog =
+  let router = Router.create ~shards () in
+  List.iter
+    (fun rel -> Router.declare router (Catalog.schema catalog rel) ~part:(`Hash "orderkey"))
+    [ "orders"; "lineitem" ];
+  Router.declare router (Catalog.schema catalog "customer") ~part:`Replicated;
+  Router.load_from router catalog;
+  Fmt.pr "sharded: %d engines, orders/lineitem hash-partitioned by orderkey@." shards;
+  router
+
 let demo scale seed queries policy f_max capacity =
   let catalog, params, t1 = build ~scale ~seed in
   let policy =
@@ -40,16 +56,15 @@ let demo scale seed queries policy f_max capacity =
     | Some p -> p
     | None -> Minirel_cache.Policies.Clock
   in
-  let view = Pmv.View.create ~policy ~capacity ~f_max ~name:"t1" t1 in
-  let mgr = Minirel_txn.Txn.create catalog in
-  Pmv.Maintain.attach view mgr;
+  let engine = Engine.create ~catalog () in
+  let view = Pmv.Manager.create_view ~policy ~capacity ~f_max (Engine.manager engine) t1 in
   let dz = Zipf.create ~n:params.Tpcr.n_dates ~alpha:1.07 in
   let sz = Zipf.create ~n:params.Tpcr.n_suppliers ~alpha:1.07 in
   let rng = SM.create ~seed:(seed + 1) in
   Fmt.pr "@.%-8s %-10s %-10s %-10s %-12s@." "queries" "hit ratio" "bcps" "tuples" "partials";
   for i = 1 to queries do
     let q = Querygen.gen_t1 t1 ~dates_zipf:dz ~supp_zipf:sz ~e:2 ~f:2 rng in
-    ignore (Pmv.Answer.answer ~view catalog q ~on_tuple:(fun _ _ -> ()));
+    ignore (Engine.answer engine q ~on_tuple:(fun _ _ -> ()));
     if i mod (max 1 (queries / 10)) = 0 then
       Fmt.pr "%-8d %-10.3f %-10d %-10d %-12d@." i (Pmv.View.hit_ratio view)
         (Pmv.View.n_entries view) (Pmv.View.n_tuples view)
@@ -69,7 +84,8 @@ let parse_ints s =
 
 let query scale seed dates suppliers =
   let catalog, _params, t1 = build ~scale ~seed in
-  let view = Pmv.View.create ~capacity:1_000 ~f_max:3 ~name:"t1" t1 in
+  let engine = Engine.create ~catalog () in
+  ignore (Engine.ensure_view ~capacity:1_000 ~f_max:3 engine t1);
   let dates = parse_ints dates and suppliers = parse_ints suppliers in
   if dates = [] || suppliers = [] then begin
     Fmt.epr "need at least one date and one supplier@.";
@@ -78,8 +94,8 @@ let query scale seed dates suppliers =
   let inst = Instance.make t1 [| Instance.Dvalues dates; Instance.Dvalues suppliers |] in
   let show label =
     Fmt.pr "@.-- %s@." label;
-    let st =
-      Pmv.Answer.answer ~view catalog inst ~on_tuple:(fun phase t ->
+    let st, _ =
+      Engine.answer engine inst ~on_tuple:(fun phase t ->
           let tag = match phase with Pmv.Answer.Partial -> "partial" | _ -> "exec" in
           Fmt.pr "  [%s] %a@." tag Tuple.pp (Template.visible_of_result t1 t))
     in
@@ -103,76 +119,81 @@ let simulate alpha h n policy =
     (Minirel_cache.Policies.to_string policy)
     r.Pmv_sim.Hitprob.hit_prob
 
-(* Drive a short T1 workload through the shell's full stack, then dump
-   the telemetry snapshot in the requested format. *)
-let metrics scale seed queries format =
+(* Drive a short T1 workload through the full stack — one engine, or
+   [shards] hash-partitioned engines with merged streams — then dump
+   the telemetry in the requested format. Sharded prom output labels
+   every series with its shard; text and json report the merged view
+   (counters/gauges summed, histogram summaries merged). *)
+let metrics scale seed queries format shards =
   let catalog, params, t1 = build ~scale ~seed in
-  let shell = Shell.create catalog in
-  let manager = Shell.manager shell in
-  ignore (Pmv.Manager.create_view ~capacity:2_000 ~f_max:3 manager t1);
   let dz = Zipf.create ~n:params.Tpcr.n_dates ~alpha:1.07 in
   let sz = Zipf.create ~n:params.Tpcr.n_suppliers ~alpha:1.07 in
   let rng = SM.create ~seed:(seed + 1) in
-  let locks = Minirel_txn.Txn.locks (Shell.txn_mgr shell) in
-  for _ = 1 to queries do
-    let q = Querygen.gen_t1 t1 ~dates_zipf:dz ~supp_zipf:sz ~e:2 ~f:2 rng in
-    ignore (Pmv.Manager.answer ~locks manager q ~on_tuple:(fun _ _ -> ()))
-  done;
-  let snapshot = Minirel_telemetry.Telemetry.snapshot () in
-  match format with
-  | "prom" -> print_string (Minirel_telemetry.Export.prometheus_string snapshot)
-  | "json" -> print_endline (Minirel_telemetry.Export.json_string snapshot)
-  | _ -> Fmt.pr "%a@." Minirel_telemetry.Telemetry.pp_snapshot snapshot
+  let gen () = Querygen.gen_t1 t1 ~dates_zipf:dz ~supp_zipf:sz ~e:2 ~f:2 rng in
+  if shards <= 1 then begin
+    let engine = Engine.create ~catalog () in
+    ignore (Engine.ensure_view ~capacity:2_000 ~f_max:3 engine t1);
+    for _ = 1 to queries do
+      ignore (Engine.answer engine (gen ()) ~on_tuple:(fun _ _ -> ()))
+    done;
+    let snapshot = Engine.snapshot engine in
+    match format with
+    | "prom" -> print_string (Minirel_telemetry.Export.prometheus_string snapshot)
+    | "json" -> print_endline (Minirel_telemetry.Export.json_string snapshot)
+    | _ -> Fmt.pr "%a@." Minirel_telemetry.Registry.pp_snapshot snapshot
+  end
+  else begin
+    let router = shard_tpcr ~shards catalog in
+    ignore (Router.create_view ~capacity:2_000 ~f_max:3 router t1);
+    for _ = 1 to queries do
+      ignore (Router.answer router (gen ()) ~on_tuple:(fun _ _ -> ()))
+    done;
+    match format with
+    | "prom" -> print_string (Router.prometheus_string router)
+    | "json" ->
+        print_endline (Minirel_telemetry.Export.json_string (Router.snapshot_merged router))
+    | _ ->
+        Fmt.pr "merged over %d shards@.%a@." shards Minirel_telemetry.Registry.pp_snapshot
+          (Router.snapshot_merged router)
+  end
 
-(* Run SQL statements against generated TPC-R data, one PMV per
-   template. Each statement runs twice to show the warm-cache effect. *)
-let sql scale seed statements =
+(* Run SQL statements against generated TPC-R data through the shell,
+   one PMV per template (per shard when sharded). Each statement runs
+   twice to show the warm-cache effect. *)
+let sql scale seed shards statements =
   if statements = [] then begin
     Fmt.epr "pass one or more SQL statements as positional arguments@.";
     exit 2
   end;
   let catalog, _params, _t1 = build ~scale ~seed in
-  let session = Minirel_sql.Session.create catalog in
-  let manager = Pmv.Manager.create catalog in
-  let run sql =
-    let compiled, inst = Minirel_sql.Session.query session sql in
-    let template = compiled.Minirel_query.Template.spec.Minirel_query.Template.name in
-    if Pmv.Manager.find manager ~template = None then
-      ignore (Pmv.Manager.create_view ~ub_bytes:262_144 ~f_max:3 manager compiled);
-    let shown = ref 0 and partial = ref 0 and total = ref 0 in
-    let stats, _ =
-      Pmv.Manager.answer manager inst ~on_tuple:(fun phase t ->
-          incr total;
-          if phase = Pmv.Answer.Partial then incr partial;
-          if !shown < 5 then begin
-            incr shown;
-            Fmt.pr "  %s %a@."
-              (match phase with Pmv.Answer.Partial -> "[pmv] " | _ -> "[exec]")
-              Tuple.pp
-              (Minirel_query.Template.visible_of_result compiled t)
-          end)
-    in
-    Fmt.pr "  -> %d rows (%d from the PMV), overhead %.1f µs@." !total !partial
-      (Int64.to_float stats.Pmv.Answer.overhead_ns /. 1e3)
+  let shell =
+    if shards <= 1 then Shell.create catalog
+    else Shell.of_router (shard_tpcr ~shards catalog)
   in
   List.iter
     (fun stmt ->
       Fmt.pr "@.sql> %s@." stmt;
-      (try
-         run stmt;
-         Fmt.pr "  (again, warm)@.";
-         run stmt
-       with
-      | Minirel_sql.Lexer.Error e | Minirel_sql.Parser.Error e | Minirel_sql.Binder.Error e
-        ->
+      try
+        Fmt.pr "%a@." Shell.pp_result (Shell.exec shell stmt);
+        Fmt.pr "  (again, warm)@.";
+        Fmt.pr "%a@." Shell.pp_result (Shell.exec shell stmt)
+      with
+      | Minirel_sql.Lexer.Error e
+      | Minirel_sql.Parser.Error e
+      | Minirel_sql.Binder.Error e
+      | Shell.Error e ->
           Fmt.epr "  error: %s@." e
-      | Invalid_argument e -> Fmt.epr "  error: %s@." e))
+      | Invalid_argument e -> Fmt.epr "  error: %s@." e)
     statements
 
 (* Interactive loop: full SQL statements (SELECT with GROUP BY / ORDER
    BY / LIMIT, CREATE TABLE/INDEX, INSERT, DELETE) from stdin via the
    shell, one PMV per template, with dot-commands for introspection. *)
-let repl scale seed fresh persist =
+let repl scale seed fresh persist shards =
+  if shards > 1 && persist <> None then begin
+    Fmt.epr "--persist is not supported with --shards@.";
+    exit 2
+  end;
   (* with --persist BASE, the catalog survives across sessions as
      BASE.snapshot + BASE.wal: load both on entry, append the wal while
      running, and fold the wal into a fresh snapshot on exit *)
@@ -190,17 +211,23 @@ let repl scale seed fresh persist =
         Shell.create catalog
     | Some _ | None ->
         if fresh || persist <> None then
-          Shell.create (Catalog.create (Buffer_pool.create ~capacity:4_000 ()))
+          if shards > 1 then
+            (* empty sharded database: tables created in the repl
+               replicate (declare partitioned relations through the
+               library API) *)
+            Shell.of_router (Router.create ~shards ())
+          else Shell.create (Catalog.create (Buffer_pool.create ~capacity:4_000 ()))
         else begin
           let catalog, _params, _t1 = build ~scale ~seed in
-          Shell.create catalog
+          if shards > 1 then Shell.of_router (shard_tpcr ~shards catalog)
+          else Shell.create catalog
         end
   in
   let finish =
     match persist with
     | None -> fun () -> ()
     | Some base ->
-        let wal = Minirel_txn.Wal.open_log ~filename:(base ^ ".wal") in
+        let wal = Minirel_txn.Wal.open_log ~filename:(base ^ ".wal") () in
         Minirel_txn.Wal.attach wal (Shell.txn_mgr shell);
         fun () ->
           Minirel_txn.Wal.close wal;
@@ -226,8 +253,7 @@ let repl scale seed fresh persist =
           (Minirel_sql.Session.n_templates (Shell.session shell));
         loop ()
     | ".metrics" ->
-        Fmt.pr "%a@." Minirel_telemetry.Telemetry.pp_snapshot
-          (Minirel_telemetry.Telemetry.snapshot ());
+        Fmt.pr "%a@." Shell.pp_result (Shell.exec shell "metrics");
         loop ()
     | "" -> loop ()
     | line ->
@@ -245,7 +271,7 @@ let repl scale seed fresh persist =
 
 (* Replay one deterministic torture campaign (fault injection + oracle
    checking); the same seed always reproduces the same event digest. *)
-let torture scale seed events check_every verbose =
+let torture scale seed events check_every shards verbose =
   let module Torture = Minirel_check.Torture in
   let cfg =
     {
@@ -253,16 +279,20 @@ let torture scale seed events check_every verbose =
       Torture.events;
       scale;
       check_every;
+      shards;
       log = (if verbose then Some (Fmt.pr "  %s@.") else None);
     }
   in
-  Fmt.pr "torture: seed %d, %d events, scale %g%s@." seed events scale
+  Fmt.pr "torture: seed %d, %d events, scale %g%s%s@." seed events scale
+    (if shards > 1 then Fmt.str ", %d shards" shards else "")
     (if verbose then "" else " (use --verbose for the event trace)");
-  let o = Torture.run cfg in
+  let o = if shards > 1 then Torture.run_sharded cfg else Torture.run cfg in
   Fmt.pr "%a@." Torture.pp_outcome o;
   if not (Torture.ok o) then begin
-    Fmt.epr "reproduce with: pmvctl torture --seed %d --events %d --scale %g --verbose@." seed
-      events scale;
+    Fmt.epr
+      "reproduce with: pmvctl torture --seed %d --events %d --scale %g --shards %d \
+       --verbose@."
+      seed events scale shards;
     exit 1
   end
 
@@ -270,6 +300,13 @@ open Cmdliner
 
 let scale_arg = Arg.(value & opt float 0.01 & info [ "scale" ] ~docv:"S" ~doc:"TPC-R scale.")
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+
+let shards_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:"Hash-partition the database across N engine shards (1 = single engine).")
 
 let demo_cmd =
   let queries = Arg.(value & opt int 500 & info [ "queries" ] ~docv:"N") in
@@ -306,7 +343,7 @@ let sql_cmd =
          "Run SQL statements over TPC-R data, one PMV per template (e.g. \"select \
           o.orderkey, l.quantity from orders o, lineitem l where o.orderkey = l.orderkey \
           and (o.orderdate = 3) and (l.suppkey = 2)\")")
-    Term.(const sql $ scale_arg $ seed_arg $ statements)
+    Term.(const sql $ scale_arg $ seed_arg $ shards_arg $ statements)
 
 let metrics_cmd =
   let queries = Arg.(value & opt int 200 & info [ "queries" ] ~docv:"N") in
@@ -319,7 +356,7 @@ let metrics_cmd =
   Cmd.v
     (Cmd.info "metrics"
        ~doc:"Run a short T1 workload and dump the telemetry snapshot")
-    Term.(const metrics $ scale_arg $ seed_arg $ queries $ format)
+    Term.(const metrics $ scale_arg $ seed_arg $ queries $ format $ shards_arg)
 
 let repl_cmd =
   let fresh =
@@ -334,7 +371,7 @@ let repl_cmd =
   in
   Cmd.v
     (Cmd.info "repl" ~doc:"Interactive SQL over TPC-R data with per-template PMVs")
-    Term.(const repl $ scale_arg $ seed_arg $ fresh $ persist)
+    Term.(const repl $ scale_arg $ seed_arg $ fresh $ persist $ shards_arg)
 
 let torture_cmd =
   let events = Arg.(value & opt int 400 & info [ "events" ] ~docv:"N" ~doc:"Workload events.") in
@@ -351,7 +388,7 @@ let torture_cmd =
          "Replay a seeded fault-injection campaign (WAL crashes + recovery, lock \
           conflicts, I/O errors, deferred/lost maintenance) with every query \
           oracle-checked; exits non-zero on any consistency violation")
-    Term.(const torture $ scale $ seed_arg $ events $ check_every $ verbose)
+    Term.(const torture $ scale $ seed_arg $ events $ check_every $ shards_arg $ verbose)
 
 let () =
   let doc = "partial materialized views demonstration tool" in

@@ -72,7 +72,7 @@ let () =
   Snapshot.save catalog ~filename:snap;
   Fmt.pr "checkpoint: %d bytes of snapshot@." (Unix.stat snap).Unix.st_size;
   let mgr = Txn.create catalog in
-  let wal = Wal.open_log ~filename:log in
+  let wal = Wal.open_log ~filename:log () in
   Wal.attach wal mgr;
   for i = 1 to 150 do
     ignore

@@ -135,11 +135,16 @@ let pp_report ppf r =
   Fmt.pf ppf "delivered=%d partials=%d stale=%d ds_identity=%b %a" r.delivered r.partials
     r.stats.Pmv.Answer.stale_purged r.ds_identity_ok pp_diff r.diff
 
-let check_answer ?locks ?txn ~view catalog instance =
-  let expected = ground_truth catalog instance in
+(* Judge an arbitrary answer source against a precomputed expected
+   multiset. [answer] drives the source (a single view, a sharded
+   router, ...) through the supplied [on_tuple] and returns the final
+   answer statistics; the DS exactly-once identity is checked on those
+   — for merged shard streams the summed stats must satisfy it just as
+   a single engine's do. *)
+let check_answer_via ~expected answer =
   let delivered = ref [] and partials = ref 0 in
   let stats =
-    Pmv.Answer.answer ?locks ?txn ~view catalog instance ~on_tuple:(fun phase t ->
+    answer ~on_tuple:(fun phase t ->
         delivered := t :: !delivered;
         if phase = Pmv.Answer.Partial then incr partials)
   in
@@ -152,6 +157,11 @@ let check_answer ?locks ?txn ~view catalog instance =
       n_delivered = stats.Pmv.Answer.total_count + stats.Pmv.Answer.stale_purged;
     stats;
   }
+
+let check_answer ?locks ?txn ~view catalog instance =
+  check_answer_via
+    ~expected:(ground_truth catalog instance)
+    (fun ~on_tuple -> Pmv.Answer.answer ?locks ?txn ~view catalog instance ~on_tuple)
 
 (* --- deep view invariants --------------------------------------------- *)
 

@@ -50,6 +50,16 @@ val report_ok_allowing_stale : report -> bool
 
 val pp_report : report Fmt.t
 
+(** Judge an arbitrary answer source — a single view, a sharded router,
+    anything that streams tuples and returns {!Pmv.Answer.stats} —
+    against a precomputed [expected] multiset. The DS exactly-once
+    identity is checked on the returned stats, so merged shard streams
+    must satisfy it under summation just as a single engine does. *)
+val check_answer_via :
+  expected:Tuple.t list ->
+  (on_tuple:(Pmv.Answer.phase -> Tuple.t -> unit) -> Pmv.Answer.stats) ->
+  report
+
 (** Answer [instance] through [view] and diff the streamed result
     against {!ground_truth}. *)
 val check_answer :

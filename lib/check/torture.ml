@@ -29,7 +29,7 @@ module Txn = Minirel_txn.Txn
 module Wal = Minirel_txn.Wal
 module Lock_manager = Minirel_txn.Lock_manager
 module Fault = Minirel_fault.Fault
-module SM = Minirel_workload.Split_mix
+module SM = Minirel_prng.Split_mix
 module Zipf = Minirel_workload.Zipf
 module Tpcr = Minirel_workload.Tpcr
 module Querygen = Minirel_workload.Querygen
@@ -39,12 +39,13 @@ type cfg = {
   events : int;
   scale : float;
   check_every : int;
+  shards : int;  (* engine count for {!run_sharded}; {!run} ignores it *)
   dir : string option;
   log : (string -> unit) option;
 }
 
 let default_cfg ~seed =
-  { seed; events = 400; scale = 0.002; check_every = 40; dir = None; log = None }
+  { seed; events = 400; scale = 0.002; check_every = 40; shards = 1; dir = None; log = None }
 
 type outcome = {
   events : int;
@@ -88,15 +89,32 @@ let fnv_string h s =
     s;
   !h
 
+(* --- seeded workload context ------------------------------------------- *)
+
+(* The PRNG and data-shape parameters every event generator draws from,
+   shared by the single-engine and sharded drivers. *)
+type wctx = {
+  rng : SM.t;
+  counts : Tpcr.counts;
+  dates_zipf : Zipf.t;
+  supp_zipf : Zipf.t;
+  mutable next_orderkey : int;
+}
+
+let make_wctx ~seed ~params ~counts =
+  {
+    rng = SM.create ~seed;
+    counts;
+    dates_zipf = Zipf.create ~n:params.Tpcr.n_dates ~alpha:1.07;
+    supp_zipf = Zipf.create ~n:params.Tpcr.n_suppliers ~alpha:1.07;
+    next_orderkey = counts.Tpcr.orders + 1;
+  }
+
 (* --- driver state ------------------------------------------------------ *)
 
 type st = {
   cfg : cfg;
-  rng : SM.t;
-  params : Tpcr.params;
-  counts : Tpcr.counts;
-  dates_zipf : Zipf.t;
-  supp_zipf : Zipf.t;
+  w : wctx;
   snapshot_file : string;
   wal_file : string;
   mutable catalog : Catalog.t;
@@ -109,7 +127,6 @@ type st = {
   mutable shadow : (string * int Tuple.Table.t) list;
   mutable digest : int64;
   mutable qid : int;
-  mutable next_orderkey : int;
   mutable queries : int;
   mutable txns : int;
   mutable crashes : int;
@@ -210,26 +227,26 @@ let shadow_apply_change st change =
 
 (* --- workload generation ----------------------------------------------- *)
 
-let rand_price st = Value.Float (float_of_int (SM.int st.rng ~bound:1_000_000) /. 100.0)
-let zipf_date st = Querygen.value_of_rank (Zipf.sample st.dates_zipf st.rng)
-let zipf_supp st = Querygen.value_of_rank (Zipf.sample st.supp_zipf st.rng)
-let rand_orderkey st = 1 + SM.int st.rng ~bound:(st.next_orderkey - 1)
+let rand_price w = Value.Float (float_of_int (SM.int w.rng ~bound:1_000_000) /. 100.0)
+let zipf_date w = Querygen.value_of_rank (Zipf.sample w.dates_zipf w.rng)
+let zipf_supp w = Querygen.value_of_rank (Zipf.sample w.supp_zipf w.rng)
+let rand_orderkey w = 1 + SM.int w.rng ~bound:(w.next_orderkey - 1)
 let orderkey_pred k = Predicate.Cmp (Predicate.Eq, 0, Value.Int k)
 
-let gen_change st =
-  let r = SM.int st.rng ~bound:100 in
+let gen_change w =
+  let r = SM.int w.rng ~bound:100 in
   if r < 18 then begin
-    let ok = st.next_orderkey in
-    st.next_orderkey <- st.next_orderkey + 1;
+    let ok = w.next_orderkey in
+    w.next_orderkey <- w.next_orderkey + 1;
     Txn.Insert
       {
         rel = "orders";
         tuple =
           [|
             Value.Int ok;
-            Value.Int (1 + SM.int st.rng ~bound:st.counts.Tpcr.customers);
-            zipf_date st;
-            rand_price st;
+            Value.Int (1 + SM.int w.rng ~bound:w.counts.Tpcr.customers);
+            zipf_date w;
+            rand_price w;
             Value.Str "";
           |];
       }
@@ -240,42 +257,42 @@ let gen_change st =
         rel = "lineitem";
         tuple =
           [|
-            Value.Int (rand_orderkey st);
-            zipf_supp st;
-            Value.Int (1 + SM.int st.rng ~bound:10);
-            Value.Int (1 + SM.int st.rng ~bound:50);
-            rand_price st;
+            Value.Int (rand_orderkey w);
+            zipf_supp w;
+            Value.Int (1 + SM.int w.rng ~bound:10);
+            Value.Int (1 + SM.int w.rng ~bound:50);
+            rand_price w;
             Value.Str "";
           |];
       }
   else if r < 52 then
-    Txn.Delete { rel = "lineitem"; pred = orderkey_pred (rand_orderkey st) }
-  else if r < 62 then Txn.Delete { rel = "orders"; pred = orderkey_pred (rand_orderkey st) }
+    Txn.Delete { rel = "lineitem"; pred = orderkey_pred (rand_orderkey w) }
+  else if r < 62 then Txn.Delete { rel = "orders"; pred = orderkey_pred (rand_orderkey w) }
   else if r < 76 then
     (* relevant update: suppkey is a selection attribute (in Ls') *)
     Txn.Update
       {
         rel = "lineitem";
-        pred = orderkey_pred (rand_orderkey st);
-        set = [ (1, zipf_supp st) ];
+        pred = orderkey_pred (rand_orderkey w);
+        set = [ (1, zipf_supp w) ];
       }
   else if r < 86 then
     (* relevant update: quantity is in the select list *)
     Txn.Update
       {
         rel = "lineitem";
-        pred = orderkey_pred (rand_orderkey st);
-        set = [ (3, Value.Int (1 + SM.int st.rng ~bound:50)) ];
+        pred = orderkey_pred (rand_orderkey w);
+        set = [ (3, Value.Int (1 + SM.int w.rng ~bound:50)) ];
       }
   else if r < 94 then
     (* relevant update: orderdate is a selection attribute *)
-    Txn.Update { rel = "orders"; pred = orderkey_pred (rand_orderkey st); set = [ (2, zipf_date st) ] }
+    Txn.Update { rel = "orders"; pred = orderkey_pred (rand_orderkey w); set = [ (2, zipf_date w) ] }
   else
     (* irrelevant update: lineitem pad touches neither Ls' nor Cjoin *)
     Txn.Update
       {
         rel = "lineitem";
-        pred = orderkey_pred (rand_orderkey st);
+        pred = orderkey_pred (rand_orderkey w);
         set = [ (5, Value.Str "x") ];
       }
 
@@ -426,7 +443,7 @@ let recover st ~site ~change =
   st.shadow <- snapshot_shadow catalog;
   Snapshot.save catalog ~filename:st.snapshot_file;
   if Sys.file_exists st.wal_file then Sys.remove st.wal_file;
-  st.wal <- Wal.open_log ~filename:st.wal_file;
+  st.wal <- Wal.open_log ~filename:st.wal_file ();
   st.view <- make_view st;
   attach_hooks st;
   st.recoveries <- st.recoveries + 1;
@@ -443,14 +460,14 @@ let finish_txn st change = function
   | `Crashed site -> recover st ~site ~change
 
 let txn_event st =
-  let change = gen_change st in
+  let change = gen_change st.w in
   note st (Fmt.str "txn: %s" (describe_change change));
   finish_txn st change (run_txn st change)
 
 let run_checked_query st =
-  let e = 1 + SM.int st.rng ~bound:3 and f = 1 + SM.int st.rng ~bound:2 in
+  let e = 1 + SM.int st.w.rng ~bound:3 and f = 1 + SM.int st.w.rng ~bound:2 in
   let inst =
-    Querygen.gen_t1 st.t1 ~dates_zipf:st.dates_zipf ~supp_zipf:st.supp_zipf ~e ~f st.rng
+    Querygen.gen_t1 st.t1 ~dates_zipf:st.w.dates_zipf ~supp_zipf:st.w.supp_zipf ~e ~f st.w.rng
   in
   st.qid <- st.qid + 1;
   let txn = 1_000_000 + st.qid in
@@ -475,12 +492,12 @@ let run_checked_query st =
       note st (Fmt.str "query %d: injected %s" st.qid site)
 
 let crash_event st =
-  let site = crash_sites.(SM.int st.rng ~bound:(Array.length crash_sites)) in
+  let site = crash_sites.(SM.int st.w.rng ~bound:(Array.length crash_sites)) in
   let policy =
-    if site = "wal.mid_flush" then Fault.Nth (1 + SM.int st.rng ~bound:3) else Fault.Once
+    if site = "wal.mid_flush" then Fault.Nth (1 + SM.int st.w.rng ~bound:3) else Fault.Once
   in
   Fault.arm site policy;
-  let change = gen_change st in
+  let change = gen_change st.w in
   note st (Fmt.str "crash attempt at %s: %s" site (describe_change change));
   (match run_txn st change with
   | `Committed ->
@@ -491,21 +508,21 @@ let crash_event st =
 
 let lock_fault_event st =
   Fault.arm "lockmgr.acquire" Fault.Once;
-  (if SM.bool st.rng then
+  (if SM.bool st.w.rng then
      (* the query's S acquire on the view is refused *)
      run_checked_query st
    else begin
-     let change = gen_change st in
+     let change = gen_change st.w in
      note st (Fmt.str "lock-fault txn: %s" (describe_change change));
      finish_txn st change (run_txn st change)
    end);
   Fault.disarm "lockmgr.acquire"
 
 let io_fault_event st =
-  Fault.arm "bufferpool.read" (Fault.Nth (1 + SM.int st.rng ~bound:300));
-  let e = 1 + SM.int st.rng ~bound:3 and f = 1 + SM.int st.rng ~bound:2 in
+  Fault.arm "bufferpool.read" (Fault.Nth (1 + SM.int st.w.rng ~bound:300));
+  let e = 1 + SM.int st.w.rng ~bound:3 and f = 1 + SM.int st.w.rng ~bound:2 in
   let inst =
-    Querygen.gen_t1 st.t1 ~dates_zipf:st.dates_zipf ~supp_zipf:st.supp_zipf ~e ~f st.rng
+    Querygen.gen_t1 st.t1 ~dates_zipf:st.w.dates_zipf ~supp_zipf:st.w.supp_zipf ~e ~f st.w.rng
   in
   st.qid <- st.qid + 1;
   (match
@@ -523,7 +540,7 @@ let io_fault_event st =
 
 let maint_fault_event st =
   Fault.arm "maintain.apply" Fault.Once;
-  let change = gen_change st in
+  let change = gen_change st.w in
   note st (Fmt.str "maint-fault txn: %s" (describe_change change));
   match run_txn st change with
   | `Committed ->
@@ -534,7 +551,7 @@ let maint_fault_event st =
 
 let defer_event st =
   Fault.arm "maintain.defer" Fault.Always;
-  let change = gen_change st in
+  let change = gen_change st.w in
   note st (Fmt.str "defer txn: %s" (describe_change change));
   (match run_txn st change with
   | `Committed ->
@@ -562,7 +579,7 @@ let deep_check st =
   | vs -> List.iter (fun v -> fail st "deep check: view invariant: %s" v) vs)
 
 let pick st =
-  let r = SM.int st.rng ~bound:100 in
+  let r = SM.int st.w.rng ~bound:100 in
   if r < 38 then `Query
   else if r < 62 then `Txn
   else if r < 72 then `Crash
@@ -587,16 +604,12 @@ let run cfg =
   in
   Snapshot.save catalog ~filename:snapshot_file;
   if Sys.file_exists wal_file then Sys.remove wal_file;
-  let wal = Wal.open_log ~filename:wal_file in
+  let wal = Wal.open_log ~filename:wal_file () in
   let mgr = Txn.create catalog in
   let st =
     {
       cfg;
-      rng = SM.create ~seed:cfg.seed;
-      params;
-      counts;
-      dates_zipf = Zipf.create ~n:params.Tpcr.n_dates ~alpha:1.07;
-      supp_zipf = Zipf.create ~n:params.Tpcr.n_suppliers ~alpha:1.07;
+      w = make_wctx ~seed:cfg.seed ~params ~counts;
       snapshot_file;
       wal_file;
       catalog;
@@ -607,7 +620,6 @@ let run cfg =
       shadow = snapshot_shadow catalog;
       digest = 0xcbf29ce484222325L;
       qid = 0;
-      next_orderkey = counts.Tpcr.orders + 1;
       queries = 0;
       txns = 0;
       crashes = 0;
@@ -654,6 +666,345 @@ let run cfg =
     txns = st.txns;
     crashes = st.crashes;
     recoveries = st.recoveries;
+    deferrals = st.deferrals;
+    lock_rejects = st.lock_rejects;
+    io_faults = st.io_faults;
+    rebuilds = st.rebuilds;
+    deep_checks = st.deep_checks;
+    failures = List.rev st.failures;
+    digest = Fmt.str "%016Lx" st.digest;
+  }
+
+(* --- sharded campaign --------------------------------------------------- *)
+
+(* A leaner campaign across [cfg.shards] hash-partitioned engines
+   (orders/lineitem by orderkey, customer replicated), driven by the
+   same seeded workload generators and oracle-checked against one
+   unsharded reference catalog replaying the identical change stream.
+   No WAL crash events — recovery is the single-engine campaign's
+   subject — but lock, I/O, deferral and lost-maintenance faults all
+   fire inside individual shards' private fault scopes. The oracle
+   checks every merged answer (including the DS identity under
+   summation), the union-of-shards heaps against the reference,
+   partition placement, and replica agreement. *)
+
+module Router = Minirel_engine.Shard_router
+module Engine = Minirel_engine.Engine
+
+type sst = {
+  cfg : cfg;
+  w : wctx;
+  router : Router.t;
+  ref_catalog : Catalog.t;  (* the unsharded oracle *)
+  ref_mgr : Txn.t;
+  t1 : Template.compiled;
+  mutable digest : int64;
+  mutable qid : int;
+  mutable queries : int;
+  mutable txns : int;
+  mutable deferrals : int;
+  mutable lock_rejects : int;
+  mutable io_faults : int;
+  mutable rebuilds : int;
+  mutable deep_checks : int;
+  mutable failures : string list;
+}
+
+let snote st line =
+  st.digest <- fnv_string st.digest line;
+  match st.cfg.log with Some f -> f line | None -> ()
+
+let sfail st fmt =
+  Fmt.kstr
+    (fun s ->
+      st.failures <- s :: st.failures;
+      snote st ("FAIL: " ^ s))
+    fmt
+
+let spending st =
+  List.exists
+    (fun e ->
+      List.exists
+        (fun v -> Pmv.Maintain.n_pending v > 0)
+        (Pmv.Manager.views (Engine.manager e)))
+    (Router.shards st.router)
+
+(* A shard whose view lost a maintenance step rebuilds it — the same
+   owner obligation as in the single-engine campaign. *)
+let srebuild st i =
+  let e = Router.shard st.router i in
+  let template = st.t1.Template.spec.Template.name in
+  Pmv.Manager.drop_view (Engine.manager e) ~template;
+  ignore (Engine.ensure_view ~capacity:96 e st.t1);
+  st.rebuilds <- st.rebuilds + 1;
+  snote st (Fmt.str "shard%d view rebuilt after lost maintenance" i)
+
+(* Drain every shard's pending queue with its defer failpoint
+   suspended. *)
+let sflush st =
+  List.iteri
+    (fun i e ->
+      let reg = Engine.fault e in
+      Fault.disarm_in reg "maintain.defer";
+      List.iter
+        (fun v ->
+          match Pmv.Maintain.flush_pending v (Engine.txn_mgr e) with
+          | () -> ()
+          | exception Fault.Injected "maintain.apply" -> srebuild st i)
+        (Pmv.Manager.views (Engine.manager e));
+      Fault.arm_in reg "maintain.defer" (Fault.Prob defer_prob))
+    (Router.shards st.router)
+
+let squery st =
+  let e = 1 + SM.int st.w.rng ~bound:3 and f = 1 + SM.int st.w.rng ~bound:2 in
+  let inst =
+    Querygen.gen_t1 st.t1 ~dates_zipf:st.w.dates_zipf ~supp_zipf:st.w.supp_zipf ~e ~f
+      st.w.rng
+  in
+  st.qid <- st.qid + 1;
+  let pending = spending st in
+  match
+    Check.check_answer_via
+      ~expected:(Check.ground_truth st.ref_catalog inst)
+      (fun ~on_tuple -> fst (Router.answer st.router inst ~on_tuple))
+  with
+  | r ->
+      st.queries <- st.queries + 1;
+      let verdict = if pending then Check.report_ok_allowing_stale r else Check.report_ok r in
+      if not verdict then
+        sfail st "query %d (%s)%s: %a" st.qid (describe_inst inst)
+          (if pending then " [pending maintenance]" else "")
+          Check.pp_report r
+      else
+        snote st
+          (Fmt.str "query %d (%s): %d rows, %d partial, %d stale" st.qid
+             (describe_inst inst) r.Check.delivered r.Check.partials
+             r.Check.stats.Pmv.Answer.stale_purged)
+  | exception Failure msg when lock_conflict msg ->
+      st.lock_rejects <- st.lock_rejects + 1;
+      snote st (Fmt.str "query %d: lock rejected" st.qid)
+  | exception Fault.Injected site ->
+      st.io_faults <- st.io_faults + 1;
+      snote st (Fmt.str "query %d: injected %s" st.qid site)
+
+(* Run the change on the shards, then mirror it into the reference
+   catalog: the same seeded stream drives both sides, and every change
+   here pins orderkey, so routing touches exactly the owning shard. *)
+let stxn st =
+  let change = gen_change st.w in
+  snote st (Fmt.str "txn: %s" (describe_change change));
+  match Router.run st.router [ change ] with
+  | routed ->
+      ignore (Txn.run st.ref_mgr [ change ]);
+      st.txns <- st.txns + 1;
+      snote st
+        (Fmt.str "routed to [%s]"
+           (String.concat ";" (List.map (fun (i, _) -> string_of_int i) routed)))
+  | exception Failure msg when lock_conflict msg ->
+      st.lock_rejects <- st.lock_rejects + 1;
+      snote st "txn: lock rejected"
+
+(* Lost maintenance on the owning shard of one insert: the insert is
+   durable on that shard, only its view missed the delta. *)
+let smaint_fault st =
+  let ok = st.w.next_orderkey in
+  st.w.next_orderkey <- st.w.next_orderkey + 1;
+  let change =
+    Txn.Insert
+      {
+        rel = "orders";
+        tuple =
+          [|
+            Value.Int ok;
+            Value.Int (1 + SM.int st.w.rng ~bound:st.w.counts.Tpcr.customers);
+            zipf_date st.w;
+            rand_price st.w;
+            Value.Str "";
+          |];
+      }
+  in
+  let owner = match Router.targets st.router change with [ i ] -> i | _ -> 0 in
+  let reg = Engine.fault (Router.shard st.router owner) in
+  Fault.arm_in reg "maintain.apply" Fault.Once;
+  snote st (Fmt.str "maint-fault txn on shard%d: %s" owner (describe_change change));
+  (match Router.run st.router [ change ] with
+  | _ ->
+      st.txns <- st.txns + 1;
+      snote st "maintain.apply pending past this txn"
+  | exception Fault.Injected "maintain.apply" ->
+      st.txns <- st.txns + 1;
+      srebuild st owner);
+  ignore (Txn.run st.ref_mgr [ change ]);
+  Fault.disarm_in reg "maintain.apply"
+
+let slock_fault st =
+  let i = SM.int st.w.rng ~bound:(Router.n_shards st.router) in
+  let reg = Engine.fault (Router.shard st.router i) in
+  Fault.arm_in reg "lockmgr.acquire" Fault.Once;
+  snote st (Fmt.str "lock fault armed on shard%d" i);
+  squery st;
+  Fault.disarm_in reg "lockmgr.acquire"
+
+let sio_fault st =
+  let i = SM.int st.w.rng ~bound:(Router.n_shards st.router) in
+  let reg = Engine.fault (Router.shard st.router i) in
+  Fault.arm_in reg "bufferpool.read" (Fault.Nth (1 + SM.int st.w.rng ~bound:100));
+  snote st (Fmt.str "io fault armed on shard%d" i);
+  squery st;
+  Fault.disarm_in reg "bufferpool.read";
+  (* an aborted merged answer must not have corrupted any shard *)
+  squery st
+
+let sdefer st =
+  let change = gen_change st.w in
+  let regs = List.map Engine.fault (Router.shards st.router) in
+  List.iter (fun r -> Fault.arm_in r "maintain.defer" Fault.Always) regs;
+  snote st (Fmt.str "defer txn: %s" (describe_change change));
+  (match Router.run st.router [ change ] with
+  | _ ->
+      ignore (Txn.run st.ref_mgr [ change ]);
+      st.txns <- st.txns + 1;
+      st.deferrals <- st.deferrals + 1;
+      snote st "deferred on the owning shard";
+      (* answer under pending maintenance: the lenient verdict applies *)
+      squery st
+  | exception Failure msg when lock_conflict msg ->
+      st.lock_rejects <- st.lock_rejects + 1);
+  List.iter (fun r -> Fault.arm_in r "maintain.defer" (Fault.Prob defer_prob)) regs;
+  sflush st
+
+(* Union-of-shards vs the reference catalog, partition placement,
+   replica agreement, per-shard catalog and view invariants. *)
+let sdeep st =
+  st.deep_checks <- st.deep_checks + 1;
+  sflush st;
+  List.iter
+    (fun rel ->
+      let expected = heap_tuples st.ref_catalog rel in
+      let actual =
+        match Router.partitioning st.router ~rel with
+        | Some Router.Replicated | None ->
+            heap_tuples (Engine.catalog (Router.shard st.router 0)) rel
+        | Some (Router.Hash pos) ->
+            List.concat
+              (List.mapi
+                 (fun i e ->
+                   let mine = heap_tuples (Engine.catalog e) rel in
+                   List.iter
+                     (fun t ->
+                       let owner = Router.shard_of_value st.router t.(pos) in
+                       if owner <> i then
+                         sfail st "deep check: %s row %a on shard%d, owner shard%d" rel
+                           Tuple.pp t i owner)
+                     mine;
+                   mine)
+                 (Router.shards st.router))
+      in
+      let d = Check.diff_multiset ~expected ~actual in
+      if not (Check.diff_is_empty d) then
+        sfail st "deep check: %s union-of-shards mismatch: %a" rel Check.pp_diff d;
+      match Router.partitioning st.router ~rel with
+      | Some (Router.Hash _) -> ()
+      | Some Router.Replicated | None ->
+          let sh0 = heap_tuples (Engine.catalog (Router.shard st.router 0)) rel in
+          List.iteri
+            (fun i e ->
+              if i > 0 then
+                let d =
+                  Check.diff_multiset ~expected:sh0
+                    ~actual:(heap_tuples (Engine.catalog e) rel)
+                in
+                if not (Check.diff_is_empty d) then
+                  sfail st "deep check: replica %s diverged on shard%d: %a" rel i
+                    Check.pp_diff d)
+            (Router.shards st.router))
+    rels;
+  List.iteri
+    (fun i e ->
+      (try Catalog.validate (Engine.catalog e)
+       with Catalog.Inconsistent msg -> sfail st "deep check: shard%d catalog: %s" i msg);
+      List.iter
+        (fun v ->
+          match Check.check_view v (Engine.catalog e) with
+          | [] -> ()
+          | vs -> List.iter (fun m -> sfail st "deep check: shard%d view: %s" i m) vs)
+        (Pmv.Manager.views (Engine.manager e)))
+    (Router.shards st.router);
+  snote st "deep check done"
+
+let spick w =
+  let r = SM.int w.rng ~bound:100 in
+  if r < 42 then `Query
+  else if r < 70 then `Txn
+  else if r < 78 then `Lock_fault
+  else if r < 86 then `Io_fault
+  else if r < 93 then `Maint_fault
+  else `Defer
+
+let run_sharded cfg =
+  let shards = max 1 cfg.shards in
+  let params = Tpcr.params_for_scale ~seed:cfg.seed ~pad:false cfg.scale in
+  let pool = Buffer_pool.create ~capacity:20_000 () in
+  let ref_catalog = Catalog.create pool in
+  let counts = Tpcr.generate ref_catalog params in
+  let t1 = Template.compile ref_catalog Querygen.t1_spec in
+  let router = Router.create ~shards () in
+  List.iter
+    (fun rel ->
+      Router.declare router (Catalog.schema ref_catalog rel) ~part:(`Hash "orderkey"))
+    [ "orders"; "lineitem" ];
+  Router.declare router (Catalog.schema ref_catalog "customer") ~part:`Replicated;
+  Router.load_from router ref_catalog;
+  ignore (Router.create_view ~capacity:96 router t1);
+  let st =
+    {
+      cfg;
+      w = make_wctx ~seed:cfg.seed ~params ~counts;
+      router;
+      ref_catalog;
+      ref_mgr = Txn.create ref_catalog;
+      t1;
+      digest = 0xcbf29ce484222325L;
+      qid = 0;
+      queries = 0;
+      txns = 0;
+      deferrals = 0;
+      lock_rejects = 0;
+      io_faults = 0;
+      rebuilds = 0;
+      deep_checks = 0;
+      failures = [];
+    }
+  in
+  List.iteri
+    (fun i e ->
+      let reg = Engine.fault e in
+      Fault.enable_in ~seed:(cfg.seed + i) reg;
+      Fault.arm_in reg "maintain.defer" (Fault.Prob defer_prob))
+    (Router.shards st.router);
+  snote st
+    (Fmt.str
+       "sharded torture seed=%d events=%d scale=%g shards=%d (%d customers, %d orders, \
+        %d lineitems)"
+       cfg.seed cfg.events cfg.scale shards counts.Tpcr.customers counts.Tpcr.orders
+       counts.Tpcr.lineitems);
+  for i = 1 to cfg.events do
+    if cfg.check_every > 0 && i mod cfg.check_every = 0 then sdeep st;
+    match spick st.w with
+    | `Query -> squery st
+    | `Txn -> stxn st
+    | `Lock_fault -> slock_fault st
+    | `Io_fault -> sio_fault st
+    | `Maint_fault -> smaint_fault st
+    | `Defer -> sdefer st
+  done;
+  sdeep st;
+  {
+    events = cfg.events;
+    queries = st.queries;
+    txns = st.txns;
+    crashes = 0;
+    recoveries = 0;
     deferrals = st.deferrals;
     lock_rejects = st.lock_rejects;
     io_faults = st.io_faults;

@@ -16,6 +16,7 @@ type cfg = {
   events : int;  (** workload events to replay *)
   scale : float;  (** TPC-R scale factor for the base data *)
   check_every : int;  (** deep view + catalog check every k events *)
+  shards : int;  (** engine count for {!run_sharded}; {!run} ignores it *)
   dir : string option;  (** snapshot/WAL directory; default a temp dir *)
   log : (string -> unit) option;  (** per-event trace sink *)
 }
@@ -44,3 +45,18 @@ val pp_outcome : outcome Fmt.t
     are collected in [failures]; infrastructure errors (I/O, corrupt
     snapshot) do escape. *)
 val run : cfg -> outcome
+
+(** Run a sharded torture campaign across [cfg.shards] (at least 1)
+    hash-partitioned engines — orders/lineitem partitioned by orderkey,
+    customer replicated — driven by the same seeded workload generators
+    as {!run} and oracle-checked against one unsharded reference
+    catalog that replays the identical change stream. Lock, I/O,
+    deferral and lost-maintenance faults fire inside individual shards'
+    private scopes; WAL crash/recovery events are the single-engine
+    campaign's subject and do not occur here ([crashes] and
+    [recoveries] are 0). The oracle additionally checks that the merged
+    answer stream keeps the DS exactly-once identity under summation,
+    that the union of the shard heaps equals the reference catalog,
+    that every row of a partitioned relation sits on its owning shard,
+    and that replicas stay identical. *)
+val run_sharded : cfg -> outcome

@@ -1,0 +1,122 @@
+(* A first-class engine instance: one catalog plus everything wired to
+   it — buffer pool, transaction manager (with its lock manager),
+   PMV manager (with its plan cache), SQL session, optional WAL — and
+   the fault and telemetry scopes they all report into.
+
+   Before this module, pmvctl, the shell, the torture driver and the
+   test helpers each rebuilt this wiring by hand against the
+   process-global fault/telemetry registries, so two engines could not
+   coexist in one process. Now the scopes are injected: [create] wires
+   everything against the (default, process-global) scopes for drop-in
+   compatibility, while [scoped] gives the engine fresh private scopes
+   — the building block the shard router fans out over. *)
+
+module Catalog = Minirel_index.Catalog
+module Fault = Minirel_fault.Fault
+module Registry = Minirel_telemetry.Registry
+module Tracer = Minirel_telemetry.Tracer
+module Txn = Minirel_txn.Txn
+module Wal = Minirel_txn.Wal
+module Template = Minirel_query.Template
+
+type t = {
+  name : string;
+  catalog : Catalog.t;
+  txn_mgr : Txn.t;
+  manager : Pmv.Manager.t;
+  session : Minirel_sql.Session.t;
+  fault : Fault.reg;
+  registry : Registry.t;
+  tracer : Tracer.t;
+  mutable wal : Wal.t option;
+}
+
+let create ?(name = "engine") ?(fault = Fault.default) ?(registry = Registry.default)
+    ?(tracer = Tracer.default) ?(pool_capacity = 4_000) ?pool_policy ?default_f_max
+    ?default_policy ?catalog () =
+  let catalog =
+    match catalog with
+    | Some c -> c
+    | None ->
+        Catalog.create
+          (Minirel_storage.Buffer_pool.create ?policy:pool_policy ~fault
+             ~capacity:pool_capacity ())
+  in
+  let txn_mgr = Txn.create ~fault catalog in
+  let manager = Pmv.Manager.create ?default_f_max ?default_policy ~registry catalog in
+  Pmv.Manager.attach_maintenance manager txn_mgr;
+  Minirel_txn.Lock_manager.register_telemetry ~registry (Txn.locks txn_mgr);
+  {
+    name;
+    catalog;
+    txn_mgr;
+    manager;
+    session = Minirel_sql.Session.create catalog;
+    fault;
+    registry;
+    tracer;
+    wal = None;
+  }
+
+(* An engine with fresh, private fault and telemetry scopes: nothing it
+   does is visible in the process-global registries, and nothing armed
+   or recorded globally reaches it. *)
+let scoped ?name ?pool_capacity ?pool_policy ?default_f_max ?default_policy ?catalog () =
+  create ?name ~fault:(Fault.create ()) ~registry:(Registry.create ())
+    ~tracer:(Tracer.create ()) ?pool_capacity ?pool_policy ?default_f_max ?default_policy
+    ?catalog ()
+
+let name t = t.name
+let catalog t = t.catalog
+let pool t = Catalog.pool t.catalog
+let txn_mgr t = t.txn_mgr
+let locks t = Txn.locks t.txn_mgr
+let manager t = t.manager
+let session t = t.session
+let plan_cache t = Pmv.Manager.plan_cache t.manager
+let fault t = t.fault
+let registry t = t.registry
+let tracer t = t.tracer
+let wal t = t.wal
+
+(* Open a WAL in this engine's fault scope, subscribe it to the
+   transaction manager and register its telemetry. *)
+let attach_wal t ~filename =
+  let wal = Wal.open_log ~fault:t.fault ~filename () in
+  Wal.attach wal t.txn_mgr;
+  Wal.register_telemetry ~registry:t.registry wal;
+  t.wal <- Some wal;
+  wal
+
+let detach_wal t =
+  match t.wal with
+  | None -> ()
+  | Some wal ->
+      Wal.detach wal t.txn_mgr;
+      Wal.close wal;
+      t.wal <- None
+
+(* Run a transaction through the engine's manager: locks, WAL (when
+   attached) and deferred PMV maintenance all fire. *)
+let run t changes = Txn.run t.txn_mgr changes
+
+(* The view registered for the template, creating it on first use when
+   a sizing argument is given. *)
+let ensure_view ?policy ?f_max ?capacity ?ub_bytes t compiled =
+  let template = compiled.Template.spec.Template.name in
+  match Pmv.Manager.find t.manager ~template with
+  | Some view -> view
+  | None -> Pmv.Manager.create_view ?policy ?f_max ?capacity ?ub_bytes t.manager compiled
+
+let find_view t ~template = Pmv.Manager.find t.manager ~template
+
+(* Answer under the Section 3.6 S-lock protocol through the engine's
+   manager (PMV when the template has one, plain otherwise). *)
+let answer ?profile t instance ~on_tuple =
+  Pmv.Manager.answer ~locks:(locks t) ?profile t.manager instance ~on_tuple
+
+let snapshot t = Registry.snapshot t.registry
+
+let reset_telemetry t =
+  Registry.reset t.registry;
+  Tracer.clear t.tracer

@@ -1,0 +1,329 @@
+(* Hash-partitioned sharding of the PMV pipeline across N engine
+   instances (the scale-out the paper's sizing discussion anticipates:
+   each shard budgets its own PMV memory, so aggregate cache capacity
+   grows with the shard count).
+
+   Partitioning model:
+   - a {e hash-partitioned} relation is split by one partition-key
+     attribute — in the intended layout the join key, so co-partitioned
+     relations join entirely shard-locally;
+   - a {e replicated} relation is copied to every shard (the usual
+     treatment for small dimension tables).
+
+   Routing:
+   - inserts go to the owning shard (hash of the key), replicated
+     inserts to every shard;
+   - deletes/updates whose predicate pins the partition key (an [=] or
+     singleton [IN] in the top-level conjunction) go to the owner;
+     otherwise they are broadcast — correct because the shards hold
+     disjoint row sets, so each shard only touches its own rows. An
+     update may not modify the partition key (it would have to migrate
+     the row across shards); this raises [Invalid_argument].
+   - deferred maintenance needs no extra routing: a delta is only ever
+     produced on the shard that owns the changed rows, and that shard's
+     transaction manager drives its own views' maintenance.
+
+   Answering: a query fans out to every shard holding a partitioned
+   base relation of its template (shard 0 alone when the template
+   touches only replicated relations — every shard would return the
+   identical answer). The partial (O2) and remaining (O3) streams
+   concatenate; because the shards partition the data, the per-shard
+   result multisets are disjoint pieces of the global answer, and the
+   DS exactly-once identity survives summation:
+     Σ delivered_i = Σ (total_i + stale_purged_i). *)
+
+module Catalog = Minirel_index.Catalog
+module Schema = Minirel_storage.Schema
+module Value = Minirel_storage.Value
+module Template = Minirel_query.Template
+module Predicate = Minirel_query.Predicate
+module Txn = Minirel_txn.Txn
+module Export = Minirel_telemetry.Export
+
+type part = Hash of int (* partition-key position *) | Replicated
+
+type t = {
+  shards : Engine.t array;
+  parts : (string, part) Hashtbl.t;  (* relation -> partitioning *)
+}
+
+let create ?pool_capacity ?default_f_max ?default_policy ~shards () =
+  if shards <= 0 then invalid_arg "Shard_router.create: shards must be positive";
+  {
+    shards =
+      Array.init shards (fun i ->
+          Engine.scoped
+            ~name:(Printf.sprintf "shard%d" i)
+            ?pool_capacity ?default_f_max ?default_policy ());
+    parts = Hashtbl.create 8;
+  }
+
+let n_shards t = Array.length t.shards
+let shard t i = t.shards.(i)
+let shards t = Array.to_list t.shards
+
+let partitioning t ~rel = Hashtbl.find_opt t.parts rel
+
+(* Owning shard of one partition-key value. Ints hash to themselves so
+   co-partitioned relations sharing integer keys land together. *)
+let shard_of_value t v =
+  let h =
+    match (v : Value.t) with Value.Int i -> i land max_int | v -> Hashtbl.hash v
+  in
+  h mod Array.length t.shards
+
+(* --- DDL --------------------------------------------------------------- *)
+
+(* Record how [schema]'s relation partitions without creating it — for
+   relations that already live in a catalog about to be [load_from]'d.
+   [part] is [`Hash attr] (partition by that attribute) or
+   [`Replicated]. *)
+let declare t schema ~part =
+  let rel = Schema.name schema in
+  let part =
+    match part with
+    | `Replicated -> Replicated
+    | `Hash attr -> (
+        match Schema.pos_opt schema attr with
+        | Some pos -> Hash pos
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Shard_router: %s has no attribute %s" rel attr))
+  in
+  Hashtbl.replace t.parts rel part
+
+(* Create [schema]'s relation on every shard under [part]. *)
+let create_relation t schema ~part =
+  declare t schema ~part;
+  Array.iter (fun e -> ignore (Catalog.create_relation (Engine.catalog e) schema)) t.shards
+
+let create_index t ?kind ~rel ~name ~attrs () =
+  Array.iter
+    (fun e -> ignore (Catalog.create_index (Engine.catalog e) ?kind ~rel ~name ~attrs ()))
+    t.shards
+
+(* --- DML routing ------------------------------------------------------- *)
+
+let all_shards t = List.init (Array.length t.shards) Fun.id
+
+(* The partition-key value a predicate pins, if its top-level
+   conjunction fixes it with [=] or a singleton [IN]. *)
+let rec pinned_value key_pos = function
+  | Predicate.Cmp (Predicate.Eq, pos, v) when pos = key_pos -> Some v
+  | Predicate.In_set (pos, [ v ]) when pos = key_pos -> Some v
+  | Predicate.And ps -> List.find_map (pinned_value key_pos) ps
+  | _ -> None
+
+(* Shards a change must run on. *)
+let targets t (change : Txn.change) =
+  match change with
+  | Txn.Insert { rel; tuple } -> (
+      match Hashtbl.find_opt t.parts rel with
+      | Some (Hash pos) -> [ shard_of_value t tuple.(pos) ]
+      | Some Replicated | None -> all_shards t)
+  | Txn.Delete { rel; pred } -> (
+      match Hashtbl.find_opt t.parts rel with
+      | Some (Hash pos) -> (
+          match pinned_value pos pred with
+          | Some v -> [ shard_of_value t v ]
+          | None -> all_shards t)
+      | Some Replicated | None -> all_shards t)
+  | Txn.Update { rel; pred; set } -> (
+      match Hashtbl.find_opt t.parts rel with
+      | Some (Hash pos) ->
+          if List.mem_assoc pos set then
+            invalid_arg
+              (Printf.sprintf
+                 "Shard_router: update may not modify the partition key of %s" rel);
+          (match pinned_value pos pred with
+          | Some v -> [ shard_of_value t v ]
+          | None -> all_shards t)
+      | Some Replicated | None -> all_shards t)
+
+(* Run a transaction, routing each change to its owning shard(s).
+   Returns the per-shard deltas as [(shard index, deltas)] for the
+   shards that ran anything. *)
+let run t changes =
+  let n = Array.length t.shards in
+  let per = Array.make n [] in
+  List.iter
+    (fun change -> List.iter (fun s -> per.(s) <- change :: per.(s)) (targets t change))
+    changes;
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    if per.(i) <> [] then out := (i, Engine.run t.shards.(i) (List.rev per.(i))) :: !out
+  done;
+  !out
+
+(* --- views ------------------------------------------------------------- *)
+
+(* Create the template's PMV on every shard. [capacity]/[ub_bytes] are
+   per shard: the aggregate cache budget scales with the shard count,
+   which is precisely the scale-out lever. *)
+let create_view ?policy ?f_max ?capacity ?ub_bytes t compiled =
+  Array.map
+    (fun e -> Pmv.Manager.create_view ?policy ?f_max ?capacity ?ub_bytes (Engine.manager e) compiled)
+    t.shards
+
+(* Shards a template's answer must consult: all of them as soon as any
+   base relation is hash-partitioned, only shard 0 when every relation
+   is replicated (each shard holds the identical copy). *)
+let template_shards t compiled =
+  let rels = compiled.Template.spec.Template.relations in
+  let partitioned =
+    Array.exists
+      (fun rel ->
+        match Hashtbl.find_opt t.parts rel with Some (Hash _) -> true | _ -> false)
+      rels
+  in
+  if partitioned then all_shards t else [ 0 ]
+
+(* --- answering --------------------------------------------------------- *)
+
+let min_opt a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some x, Some y -> Some (if Int64.compare x y <= 0 then x else y)
+
+(* Sum per-shard answer stats. Counters and times add (the single-core
+   interpretation: total work); first-tuple latencies take the min —
+   the user saw the first tuple when the first shard produced one. The
+   DS identity is preserved: summing delivered = total + purged over
+   shards keeps the equation exact. *)
+let merge_stats (a : Pmv.Answer.stats) (b : Pmv.Answer.stats) =
+  {
+    Pmv.Answer.h = max a.Pmv.Answer.h b.Pmv.Answer.h;
+    probes = a.Pmv.Answer.probes + b.Pmv.Answer.probes;
+    probe_hits = a.Pmv.Answer.probe_hits + b.Pmv.Answer.probe_hits;
+    partial_count = a.Pmv.Answer.partial_count + b.Pmv.Answer.partial_count;
+    total_count = a.Pmv.Answer.total_count + b.Pmv.Answer.total_count;
+    filled = a.Pmv.Answer.filled + b.Pmv.Answer.filled;
+    overhead_ns = Int64.add a.Pmv.Answer.overhead_ns b.Pmv.Answer.overhead_ns;
+    exec_ns = Int64.add a.Pmv.Answer.exec_ns b.Pmv.Answer.exec_ns;
+    first_partial_ns = min_opt a.Pmv.Answer.first_partial_ns b.Pmv.Answer.first_partial_ns;
+    first_exec_ns = min_opt a.Pmv.Answer.first_exec_ns b.Pmv.Answer.first_exec_ns;
+    io_reads = a.Pmv.Answer.io_reads + b.Pmv.Answer.io_reads;
+    io_writes = a.Pmv.Answer.io_writes + b.Pmv.Answer.io_writes;
+    stale_purged = a.Pmv.Answer.stale_purged + b.Pmv.Answer.stale_purged;
+  }
+
+(* Answer [instance] across the template's shards, streaming each
+   shard's O2 partials and O3 remainder through [on_tuple]. Returns the
+   summed stats and whether every consulted shard answered through a
+   view. *)
+let answer ?profile t instance ~on_tuple =
+  let targets = template_shards t (Minirel_query.Instance.compiled instance) in
+  List.fold_left
+    (fun acc i ->
+      let stats, used = Engine.answer ?profile t.shards.(i) instance ~on_tuple in
+      match acc with
+      | None -> Some (stats, used)
+      | Some (acc_stats, acc_used) -> Some (merge_stats acc_stats stats, acc_used && used))
+    None targets
+  |> function
+  | Some r -> r
+  | None -> assert false (* targets is never empty *)
+
+exception Enough
+
+(* First [k] result tuples across the shards (each shard's hot cached
+   tuples first), stopping all execution as soon as k are in hand. *)
+let answer_first_k t instance ~k =
+  if k <= 0 then invalid_arg "Shard_router.answer_first_k: k must be positive";
+  let targets = template_shards t (Minirel_query.Instance.compiled instance) in
+  let acc = ref [] and got = ref 0 in
+  (try
+     List.iter
+       (fun i ->
+         let e = t.shards.(i) in
+         let template =
+           (Minirel_query.Instance.compiled instance).Template.spec.Template.name
+         in
+         let want = k - !got in
+         let rows =
+           match Engine.find_view e ~template with
+           | Some view ->
+               Pmv.Extensions.answer_first_k ~locks:(Engine.locks e) ~view
+                 (Engine.catalog e) instance ~k:want
+           | None ->
+               (* no view on this shard: plain answer, stopped early *)
+               let rows = ref [] and n = ref 0 in
+               (try
+                  ignore
+                    (Engine.answer e instance ~on_tuple:(fun _ tuple ->
+                         rows := tuple :: !rows;
+                         incr n;
+                         if !n >= want then raise Pmv.Extensions.Stop))
+                with Pmv.Extensions.Stop -> ());
+               List.rev !rows
+         in
+         acc := !acc @ rows;
+         got := !got + List.length rows;
+         if !got >= k then raise Enough)
+       targets
+   with Enough -> ());
+  !acc
+
+(* --- maintenance ------------------------------------------------------- *)
+
+(* Apply any queued (lock-deferred) deltas on every shard's views. *)
+let flush_pending t =
+  Array.iter
+    (fun e ->
+      List.iter
+        (fun view -> Pmv.Maintain.flush_pending view (Engine.txn_mgr e))
+        (Pmv.Manager.views (Engine.manager e)))
+    t.shards
+
+(* --- data loading ------------------------------------------------------ *)
+
+(* Partition an existing catalog's contents into the shards: every
+   relation is created per its [parts] entry (relations without one are
+   replicated), tuples are routed by the partition rule, and secondary
+   indexes are recreated on every shard. Inserts go through the plain
+   catalog (no transactions): loading precedes view creation. *)
+let load_from t source =
+  List.iter
+    (fun rel ->
+      let schema = Catalog.schema source rel in
+      if not (Hashtbl.mem t.parts rel) then Hashtbl.replace t.parts rel Replicated;
+      Array.iter
+        (fun e -> ignore (Catalog.create_relation (Engine.catalog e) schema))
+        t.shards;
+      let insert_into i tuple =
+        ignore (Catalog.insert (Engine.catalog t.shards.(i)) ~rel tuple)
+      in
+      let heap = Catalog.heap source rel in
+      Minirel_storage.Heap_file.iter heap (fun _rid tuple ->
+          match Hashtbl.find t.parts rel with
+          | Hash pos -> insert_into (shard_of_value t tuple.(pos)) tuple
+          | Replicated -> List.iter (fun i -> insert_into i tuple) (all_shards t));
+      List.iter
+        (fun idx ->
+          let attrs =
+            Array.to_list
+              (Array.map (Schema.attr_name schema) (Minirel_index.Index.key_positions idx))
+          in
+          create_index t ~rel ~name:(Minirel_index.Index.name idx) ~attrs ())
+        (Catalog.indexes source rel))
+    (Catalog.relations source)
+
+(* --- telemetry --------------------------------------------------------- *)
+
+(* Per-shard snapshots, in shard order. *)
+let snapshots t =
+  Array.to_list (Array.map (fun e -> (Engine.name e, Engine.snapshot e)) t.shards)
+
+(* One aggregated snapshot (counters/gauges add, histogram summaries
+   merge). *)
+let snapshot_merged t = Export.merge_snapshots (List.map snd (snapshots t))
+
+(* Prometheus exposition with a [shard="i"] label on every series. *)
+let prometheus_string t =
+  String.concat ""
+    (List.mapi
+       (fun i (_, snap) ->
+         Export.prometheus_string ~labels:[ ("shard", string_of_int i) ] snap)
+       (snapshots t))
+
+let reset_telemetry t = Array.iter Engine.reset_telemetry t.shards

@@ -1,0 +1,131 @@
+(** Hash-partitioned sharding of the PMV pipeline across N scoped
+    {!Engine} instances. Base relations are either hash-partitioned by
+    one attribute (in the intended layout the join key, so
+    co-partitioned relations join shard-locally) or replicated to every
+    shard. DML routes to the owning shard; queries fan out and the
+    partial/remaining streams merge with the DS exactly-once identity
+    intact under summation. Each shard has private fault and telemetry
+    scopes. *)
+
+type t
+
+(** [create ~shards ()] builds [shards] scoped engines named
+    [shard0..]. [pool_capacity] etc. apply per shard.
+    @raise Invalid_argument when [shards <= 0]. *)
+val create :
+  ?pool_capacity:int ->
+  ?default_f_max:int ->
+  ?default_policy:Minirel_cache.Policies.kind ->
+  shards:int ->
+  unit ->
+  t
+
+val n_shards : t -> int
+val shard : t -> int -> Engine.t
+val shards : t -> Engine.t list
+
+type part = Hash of int  (** partition-key position *) | Replicated
+
+val partitioning : t -> rel:string -> part option
+
+(** Owning shard of a partition-key value (integers hash to
+    themselves, keeping co-partitioned integer keys together). *)
+val shard_of_value : t -> Minirel_storage.Value.t -> int
+
+(** Record the relation's partitioning without creating it — for
+    relations already present in a catalog that {!load_from} will
+    partition.
+    @raise Invalid_argument when [`Hash attr] names no attribute. *)
+val declare :
+  t ->
+  Minirel_storage.Schema.t ->
+  part:[ `Hash of string | `Replicated ] ->
+  unit
+
+(** Create the relation on every shard and record its partitioning.
+    @raise Invalid_argument when [`Hash attr] names no attribute. *)
+val create_relation :
+  t ->
+  Minirel_storage.Schema.t ->
+  part:[ `Hash of string | `Replicated ] ->
+  unit
+
+val create_index :
+  t ->
+  ?kind:Minirel_index.Index.kind ->
+  rel:string ->
+  name:string ->
+  attrs:string list ->
+  unit ->
+  unit
+
+(** Shards a change must run on: the owner for inserts and for
+    deletes/updates whose predicate pins the partition key; every
+    shard otherwise (correct — shards hold disjoint rows).
+    @raise Invalid_argument when an update would modify a partition
+    key. *)
+val targets : t -> Minirel_txn.Txn.change -> int list
+
+(** Run a transaction, routing each change per {!targets}. Returns
+    [(shard index, deltas)] for the shards that ran anything; each
+    shard's locks, WAL and deferred PMV maintenance fire locally. *)
+val run :
+  t -> Minirel_txn.Txn.change list -> (int * Minirel_txn.Txn.delta list) list
+
+(** Create the template's PMV on every shard ([capacity]/[ub_bytes]
+    are per shard — aggregate cache budget scales with the shard
+    count). Returns the views in shard order. *)
+val create_view :
+  ?policy:Minirel_cache.Policies.kind ->
+  ?f_max:int ->
+  ?capacity:int ->
+  ?ub_bytes:int ->
+  t ->
+  Minirel_query.Template.compiled ->
+  Pmv.View.t array
+
+(** Shards a template's answer consults: all when any base relation is
+    hash-partitioned, just shard 0 when everything is replicated. *)
+val template_shards : t -> Minirel_query.Template.compiled -> int list
+
+(** Sum per-shard answer stats: counters and times add, first-tuple
+    latencies take the min; the DS identity survives summation. *)
+val merge_stats : Pmv.Answer.stats -> Pmv.Answer.stats -> Pmv.Answer.stats
+
+(** Answer across the template's shards, streaming every shard's O2
+    partials and O3 remainder through [on_tuple]; returns the summed
+    stats and whether every consulted shard used a view. *)
+val answer :
+  ?profile:Minirel_exec.Exec_stats.t ->
+  t ->
+  Minirel_query.Instance.t ->
+  on_tuple:(Pmv.Answer.phase -> Minirel_storage.Tuple.t -> unit) ->
+  Pmv.Answer.stats * bool
+
+(** First [k] result tuples across the shards (hot cached tuples
+    first per shard), terminating all execution once [k] are in hand.
+    @raise Invalid_argument if [k <= 0]. *)
+val answer_first_k :
+  t -> Minirel_query.Instance.t -> k:int -> Minirel_storage.Tuple.t list
+
+(** Apply queued (lock-deferred) deltas on every shard's views. *)
+val flush_pending : t -> unit
+
+(** Partition an existing catalog into the shards: relations without a
+    recorded partitioning replicate; tuples route by the partition
+    rule; secondary indexes are recreated per shard. *)
+val load_from : t -> Minirel_index.Catalog.t -> unit
+
+(** Per-shard telemetry snapshots, in shard order. *)
+val snapshots :
+  t -> (string * (string * Minirel_telemetry.Registry.value) list) list
+
+(** One aggregated snapshot (counters/gauges add, histogram summaries
+    merge). *)
+val snapshot_merged : t -> (string * Minirel_telemetry.Registry.value) list
+
+(** Prometheus exposition of every shard with a [shard="i"] label on
+    each series. *)
+val prometheus_string : t -> string
+
+val reset_telemetry : t -> unit

@@ -77,24 +77,39 @@ let label = function
   | Plan.Limit (n, _) -> Fmt.str "limit(%d)" n
   | Plan.Aggregate _ -> "aggregate"
 
-(* Process-wide executor telemetry: cursors opened and tuples produced
-   at plan roots. Module-global because the executor itself is
-   stateless; registered into a registry via [register_telemetry]. *)
+(* Executor telemetry: cursors opened and tuples produced at plan
+   roots. The executor itself is stateless, so the counters are keyed
+   by catalog (physical identity) — each engine's registry reports only
+   the queries run against that engine's catalog, and resetting one
+   scope leaves the others alone. *)
 type telemetry_counters = { mutable cursors : int; mutable root_tuples : int }
 
-let telemetry = { cursors = 0; root_tuples = 0 }
+let telemetry_by_catalog :
+    (Minirel_index.Catalog.t * telemetry_counters) list ref =
+  ref []
 
-let register_telemetry ?(registry = Minirel_telemetry.Registry.default) ?(name = "exec") ()
-    =
+let telemetry_for catalog =
+  match
+    List.find_opt (fun (c, _) -> c == catalog) !telemetry_by_catalog
+  with
+  | Some (_, t) -> t
+  | None ->
+      let t = { cursors = 0; root_tuples = 0 } in
+      telemetry_by_catalog := (catalog, t) :: !telemetry_by_catalog;
+      t
+
+let register_telemetry ?(registry = Minirel_telemetry.Registry.default)
+    ?(name = "exec") catalog =
   let module R = Minirel_telemetry.Registry in
+  let t = telemetry_for catalog in
   R.register_source registry ~name
     ~reset:(fun () ->
-      telemetry.cursors <- 0;
-      telemetry.root_tuples <- 0)
+      t.cursors <- 0;
+      t.root_tuples <- 0)
     (fun () ->
       [
-        ("cursors", R.Counter telemetry.cursors);
-        ("root_tuples", R.Counter telemetry.root_tuples);
+        ("cursors", R.Counter t.cursors);
+        ("root_tuples", R.Counter t.root_tuples);
       ])
 
 let rec op_cursor ?profile catalog (plan : Plan.t) : Tuple.t Cursor.t =
@@ -333,18 +348,19 @@ and build ?profile catalog (plan : Plan.t) : Tuple.t Cursor.t =
         in
         cur ()
 
-(* Public entry: the root cursor additionally feeds the process-wide
+(* Public entry: the root cursor additionally feeds the catalog's
    executor counters. The per-tuple wrapper is built only while
    telemetry is enabled, so the disabled mode pays nothing per pull. *)
 let cursor ?profile catalog plan =
   let c = op_cursor ?profile catalog plan in
   if not (Minirel_telemetry.Telemetry.is_enabled ()) then c
   else begin
-    telemetry.cursors <- telemetry.cursors + 1;
+    let t = telemetry_for catalog in
+    t.cursors <- t.cursors + 1;
     fun () ->
       match c () with
       | Some _ as r ->
-          telemetry.root_tuples <- telemetry.root_tuples + 1;
+          t.root_tuples <- t.root_tuples + 1;
           r
       | None -> None
   end

@@ -20,8 +20,12 @@ val run_to_list :
 
 val count : ?profile:Exec_stats.t -> Minirel_index.Catalog.t -> Plan.t -> int
 
-(** Register the process-wide executor counters (root cursors opened,
-    tuples produced at plan roots) as telemetry source [name] (default
-    ["exec"]). *)
+(** Register the catalog's executor counters (root cursors opened,
+    tuples produced at plan roots against that catalog) as telemetry
+    source [name] (default ["exec"]). Counters are kept per catalog, so
+    scoped engines report and reset independently. *)
 val register_telemetry :
-  ?registry:Minirel_telemetry.Registry.t -> ?name:string -> unit -> unit
+  ?registry:Minirel_telemetry.Registry.t ->
+  ?name:string ->
+  Minirel_index.Catalog.t ->
+  unit

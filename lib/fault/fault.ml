@@ -1,12 +1,16 @@
 (* Deterministic fault injection: named sites armed with firing
-   policies. The registry is process-global, off by default; while
-   disabled every probe reduces to one boolean load so hot paths can
-   keep probes unconditionally.
+   policies. Registries are instantiable so every engine can own an
+   independent fault scope; a process-global [default] registry backs
+   the original API, which is kept as thin shims. A registry is off by
+   default; while disabled every probe reduces to one boolean load so
+   hot paths can keep probes unconditionally.
 
    Determinism: probabilistic policies draw from SplitMix64 streams
-   seeded by (global seed, site name hash, arming generation). The
+   seeded by (registry seed, site name hash, arming generation). The
    engine is single-threaded, so hit ordering — and therefore every
    firing decision — is a pure function of the seed and the workload. *)
+
+module Sm = Minirel_prng.Split_mix
 
 type policy = Always | Once | Nth of int | First of int | Prob of float
 
@@ -23,52 +27,51 @@ type site = {
   policy : policy;
   mutable hits : int;
   mutable fired : int;
-  mutable rng : int64;  (* SplitMix64 state for [Prob] *)
+  mutable rng : Sm.t;  (* SplitMix64 stream for [Prob] *)
 }
 
-let enabled = ref false
-let global_seed = ref 0
-let generation = ref 0
-let table : (string, site) Hashtbl.t = Hashtbl.create 16
+type reg = {
+  mutable enabled : bool;
+  mutable seed : int;
+  mutable generation : int;
+  table : (string, site) Hashtbl.t;
+}
 
-(* SplitMix64, self-contained: this library sits below the workload
-   layer and must not depend on it. *)
-let sm_next state =
-  let z = Int64.add state 0x9E3779B97F4A7C15L in
-  let x = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let x = Int64.mul (Int64.logxor x (Int64.shift_right_logical x 27)) 0x94D049BB133111EBL in
-  (z, Int64.logxor x (Int64.shift_right_logical x 31))
+let create () = { enabled = false; seed = 0; generation = 0; table = Hashtbl.create 16 }
+let default = create ()
 
-let sm_float site =
-  let state, out = sm_next site.rng in
-  site.rng <- state;
-  Int64.to_float (Int64.shift_right_logical out 11) /. 9007199254740992.0 (* 2^53 *)
-
-let derive_state name gen =
+let derive_state reg name gen =
   Int64.logxor
-    (Int64.of_int ((!global_seed * 0x01000193) lxor Hashtbl.hash name))
+    (Int64.of_int ((reg.seed * 0x01000193) lxor Hashtbl.hash name))
     (Int64.shift_left (Int64.of_int (gen + 1)) 32)
 
-let is_enabled () = !enabled
+let is_enabled_in reg = reg.enabled
 
-let enable ?(seed = 0) () =
-  global_seed := seed;
-  enabled := true;
+let enable_in ?(seed = 0) reg =
+  reg.seed <- seed;
+  reg.enabled <- true;
   (* rebase every armed site's stream on the new seed *)
-  Hashtbl.iter (fun name site -> site.rng <- derive_state name !generation) table
+  Hashtbl.iter
+    (fun name site -> site.rng <- Sm.of_int64 (derive_state reg name reg.generation))
+    reg.table
 
-let disable () = enabled := false
+let disable_in reg = reg.enabled <- false
 
-let arm name policy =
-  incr generation;
-  Hashtbl.replace table name
-    { policy; hits = 0; fired = 0; rng = derive_state name !generation }
+let arm_in reg name policy =
+  reg.generation <- reg.generation + 1;
+  Hashtbl.replace reg.table name
+    {
+      policy;
+      hits = 0;
+      fired = 0;
+      rng = Sm.of_int64 (derive_state reg name reg.generation);
+    }
 
-let disarm name = Hashtbl.remove table name
+let disarm_in reg name = Hashtbl.remove reg.table name
 
-let reset () =
-  Hashtbl.reset table;
-  generation := 0
+let reset_in reg =
+  Hashtbl.reset reg.table;
+  reg.generation <- 0
 
 (* Policy decision for one recorded hit (1-based). *)
 let decide site =
@@ -77,7 +80,7 @@ let decide site =
   | Once -> site.hits = 1
   | Nth n -> site.hits = n
   | First n -> site.hits <= n
-  | Prob p -> sm_float site < p
+  | Prob p -> Sm.float site.rng < p
 
 let fire_armed site =
   site.hits <- site.hits + 1;
@@ -85,21 +88,36 @@ let fire_armed site =
   if f then site.fired <- site.fired + 1;
   f
 
-let fire name =
-  !enabled
+let fire_in reg name =
+  reg.enabled
   &&
-  match Hashtbl.find_opt table name with
+  match Hashtbl.find_opt reg.table name with
   | None -> false
   | Some site -> fire_armed site
 
-let hit name = if fire name then raise (Injected name)
+let hit_in reg name = if fire_in reg name then raise (Injected name)
 
-let hits name =
-  match Hashtbl.find_opt table name with None -> 0 | Some s -> s.hits
+let hits_in reg name =
+  match Hashtbl.find_opt reg.table name with None -> 0 | Some s -> s.hits
 
-let fired name =
-  match Hashtbl.find_opt table name with None -> 0 | Some s -> s.fired
+let fired_in reg name =
+  match Hashtbl.find_opt reg.table name with None -> 0 | Some s -> s.fired
 
-let sites () =
-  Hashtbl.fold (fun name s acc -> (name, s.policy, s.hits, s.fired) :: acc) table []
+let sites_in reg =
+  Hashtbl.fold (fun name s acc -> (name, s.policy, s.hits, s.fired) :: acc) reg.table []
   |> List.sort (fun (a, _, _, _) (b, _, _, _) -> String.compare a b)
+
+(* Process-global shims over [default], preserving the original API for
+   existing call sites (tests, torture, pmvctl). *)
+
+let is_enabled () = is_enabled_in default
+let enable ?seed () = enable_in ?seed default
+let disable () = disable_in default
+let arm name policy = arm_in default name policy
+let disarm name = disarm_in default name
+let reset () = reset_in default
+let fire name = fire_in default name
+let hit name = hit_in default name
+let hits name = hits_in default name
+let fired name = fired_in default name
+let sites () = sites_in default

@@ -5,10 +5,13 @@
     policy, and the site then fails on the hits the policy selects.
 
     Everything is deterministic: probabilistic policies draw from a
-    SplitMix64 stream derived from the global seed, the site name and
+    SplitMix64 stream derived from the registry seed, the site name and
     the arming generation, so a run is reproducible from its seed alone.
 
-    The registry is process-global and off by default. While disabled,
+    Registries are instantiable ({!create}) so each engine instance can
+    own an independent fault scope; the process-global {!default}
+    registry backs the original un-suffixed API, kept as thin shims for
+    existing call sites. A registry is off by default. While disabled,
     a probe is a single boolean load — no allocation, no hashing — so
     production code paths can keep their probes unconditionally. *)
 
@@ -26,45 +29,69 @@ val policy_to_string : policy -> string
     {!fire}) with the site name. *)
 exception Injected of string
 
+(** A fault registry: an independent set of armed sites, seed and
+    enabled flag. *)
+type reg
+
+(** A fresh, disabled registry with no armed sites. *)
+val create : unit -> reg
+
+(** The process-global registry the un-suffixed API operates on. *)
+val default : reg
+
 (** Turn the registry on. [seed] (default 0) rebases every derived
     per-site stream; armed sites and counters are kept. *)
-val enable : ?seed:int -> unit -> unit
+val enable_in : ?seed:int -> reg -> unit
 
 (** Turn every probe back into a plain boolean load. Armed sites stay
-    armed for a later {!enable}. *)
-val disable : unit -> unit
+    armed for a later {!enable_in}. *)
+val disable_in : reg -> unit
 
-val is_enabled : unit -> bool
+val is_enabled_in : reg -> bool
 
 (** Arm (or re-arm) a site. Re-arming resets its hit/fired counters and
     advances its arming generation, giving [Prob] a fresh — still
     deterministic — stream. *)
-val arm : string -> policy -> unit
+val arm_in : reg -> string -> policy -> unit
 
 (** Disarm one site; its probes return to no-ops. Unknown sites are
     ignored. *)
-val disarm : string -> unit
+val disarm_in : reg -> string -> unit
 
 (** Disarm every site and drop all counters (the seed and enabled flag
     survive). *)
-val reset : unit -> unit
+val reset_in : reg -> unit
 
-(** [fire site] records one hit when the registry is enabled and the
-    site is armed, and reports whether the policy selects this hit.
+(** [fire_in reg site] records one hit when the registry is enabled and
+    the site is armed, and reports whether the policy selects this hit.
     Call sites that need to clean up before failing (e.g. flush a
     partial WAL append) branch on this and raise {!Injected}
     themselves. Disabled or unarmed: [false]. *)
-val fire : string -> bool
+val fire_in : reg -> string -> bool
 
-(** Probe that raises [Injected site] whenever {!fire} is true — the
+(** Probe that raises [Injected site] whenever {!fire_in} is true — the
     common wiring. *)
-val hit : string -> unit
+val hit_in : reg -> string -> unit
 
 (** Hits recorded at an armed site since arming (0 for unknown sites). *)
-val hits : string -> int
+val hits_in : reg -> string -> int
 
 (** Times the site actually fired since arming. *)
-val fired : string -> int
+val fired_in : reg -> string -> int
 
 (** Armed sites as [(name, policy, hits, fired)], sorted by name. *)
+val sites_in : reg -> (string * policy * int * int) list
+
+(** {2 Process-global shims over {!default}} *)
+
+val enable : ?seed:int -> unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+val arm : string -> policy -> unit
+val disarm : string -> unit
+val reset : unit -> unit
+val fire : string -> bool
+val hit : string -> unit
+val hits : string -> int
+val fired : string -> int
 val sites : unit -> (string * policy * int * int) list

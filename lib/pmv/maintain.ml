@@ -81,13 +81,14 @@ let handle_removal view catalog strategy ~delta_rel tuples =
    the view then misses this maintenance step entirely — the classic
    stale-view drift — and the owner must rebuild or drop the view to
    restore consistency (the torture driver does exactly that). *)
-let on_delta ?(strategy = Aux_index) view catalog (delta : Minirel_txn.Txn.delta) =
+let on_delta ?(strategy = Aux_index) ?(fault = Minirel_fault.Fault.default) view
+    catalog (delta : Minirel_txn.Txn.delta) =
   let compiled = View.compiled view in
   let stats = View.stats view in
   match template_rel compiled delta.Minirel_txn.Txn.rel with
   | None -> ()
   | Some i ->
-      Minirel_fault.Fault.hit "maintain.apply";
+      Minirel_fault.Fault.hit_in fault "maintain.apply";
       let { Minirel_txn.Txn.inserted; deleted; updated; _ } = delta in
       stats.View.skipped_inserts <- stats.View.skipped_inserts + List.length inserted;
       let removed = ref (handle_removal view catalog strategy ~delta_rel:i deleted) in
@@ -114,12 +115,13 @@ let n_pending view = List.length (View.pending_deltas view)
 let process_with_lock ~strategy view txn_mgr delta_opt =
   let catalog = Minirel_txn.Txn.catalog txn_mgr in
   let locks = Minirel_txn.Txn.locks txn_mgr in
+  let fault = Minirel_txn.Txn.fault txn_mgr in
   let txn = -1 in
   match
     (* failpoint [maintain.defer] simulates a reader holding its S lock:
        the delta takes the pending-queue path and is applied at the
        next grantable opportunity (flush_pending) *)
-    if Minirel_fault.Fault.fire "maintain.defer" then
+    if Minirel_fault.Fault.fire_in fault "maintain.defer" then
       Error
         {
           Minirel_txn.Lock_manager.obj = View.lock_object view;
@@ -141,10 +143,12 @@ let process_with_lock ~strategy view txn_mgr delta_opt =
         ~finally:(fun () ->
           Minirel_txn.Lock_manager.release locks ~txn ~obj:(View.lock_object view))
         (fun () ->
-          List.iter (on_delta ~strategy view catalog) (List.rev (View.pending_deltas view));
+          List.iter
+            (on_delta ~strategy ~fault view catalog)
+            (List.rev (View.pending_deltas view));
           View.set_pending_deltas view [];
           match delta_opt with
-          | Some delta -> on_delta ~strategy view catalog delta
+          | Some delta -> on_delta ~strategy ~fault view catalog delta
           | None -> ())
 
 (* Apply any queued deltas now (e.g. after the blocking reader ends). *)
@@ -157,9 +161,10 @@ let flush_pending ?(strategy = Aux_index) view txn_mgr =
    opportunity. *)
 let attach ?(strategy = Aux_index) ?(use_locks = true) view txn_mgr =
   let catalog = Minirel_txn.Txn.catalog txn_mgr in
+  let fault = Minirel_txn.Txn.fault txn_mgr in
   Minirel_txn.Txn.register_hook txn_mgr ~name:("pmv:" ^ View.name view) (fun delta ->
       if use_locks then process_with_lock ~strategy view txn_mgr (Some delta)
-      else on_delta ~strategy view catalog delta)
+      else on_delta ~strategy ~fault view catalog delta)
 
 let detach view txn_mgr =
   View.set_pending_deltas view [];

@@ -26,9 +26,16 @@ val update_is_relevant :
   Minirel_storage.Tuple.t * Minirel_storage.Tuple.t ->
   bool
 
-(** Process one transaction delta against the view. *)
+(** Process one transaction delta against the view. [fault] scopes the
+    [maintain.apply] failpoint (default: the process-global registry;
+    the lock-aware paths use the transaction manager's scope). *)
 val on_delta :
-  ?strategy:strategy -> View.t -> Minirel_index.Catalog.t -> Minirel_txn.Txn.delta -> unit
+  ?strategy:strategy ->
+  ?fault:Minirel_fault.Fault.reg ->
+  View.t ->
+  Minirel_index.Catalog.t ->
+  Minirel_txn.Txn.delta ->
+  unit
 
 (** Subscribe the view to a transaction manager. With [use_locks]
     (default true), maintenance takes an X lock on the view (Section

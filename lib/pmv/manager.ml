@@ -21,6 +21,7 @@ type t = {
   views : (string, entry) Hashtbl.t;  (* template name -> entry *)
   mutable order : string list;  (* template names, most recently created first *)
   plan_cache : Plan_cache.t;
+  registry : Minirel_telemetry.Registry.t;
   mutable txn_mgr : Minirel_txn.Txn.t option;
   default_f_max : int;
   default_policy : Minirel_cache.Policies.kind;
@@ -28,10 +29,10 @@ type t = {
 
 (* Register a view as telemetry source [pmv.<template>]: query/fill
    counters, replacement-policy counters, and residency gauges. *)
-let register_view_telemetry view =
+let register_view_telemetry ?(registry = Minirel_telemetry.Registry.default) view =
   let module R = Minirel_telemetry.Registry in
   let vstats = View.stats view in
-  R.register_source R.default
+  R.register_source registry
     ~name:("pmv." ^ View.name view)
     ~reset:(fun () ->
       vstats.View.queries <- 0;
@@ -61,28 +62,30 @@ let register_view_telemetry view =
           (Minirel_cache.Cache_stats.to_list
              (Entry_store.policy_stats (View.store view))))
 
-let create ?(default_f_max = 2) ?(default_policy = Minirel_cache.Policies.Clock) catalog =
+let create ?(default_f_max = 2) ?(default_policy = Minirel_cache.Policies.Clock)
+    ?(registry = Minirel_telemetry.Registry.default) catalog =
   let t =
     {
       catalog;
       views = Hashtbl.create 16;
       order = [];
       plan_cache = Plan_cache.create catalog;
+      registry;
       txn_mgr = None;
       default_f_max;
       default_policy;
     }
   in
-  (* A manager is the engine's chokepoint, so creating one (re)binds the
-     default registry's engine-level sources to this instance's
-     components. *)
-  Minirel_storage.Buffer_pool.register_telemetry (Catalog.pool catalog);
-  Plan_cache.register_telemetry t.plan_cache;
-  Minirel_exec.Executor.register_telemetry ();
+  (* A manager is the engine's chokepoint, so creating one (re)binds its
+     registry's engine-level sources to this instance's components. *)
+  Minirel_storage.Buffer_pool.register_telemetry ~registry (Catalog.pool catalog);
+  Plan_cache.register_telemetry ~registry t.plan_cache;
+  Minirel_exec.Executor.register_telemetry ~registry catalog;
   t
 
 let catalog t = t.catalog
 let plan_cache t = t.plan_cache
+let registry t = t.registry
 
 let entries t = List.filter_map (Hashtbl.find_opt t.views) t.order
 let views t = List.map (fun e -> e.view) (entries t)
@@ -119,7 +122,7 @@ let create_view ?policy ?f_max ?capacity ?ub_bytes ?(sample = []) t compiled =
   let view = View.create ~policy ~f_max ~capacity ~name compiled in
   Hashtbl.replace t.views name { view; ub_bytes };
   t.order <- name :: t.order;
-  register_view_telemetry view;
+  register_view_telemetry ~registry:t.registry view;
   (match t.txn_mgr with Some mgr -> Maintain.attach view mgr | None -> ());
   view
 
@@ -133,8 +136,7 @@ let drop_view t ~template =
   | Some e, Some mgr -> Maintain.detach e.view mgr
   | _ -> ());
   if Hashtbl.mem t.views template then
-    Minirel_telemetry.Registry.unregister_source Minirel_telemetry.Registry.default
-      ~name:("pmv." ^ template);
+    Minirel_telemetry.Registry.unregister_source t.registry ~name:("pmv." ^ template);
   Hashtbl.remove t.views template;
   t.order <- List.filter (fun n -> n <> template) t.order
 

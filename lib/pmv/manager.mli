@@ -8,13 +8,20 @@ open Minirel_query
 
 type t
 
+(** [registry] receives the engine-level telemetry sources (buffer
+    pool, plan cache, executor) and every per-view [pmv.<template>]
+    source; default: the process-global registry. *)
 val create :
   ?default_f_max:int ->
   ?default_policy:Minirel_cache.Policies.kind ->
+  ?registry:Minirel_telemetry.Registry.t ->
   Minirel_index.Catalog.t ->
   t
 
 val catalog : t -> Minirel_index.Catalog.t
+
+(** The telemetry registry this manager registers its sources in. *)
+val registry : t -> Minirel_telemetry.Registry.t
 
 (** The template plan cache every routed query answers through. *)
 val plan_cache : t -> Minirel_exec.Plan_cache.t

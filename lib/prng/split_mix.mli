@@ -1,9 +1,15 @@
-(** SplitMix64: a tiny, fast, deterministic PRNG. Every experiment is
-    seeded so paper-figure regeneration is reproducible run to run. *)
+(** SplitMix64: a tiny, fast, deterministic PRNG. Every experiment and
+    fault-injection campaign is seeded so paper-figure regeneration and
+    torture replays are reproducible run to run. Leaf library: no
+    minirel dependencies. *)
 
 type t
 
 val create : seed:int -> t
+
+(** Seed from a raw 64-bit state (e.g. a derived per-site stream). *)
+val of_int64 : int64 -> t
+
 val next_int64 : t -> int64
 
 (** Uniform in [0, 1). *)

@@ -17,39 +17,50 @@ module Session = Minirel_sql.Session
 module Ast = Minirel_sql.Ast
 module Parser = Minirel_sql.Parser
 module Binder = Minirel_sql.Binder
+module Engine = Minirel_engine.Engine
+module Router = Minirel_engine.Shard_router
 
 type t = {
-  catalog : Catalog.t;
-  session : Session.t;
-  txn_mgr : Minirel_txn.Txn.t;
-  manager : Pmv.Manager.t;
+  engine : Engine.t;
+  router : Router.t option;
+      (* sharded backend: [engine] is then shard 0, used for parsing /
+         binding / EXPLAIN (schemas are identical on every shard), while
+         answering and DML route through the router *)
   view_ub_bytes : int;  (* budget per automatically created view *)
   auto_views : bool;
   mutable recorder : (string -> unit) option;  (* successful statements *)
 }
 
-let create ?(view_ub_bytes = 262_144) ?(auto_views = true) catalog =
-  let txn_mgr = Minirel_txn.Txn.create catalog in
-  let manager = Pmv.Manager.create catalog in
-  Pmv.Manager.attach_maintenance manager txn_mgr;
-  Minirel_txn.Lock_manager.register_telemetry (Minirel_txn.Txn.locks txn_mgr);
+(* Interpret statements against an existing engine (its catalog,
+   session, transaction manager and PMV manager — and therefore its
+   fault/telemetry scopes). *)
+let of_engine ?(view_ub_bytes = 262_144) ?(auto_views = true) engine =
+  { engine; router = None; view_ub_bytes; auto_views; recorder = None }
+
+(* Interpret statements against a shard router: queries fan out and
+   merge, DML routes to owning shards, CREATE TABLE replicates (SQL has
+   no partitioning syntax — partitioned relations are declared through
+   {!Router.create_relation} before the shell takes over). *)
+let of_router ?(view_ub_bytes = 262_144) ?(auto_views = true) router =
   {
-    catalog;
-    session = Session.create catalog;
-    txn_mgr;
-    manager;
+    engine = Router.shard router 0;
+    router = Some router;
     view_ub_bytes;
     auto_views;
     recorder = None;
   }
 
+let create ?view_ub_bytes ?auto_views catalog =
+  of_engine ?view_ub_bytes ?auto_views (Engine.create ~catalog ())
+
 (* Observe every successfully executed statement (e.g. into a Trace). *)
 let set_recorder t f = t.recorder <- Some f
 
-let catalog t = t.catalog
-let session t = t.session
-let manager t = t.manager
-let txn_mgr t = t.txn_mgr
+let engine t = t.engine
+let catalog t = Engine.catalog t.engine
+let session t = Engine.session t.engine
+let manager t = Engine.manager t.engine
+let txn_mgr t = Engine.txn_mgr t.engine
 
 type result =
   | Rows of {
@@ -161,17 +172,25 @@ let agg_name (f, arg) =
 (* Every routed query runs under the Section 3.6 S-lock protocol, so
    the lock-manager telemetry reflects real query traffic. *)
 let answer_locked ?profile t instance ~on_tuple =
-  Pmv.Manager.answer
-    ~locks:(Minirel_txn.Txn.locks t.txn_mgr)
-    ?profile t.manager instance ~on_tuple
+  match t.router with
+  | Some router -> Router.answer ?profile router instance ~on_tuple
+  | None ->
+      Pmv.Manager.answer
+        ~locks:(Minirel_txn.Txn.locks (txn_mgr t))
+        ?profile (manager t) instance ~on_tuple
 
 let ensure_view t compiled =
   let template = compiled.Template.spec.Template.name in
-  if t.auto_views && Pmv.Manager.find t.manager ~template = None then
-    ignore (Pmv.Manager.create_view ~ub_bytes:t.view_ub_bytes ~f_max:3 t.manager compiled)
+  if t.auto_views && Pmv.Manager.find (manager t) ~template = None then
+    match t.router with
+    | Some router ->
+        ignore (Router.create_view ~ub_bytes:t.view_ub_bytes ~f_max:3 router compiled)
+    | None ->
+        ignore
+          (Pmv.Manager.create_view ~ub_bytes:t.view_ub_bytes ~f_max:3 (manager t) compiled)
 
 let run_select t sql =
-  let compiled, instance, bound = Session.query_bound t.session sql in
+  let compiled, instance, bound = Session.query_bound (session t) sql in
   ensure_view t compiled;
   let all = ref [] and partial = ref 0 in
   let collect phase tuple =
@@ -185,12 +204,16 @@ let run_select t sql =
     | Some 0, [] -> ()
     | Some k, [] -> (
         (* no ordering: stop execution after k tuples (Benefit 2) *)
-        match Pmv.Manager.find t.manager ~template:compiled.Template.spec.Template.name with
-        | Some view ->
-            let rows = Pmv.Extensions.answer_first_k ~view t.catalog instance ~k in
+        match (t.router, Pmv.Manager.find (manager t) ~template:compiled.Template.spec.Template.name) with
+        | Some router, _ ->
+            let rows = Router.answer_first_k router instance ~k in
             all := List.rev rows;
             total := List.length rows
-        | None ->
+        | None, Some view ->
+            let rows = Pmv.Extensions.answer_first_k ~view (catalog t) instance ~k in
+            all := List.rev rows;
+            total := List.length rows
+        | None, None ->
             let stats, _ = answer_locked t instance ~on_tuple:collect in
             stats_overhead := stats.Pmv.Answer.overhead_ns;
             total := stats.Pmv.Answer.total_count)
@@ -322,29 +345,43 @@ let delete_pred schema atoms =
              Predicate.In_set (pos, List.map (typed_value schema pos) lits))
        atoms)
 
+(* DML goes through every owning shard's transaction manager (deferred
+   PMV maintenance fires shard-locally), or the single engine's. *)
+let run_changes t changes =
+  match t.router with
+  | Some router -> List.concat_map snd (Router.run router changes)
+  | None -> Minirel_txn.Txn.run (txn_mgr t) changes
+
 let exec_statement t sql =
   match Parser.parse_statement sql with
   | Ast.St_select _ -> run_select t sql
   | Ast.St_create_table { table; cols } ->
       let schema = Schema.create table (List.map (fun (n, ty) -> (n, col_ty ty)) cols) in
-      ignore (Catalog.create_relation t.catalog schema);
+      (match t.router with
+      | Some router ->
+          (* SQL has no partitioning syntax: tables created through the
+             shell replicate. Hash-partitioned relations are declared
+             via Shard_router.create_relation before the shell runs. *)
+          Router.create_relation router schema ~part:`Replicated
+      | None -> ignore (Catalog.create_relation (catalog t) schema));
       Table_created table
   | Ast.St_create_index { index; table; attrs } ->
-      if not (Catalog.mem t.catalog table) then fail "unknown relation %s" table;
-      ignore (Catalog.create_index t.catalog ~rel:table ~name:index ~attrs ());
+      if not (Catalog.mem (catalog t) table) then fail "unknown relation %s" table;
+      (match t.router with
+      | Some router -> Router.create_index router ~rel:table ~name:index ~attrs ()
+      | None -> ignore (Catalog.create_index (catalog t) ~rel:table ~name:index ~attrs ()));
       Index_created index
   | Ast.St_insert { table; values } ->
-      if not (Catalog.mem t.catalog table) then fail "unknown relation %s" table;
-      let schema = Catalog.schema t.catalog table in
+      if not (Catalog.mem (catalog t) table) then fail "unknown relation %s" table;
+      let schema = Catalog.schema (catalog t) table in
       if List.length values <> Schema.arity schema then
         fail "%s expects %d values" table (Schema.arity schema);
       let tuple = Array.of_list (List.mapi (fun i l -> typed_value schema i l) values) in
-      ignore
-        (Minirel_txn.Txn.run t.txn_mgr [ Minirel_txn.Txn.Insert { rel = table; tuple } ]);
+      ignore (run_changes t [ Minirel_txn.Txn.Insert { rel = table; tuple } ]);
       Inserted 1
   | Ast.St_update { table; set; where } ->
-      if not (Catalog.mem t.catalog table) then fail "unknown relation %s" table;
-      let schema = Catalog.schema t.catalog table in
+      if not (Catalog.mem (catalog t) table) then fail "unknown relation %s" table;
+      let schema = Catalog.schema (catalog t) table in
       let pred = delete_pred schema where in
       let assignments =
         List.map
@@ -355,8 +392,7 @@ let exec_statement t sql =
           set
       in
       let deltas =
-        Minirel_txn.Txn.run t.txn_mgr
-          [ Minirel_txn.Txn.Update { rel = table; pred; set = assignments } ]
+        run_changes t [ Minirel_txn.Txn.Update { rel = table; pred; set = assignments } ]
       in
       Updated
         (List.fold_left
@@ -370,8 +406,8 @@ let exec_statement t sql =
         | Some i -> String.sub trimmed i (String.length trimmed - i)
         | None -> fail "EXPLAIN needs a query"
       in
-      let compiled, instance, bound = Session.query_bound t.session sql_body in
-      let plan = Minirel_exec.Planner.plan_query t.catalog instance in
+      let compiled, instance, bound = Session.query_bound (session t) sql_body in
+      let plan = Minirel_exec.Planner.plan_query (catalog t) instance in
       let h = Minirel_query.Condition_part.combination_factor instance in
       Explained
         (Fmt.str "template %s (h = %d)%s@.%a"
@@ -387,7 +423,7 @@ let exec_statement t sql =
         | Some i -> String.sub trimmed i (String.length trimmed - i)
         | None -> fail "TRACE needs a query"
       in
-      let compiled, instance, _bound = Session.query_bound t.session sql_body in
+      let compiled, instance, _bound = Session.query_bound (session t) sql_body in
       ensure_view t compiled;
       let profile = Minirel_exec.Exec_stats.create () in
       (* record this query's span tree regardless of sampling *)
@@ -405,27 +441,40 @@ let exec_statement t sql =
            compiled.Template.spec.Template.name
            (if used_view then " (answered through its PMV)" else "")
            Minirel_exec.Exec_stats.pp profile Minirel_exec.Plan_cache.pp
-           (Pmv.Manager.plan_cache t.manager)
+           (Pmv.Manager.plan_cache (manager t))
            stats.Pmv.Answer.total_count stats.Pmv.Answer.partial_count
            (Int64.to_float stats.Pmv.Answer.exec_ns /. 1e3)
            (Int64.to_float stats.Pmv.Answer.overhead_ns /. 1e3)
            spans)
-  | Ast.St_metrics { reset } ->
-      if reset then begin
-        Minirel_telemetry.Telemetry.reset ();
-        Metrics "telemetry counters reset (registrations kept)"
-      end
-      else
-        Metrics
-          (Fmt.str "%a" Minirel_telemetry.Telemetry.pp_snapshot
-             (Minirel_telemetry.Telemetry.snapshot ()))
+  | Ast.St_metrics { reset } -> (
+      (* the engine's own registry: a scoped shell reports (and resets)
+         only its engine's metrics; a sharded shell shows the merged
+         view across every shard's registry *)
+      match t.router with
+      | Some router ->
+          if reset then begin
+            Router.reset_telemetry router;
+            Metrics "telemetry counters reset on every shard (registrations kept)"
+          end
+          else
+            Metrics
+              (Fmt.str "merged over %d shards@.%a" (Router.n_shards router)
+                 Minirel_telemetry.Registry.pp_snapshot
+                 (Router.snapshot_merged router))
+      | None ->
+          if reset then begin
+            Engine.reset_telemetry t.engine;
+            Metrics "telemetry counters reset (registrations kept)"
+          end
+          else
+            Metrics
+              (Fmt.str "%a" Minirel_telemetry.Registry.pp_snapshot
+                 (Engine.snapshot t.engine)))
   | Ast.St_delete { table; where } ->
-      if not (Catalog.mem t.catalog table) then fail "unknown relation %s" table;
-      let schema = Catalog.schema t.catalog table in
+      if not (Catalog.mem (catalog t) table) then fail "unknown relation %s" table;
+      let schema = Catalog.schema (catalog t) table in
       let pred = delete_pred schema where in
-      let deltas =
-        Minirel_txn.Txn.run t.txn_mgr [ Minirel_txn.Txn.Delete { rel = table; pred } ]
-      in
+      let deltas = run_changes t [ Minirel_txn.Txn.Delete { rel = table; pred } ] in
       Deleted
         (List.fold_left
            (fun acc d -> acc + List.length d.Minirel_txn.Txn.deleted)

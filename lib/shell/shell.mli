@@ -14,8 +14,25 @@ open Minirel_storage
 
 type t
 
+(** Interpret statements against an existing engine — its catalog,
+    session, transaction manager, PMV manager and fault/telemetry
+    scopes. *)
+val of_engine : ?view_ub_bytes:int -> ?auto_views:bool -> Minirel_engine.Engine.t -> t
+
+(** Interpret statements against a shard router: queries fan out and
+    merge across the shards, DML routes to owning shards, CREATE TABLE
+    replicates (declare hash-partitioned relations through
+    {!Minirel_engine.Shard_router.create_relation} first), and METRICS
+    reports the merged per-shard telemetry. The accessors below then
+    refer to shard 0, which also serves parsing/binding/EXPLAIN. *)
+val of_router :
+  ?view_ub_bytes:int -> ?auto_views:bool -> Minirel_engine.Shard_router.t -> t
+
+(** [create catalog] is {!of_engine} over an engine adopting [catalog]
+    with the process-global scopes. *)
 val create : ?view_ub_bytes:int -> ?auto_views:bool -> Minirel_index.Catalog.t -> t
 
+val engine : t -> Minirel_engine.Engine.t
 val catalog : t -> Minirel_index.Catalog.t
 val session : t -> Minirel_sql.Session.t
 val manager : t -> Pmv.Manager.t

@@ -13,13 +13,21 @@ type t = {
   policy : key Minirel_cache.Policy.t;
   dirty : (key, unit) Hashtbl.t;
   stats : Io_stats.t;
+  fault : Minirel_fault.Fault.reg;
   mutable next_file_id : int;
 }
 
-let create ?(policy = Minirel_cache.Policies.Clock) ~capacity () =
+let create ?(policy = Minirel_cache.Policies.Clock)
+    ?(fault = Minirel_fault.Fault.default) ~capacity () =
   let policy = Minirel_cache.Policies.make policy ~capacity in
   let t =
-    { policy; dirty = Hashtbl.create 1024; stats = Io_stats.create (); next_file_id = 0 }
+    {
+      policy;
+      dirty = Hashtbl.create 1024;
+      stats = Io_stats.create ();
+      fault;
+      next_file_id = 0;
+    }
   in
   Minirel_cache.Policy.set_on_evict policy (fun key ->
       if Hashtbl.mem t.dirty key then begin
@@ -64,8 +72,8 @@ let register_file t =
 
 let access t ~file ~page ~mode =
   (match mode with
-  | `Read -> Minirel_fault.Fault.hit "bufferpool.read"
-  | `Write -> Minirel_fault.Fault.hit "bufferpool.write");
+  | `Read -> Minirel_fault.Fault.hit_in t.fault "bufferpool.read"
+  | `Write -> Minirel_fault.Fault.hit_in t.fault "bufferpool.write");
   let key = (file, page) in
   (match Minirel_cache.Policy.reference t.policy key with
   | `Resident -> ()

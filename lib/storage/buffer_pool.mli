@@ -7,8 +7,15 @@
 
 type t
 
-(** @raise Invalid_argument if [capacity <= 0]. *)
-val create : ?policy:Minirel_cache.Policies.kind -> capacity:int -> unit -> t
+(** [fault] is the failpoint scope the pool's probes fire in (default:
+    the process-global registry).
+    @raise Invalid_argument if [capacity <= 0]. *)
+val create :
+  ?policy:Minirel_cache.Policies.kind ->
+  ?fault:Minirel_fault.Fault.reg ->
+  capacity:int ->
+  unit ->
+  t
 
 val stats : t -> Io_stats.t
 

@@ -30,6 +30,7 @@ let create name attrs =
     attrs = Array.of_list (List.map (fun (a_name, a_ty) -> { a_name; a_ty }) attrs);
   }
 
+let name t = t.name
 let arity t = Array.length t.attrs
 
 let attr_name t i = t.attrs.(i).a_name

@@ -16,6 +16,7 @@ type t = { name : string; attrs : attr array }
     attribute names. *)
 val create : string -> (string * ty) list -> t
 
+val name : t -> string
 val arity : t -> int
 val attr_name : t -> int -> string
 val attr_ty : t -> int -> ty

@@ -5,23 +5,35 @@
 let prom_name name =
   String.map (function '.' | '-' | ' ' -> '_' | c -> c) (String.lowercase_ascii name)
 
-let prometheus ppf snap =
+(* Render a label set as [{k="v",...}]; extra labels (e.g. quantile)
+   are appended after the fixed ones. *)
+let prom_labels labels extra =
+  match labels @ extra with
+  | [] -> ""
+  | kvs ->
+      "{"
+      ^ String.concat "," (List.map (fun (k, v) -> Fmt.str "%s=%S" k v) kvs)
+      ^ "}"
+
+let prometheus ?(labels = []) ppf snap =
+  let base = prom_labels labels [] in
   List.iter
     (fun (name, value) ->
       let n = prom_name name in
       match (value : Registry.value) with
-      | Registry.Counter c ->
-          Fmt.pf ppf "# TYPE %s counter@.%s %d@." n n c
-      | Registry.Gauge g -> Fmt.pf ppf "# TYPE %s gauge@.%s %.6f@." n n g
+      | Registry.Counter c -> Fmt.pf ppf "# TYPE %s counter@.%s%s %d@." n n base c
+      | Registry.Gauge g -> Fmt.pf ppf "# TYPE %s gauge@.%s%s %.6f@." n n base g
       | Registry.Histogram s ->
+          let q p = prom_labels labels [ ("quantile", p) ] in
           Fmt.pf ppf "# TYPE %s summary@." n;
-          Fmt.pf ppf "%s{quantile=\"0.5\"} %Ld@." n s.Histogram.p50;
-          Fmt.pf ppf "%s{quantile=\"0.95\"} %Ld@." n s.Histogram.p95;
-          Fmt.pf ppf "%s{quantile=\"0.99\"} %Ld@." n s.Histogram.p99;
-          Fmt.pf ppf "%s_sum %Ld@.%s_count %d@." n s.Histogram.sum n s.Histogram.count)
+          Fmt.pf ppf "%s%s %Ld@." n (q "0.5") s.Histogram.p50;
+          Fmt.pf ppf "%s%s %Ld@." n (q "0.95") s.Histogram.p95;
+          Fmt.pf ppf "%s%s %Ld@." n (q "0.99") s.Histogram.p99;
+          Fmt.pf ppf "%s_sum%s %Ld@.%s_count%s %d@." n base s.Histogram.sum n base
+            s.Histogram.count)
     snap
 
-let prometheus_string snap = Fmt.str "%a" prometheus snap
+let prometheus_string ?labels snap = Fmt.str "%a" (prometheus ?labels) snap
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 2) in
@@ -52,3 +64,31 @@ let json ppf snap =
   Fmt.pf ppf "}"
 
 let json_string snap = Fmt.str "%a" json snap
+
+(* Aggregate per-shard snapshots into one merged view: counters add,
+   gauges add (residency/bytes-style gauges sum across shards; ratios
+   are better read per shard), histograms merge by summary — counts
+   and sums add, min/max combine, quantiles take the max across shards
+   (a documented upper-bound approximation: log-bucketed summaries
+   cannot be re-ranked without the buckets). *)
+let merge_snapshots snaps =
+  let tbl : (string, Registry.value) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  let merge a b =
+    match ((a : Registry.value), (b : Registry.value)) with
+    | Registry.Counter x, Registry.Counter y -> Registry.Counter (x + y)
+    | Registry.Gauge x, Registry.Gauge y -> Registry.Gauge (x +. y)
+    | Registry.Histogram x, Registry.Histogram y ->
+        Registry.Histogram (Histogram.merge_summaries x y)
+    | _ -> b (* type clash across shards: keep the latest *)
+  in
+  List.iter
+    (List.iter (fun (name, v) ->
+         match Hashtbl.find_opt tbl name with
+         | None ->
+             Hashtbl.replace tbl name v;
+             order := name :: !order
+         | Some prev -> Hashtbl.replace tbl name (merge prev v)))
+    snaps;
+  List.rev_map (fun name -> (name, Hashtbl.find tbl name)) !order
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -1,8 +1,24 @@
 (** Snapshot exporters: Prometheus text exposition format and JSON.
     Metric names are sanitised for Prometheus ([.] and [-] become
-    [_]); histograms export [_count], [_sum] and quantile series. *)
+    [_]); histograms export [_count], [_sum] and quantile series.
+    [labels] adds a fixed label set to every Prometheus series, e.g.
+    [["shard", "2"]] renders [name{shard="2"}]. *)
 
-val prometheus : Format.formatter -> (string * Registry.value) list -> unit
-val prometheus_string : (string * Registry.value) list -> string
+val prometheus :
+  ?labels:(string * string) list ->
+  Format.formatter ->
+  (string * Registry.value) list ->
+  unit
+
+val prometheus_string :
+  ?labels:(string * string) list -> (string * Registry.value) list -> string
+
 val json : Format.formatter -> (string * Registry.value) list -> unit
 val json_string : (string * Registry.value) list -> string
+
+(** Aggregate per-shard snapshots into one merged view: counters and
+    gauges add, histogram summaries merge (counts/sums add, min/max
+    combine, quantiles take the per-shard max — an upper bound, since
+    bucket data is gone by summary time). Result is sorted by name. *)
+val merge_snapshots :
+  (string * Registry.value) list list -> (string * Registry.value) list

@@ -96,6 +96,24 @@ let summary (t : t) =
     p99 = quantile t 0.99;
   }
 
+(* Merge two summaries (e.g. the same histogram across two shards).
+   Counts and sums add; min/max combine (a 0 min means "empty side",
+   so take the other's); quantiles take the max — an upper bound,
+   since the bucket data needed for exact re-ranking is gone. *)
+let merge_summaries a b =
+  if a.count = 0 then b
+  else if b.count = 0 then a
+  else
+    {
+      count = a.count + b.count;
+      sum = Int64.add a.sum b.sum;
+      min = (if Int64.compare a.min b.min <= 0 then a.min else b.min);
+      max = (if Int64.compare a.max b.max >= 0 then a.max else b.max);
+      p50 = (if Int64.compare a.p50 b.p50 >= 0 then a.p50 else b.p50);
+      p95 = (if Int64.compare a.p95 b.p95 >= 0 then a.p95 else b.p95);
+      p99 = (if Int64.compare a.p99 b.p99 >= 0 then a.p99 else b.p99);
+    }
+
 let pp_summary ppf s =
   Fmt.pf ppf "n=%d p50=%Ldns p95=%Ldns p99=%Ldns max=%Ldns" s.count s.p50 s.p95 s.p99
     s.max

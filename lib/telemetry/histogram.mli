@@ -47,3 +47,8 @@ type summary = {
 
 val summary : t -> summary
 val pp_summary : Format.formatter -> summary -> unit
+
+(** Merge two summaries (the same histogram across shards): counts and
+    sums add, min/max combine, quantiles take the max — an upper-bound
+    approximation, exact re-ranking being impossible without buckets. *)
+val merge_summaries : summary -> summary -> summary

@@ -28,11 +28,16 @@ type stats = {
          blocks, so this is the whole "wait" a request experiences *)
 }
 
-type t = { table : (string, holders) Hashtbl.t; stats : stats }
+type t = {
+  table : (string, holders) Hashtbl.t;
+  stats : stats;
+  fault : Minirel_fault.Fault.reg;
+}
 
-let create () =
+let create ?(fault = Minirel_fault.Fault.default) () =
   {
     table = Hashtbl.create 64;
+    fault;
     stats =
       {
         acquires = 0;
@@ -69,7 +74,7 @@ let register_telemetry ?(registry = Minirel_telemetry.Registry.default)
       ])
 
 let acquire_unmeasured t ~txn ~obj mode =
-  if Minirel_fault.Fault.fire "lockmgr.acquire" then
+  if Minirel_fault.Fault.fire_in t.fault "lockmgr.acquire" then
     (* injected conflict: looks like an anonymous holder refusing the
        request, so callers exercise their give-up/defer paths *)
     Error { obj; holders = []; held = X; requested = mode }

@@ -14,7 +14,9 @@ val pp_conflict : conflict Fmt.t
 
 type t
 
-val create : unit -> t
+(** [fault] scopes the injected-conflict failpoint (default: the
+    process-global registry). *)
+val create : ?fault:Minirel_fault.Fault.reg -> unit -> t
 
 (** Grant rules: S shares with S; a sole S holder may upgrade to X;
     X is exclusive but re-entrant for its holder. *)

@@ -26,14 +26,17 @@ type hook = { hook_name : string; on_delta : delta -> unit }
 type t = {
   catalog : Catalog.t;
   locks : Lock_manager.t;
+  fault : Minirel_fault.Fault.reg;
   mutable hooks : hook list;
   mutable next_txn : int;
 }
 
-let create catalog = { catalog; locks = Lock_manager.create (); hooks = []; next_txn = 1 }
+let create ?(fault = Minirel_fault.Fault.default) catalog =
+  { catalog; locks = Lock_manager.create ~fault (); fault; hooks = []; next_txn = 1 }
 
 let catalog t = t.catalog
 let locks t = t.locks
+let fault t = t.fault
 
 let register_hook t ~name on_delta =
   t.hooks <- { hook_name = name; on_delta } :: t.hooks

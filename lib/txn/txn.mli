@@ -20,9 +20,16 @@ type delta = {
 
 type t
 
-val create : Minirel_index.Catalog.t -> t
+(** [fault] scopes the failpoints of the lock manager this creates and
+    of downstream consumers (WAL, maintenance) that read it back via
+    {!fault}. Default: the process-global registry. *)
+val create : ?fault:Minirel_fault.Fault.reg -> Minirel_index.Catalog.t -> t
+
 val catalog : t -> Minirel_index.Catalog.t
 val locks : t -> Lock_manager.t
+
+(** The fault scope this manager was created with. *)
+val fault : t -> Minirel_fault.Fault.reg
 
 (** Hooks run once per change, after it is applied. *)
 val register_hook : t -> name:string -> (delta -> unit) -> unit

@@ -19,13 +19,19 @@ type stats = {
   mutable flushes : int;
 }
 
-type t = { filename : string; mutable oc : out_channel option; stats : stats }
+type t = {
+  filename : string;
+  mutable oc : out_channel option;
+  stats : stats;
+  fault : Minirel_fault.Fault.reg;
+}
 
-let open_log ~filename =
+let open_log ?(fault = Minirel_fault.Fault.default) ~filename () =
   {
     filename;
     oc = Some (open_out_gen [ Open_append; Open_creat ] 0o644 filename);
     stats = { records = 0; bytes = 0; flushes = 0 };
+    fault;
   }
 
 let stats t = t.stats
@@ -83,11 +89,11 @@ let log_delta t (delta : Txn.delta) =
   match t.oc with
   | None -> failwith "Wal.log_delta: log is closed"
   | Some oc ->
-      Minirel_fault.Fault.hit "wal.pre_append";
+      Minirel_fault.Fault.hit_in t.fault "wal.pre_append";
       let rel = delta.Txn.rel in
       let pos0 = pos_out oc in
       let write tag tuple =
-        if Minirel_fault.Fault.fire "wal.mid_flush" then begin
+        if Minirel_fault.Fault.fire_in t.fault "wal.mid_flush" then begin
           (* durable prefix: what was written is flushed, the rest of
              the delta is lost with the "crash" *)
           flush oc;
@@ -106,7 +112,7 @@ let log_delta t (delta : Txn.delta) =
       flush oc;
       t.stats.flushes <- t.stats.flushes + 1;
       t.stats.bytes <- t.stats.bytes + (pos_out oc - pos0);
-      Minirel_fault.Fault.hit "wal.post_commit"
+      Minirel_fault.Fault.hit_in t.fault "wal.post_commit"
 
 (* Subscribe the log to a transaction manager. *)
 let attach t mgr = Txn.register_hook mgr ~name:("wal:" ^ t.filename) (log_delta t)

@@ -6,8 +6,9 @@
 
 type t
 
-(** Open (or create) a log file in append mode. *)
-val open_log : filename:string -> t
+(** Open (or create) a log file in append mode. [fault] scopes the
+    wal.* crash failpoints (default: the process-global registry). *)
+val open_log : ?fault:Minirel_fault.Fault.reg -> filename:string -> unit -> t
 
 val filename : t -> string
 val close : t -> unit

@@ -69,7 +69,7 @@ let prop_wal_recovery =
       Helpers.build_rs ~n_r:30 ~n_s:20 catalog;
       Snapshot.save catalog ~filename:snap;
       let mgr = Txn.create catalog in
-      let wal = Wal.open_log ~filename:log in
+      let wal = Wal.open_log ~filename:log () in
       Wal.attach wal mgr;
       let fresh = ref 5000 in
       List.iter

@@ -24,7 +24,7 @@ let test_recovery () =
   Helpers.build_rs ~n_r:40 ~n_s:25 catalog;
   Snapshot.save catalog ~filename:snap_file;
   let mgr = Txn.create catalog in
-  let wal = Wal.open_log ~filename:log_file in
+  let wal = Wal.open_log ~filename:log_file () in
   Wal.attach wal mgr;
   ignore
     (Txn.run mgr
@@ -65,7 +65,7 @@ let test_detach_stops_logging () =
   let catalog = Helpers.fresh_catalog () in
   Helpers.build_rs ~n_r:5 ~n_s:5 catalog;
   let mgr = Txn.create catalog in
-  let wal = Wal.open_log ~filename:log_file in
+  let wal = Wal.open_log ~filename:log_file () in
   Wal.attach wal mgr;
   ignore (Txn.run mgr [ Txn.Insert { rel = "s"; tuple = [| vi 1; vi 1; vi 500 |] } ]);
   Wal.detach wal mgr;

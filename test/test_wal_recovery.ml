@@ -34,7 +34,7 @@ let setup_persisted () =
   let snap = Filename.temp_file "pmv_test" ".snap" in
   let walf = Filename.temp_file "pmv_test" ".wal" in
   Snapshot.save catalog ~filename:snap;
-  let wal = Wal.open_log ~filename:walf in
+  let wal = Wal.open_log ~filename:walf () in
   Wal.attach wal mgr;
   (catalog, mgr, wal, snap, walf)
 
@@ -157,7 +157,7 @@ let test_recovery_then_continue () =
   (* resume on the recovered catalog with a fresh manager + log *)
   Snapshot.save recovered ~filename:snap;
   Sys.remove walf;
-  let wal2 = Wal.open_log ~filename:walf in
+  let wal2 = Wal.open_log ~filename:walf () in
   let mgr2 = Txn.create recovered in
   Wal.attach wal2 mgr2;
   ignore (Txn.run mgr2 [ ins_r 911 ]);

@@ -1,5 +1,6 @@
 #!/bin/sh
-# Repo health gate: build, tier-1 tests, torture smoke, telemetry overhead.
+# Repo health gate: build, tier-1 tests, torture smokes (single-engine
+# and sharded), telemetry overhead, shard scaling.
 #
 # Usage: tools/check.sh [--skip-bench]
 #   SKIP_BENCH=1          same as --skip-bench
@@ -35,8 +36,23 @@ echo "$torture_out" | tr ' ' '\n' |
   exit 1
 }
 
+echo "== sharded torture smoke (4 hash-partitioned engines, merged oracle must stay silent)"
+shard_out=$(dune exec bin/pmvctl.exe -- torture --seed 42 --events 200 --shards 4) || {
+  echo "$shard_out"
+  echo "FAIL: sharded torture campaign reported oracle violations" >&2
+  exit 1
+}
+echo "$shard_out"
+# shard-scoped faults must actually fire (no WAL crashes by design)
+echo "$shard_out" | tr ' ' '\n' |
+  awk -F= '/^(lock_rejects|io_faults|deferrals)=/ { n++; if ($2 + 0 == 0) bad = 1 }
+           END { exit !(n == 3 && !bad) }' || {
+  echo "FAIL: sharded torture smoke injected too few fault classes" >&2
+  exit 1
+}
+
 if [ "$skip_bench" = "1" ]; then
-  echo "== telemetry overhead gate skipped"
+  echo "== telemetry overhead and shard scaling gates skipped"
   exit 0
 fi
 
@@ -51,6 +67,30 @@ fi
 echo "telemetry-on vs telemetry-off regression: ${pct}%"
 awk -v pct="$pct" -v max="$max_pct" 'BEGIN { exit !(pct < max) }' || {
   echo "FAIL: telemetry overhead ${pct}% >= ${max_pct}%" >&2
+  exit 1
+}
+
+echo "== shard scaling gate (>= 1.5x at 4 shards, no regression at 1 shard)"
+dune exec bench/main.exe -- shard ${BENCH_ARGS:-}
+
+speedup=$(awk -F': ' '/"speedup_4_shards"/ { gsub(/[ ,]/, "", $2); print $2 }' BENCH_shard.json)
+one_shard=$(awk -F': ' '/"one_shard_router_vs_engine"/ { gsub(/[ ,]/, "", $2); print $2 }' BENCH_shard.json)
+oracle=$(awk -F': ' '/^ *"oracle_clean"/ { gsub(/[ ,}]/, "", $2); print $2; exit }' BENCH_shard.json)
+if [ -z "$speedup" ] || [ -z "$one_shard" ] || [ -z "$oracle" ]; then
+  echo "FAIL: missing fields in BENCH_shard.json" >&2
+  exit 1
+fi
+echo "4-shard speedup: ${speedup}x, 1-shard router vs engine: ${one_shard}x, oracle: ${oracle}"
+[ "$oracle" = "true" ] || {
+  echo "FAIL: shard bench merged answers violated the oracle" >&2
+  exit 1
+}
+awk -v s="$speedup" 'BEGIN { exit !(s >= 1.5) }' || {
+  echo "FAIL: 4-shard speedup ${speedup}x < 1.5x" >&2
+  exit 1
+}
+awk -v r="$one_shard" 'BEGIN { exit !(r >= 0.85) }' || {
+  echo "FAIL: 1-shard router regressed to ${one_shard}x of the plain engine" >&2
   exit 1
 }
 echo "ok: all checks passed"
