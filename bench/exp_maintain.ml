@@ -14,7 +14,7 @@ module Maintain = Pmv.Maintain
 module Tpcr = Minirel_workload.Tpcr
 module Querygen = Minirel_workload.Querygen
 module Zipf = Minirel_workload.Zipf
-module SM = Minirel_workload.Split_mix
+module SM = Minirel_prng.Split_mix
 
 type config = { full : bool; seed : int }
 

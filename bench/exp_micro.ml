@@ -13,7 +13,7 @@ module Catalog = Minirel_index.Catalog
 module Tpcr = Minirel_workload.Tpcr
 module Querygen = Minirel_workload.Querygen
 module Zipf = Minirel_workload.Zipf
-module SM = Minirel_workload.Split_mix
+module SM = Minirel_prng.Split_mix
 
 let build () =
   let pool = Buffer_pool.create ~capacity:2_000 () in

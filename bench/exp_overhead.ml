@@ -11,7 +11,7 @@ module Answer = Pmv.Answer
 module Tpcr = Minirel_workload.Tpcr
 module Querygen = Minirel_workload.Querygen
 module Zipf = Minirel_workload.Zipf
-module SM = Minirel_workload.Split_mix
+module SM = Minirel_prng.Split_mix
 
 type config = { full : bool; seed : int; scale : float option }
 

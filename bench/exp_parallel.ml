@@ -1,0 +1,305 @@
+(* Parallel execution benchmark (DESIGN.md Section 12).
+
+   Two sweeps over worker-domain counts, each configuration answering
+   the identical seeded T1 stream against identically generated data,
+   so the result streams must be checksum-identical to the sequential
+   baseline:
+
+   - fan-out: a 4-shard router over the exp_shard scan-bound setup
+     (join-key index dropped, plan cache off) with a Domain pool of
+     1/2/4 workers attached, plus a no-pool sequential baseline.
+     Per-shard answers run concurrently on the pool and merge in shard
+     order, so the delivered stream is tuple-for-tuple the sequential
+     one; a sample of merged answers is judged oracle-clean by
+     lib/check (multiset + DS exactly-once identity under summation).
+
+   - morsel: a single catalog with the driver and join indexes
+     dropped, so T1 plans as Scan -> Hash_join -> Hash_join and the
+     executor runs heap scans and hash-join build/probe
+     morsel-parallel on the pool. The parallel cursor's output list
+     must equal the sequential one exactly (morsels merge in page
+     order), and a sample is diffed against lib/check ground truth.
+
+   The host's available core count is recorded in the JSON. On hosts
+   with fewer cores than the largest pool, wall-clock speedups are
+   still reported but flagged not applicable — a 1-core container
+   cannot exhibit multicore scaling and we do not fake it; tools/
+   check.sh skips its speedup gate in that case. Checksum identity,
+   oracle cleanliness and the sequential-overhead bound at 1 domain
+   are asserted regardless of the host.
+
+   Results go to BENCH_parallel.json. *)
+
+open Minirel_storage
+module Catalog = Minirel_index.Catalog
+module Template = Minirel_query.Template
+module Engine = Minirel_engine.Engine
+module Router = Minirel_engine.Shard_router
+module Pool = Minirel_parallel.Pool
+module Check = Minirel_check.Check
+module Tpcr = Minirel_workload.Tpcr
+module Querygen = Minirel_workload.Querygen
+module Zipf = Minirel_workload.Zipf
+module SM = Minirel_prng.Split_mix
+
+type cfg = { full : bool; seed : int; scale : float option; domains : int }
+
+type run_result = {
+  label : string;
+  domains : int;  (* 0 = no pool attached (sequential baseline) *)
+  queries : int;
+  wall_ns : int64;
+  qps : float;
+  total_tuples : int;
+  checksum : int;
+  oracle_clean : bool;
+}
+
+let fresh_tpcr cfg ~scale =
+  let pool = Buffer_pool.create ~capacity:8_000 () in
+  let catalog = Catalog.create pool in
+  let params = Tpcr.params_for_scale ~seed:cfg.seed scale in
+  ignore (Tpcr.generate catalog params);
+  (catalog, params)
+
+let gens params t1 =
+  let dz = Zipf.create ~n:params.Tpcr.n_dates ~alpha:1.07 in
+  let sz = Zipf.create ~n:params.Tpcr.n_suppliers ~alpha:1.07 in
+  fun rng -> Querygen.gen_t1 t1 ~dates_zipf:dz ~supp_zipf:sz ~e:2 ~f:2 rng
+
+(* Time [n_queries] answers of the seeded stream through [answer],
+   after [n_warm] warmup answers; returns wall time plus the result
+   multiset checksum the other configurations must reproduce. *)
+let timed_stream cfg ~gen ~answer =
+  let n_warm = if cfg.full then 400 else 100 in
+  let warm_rng = SM.create ~seed:(cfg.seed + 1) in
+  for _ = 1 to n_warm do
+    ignore (answer (gen warm_rng) ~on_tuple:(fun _ _ -> ()))
+  done;
+  let n_queries = if cfg.full then 1_200 else 240 in
+  let rng = SM.create ~seed:(cfg.seed + 2) in
+  let instances = List.init n_queries (fun _ -> gen rng) in
+  let checksum = ref 0 and total_tuples = ref 0 in
+  let t0 = Monotonic_clock.now () in
+  List.iter
+    (fun inst ->
+      ignore
+        (answer inst ~on_tuple:(fun _ tuple ->
+             incr total_tuples;
+             checksum := !checksum + Tuple.hash tuple)))
+    instances;
+  let wall_ns = Int64.sub (Monotonic_clock.now ()) t0 in
+  (n_queries, wall_ns, !total_tuples, !checksum)
+
+(* With a pool of [domains] workers attached to [router] (none when
+   [domains = 0]), run the stream and oracle-check a sample of merged
+   answers against the reference catalog. *)
+let fanout_config cfg ~scale ~capacity ~domains =
+  let catalog, params = fresh_tpcr cfg ~scale in
+  Catalog.drop_index catalog ~rel:"lineitem" ~name:"lineitem_orderkey";
+  let t1 = Template.compile catalog Querygen.t1_spec in
+  let router = Router.create ~shards:4 () in
+  List.iter
+    (fun rel ->
+      Router.declare router (Catalog.schema catalog rel) ~part:(`Hash "orderkey"))
+    [ "orders"; "lineitem" ];
+  Router.declare router (Catalog.schema catalog "customer") ~part:`Replicated;
+  Router.load_from router catalog;
+  List.iter
+    (fun e -> Minirel_exec.Plan_cache.set_enabled (Engine.plan_cache e) false)
+    (Router.shards router);
+  ignore (Router.create_view ~capacity ~f_max:3 router t1);
+  let pool = if domains >= 1 then Some (Pool.create ~domains) else None in
+  Router.set_parallel router pool;
+  let finally () =
+    Router.set_parallel router None;
+    Option.iter Pool.shutdown pool
+  in
+  Fun.protect ~finally @@ fun () ->
+  let gen = gens params t1 in
+  let answer inst ~on_tuple = Router.answer router inst ~on_tuple in
+  let queries, wall_ns, total_tuples, checksum = timed_stream cfg ~gen ~answer in
+  let oracle_rng = SM.create ~seed:(cfg.seed + 3) in
+  let oracle_clean =
+    List.for_all
+      (fun inst ->
+        Check.report_ok
+          (Check.check_answer_via
+             ~expected:(Check.ground_truth catalog inst)
+             (fun ~on_tuple -> fst (answer inst ~on_tuple))))
+      (List.init 8 (fun _ -> gen oracle_rng))
+  in
+  {
+    label = (if domains = 0 then "seq" else Fmt.str "pool%d" domains);
+    domains;
+    queries;
+    wall_ns;
+    qps = float_of_int queries /. (Int64.to_float wall_ns /. 1e9);
+    total_tuples;
+    checksum;
+    oracle_clean;
+  }
+
+(* Morsel sweep: drop every index T1 can drive or join through, so the
+   plan is Scan(orders) -> Hash_join(lineitem) -> Hash_join(customer),
+   and run the executor cursor directly with/without a pool. *)
+let morsel_config cfg ~scale ~domains =
+  let catalog, params = fresh_tpcr cfg ~scale in
+  List.iter
+    (fun (rel, name) -> Catalog.drop_index catalog ~rel ~name)
+    [
+      ("orders", "orders_orderdate");
+      ("lineitem", "lineitem_suppkey");
+      ("lineitem", "lineitem_orderkey");
+      ("customer", "customer_custkey");
+    ];
+  let t1 = Template.compile catalog Querygen.t1_spec in
+  let pool = if domains >= 1 then Some (Pool.create ~domains) else None in
+  let finally () = Option.iter Pool.shutdown pool in
+  Fun.protect ~finally @@ fun () ->
+  let gen = gens params t1 in
+  let run inst =
+    Minirel_exec.Executor.run_to_list ?par:pool catalog
+      (Minirel_exec.Planner.plan_query catalog inst)
+  in
+  let answer inst ~on_tuple =
+    List.iter (on_tuple ()) (run inst);
+    ()
+  in
+  let queries, wall_ns, total_tuples, checksum = timed_stream cfg ~gen ~answer in
+  (* order identity: the parallel cursor must yield exactly the
+     sequential list; plus a ground-truth multiset diff *)
+  let oracle_rng = SM.create ~seed:(cfg.seed + 3) in
+  let oracle_clean =
+    List.for_all
+      (fun inst ->
+        let actual = run inst in
+        let seq =
+          Minirel_exec.Executor.run_to_list catalog
+            (Minirel_exec.Planner.plan_query catalog inst)
+        in
+        actual = seq
+        && Check.diff_is_empty
+             (Check.diff_multiset ~expected:(Check.ground_truth catalog inst)
+                ~actual))
+      (List.init 8 (fun _ -> gen oracle_rng))
+  in
+  {
+    label = (if domains = 0 then "seq" else Fmt.str "pool%d" domains);
+    domains;
+    queries;
+    wall_ns;
+    qps = float_of_int queries /. (Int64.to_float wall_ns /. 1e9);
+    total_tuples;
+    checksum;
+    oracle_clean;
+  }
+
+let json_of_run r =
+  Fmt.str
+    {|{"label": %S, "domains": %d, "queries": %d, "wall_ns": %Ld, "queries_per_sec": %.1f, "total_tuples": %d, "checksum": %d, "oracle_clean": %b}|}
+    r.label r.domains r.queries r.wall_ns r.qps r.total_tuples r.checksum
+    r.oracle_clean
+
+let print_sweep title runs =
+  Output.row "@.%s@." title;
+  Output.row "%-7s %-8s %-9s %-12s %-9s %-8s@." "config" "domains" "queries"
+    "queries/s" "tuples" "oracle";
+  List.iter
+    (fun r ->
+      Output.row "%-7s %-8d %-9d %-12.1f %-9d %-8s@." r.label r.domains r.queries
+        r.qps r.total_tuples
+        (if r.oracle_clean then "clean" else "VIOLATED"))
+    runs;
+  let baseline = List.hd runs in
+  List.iter
+    (fun r ->
+      if r.checksum <> baseline.checksum || r.total_tuples <> baseline.total_tuples
+      then
+        Fmt.epr
+          "WARNING: %s disagrees with the sequential baseline (%d/%d tuples, %d/%d checksum)@."
+          r.label r.total_tuples baseline.total_tuples r.checksum baseline.checksum)
+    (List.tl runs)
+
+let run cfg =
+  Output.header ~id:"Parallel"
+    ~title:"Domain-pool speedups: shard fan-out and morsel-driven O3"
+    ~paper:
+      "(extension) true multicore: per-shard answers on worker domains with an \
+       order-preserving merge; O3 heap scans and hash joins split into page \
+       morsels";
+  let scale = Option.value cfg.scale ~default:(if cfg.full then 0.01 else 0.003) in
+  let capacity = if cfg.full then 400 else 200 in
+  let max_domains = max 1 cfg.domains in
+  let domain_counts =
+    (* 0 = no pool; 1 = pool attached but sequential (overhead bound) *)
+    List.sort_uniq compare [ 0; 1; 2; max_domains ]
+  in
+  let cores = Domain.recommended_domain_count () in
+  Output.row "host cores: %d (largest pool: %d)@." cores max_domains;
+  let fanout =
+    List.map (fun domains -> fanout_config cfg ~scale ~capacity ~domains) domain_counts
+  in
+  print_sweep "fan-out: 4 shards, scan-bound T1 stream" fanout;
+  let morsel =
+    List.map (fun domains -> morsel_config cfg ~scale ~domains) domain_counts
+  in
+  print_sweep "morsel: single catalog, Scan -> Hash_join x2 plan" morsel;
+  let find runs d = List.find (fun r -> r.domains = d) runs in
+  let speedup runs d = (find runs d).qps /. (find runs 0).qps in
+  let fanout_speedup = speedup fanout max_domains in
+  let morsel_speedup = speedup morsel max_domains in
+  let fanout_overhead_1 = speedup fanout 1 in
+  let morsel_overhead_1 = speedup morsel 1 in
+  let speedup_applicable = cores >= max_domains && max_domains >= 2 in
+  let all = fanout @ morsel in
+  let oracle_clean = List.for_all (fun r -> r.oracle_clean) all in
+  let checksums_identical =
+    List.for_all (fun r -> r.checksum = (find fanout 0).checksum) fanout
+    && List.for_all (fun r -> r.checksum = (find morsel 0).checksum) morsel
+  in
+  Output.row "@.fan-out speedup (%d domains vs sequential): %.2fx@." max_domains
+    fanout_speedup;
+  Output.row "morsel speedup (%d domains vs sequential): %.2fx@." max_domains
+    morsel_speedup;
+  Output.row "1-domain pool vs no pool: fan-out %.2fx, morsel %.2fx@."
+    fanout_overhead_1 morsel_overhead_1;
+  if not speedup_applicable then
+    Output.row
+      "(host has %d core(s) — speedups not applicable, reported for the record)@."
+      cores;
+  let json =
+    Fmt.str
+      {|{
+  "experiment": "parallel",
+  "scale": %g,
+  "seed": %d,
+  "workload": "t1 zipf alpha=1.07, e=f=2",
+  "host_cores": %d,
+  "max_domains": %d,
+  "speedup_applicable": %b,
+  "fanout": {
+    "shards": 4,
+    "runs": [%s],
+    "speedup_max_domains": %.3f,
+    "overhead_1_domain": %.3f
+  },
+  "morsel": {
+    "runs": [%s],
+    "speedup_max_domains": %.3f,
+    "overhead_1_domain": %.3f
+  },
+  "checksums_identical": %b,
+  "oracle_clean": %b
+}
+|}
+      scale cfg.seed cores max_domains speedup_applicable
+      (String.concat ", " (List.map json_of_run fanout))
+      fanout_speedup fanout_overhead_1
+      (String.concat ", " (List.map json_of_run morsel))
+      morsel_speedup morsel_overhead_1 checksums_identical oracle_clean
+  in
+  let oc = open_out "BENCH_parallel.json" in
+  output_string oc json;
+  close_out oc;
+  Output.row "wrote BENCH_parallel.json@."

@@ -21,7 +21,7 @@ module Plan_cache = Minirel_exec.Plan_cache
 module Tpcr = Minirel_workload.Tpcr
 module Querygen = Minirel_workload.Querygen
 module Zipf = Minirel_workload.Zipf
-module SM = Minirel_workload.Split_mix
+module SM = Minirel_prng.Split_mix
 
 type cfg = { full : bool; seed : int; scale : float option }
 

@@ -20,10 +20,21 @@ module Instance = Minirel_query.Instance
 module Tpcr = Minirel_workload.Tpcr
 module Querygen = Minirel_workload.Querygen
 module Zipf = Minirel_workload.Zipf
-module SM = Minirel_workload.Split_mix
+module SM = Minirel_prng.Split_mix
 module Shell = Minirel_shell.Shell
 module Engine = Minirel_engine.Engine
 module Router = Minirel_engine.Shard_router
+module Pool = Minirel_parallel.Pool
+
+(* Run [f] with a Domain pool of [domains] workers (None when 1 —
+   everything stays sequential), shutting the pool down on the way
+   out. *)
+let with_pool ~domains f =
+  if domains >= 2 then begin
+    let pool = Pool.create ~domains in
+    Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f (Some pool))
+  end
+  else f None
 
 let build ~scale ~seed =
   let pool = Buffer_pool.create ~capacity:4_000 () in
@@ -160,15 +171,24 @@ let metrics scale seed queries format shards =
 (* Run SQL statements against generated TPC-R data through the shell,
    one PMV per template (per shard when sharded). Each statement runs
    twice to show the warm-cache effect. *)
-let sql scale seed shards statements =
+let sql scale seed shards domains statements =
   if statements = [] then begin
     Fmt.epr "pass one or more SQL statements as positional arguments@.";
     exit 2
   end;
   let catalog, _params, _t1 = build ~scale ~seed in
+  with_pool ~domains @@ fun par ->
   let shell =
-    if shards <= 1 then Shell.create catalog
-    else Shell.of_router (shard_tpcr ~shards catalog)
+    if shards <= 1 then begin
+      let shell = Shell.create catalog in
+      Engine.set_parallel (Shell.engine shell) par;
+      shell
+    end
+    else begin
+      let router = shard_tpcr ~shards catalog in
+      Router.set_parallel router par;
+      Shell.of_router router
+    end
   in
   List.iter
     (fun stmt ->
@@ -189,11 +209,16 @@ let sql scale seed shards statements =
 (* Interactive loop: full SQL statements (SELECT with GROUP BY / ORDER
    BY / LIMIT, CREATE TABLE/INDEX, INSERT, DELETE) from stdin via the
    shell, one PMV per template, with dot-commands for introspection. *)
-let repl scale seed fresh persist shards =
+let repl scale seed fresh persist shards domains =
   if shards > 1 && persist <> None then begin
     Fmt.epr "--persist is not supported with --shards@.";
     exit 2
   end;
+  with_pool ~domains @@ fun par ->
+  let of_router router =
+    Router.set_parallel router par;
+    Shell.of_router router
+  in
   (* with --persist BASE, the catalog survives across sessions as
      BASE.snapshot + BASE.wal: load both on entry, append the wal while
      running, and fold the wal into a fresh snapshot on exit *)
@@ -215,14 +240,15 @@ let repl scale seed fresh persist shards =
             (* empty sharded database: tables created in the repl
                replicate (declare partitioned relations through the
                library API) *)
-            Shell.of_router (Router.create ~shards ())
+            of_router (Router.create ~shards ())
           else Shell.create (Catalog.create (Buffer_pool.create ~capacity:4_000 ()))
         else begin
           let catalog, _params, _t1 = build ~scale ~seed in
-          if shards > 1 then Shell.of_router (shard_tpcr ~shards catalog)
+          if shards > 1 then of_router (shard_tpcr ~shards catalog)
           else Shell.create catalog
         end
   in
+  if shards <= 1 then Engine.set_parallel (Shell.engine shell) par;
   let finish =
     match persist with
     | None -> fun () -> ()
@@ -271,7 +297,7 @@ let repl scale seed fresh persist shards =
 
 (* Replay one deterministic torture campaign (fault injection + oracle
    checking); the same seed always reproduces the same event digest. *)
-let torture scale seed events check_every shards verbose =
+let torture scale seed events check_every shards domains verbose =
   let module Torture = Minirel_check.Torture in
   let cfg =
     {
@@ -280,19 +306,21 @@ let torture scale seed events check_every shards verbose =
       scale;
       check_every;
       shards;
+      domains;
       log = (if verbose then Some (Fmt.pr "  %s@.") else None);
     }
   in
-  Fmt.pr "torture: seed %d, %d events, scale %g%s%s@." seed events scale
+  Fmt.pr "torture: seed %d, %d events, scale %g%s%s%s@." seed events scale
     (if shards > 1 then Fmt.str ", %d shards" shards else "")
+    (if shards > 1 && domains > 1 then Fmt.str ", %d domains" domains else "")
     (if verbose then "" else " (use --verbose for the event trace)");
   let o = if shards > 1 then Torture.run_sharded cfg else Torture.run cfg in
   Fmt.pr "%a@." Torture.pp_outcome o;
   if not (Torture.ok o) then begin
     Fmt.epr
       "reproduce with: pmvctl torture --seed %d --events %d --scale %g --shards %d \
-       --verbose@."
-      seed events scale shards;
+       --domains %d --verbose@."
+      seed events scale shards domains;
     exit 1
   end
 
@@ -307,6 +335,15 @@ let shards_arg =
     & opt int 1
     & info [ "shards" ] ~docv:"N"
         ~doc:"Hash-partition the database across N engine shards (1 = single engine).")
+
+let domains_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Run with a pool of N worker domains: sharded queries fan out in parallel and \
+           O3 scans/joins run morsel-parallel (1 = sequential).")
 
 let demo_cmd =
   let queries = Arg.(value & opt int 500 & info [ "queries" ] ~docv:"N") in
@@ -343,7 +380,7 @@ let sql_cmd =
          "Run SQL statements over TPC-R data, one PMV per template (e.g. \"select \
           o.orderkey, l.quantity from orders o, lineitem l where o.orderkey = l.orderkey \
           and (o.orderdate = 3) and (l.suppkey = 2)\")")
-    Term.(const sql $ scale_arg $ seed_arg $ shards_arg $ statements)
+    Term.(const sql $ scale_arg $ seed_arg $ shards_arg $ domains_arg $ statements)
 
 let metrics_cmd =
   let queries = Arg.(value & opt int 200 & info [ "queries" ] ~docv:"N") in
@@ -371,7 +408,7 @@ let repl_cmd =
   in
   Cmd.v
     (Cmd.info "repl" ~doc:"Interactive SQL over TPC-R data with per-template PMVs")
-    Term.(const repl $ scale_arg $ seed_arg $ fresh $ persist $ shards_arg)
+    Term.(const repl $ scale_arg $ seed_arg $ fresh $ persist $ shards_arg $ domains_arg)
 
 let torture_cmd =
   let events = Arg.(value & opt int 400 & info [ "events" ] ~docv:"N" ~doc:"Workload events.") in
@@ -388,7 +425,9 @@ let torture_cmd =
          "Replay a seeded fault-injection campaign (WAL crashes + recovery, lock \
           conflicts, I/O errors, deferred/lost maintenance) with every query \
           oracle-checked; exits non-zero on any consistency violation")
-    Term.(const torture $ scale $ seed_arg $ events $ check_every $ shards_arg $ verbose)
+    Term.(
+      const torture $ scale $ seed_arg $ events $ check_every $ shards_arg $ domains_arg
+      $ verbose)
 
 let () =
   let doc = "partial materialized views demonstration tool" in

@@ -8,7 +8,7 @@
 open Minirel_storage
 open Minirel_query
 module Catalog = Minirel_index.Catalog
-module SM = Minirel_workload.Split_mix
+module SM = Minirel_prng.Split_mix
 module Zipf = Minirel_workload.Zipf
 
 let build_catalog () =

@@ -10,7 +10,7 @@
 
 module Shell = Minirel_shell.Shell
 module Trace = Minirel_shell.Trace
-module SM = Minirel_workload.Split_mix
+module SM = Minirel_prng.Split_mix
 
 let day_of_queries trace_shell rng zipf_cat zipf_store n =
   let hits = ref 0 and total_pmv = ref 0 in

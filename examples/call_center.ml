@@ -15,7 +15,7 @@
 open Minirel_storage
 open Minirel_query
 module Catalog = Minirel_index.Catalog
-module SM = Minirel_workload.Split_mix
+module SM = Minirel_prng.Split_mix
 
 let () =
   let pool = Buffer_pool.create ~capacity:2_000 () in

@@ -30,9 +30,9 @@ let () =
       (Catalog.insert catalog ~rel:"products"
          [| Value.Int pid; Value.Int (pid mod 10); Value.Str (Fmt.str "product-%d" pid) |])
   done;
-  let rng = Minirel_workload.Split_mix.create ~seed:1 in
+  let rng = Minirel_prng.Split_mix.create ~seed:1 in
   for _ = 1 to 2_000 do
-    let ri bound = Minirel_workload.Split_mix.int rng ~bound in
+    let ri bound = Minirel_prng.Split_mix.int rng ~bound in
     ignore
       (Catalog.insert catalog ~rel:"sales"
          [| Value.Int (1 + ri 200); Value.Int (ri 20); Value.Int (ri 97) |])

@@ -14,7 +14,7 @@ module Wal = Minirel_txn.Wal
 module Template = Minirel_query.Template
 module Instance = Minirel_query.Instance
 module Predicate = Minirel_query.Predicate
-module SM = Minirel_workload.Split_mix
+module SM = Minirel_prng.Split_mix
 
 let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
 

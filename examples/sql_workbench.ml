@@ -14,7 +14,7 @@ module Catalog = Minirel_index.Catalog
 module Session = Minirel_sql.Session
 module Manager = Pmv.Manager
 module Template = Minirel_query.Template
-module SM = Minirel_workload.Split_mix
+module SM = Minirel_prng.Split_mix
 
 let () =
   (* a TPC-R-flavoured warehouse *)

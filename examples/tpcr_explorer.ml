@@ -12,7 +12,7 @@ module Template = Minirel_query.Template
 module Tpcr = Minirel_workload.Tpcr
 module Querygen = Minirel_workload.Querygen
 module Zipf = Minirel_workload.Zipf
-module SM = Minirel_workload.Split_mix
+module SM = Minirel_prng.Split_mix
 
 let ms_opt = function
   | None -> "-"

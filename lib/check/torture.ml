@@ -40,12 +40,22 @@ type cfg = {
   scale : float;
   check_every : int;
   shards : int;  (* engine count for {!run_sharded}; {!run} ignores it *)
+  domains : int;  (* pool workers for {!run_sharded}'s fan-out; 1 = sequential *)
   dir : string option;
   log : (string -> unit) option;
 }
 
 let default_cfg ~seed =
-  { seed; events = 400; scale = 0.002; check_every = 40; shards = 1; dir = None; log = None }
+  {
+    seed;
+    events = 400;
+    scale = 0.002;
+    check_every = 40;
+    shards = 1;
+    domains = 1;
+    dir = None;
+    log = None;
+  }
 
 type outcome = {
   events : int;
@@ -943,6 +953,7 @@ let spick w =
 
 let run_sharded cfg =
   let shards = max 1 cfg.shards in
+  let domains = max 1 cfg.domains in
   let params = Tpcr.params_for_scale ~seed:cfg.seed ~pad:false cfg.scale in
   let pool = Buffer_pool.create ~capacity:20_000 () in
   let ref_catalog = Catalog.create pool in
@@ -982,12 +993,28 @@ let run_sharded cfg =
       Fault.enable_in ~seed:(cfg.seed + i) reg;
       Fault.arm_in reg "maintain.defer" (Fault.Prob defer_prob))
     (Router.shards st.router);
+  (* Attach the fan-out pool (campaign-owned: torn down on exit). The
+     merged stream is order-identical to the sequential one, so the
+     digest stays reproducible for a fixed (seed, domains) pair. *)
+  let fanout_pool =
+    if domains >= 2 then begin
+      let p = Minirel_parallel.Pool.create ~domains in
+      Router.set_parallel st.router (Some p);
+      Some p
+    end
+    else None
+  in
+  let finally () =
+    Router.set_parallel st.router None;
+    Option.iter Minirel_parallel.Pool.shutdown fanout_pool
+  in
+  Fun.protect ~finally @@ fun () ->
   snote st
     (Fmt.str
-       "sharded torture seed=%d events=%d scale=%g shards=%d (%d customers, %d orders, \
-        %d lineitems)"
-       cfg.seed cfg.events cfg.scale shards counts.Tpcr.customers counts.Tpcr.orders
-       counts.Tpcr.lineitems);
+       "sharded torture seed=%d events=%d scale=%g shards=%d domains=%d (%d customers, \
+        %d orders, %d lineitems)"
+       cfg.seed cfg.events cfg.scale shards domains counts.Tpcr.customers
+       counts.Tpcr.orders counts.Tpcr.lineitems);
   for i = 1 to cfg.events do
     if cfg.check_every > 0 && i mod cfg.check_every = 0 then sdeep st;
     match spick st.w with

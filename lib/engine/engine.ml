@@ -29,6 +29,9 @@ type t = {
   registry : Registry.t;
   tracer : Tracer.t;
   mutable wal : Wal.t option;
+  (* Domain pool for morsel-parallel O3 execution. Externally owned:
+     attaching does not transfer shutdown responsibility. *)
+  mutable par : Minirel_parallel.Pool.t option;
 }
 
 let create ?(name = "engine") ?(fault = Fault.default) ?(registry = Registry.default)
@@ -56,6 +59,7 @@ let create ?(name = "engine") ?(fault = Fault.default) ?(registry = Registry.def
     registry;
     tracer;
     wal = None;
+    par = None;
   }
 
 (* An engine with fresh, private fault and telemetry scopes: nothing it
@@ -78,6 +82,8 @@ let fault t = t.fault
 let registry t = t.registry
 let tracer t = t.tracer
 let wal t = t.wal
+let parallel t = t.par
+let set_parallel t pool = t.par <- pool
 
 (* Open a WAL in this engine's fault scope, subscribe it to the
    transaction manager and register its telemetry. *)
@@ -111,9 +117,11 @@ let ensure_view ?policy ?f_max ?capacity ?ub_bytes t compiled =
 let find_view t ~template = Pmv.Manager.find t.manager ~template
 
 (* Answer under the Section 3.6 S-lock protocol through the engine's
-   manager (PMV when the template has one, plain otherwise). *)
-let answer ?profile t instance ~on_tuple =
-  Pmv.Manager.answer ~locks:(locks t) ?profile t.manager instance ~on_tuple
+   manager (PMV when the template has one, plain otherwise). [par]
+   overrides the attached pool for this query. *)
+let answer ?par ?profile t instance ~on_tuple =
+  let par = match par with Some _ -> par | None -> t.par in
+  Pmv.Manager.answer ~locks:(locks t) ?par ?profile t.manager instance ~on_tuple
 
 let snapshot t = Registry.snapshot t.registry
 

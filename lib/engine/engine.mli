@@ -58,6 +58,14 @@ val registry : t -> Minirel_telemetry.Registry.t
 val tracer : t -> Minirel_telemetry.Tracer.t
 val wal : t -> Minirel_txn.Wal.t option
 
+(** The attached Domain pool, if any. *)
+val parallel : t -> Minirel_parallel.Pool.t option
+
+(** Attach (or detach, with [None]) a Domain pool for morsel-parallel
+    O3 execution. The pool stays externally owned — shut it down where
+    it was created. *)
+val set_parallel : t -> Minirel_parallel.Pool.t option -> unit
+
 (** Open a WAL in this engine's fault scope, subscribe it to the
     transaction manager and register its telemetry. *)
 val attach_wal : t -> filename:string -> Minirel_txn.Wal.t
@@ -85,8 +93,11 @@ val find_view : t -> template:string -> Pmv.View.t option
 
 (** Answer under the Section 3.6 S-lock protocol through the engine's
     manager — PMV when the template has one, plain otherwise; the
-    boolean reports whether a view was used. *)
+    boolean reports whether a view was used. [par] overrides the
+    attached pool ({!set_parallel}) for this query; either way, O3
+    heap scans and hash joins run morsel-parallel on the pool. *)
 val answer :
+  ?par:Minirel_parallel.Pool.t ->
   ?profile:Minirel_exec.Exec_stats.t ->
   t ->
   Minirel_query.Instance.t ->

@@ -40,11 +40,17 @@ module Predicate = Minirel_query.Predicate
 module Txn = Minirel_txn.Txn
 module Export = Minirel_telemetry.Export
 
+module Pool = Minirel_parallel.Pool
+module Spsc = Minirel_parallel.Spsc
+
 type part = Hash of int (* partition-key position *) | Replicated
 
 type t = {
   shards : Engine.t array;
   parts : (string, part) Hashtbl.t;  (* relation -> partitioning *)
+  (* Domain pool for parallel shard fan-out; externally owned, see
+     [set_parallel]. *)
+  mutable par : Pool.t option;
 }
 
 let create ?pool_capacity ?default_f_max ?default_policy ~shards () =
@@ -56,7 +62,11 @@ let create ?pool_capacity ?default_f_max ?default_policy ~shards () =
             ~name:(Printf.sprintf "shard%d" i)
             ?pool_capacity ?default_f_max ?default_policy ());
     parts = Hashtbl.create 8;
+    par = None;
   }
+
+let parallel t = t.par
+let set_parallel t pool = t.par <- pool
 
 let n_shards t = Array.length t.shards
 let shard t i = t.shards.(i)
@@ -207,22 +217,98 @@ let merge_stats (a : Pmv.Answer.stats) (b : Pmv.Answer.stats) =
     stale_purged = a.Pmv.Answer.stale_purged + b.Pmv.Answer.stale_purged;
   }
 
+(* Per-shard stream messages flowing producer (shard task) to consumer
+   (the merging caller) over a bounded SPSC queue. *)
+type msg =
+  | Item of Pmv.Answer.phase * Minirel_storage.Tuple.t
+  | Done of Pmv.Answer.stats * bool
+  | Fail of exn
+
+(* Bounds how far any shard can run ahead of the merge (backpressure);
+   roomy enough that shards rarely stall on the consumer. *)
+let shard_stream_capacity = 256
+
+(* Parallel fan-out: one pool task per target shard, each answering on
+   its own single-owner engine and streaming through its own SPSC
+   queue. The consumer drains the queues in shard order, so the merged
+   stream is tuple-for-tuple the sequential one — and because the pool
+   dispatches FIFO and tasks were submitted in shard order, the
+   earliest undrained shard's task is always running or next in line:
+   the in-order merge cannot starve.
+
+   Early termination changes shape here: when [on_tuple] raises, shard
+   tasks cannot be cancelled, so remaining queues are drained and
+   discarded until every producer settles (a blocked producer would
+   otherwise poison the pool), then the first exception re-raises. *)
+let answer_parallel pool t targets instance ~on_tuple =
+  let queues = List.map (fun i -> (i, Spsc.create ~capacity:shard_stream_capacity)) targets in
+  List.iter
+    (fun (i, q) ->
+      Pool.submit pool (fun () ->
+          match
+            Engine.answer t.shards.(i) instance ~on_tuple:(fun phase tuple ->
+                Spsc.push q (Item (phase, tuple)))
+          with
+          | stats, used -> Spsc.push q (Done (stats, used))
+          | exception exn -> Spsc.push q (Fail exn)))
+    queues;
+  let failure = ref None in
+  let note exn = if Option.is_none !failure then failure := Some exn in
+  let results =
+    List.map
+      (fun (_, q) ->
+        let rec drain () =
+          match Spsc.pop q with
+          | Item (phase, tuple) ->
+              (if Option.is_none !failure then
+                 try on_tuple phase tuple with exn -> note exn);
+              drain ()
+          | Done (stats, used) -> Some (stats, used)
+          | Fail exn ->
+              note exn;
+              None
+        in
+        drain ())
+      queues
+  in
+  match !failure with
+  | Some exn -> raise exn
+  | None ->
+      List.fold_left
+        (fun acc r ->
+          match (acc, r) with
+          | None, r -> r
+          | acc, None -> acc
+          | Some (s, u), Some (s', u') -> Some (merge_stats s s', u && u'))
+        None results
+      |> Option.get
+
 (* Answer [instance] across the template's shards, streaming each
    shard's O2 partials and O3 remainder through [on_tuple]. Returns the
    summed stats and whether every consulted shard answered through a
-   view. *)
-let answer ?profile t instance ~on_tuple =
+   view. With a pool attached ([set_parallel]) or passed ([par]) and at
+   least two target shards, the per-shard answers run concurrently;
+   profiled runs stay sequential (Exec_stats trees are single-owner).
+   Either way the merged stream is identical to the sequential one. *)
+let answer ?par ?profile t instance ~on_tuple =
   let targets = template_shards t (Minirel_query.Instance.compiled instance) in
-  List.fold_left
-    (fun acc i ->
-      let stats, used = Engine.answer ?profile t.shards.(i) instance ~on_tuple in
-      match acc with
-      | None -> Some (stats, used)
-      | Some (acc_stats, acc_used) -> Some (merge_stats acc_stats stats, acc_used && used))
-    None targets
-  |> function
-  | Some r -> r
-  | None -> assert false (* targets is never empty *)
+  let pool = match par with Some _ -> par | None -> t.par in
+  match pool with
+  | Some pool
+    when Pool.size pool >= 2 && List.length targets >= 2 && Option.is_none profile ->
+      answer_parallel pool t targets instance ~on_tuple
+  | _ -> (
+      List.fold_left
+        (fun acc i ->
+          let stats, used = Engine.answer ?profile t.shards.(i) instance ~on_tuple in
+          match acc with
+          | None -> Some (stats, used)
+          | Some (acc_stats, acc_used) ->
+              Some (merge_stats acc_stats stats, acc_used && used))
+        None targets
+      |> function
+      | Some r -> r
+      | None -> assert false (* targets is never empty *))
 
 exception Enough
 

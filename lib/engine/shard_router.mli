@@ -24,6 +24,14 @@ val n_shards : t -> int
 val shard : t -> int -> Engine.t
 val shards : t -> Engine.t list
 
+(** The attached Domain pool, if any. *)
+val parallel : t -> Minirel_parallel.Pool.t option
+
+(** Attach (or detach, with [None]) a Domain pool: {!answer} then
+    fans per-shard answers out to the pool's worker domains. The pool
+    stays externally owned — shut it down where it was created. *)
+val set_parallel : t -> Minirel_parallel.Pool.t option -> unit
+
 type part = Hash of int  (** partition-key position *) | Replicated
 
 val partitioning : t -> rel:string -> part option
@@ -94,8 +102,18 @@ val merge_stats : Pmv.Answer.stats -> Pmv.Answer.stats -> Pmv.Answer.stats
 
 (** Answer across the template's shards, streaming every shard's O2
     partials and O3 remainder through [on_tuple]; returns the summed
-    stats and whether every consulted shard used a view. *)
+    stats and whether every consulted shard used a view.
+
+    With a pool attached ({!set_parallel}) or passed ([par]) and at
+    least two target shards, per-shard answers run concurrently on the
+    pool, each streaming through a bounded per-shard queue; the merge
+    consumes the queues in shard order, so the delivered stream is
+    tuple-for-tuple identical to the sequential one and the DS
+    identity still sums exactly. Profiled runs stay sequential. When
+    [on_tuple] raises in parallel mode, in-flight shards finish with
+    their output discarded before the exception re-raises. *)
 val answer :
+  ?par:Minirel_parallel.Pool.t ->
   ?profile:Minirel_exec.Exec_stats.t ->
   t ->
   Minirel_query.Instance.t ->

@@ -82,21 +82,31 @@ let label = function
    by catalog (physical identity) — each engine's registry reports only
    the queries run against that engine's catalog, and resetting one
    scope leaves the others alone. *)
-type telemetry_counters = { mutable cursors : int; mutable root_tuples : int }
+type telemetry_counters = { cursors : int Atomic.t; root_tuples : int Atomic.t }
 
 let telemetry_by_catalog :
     (Minirel_index.Catalog.t * telemetry_counters) list ref =
   ref []
 
+(* Guards the list above; morsel tasks on the pool open cursors
+   concurrently. The counters themselves are atomic, so only the
+   get-or-create lookup needs the lock. *)
+let telemetry_lock = Mutex.create ()
+
 let telemetry_for catalog =
-  match
-    List.find_opt (fun (c, _) -> c == catalog) !telemetry_by_catalog
-  with
-  | Some (_, t) -> t
-  | None ->
-      let t = { cursors = 0; root_tuples = 0 } in
-      telemetry_by_catalog := (catalog, t) :: !telemetry_by_catalog;
-      t
+  Mutex.lock telemetry_lock;
+  let t =
+    match
+      List.find_opt (fun (c, _) -> c == catalog) !telemetry_by_catalog
+    with
+    | Some (_, t) -> t
+    | None ->
+        let t = { cursors = Atomic.make 0; root_tuples = Atomic.make 0 } in
+        telemetry_by_catalog := (catalog, t) :: !telemetry_by_catalog;
+        t
+  in
+  Mutex.unlock telemetry_lock;
+  t
 
 let register_telemetry ?(registry = Minirel_telemetry.Registry.default)
     ?(name = "exec") catalog =
@@ -104,23 +114,128 @@ let register_telemetry ?(registry = Minirel_telemetry.Registry.default)
   let t = telemetry_for catalog in
   R.register_source registry ~name
     ~reset:(fun () ->
-      t.cursors <- 0;
-      t.root_tuples <- 0)
+      Atomic.set t.cursors 0;
+      Atomic.set t.root_tuples 0)
     (fun () ->
       [
-        ("cursors", R.Counter t.cursors);
-        ("root_tuples", R.Counter t.root_tuples);
+        ("cursors", R.Counter (Atomic.get t.cursors));
+        ("root_tuples", R.Counter (Atomic.get t.root_tuples));
       ])
 
-let rec op_cursor ?profile catalog (plan : Plan.t) : Tuple.t Cursor.t =
+(* --- morsel-driven parallel scans ---
+
+   When the executor owns a Domain pool (and profiling is off —
+   Exec_stats trees are single-owner), heap scans split their page
+   range into morsels executed on the pool. Work product order is
+   morsel order = page order, so every parallel stream below is
+   tuple-for-tuple identical to its sequential counterpart. *)
+
+module Pool = Minirel_parallel.Pool
+
+(* ~4 morsels per domain: slack for uneven predicate selectivity
+   without drowning the pool in task-dispatch overhead. *)
+let morsel_ranges ~n_pages ~domains =
+  if n_pages <= 0 then [||]
+  else begin
+    let target = max 1 (min n_pages (4 * domains)) in
+    let per = (n_pages + target - 1) / target in
+    let n = (n_pages + per - 1) / per in
+    Array.init n (fun i -> (i * per, min n_pages (succ i * per)))
+  end
+
+(* A pool is only worth dispatching to with >= 2 workers. *)
+let par_active = function
+  | Some pool when Pool.size pool >= 2 -> Some pool
+  | _ -> None
+
+(* Scan pages [lo, hi), filter, keep page order. Runs on a pool worker;
+   buffer-pool I/O is charged from the worker (the pool is locked). *)
+let scan_morsel heap pred (lo, hi) =
+  let acc = ref [] in
+  for p = lo to hi - 1 do
+    Heap_file.iter_page heap p (fun _rid t ->
+        if Predicate.eval pred t then acc := t :: !acc)
+  done;
+  List.rev !acc
+
+(* Parallel hash-join build: per-morsel partial tables (buckets in
+   reversed page order, as in the sequential build), merged in morsel
+   order so every bucket ends up in global heap order. Falls back to
+   the sequential single-pass build without a pool. *)
+let join_table ?par heap pred inner_key : Tuple.t list ref Tuple.Table.t =
+  let bucket_add tbl inner_t =
+    let key = Tuple.project inner_t inner_key in
+    match Tuple.Table.find_opt tbl key with
+    | Some bucket -> bucket := inner_t :: !bucket
+    | None -> Tuple.Table.replace tbl key (ref [ inner_t ])
+  in
+  match par_active par with
+  | Some pool when Heap_file.n_pages heap >= 2 ->
+      let ranges =
+        morsel_ranges ~n_pages:(Heap_file.n_pages heap) ~domains:(Pool.size pool)
+      in
+      let partials =
+        Pool.map pool
+          (fun (lo, hi) ->
+            let tbl : Tuple.t list ref Tuple.Table.t = Tuple.Table.create 256 in
+            for p = lo to hi - 1 do
+              Heap_file.iter_page heap p (fun _rid inner_t ->
+                  if Predicate.eval pred inner_t then bucket_add tbl inner_t)
+            done;
+            tbl)
+          ranges
+      in
+      let tbl : Tuple.t list ref Tuple.Table.t = Tuple.Table.create 1024 in
+      Array.iter
+        (fun part ->
+          Tuple.Table.iter
+            (fun key bucket ->
+              let items = List.rev !bucket in
+              match Tuple.Table.find_opt tbl key with
+              | Some b -> b := !b @ items
+              | None -> Tuple.Table.replace tbl key (ref items))
+            part)
+        partials;
+      tbl
+  | _ ->
+      let tbl : Tuple.t list ref Tuple.Table.t = Tuple.Table.create 1024 in
+      Heap_file.iter heap (fun _rid inner_t ->
+          if Predicate.eval pred inner_t then bucket_add tbl inner_t);
+      Tuple.Table.iter (fun _ bucket -> bucket := List.rev !bucket) tbl;
+      tbl
+
+(* A cursor over a list materialised on the first pull, so upstream
+   I/O keeps being charged when the consumer actually runs. *)
+let lazy_list_cursor produce =
+  let state = ref None in
+  fun () ->
+    let cur =
+      match !state with
+      | Some cur -> cur
+      | None ->
+          let cur = Cursor.of_list (produce ()) in
+          state := Some cur;
+          cur
+    in
+    cur ()
+
+let rec op_cursor ?par ?profile catalog (plan : Plan.t) : Tuple.t Cursor.t =
   (* register before recursing so profile nodes appear in plan pre-order *)
   let node = Option.map (fun p -> Exec_stats.register p (label plan)) profile in
-  let c = build ?profile catalog plan in
+  let c = build ?par ?profile catalog plan in
   match node with None -> c | Some n -> Exec_stats.instrument n c
 
-and build ?profile catalog (plan : Plan.t) : Tuple.t Cursor.t =
+and build ?par ?profile catalog (plan : Plan.t) : Tuple.t Cursor.t =
   match plan with
   | Plan.Literal ts -> Cursor.of_list ts
+  | Plan.Scan { rel; pred } when par_active par <> None ->
+      let pool = Option.get (par_active par) in
+      let heap = Catalog.heap catalog rel in
+      let n_pages = Heap_file.n_pages heap in
+      lazy_list_cursor (fun () ->
+          let ranges = morsel_ranges ~n_pages ~domains:(Pool.size pool) in
+          let parts = Pool.map pool (scan_morsel heap pred) ranges in
+          List.concat (Array.to_list parts))
   | Plan.Scan { rel; pred } ->
       let heap = Catalog.heap catalog rel in
       (* page by page through a reusable array batch; the page count
@@ -203,7 +318,7 @@ and build ?profile catalog (plan : Plan.t) : Tuple.t Cursor.t =
   | Plan.Inlj { outer; rel; index; outer_key; pred } ->
       let heap = Catalog.heap catalog rel in
       let ix = find_index catalog ~rel ~name:index in
-      let out = op_cursor ?profile catalog outer in
+      let out = op_cursor ?par ?profile catalog outer in
       let current = ref ([||] : Tuple.t) in
       let pending = ref [] in
       let rec next () =
@@ -225,7 +340,7 @@ and build ?profile catalog (plan : Plan.t) : Tuple.t Cursor.t =
       next
   | Plan.Nlj { outer; rel; eq; pred } ->
       let heap = Catalog.heap catalog rel in
-      op_cursor ?profile catalog outer
+      op_cursor ?par ?profile catalog outer
       |> Cursor.concat_map_list (fun outer_t ->
              let matches = ref [] in
              Heap_file.iter heap (fun _rid inner_t ->
@@ -236,25 +351,53 @@ and build ?profile catalog (plan : Plan.t) : Tuple.t Cursor.t =
                         eq
                  then matches := Tuple.concat outer_t inner_t :: !matches);
              List.rev !matches)
+  | Plan.Hash_join
+      { outer = Plan.Scan { rel = orel; pred = opred }; rel; outer_key; inner_key; pred }
+    when par_active par <> None ->
+      (* both join phases morsel-parallel: build the shared table from
+         inner morsels, then probe outer morsels against it. After the
+         build the table is read-only, so concurrent probes need no
+         lock; output concatenates in morsel order = page order, so the
+         stream matches the sequential join tuple for tuple. *)
+      let pool = Option.get (par_active par) in
+      let heap = Catalog.heap catalog rel in
+      let oheap = Catalog.heap catalog orel in
+      lazy_list_cursor (fun () ->
+          let table = join_table ?par heap pred inner_key in
+          let ranges =
+            morsel_ranges ~n_pages:(Heap_file.n_pages oheap)
+              ~domains:(Pool.size pool)
+          in
+          let parts =
+            Pool.map pool
+              (fun (lo, hi) ->
+                let acc = ref [] in
+                for p = lo to hi - 1 do
+                  Heap_file.iter_page oheap p (fun _rid outer_t ->
+                      if Predicate.eval opred outer_t then
+                        match
+                          Tuple.Table.find_opt table
+                            (Tuple.project outer_t outer_key)
+                        with
+                        | Some bucket ->
+                            List.iter
+                              (fun inner_t ->
+                                acc := Tuple.concat outer_t inner_t :: !acc)
+                              !bucket
+                        | None -> ())
+                done;
+                List.rev !acc)
+              ranges
+          in
+          List.concat (Array.to_list parts))
   | Plan.Hash_join { outer; rel; outer_key; inner_key; pred } ->
       let heap = Catalog.heap catalog rel in
       (* build side hashed once per cursor open, on the first pull so
          upstream I/O is charged when the join runs; buckets keep heap
-         order, so results match the Nlj fallback exactly *)
-      let table =
-        lazy
-          (let tbl : Tuple.t list ref Tuple.Table.t = Tuple.Table.create 1024 in
-           Heap_file.iter heap (fun _rid inner_t ->
-               if Predicate.eval pred inner_t then begin
-                 let key = Tuple.project inner_t inner_key in
-                 match Tuple.Table.find_opt tbl key with
-                 | Some bucket -> bucket := inner_t :: !bucket
-                 | None -> Tuple.Table.replace tbl key (ref [ inner_t ])
-               end);
-           Tuple.Table.iter (fun _ bucket -> bucket := List.rev !bucket) tbl;
-           tbl)
-      in
-      let out = op_cursor ?profile catalog outer in
+         order, so results match the Nlj fallback exactly. The build
+         itself morsel-parallelises when a pool is present. *)
+      let table = lazy (join_table ?par heap pred inner_key) in
+      let out = op_cursor ?par ?profile catalog outer in
       let current = ref ([||] : Tuple.t) in
       let pending = ref [] in
       let rec next () =
@@ -278,9 +421,11 @@ and build ?profile catalog (plan : Plan.t) : Tuple.t Cursor.t =
       in
       next
   | Plan.Filter (pred, inner) ->
-      Cursor.filter (Predicate.eval pred) (op_cursor ?profile catalog inner)
+      Cursor.filter (Predicate.eval pred) (op_cursor ?par ?profile catalog inner)
   | Plan.Project (positions, inner) ->
-      Cursor.map (fun t -> Tuple.project t positions) (op_cursor ?profile catalog inner)
+      Cursor.map
+        (fun t -> Tuple.project t positions)
+        (op_cursor ?par ?profile catalog inner)
   | Plan.Sort { keys; desc; input } ->
       (* blocking: drain, sort, stream. Materialisation is delayed until
          the first pull so upstream I/O is charged when the sort runs. *)
@@ -289,7 +434,7 @@ and build ?profile catalog (plan : Plan.t) : Tuple.t Cursor.t =
         let c = Tuple.compare (Tuple.project a keys) (Tuple.project b keys) in
         if desc then -c else c
       in
-      let inner = op_cursor ?profile catalog input in
+      let inner = op_cursor ?par ?profile catalog input in
       fun () ->
         let cur =
           match !sorted with
@@ -302,7 +447,7 @@ and build ?profile catalog (plan : Plan.t) : Tuple.t Cursor.t =
         cur ()
   | Plan.Limit (n, input) ->
       let remaining = ref n in
-      let inner = op_cursor ?profile catalog input in
+      let inner = op_cursor ?par ?profile catalog input in
       fun () ->
         if !remaining <= 0 then None
         else begin
@@ -310,7 +455,7 @@ and build ?profile catalog (plan : Plan.t) : Tuple.t Cursor.t =
           inner ()
         end
   | Plan.Aggregate { group_by; aggs; input } ->
-      let inner = op_cursor ?profile catalog input in
+      let inner = op_cursor ?par ?profile catalog input in
       let materialized = ref None in
       fun () ->
         let cur =
@@ -351,20 +496,23 @@ and build ?profile catalog (plan : Plan.t) : Tuple.t Cursor.t =
 (* Public entry: the root cursor additionally feeds the catalog's
    executor counters. The per-tuple wrapper is built only while
    telemetry is enabled, so the disabled mode pays nothing per pull. *)
-let cursor ?profile catalog plan =
-  let c = op_cursor ?profile catalog plan in
+let cursor ?par ?profile catalog plan =
+  (* profiled runs stay sequential: Exec_stats trees are single-owner *)
+  let par = if profile = None then par else None in
+  let c = op_cursor ?par ?profile catalog plan in
   if not (Minirel_telemetry.Telemetry.is_enabled ()) then c
   else begin
     let t = telemetry_for catalog in
-    t.cursors <- t.cursors + 1;
+    ignore (Atomic.fetch_and_add t.cursors 1);
     fun () ->
       match c () with
       | Some _ as r ->
-          t.root_tuples <- t.root_tuples + 1;
+          ignore (Atomic.fetch_and_add t.root_tuples 1);
           r
       | None -> None
   end
 
-let run_to_list ?profile catalog plan = Cursor.to_list (cursor ?profile catalog plan)
+let run_to_list ?par ?profile catalog plan =
+  Cursor.to_list (cursor ?par ?profile catalog plan)
 
-let count ?profile catalog plan = Cursor.count (cursor ?profile catalog plan)
+let count ?par ?profile catalog plan = Cursor.count (cursor ?par ?profile catalog plan)

@@ -6,9 +6,11 @@
    hot paths can keep probes unconditionally.
 
    Determinism: probabilistic policies draw from SplitMix64 streams
-   seeded by (registry seed, site name hash, arming generation). The
-   engine is single-threaded, so hit ordering — and therefore every
-   firing decision — is a pure function of the seed and the workload. *)
+   seeded by (registry seed, site name hash, arming generation). Each
+   engine owns its registry and executes its workload sequentially, so
+   hit ordering — and therefore every firing decision — is a pure
+   function of the seed and the workload; a mutex serialises the rare
+   case of domains sharing one registry. *)
 
 module Sm = Minirel_prng.Split_mix
 
@@ -35,9 +37,20 @@ type reg = {
   mutable seed : int;
   mutable generation : int;
   table : (string, site) Hashtbl.t;
+  (* Serialises arming and site mutation once domains share a registry.
+     [enabled] is read outside the lock on purpose: the disabled hot
+     path must stay a single boolean load. *)
+  lock : Mutex.t;
 }
 
-let create () = { enabled = false; seed = 0; generation = 0; table = Hashtbl.create 16 }
+let create () =
+  {
+    enabled = false;
+    seed = 0;
+    generation = 0;
+    table = Hashtbl.create 16;
+    lock = Mutex.create ();
+  }
 let default = create ()
 
 let derive_state reg name gen =
@@ -47,31 +60,39 @@ let derive_state reg name gen =
 
 let is_enabled_in reg = reg.enabled
 
+let locked reg f =
+  Mutex.lock reg.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock reg.lock) f
+
 let enable_in ?(seed = 0) reg =
-  reg.seed <- seed;
-  reg.enabled <- true;
-  (* rebase every armed site's stream on the new seed *)
-  Hashtbl.iter
-    (fun name site -> site.rng <- Sm.of_int64 (derive_state reg name reg.generation))
-    reg.table
+  locked reg (fun () ->
+      reg.seed <- seed;
+      reg.enabled <- true;
+      (* rebase every armed site's stream on the new seed *)
+      Hashtbl.iter
+        (fun name site ->
+          site.rng <- Sm.of_int64 (derive_state reg name reg.generation))
+        reg.table)
 
 let disable_in reg = reg.enabled <- false
 
 let arm_in reg name policy =
-  reg.generation <- reg.generation + 1;
-  Hashtbl.replace reg.table name
-    {
-      policy;
-      hits = 0;
-      fired = 0;
-      rng = Sm.of_int64 (derive_state reg name reg.generation);
-    }
+  locked reg (fun () ->
+      reg.generation <- reg.generation + 1;
+      Hashtbl.replace reg.table name
+        {
+          policy;
+          hits = 0;
+          fired = 0;
+          rng = Sm.of_int64 (derive_state reg name reg.generation);
+        })
 
-let disarm_in reg name = Hashtbl.remove reg.table name
+let disarm_in reg name = locked reg (fun () -> Hashtbl.remove reg.table name)
 
 let reset_in reg =
-  Hashtbl.reset reg.table;
-  reg.generation <- 0
+  locked reg (fun () ->
+      Hashtbl.reset reg.table;
+      reg.generation <- 0)
 
 (* Policy decision for one recorded hit (1-based). *)
 let decide site =
@@ -89,22 +110,28 @@ let fire_armed site =
   f
 
 let fire_in reg name =
+  (* [enabled] read unlocked: the disabled path stays one boolean load. *)
   reg.enabled
-  &&
-  match Hashtbl.find_opt reg.table name with
-  | None -> false
-  | Some site -> fire_armed site
+  && locked reg (fun () ->
+         match Hashtbl.find_opt reg.table name with
+         | None -> false
+         | Some site -> fire_armed site)
 
 let hit_in reg name = if fire_in reg name then raise (Injected name)
 
 let hits_in reg name =
-  match Hashtbl.find_opt reg.table name with None -> 0 | Some s -> s.hits
+  locked reg (fun () ->
+      match Hashtbl.find_opt reg.table name with None -> 0 | Some s -> s.hits)
 
 let fired_in reg name =
-  match Hashtbl.find_opt reg.table name with None -> 0 | Some s -> s.fired
+  locked reg (fun () ->
+      match Hashtbl.find_opt reg.table name with None -> 0 | Some s -> s.fired)
 
 let sites_in reg =
-  Hashtbl.fold (fun name s acc -> (name, s.policy, s.hits, s.fired) :: acc) reg.table []
+  locked reg (fun () ->
+      Hashtbl.fold
+        (fun name s acc -> (name, s.policy, s.hits, s.fired) :: acc)
+        reg.table [])
   |> List.sort (fun (a, _, _, _) (b, _, _, _) -> String.compare a b)
 
 (* Process-global shims over [default], preserving the original API for

@@ -1,0 +1,127 @@
+(* A fixed-size Domain pool. [create ~domains] spawns that many worker
+   domains once; tasks are closures pushed onto one FIFO and executed
+   by whichever worker frees up first, so fan-out callers (the shard
+   router, the morsel scanner) pay domain-spawn cost never and
+   task-dispatch cost per batch, not per domain.
+
+   Scheduling is FIFO. That is load-bearing for the shard router's
+   streaming merge: the consumer drains per-shard queues in shard
+   order, and FIFO dispatch guarantees the earliest undrained shard's
+   task is always already running or the next one picked, so a full
+   queue can never starve the task the consumer is waiting on.
+
+   Calls into the pool from inside one of its own workers (a shard
+   task whose engine owns the same pool, say) run inline and
+   sequentially — blocking a worker on work only other workers could
+   steal is how nested fan-out deadlocks. *)
+
+type task = unit -> unit
+
+type t = {
+  mutex : Mutex.t;
+  has_work : Condition.t;  (* workers: queue non-empty or stopping *)
+  settled : Condition.t;  (* map callers: one of my tasks finished *)
+  queue : task Queue.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t array;
+}
+
+(* Domain-local flag marking pool workers; [map]/[run_all] from inside
+   any pool's worker fall back to inline sequential execution. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let worker_loop t =
+  Domain.DLS.set in_worker true;
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.has_work t.mutex
+    done;
+    if Queue.is_empty t.queue then Mutex.unlock t.mutex (* stopping: drained *)
+    else begin
+      let task = Queue.pop t.queue in
+      Mutex.unlock t.mutex;
+      (* tasks own their exceptions ([map] funnels them to the caller;
+         [submit] tasks must catch); never let one kill a worker *)
+      (try task () with _ -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  let t =
+    {
+      mutex = Mutex.create ();
+      has_work = Condition.create ();
+      settled = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      workers = [||];
+    }
+  in
+  t.workers <- Array.init domains (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let size t = Array.length t.workers
+
+let submit t task =
+  Mutex.lock t.mutex;
+  if t.stopping then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push task t.queue;
+  Condition.signal t.has_work;
+  Mutex.unlock t.mutex
+
+(* Run [f] on every element, workers executing tasks concurrently; the
+   caller blocks until all settle. Exceptions re-raise in index order
+   (the lowest-index failure wins, matching what a sequential
+   [Array.map] would have raised first); later tasks still run. *)
+let map t f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else if n = 1 || Domain.DLS.get in_worker then Array.map f arr
+  else begin
+    let results = Array.make n None in
+    let exns = Array.make n None in
+    let remaining = ref n in
+    Mutex.lock t.mutex;
+    if t.stopping then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.map: pool is shut down"
+    end;
+    for i = 0 to n - 1 do
+      Queue.push
+        (fun () ->
+          (match f arr.(i) with
+          | r -> results.(i) <- Some r
+          | exception e -> exns.(i) <- Some e);
+          Mutex.lock t.mutex;
+          decr remaining;
+          Condition.broadcast t.settled;
+          Mutex.unlock t.mutex)
+        t.queue
+    done;
+    Condition.broadcast t.has_work;
+    while !remaining > 0 do
+      Condition.wait t.settled t.mutex
+    done;
+    Mutex.unlock t.mutex;
+    Array.iteri (fun _ e -> match e with Some e -> raise e | None -> ()) exns;
+    Array.map (fun r -> Option.get r) results
+  end
+
+let run_all t thunks = ignore (map t (fun f -> f ()) (Array.of_list thunks))
+
+(* Graceful teardown: queued tasks drain, then every worker exits and
+   is joined. Idempotent. *)
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Condition.broadcast t.has_work;
+  Mutex.unlock t.mutex;
+  Array.iter Domain.join t.workers;
+  t.workers <- [||]

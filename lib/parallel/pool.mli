@@ -1,0 +1,33 @@
+(** A fixed-size Domain pool: [domains] worker domains spawned once at
+    {!create}, executing closures off one FIFO queue. FIFO dispatch is
+    guaranteed — the shard router's in-order streaming merge relies on
+    it. Leaf library: no minirel dependencies. *)
+
+type t
+
+(** Spawn [domains] worker domains (>= 1).
+    @raise Invalid_argument when [domains < 1]. *)
+val create : domains:int -> t
+
+(** Worker count (0 after {!shutdown}). *)
+val size : t -> int
+
+(** Enqueue a fire-and-forget task. Tasks must handle their own
+    exceptions — anything escaping is dropped, not re-raised.
+    @raise Invalid_argument after {!shutdown}. *)
+val submit : t -> (unit -> unit) -> unit
+
+(** [map t f arr] applies [f] to every element on the pool, blocking
+    until all complete; results keep their index. If any task raised,
+    the lowest-index exception re-raises after every task has settled.
+    Called from inside a pool worker (nested fan-out), runs inline and
+    sequentially instead — blocking a worker on subtasks only other
+    workers could run is a deadlock. *)
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [run_all t thunks]: {!map} over thunks, results discarded. *)
+val run_all : t -> (unit -> unit) list -> unit
+
+(** Graceful teardown: already-queued tasks finish, workers exit and
+    are joined. Idempotent; {!submit}/{!map} afterwards raise. *)
+val shutdown : t -> unit

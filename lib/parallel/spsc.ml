@@ -1,0 +1,65 @@
+(* A bounded single-producer single-consumer queue: one shard task
+   streams (phase, tuple) items in, the merging caller drains them.
+   Bounded so a fast producer shard cannot balloon memory ahead of the
+   consumer — it blocks (backpressure) until the consumer catches up.
+
+   A mutex + two condvars over a ring buffer: items move one lock
+   acquisition per push/pop, and blocked sides sleep instead of
+   spinning (on an oversubscribed host, spinning producers would
+   starve the very consumer they wait for). *)
+
+type 'a t = {
+  buf : 'a option array;
+  mutable head : int;  (* next slot to read *)
+  mutable tail : int;  (* next slot to write *)
+  mutable len : int;
+  mutex : Mutex.t;
+  not_full : Condition.t;
+  not_empty : Condition.t;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Spsc.create: capacity must be >= 1";
+  {
+    buf = Array.make capacity None;
+    head = 0;
+    tail = 0;
+    len = 0;
+    mutex = Mutex.create ();
+    not_full = Condition.create ();
+    not_empty = Condition.create ();
+  }
+
+let capacity t = Array.length t.buf
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = t.len in
+  Mutex.unlock t.mutex;
+  n
+
+(* Blocks while full. *)
+let push t x =
+  Mutex.lock t.mutex;
+  while t.len = Array.length t.buf do
+    Condition.wait t.not_full t.mutex
+  done;
+  t.buf.(t.tail) <- Some x;
+  t.tail <- (t.tail + 1) mod Array.length t.buf;
+  t.len <- t.len + 1;
+  Condition.signal t.not_empty;
+  Mutex.unlock t.mutex
+
+(* Blocks while empty. *)
+let pop t =
+  Mutex.lock t.mutex;
+  while t.len = 0 do
+    Condition.wait t.not_empty t.mutex
+  done;
+  let x = Option.get t.buf.(t.head) in
+  t.buf.(t.head) <- None;
+  t.head <- (t.head + 1) mod Array.length t.buf;
+  t.len <- t.len - 1;
+  Condition.signal t.not_full;
+  Mutex.unlock t.mutex;
+  x

@@ -1,0 +1,17 @@
+(** Bounded single-producer single-consumer queue (mutex + condvars
+    over a ring buffer). The producer blocks while full — backpressure
+    toward the consumer — and the consumer blocks while empty. *)
+
+type 'a t
+
+(** @raise Invalid_argument when [capacity < 1]. *)
+val create : capacity:int -> 'a t
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+(** Blocks while the queue is full. *)
+val push : 'a t -> 'a -> unit
+
+(** Blocks while the queue is empty. *)
+val pop : 'a t -> 'a

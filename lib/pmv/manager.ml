@@ -143,15 +143,17 @@ let drop_view t ~template =
 (* Answer through the template's view when one exists, plainly
    otherwise. Returns the stats and whether a view was used. Plans come
    from the manager's template plan cache. *)
-let answer ?locks ?txn ?profile t instance ~on_tuple =
+let answer ?locks ?txn ?par ?profile t instance ~on_tuple =
   let name = (Instance.compiled instance).Template.spec.Template.name in
   match find t ~template:name with
   | Some view ->
-      ( Answer.answer ?locks ?txn ~plan_cache:t.plan_cache ?profile ~view t.catalog
+      ( Answer.answer ?locks ?txn ~plan_cache:t.plan_cache ?par ?profile ~view t.catalog
           instance ~on_tuple,
         true )
   | None ->
-      (Answer.answer_plain ~plan_cache:t.plan_cache ?profile t.catalog instance ~on_tuple, false)
+      ( Answer.answer_plain ~plan_cache:t.plan_cache ?par ?profile t.catalog instance
+          ~on_tuple,
+        false )
 
 (* Total approximate bytes across all views. *)
 let total_bytes t =

@@ -56,10 +56,12 @@ val drop_view : t -> template:string -> unit
 (** Answer through the template's view when one exists, plainly
     otherwise; the boolean reports whether a view was used. Plans come
     from the manager's plan cache; [profile] collects per-operator
-    executor counters. *)
+    executor counters; [par] runs O3 scans and hash joins
+    morsel-parallel on the Domain pool. *)
 val answer :
   ?locks:Minirel_txn.Lock_manager.t ->
   ?txn:int ->
+  ?par:Minirel_parallel.Pool.t ->
   ?profile:Minirel_exec.Exec_stats.t ->
   t ->
   Instance.t ->

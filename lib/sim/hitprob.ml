@@ -85,7 +85,7 @@ let run_drift config ~drift ~every ~windows =
   if config.h < 1 then invalid_arg "Hitprob.run_drift: h must be >= 1";
   if every <= 0 || windows <= 0 || drift < 0 then invalid_arg "Hitprob.run_drift";
   let zipf = Minirel_workload.Zipf.create ~n:config.universe ~alpha:config.alpha in
-  let rng = Minirel_workload.Split_mix.create ~seed:config.seed in
+  let rng = Minirel_prng.Split_mix.create ~seed:config.seed in
   let capacity = capacity_of config in
   let policy = Policies.make config.policy ~capacity in
   let offset = ref 0 in
@@ -117,7 +117,7 @@ let run_drift config ~drift ~every ~windows =
 let run config =
   if config.h < 1 then invalid_arg "Hitprob.run: h must be >= 1";
   let zipf = Minirel_workload.Zipf.create ~n:config.universe ~alpha:config.alpha in
-  let rng = Minirel_workload.Split_mix.create ~seed:config.seed in
+  let rng = Minirel_prng.Split_mix.create ~seed:config.seed in
   let capacity = capacity_of config in
   let policy = Policies.make config.policy ~capacity in
   for _ = 1 to config.warmup do

@@ -15,6 +15,11 @@ type t = {
   stats : Io_stats.t;
   fault : Minirel_fault.Fault.reg;
   mutable next_file_id : int;
+  (* Serialises policy/dirty/stats mutation: morsel scans on the Domain
+     pool hit one shared pool. Per-page, not per-tuple — a page access
+     amortises over every tuple on the page — so the uncontended cost
+     stays in the noise of the simulated I/O accounting. *)
+  lock : Mutex.t;
 }
 
 let create ?(policy = Minirel_cache.Policies.Clock)
@@ -27,6 +32,7 @@ let create ?(policy = Minirel_cache.Policies.Clock)
       stats = Io_stats.create ();
       fault;
       next_file_id = 0;
+      lock = Mutex.create ();
     }
   in
   Minirel_cache.Policy.set_on_evict policy (fun key ->
@@ -64,42 +70,52 @@ let register_telemetry ?(registry = Minirel_telemetry.Registry.default)
           ("dirty", R.Gauge (float_of_int (Hashtbl.length t.dirty)));
         ])
 
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
 (* Allocate a fresh file id for a heap file or an index. *)
 let register_file t =
-  let id = t.next_file_id in
-  t.next_file_id <- id + 1;
-  id
+  locked t (fun () ->
+      let id = t.next_file_id in
+      t.next_file_id <- id + 1;
+      id)
 
 let access t ~file ~page ~mode =
+  (* The fault probe stays outside the lock: [Injected] must not leave
+     the pool mutex held. *)
   (match mode with
   | `Read -> Minirel_fault.Fault.hit_in t.fault "bufferpool.read"
   | `Write -> Minirel_fault.Fault.hit_in t.fault "bufferpool.write");
   let key = (file, page) in
-  (match Minirel_cache.Policy.reference t.policy key with
-  | `Resident -> ()
-  | `Admitted ->
-      (* 2Q ghost promotion: the page was not held, so it is fetched now *)
-      (match mode with `Read -> Io_stats.add_read t.stats | `Write -> ())
-  | `Rejected ->
-      (* miss: fetch (reads only; a write miss models an append) and,
-         for policies that admit on fill, make the page resident *)
-      (match mode with `Read -> Io_stats.add_read t.stats | `Write -> ());
-      if Minirel_cache.Policy.admit_on_fill t.policy then
-        Minirel_cache.Policy.admit t.policy key);
-  match mode with `Write -> Hashtbl.replace t.dirty key () | `Read -> ()
+  locked t (fun () ->
+      (match Minirel_cache.Policy.reference t.policy key with
+      | `Resident -> ()
+      | `Admitted ->
+          (* 2Q ghost promotion: the page was not held, so it is fetched now *)
+          (match mode with `Read -> Io_stats.add_read t.stats | `Write -> ())
+      | `Rejected ->
+          (* miss: fetch (reads only; a write miss models an append) and,
+             for policies that admit on fill, make the page resident *)
+          (match mode with `Read -> Io_stats.add_read t.stats | `Write -> ());
+          if Minirel_cache.Policy.admit_on_fill t.policy then
+            Minirel_cache.Policy.admit t.policy key);
+      match mode with `Write -> Hashtbl.replace t.dirty key () | `Read -> ())
 
 let flush t =
-  Hashtbl.iter (fun _ () -> Io_stats.add_write t.stats) t.dirty;
-  Hashtbl.reset t.dirty
+  locked t (fun () ->
+      Hashtbl.iter (fun _ () -> Io_stats.add_write t.stats) t.dirty;
+      Hashtbl.reset t.dirty)
 
 (* Drop every resident page of [file], without write-back accounting;
    used when a relation is rebuilt from scratch. *)
 let invalidate_file t ~file =
-  let doomed = ref [] in
-  Minirel_cache.Policy.iter t.policy (fun ((f, _) as key) ->
-      if f = file then doomed := key :: !doomed);
-  List.iter
-    (fun key ->
-      Minirel_cache.Policy.remove t.policy key;
-      Hashtbl.remove t.dirty key)
-    !doomed
+  locked t (fun () ->
+      let doomed = ref [] in
+      Minirel_cache.Policy.iter t.policy (fun ((f, _) as key) ->
+          if f = file then doomed := key :: !doomed);
+      List.iter
+        (fun key ->
+          Minirel_cache.Policy.remove t.policy key;
+          Hashtbl.remove t.dirty key)
+        !doomed)

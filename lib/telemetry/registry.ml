@@ -1,15 +1,17 @@
 (* The metrics registry. Counters and histograms are owned here
    (get-or-create, so callers can cache the returned handle and pay one
-   mutable-field update per event); gauges and sources are callbacks
-   evaluated at snapshot time. Sources replace on name collision —
-   when a fresh buffer pool or plan cache takes over a name, the
-   registry follows the live instance. *)
+   atomic or briefly-locked update per event); gauges and sources are
+   callbacks evaluated at snapshot time. Sources replace on name
+   collision — when a fresh buffer pool or plan cache takes over a
+   name, the registry follows the live instance. *)
 
-type counter = { mutable v : int }
+(* Atomic so domains can bump a shared counter handle lock-free; the
+   handle is cached by call sites, so an event costs one fetch-and-add. *)
+type counter = int Atomic.t
 
-let incr c = c.v <- c.v + 1
-let add c n = c.v <- c.v + n
-let counter_value c = c.v
+let incr c = ignore (Atomic.fetch_and_add c 1)
+let add c n = ignore (Atomic.fetch_and_add c n)
+let counter_value c = Atomic.get c
 
 type value =
   | Counter of int
@@ -23,6 +25,11 @@ type t = {
   histograms : (string, Histogram.t) Hashtbl.t;
   gauges : (string, unit -> float) Hashtbl.t;
   mutable sources : (string * source) list;  (* registration order, oldest first *)
+  (* Guards the tables and the source list, not the metric values:
+     registration/lookup is rare, so one mutex suffices; the per-event
+     paths go through the returned handles (atomic counters, internally
+     locked histograms) without touching this lock. *)
+  lock : Mutex.t;
 }
 
 let create () =
@@ -31,59 +38,84 @@ let create () =
     histograms = Hashtbl.create 16;
     gauges = Hashtbl.create 16;
     sources = [];
+    lock = Mutex.create ();
   }
 
 let default = create ()
 
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
 let counter t name =
-  match Hashtbl.find_opt t.counters name with
-  | Some c -> c
-  | None ->
-      if Hashtbl.mem t.histograms name then
-        invalid_arg (Fmt.str "Registry.counter: %s is already a histogram" name);
-      let c = { v = 0 } in
-      Hashtbl.replace t.counters name c;
-      c
+  locked t (fun () ->
+      match Hashtbl.find_opt t.counters name with
+      | Some c -> c
+      | None ->
+          if Hashtbl.mem t.histograms name then
+            invalid_arg (Fmt.str "Registry.counter: %s is already a histogram" name);
+          let c = Atomic.make 0 in
+          Hashtbl.replace t.counters name c;
+          c)
 
 let histogram t name =
-  match Hashtbl.find_opt t.histograms name with
-  | Some h -> h
-  | None ->
-      if Hashtbl.mem t.counters name then
-        invalid_arg (Fmt.str "Registry.histogram: %s is already a counter" name);
-      let h = Histogram.create () in
-      Hashtbl.replace t.histograms name h;
-      h
+  locked t (fun () ->
+      match Hashtbl.find_opt t.histograms name with
+      | Some h -> h
+      | None ->
+          if Hashtbl.mem t.counters name then
+            invalid_arg (Fmt.str "Registry.histogram: %s is already a counter" name);
+          let h = Histogram.create () in
+          Hashtbl.replace t.histograms name h;
+          h)
 
-let register_gauge t name f = Hashtbl.replace t.gauges name f
+let register_gauge t name f = locked t (fun () -> Hashtbl.replace t.gauges name f)
 
 let register_source t ~name ?(reset = fun () -> ()) read =
-  t.sources <-
-    List.filter (fun (n, _) -> n <> name) t.sources @ [ (name, { read; src_reset = reset }) ]
+  locked t (fun () ->
+      t.sources <-
+        List.filter (fun (n, _) -> n <> name) t.sources
+        @ [ (name, { read; src_reset = reset }) ])
 
-let unregister_source t ~name = t.sources <- List.filter (fun (n, _) -> n <> name) t.sources
+let unregister_source t ~name =
+  locked t (fun () -> t.sources <- List.filter (fun (n, _) -> n <> name) t.sources)
 
-let source_names t = List.sort String.compare (List.map fst t.sources)
+let source_names t =
+  locked t (fun () -> List.sort String.compare (List.map fst t.sources))
 
 let snapshot t =
+  (* Collect handles under the lock, evaluate callbacks outside it: a
+     gauge or source read may itself touch the registry. *)
+  let counters, histograms, gauges, sources =
+    locked t (fun () ->
+        ( Hashtbl.fold (fun name c acc -> (name, c) :: acc) t.counters [],
+          Hashtbl.fold (fun name h acc -> (name, h) :: acc) t.histograms [],
+          Hashtbl.fold (fun name g acc -> (name, g) :: acc) t.gauges [],
+          t.sources ))
+  in
   let own =
-    Hashtbl.fold (fun name c acc -> (name, Counter c.v) :: acc) t.counters []
-    |> Hashtbl.fold (fun name h acc -> (name, Histogram (Histogram.summary h)) :: acc)
-         t.histograms
-    |> Hashtbl.fold (fun name g acc -> (name, Gauge (g ())) :: acc) t.gauges
+    List.map (fun (name, c) -> (name, Counter (Atomic.get c))) counters
+    @ List.map (fun (name, h) -> (name, Histogram (Histogram.summary h))) histograms
+    @ List.map (fun (name, g) -> (name, Gauge (g ()))) gauges
   in
   let sourced =
     List.concat_map
       (fun (src, { read; _ }) ->
         List.map (fun (name, v) -> (src ^ "." ^ name, v)) (read ()))
-      t.sources
+      sources
   in
   List.sort (fun (a, _) (b, _) -> String.compare a b) (own @ sourced)
 
 let reset t =
-  Hashtbl.iter (fun _ c -> c.v <- 0) t.counters;
-  Hashtbl.iter (fun _ h -> Histogram.reset h) t.histograms;
-  List.iter (fun (_, s) -> s.src_reset ()) t.sources
+  let counters, histograms, sources =
+    locked t (fun () ->
+        ( Hashtbl.fold (fun _ c acc -> c :: acc) t.counters [],
+          Hashtbl.fold (fun _ h acc -> h :: acc) t.histograms [],
+          t.sources ))
+  in
+  List.iter (fun c -> Atomic.set c 0) counters;
+  List.iter Histogram.reset histograms;
+  List.iter (fun (_, s) -> s.src_reset ()) sources
 
 let find snapshot name = List.assoc_opt name snapshot
 

@@ -1,8 +1,10 @@
 (* The process-wide telemetry facade. *)
 
-let enabled = ref true
-let set_enabled on = enabled := on
-let is_enabled () = !enabled
+(* Atomic, not a ref: the flag is read on every event from every
+   domain, and a plain ref write would be unsynchronised. *)
+let enabled = Atomic.make true
+let set_enabled on = Atomic.set enabled on
+let is_enabled () = Atomic.get enabled
 
 let now_ns () = Monotonic_clock.now ()
 
@@ -13,7 +15,8 @@ let reset () =
   Registry.reset Registry.default;
   Tracer.clear Tracer.default
 
-let trace_start name = if !enabled then Tracer.start Tracer.default name else None
+let trace_start name =
+  if Atomic.get enabled then Tracer.start Tracer.default name else None
 let trace_finish trace = Tracer.finish Tracer.default trace
 let force_next_trace () = Tracer.force_next Tracer.default
 let last_trace () = Tracer.last Tracer.default

@@ -4,28 +4,46 @@
    microscope (the tree) cheap enough to leave enabled. *)
 
 type t = {
-  mutable every : int;
-  mutable tick : int;
-  mutable force : bool;
+  every : int Atomic.t;
+  tick : int Atomic.t;
+  force : bool Atomic.t;
   mutable keep : int;
   mutable retained : Span.trace list;  (* most recent first, length <= keep *)
+  (* The default tracer is shared by every engine scope, so parallel
+     shard tasks race on the retained ring; the sampling decision in
+     {!start} is the per-span hot path and stays lock-free on atomics
+     so concurrent spans never serialise on a tracer mutex. *)
+  lock : Mutex.t;
 }
 
 let create ?(sample_every = 16) ?(keep = 8) () =
-  { every = max 1 sample_every; tick = 0; force = false; keep = max 1 keep; retained = [] }
+  {
+    every = Atomic.make (max 1 sample_every);
+    tick = Atomic.make 0;
+    force = Atomic.make false;
+    keep = max 1 keep;
+    retained = [];
+    lock = Mutex.create ();
+  }
 
 let default = create ()
 
-let set_sampling t ~every = t.every <- max 1 every
-let sampling t = t.every
-let force_next t = t.force <- true
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let set_sampling t ~every = Atomic.set t.every (max 1 every)
+let sampling t = Atomic.get t.every
+let force_next t = Atomic.set t.force true
 
 let start t name =
-  t.tick <- t.tick + 1;
-  if t.force || t.tick mod t.every = 0 then begin
-    t.force <- false;
-    Some (Span.start name)
-  end
+  let tick = Atomic.fetch_and_add t.tick 1 + 1 in
+  let forced =
+    (* the get is the common no-force path; the CAS makes a pending
+       force fire exactly once under contention *)
+    Atomic.get t.force && Atomic.compare_and_set t.force true false
+  in
+  if forced || tick mod Atomic.get t.every = 0 then Some (Span.start name)
   else None
 
 let rec take n = function
@@ -35,12 +53,14 @@ let rec take n = function
 
 let finish t trace =
   Span.finish trace;
-  t.retained <- take t.keep (trace :: t.retained)
+  locked t (fun () -> t.retained <- take t.keep (trace :: t.retained))
 
-let last t = match t.retained with [] -> None | tr :: _ -> Some tr
-let recent t = t.retained
+let last t =
+  locked t (fun () -> match t.retained with [] -> None | tr :: _ -> Some tr)
+
+let recent t = locked t (fun () -> t.retained)
 
 let clear t =
-  t.tick <- 0;
-  t.force <- false;
-  t.retained <- []
+  Atomic.set t.tick 0;
+  Atomic.set t.force false;
+  locked t (fun () -> t.retained <- [])

@@ -68,7 +68,7 @@ let value_of_rank r = Value.Int (r + 1)
 
 (* [count] distinct values drawn Zipf-skewed from [zipf]. *)
 let draw_values zipf rng ~count =
-  List.map value_of_rank (Split_mix.distinct rng ~n:count (Zipf.sample zipf))
+  List.map value_of_rank (Minirel_prng.Split_mix.distinct rng ~n:count (Zipf.sample zipf))
 
 (* A T1 query with e dates and f suppliers (h = e*f). *)
 let gen_t1 compiled ~dates_zipf ~supp_zipf ~e ~f rng =

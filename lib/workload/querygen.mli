@@ -13,25 +13,25 @@ val t2_spec : Template.spec
 val value_of_rank : int -> Value.t
 
 (** [count] distinct Zipf-skewed values. *)
-val draw_values : Zipf.t -> Split_mix.t -> count:int -> Value.t list
+val draw_values : Zipf.t -> Minirel_prng.Split_mix.t -> count:int -> Value.t list
 
 (** A T1 query with [e] dates and [f] suppliers. *)
 val gen_t1 :
   Template.compiled -> dates_zipf:Zipf.t -> supp_zipf:Zipf.t -> e:int -> f:int ->
-  Split_mix.t -> Instance.t
+  Minirel_prng.Split_mix.t -> Instance.t
 
 (** A T2 query with [e] dates, [f] suppliers, [g] nations. *)
 val gen_t2 :
   Template.compiled -> dates_zipf:Zipf.t -> supp_zipf:Zipf.t -> nation_zipf:Zipf.t ->
-  e:int -> f:int -> g:int -> Split_mix.t -> Instance.t
+  e:int -> f:int -> g:int -> Minirel_prng.Split_mix.t -> Instance.t
 
 (** Zipf-anchored disjoint interval chunks over a grid: [count] chunks
     of [span] consecutive basic intervals each. *)
 val draw_intervals :
-  Discretize.t -> Zipf.t -> Split_mix.t -> count:int -> span:int -> Interval.t list
+  Discretize.t -> Zipf.t -> Minirel_prng.Split_mix.t -> count:int -> span:int -> Interval.t list
 
 (** One query for any compiled template: [counts.(i)] values (equality
     form) or single-basic-interval pieces (interval form) per Ci, drawn
     from [zipfs.(i)]. *)
 val gen_generic :
-  Template.compiled -> zipfs:Zipf.t array -> counts:int array -> Split_mix.t -> Instance.t
+  Template.compiled -> zipfs:Zipf.t array -> counts:int array -> Minirel_prng.Split_mix.t -> Instance.t

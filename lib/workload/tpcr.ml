@@ -92,7 +92,7 @@ let pad_string params n = if params.pad then String.make n 'x' else ""
 (* Populate the three relations plus the paper's indexes ("an index on
    each selection/join attribute"). Returns the row counts. *)
 let generate catalog params =
-  let rng = Split_mix.create ~seed:params.seed in
+  let rng = Minirel_prng.Split_mix.create ~seed:params.seed in
   let c = counts_of_scale params.scale in
   let nation_zipf = Zipf.create ~n:params.n_nations ~alpha:params.nation_alpha in
   let _ = Catalog.create_relation catalog customer_schema in
@@ -105,7 +105,7 @@ let generate catalog params =
          [|
            Value.Int custkey;
            Value.Int (Zipf.sample nation_zipf rng);
-           Value.Float (float_of_int (Split_mix.int rng ~bound:1_000_000) /. 100.0);
+           Value.Float (float_of_int (Minirel_prng.Split_mix.int rng ~bound:1_000_000) /. 100.0);
            cust_pad;
          |])
   done;
@@ -121,8 +121,8 @@ let generate catalog params =
            [|
              Value.Int ok;
              Value.Int custkey;
-             Value.Int (Split_mix.int_range rng ~lo:1 ~hi:params.n_dates);
-             Value.Float (float_of_int (Split_mix.int rng ~bound:50_000_000) /. 100.0);
+             Value.Int (Minirel_prng.Split_mix.int_range rng ~lo:1 ~hi:params.n_dates);
+             Value.Float (float_of_int (Minirel_prng.Split_mix.int rng ~bound:50_000_000) /. 100.0);
              ord_pad;
            |]);
       for linenumber = 1 to 4 do
@@ -130,10 +130,10 @@ let generate catalog params =
           (Catalog.insert catalog ~rel:"lineitem"
              [|
                Value.Int ok;
-               Value.Int (Split_mix.int_range rng ~lo:1 ~hi:params.n_suppliers);
+               Value.Int (Minirel_prng.Split_mix.int_range rng ~lo:1 ~hi:params.n_suppliers);
                Value.Int linenumber;
-               Value.Int (Split_mix.int_range rng ~lo:1 ~hi:50);
-               Value.Float (float_of_int (Split_mix.int rng ~bound:10_000_000) /. 100.0);
+               Value.Int (Minirel_prng.Split_mix.int_range rng ~lo:1 ~hi:50);
+               Value.Float (float_of_int (Minirel_prng.Split_mix.int rng ~bound:10_000_000) /. 100.0);
                li_pad;
              |])
       done

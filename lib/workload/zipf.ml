@@ -29,7 +29,7 @@ let pmf t i =
 
 (* Rank sampled according to the distribution. *)
 let sample t rng =
-  let u = Split_mix.float rng in
+  let u = Minirel_prng.Split_mix.float rng in
   let lo = ref 0 and hi = ref (Array.length t.cum - 1) in
   while !lo < !hi do
     let mid = (!lo + !hi) / 2 in

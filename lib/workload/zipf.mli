@@ -11,7 +11,7 @@ val create : n:int -> alpha:float -> t
 val n : t -> int
 val alpha : t -> float
 val pmf : t -> int -> float
-val sample : t -> Split_mix.t -> int
+val sample : t -> Minirel_prng.Split_mix.t -> int
 
 (** Smallest number of top ranks holding at least [mass] probability
     (e.g. the paper: alpha=1.07 -> 10% of 1M ranks hold 90%). *)

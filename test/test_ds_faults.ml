@@ -68,9 +68,9 @@ let test_self_eviction_tiny_capacity () =
   Helpers.build_rs catalog;
   let c = Template.compile catalog Helpers.eqt_spec in
   let view = View.create ~capacity:2 ~f_max:1 ~name:"tiny" c in
-  let rng = Minirel_workload.Split_mix.create ~seed:5 in
+  let rng = Minirel_prng.Split_mix.create ~seed:5 in
   for _ = 1 to 40 do
-    let module SM = Minirel_workload.Split_mix in
+    let module SM = Minirel_prng.Split_mix in
     let fs = SM.distinct rng ~n:3 (fun r -> SM.int r ~bound:10) in
     let gs = SM.distinct rng ~n:3 (fun r -> SM.int r ~bound:8) in
     let inst =

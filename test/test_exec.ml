@@ -101,11 +101,11 @@ let test_project () =
 let test_planner_vs_brute_force () =
   let catalog = setup () in
   let c = Template.compile catalog Helpers.eqt_spec in
-  let rng = Minirel_workload.Split_mix.create ~seed:3 in
+  let rng = Minirel_prng.Split_mix.create ~seed:3 in
   for _ = 1 to 25 do
-    let f1 = Minirel_workload.Split_mix.int rng ~bound:10 in
-    let f2 = (f1 + 1 + Minirel_workload.Split_mix.int rng ~bound:8) mod 10 in
-    let g1 = Minirel_workload.Split_mix.int rng ~bound:8 in
+    let f1 = Minirel_prng.Split_mix.int rng ~bound:10 in
+    let f2 = (f1 + 1 + Minirel_prng.Split_mix.int rng ~bound:8) mod 10 in
+    let g1 = Minirel_prng.Split_mix.int rng ~bound:8 in
     let inst =
       Instance.make c [| Instance.Dvalues [ vi f1; vi f2 ]; Instance.Dvalues [ vi g1 ] |]
     in

@@ -94,7 +94,7 @@ let prop_random_template_equivalence =
         (pair (int_range 0 9) (list_size (int_range 1 3) (int_range 0 9))))
     (fun (n_rels, rows, n_join, n_sel, (seed, sel_vals)) ->
       let catalog = Helpers.fresh_catalog () in
-      let rng = Minirel_workload.Split_mix.create ~seed in
+      let rng = Minirel_prng.Split_mix.create ~seed in
       (* chain schema: rel_i(j_prev, j_next, sel, payload) *)
       for i = 0 to n_rels - 1 do
         let sch =
@@ -110,9 +110,9 @@ let prop_random_template_equivalence =
             (Minirel_index.Catalog.insert catalog
                ~rel:(Fmt.str "rel%d" i)
                [|
-                 vi (Minirel_workload.Split_mix.int rng ~bound:n_join);
-                 vi (Minirel_workload.Split_mix.int rng ~bound:n_join);
-                 vi (Minirel_workload.Split_mix.int rng ~bound:n_sel);
+                 vi (Minirel_prng.Split_mix.int rng ~bound:n_join);
+                 vi (Minirel_prng.Split_mix.int rng ~bound:n_join);
+                 vi (Minirel_prng.Split_mix.int rng ~bound:n_sel);
                  vi r;
                |])
         done;

@@ -121,8 +121,8 @@ let test_catalog_validate () =
   (* a healthy catalog validates *)
   Catalog.validate catalog;
   (* random mutations keep it healthy *)
-  let rng = Minirel_workload.Split_mix.create ~seed:9 in
-  let module SM = Minirel_workload.Split_mix in
+  let rng = Minirel_prng.Split_mix.create ~seed:9 in
+  let module SM = Minirel_prng.Split_mix in
   for _ = 1 to 60 do
     (match SM.int rng ~bound:3 with
     | 0 ->

@@ -13,7 +13,7 @@ module Txn = Minirel_txn.Txn
 module Tpcr = Minirel_workload.Tpcr
 module Querygen = Minirel_workload.Querygen
 module Zipf = Minirel_workload.Zipf
-module SM = Minirel_workload.Split_mix
+module SM = Minirel_prng.Split_mix
 
 let check = Alcotest.check
 let vi i = Value.Int i

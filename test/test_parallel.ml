@@ -1,0 +1,232 @@
+(* Domain pool and SPSC queue semantics, the parallel shard fan-out
+   against the sequential oracle (multiset + DS identity and
+   tuple-for-tuple order identity), morsel-parallel executor cursors
+   against sequential ones, and domain-safety of the shared telemetry
+   and PRNG touchpoints under real contention. *)
+
+open Minirel_storage
+open Minirel_query
+module Pool = Minirel_parallel.Pool
+module Spsc = Minirel_parallel.Spsc
+module Router = Minirel_engine.Shard_router
+module Check = Minirel_check.Check
+module Registry = Minirel_telemetry.Registry
+module Histogram = Minirel_telemetry.Histogram
+module Plan = Minirel_exec.Plan
+module Executor = Minirel_exec.Executor
+module SM = Minirel_prng.Split_mix
+
+let check = Alcotest.check
+let vi i = Value.Int i
+
+let with_pool ~domains f =
+  let pool = Pool.create ~domains in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+(* --- pool --- *)
+
+let test_pool_map () =
+  with_pool ~domains:3 @@ fun pool ->
+  let input = Array.init 50 Fun.id in
+  check
+    (Alcotest.array Alcotest.int)
+    "results keep their index"
+    (Array.map (fun x -> x * x) input)
+    (Pool.map pool (fun x -> x * x) input);
+  check (Alcotest.array Alcotest.int) "empty input" [||] (Pool.map pool Fun.id [||]);
+  check Alcotest.int "size" 3 (Pool.size pool)
+
+let test_pool_map_exn () =
+  with_pool ~domains:2 @@ fun pool ->
+  let f x = if x = 4 || x = 7 then failwith (string_of_int x) else x in
+  check Alcotest.bool "lowest-index exception re-raises" true
+    (match Pool.map pool f (Array.init 10 Fun.id) with
+    | _ -> false
+    | exception Failure m -> m = "4")
+
+let test_pool_nested_map () =
+  (* map from inside a worker runs inline instead of deadlocking on a
+     queue only this worker could drain *)
+  with_pool ~domains:1 @@ fun pool ->
+  let outer =
+    Pool.map pool
+      (fun x -> Array.fold_left ( + ) 0 (Pool.map pool (fun y -> x * y) [| 1; 2; 3 |]))
+      [| 1; 10 |]
+  in
+  check (Alcotest.array Alcotest.int) "nested totals" [| 6; 60 |] outer
+
+let test_pool_run_all () =
+  with_pool ~domains:4 @@ fun pool ->
+  let hits = Atomic.make 0 in
+  Pool.run_all pool (List.init 32 (fun _ () -> Atomic.incr hits));
+  check Alcotest.int "every thunk ran" 32 (Atomic.get hits)
+
+let test_pool_shutdown () =
+  let pool = Pool.create ~domains:2 in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  check Alcotest.int "size after shutdown" 0 (Pool.size pool);
+  check Alcotest.bool "submit after shutdown raises" true
+    (match Pool.submit pool (fun () -> ()) with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+(* --- spsc --- *)
+
+let test_spsc_order () =
+  (* capacity far below the item count: the producer domain blocks on
+     full, the consumer on empty; FIFO order survives both *)
+  let q = Spsc.create ~capacity:4 in
+  check Alcotest.int "capacity" 4 (Spsc.capacity q);
+  let n = 500 in
+  let producer = Domain.spawn (fun () -> for i = 0 to n - 1 do Spsc.push q i done) in
+  let out = List.init n (fun _ -> Spsc.pop q) in
+  Domain.join producer;
+  check (Alcotest.list Alcotest.int) "fifo" (List.init n Fun.id) out;
+  check Alcotest.int "drained" 0 (Spsc.length q)
+
+(* --- parallel fan-out vs the sequential oracle --- *)
+
+let make_router ~shards =
+  let reference = Helpers.fresh_catalog () in
+  Helpers.build_rs reference;
+  let router = Router.create ~shards () in
+  Router.declare router Helpers.r_schema ~part:(`Hash "c");
+  Router.declare router Helpers.s_schema ~part:(`Hash "d");
+  Router.load_from router reference;
+  let compiled = Template.compile reference Helpers.eqt_spec in
+  ignore (Router.create_view ~capacity:64 router compiled);
+  (reference, router, compiled)
+
+let inst c ~fs ~gs =
+  let dvs l = Instance.Dvalues (List.map vi (List.sort_uniq compare l)) in
+  Instance.make c [| dvs fs; dvs gs |]
+
+let stream router q =
+  let out = ref [] in
+  let stats, _ = Router.answer router q ~on_tuple:(fun p t -> out := (p, t) :: !out) in
+  (List.rev !out, stats)
+
+let same_stream a b =
+  List.equal (fun (p1, t1) (p2, t2) -> p1 = p2 && Tuple.equal t1 t2) a b
+
+(* Cold then warm: the parallel merged stream must be tuple-for-tuple
+   (and phase-for-phase) the sequential router's, oracle-clean with
+   the DS identity intact under summation. *)
+let prop_parallel_fanout =
+  QCheck2.Test.make ~name:"parallel fan-out == sequential oracle" ~count:20
+    QCheck2.Gen.(
+      quad (int_range 1 4) (int_range 1 4)
+        (list_size (int_range 1 3) (int_range 0 9))
+        (list_size (int_range 1 3) (int_range 0 7)))
+    (fun (shards, domains, fs, gs) ->
+      let reference, seq_router, seq_c = make_router ~shards in
+      let _, par_router, par_c = make_router ~shards in
+      with_pool ~domains @@ fun pool ->
+      Router.set_parallel par_router (Some pool);
+      let rounds =
+        List.for_all
+          (fun () ->
+            let seq_out, _ = stream seq_router (inst seq_c ~fs ~gs) in
+            let q = inst par_c ~fs ~gs in
+            let par_out, _ = stream par_router q in
+            same_stream seq_out par_out
+            && Check.report_ok
+                 (Check.check_answer_via
+                    ~expected:(Check.ground_truth reference q)
+                    (fun ~on_tuple -> fst (Router.answer par_router q ~on_tuple))))
+          [ (); () ]
+      in
+      rounds)
+
+(* --- morsel-parallel executor cursors --- *)
+
+let test_morsel_cursors () =
+  let catalog = Helpers.fresh_catalog () in
+  Helpers.build_rs ~n_r:600 ~n_s:300 catalog;
+  with_pool ~domains:3 @@ fun pool ->
+  let plans =
+    [
+      ("scan", Plan.Scan { rel = "r"; pred = Predicate.Cmp (Predicate.Eq, 2, vi 3) });
+      ("scan-all", Plan.Scan { rel = "s"; pred = Predicate.True });
+      ( "hash-join over scan",
+        Plan.Hash_join
+          {
+            outer = Plan.Scan { rel = "r"; pred = Predicate.Cmp (Predicate.Eq, 2, vi 1) };
+            rel = "s";
+            outer_key = [| 1 |];
+            inner_key = [| 0 |];
+            pred = Predicate.True;
+          } );
+      ( "projected join",
+        Plan.Project
+          ( [| 0; 4 |],
+            Plan.Hash_join
+              {
+                outer = Plan.Scan { rel = "r"; pred = Predicate.True };
+                rel = "s";
+                outer_key = [| 1 |];
+                inner_key = [| 0 |];
+                pred = Predicate.Cmp (Predicate.Eq, 1, vi 2);
+              } ) );
+    ]
+  in
+  List.iter
+    (fun (name, plan) ->
+      let seq = Executor.run_to_list catalog plan in
+      let par = Executor.run_to_list ~par:pool catalog plan in
+      check Alcotest.bool (name ^ ": non-trivial") true (seq <> []);
+      check Alcotest.bool (name ^ ": identical order") true
+        (List.equal Tuple.equal seq par))
+    plans
+
+(* --- domain-safety of shared touchpoints --- *)
+
+let test_telemetry_contention () =
+  with_pool ~domains:4 @@ fun pool ->
+  let reg = Registry.create () in
+  let c = Registry.counter reg "hammered" in
+  let h = Registry.histogram reg "latency" in
+  let per_task = 20_000 in
+  Pool.run_all pool
+    (List.init 4 (fun k () ->
+         for i = 1 to per_task do
+           Registry.incr c;
+           if i mod 100 = 0 then Registry.add c 2;
+           Histogram.record h (Int64.of_int ((k * per_task) + i));
+           if i mod 1_000 = 0 then ignore (Histogram.quantile h 0.5)
+         done));
+  check Alcotest.int "counter exact" (4 * (per_task + (per_task / 100 * 2)))
+    (Registry.counter_value c);
+  check Alcotest.int "histogram count exact" (4 * per_task) (Histogram.count h)
+
+let test_prng_split () =
+  let a = SM.create ~seed:7 and b = SM.create ~seed:7 in
+  let ca = SM.split a and cb = SM.split b in
+  check Alcotest.bool "split streams deterministic" true
+    (List.init 20 (fun _ -> SM.next_int64 ca)
+    = List.init 20 (fun _ -> SM.next_int64 cb));
+  (* parent advanced identically on both sides, and the child stream
+     is not the parent's *)
+  check Alcotest.bool "parents stay in lockstep" true
+    (SM.next_int64 a = SM.next_int64 b);
+  let p = SM.create ~seed:7 in
+  let child = SM.split p in
+  check Alcotest.bool "child differs from parent" true
+    (List.init 8 (fun _ -> SM.next_int64 child)
+    <> List.init 8 (fun _ -> SM.next_int64 p))
+
+let suite =
+  [
+    Alcotest.test_case "pool map" `Quick test_pool_map;
+    Alcotest.test_case "pool map exception" `Quick test_pool_map_exn;
+    Alcotest.test_case "pool nested map" `Quick test_pool_nested_map;
+    Alcotest.test_case "pool run_all" `Quick test_pool_run_all;
+    Alcotest.test_case "pool shutdown" `Quick test_pool_shutdown;
+    Alcotest.test_case "spsc order across domains" `Quick test_spsc_order;
+    QCheck_alcotest.to_alcotest prop_parallel_fanout;
+    Alcotest.test_case "morsel cursors == sequential" `Quick test_morsel_cursors;
+    Alcotest.test_case "telemetry exact under contention" `Quick
+      test_telemetry_contention;
+    Alcotest.test_case "prng split determinism" `Quick test_prng_split;
+  ]

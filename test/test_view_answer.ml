@@ -22,7 +22,7 @@ let setup ?(policy = Policies.Clock) ?(capacity = 30) ?(f_max = 2) ?(aux = true)
   (catalog, c, view)
 
 let random_instance c rng =
-  let module SM = Minirel_workload.Split_mix in
+  let module SM = Minirel_prng.Split_mix in
   let e = 1 + SM.int rng ~bound:3 and f = 1 + SM.int rng ~bound:3 in
   let fs = SM.distinct rng ~n:e (fun r -> SM.int r ~bound:10) in
   let gs = SM.distinct rng ~n:f (fun r -> SM.int r ~bound:8) in
@@ -34,7 +34,7 @@ let random_instance c rng =
 
 let test_answer_equals_plain () =
   let catalog, c, view = setup () in
-  let rng = Minirel_workload.Split_mix.create ~seed:11 in
+  let rng = Minirel_prng.Split_mix.create ~seed:11 in
   for _ = 1 to 60 do
     let inst = random_instance c rng in
     let got, partial, stats = Helpers.collect_answer ~view catalog inst in
@@ -63,8 +63,8 @@ let test_answer_interval_template () =
   let grid = Discretize.of_cuts (List.init 11 (fun i -> vi (i * 10))) in
   let c = Template.compile catalog (Helpers.eqt_interval_spec ~grid) in
   let view = View.create ~capacity:40 ~f_max:3 ~name:"eqt_iv" c in
-  let rng = Minirel_workload.Split_mix.create ~seed:12 in
-  let module SM = Minirel_workload.Split_mix in
+  let rng = Minirel_prng.Split_mix.create ~seed:12 in
+  let module SM = Minirel_prng.Split_mix in
   for _ = 1 to 40 do
     let f = SM.int rng ~bound:10 in
     let a = SM.int rng ~bound:110 and len = 1 + SM.int rng ~bound:35 in
@@ -114,7 +114,7 @@ let test_duplicates_exactly_once () =
 
 let test_f_bound_respected () =
   let catalog, c, view = setup ~capacity:10 ~f_max:1 () in
-  let rng = Minirel_workload.Split_mix.create ~seed:13 in
+  let rng = Minirel_prng.Split_mix.create ~seed:13 in
   for _ = 1 to 40 do
     ignore (Helpers.collect_answer ~view catalog (random_instance c rng))
   done;
@@ -125,7 +125,7 @@ let test_f_bound_respected () =
 
 let test_two_q_view () =
   let catalog, c, view = setup ~policy:Policies.Two_q ~capacity:20 () in
-  let rng = Minirel_workload.Split_mix.create ~seed:14 in
+  let rng = Minirel_prng.Split_mix.create ~seed:14 in
   for _ = 1 to 80 do
     let inst = random_instance c rng in
     let got, _, _ = Helpers.collect_answer ~view catalog inst in
@@ -159,7 +159,7 @@ let test_locking_protocol () =
   | exception Failure _ -> ())
 
 let run_mixed_txns mgr rng n =
-  let module SM = Minirel_workload.Split_mix in
+  let module SM = Minirel_prng.Split_mix in
   for _ = 1 to n do
     let k = SM.int rng ~bound:40 in
     let change =
@@ -187,7 +187,7 @@ let test_consistency_under_maintenance strategy () =
   let catalog, c, view = setup ~capacity:50 ~f_max:3 () in
   let mgr = Txn.create catalog in
   Maintain.attach ~strategy ~use_locks:false view mgr;
-  let rng = Minirel_workload.Split_mix.create ~seed:15 in
+  let rng = Minirel_prng.Split_mix.create ~seed:15 in
   for round = 1 to 30 do
     (* warm the PMV *)
     let inst = random_instance c rng in
@@ -211,7 +211,7 @@ let test_update_irrelevant_attr_skips_maintenance () =
   let catalog, c, view = setup ~capacity:50 () in
   let mgr = Txn.create catalog in
   Maintain.attach ~use_locks:false view mgr;
-  let rng = Minirel_workload.Split_mix.create ~seed:16 in
+  let rng = Minirel_prng.Split_mix.create ~seed:16 in
   for _ = 1 to 20 do
     ignore (Helpers.collect_answer ~view catalog (random_instance c rng))
   done;

@@ -1,6 +1,6 @@
 open Minirel_storage
 open Minirel_query
-module Split_mix = Minirel_workload.Split_mix
+module Split_mix = Minirel_prng.Split_mix
 module Zipf = Minirel_workload.Zipf
 module Tpcr = Minirel_workload.Tpcr
 module Querygen = Minirel_workload.Querygen
