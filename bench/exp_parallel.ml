@@ -280,6 +280,7 @@ let run cfg =
   "speedup_applicable": %b,
   "fanout": {
     "shards": 4,
+    "spsc_tuple_batch": %d,
     "runs": [%s],
     "speedup_max_domains": %.3f,
     "overhead_1_domain": %.3f
@@ -293,7 +294,7 @@ let run cfg =
   "oracle_clean": %b
 }
 |}
-      scale cfg.seed cores max_domains speedup_applicable
+      scale cfg.seed cores max_domains speedup_applicable Router.tuple_batch
       (String.concat ", " (List.map json_of_run fanout))
       fanout_speedup fanout_overhead_1
       (String.concat ", " (List.map json_of_run morsel))

@@ -1,4 +1,4 @@
-(* Shard scaling benchmark (DESIGN.md Section 11).
+(* Shard scaling benchmark (DESIGN.md Sections 11 and 13).
 
    Answers the same Zipf T1 query stream through the PMV pipeline at
    1/2/4 hash-partitioned shards, plus a plain single-engine baseline.
@@ -12,29 +12,47 @@
    the template plan cache off, so the join edge executes as an
    index-nested loop over the suppkey posting lists — has per-probe
    cost proportional to partition size, exactly where co-partitioning
-   pays; its speedups are the headline numbers. The probe-bound
-   regime keeps the join-key index, so the inner probe touches only
-   the ~4 matching lineitems regardless of partition size and sharding
-   one core is pure fan-out overhead; it is reported alongside as the
-   honest lower bound and backs the 1-shard no-regression gate.
+   pays; its speedups are the headline numbers and run under the
+   classic Locked read path. The probe-bound regime keeps the join-key
+   index, so the inner probe touches only the ~4 matching lineitems
+   regardless of partition size; historically sharding it was pure
+   fan-out overhead. It now runs under the Epoch read path — the
+   router's shard-local probe fast path serves repeat queries straight
+   from per-shard probe-cache segments, no fan-out — with a Locked A/B
+   run alongside for continuity, and the router's fast-path telemetry
+   (hits, fallbacks, probe-latency p50/p99) embedded per run.
 
    Every configuration answers the identical seeded query stream
    against identically generated data, so the result-multiset checksums
-   must agree, and a sample of merged answers is judged oracle-clean
-   by lib/check (multiset + DS exactly-once identity under summation).
-   Results go to BENCH_shard.json. *)
+   must agree (across shard counts AND across read paths), and a sample
+   of merged answers is judged oracle-clean by lib/check (multiset + DS
+   exactly-once identity under summation). Results go to
+   BENCH_shard.json. *)
 
 open Minirel_storage
 module Catalog = Minirel_index.Catalog
 module Template = Minirel_query.Template
+module Instance = Minirel_query.Instance
 module Engine = Minirel_engine.Engine
 module Router = Minirel_engine.Shard_router
+module Histogram = Minirel_telemetry.Histogram
 module Tpcr = Minirel_workload.Tpcr
 module Querygen = Minirel_workload.Querygen
 module Zipf = Minirel_workload.Zipf
 module SM = Minirel_prng.Split_mix
 
 type cfg = { full : bool; seed : int; scale : float option }
+
+(* Router fast-path telemetry for one timed run (router configs under
+   the Epoch path only). *)
+type probe_tm = {
+  fast_hits : int;  (* queries served without fan-out *)
+  fallbacks : int;  (* queries that missed and fanned out *)
+  seg_probes : int;  (* per-bcp segment probes *)
+  seg_probe_hits : int;
+  probe_p50_ns : int64;
+  probe_p99_ns : int64;
+}
 
 type run_result = {
   label : string;
@@ -46,6 +64,7 @@ type run_result = {
   total_tuples : int;
   checksum : int;
   oracle_clean : bool;  (* sampled merged answers pass lib/check *)
+  probe : probe_tm option;
 }
 
 let fresh_tpcr cfg ~scale =
@@ -55,11 +74,32 @@ let fresh_tpcr cfg ~scale =
   ignore (Tpcr.generate catalog params);
   (catalog, params)
 
-(* One configuration: fresh data, fresh views, same query stream.
-   [shards = 0] is the plain-engine baseline; otherwise a router over
-   [shards] scoped engines, orders/lineitem hash-partitioned by the
-   join key orderkey (co-partitioned, so T1 joins shard-locally). *)
-let run_config cfg ~scale ~per_shard_capacity ~probe_bound ~shards =
+(* One live configuration mid-measurement: the answer closure over its
+   own fresh data, its precomputed query stream, and the accumulators
+   the interleaved segments feed. *)
+type live = {
+  l_label : string;
+  l_shards : int;
+  l_catalog : Catalog.t;
+  l_answer : Instance.t -> on_tuple:(Pmv.Answer.phase -> Tuple.t -> unit) -> Pmv.Answer.stats * bool;
+  l_router : Router.t option;
+  l_instances : Instance.t array;
+  l_gen : SM.t -> Instance.t;
+  mutable l_next : int;  (* cursor into [l_instances] *)
+  mutable l_seg_walls : int64 list;
+  mutable l_checksum : int;
+  mutable l_total_tuples : int;
+  mutable l_pmv_queries : int;
+}
+
+(* Build and warm one configuration: fresh data, fresh views, same
+   query stream. [shards = 0] is the plain-engine baseline; otherwise a
+   router over [shards] scoped engines, orders/lineitem
+   hash-partitioned by the join key orderkey (co-partitioned, so T1
+   joins shard-locally). [probe_path] selects the read path for every
+   answered query. *)
+let setup_config cfg ~scale ~per_shard_capacity ~probe_bound ~probe_path
+    ~n_queries ~shards =
   let catalog, params = fresh_tpcr cfg ~scale in
   (* join-edge regime, identically in every configuration (see the
      header comment): scan-bound drops the join-key index, probe-bound
@@ -67,15 +107,21 @@ let run_config cfg ~scale ~per_shard_capacity ~probe_bound ~shards =
   if not probe_bound then
     Catalog.drop_index catalog ~rel:"lineitem" ~name:"lineitem_orderkey";
   let t1 = Template.compile catalog Querygen.t1_spec in
+  (* Scan-bound isolates join-work scaling, so the skeleton cache is
+     off and every query replans. Probe-bound measures the steady-state
+     serving regime, where the template cache is on in any real
+     deployment — identically for the engine baseline and every router,
+     so the ratios stay apples-to-apples. *)
   let uncache e =
-    Minirel_exec.Plan_cache.set_enabled (Engine.plan_cache e) false
+    Minirel_exec.Plan_cache.set_enabled (Engine.plan_cache e) probe_bound
   in
-  let label, answer =
+  let label, answer, router =
     if shards = 0 then begin
       let engine = Engine.scoped ~catalog () in
       uncache engine;
       ignore (Engine.ensure_view ~capacity:per_shard_capacity ~f_max:3 engine t1);
-      ("engine", fun inst ~on_tuple -> Engine.answer engine inst ~on_tuple)
+      Engine.set_probe_path engine probe_path;
+      ("engine", (fun inst ~on_tuple -> Engine.answer engine inst ~on_tuple), None)
     end
     else begin
       let router = Router.create ~shards () in
@@ -88,8 +134,10 @@ let run_config cfg ~scale ~per_shard_capacity ~probe_bound ~shards =
       Router.load_from router catalog;
       List.iter uncache (Router.shards router);
       ignore (Router.create_view ~capacity:per_shard_capacity ~f_max:3 router t1);
+      Router.set_probe_path router probe_path;
       ( Fmt.str "router%d" shards,
-        fun inst ~on_tuple -> Router.answer router inst ~on_tuple )
+        (fun inst ~on_tuple -> Router.answer router inst ~on_tuple),
+        Some router )
     end
   in
   let dz = Zipf.create ~n:params.Tpcr.n_dates ~alpha:1.07 in
@@ -98,29 +146,81 @@ let run_config cfg ~scale ~per_shard_capacity ~probe_bound ~shards =
     ignore i;
     Querygen.gen_t1 t1 ~dates_zipf:dz ~supp_zipf:sz ~e:2 ~f:2 rng
   in
-  (* warmup: populate the views with the hot working set *)
+  (* warmup: populate the views (and probe caches) with the hot
+     working set. The probe-bound regime measures steady-state serving,
+     and the fast path only fires when every one of a query's h bcps is
+     resident — a joint probability that decays as hit_ratio^h — so it
+     warms until the bcp working set is fully seeded; a 100-query warmup
+     would measure cold-cache behaviour, not the serving regime. *)
   let warm_rng = SM.create ~seed:(cfg.seed + 1) in
   let sink = ref 0 in
-  let n_warm = if cfg.full then 400 else 100 in
+  let n_warm =
+    if probe_bound then if cfg.full then 2_000 else 1_000
+    else if cfg.full then 400
+    else 100
+  in
   for i = 0 to n_warm - 1 do
     ignore (answer (gen warm_rng i) ~on_tuple:(fun _ _ -> incr sink))
   done;
-  (* timed stream *)
-  let n_queries = if cfg.full then 1_200 else 240 in
+  Option.iter Router.reset_probe_stats router;
   let rng = SM.create ~seed:(cfg.seed + 2) in
-  let instances = List.init n_queries (gen rng) in
-  let checksum = ref 0 and total_tuples = ref 0 and pmv_queries = ref 0 in
+  {
+    l_label = label;
+    l_shards = shards;
+    l_catalog = catalog;
+    l_answer = answer;
+    l_router = router;
+    l_instances = Array.init n_queries (fun _ -> gen rng 0);
+    l_gen = (fun rng -> gen rng 0);
+    l_next = 0;
+    l_seg_walls = [];
+    l_checksum = 0;
+    l_total_tuples = 0;
+    l_pmv_queries = 0;
+  }
+
+(* Answer the next [seg_queries] of [l]'s stream, timed as one
+   segment. *)
+let run_segment l ~seg_queries =
   let t0 = Monotonic_clock.now () in
-  List.iter
-    (fun inst ->
-      let _, via_view =
-        answer inst ~on_tuple:(fun _ tuple ->
-            incr total_tuples;
-            checksum := !checksum + Tuple.hash tuple)
-      in
-      if via_view then incr pmv_queries)
-    instances;
-  let wall_ns = Int64.sub (Monotonic_clock.now ()) t0 in
+  for _ = 1 to seg_queries do
+    let inst = l.l_instances.(l.l_next) in
+    l.l_next <- l.l_next + 1;
+    let _, via_view =
+      l.l_answer inst ~on_tuple:(fun _ tuple ->
+          l.l_total_tuples <- l.l_total_tuples + 1;
+          l.l_checksum <- l.l_checksum + Tuple.hash tuple)
+    in
+    if via_view then l.l_pmv_queries <- l.l_pmv_queries + 1
+  done;
+  l.l_seg_walls <- Int64.sub (Monotonic_clock.now ()) t0 :: l.l_seg_walls
+
+(* Close out a configuration: median-segment throughput, fast-path
+   telemetry of the timed stream (before the oracle's extra answers
+   pollute the counters), and the oracle verdict. *)
+let finish_config cfg ~probe_path ~seg_queries l =
+  let wall_ns = List.fold_left Int64.add 0L l.l_seg_walls in
+  let median_seg_wall =
+    let sorted = List.sort Int64.compare l.l_seg_walls in
+    List.nth sorted (List.length sorted / 2)
+  in
+  let qps = float_of_int seg_queries /. (Int64.to_float median_seg_wall /. 1e9) in
+  let probe =
+    match (l.l_router, probe_path) with
+    | Some router, Pmv.Answer.Epoch ->
+        let ps = Router.probe_stats router in
+        let s = Router.probe_summary router in
+        Some
+          {
+            fast_hits = ps.Router.fast_hits;
+            fallbacks = ps.Router.fallbacks;
+            seg_probes = ps.Router.probes;
+            seg_probe_hits = ps.Router.probe_hits;
+            probe_p50_ns = s.Histogram.p50;
+            probe_p99_ns = s.Histogram.p99;
+          }
+    | _ -> None
+  in
   (* oracle: a sample of merged answers must be multiset-equal to the
      reference ground truth with the DS identity intact *)
   let oracle_rng = SM.create ~seed:(cfg.seed + 3) in
@@ -129,40 +229,67 @@ let run_config cfg ~scale ~per_shard_capacity ~probe_bound ~shards =
       (fun inst ->
         Minirel_check.Check.report_ok
           (Minirel_check.Check.check_answer_via
-             ~expected:(Minirel_check.Check.ground_truth catalog inst)
-             (fun ~on_tuple -> fst (answer inst ~on_tuple))))
-      (List.init 8 (gen oracle_rng))
+             ~expected:(Minirel_check.Check.ground_truth l.l_catalog inst)
+             (fun ~on_tuple -> fst (l.l_answer inst ~on_tuple))))
+      (List.init 8 (fun _ -> l.l_gen oracle_rng))
   in
   {
-    label;
-    shards;
-    queries = n_queries;
+    label = l.l_label;
+    shards = l.l_shards;
+    queries = l.l_next;
     wall_ns;
-    qps = float_of_int n_queries /. (Int64.to_float wall_ns /. 1e9);
-    pmv_queries = !pmv_queries;
-    total_tuples = !total_tuples;
-    checksum = !checksum;
+    qps;
+    pmv_queries = l.l_pmv_queries;
+    total_tuples = l.l_total_tuples;
+    checksum = l.l_checksum;
     oracle_clean;
+    probe;
   }
 
 let json_of_run r =
+  let probe =
+    match r.probe with
+    | None -> ""
+    | Some p ->
+        Fmt.str
+          {|, "probe": {"fast_hits": %d, "fallbacks": %d, "seg_probes": %d, "seg_probe_hits": %d, "p50_ns": %Ld, "p99_ns": %Ld}|}
+          p.fast_hits p.fallbacks p.seg_probes p.seg_probe_hits p.probe_p50_ns
+          p.probe_p99_ns
+  in
   Fmt.str
-    {|{"label": %S, "shards": %d, "queries": %d, "wall_ns": %Ld, "queries_per_sec": %.1f, "pmv_queries": %d, "total_tuples": %d, "checksum": %d, "oracle_clean": %b}|}
+    {|{"label": %S, "shards": %d, "queries": %d, "wall_ns": %Ld, "queries_per_sec": %.1f, "pmv_queries": %d, "total_tuples": %d, "checksum": %d, "oracle_clean": %b%s}|}
     r.label r.shards r.queries r.wall_ns r.qps r.pmv_queries r.total_tuples
-    r.checksum r.oracle_clean
+    r.checksum r.oracle_clean probe
 
-(* One regime: all four configurations, the checksum cross-check, the
-   printed table, and the regime's speedup ratios. *)
-let run_regime cfg ~scale ~per_shard_capacity ~probe_bound =
-  Output.row "@.regime: %s@."
+(* One regime under one read path: all four configurations, the
+   checksum cross-check, the printed table, and the regime's speedup
+   ratios. *)
+let run_regime cfg ~scale ~per_shard_capacity ~probe_bound ~probe_path =
+  Output.row "@.regime: %s [%s probes]@."
     (if probe_bound then
-       "probe-bound (join-key index kept — sharding is pure fan-out overhead)"
-     else "scan-bound (join-key index dropped — co-partitioning shrinks join work)");
-  let runs =
+       "probe-bound (join-key index kept — fast path serves repeats without fan-out)"
+     else "scan-bound (join-key index dropped — co-partitioning shrinks join work)")
+    (Pmv.Answer.probe_path_to_string probe_path);
+  (* The gated ratios divide throughputs of different configurations,
+     so the measurements must be paired: every configuration is built
+     and warmed first, then segment k of every configuration runs back
+     to back, and each configuration reports its median segment. Slow
+     machine drift lands on all configurations alike instead of
+     swinging a ratio by whichever config it happened to hit. *)
+  let n_segments = if probe_bound then 3 else 1 in
+  let seg_queries = if cfg.full then 1_200 else if probe_bound then 600 else 240 in
+  let n_queries = n_segments * seg_queries in
+  let lives =
     List.map
-      (fun shards -> run_config cfg ~scale ~per_shard_capacity ~probe_bound ~shards)
+      (fun shards ->
+        setup_config cfg ~scale ~per_shard_capacity ~probe_bound ~probe_path
+          ~n_queries ~shards)
       [ 0; 1; 2; 4 ]
   in
+  for _ = 1 to n_segments do
+    List.iter (fun l -> run_segment l ~seg_queries) lives
+  done;
+  let runs = List.map (finish_config cfg ~probe_path ~seg_queries) lives in
   let baseline = List.hd runs in
   List.iter
     (fun r ->
@@ -172,13 +299,18 @@ let run_regime cfg ~scale ~per_shard_capacity ~probe_bound =
           r.label r.total_tuples baseline.total_tuples r.checksum
           baseline.checksum)
     (List.tl runs);
-  Output.row "%-9s %-7s %-9s %-12s %-9s %-9s %-8s@." "config" "shards" "queries"
-    "queries/s" "via-pmv" "tuples" "oracle";
+  Output.row "%-9s %-7s %-9s %-12s %-9s %-9s %-8s %s@." "config" "shards" "queries"
+    "queries/s" "via-pmv" "tuples" "oracle" "fast-path";
   List.iter
     (fun r ->
-      Output.row "%-9s %-7d %-9d %-12.1f %-9d %-9d %-8s@." r.label r.shards
+      Output.row "%-9s %-7d %-9d %-12.1f %-9d %-9d %-8s %s@." r.label r.shards
         r.queries r.qps r.pmv_queries r.total_tuples
-        (if r.oracle_clean then "clean" else "VIOLATED"))
+        (if r.oracle_clean then "clean" else "VIOLATED")
+        (match r.probe with
+        | None -> "-"
+        | Some p ->
+            Fmt.str "%d hit / %d fb, probe p50 %Ldns p99 %Ldns" p.fast_hits
+              p.fallbacks p.probe_p50_ns p.probe_p99_ns))
     runs;
   let find s = List.find (fun r -> r.shards = s) runs in
   let speedup_4 = (find 4).qps /. (find 1).qps in
@@ -192,18 +324,40 @@ let run cfg =
     ~title:"answer() throughput at 1/2/4 hash-partitioned shards"
     ~paper:
       "(extension) co-partitioned shards: each O3 joins its own 1/N \
-       partitions, so total join work shrinks with the shard count";
+       partitions, so total join work shrinks with the shard count; the \
+       epoch probe fast path makes the probe-bound regime scale too";
   let scale = Option.value cfg.scale ~default:(if cfg.full then 0.01 else 0.003) in
   let per_shard_capacity = if cfg.full then 400 else 200 in
   let scan_runs, speedup_4, one_shard_ratio =
     run_regime cfg ~scale ~per_shard_capacity ~probe_bound:false
+      ~probe_path:Pmv.Answer.Locked
   in
   let probe_runs, probe_speedup_4, probe_one_shard_ratio =
     run_regime cfg ~scale ~per_shard_capacity ~probe_bound:true
+      ~probe_path:Pmv.Answer.Epoch
   in
+  let locked_runs, locked_speedup_4, locked_one_shard_ratio =
+    run_regime cfg ~scale ~per_shard_capacity ~probe_bound:true
+      ~probe_path:Pmv.Answer.Locked
+  in
+  let find runs s = List.find (fun r -> r.shards = s) runs in
+  (* the tentpole ratios: epoch-path routers against the epoch-path
+     engine baseline — fan-out must no longer lose to one engine *)
+  let router4_vs_engine = (find probe_runs 4).qps /. (find probe_runs 0).qps in
+  let router1_vs_engine = (find probe_runs 1).qps /. (find probe_runs 0).qps in
+  Output.row "@.probe-bound epoch: router4 vs engine %.2fx, router1 vs engine %.2fx@."
+    router4_vs_engine router1_vs_engine;
   let oracle_clean =
-    List.for_all (fun r -> r.oracle_clean) (scan_runs @ probe_runs)
+    List.for_all (fun r -> r.oracle_clean) (scan_runs @ probe_runs @ locked_runs)
   in
+  (* the same stream must checksum identically whichever path served it *)
+  let checksums_identical =
+    List.for_all
+      (fun (a, b) -> a.checksum = b.checksum && a.total_tuples = b.total_tuples)
+      (List.combine probe_runs locked_runs)
+  in
+  if not checksums_identical then
+    Fmt.epr "WARNING: epoch and locked probe paths disagree on the result stream@.";
   let json =
     Fmt.str
       {|{
@@ -211,23 +365,36 @@ let run cfg =
   "scale": %g,
   "seed": %d,
   "per_shard_view_capacity": %d,
+  "host_cores": %d,
   "workload": "t1 zipf alpha=1.07, e=f=2",
   "runs": [%s],
   "speedup_4_shards": %.3f,
   "one_shard_router_vs_engine": %.3f,
   "probe_bound": {
+    "probe_path": "epoch",
     "runs": [%s],
     "speedup_4_shards": %.3f,
-    "one_shard_router_vs_engine": %.3f
+    "one_shard_router_vs_engine": %.3f,
+    "router4_vs_engine": %.3f,
+    "router1_vs_engine": %.3f,
+    "locked": {
+      "runs": [%s],
+      "speedup_4_shards": %.3f,
+      "one_shard_router_vs_engine": %.3f
+    },
+    "checksums_identical": %b
   },
   "oracle_clean": %b
 }
 |}
       scale cfg.seed per_shard_capacity
+      (Domain.recommended_domain_count ())
       (String.concat ", " (List.map json_of_run scan_runs))
       speedup_4 one_shard_ratio
       (String.concat ", " (List.map json_of_run probe_runs))
-      probe_speedup_4 probe_one_shard_ratio oracle_clean
+      probe_speedup_4 probe_one_shard_ratio router4_vs_engine router1_vs_engine
+      (String.concat ", " (List.map json_of_run locked_runs))
+      locked_speedup_4 locked_one_shard_ratio checksums_identical oracle_clean
   in
   let oc = open_out "BENCH_shard.json" in
   output_string oc json;

@@ -171,7 +171,7 @@ let metrics scale seed queries format shards =
 (* Run SQL statements against generated TPC-R data through the shell,
    one PMV per template (per shard when sharded). Each statement runs
    twice to show the warm-cache effect. *)
-let sql scale seed shards domains statements =
+let sql scale seed shards domains probe_path statements =
   if statements = [] then begin
     Fmt.epr "pass one or more SQL statements as positional arguments@.";
     exit 2
@@ -190,6 +190,7 @@ let sql scale seed shards domains statements =
       Shell.of_router router
     end
   in
+  Shell.set_probe_path shell probe_path;
   List.iter
     (fun stmt ->
       Fmt.pr "@.sql> %s@." stmt;
@@ -209,7 +210,7 @@ let sql scale seed shards domains statements =
 (* Interactive loop: full SQL statements (SELECT with GROUP BY / ORDER
    BY / LIMIT, CREATE TABLE/INDEX, INSERT, DELETE) from stdin via the
    shell, one PMV per template, with dot-commands for introspection. *)
-let repl scale seed fresh persist shards domains =
+let repl scale seed fresh persist shards domains probe_path =
   if shards > 1 && persist <> None then begin
     Fmt.epr "--persist is not supported with --shards@.";
     exit 2
@@ -249,6 +250,7 @@ let repl scale seed fresh persist shards domains =
         end
   in
   if shards <= 1 then Engine.set_parallel (Shell.engine shell) par;
+  Shell.set_probe_path shell probe_path;
   let finish =
     match persist with
     | None -> fun () -> ()
@@ -297,7 +299,7 @@ let repl scale seed fresh persist shards domains =
 
 (* Replay one deterministic torture campaign (fault injection + oracle
    checking); the same seed always reproduces the same event digest. *)
-let torture scale seed events check_every shards domains verbose =
+let torture scale seed events check_every shards domains probe_path verbose =
   let module Torture = Minirel_check.Torture in
   let cfg =
     {
@@ -307,12 +309,14 @@ let torture scale seed events check_every shards domains verbose =
       check_every;
       shards;
       domains;
+      probe_path;
       log = (if verbose then Some (Fmt.pr "  %s@.") else None);
     }
   in
-  Fmt.pr "torture: seed %d, %d events, scale %g%s%s%s@." seed events scale
+  Fmt.pr "torture: seed %d, %d events, scale %g%s%s%s%s@." seed events scale
     (if shards > 1 then Fmt.str ", %d shards" shards else "")
     (if shards > 1 && domains > 1 then Fmt.str ", %d domains" domains else "")
+    (if probe_path = Pmv.Answer.Epoch then ", epoch probes" else "")
     (if verbose then "" else " (use --verbose for the event trace)");
   let o = if shards > 1 then Torture.run_sharded cfg else Torture.run cfg in
   Fmt.pr "%a@." Torture.pp_outcome o;
@@ -344,6 +348,19 @@ let domains_arg =
         ~doc:
           "Run with a pool of N worker domains: sharded queries fan out in parallel and \
            O3 scans/joins run morsel-parallel (1 = sequential).")
+
+(* --probe-path=locked|epoch, parsed through Answer.probe_path_of_string
+   so the CLI and the library agree on the spelling. *)
+let probe_path_arg =
+  let path = Arg.enum [ ("locked", Pmv.Answer.Locked); ("epoch", Pmv.Answer.Epoch) ] in
+  Arg.(
+    value
+    & opt path Pmv.Answer.Locked
+    & info [ "probe-path" ] ~docv:"PATH"
+        ~doc:
+          "Query read path: $(b,locked) answers under the Section 3.6 S/X protocol, \
+           $(b,epoch) takes no lock and serves complete cached answers through the \
+           epoch-versioned probe fast path.")
 
 let demo_cmd =
   let queries = Arg.(value & opt int 500 & info [ "queries" ] ~docv:"N") in
@@ -380,7 +397,9 @@ let sql_cmd =
          "Run SQL statements over TPC-R data, one PMV per template (e.g. \"select \
           o.orderkey, l.quantity from orders o, lineitem l where o.orderkey = l.orderkey \
           and (o.orderdate = 3) and (l.suppkey = 2)\")")
-    Term.(const sql $ scale_arg $ seed_arg $ shards_arg $ domains_arg $ statements)
+    Term.(
+      const sql $ scale_arg $ seed_arg $ shards_arg $ domains_arg $ probe_path_arg
+      $ statements)
 
 let metrics_cmd =
   let queries = Arg.(value & opt int 200 & info [ "queries" ] ~docv:"N") in
@@ -408,7 +427,9 @@ let repl_cmd =
   in
   Cmd.v
     (Cmd.info "repl" ~doc:"Interactive SQL over TPC-R data with per-template PMVs")
-    Term.(const repl $ scale_arg $ seed_arg $ fresh $ persist $ shards_arg $ domains_arg)
+    Term.(
+      const repl $ scale_arg $ seed_arg $ fresh $ persist $ shards_arg $ domains_arg
+      $ probe_path_arg)
 
 let torture_cmd =
   let events = Arg.(value & opt int 400 & info [ "events" ] ~docv:"N" ~doc:"Workload events.") in
@@ -427,7 +448,7 @@ let torture_cmd =
           oracle-checked; exits non-zero on any consistency violation")
     Term.(
       const torture $ scale $ seed_arg $ events $ check_every $ shards_arg $ domains_arg
-      $ verbose)
+      $ probe_path_arg $ verbose)
 
 let () =
   let doc = "partial materialized views demonstration tool" in

@@ -158,10 +158,11 @@ let check_answer_via ~expected answer =
     stats;
   }
 
-let check_answer ?locks ?txn ~view catalog instance =
+let check_answer ?locks ?txn ?probe_path ~view catalog instance =
   check_answer_via
     ~expected:(ground_truth catalog instance)
-    (fun ~on_tuple -> Pmv.Answer.answer ?locks ?txn ~view catalog instance ~on_tuple)
+    (fun ~on_tuple ->
+      Pmv.Answer.answer ?locks ?txn ?probe_path ~view catalog instance ~on_tuple)
 
 (* --- deep view invariants --------------------------------------------- *)
 

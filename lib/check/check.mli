@@ -65,6 +65,7 @@ val check_answer_via :
 val check_answer :
   ?locks:Minirel_txn.Lock_manager.t ->
   ?txn:int ->
+  ?probe_path:Pmv.Answer.probe_path ->
   view:Pmv.View.t ->
   Minirel_index.Catalog.t ->
   Instance.t ->

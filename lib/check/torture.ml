@@ -41,6 +41,8 @@ type cfg = {
   check_every : int;
   shards : int;  (* engine count for {!run_sharded}; {!run} ignores it *)
   domains : int;  (* pool workers for {!run_sharded}'s fan-out; 1 = sequential *)
+  probe_path : Pmv.Answer.probe_path;
+      (* read path queries take; Locked keeps the lockmgr fault sites hot *)
   dir : string option;
   log : (string -> unit) option;
 }
@@ -53,6 +55,7 @@ let default_cfg ~seed =
     check_every = 40;
     shards = 1;
     domains = 1;
+    probe_path = Pmv.Answer.Locked;
     dir = None;
     log = None;
   }
@@ -482,7 +485,10 @@ let run_checked_query st =
   st.qid <- st.qid + 1;
   let txn = 1_000_000 + st.qid in
   let pending = Pmv.Maintain.n_pending st.view > 0 in
-  match Check.check_answer ~locks:(Txn.locks st.mgr) ~txn ~view:st.view st.catalog inst with
+  match
+    Check.check_answer ~locks:(Txn.locks st.mgr) ~txn ~probe_path:st.cfg.probe_path
+      ~view:st.view st.catalog inst
+  with
   | r ->
       st.queries <- st.queries + 1;
       let verdict = if pending then Check.report_ok_allowing_stale r else Check.report_ok r in
@@ -536,8 +542,9 @@ let io_fault_event st =
   in
   st.qid <- st.qid + 1;
   (match
-     Pmv.Answer.answer ~locks:(Txn.locks st.mgr) ~txn:(1_000_000 + st.qid) ~view:st.view
-       st.catalog inst ~on_tuple:(fun _ _ -> ())
+     Pmv.Answer.answer ~locks:(Txn.locks st.mgr) ~txn:(1_000_000 + st.qid)
+       ~probe_path:st.cfg.probe_path ~view:st.view st.catalog inst
+       ~on_tuple:(fun _ _ -> ())
    with
   | _ -> note st (Fmt.str "io-fault query %d completed before the fault" st.qid)
   | exception Fault.Injected site ->
@@ -967,6 +974,7 @@ let run_sharded cfg =
   Router.declare router (Catalog.schema ref_catalog "customer") ~part:`Replicated;
   Router.load_from router ref_catalog;
   ignore (Router.create_view ~capacity:96 router t1);
+  Router.set_probe_path router cfg.probe_path;
   let st =
     {
       cfg;

@@ -21,6 +21,11 @@ type cfg = {
       (** Domain-pool workers for {!run_sharded}'s parallel shard
           fan-out (1 = sequential; {!run} ignores it). The digest is
           reproducible run to run for a fixed (seed, domains) pair. *)
+  probe_path : Pmv.Answer.probe_path;
+      (** read path queries take (default [Locked], which keeps the
+          lock-manager fault sites on the query path hot; [Epoch]
+          exercises the lock-free probe fast path instead). Each path
+          has its own reproducible digest for a fixed seed. *)
   dir : string option;  (** snapshot/WAL directory; default a temp dir *)
   log : (string -> unit) option;  (** per-event trace sink *)
 }

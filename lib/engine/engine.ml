@@ -32,6 +32,8 @@ type t = {
   (* Domain pool for morsel-parallel O3 execution. Externally owned:
      attaching does not transfer shutdown responsibility. *)
   mutable par : Minirel_parallel.Pool.t option;
+  (* Default read path for [answer]; per-call override wins. *)
+  mutable probe_path : Pmv.Answer.probe_path;
 }
 
 let create ?(name = "engine") ?(fault = Fault.default) ?(registry = Registry.default)
@@ -60,6 +62,7 @@ let create ?(name = "engine") ?(fault = Fault.default) ?(registry = Registry.def
     tracer;
     wal = None;
     par = None;
+    probe_path = Pmv.Answer.Locked;
   }
 
 (* An engine with fresh, private fault and telemetry scopes: nothing it
@@ -84,6 +87,8 @@ let tracer t = t.tracer
 let wal t = t.wal
 let parallel t = t.par
 let set_parallel t pool = t.par <- pool
+let probe_path t = t.probe_path
+let set_probe_path t path = t.probe_path <- path
 
 (* Open a WAL in this engine's fault scope, subscribe it to the
    transaction manager and register its telemetry. *)
@@ -119,12 +124,22 @@ let find_view t ~template = Pmv.Manager.find t.manager ~template
 (* Answer under the Section 3.6 S-lock protocol through the engine's
    manager (PMV when the template has one, plain otherwise). [par]
    overrides the attached pool for this query. *)
-let answer ?par ?profile t instance ~on_tuple =
+let answer ?par ?profile ?probe_path t instance ~on_tuple =
   let par = match par with Some _ -> par | None -> t.par in
-  Pmv.Manager.answer ~locks:(locks t) ?par ?profile t.manager instance ~on_tuple
+  let probe_path = Option.value ~default:t.probe_path probe_path in
+  Pmv.Manager.answer ~locks:(locks t) ?par ?profile ~probe_path t.manager instance
+    ~on_tuple
 
 let snapshot t = Registry.snapshot t.registry
 
 let reset_telemetry t =
   Registry.reset t.registry;
   Tracer.clear t.tracer
+
+(* Tear the engine down: close the WAL and drain every view's retired
+   version chains, so repeated scoped create/destroy cycles (tests,
+   torture rebuilds) do not accumulate version history. The engine must
+   not answer queries afterwards. *)
+let shutdown t =
+  detach_wal t;
+  List.iter Pmv.View.shutdown (Pmv.Manager.views t.manager)

@@ -66,6 +66,12 @@ val parallel : t -> Minirel_parallel.Pool.t option
     it was created. *)
 val set_parallel : t -> Minirel_parallel.Pool.t option -> unit
 
+(** Default read path for {!answer} (initially
+    {!Pmv.Answer.Locked}); a per-call [probe_path] argument wins. *)
+val probe_path : t -> Pmv.Answer.probe_path
+
+val set_probe_path : t -> Pmv.Answer.probe_path -> unit
+
 (** Open a WAL in this engine's fault scope, subscribe it to the
     transaction manager and register its telemetry. *)
 val attach_wal : t -> filename:string -> Minirel_txn.Wal.t
@@ -95,10 +101,12 @@ val find_view : t -> template:string -> Pmv.View.t option
     manager — PMV when the template has one, plain otherwise; the
     boolean reports whether a view was used. [par] overrides the
     attached pool ({!set_parallel}) for this query; either way, O3
-    heap scans and hash joins run morsel-parallel on the pool. *)
+    heap scans and hash joins run morsel-parallel on the pool.
+    [probe_path] overrides the engine default ({!set_probe_path}). *)
 val answer :
   ?par:Minirel_parallel.Pool.t ->
   ?profile:Minirel_exec.Exec_stats.t ->
+  ?probe_path:Pmv.Answer.probe_path ->
   t ->
   Minirel_query.Instance.t ->
   on_tuple:(Pmv.Answer.phase -> Minirel_storage.Tuple.t -> unit) ->
@@ -110,3 +118,8 @@ val snapshot : t -> (string * Minirel_telemetry.Registry.value) list
 (** Zero this engine's metrics and retained traces (registrations
     survive). *)
 val reset_telemetry : t -> unit
+
+(** Close the WAL and drain every view's retired version chains. The
+    engine must not answer queries afterwards; repeated
+    {!scoped}-create/shutdown cycles then leak no version history. *)
+val shutdown : t -> unit

@@ -37,36 +37,113 @@ module Schema = Minirel_storage.Schema
 module Value = Minirel_storage.Value
 module Template = Minirel_query.Template
 module Predicate = Minirel_query.Predicate
+module Condition_part = Minirel_query.Condition_part
+module Bcp = Minirel_query.Bcp
 module Txn = Minirel_txn.Txn
 module Export = Minirel_telemetry.Export
+module Histogram = Minirel_telemetry.Histogram
 
 module Pool = Minirel_parallel.Pool
 module Spsc = Minirel_parallel.Spsc
 
 type part = Hash of int (* partition-key position *) | Replicated
 
+(* Router-level probe cache for one template: complete per-bcp answers
+   to the *merged* (cross-shard) query, segmented by bcp hash so the
+   aggregate fast-path capacity scales with the shard count — the
+   shard-local probe fast path. A hit answers straight out of the
+   owning segment: no fan-out, no merge, no pool dispatch. *)
+type probe_cache = {
+  pc_compiled : Template.compiled;
+  pc_segments : Pmv.Entry_store.t array;  (* one per shard, disjoint bcp sets *)
+}
+
+(* Deterministic, router-owned fast-path counters (the per-run numbers
+   the bench embeds); also exported as the [router.probe] source. *)
+type probe_stats = {
+  mutable fast_hits : int;  (* queries served without fan-out *)
+  mutable fallbacks : int;  (* queries that missed and fanned out *)
+  mutable probes : int;  (* per-bcp segment probes *)
+  mutable probe_hits : int;  (* probes returning a trusted complete version *)
+  probe_ns : Histogram.t;  (* latency of the probe phase, hit or miss *)
+}
+
 type t = {
   shards : Engine.t array;
   parts : (string, part) Hashtbl.t;  (* relation -> partitioning *)
+  probe_caches : (string, probe_cache) Hashtbl.t;  (* template name -> cache *)
+  pstats : probe_stats;
+  mutable probe_path : Pmv.Answer.probe_path;  (* default for [answer] *)
   (* Domain pool for parallel shard fan-out; externally owned, see
      [set_parallel]. *)
   mutable par : Pool.t option;
 }
 
+let empty_probe_stats () =
+  { fast_hits = 0; fallbacks = 0; probes = 0; probe_hits = 0; probe_ns = Histogram.create () }
+
+(* The router has no registry of its own (each shard's is private), so
+   its fast-path source lands in the process-global one — visible to
+   [pmvctl metrics] next to the engine-level series; a newer router
+   takes the name over, following the live instance. *)
+let register_probe_telemetry ?(registry = Minirel_telemetry.Registry.default) t =
+  let module R = Minirel_telemetry.Registry in
+  let ps = t.pstats in
+  R.register_source registry ~name:"router.probe"
+    ~reset:(fun () ->
+      ps.fast_hits <- 0;
+      ps.fallbacks <- 0;
+      ps.probes <- 0;
+      ps.probe_hits <- 0;
+      Histogram.reset ps.probe_ns)
+    (fun () ->
+      [
+        ("fast_hits", R.Counter ps.fast_hits);
+        ("fallbacks", R.Counter ps.fallbacks);
+        ("probes", R.Counter ps.probes);
+        ("probe_hits", R.Counter ps.probe_hits);
+        ("probe_ns", R.Histogram (Histogram.summary ps.probe_ns));
+      ])
+
 let create ?pool_capacity ?default_f_max ?default_policy ~shards () =
   if shards <= 0 then invalid_arg "Shard_router.create: shards must be positive";
-  {
-    shards =
-      Array.init shards (fun i ->
-          Engine.scoped
-            ~name:(Printf.sprintf "shard%d" i)
-            ?pool_capacity ?default_f_max ?default_policy ());
-    parts = Hashtbl.create 8;
-    par = None;
-  }
+  let t =
+    {
+      shards =
+        Array.init shards (fun i ->
+            Engine.scoped
+              ~name:(Printf.sprintf "shard%d" i)
+              ?pool_capacity ?default_f_max ?default_policy ());
+      parts = Hashtbl.create 8;
+      probe_caches = Hashtbl.create 8;
+      pstats = empty_probe_stats ();
+      probe_path = Pmv.Answer.Locked;
+      par = None;
+    }
+  in
+  register_probe_telemetry t;
+  t
 
 let parallel t = t.par
 let set_parallel t pool = t.par <- pool
+let probe_path t = t.probe_path
+
+(* Switch the default read path for [answer]; [Epoch] also threads down
+   to each consulted shard's own probe fast path. *)
+let set_probe_path t path =
+  t.probe_path <- path;
+  Array.iter (fun e -> Engine.set_probe_path e path) t.shards
+
+let probe_stats t = t.pstats
+let probe_summary t = Histogram.summary t.pstats.probe_ns
+
+let reset_probe_stats t =
+  let ps = t.pstats in
+  ps.fast_hits <- 0;
+  ps.fallbacks <- 0;
+  ps.probes <- 0;
+  ps.probe_hits <- 0;
+  Histogram.reset ps.probe_ns
 
 let n_shards t = Array.length t.shards
 let shard t i = t.shards.(i)
@@ -150,10 +227,30 @@ let targets t (change : Txn.change) =
           | None -> all_shards t)
       | Some Replicated | None -> all_shards t)
 
+(* Untrust router-level complete answers for every template ranging
+   over a changed relation; one atomic bump per affected segment. *)
+let invalidate_probe_caches t changes =
+  let rels =
+    List.sort_uniq String.compare
+      (List.map
+         (function
+           | Txn.Insert { rel; _ } | Txn.Delete { rel; _ } | Txn.Update { rel; _ } -> rel)
+         changes)
+  in
+  Hashtbl.iter
+    (fun _ pc ->
+      let trels = pc.pc_compiled.Template.spec.Template.relations in
+      if List.exists (fun r -> Array.exists (String.equal r) trels) rels then
+        Array.iter Pmv.Entry_store.invalidate_complete pc.pc_segments)
+    t.probe_caches
+
 (* Run a transaction, routing each change to its owning shard(s).
    Returns the per-shard deltas as [(shard index, deltas)] for the
-   shards that ran anything. *)
+   shards that ran anything. Router probe caches are invalidated even
+   when a shard fails mid-transaction (shard-local faults may have
+   committed sibling shards' changes already). *)
 let run t changes =
+  Fun.protect ~finally:(fun () -> invalidate_probe_caches t changes) @@ fun () ->
   let n = Array.length t.shards in
   let per = Array.make n [] in
   List.iter
@@ -171,9 +268,28 @@ let run t changes =
    per shard: the aggregate cache budget scales with the shard count,
    which is precisely the scale-out lever. *)
 let create_view ?policy ?f_max ?capacity ?ub_bytes t compiled =
-  Array.map
-    (fun e -> Pmv.Manager.create_view ?policy ?f_max ?capacity ?ub_bytes (Engine.manager e) compiled)
-    t.shards
+  let views =
+    Array.map
+      (fun e ->
+        Pmv.Manager.create_view ?policy ?f_max ?capacity ?ub_bytes (Engine.manager e)
+          compiled)
+      t.shards
+  in
+  (* Router-level probe cache: one segment per shard, each sized like a
+     shard view's probe store (4x its paper store — see View.create),
+     holding complete merged answers bounded at 64 tuples per bcp.
+     Aggregate fast-path capacity therefore scales with the shard
+     count, while the 1-shard router matches the engine's own probe
+     store entry for entry. *)
+  let seg_capacity = Pmv.Entry_store.capacity (Pmv.View.probe_store views.(0)) in
+  Hashtbl.replace t.probe_caches compiled.Template.spec.Template.name
+    {
+      pc_compiled = compiled;
+      pc_segments =
+        Array.init (Array.length t.shards) (fun _ ->
+            Pmv.Entry_store.create ~capacity:seg_capacity ~f_max:64 ());
+    };
+  views
 
 (* Shards a template's answer must consult: all of them as soon as any
    base relation is hash-partitioned, only shard 0 when every relation
@@ -218,15 +334,23 @@ let merge_stats (a : Pmv.Answer.stats) (b : Pmv.Answer.stats) =
   }
 
 (* Per-shard stream messages flowing producer (shard task) to consumer
-   (the merging caller) over a bounded SPSC queue. *)
+   (the merging caller) over a bounded SPSC queue. Tuples travel in
+   morsel batches, not singly: the producer coalesces up to
+   [tuple_batch] of them per message, so the queue's mutex/condvar
+   handshake is paid once per chunk instead of once per tuple. *)
 type msg =
-  | Item of Pmv.Answer.phase * Minirel_storage.Tuple.t
+  | Batch of (Pmv.Answer.phase * Minirel_storage.Tuple.t) array
   | Done of Pmv.Answer.stats * bool
   | Fail of exn
 
-(* Bounds how far any shard can run ahead of the merge (backpressure);
-   roomy enough that shards rarely stall on the consumer. *)
-let shard_stream_capacity = 256
+(* Tuples per [Batch] message. *)
+let tuple_batch = 64
+
+(* Bounds how far any shard can run ahead of the merge (backpressure),
+   in messages — up to [shard_stream_capacity * tuple_batch] buffered
+   tuples per shard; roomy enough that shards rarely stall on the
+   consumer. *)
+let shard_stream_capacity = 64
 
 (* Parallel fan-out: one pool task per target shard, each answering on
    its own single-owner engine and streaming through its own SPSC
@@ -240,17 +364,33 @@ let shard_stream_capacity = 256
    tasks cannot be cancelled, so remaining queues are drained and
    discarded until every producer settles (a blocked producer would
    otherwise poison the pool), then the first exception re-raises. *)
-let answer_parallel pool t targets instance ~on_tuple =
+let answer_parallel pool ~probe_path t targets instance ~on_tuple =
   let queues = List.map (fun i -> (i, Spsc.create ~capacity:shard_stream_capacity)) targets in
   List.iter
     (fun (i, q) ->
       Pool.submit pool (fun () ->
+          let buf = Array.make tuple_batch (Pmv.Answer.Partial, [||]) in
+          let bn = ref 0 in
+          let flush () =
+            if !bn > 0 then begin
+              Spsc.push q (Batch (Array.sub buf 0 !bn));
+              bn := 0
+            end
+          in
           match
-            Engine.answer t.shards.(i) instance ~on_tuple:(fun phase tuple ->
-                Spsc.push q (Item (phase, tuple)))
+            Engine.answer ~probe_path t.shards.(i) instance ~on_tuple:(fun phase tuple ->
+                buf.(!bn) <- (phase, tuple);
+                incr bn;
+                if !bn = tuple_batch then flush ())
           with
-          | stats, used -> Spsc.push q (Done (stats, used))
-          | exception exn -> Spsc.push q (Fail exn)))
+          | stats, used ->
+              flush ();
+              Spsc.push q (Done (stats, used))
+          | exception exn ->
+              (* tuples already delivered before the failure still
+                 reach the consumer, exactly as unbatched pushes did *)
+              flush ();
+              Spsc.push q (Fail exn)))
     queues;
   let failure = ref None in
   let note exn = if Option.is_none !failure then failure := Some exn in
@@ -259,9 +399,12 @@ let answer_parallel pool t targets instance ~on_tuple =
       (fun (_, q) ->
         let rec drain () =
           match Spsc.pop q with
-          | Item (phase, tuple) ->
-              (if Option.is_none !failure then
-                 try on_tuple phase tuple with exn -> note exn);
+          | Batch items ->
+              Array.iter
+                (fun (phase, tuple) ->
+                  if Option.is_none !failure then
+                    try on_tuple phase tuple with exn -> note exn)
+                items;
               drain ()
           | Done (stats, used) -> Some (stats, used)
           | Fail exn ->
@@ -283,24 +426,22 @@ let answer_parallel pool t targets instance ~on_tuple =
         None results
       |> Option.get
 
-(* Answer [instance] across the template's shards, streaming each
-   shard's O2 partials and O3 remainder through [on_tuple]. Returns the
-   summed stats and whether every consulted shard answered through a
-   view. With a pool attached ([set_parallel]) or passed ([par]) and at
-   least two target shards, the per-shard answers run concurrently;
-   profiled runs stay sequential (Exec_stats trees are single-owner).
-   Either way the merged stream is identical to the sequential one. *)
-let answer ?par ?profile t instance ~on_tuple =
-  let targets = template_shards t (Minirel_query.Instance.compiled instance) in
+(* Fan out to the target shards: parallel when a pool with >= 2 workers
+   is attached (or passed), >= 2 targets and no profile (Exec_stats
+   trees are single-owner); sequential otherwise. Either way the merged
+   stream is identical to the sequential one. *)
+let answer_fanout ?par ?profile ~probe_path t targets instance ~on_tuple =
   let pool = match par with Some _ -> par | None -> t.par in
   match pool with
   | Some pool
     when Pool.size pool >= 2 && List.length targets >= 2 && Option.is_none profile ->
-      answer_parallel pool t targets instance ~on_tuple
+      answer_parallel pool ~probe_path t targets instance ~on_tuple
   | _ -> (
       List.fold_left
         (fun acc i ->
-          let stats, used = Engine.answer ?profile t.shards.(i) instance ~on_tuple in
+          let stats, used =
+            Engine.answer ?profile ~probe_path t.shards.(i) instance ~on_tuple
+          in
           match acc with
           | None -> Some (stats, used)
           | Some (acc_stats, acc_used) ->
@@ -309,6 +450,153 @@ let answer ?par ?profile t instance ~on_tuple =
       |> function
       | Some r -> r
       | None -> assert false (* targets is never empty *))
+
+(* The shard-local probe fast path: serve the whole query from the
+   template's router-level probe cache when every bcp holds a trusted
+   (complete, stamp-current) version in its owning segment. A hit
+   streams straight out of the segments — no fan-out, no merge, no pool
+   dispatch. A miss falls back to the full fan-out while capturing each
+   exact bcp's merged delivered stream; when the summed stats prove the
+   stream exact ([stale_purged = 0]), the captures install as complete
+   answers stamped with the segments' pre-query stamps — a delta racing
+   the query bumps a stamp first, so a losing install publishes
+   already-untrusted. *)
+let answer_epoch ?par ?profile t pc instance ~on_tuple =
+  let compiled = pc.pc_compiled in
+  let ps = t.pstats in
+  let nseg = Array.length pc.pc_segments in
+  let seg_idx bcp = (Bcp.hash bcp land max_int) mod nseg in
+  let t0 = Pmv.Answer.now () in
+  let stamps = Array.map Pmv.Entry_store.current_stamp pc.pc_segments in
+  let cps = Condition_part.decompose instance in
+  let h = List.length cps in
+  (* probe each distinct bcp once, memoising the trusted version *)
+  let memo = Bcp.Table.create (2 * h) in
+  let n_probed = ref 0 and n_hits = ref 0 in
+  let all_hit =
+    List.for_all
+      (fun cp ->
+        let bcp = Condition_part.bcp cp in
+        Bcp.Table.mem memo bcp
+        ||
+        begin
+          incr n_probed;
+          let seg = pc.pc_segments.(seg_idx bcp) in
+          match Pmv.Entry_store.probe seg bcp with
+          | Some v when Pmv.Entry_store.version_trusted seg v ->
+              incr n_hits;
+              Bcp.Table.replace memo bcp v;
+              true
+          | Some _ | None -> false
+        end)
+      cps
+  in
+  Histogram.record ps.probe_ns (Int64.sub (Pmv.Answer.now ()) t0);
+  ps.probes <- ps.probes + !n_probed;
+  ps.probe_hits <- ps.probe_hits + !n_hits;
+  if all_hit then begin
+    ps.fast_hits <- ps.fast_hits + 1;
+    let delivered = ref 0 in
+    let first = ref None in
+    (* stream per condition part, mirroring O2's delivery multiset *)
+    List.iter
+      (fun cp ->
+        let v = Bcp.Table.find memo (Condition_part.bcp cp) in
+        List.iter
+          (fun tuple ->
+            if Condition_part.is_exact cp || Condition_part.check compiled cp tuple
+            then begin
+              on_tuple Pmv.Answer.Partial tuple;
+              incr delivered;
+              if !first = None then first := Some (Int64.sub (Pmv.Answer.now ()) t0)
+            end)
+          v.Pmv.Entry_store.v_tuples)
+      cps;
+    ( {
+        Pmv.Answer.h;
+        probes = !n_probed;
+        probe_hits = !n_hits;
+        partial_count = !delivered;
+        total_count = !delivered;
+        filled = 0;
+        overhead_ns = Int64.sub (Pmv.Answer.now ()) t0;
+        exec_ns = 0L;
+        first_partial_ns = !first;
+        first_exec_ns = None;
+        io_reads = 0;
+        io_writes = 0;
+        stale_purged = 0;
+      },
+      true )
+  end
+  else begin
+    ps.fallbacks <- ps.fallbacks + 1;
+    (* Capture the merged delivered stream per exact bcp (an exact cp is
+       its bcp's only cp, the cps being non-overlapping, so the capture
+       is the bcp's whole merged answer). Cells are pre-created so empty
+       answers install too; one-over the segment bound marks overflow. *)
+    let seg_fmax = Pmv.Entry_store.f_max pc.pc_segments.(0) in
+    let captures = Bcp.Table.create (2 * h) in
+    List.iter
+      (fun cp ->
+        if Condition_part.is_exact cp then begin
+          let bcp = Condition_part.bcp cp in
+          if not (Bcp.Table.mem captures bcp) then
+            Bcp.Table.replace captures bcp (ref [], ref 0)
+        end)
+      cps;
+    let capturing phase tuple =
+      on_tuple phase tuple;
+      match
+        Bcp.Table.find_opt captures (Condition_part.bcp_of_result compiled tuple)
+      with
+      | Some (lst, n) ->
+          if !n <= seg_fmax then begin
+            lst := tuple :: !lst;
+            incr n
+          end
+      | None -> ()
+    in
+    let targets = template_shards t compiled in
+    (* the shards answer on the classic locked path: the router-level
+       cache subsumes their per-view probe stores for routed templates,
+       and stacking both epoch layers would pay O1 and the capture
+       bookkeeping twice per miss *)
+    let ((stats, _) as result) =
+      answer_fanout ?par ?profile ~probe_path:Pmv.Answer.Locked t targets instance
+        ~on_tuple:capturing
+    in
+    if stats.Pmv.Answer.stale_purged = 0 then
+      Bcp.Table.iter
+        (fun bcp (lst, n) ->
+          if !n <= seg_fmax then
+            ignore
+              (Pmv.Entry_store.install_complete
+                 pc.pc_segments.(seg_idx bcp)
+                 bcp !lst ~stamp:stamps.(seg_idx bcp)))
+        captures;
+    result
+  end
+
+(* Answer [instance] across the template's shards, streaming each
+   shard's O2 partials and O3 remainder through [on_tuple]. Returns the
+   summed stats and whether every consulted shard answered through a
+   view. With a pool attached ([set_parallel]) or passed ([par]) and at
+   least two target shards, the per-shard answers run concurrently;
+   profiled runs stay sequential (Exec_stats trees are single-owner).
+   Either way the merged stream is identical to the sequential one.
+   Under [probe_path = Epoch] (per call, or the [set_probe_path]
+   default) the router first tries the shard-local probe fast path. *)
+let answer ?par ?profile ?probe_path t instance ~on_tuple =
+  let compiled = Minirel_query.Instance.compiled instance in
+  let path = match probe_path with Some p -> p | None -> t.probe_path in
+  match
+    (path, Hashtbl.find_opt t.probe_caches compiled.Template.spec.Template.name)
+  with
+  | Pmv.Answer.Epoch, Some pc -> answer_epoch ?par ?profile t pc instance ~on_tuple
+  | _ ->
+      answer_fanout ?par ?profile ~probe_path:path t (template_shards t compiled)
+        instance ~on_tuple
 
 exception Enough
 
@@ -413,3 +701,14 @@ let prometheus_string t =
        (snapshots t))
 
 let reset_telemetry t = Array.iter Engine.reset_telemetry t.shards
+
+(* --- shutdown ---------------------------------------------------------- *)
+
+(* Tear the router down: shut every shard engine down and drain the
+   probe caches' retired version chains. The router must not answer
+   queries afterwards. *)
+let shutdown t =
+  Array.iter Engine.shutdown t.shards;
+  Hashtbl.iter
+    (fun _ pc -> Array.iter Pmv.Entry_store.shutdown pc.pc_segments)
+    t.probe_caches

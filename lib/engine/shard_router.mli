@@ -32,6 +32,32 @@ val parallel : t -> Minirel_parallel.Pool.t option
     stays externally owned — shut it down where it was created. *)
 val set_parallel : t -> Minirel_parallel.Pool.t option -> unit
 
+(** Default read path for {!answer} (initially {!Pmv.Answer.Locked});
+    a per-call [probe_path] argument wins. *)
+val probe_path : t -> Pmv.Answer.probe_path
+
+(** Switch the default read path. [Epoch] also threads down to every
+    shard engine's own probe fast path ({!Engine.set_probe_path}). *)
+val set_probe_path : t -> Pmv.Answer.probe_path -> unit
+
+(** Deterministic router-owned fast-path counters, also exported as the
+    process-global [router.probe] telemetry source. *)
+type probe_stats = {
+  mutable fast_hits : int;  (** queries served without fan-out *)
+  mutable fallbacks : int;  (** epoch queries that missed and fanned out *)
+  mutable probes : int;  (** per-bcp segment probes *)
+  mutable probe_hits : int;  (** probes returning a trusted version *)
+  probe_ns : Minirel_telemetry.Histogram.t;
+      (** probe-phase latency, hit or miss *)
+}
+
+val probe_stats : t -> probe_stats
+
+(** Summary (count/p50/p99...) of the probe-phase latency histogram. *)
+val probe_summary : t -> Minirel_telemetry.Histogram.summary
+
+val reset_probe_stats : t -> unit
+
 type part = Hash of int  (** partition-key position *) | Replicated
 
 val partitioning : t -> rel:string -> part option
@@ -100,6 +126,11 @@ val template_shards : t -> Minirel_query.Template.compiled -> int list
     latencies take the min; the DS identity survives summation. *)
 val merge_stats : Pmv.Answer.stats -> Pmv.Answer.stats -> Pmv.Answer.stats
 
+(** Tuples carried per SPSC message on the parallel fan-out path: each
+    worker hands its stream to the merger in chunks of this size, so
+    the queue's mutex/condvar round-trips amortize across a batch. *)
+val tuple_batch : int
+
 (** Answer across the template's shards, streaming every shard's O2
     partials and O3 remainder through [on_tuple]; returns the summed
     stats and whether every consulted shard used a view.
@@ -111,10 +142,20 @@ val merge_stats : Pmv.Answer.stats -> Pmv.Answer.stats -> Pmv.Answer.stats
     tuple-for-tuple identical to the sequential one and the DS
     identity still sums exactly. Profiled runs stay sequential. When
     [on_tuple] raises in parallel mode, in-flight shards finish with
-    their output discarded before the exception re-raises. *)
+    their output discarded before the exception re-raises.
+
+    Under [probe_path = Epoch] (per call, or the {!set_probe_path}
+    default) the router first tries the shard-local probe fast path:
+    a query whose every bcp holds a trusted complete version in the
+    template's router-level probe cache answers straight from the
+    owning segments — no fan-out, no merge, no pool dispatch. Misses
+    fall back to the full fan-out on the shards' classic locked path
+    (the router-level cache subsumes per-shard fast paths) and install
+    what the fallback's stale-purge count proves complete. *)
 val answer :
   ?par:Minirel_parallel.Pool.t ->
   ?profile:Minirel_exec.Exec_stats.t ->
+  ?probe_path:Pmv.Answer.probe_path ->
   t ->
   Minirel_query.Instance.t ->
   on_tuple:(Pmv.Answer.phase -> Minirel_storage.Tuple.t -> unit) ->
@@ -147,3 +188,8 @@ val snapshot_merged : t -> (string * Minirel_telemetry.Registry.value) list
 val prometheus_string : t -> string
 
 val reset_telemetry : t -> unit
+
+(** Shut every shard engine down ({!Engine.shutdown}) and drain the
+    router probe caches' retired version chains. The router must not
+    answer queries afterwards. *)
+val shutdown : t -> unit

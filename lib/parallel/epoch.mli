@@ -1,0 +1,59 @@
+(** Epoch-based reclamation for lock-free readers.
+
+    Readers bracket access to atomically-published data with
+    [enter]/[leave]; writers pass superseded versions to [retire]. A
+    retired version is released only once every reader active at
+    retirement time has left, so a reader never observes a version being
+    torn down under it. Under OCaml's GC this bounds memory (the retire
+    list is what keeps old versions alive) and, more importantly, makes
+    the deferral observable: [stats] lets tests and shutdown paths prove
+    that version chains neither get released early nor leak. *)
+
+type t
+
+type guard
+(** Proof of an active reader section; returned by [enter], consumed by
+    [leave]. *)
+
+type stats = {
+  retired : int;  (** lifetime count of versions handed to [retire] *)
+  reclaimed : int;  (** lifetime count of versions released *)
+  in_flight : int;  (** retired but not yet released *)
+  active_readers : int;  (** readers currently inside a section *)
+}
+
+val create : ?slots:int -> unit -> t
+(** [create ()] makes an epoch domain with [slots] reader slots
+    (default 64). More concurrent readers than slots is safe — excess
+    readers spin for a free slot. *)
+
+val enter : t -> guard
+(** Begin a reader section: claims a slot and publishes the current
+    epoch. Lock-free (one CAS plus a confirming re-publish). *)
+
+val leave : t -> guard -> unit
+(** End the reader section begun by [enter]. The guard must not be
+    reused. *)
+
+val retire : t -> (unit -> unit) -> unit
+(** [retire t release] defers [release] until every currently active
+    reader has left. Advances the global epoch; periodically runs an
+    opportunistic reclaim pass. Callers serialize retirement per store
+    (it is the mutation path); a mutex inside keeps concurrent retirers
+    safe regardless. *)
+
+val reclaim : t -> int
+(** Release every retired version no active reader can still observe;
+    returns how many were released. *)
+
+val drain : t -> int
+(** Shutdown: release {e all} retired versions unconditionally. The
+    caller asserts no reader is active or can re-enter. Returns how many
+    were released. *)
+
+val stats : t -> stats
+val active_readers : t -> int
+
+val current_epoch : t -> int
+(** The global epoch value; monotonically increasing from 1. Exposed for
+    tests. *)

@@ -4,16 +4,32 @@
     replacement policy (CLOCK by default, 2Q per Section 3.5) and at
     most F tuples per bcp. The entry table and the policy stay in lock
     step: an entry exists iff its bcp is resident; evictions drop the
-    entry and report each dropped tuple through [on_change]. *)
+    entry and report each dropped tuple through [on_change].
+
+    Every entry additionally publishes an immutable {!version} through
+    an atomic pointer (DESIGN.md Section 13): writers mutate under the
+    engine's X discipline and swap in fresh versions, retiring old ones
+    to an epoch domain; {!probe} reads the current version under an
+    epoch guard, lock-free and tear-free against concurrent
+    maintenance. *)
 
 open Minirel_storage
 open Minirel_query
+
+type version = {
+  v_tuples : Tuple.t list;  (** immutable snapshot, most recent first *)
+  v_n : int;
+  v_complete : bool;
+      (** the whole result multiset for the bcp, not a partial fill *)
+  v_stamp : int;  (** data stamp at publication; see {!version_trusted} *)
+}
 
 type entry = {
   e_bcp : Bcp.t;
   mutable tuples : Tuple.t list;  (** most recently cached first; length <= F *)
   mutable n : int;
   mutable refs : int;  (** lifetime references; feeds popularity ranking *)
+  published : version Atomic.t;  (** current immutable snapshot *)
 }
 
 type change = Added | Removed
@@ -39,8 +55,49 @@ val tuple_bytes : t -> int
 val policy_name : t -> string
 val policy_stats : t -> Minirel_cache.Cache_stats.t
 
-(** Pure lookup: no recency update, no admission. *)
+(** Pure lookup: no recency update, no admission. Writer-side only. *)
 val find : t -> Bcp.t -> entry option
+
+(** {2 Lock-free read side} *)
+
+(** Lock-free probe from any domain: the bcp's currently published
+    version, or [None] when the bcp is not resident. Runs under an
+    epoch guard; never blocks on or tears under concurrent writers. *)
+val probe : t -> Bcp.t -> version option
+
+(** Bracket a multi-probe section in a single epoch guard. Escaped
+    versions stay valid (immutable, GC-kept); the guard bounds how long
+    the store must retain superseded versions. *)
+val read : t -> (unit -> 'a) -> 'a
+
+(** The data staleness clock: bumped by {!invalidate_complete} on every
+    relevant base delta. *)
+val current_stamp : t -> int
+
+(** Untrust every complete version published before now (one atomic
+    increment; versions are untouched). *)
+val invalidate_complete : t -> unit
+
+(** A version may be served as the bcp's whole answer iff it was
+    installed complete and no relevant delta committed since. *)
+val version_trusted : t -> version -> bool
+
+(** Install the complete result multiset for [bcp] as captured against
+    data state [stamp]; [false] if it exceeds F. Racing deltas are
+    safe: they bump the stamp, so a late install publishes
+    already-untrusted. *)
+val install_complete : t -> Bcp.t -> Tuple.t list -> stamp:int -> bool
+
+val epoch_stats : t -> Minirel_parallel.Epoch.stats
+
+(** Release retired versions no active probe can still observe. *)
+val reclaim : t -> int
+
+(** Engine shutdown: drain the whole retire chain (caller guarantees no
+    probe in flight) so create/destroy cycles do not leak versions. *)
+val shutdown : t -> unit
+
+(** {2 Write side (engine-serialized)} *)
 
 (** One query-time reference (Operation O2): [`Resident entry] serves;
     [`Admitted entry] is 2Q's ghost promotion (empty entry, to be
@@ -72,5 +129,5 @@ val iter : t -> (entry -> unit) -> unit
 val fold : t -> ('a -> entry -> 'a) -> 'a -> 'a
 
 (** The Section 3.2 bounds: entries <= L, tuples <= L*F, every entry
-    consistent. *)
+    consistent with its published version. *)
 val invariants_ok : t -> bool

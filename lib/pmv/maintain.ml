@@ -163,6 +163,14 @@ let attach ?(strategy = Aux_index) ?(use_locks = true) view txn_mgr =
   let catalog = Minirel_txn.Txn.catalog txn_mgr in
   let fault = Minirel_txn.Txn.fault txn_mgr in
   Minirel_txn.Txn.register_hook txn_mgr ~name:("pmv:" ^ View.name view) (fun delta ->
+      (* Untrust the epoch fast path's complete answers *before* any
+         apply/defer/fault decision: whether this delta is applied now,
+         queued, or lost to an injected fault, complete versions
+         published against the pre-delta data state may no longer be
+         served whole (DESIGN.md Section 13). *)
+      (match template_rel (View.compiled view) delta.Minirel_txn.Txn.rel with
+      | Some _ -> View.invalidate_probe view
+      | None -> ());
       if use_locks then process_with_lock ~strategy view txn_mgr (Some delta)
       else on_delta ~strategy ~fault view catalog delta)
 

@@ -57,6 +57,15 @@ let register_view_telemetry ?(registry = Minirel_telemetry.Registry.default) vie
         ("bytes", R.Gauge (float_of_int (View.size_bytes view)));
         ("hit_ratio", R.Gauge (View.hit_ratio view));
       ]
+      @ (let ps = View.probe_store view in
+         let es = Entry_store.epoch_stats ps in
+         [
+           ("probe.entries", R.Gauge (float_of_int (Entry_store.n_entries ps)));
+           ("probe.tuples", R.Gauge (float_of_int (Entry_store.n_tuples ps)));
+           ("probe.versions_retired", R.Counter es.Minirel_parallel.Epoch.retired);
+           ("probe.versions_reclaimed", R.Counter es.Minirel_parallel.Epoch.reclaimed);
+           ("probe.versions_in_flight", R.Counter es.Minirel_parallel.Epoch.in_flight);
+         ])
       @ List.map
           (fun (k, v) -> ("policy." ^ k, R.Counter v))
           (Minirel_cache.Cache_stats.to_list
@@ -143,12 +152,12 @@ let drop_view t ~template =
 (* Answer through the template's view when one exists, plainly
    otherwise. Returns the stats and whether a view was used. Plans come
    from the manager's template plan cache. *)
-let answer ?locks ?txn ?par ?profile t instance ~on_tuple =
+let answer ?locks ?txn ?par ?profile ?probe_path t instance ~on_tuple =
   let name = (Instance.compiled instance).Template.spec.Template.name in
   match find t ~template:name with
   | Some view ->
-      ( Answer.answer ?locks ?txn ~plan_cache:t.plan_cache ?par ?profile ~view t.catalog
-          instance ~on_tuple,
+      ( Answer.answer ?locks ?txn ~plan_cache:t.plan_cache ?par ?profile ?probe_path
+          ~view t.catalog instance ~on_tuple,
         true )
   | None ->
       ( Answer.answer_plain ~plan_cache:t.plan_cache ?par ?profile t.catalog instance

@@ -57,12 +57,14 @@ val drop_view : t -> template:string -> unit
     otherwise; the boolean reports whether a view was used. Plans come
     from the manager's plan cache; [profile] collects per-operator
     executor counters; [par] runs O3 scans and hash joins
-    morsel-parallel on the Domain pool. *)
+    morsel-parallel on the Domain pool; [probe_path] selects the
+    {!Answer.probe_path} (default [Locked]). *)
 val answer :
   ?locks:Minirel_txn.Lock_manager.t ->
   ?txn:int ->
   ?par:Minirel_parallel.Pool.t ->
   ?profile:Minirel_exec.Exec_stats.t ->
+  ?probe_path:Answer.probe_path ->
   t ->
   Instance.t ->
   on_tuple:(Answer.phase -> Minirel_storage.Tuple.t -> unit) ->

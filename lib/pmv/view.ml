@@ -39,6 +39,10 @@ type t = {
   name : string;
   compiled : Template.compiled;
   store : Entry_store.t;
+  probe_store : Entry_store.t;
+      (* epoch fast path: complete per-bcp answers installed by fallback
+         queries and served lock-free; separate from [store] so the
+         paper's F bound on partial fills stays untouched *)
   aux : aux array option;
   stats : stats;
   relevant : int list array;  (* per relation: positions that matter to the view *)
@@ -132,6 +136,13 @@ let aux_victims t ~rel base =
 let create ?(policy = Minirel_cache.Policies.Clock) ?(f_max = 2) ?(aux_maintenance = true)
     ~capacity ~name compiled =
   let store = Entry_store.create ~policy ~capacity ~f_max () in
+  (* The probe store caches whole answers, so it lives or dies by its
+     residency: a query fast-hits only when every one of its bcps is
+     trusted, which decays as hit_ratio^h. Give it 4x the paper store's
+     entry count (tuples are shared with the result stream, and each
+     answer is capped at 64 tuples per bcp, so the footprint stays
+     bounded) to keep the joint hit probability useful. *)
+  let probe_store = Entry_store.create ~capacity:(4 * capacity) ~f_max:(max 64 f_max) () in
   let aux =
     if aux_maintenance then begin
       let auxes = build_aux compiled in
@@ -148,7 +159,16 @@ let create ?(policy = Minirel_cache.Policies.Clock) ?(f_max = 2) ?(aux_maintenan
       (relevant_positions_of compiled)
   in
   let t =
-    { name; compiled; store; aux; stats = empty_stats (); relevant; pending_deltas = [] }
+    {
+      name;
+      compiled;
+      store;
+      probe_store;
+      aux;
+      stats = empty_stats ();
+      relevant;
+      pending_deltas = [];
+    }
   in
   Entry_store.set_on_change store (fun change bcp tuple ->
       match (t.aux, change) with
@@ -163,6 +183,18 @@ let set_pending_deltas t ds = t.pending_deltas <- ds
 let name t = t.name
 let compiled t = t.compiled
 let store t = t.store
+let probe_store t = t.probe_store
+
+(* A relevant base delta is being applied (or was lost/deferred): every
+   complete fast-path answer published before it is now untrusted. *)
+let invalidate_probe t = Entry_store.invalidate_complete t.probe_store
+
+(* Release both stores' retired version chains; part of engine
+   shutdown, after which no probe may run against this view. *)
+let shutdown t =
+  Entry_store.shutdown t.store;
+  Entry_store.shutdown t.probe_store
+
 let stats t = t.stats
 let relevant_positions t i = t.relevant.(i)
 let has_aux t = t.aux <> None

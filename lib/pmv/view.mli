@@ -51,6 +51,18 @@ val create :
 val name : t -> string
 val compiled : t -> Template.compiled
 val store : t -> Entry_store.t
+
+(** Lock-free fast-path store of complete per-bcp answers (DESIGN.md
+    Section 13); filled by fallback queries, probed without locks. *)
+val probe_store : t -> Entry_store.t
+
+(** Untrust every complete fast-path answer (a relevant base delta is
+    about to be applied, deferred, or was lost to a fault). *)
+val invalidate_probe : t -> unit
+
+(** Drain both stores' retired version chains at engine shutdown. *)
+val shutdown : t -> unit
+
 val stats : t -> stats
 val has_aux : t -> bool
 

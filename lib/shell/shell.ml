@@ -56,6 +56,18 @@ let create ?view_ub_bytes ?auto_views catalog =
 (* Observe every successfully executed statement (e.g. into a Trace). *)
 let set_recorder t f = t.recorder <- Some f
 
+(* Which read path routed queries take; the state lives on the backend
+   (router default, or the engine default when unsharded). *)
+let probe_path t =
+  match t.router with
+  | Some router -> Router.probe_path router
+  | None -> Engine.probe_path t.engine
+
+let set_probe_path t path =
+  match t.router with
+  | Some router -> Router.set_probe_path router path
+  | None -> Engine.set_probe_path t.engine path
+
 let engine t = t.engine
 let catalog t = Engine.catalog t.engine
 let session t = Engine.session t.engine
@@ -177,7 +189,9 @@ let answer_locked ?profile t instance ~on_tuple =
   | None ->
       Pmv.Manager.answer
         ~locks:(Minirel_txn.Txn.locks (txn_mgr t))
-        ?profile (manager t) instance ~on_tuple
+        ?profile
+        ~probe_path:(Engine.probe_path t.engine)
+        (manager t) instance ~on_tuple
 
 let ensure_view t compiled =
   let template = compiled.Template.spec.Template.name in

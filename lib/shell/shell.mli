@@ -77,4 +77,11 @@ val exec : t -> string -> result
     {!Trace}). *)
 val set_recorder : t -> (string -> unit) -> unit
 
+(** Which {!Pmv.Answer.probe_path} routed queries take (default
+    [Locked]). The state lives on the backend: the router default when
+    sharded, the engine default otherwise. *)
+val probe_path : t -> Pmv.Answer.probe_path
+
+val set_probe_path : t -> Pmv.Answer.probe_path -> unit
+
 val pp_result : result Fmt.t

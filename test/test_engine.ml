@@ -127,9 +127,34 @@ let test_engine_run_feeds_own_view () =
     (Helpers.brute_force_answer (Engine.catalog ea) q)
     rows
 
+let test_shutdown_reclaims_versions () =
+  (* repeated scoped-engine cycles with epoch-path answers must not
+     accumulate retired version chains: shutdown drains both stores *)
+  for _ = 1 to 3 do
+    let e = scoped_rs () in
+    let c = eqt e in
+    ignore (Engine.ensure_view ~capacity:50 e c);
+    Engine.set_probe_path e Pmv.Answer.Epoch;
+    for f = 0 to 3 do
+      ignore (collect e (inst c ~f ~g:f));
+      ignore (collect e (inst c ~f ~g:f))
+    done;
+    let v =
+      Option.get (Engine.find_view e ~template:c.Template.spec.Template.name)
+    in
+    Engine.shutdown e;
+    List.iter
+      (fun store ->
+        check Alcotest.int "no version in flight after shutdown" 0
+          (Pmv.Entry_store.epoch_stats store).Minirel_parallel.Epoch.in_flight)
+      [ Pmv.View.store v; Pmv.View.probe_store v ]
+  done
+
 let suite =
   [
     Alcotest.test_case "answer matches oracle" `Quick test_answer_matches_oracle;
+    Alcotest.test_case "shutdown reclaims version chains" `Quick
+      test_shutdown_reclaims_versions;
     Alcotest.test_case "independent failpoints" `Quick test_independent_failpoints;
     Alcotest.test_case "independent fault seeds" `Quick test_independent_seeds;
     Alcotest.test_case "independent telemetry" `Quick test_independent_telemetry;

@@ -98,6 +98,40 @@ let test_drop_entry () =
   | `Rejected _ -> ()
   | _ -> Alcotest.fail "dropped bcp must be cold")
 
+let test_probe_tracks_fills () =
+  let s = Entry_store.create ~capacity:4 ~f_max:2 () in
+  check Alcotest.bool "cold probe misses" true (Entry_store.probe s (bcp 1) = None);
+  let e = Entry_store.admit_for_fill s (bcp 1) in
+  ignore (Entry_store.add_tuple s e (tup 1 1));
+  (match Entry_store.probe s (bcp 1) with
+  | Some v ->
+      check Alcotest.int "published count" 1 v.Entry_store.v_n;
+      check Alcotest.bool "partial fill is not complete" false
+        v.Entry_store.v_complete;
+      check Alcotest.bool "incomplete is never trusted" false
+        (Entry_store.version_trusted s v)
+  | None -> Alcotest.fail "filled bcp must probe");
+  Entry_store.drop_entry s (bcp 1);
+  check Alcotest.bool "dropped bcp unroutable" true
+    (Entry_store.probe s (bcp 1) = None)
+
+let test_install_respects_f_bound () =
+  let s = Entry_store.create ~capacity:4 ~f_max:2 () in
+  let stamp = Entry_store.current_stamp s in
+  check Alcotest.bool "over-F install refused" false
+    (Entry_store.install_complete s (bcp 1) [ tup 1 1; tup 1 2; tup 1 3 ] ~stamp);
+  check Alcotest.bool "refused install leaves no entry" true
+    (Entry_store.probe s (bcp 1) = None);
+  check Alcotest.bool "bounded install lands" true
+    (Entry_store.install_complete s (bcp 1) [ tup 1 1; tup 1 2 ] ~stamp);
+  (match Entry_store.probe s (bcp 1) with
+  | Some v ->
+      check Alcotest.bool "complete and current: trusted" true
+        (Entry_store.version_trusted s v)
+  | None -> Alcotest.fail "installed bcp must probe");
+  check Alcotest.bool "invariants" true (Entry_store.invariants_ok s);
+  Entry_store.shutdown s
+
 let prop_invariants_under_random_ops =
   QCheck2.Test.make ~name:"entry store invariants under random ops" ~count:100
     QCheck2.Gen.(
@@ -129,5 +163,8 @@ let suite =
     Alcotest.test_case "remove matching" `Quick test_remove_matching;
     Alcotest.test_case "byte accounting" `Quick test_tuple_bytes_accounting;
     Alcotest.test_case "drop entry" `Quick test_drop_entry;
+    Alcotest.test_case "probe tracks fills" `Quick test_probe_tracks_fills;
+    Alcotest.test_case "install respects F bound" `Quick
+      test_install_respects_f_bound;
     QCheck_alcotest.to_alcotest prop_invariants_under_random_ops;
   ]

@@ -1,0 +1,245 @@
+(* Epoch-based reclamation and the lock-free entry-store read side:
+   guard lifecycle, deferred reclamation, version-chain retirement and
+   shutdown drain; a multi-domain storm proving probes never observe
+   torn or uncommitted versions under concurrent maintenance; and a
+   qcheck property that the epoch read path's answers match the
+   S/X-locked oracle across interleaved DML. *)
+
+open Minirel_storage
+open Minirel_query
+module Epoch = Minirel_parallel.Epoch
+module Entry_store = Pmv.Entry_store
+module Engine = Minirel_engine.Engine
+module Txn = Minirel_txn.Txn
+
+let check = Alcotest.check
+let vi i = Value.Int i
+let bcp i : Bcp.t = [| vi i |]
+let tup i j : Tuple.t = [| vi i; vi j |]
+
+let test_enter_leave () =
+  let e = Epoch.create () in
+  check Alcotest.int "idle" 0 (Epoch.active_readers e);
+  let g1 = Epoch.enter e in
+  let g2 = Epoch.enter e in
+  check Alcotest.int "two readers" 2 (Epoch.active_readers e);
+  Epoch.leave e g1;
+  check Alcotest.int "one left" 1 (Epoch.active_readers e);
+  Epoch.leave e g2;
+  check Alcotest.int "idle again" 0 (Epoch.active_readers e);
+  check Alcotest.bool "epoch counts up" true (Epoch.current_epoch e >= 1)
+
+let test_deferred_reclaim () =
+  let e = Epoch.create () in
+  let released = ref false in
+  let g = Epoch.enter e in
+  Epoch.retire e (fun () -> released := true);
+  (* the active reader entered before retirement, so the version must
+     survive every reclaim attempt until it leaves *)
+  check Alcotest.int "nothing reclaimable yet" 0 (Epoch.reclaim e);
+  check Alcotest.bool "not released under a reader" false !released;
+  let s = Epoch.stats e in
+  check Alcotest.int "retired" 1 s.Epoch.retired;
+  check Alcotest.int "in flight" 1 s.Epoch.in_flight;
+  Epoch.leave e g;
+  check Alcotest.int "released after leave" 1 (Epoch.reclaim e);
+  check Alcotest.bool "release ran" true !released;
+  let s = Epoch.stats e in
+  check Alcotest.int "reclaimed" 1 s.Epoch.reclaimed;
+  check Alcotest.int "chain empty" 0 s.Epoch.in_flight
+
+let test_late_reader_does_not_pin () =
+  (* a reader that enters after retirement must not keep the version
+     alive: it can only observe the new pointer *)
+  let e = Epoch.create () in
+  Epoch.retire e (fun () -> ());
+  let g = Epoch.enter e in
+  check Alcotest.bool "late reader does not pin" true (Epoch.reclaim e >= 0);
+  check Alcotest.int "chain empty despite reader" 0 (Epoch.stats e).Epoch.in_flight;
+  Epoch.leave e g
+
+let test_drain () =
+  let e = Epoch.create () in
+  let n = ref 0 in
+  let _g = Epoch.enter e in
+  for _ = 1 to 5 do
+    Epoch.retire e (fun () -> incr n)
+  done;
+  (* shutdown path: unconditional, even with a reader never leaving *)
+  check Alcotest.int "drain releases everything" 5 (Epoch.drain e);
+  check Alcotest.int "all releases ran" 5 !n;
+  check Alcotest.int "nothing in flight" 0 (Epoch.stats e).Epoch.in_flight
+
+let test_version_chain_retirement () =
+  let s = Entry_store.create ~capacity:4 ~f_max:8 () in
+  let e = Entry_store.admit_for_fill s (bcp 1) in
+  for j = 1 to 3 do
+    ignore (Entry_store.add_tuple s e (tup 1 j))
+  done;
+  (* every fill republished the entry, retiring its predecessor *)
+  check Alcotest.bool "publishes retired predecessors" true
+    ((Entry_store.epoch_stats s).Epoch.retired >= 3);
+  ignore
+    (Entry_store.install_complete s (bcp 1) [ tup 1 9 ]
+       ~stamp:(Entry_store.current_stamp s));
+  Entry_store.shutdown s;
+  check Alcotest.int "shutdown drains the chain" 0
+    (Entry_store.epoch_stats s).Epoch.in_flight
+
+let test_stamp_lifecycle () =
+  let s = Entry_store.create ~capacity:4 ~f_max:4 () in
+  let s0 = Entry_store.current_stamp s in
+  ignore (Entry_store.install_complete s (bcp 1) [ tup 1 1 ] ~stamp:s0);
+  (match Entry_store.probe s (bcp 1) with
+  | Some v ->
+      check Alcotest.bool "fresh install trusted" true
+        (Entry_store.version_trusted s v)
+  | None -> Alcotest.fail "installed bcp must be resident");
+  Entry_store.invalidate_complete s;
+  check Alcotest.bool "stamp moved" true (Entry_store.current_stamp s > s0);
+  (match Entry_store.probe s (bcp 1) with
+  | Some v ->
+      check Alcotest.bool "stale install untrusted" false
+        (Entry_store.version_trusted s v)
+  | None -> Alcotest.fail "bcp still resident");
+  (* an install raced by a delta (captured stamp is old) publishes
+     already-untrusted: soundness never depends on winning the race *)
+  ignore (Entry_store.install_complete s (bcp 2) [ tup 2 1 ] ~stamp:s0);
+  match Entry_store.probe s (bcp 2) with
+  | Some v ->
+      check Alcotest.bool "lost install race untrusted" false
+        (Entry_store.version_trusted s v)
+  | None -> Alcotest.fail "bcp 2 must be resident"
+
+(* Four reader domains hammer [probe] while the test domain plays the
+   maintenance writer: installs, partial fills, invalidations and
+   capacity evictions. Every version a reader observes must be
+   internally consistent — its count matches its tuple list, and every
+   tuple belongs to the probed bcp and to one single committed
+   publication (the writer never commits a mixed-generation set). *)
+let test_multi_domain_storm () =
+  let s = Entry_store.create ~capacity:16 ~f_max:8 () in
+  let stop = Atomic.make false in
+  let torn = Atomic.make 0 in
+  let observed = Atomic.make 0 in
+  let universe = 24 in
+  let reader seed =
+    Domain.spawn (fun () ->
+        let x = ref (seed + 1) in
+        while not (Atomic.get stop) do
+          x := (!x * 1103515245) + 12345;
+          let b = abs !x mod universe in
+          match Entry_store.probe s (bcp b) with
+          | None -> ()
+          | Some v ->
+              Atomic.incr observed;
+              if v.Entry_store.v_n <> List.length v.Entry_store.v_tuples then
+                Atomic.incr torn;
+              (match v.Entry_store.v_tuples with
+              | [] -> ()
+              | t0 :: _ ->
+                  if
+                    not
+                      (List.for_all
+                         (fun (t : Tuple.t) ->
+                           Value.equal t.(0) (vi b) && Value.equal t.(1) t0.(1))
+                         v.Entry_store.v_tuples)
+                  then Atomic.incr torn)
+        done)
+  in
+  let readers = List.init 4 reader in
+  for g = 1 to 2_000 do
+    let b = g mod universe in
+    let n = 1 + (g mod 4) in
+    ignore
+      (Entry_store.install_complete s (bcp b)
+         (List.init n (fun _ -> tup b g))
+         ~stamp:(Entry_store.current_stamp s));
+    if g mod 7 = 0 then ignore (Entry_store.remove_tuple s (bcp b) (tup b g));
+    if g mod 64 = 0 then Entry_store.invalidate_complete s;
+    if g mod 512 = 0 then ignore (Entry_store.reclaim s)
+  done;
+  Atomic.set stop true;
+  List.iter Domain.join readers;
+  check Alcotest.int "no torn or uncommitted version observed" 0
+    (Atomic.get torn);
+  check Alcotest.bool "readers actually observed versions" true
+    (Atomic.get observed > 0);
+  check Alcotest.bool "store invariants survive the storm" true
+    (Entry_store.invariants_ok s);
+  Entry_store.shutdown s;
+  check Alcotest.int "retire chain drained at shutdown" 0
+    (Entry_store.epoch_stats s).Epoch.in_flight
+
+(* A removed tuple (partial republication) must leave probes a
+   version that is merely no longer trusted as complete — torn-ness is
+   impossible, staleness is detected by the stamp. *)
+let prop_epoch_matches_locked =
+  QCheck2.Test.make ~name:"epoch answers == locked oracle across DML" ~count:25
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 8) (pair (int_range 0 7) (int_range 0 7)))
+        (list_size (int_range 0 5) (int_range 0 39)))
+    (fun (queries, inserts) ->
+      let e = Engine.scoped () in
+      Helpers.build_rs (Engine.catalog e);
+      let c = Template.compile (Engine.catalog e) Helpers.eqt_spec in
+      ignore (Engine.ensure_view ~capacity:32 e c);
+      let answer path q =
+        let out = ref [] in
+        ignore
+          (Engine.answer ~probe_path:path e q ~on_tuple:(fun _ t -> out := t :: !out));
+        List.sort Tuple.compare !out
+      in
+      let agree q =
+        (* epoch first (cold: fallback + install), epoch again (fast
+           path), then the locked oracle — all three must agree *)
+        let cold = answer Pmv.Answer.Epoch q in
+        let warm = answer Pmv.Answer.Epoch q in
+        let oracle = answer Pmv.Answer.Locked q in
+        List.equal Tuple.equal cold oracle && List.equal Tuple.equal warm oracle
+      in
+      let q_of (f, g) =
+        Instance.make c
+          [| Instance.Dvalues [ vi f ]; Instance.Dvalues [ vi g ] |]
+      in
+      List.for_all (fun fg -> agree (q_of fg)) queries
+      && begin
+           (* interleave maintenance, then re-judge: installs made
+              before the DML must be invalidated, not served stale *)
+           List.iteri
+             (fun i c ->
+               ignore
+                 (Engine.run e
+                    [
+                      Txn.Insert
+                        {
+                          rel = "r";
+                          tuple = [| vi (2000 + i); vi c; vi (c mod 10); Value.Str "y" |];
+                        };
+                    ]))
+             inserts;
+           let survived = List.for_all (fun fg -> agree (q_of fg)) queries in
+           Engine.shutdown e;
+           survived
+           && (Pmv.View.probe_store
+                 (Option.get
+                    (Engine.find_view e ~template:c.Template.spec.Template.name))
+              |> Entry_store.epoch_stats)
+                .Epoch.in_flight = 0
+         end)
+
+let suite =
+  [
+    Alcotest.test_case "enter/leave lifecycle" `Quick test_enter_leave;
+    Alcotest.test_case "reclaim defers to active readers" `Quick
+      test_deferred_reclaim;
+    Alcotest.test_case "late reader does not pin" `Quick
+      test_late_reader_does_not_pin;
+    Alcotest.test_case "drain releases unconditionally" `Quick test_drain;
+    Alcotest.test_case "version chains retire and drain" `Quick
+      test_version_chain_retirement;
+    Alcotest.test_case "stamp trust lifecycle" `Quick test_stamp_lifecycle;
+    Alcotest.test_case "multi-domain probe storm" `Slow test_multi_domain_storm;
+    QCheck_alcotest.to_alcotest prop_epoch_matches_locked;
+  ]

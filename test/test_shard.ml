@@ -217,6 +217,68 @@ let test_shell_sharded_matches_unsharded () =
   check Helpers.tuples "cold sharded == unsharded" expect cold;
   check Helpers.tuples "warm sharded == unsharded" expect warm
 
+let test_epoch_fast_path () =
+  let reference, router, compiled = make ~shards:3 () in
+  ignore (Router.create_view ~capacity:64 router compiled);
+  Router.set_probe_path router Pmv.Answer.Epoch;
+  let q = inst compiled ~fs:[ 1 ] ~gs:[ 1 ] in
+  let collect () =
+    let out = ref [] in
+    ignore (route_answer router q ~on_tuple:(fun _ t -> out := t :: !out));
+    List.sort Tuple.compare !out
+  in
+  let truth () = List.sort Tuple.compare (Check.ground_truth reference q) in
+  let cold = collect () in
+  let ps = Router.probe_stats router in
+  check Alcotest.int "cold query falls back" 1 ps.Router.fallbacks;
+  check Alcotest.int "no hit yet" 0 ps.Router.fast_hits;
+  let warm = collect () in
+  let ps = Router.probe_stats router in
+  check Alcotest.int "warm repeat serves without fan-out" 1 ps.Router.fast_hits;
+  check Alcotest.bool "cold matches truth" true
+    (List.equal Tuple.equal cold (truth ()));
+  check Alcotest.bool "fast-path answer matches truth" true
+    (List.equal Tuple.equal warm (truth ()));
+  check Alcotest.bool "probe latency recorded" true
+    ((Router.probe_summary router).Minirel_telemetry.Histogram.count > 0);
+  (* routed DML invalidates the cached answer: the next query must fall
+     back and reflect the new data, never serve the stale install *)
+  mirror reference router
+    (Txn.Insert { rel = "r"; tuple = [| vi 3000; vi 1; vi 1; Value.Str "z" |] });
+  let after = collect () in
+  let ps = Router.probe_stats router in
+  check Alcotest.int "post-DML query fell back" 2 ps.Router.fallbacks;
+  check Alcotest.bool "post-DML answer matches fresh truth" true
+    (List.equal Tuple.equal after (truth ()));
+  Router.shutdown router
+
+let test_probe_path_parity () =
+  (* the same stream, answered under each read path, must be the same
+     multiset query by query — the A/B contract the bench and pmvctl
+     --probe-path rely on *)
+  let _, router, compiled = make ~shards:2 () in
+  ignore (Router.create_view ~capacity:64 router compiled);
+  let queries =
+    List.init 12 (fun i -> inst compiled ~fs:[ i mod 8 ] ~gs:[ (i + 3) mod 8 ])
+  in
+  let stream path =
+    Router.set_probe_path router path;
+    List.map
+      (fun q ->
+        let out = ref [] in
+        ignore (route_answer router q ~on_tuple:(fun _ t -> out := t :: !out));
+        List.sort Tuple.compare !out)
+      (queries @ queries)
+  in
+  let locked = stream Pmv.Answer.Locked in
+  let epoch = stream Pmv.Answer.Epoch in
+  List.iteri
+    (fun i (l, e) ->
+      check Alcotest.bool (Fmt.str "query %d parity" i) true
+        (List.equal Tuple.equal l e))
+    (List.combine locked epoch);
+  Router.shutdown router
+
 let test_sharded_torture_smoke () =
   let cfg =
     { (Torture.default_cfg ~seed:11) with Torture.events = 120; shards = 3 }
@@ -240,5 +302,9 @@ let suite =
       test_shell_merged_metrics;
     Alcotest.test_case "sharded shell matches unsharded shell" `Quick
       test_shell_sharded_matches_unsharded;
+    Alcotest.test_case "epoch fast path: hit, telemetry, invalidation" `Quick
+      test_epoch_fast_path;
+    Alcotest.test_case "locked and epoch paths answer identically" `Quick
+      test_probe_path_parity;
     Alcotest.test_case "sharded torture smoke" `Slow test_sharded_torture_smoke;
   ]

@@ -1,0 +1,138 @@
+#!/bin/sh
+# Diff fresh bench JSON against the committed (HEAD) baselines so a
+# probe-bound serving regression cannot land silently.
+#
+# Usage: tools/bench_diff.sh [fresh_shard.json [fresh_parallel.json]]
+#   MAX_BENCH_REGRESSION_PCT=N   allowed regression (default 10)
+#
+# Comparison rules (core-aware):
+#   - the gated shard ratios (router4_vs_engine, router1_vs_engine)
+#     divide two same-host measurements, so they compare on any host;
+#   - absolute probe-bound q/s per configuration only compares when the
+#     fresh host reports the same host_cores as the committed run;
+#   - parallel speedups only compare when both runs mark
+#     speedup_applicable (a 1-core host cannot reproduce them).
+# Exits 0 with a note when there is no git HEAD or no committed
+# baseline to diff against.
+set -eu
+cd "$(dirname "$0")/.."
+
+max="${MAX_BENCH_REGRESSION_PCT:-10}"
+fresh_shard="${1:-BENCH_shard.json}"
+fresh_parallel="${2:-BENCH_parallel.json}"
+status=0
+
+if ! git rev-parse --quiet --verify HEAD >/dev/null 2>&1; then
+  echo "bench_diff: no git HEAD - nothing to diff against"
+  exit 0
+fi
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+# First occurrence of a scalar "key": value in a JSON file.
+jget() { # file key
+  awk -F': ' -v k="\"$2\"" '
+    index($0, k ": ") { v = $2; gsub(/[ ,}]/, "", v); print v; exit }' "$1"
+}
+
+# "label qps" pairs of the probe_bound block's epoch runs: the first
+# "runs" array after the "probe_bound" opener (the nested "locked"
+# block repeats the key and is skipped).
+probe_qps() { # file
+  awk '
+    /"probe_bound"/ { pb = 1 }
+    pb && /"runs"/ && !done {
+      done = 1
+      n = split($0, parts, /\{"label": "/)
+      for (i = 2; i <= n; i++) {
+        p = parts[i]
+        lbl = substr(p, 1, index(p, "\"") - 1)
+        if (match(p, /"queries_per_sec": [0-9.]+/)) {
+          q = substr(p, RSTART, RLENGTH)
+          sub(/^"queries_per_sec": /, "", q)
+          print lbl, q
+        }
+      }
+    }' "$1"
+}
+
+# A value must stay within max% of its committed baseline (larger is
+# always fine).
+within() { # old new
+  awk -v o="$1" -v n="$2" -v max="$max" 'BEGIN { exit !(n >= o * (1 - max / 100)) }'
+}
+
+# ---- shard: probe-bound serving --------------------------------------
+if git cat-file -e HEAD:BENCH_shard.json 2>/dev/null && [ -f "$fresh_shard" ]; then
+  base="$tmpdir/shard_base.json"
+  git show HEAD:BENCH_shard.json >"$base"
+
+  if ! grep -q '"router4_vs_engine"' "$base"; then
+    # a baseline from before the probe-bound layout (different bench
+    # methodology) is not comparable at all
+    echo "bench_diff: committed shard baseline predates the probe-bound layout - skipped"
+  else
+    for key in router4_vs_engine router1_vs_engine; do
+      old=$(jget "$base" "$key")
+      new=$(jget "$fresh_shard" "$key")
+      if [ -n "$old" ] && [ -n "$new" ]; then
+        if within "$old" "$new"; then
+          echo "bench_diff: $key ${old} -> ${new} (ok)"
+        else
+          echo "bench_diff FAIL: $key regressed ${old} -> ${new} (> ${max}%)" >&2
+          status=1
+        fi
+      fi
+    done
+
+    old_cores=$(jget "$base" host_cores)
+    new_cores=$(jget "$fresh_shard" host_cores)
+    if [ -n "$old_cores" ] && [ "$old_cores" = "$new_cores" ]; then
+      probe_qps "$base" >"$tmpdir/old_qps"
+      probe_qps "$fresh_shard" >"$tmpdir/new_qps"
+      while read -r lbl old; do
+        new=$(awk -v l="$lbl" '$1 == l { print $2; exit }' "$tmpdir/new_qps")
+        [ -n "$new" ] || continue
+        if within "$old" "$new"; then
+          echo "bench_diff: probe-bound $lbl ${old} -> ${new} q/s (ok)"
+        else
+          echo "bench_diff FAIL: probe-bound $lbl q/s regressed ${old} -> ${new} (> ${max}%)" >&2
+          status=1
+        fi
+      done <"$tmpdir/old_qps"
+    else
+      echo "bench_diff: host_cores differ (${old_cores:-?} vs ${new_cores:-?}) - absolute q/s not compared"
+    fi
+  fi
+else
+  echo "bench_diff: no committed BENCH_shard.json baseline - skipped"
+fi
+
+# ---- parallel: Domain-pool speedups ----------------------------------
+if git cat-file -e HEAD:BENCH_parallel.json 2>/dev/null && [ -f "$fresh_parallel" ]; then
+  base="$tmpdir/parallel_base.json"
+  git show HEAD:BENCH_parallel.json >"$base"
+  old_app=$(jget "$base" speedup_applicable)
+  new_app=$(jget "$fresh_parallel" speedup_applicable)
+  old_cores=$(jget "$base" host_cores)
+  new_cores=$(jget "$fresh_parallel" host_cores)
+  if [ "$old_app" = "true" ] && [ "$new_app" = "true" ] && [ "$old_cores" = "$new_cores" ]; then
+    old=$(jget "$base" speedup_max_domains)
+    new=$(jget "$fresh_parallel" speedup_max_domains)
+    if [ -n "$old" ] && [ -n "$new" ]; then
+      if within "$old" "$new"; then
+        echo "bench_diff: fan-out speedup ${old} -> ${new} (ok)"
+      else
+        echo "bench_diff FAIL: fan-out speedup regressed ${old} -> ${new} (> ${max}%)" >&2
+        status=1
+      fi
+    fi
+  else
+    echo "bench_diff: parallel speedups not applicable/comparable on this host - skipped"
+  fi
+else
+  echo "bench_diff: no committed BENCH_parallel.json baseline - skipped"
+fi
+
+exit $status

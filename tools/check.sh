@@ -1,7 +1,8 @@
 #!/bin/sh
 # Repo health gate: build, tier-1 tests, torture smokes (single-engine,
-# sharded, and parallel sharded with digest reproducibility), telemetry
-# overhead, shard scaling, Domain-pool parallelism.
+# sharded, parallel sharded with digest reproducibility, and the epoch
+# probe path), telemetry overhead, shard scaling, probe-bound serving,
+# Domain-pool parallelism, and a bench diff against committed baselines.
 #
 # Usage: tools/check.sh [--skip-bench]
 #   SKIP_BENCH=1          same as --skip-bench
@@ -71,6 +72,18 @@ if [ -z "$digest1" ] || [ "$digest1" != "$digest2" ]; then
 fi
 echo "digest reproducible across runs: $digest1"
 
+echo "== epoch-path torture cross-check (same seed, lock-free probe reads)"
+# same campaign as the sharded smoke but answering through the epoch
+# fast path; the oracle must stay just as silent. Digests legitimately
+# differ across probe paths (cache admission order changes), so only
+# the verdict is gated.
+epoch_out=$(dune exec bin/pmvctl.exe -- torture --seed 42 --events 200 --shards 4 --probe-path epoch) || {
+  echo "$epoch_out"
+  echo "FAIL: epoch-path torture campaign reported oracle violations" >&2
+  exit 1
+}
+echo "$epoch_out"
+
 if [ "$skip_bench" = "1" ]; then
   echo "== telemetry overhead and shard scaling gates skipped"
   exit 0
@@ -93,8 +106,9 @@ awk -v pct="$pct" -v max="$max_pct" 'BEGIN { exit !(pct < max) }' || {
 echo "== shard scaling gate (>= 1.5x at 4 shards, no regression at 1 shard)"
 dune exec bench/main.exe -- shard ${BENCH_ARGS:-}
 
-# first occurrences are the scan-bound regime; the probe_bound block
-# repeats the key names and is informational only
+# first occurrences of the shared key names are the scan-bound regime;
+# the probe_bound block uses its own distinct keys (router4_vs_engine,
+# router1_vs_engine) gated below
 speedup=$(awk -F': ' '/"speedup_4_shards"/ { gsub(/[ ,]/, "", $2); print $2; exit }' BENCH_shard.json)
 one_shard=$(awk -F': ' '/"one_shard_router_vs_engine"/ { gsub(/[ ,]/, "", $2); print $2; exit }' BENCH_shard.json)
 oracle=$(awk -F': ' '/^ *"oracle_clean"/ { gsub(/[ ,}]/, "", $2); print $2; exit }' BENCH_shard.json)
@@ -113,6 +127,31 @@ awk -v s="$speedup" 'BEGIN { exit !(s >= 1.5) }' || {
 }
 awk -v r="$one_shard" 'BEGIN { exit !(r >= 0.85) }' || {
   echo "FAIL: 1-shard router regressed to ${one_shard}x of the plain engine" >&2
+  exit 1
+}
+
+echo "== probe-bound gate (router cache residency must beat the single engine)"
+# epoch fast path, paired interleaved segments (see bench/exp_shard.ml);
+# router4 wins on aggregate probe-cache residency, router1 must at
+# least break even
+p_router4=$(awk -F': ' '/"router4_vs_engine"/ { gsub(/[ ,]/, "", $2); print $2; exit }' BENCH_shard.json)
+p_router1=$(awk -F': ' '/"router1_vs_engine"/ { gsub(/[ ,]/, "", $2); print $2; exit }' BENCH_shard.json)
+p_checksums=$(awk -F': ' '/"checksums_identical"/ { gsub(/[ ,}]/, "", $2); print $2; exit }' BENCH_shard.json)
+if [ -z "$p_router4" ] || [ -z "$p_router1" ] || [ -z "$p_checksums" ]; then
+  echo "FAIL: missing probe_bound fields in BENCH_shard.json" >&2
+  exit 1
+fi
+echo "probe-bound router4 vs engine: ${p_router4}x, router1 vs engine: ${p_router1}x, checksums identical: ${p_checksums}"
+[ "$p_checksums" = "true" ] || {
+  echo "FAIL: probe-bound answers differ across probe paths or shard counts" >&2
+  exit 1
+}
+awk -v r="$p_router4" 'BEGIN { exit !(r >= 1.0) }' || {
+  echo "FAIL: probe-bound 4-shard router ${p_router4}x < 1.0x vs single engine" >&2
+  exit 1
+}
+awk -v r="$p_router1" 'BEGIN { exit !(r >= 0.95) }' || {
+  echo "FAIL: probe-bound 1-shard router regressed to ${p_router1}x of the plain engine" >&2
   exit 1
 }
 
@@ -155,4 +194,11 @@ else
   echo "host lacks the cores for the largest pool: speedup/overhead gates skipped"
   echo "(recorded anyway: fan-out ${fan_speedup}x, 1-domain ${fan_overhead}x)"
 fi
+
+echo "== bench diff vs committed baselines (> 10% q/s regression fails)"
+tools/bench_diff.sh || {
+  echo "FAIL: fresh bench results regressed vs the committed BENCH_*.json" >&2
+  exit 1
+}
+
 echo "ok: all checks passed"
