@@ -1,0 +1,213 @@
+(* Observability overhead benchmark (DESIGN.md Section 14).
+
+   The tracing/flight-recorder/SLO stack promises to be cheap enough to
+   leave on in the hottest serving regime: every query opens a root
+   span (sampling every=1), the flight recorder logs each probe, and
+   the end-to-end latency lands in the watchdog's high-resolution
+   histogram. This experiment measures that claim on the probe-bound
+   regime — a single warmed engine under the Epoch read path, repeat
+   Zipf T1 queries served straight from the view — the regime where
+   per-query work is smallest and any fixed observability cost is
+   proportionally largest.
+
+   One engine is built and warmed once; then the identical query
+   stream runs with the new stack on (span-per-query recording +
+   flight recorder) and off (counters and histograms stay enabled
+   either way — their cost is gated separately by exp_telemetry — so
+   the ratio isolates the marginal cost of tracing + recording) under
+   the paired interleaved-slice harness of bench/pairing.ml, which
+   estimates the overhead from per-slice wall-time floors.
+   tools/check.sh fails the gate when the stack costs more than 5%
+   throughput (BENCH_observability.json, "regression_pct").
+
+   The result streams must be identical in both modes — observability
+   may slow a query down but never change its answer — so the tuple
+   counts and checksums are cross-checked per mode. *)
+
+open Minirel_storage
+module Catalog = Minirel_index.Catalog
+module Template = Minirel_query.Template
+module Engine = Minirel_engine.Engine
+module Tm = Minirel_telemetry.Telemetry
+module Tracer = Minirel_telemetry.Tracer
+module Flight = Minirel_telemetry.Flight
+module Slo = Minirel_telemetry.Slo
+module Span = Minirel_telemetry.Span
+module Histogram = Minirel_telemetry.Histogram
+module Tpcr = Minirel_workload.Tpcr
+module Querygen = Minirel_workload.Querygen
+module Zipf = Minirel_workload.Zipf
+module SM = Minirel_prng.Split_mix
+
+type cfg = { full : bool; seed : int; scale : float option }
+
+type mode_result = {
+  mode : string;
+  queries : int;
+  wall_ns : int64;  (* best repetition segment *)
+  qps : float;
+  reps : int;
+  total_tuples : int;  (* per segment *)
+  checksum : int;  (* per segment *)
+}
+
+let run cfg =
+  Output.header ~id:"Observability"
+    ~title:"probe-bound answer() with recorder + always-on tracing vs all off"
+    ~paper:
+      "(extension) observability overhead gate: root span per query, flight \
+       recorder, SLO histogram";
+  let scale = Option.value cfg.scale ~default:(if cfg.full then 0.01 else 0.003) in
+  let pool = Buffer_pool.create ~capacity:8_000 () in
+  let catalog = Catalog.create pool in
+  let params = Tpcr.params_for_scale ~seed:cfg.seed scale in
+  ignore (Tpcr.generate catalog params);
+  let t1 = Template.compile catalog Querygen.t1_spec in
+  let engine = Engine.scoped ~catalog () in
+  ignore (Engine.ensure_view ~capacity:2_000 ~f_max:3 engine t1);
+  Engine.set_probe_path engine Pmv.Answer.Epoch;
+  let dz = Zipf.create ~n:params.Tpcr.n_dates ~alpha:1.07 in
+  let sz = Zipf.create ~n:params.Tpcr.n_suppliers ~alpha:1.07 in
+  let gen rng = Querygen.gen_t1 t1 ~dates_zipf:dz ~supp_zipf:sz ~e:2 ~f:2 rng in
+  let slo = Slo.create () in
+  (* the full serving surface per query, exactly as the shell runs it:
+     root span (sampled), trace threaded through answer, latency into
+     the watchdog — in BOTH modes, so the off mode measures the same
+     code path with the stack disabled, not a stripped loop *)
+  let tuples = ref 0 and checksum = ref 0 in
+  let answer inst =
+    let t0 = Monotonic_clock.now () in
+    let trace = Engine.trace_start ~at:t0 engine "select:t1" in
+    ignore
+      (Engine.answer ?trace engine inst ~on_tuple:(fun _ tuple ->
+           incr tuples;
+           checksum := !checksum + Tuple.hash tuple));
+    let t1 = Monotonic_clock.now () in
+    Option.iter (Engine.trace_finish ~at:t1 engine) trace;
+    Slo.note_query slo ~template:"t1"
+      ?trace:(Option.map Span.root trace)
+      (Int64.sub t1 t0)
+  in
+  (* four stack configurations, so a regression is attributable: the
+     gated "on" plus its two halves. [every] huge = sampled out, so the
+     off modes still pay the real production cost of the sampling
+     decision itself. *)
+  let configure ~flight ~spans =
+    Tm.set_enabled true;
+    Flight.set_enabled flight;
+    Tracer.set_sampling (Engine.tracer engine)
+      ~every:(if spans then 1 else 1_000_000_000)
+  in
+  let modes = [ "off"; "flight"; "trace"; "on" ] in
+  let set_observability = function
+    | "off" -> configure ~flight:false ~spans:false
+    | "flight" -> configure ~flight:true ~spans:false
+    | "trace" -> configure ~flight:false ~spans:true
+    | _ -> configure ~flight:true ~spans:true
+  in
+  (* warm until the bcp working set is resident so the epoch fast path
+     serves steady-state repeats, not cold misses (see exp_shard) *)
+  set_observability "on";
+  let warm_rng = SM.create ~seed:(cfg.seed + 1) in
+  let n_warm = if cfg.full then 2_000 else 1_000 in
+  for _ = 1 to n_warm do
+    answer (gen warm_rng)
+  done;
+  (* the modes differ by a few hundred ns per query, so each slice
+     must stay long enough (hundreds of queries) that the per-slice
+     floors are not dominated by timer granularity *)
+  let n_queries = if cfg.full then 4_000 else 2_000 in
+  let rng = SM.create ~seed:(cfg.seed + 2) in
+  let instances = Array.init n_queries (fun _ -> gen rng) in
+  (* sliced interleaved pairing with contended-repetition rejection —
+     the methodology lives in bench/pairing.ml *)
+  let m =
+    Pairing.measure ~modes ~set_mode:set_observability
+      ~run:(fun i -> answer instances.(i))
+      ~counters:(fun () -> (!tuples, !checksum))
+      ~n:n_queries ()
+  in
+  set_observability "on";
+  let overhead_pct = m.Pairing.overhead_pct in
+  let result mode =
+    let r = List.assoc mode m.Pairing.results in
+    {
+      mode;
+      queries = n_queries;
+      wall_ns = r.Pairing.wall_ns;
+      qps = float_of_int n_queries /. (Int64.to_float r.Pairing.wall_ns /. 1e9);
+      reps = m.Pairing.reps;
+      total_tuples = r.Pairing.tuples;
+      checksum = r.Pairing.checksum;
+    }
+  in
+  let off = result "off" and on = result "on" in
+  if on.checksum <> off.checksum || on.total_tuples <> off.total_tuples then
+    Fmt.epr
+      "WARNING: observability on/off runs disagree (%d/%d tuples, %d/%d checksum)@."
+      on.total_tuples off.total_tuples on.checksum off.checksum;
+  let regression_pct = overhead_pct "on" in
+  let pass = regression_pct < 5.0 in
+  Output.row "%-14s %-9s %-12s %-9s %s@." "observability" "queries" "queries/s"
+    "reps" "overhead";
+  List.iter
+    (fun mode ->
+      let r = result mode in
+      Output.row "%-14s %-9d %-12.1f %-9d %+.2f%%@." r.mode r.queries r.qps r.reps
+        (overhead_pct mode))
+    modes;
+  Output.row "overhead: %.2f%% throughput (gate: < 5%%, %s; %d/%d paired slices clean)@."
+    regression_pct
+    (if pass then "pass" else "FAIL")
+    m.Pairing.clean_groups m.Pairing.groups;
+  (* evidence the stack was actually live in the on segments: the
+     flight timeline (count + reproducible digest) and the watchdog's
+     end-to-end quantiles over everything answered above *)
+  let events = Flight.dump () in
+  let digest = Flight.digest events in
+  let slo_json =
+    match List.assoc_opt "t1.total" (Slo.summaries slo) with
+    | None -> "null"
+    | Some s ->
+        Fmt.str
+          {|{"count": %d, "p50_ns": %Ld, "p95_ns": %Ld, "p99_ns": %Ld, "p999_ns": %Ld}|}
+          s.Histogram.count s.Histogram.p50 s.Histogram.p95 s.Histogram.p99
+          s.Histogram.p999
+  in
+  Output.row "flight recorder: %d events, digest %s@." (List.length events) digest;
+  let json_of_mode r =
+    Fmt.str
+      {|{"queries": %d, "wall_ns": %Ld, "queries_per_sec": %.1f, "reps": %d, "total_tuples": %d, "checksum": %d}|}
+      r.queries r.wall_ns r.qps r.reps r.total_tuples r.checksum
+  in
+  let json =
+    Fmt.str
+      {|{
+  "experiment": "observability",
+  "scale": %g,
+  "seed": %d,
+  "host_cores": %d,
+  "regime": "probe-bound epoch, t1 zipf alpha=1.07 e=f=2, plan cache on",
+  "baseline": "counters + histograms on, spans sampled out, flight recorder off",
+  "on_stack": "span-per-query (every=1) + flight recorder",
+  "off": %s,
+  "on": %s,
+  "flight_only_pct": %.3f,
+  "trace_only_pct": %.3f,
+  "regression_pct": %.3f,
+  "clean_slices": %d,
+  "pass": %b,
+  "flight": {"events": %d, "digest": %S},
+  "slo_total": %s
+}
+|}
+      scale cfg.seed
+      (Domain.recommended_domain_count ())
+      (json_of_mode off) (json_of_mode on) (overhead_pct "flight")
+      (overhead_pct "trace") regression_pct m.Pairing.clean_groups pass
+      (List.length events) digest slo_json
+  in
+  let oc = open_out "BENCH_observability.json" in
+  output_string oc json;
+  close_out oc;
+  Output.row "wrote BENCH_observability.json@."

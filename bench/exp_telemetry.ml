@@ -3,12 +3,13 @@
    The telemetry subsystem promises to be cheap enough to leave on:
    counters are single field updates, histograms one bucket increment,
    and span trees are 1-in-k sampled. This experiment measures that
-   claim: the same T1/T2 query mix (fresh data, fresh views, same
-   seeds) runs with telemetry enabled and disabled back to back,
-   several repetitions, and the overhead is the median of the
-   per-repetition wall-time ratios (robust to host noise).
-   The run fails its gate when enabling telemetry costs more than 5%
-   throughput (tools/check.sh enforces this on BENCH_telemetry.json).
+   claim: one stack (fresh data, fresh views) is built and warmed, and
+   then the same T1/T2 query stream runs with telemetry enabled and
+   disabled under the paired interleaved-slice harness of
+   bench/pairing.ml (slice-level pairing, rotating order, overhead
+   from per-slice wall-time floors). The run fails its gate when
+   enabling telemetry costs more than 5% throughput (tools/check.sh
+   enforces this on BENCH_telemetry.json).
 
    Results are printed and written to BENCH_telemetry.json together
    with the final enabled-mode telemetry snapshot, so the bench output
@@ -35,10 +36,15 @@ type mode_result = {
   checksum : int;
 }
 
-(* One repetition: fresh data and views, the same query stream, the
-   full shell-shaped stack (manager + plan cache + S locks). *)
-let run_once cfg ~scale ~enabled =
-  Tm.set_enabled enabled;
+let run cfg =
+  Output.header ~id:"Telemetry"
+    ~title:"answer() throughput with telemetry enabled vs disabled"
+    ~paper:"(extension) observability overhead gate: counters+histograms+sampled spans";
+  let scale = Option.value cfg.scale ~default:(if cfg.full then 0.02 else 0.005) in
+  (* one shared stack: the full shell-shaped surface (manager + plan
+     cache + S locks), built and warmed once so both modes probe the
+     same resident working set — rebuilding per mode measured allocator
+     and buffer-pool state at least as much as telemetry *)
   let pool = Buffer_pool.create ~capacity:4_000 () in
   let catalog = Catalog.create pool in
   let params = Tpcr.params_for_scale ~seed:cfg.seed scale in
@@ -58,86 +64,57 @@ let run_once cfg ~scale ~enabled =
   in
   let checksum = ref 0 and total_tuples = ref 0 in
   let answer inst =
-    Pmv.Manager.answer ~locks manager inst ~on_tuple:(fun _ tuple ->
-        incr total_tuples;
-        checksum := !checksum + Tuple.hash tuple)
+    ignore
+      (Pmv.Manager.answer ~locks manager inst ~on_tuple:(fun _ tuple ->
+           incr total_tuples;
+           checksum := !checksum + Tuple.hash tuple))
   in
+  Tm.set_enabled true;
   let warm_rng = SM.create ~seed:(cfg.seed + 1) in
-  let n_warm = if cfg.full then 160 else 80 in
+  let n_warm = if cfg.full then 320 else 160 in
   for i = 0 to n_warm - 1 do
-    ignore (answer (gen warm_rng i))
+    answer (gen warm_rng i)
   done;
-  checksum := 0;
-  total_tuples := 0;
-  let n_queries = if cfg.full then 1_280 else 640 in
+  let n_queries = if cfg.full then 2_560 else 1_280 in
   let rng = SM.create ~seed:(cfg.seed + 2) in
-  let instances = List.init n_queries (gen rng) in
-  let t0 = Monotonic_clock.now () in
-  List.iter (fun inst -> ignore (answer inst)) instances;
-  let wall_ns = Int64.sub (Monotonic_clock.now ()) t0 in
-  (n_queries, wall_ns, !total_tuples, !checksum)
-
-let run cfg =
-  Output.header ~id:"Telemetry"
-    ~title:"answer() throughput with telemetry enabled vs disabled"
-    ~paper:"(extension) observability overhead gate: counters+histograms+sampled spans";
-  let scale = Option.value cfg.scale ~default:(if cfg.full then 0.02 else 0.005) in
-  (* each repetition pair is well under a second even at full scale,
-     so a deep sweep is affordable and buys the median real margin *)
-  let reps = 9 in
-  (* The two modes run back to back within each repetition (order
-     alternating across repetitions) so cache/allocator drift and slow
-     host phases hit both equally. The overhead estimate is the median
-     of the per-repetition wall-time ratios: pairing cancels load
-     shifts that outlast a whole best-of sweep, and the median ignores
-     a repetition that caught a noise spike in one mode only. The best
-     wall per mode is still kept for the absolute-throughput rows. *)
-  let best = Hashtbl.create 2 in
-  let record mode ((_, wall, _, _) as r) =
-    match Hashtbl.find_opt best mode with
-    | Some (_, w, _, _) when Int64.compare w wall <= 0 -> ()
-    | _ -> Hashtbl.replace best mode r
-  in
-  let ratios = ref [] in
-  for rep = 1 to reps do
-    let off_first = rep mod 2 = 1 in
-    let r1 = run_once cfg ~scale ~enabled:(not off_first) in
-    let r2 = run_once cfg ~scale ~enabled:off_first in
-    let off_r, on_r = if off_first then (r1, r2) else (r2, r1) in
-    record "off" off_r;
-    record "on" on_r;
-    let _, off_wall, _, _ = off_r and _, on_wall, _, _ = on_r in
-    ratios := (Int64.to_float on_wall /. Int64.to_float off_wall) :: !ratios
-  done;
-  let median xs =
-    let a = Array.of_list (List.sort compare xs) in
-    a.(Array.length a / 2)
+  let instances = Array.init n_queries (gen rng) in
+  (* sliced interleaved pairing with contended-repetition rejection —
+     the methodology lives in bench/pairing.ml *)
+  let modes = [ "off"; "on" ] in
+  let m =
+    Pairing.measure ~modes
+      ~set_mode:(fun mode -> Tm.set_enabled (mode = "on"))
+      ~run:(fun i -> answer instances.(i))
+      ~counters:(fun () -> (!total_tuples, !checksum))
+      ~n:n_queries ()
   in
   Tm.set_enabled true;
   let result mode =
-    let q, wall, tuples, sum = Hashtbl.find best mode in
+    let r = List.assoc mode m.Pairing.results in
     {
       mode;
-      queries = q;
-      wall_ns = wall;
-      qps = float_of_int q /. (Int64.to_float wall /. 1e9);
-      reps;
-      total_tuples = tuples;
-      checksum = sum;
+      queries = n_queries;
+      wall_ns = r.Pairing.wall_ns;
+      qps = float_of_int n_queries /. (Int64.to_float r.Pairing.wall_ns /. 1e9);
+      reps = m.Pairing.reps;
+      total_tuples = r.Pairing.tuples;
+      checksum = r.Pairing.checksum;
     }
   in
   let off = result "off" and on = result "on" in
   if on.checksum <> off.checksum || on.total_tuples <> off.total_tuples then
     Fmt.epr "WARNING: telemetry on/off runs disagree (%d/%d tuples, %d/%d checksum)@."
       on.total_tuples off.total_tuples on.checksum off.checksum;
-  let regression_pct = (median !ratios -. 1.0) *. 100.0 in
+  let regression_pct = m.Pairing.overhead_pct "on" in
   let pass = regression_pct < 5.0 in
   Output.row "%-10s %-9s %-12s %-9s@." "telemetry" "queries" "queries/s" "reps";
   List.iter
     (fun r -> Output.row "%-10s %-9d %-12.1f %-9d@." r.mode r.queries r.qps r.reps)
     [ off; on ];
-  Output.row "overhead: %.2f%% throughput (gate: < 5%%, %s)@." regression_pct
-    (if pass then "pass" else "FAIL");
+  Output.row "overhead: %.2f%% throughput (gate: < 5%%, %s; %d/%d paired slices clean)@."
+    regression_pct
+    (if pass then "pass" else "FAIL")
+    m.Pairing.clean_groups m.Pairing.groups;
   let json_of_mode r =
     Fmt.str
       {|{"queries": %d, "wall_ns": %Ld, "queries_per_sec": %.1f, "reps": %d, "total_tuples": %d, "checksum": %d}|}
@@ -153,11 +130,13 @@ let run cfg =
   "off": %s,
   "on": %s,
   "regression_pct": %.3f,
+  "clean_slices": %d,
   "pass": %b,
   "snapshot": %s
 }
 |}
-      scale cfg.seed (json_of_mode off) (json_of_mode on) regression_pct pass
+      scale cfg.seed (json_of_mode off) (json_of_mode on) regression_pct
+      m.Pairing.clean_groups pass
       (Minirel_telemetry.Export.json_string (Tm.snapshot ()))
   in
   let oc = open_out "BENCH_telemetry.json" in

@@ -31,6 +31,8 @@ let experiments ~full ~seed ~scale ~domains =
     ("micro", fun () -> Exp_micro.run ());
     ("plancache", fun () -> Exp_plancache.run { Exp_plancache.full; seed; scale });
     ("telemetry", fun () -> Exp_telemetry.run { Exp_telemetry.full; seed; scale });
+    ( "observability",
+      fun () -> Exp_observability.run { Exp_observability.full; seed; scale } );
     ("torture", fun () -> Exp_torture.run { Exp_torture.full; seed; scale });
     ("shard", fun () -> Exp_shard.run { Exp_shard.full; seed; scale });
     ("parallel", fun () -> Exp_parallel.run { Exp_parallel.full; seed; scale; domains });
@@ -88,7 +90,7 @@ let names =
     & info [] ~docv:"EXPERIMENT"
         ~doc:
           "Experiments to run: table1 fig6 fig7 fig8 fig9 fig10 fig11 fig12 \
-           maintain-measured ablation-policy ablation-aux ablation-f ablation-drift ablation-interval sens-warmup micro plancache telemetry torture shard parallel. \
+           maintain-measured ablation-policy ablation-aux ablation-f ablation-drift ablation-interval sens-warmup micro plancache telemetry observability torture shard parallel. \
            Default: all.")
 
 let cmd =

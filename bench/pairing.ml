@@ -1,0 +1,127 @@
+(* Paired interleaved-slice A/B overhead measurement (DESIGN.md §14).
+
+   Whole-segment pairing ("run mode A, then mode B, repeat") is not
+   enough on a shared host: a few milliseconds of CPU steal landing
+   inside one mode's segment swings the per-repetition ratio by more
+   than the effect being measured. This harness hardens the pairing
+   three ways:
+
+   - each repetition cuts the identical work stream into slices, and
+     within a slice every mode runs the same items back to back, so
+     every (mode, slice) cell is sampled [reps] times spread across
+     the whole sweep;
+   - the mode order rotates cyclically per slice and per repetition, so
+     monotone drift (frequency ramp, allocator growth) cannot
+     systematically favour one mode;
+   - the estimate is built from wall-time floors: a slice's wall has a
+     hard lower bound at its true compute time — deterministic costs
+     (the stack under test, the extra GC work its allocation causes)
+     are in every sample, while scheduler noise only ever adds — so
+     the minimum over the [reps] samples of each (mode, slice) cell
+     converges on the clean wall. The overhead is the ratio of
+     floor sums, mode vs baseline, which a noise burst cannot inflate
+     unless it lands on all [reps] samples of a cell.
+
+   The first mode in [modes] is the baseline. [clean_groups] reports
+   how many of the reps * slices interleaved groups ran within 10% of
+   the cleanest group's total wall — a host-contention diagnostic, not
+   part of the estimate. *)
+
+type mode_result = {
+  wall_ns : int64;  (* best repetition wall *)
+  tuples : int;  (* work fingerprint of that repetition... *)
+  checksum : int;  (* ...for cross-mode identity checks *)
+}
+
+type t = {
+  results : (string * mode_result) list;  (* in [modes] order *)
+  overhead_pct : string -> float;
+      (* floor-sum wall ratio vs the baseline mode, as a percentage
+         over 1.0 *)
+  clean_groups : int;  (* groups within 10% of the cleanest's total *)
+  groups : int;  (* reps * slices *)
+  reps : int;
+}
+
+(* [measure ~modes ~set_mode ~run ~counters ~n] times [run i] for every
+   i in [0, n) under each mode. [set_mode] switches the stack under
+   test; [counters] reads the caller's cumulative (tuples, checksum)
+   cells so each slice's delta can be attributed to its mode. *)
+let measure ~modes ~set_mode ~run ~counters ~n ?(slices = 4) ?(reps = 12) () =
+  let k = List.length modes in
+  let baseline = List.hd modes in
+  let slice_len = n / slices in
+  let time_slice mode ~slice =
+    set_mode mode;
+    let t0 = Monotonic_clock.now () in
+    for i = slice * slice_len to ((slice + 1) * slice_len) - 1 do
+      run i
+    done;
+    Int64.sub (Monotonic_clock.now ()) t0
+  in
+  let best = Hashtbl.create k in
+  let record mode ((wall, _, _) as r) =
+    match Hashtbl.find_opt best mode with
+    | Some (w, _, _) when Int64.compare w wall <= 0 -> ()
+    | _ -> Hashtbl.replace best mode r
+  in
+  (* (mode, slice) -> minimum wall seen across repetitions *)
+  let floors = Hashtbl.create (k * slices) in
+  let note_floor mode slice w =
+    match Hashtbl.find_opt floors (mode, slice) with
+    | Some f when Int64.compare f w <= 0 -> ()
+    | _ -> Hashtbl.replace floors (mode, slice) w
+  in
+  let group_totals = ref [] in
+  for rep = 1 to reps do
+    let rep_walls = Hashtbl.create k in
+    let counts = Hashtbl.create k in
+    for slice = 0 to slices - 1 do
+      let order = List.init k (fun i -> List.nth modes ((i + rep + slice) mod k)) in
+      let group_total = ref 0.0 in
+      List.iter
+        (fun mode ->
+          let t0, c0 = counters () in
+          let w = time_slice mode ~slice in
+          let t1, c1 = counters () in
+          note_floor mode slice w;
+          group_total := !group_total +. Int64.to_float w;
+          let pw = Option.value (Hashtbl.find_opt rep_walls mode) ~default:0L in
+          Hashtbl.replace rep_walls mode (Int64.add pw w);
+          let pt, pc = Option.value (Hashtbl.find_opt counts mode) ~default:(0, 0) in
+          Hashtbl.replace counts mode (pt + t1 - t0, pc + c1 - c0))
+        order;
+      group_totals := !group_total :: !group_totals
+    done;
+    List.iter
+      (fun mode ->
+        let wall = Hashtbl.find rep_walls mode in
+        let tu, ck = Hashtbl.find counts mode in
+        record mode (wall, tu, ck))
+      modes
+  done;
+  let floor_sum mode =
+    let s = ref 0L in
+    for slice = 0 to slices - 1 do
+      s := Int64.add !s (Hashtbl.find floors (mode, slice))
+    done;
+    Int64.to_float !s
+  in
+  let base_floor = floor_sum baseline in
+  let overhead_pct mode = (floor_sum mode /. base_floor -. 1.0) *. 100.0 in
+  let clean_groups =
+    let min_total = List.fold_left Float.min Float.max_float !group_totals in
+    List.length (List.filter (fun t -> t <= min_total *. 1.10) !group_totals)
+  in
+  {
+    results =
+      List.map
+        (fun mode ->
+          let wall, tuples, checksum = Hashtbl.find best mode in
+          (mode, { wall_ns = wall; tuples; checksum }))
+        modes;
+    overhead_pct;
+    clean_groups;
+    groups = reps * slices;
+    reps;
+  }

@@ -6,11 +6,15 @@
      query    answer a single T1 query (dates/suppliers from the CLI),
               showing partial results arriving before execution results
      simulate run one hit-probability simulation cell
+     trace    print the stitched span tree of one traced query
+     flight   dump the flight recorder after a (faulted) workload
 
    Examples:
      pmvctl demo --scale 0.02 --queries 500 --policy 2q
      pmvctl query --dates 3,7 --suppliers 2 --scale 0.01
      pmvctl simulate --alpha 1.07 --h 2 --n 2000
+     pmvctl trace --shards 4 --domains 4 --probe-path epoch
+     pmvctl flight --fault maintain.apply --queries 50
 *)
 
 open Minirel_storage
@@ -25,6 +29,10 @@ module Shell = Minirel_shell.Shell
 module Engine = Minirel_engine.Engine
 module Router = Minirel_engine.Shard_router
 module Pool = Minirel_parallel.Pool
+module Span = Minirel_telemetry.Span
+module Tracer = Minirel_telemetry.Tracer
+module Flight = Minirel_telemetry.Flight
+module Fault = Minirel_fault.Fault
 
 (* Run [f] with a Domain pool of [domains] workers (None when 1 —
    everything stays sequential), shutting the pool down on the way
@@ -135,7 +143,7 @@ let simulate alpha h n policy =
    the telemetry in the requested format. Sharded prom output labels
    every series with its shard; text and json report the merged view
    (counters/gauges summed, histogram summaries merged). *)
-let metrics scale seed queries format shards =
+let metrics scale seed queries format shards probe_path =
   let catalog, params, t1 = build ~scale ~seed in
   let dz = Zipf.create ~n:params.Tpcr.n_dates ~alpha:1.07 in
   let sz = Zipf.create ~n:params.Tpcr.n_suppliers ~alpha:1.07 in
@@ -143,6 +151,7 @@ let metrics scale seed queries format shards =
   let gen () = Querygen.gen_t1 t1 ~dates_zipf:dz ~supp_zipf:sz ~e:2 ~f:2 rng in
   if shards <= 1 then begin
     let engine = Engine.create ~catalog () in
+    Engine.set_probe_path engine probe_path;
     ignore (Engine.ensure_view ~capacity:2_000 ~f_max:3 engine t1);
     for _ = 1 to queries do
       ignore (Engine.answer engine (gen ()) ~on_tuple:(fun _ _ -> ()))
@@ -155,6 +164,7 @@ let metrics scale seed queries format shards =
   end
   else begin
     let router = shard_tpcr ~shards catalog in
+    Router.set_probe_path router probe_path;
     ignore (Router.create_view ~capacity:2_000 ~f_max:3 router t1);
     for _ = 1 to queries do
       ignore (Router.answer router (gen ()) ~on_tuple:(fun _ _ -> ()))
@@ -167,6 +177,126 @@ let metrics scale seed queries format shards =
         Fmt.pr "merged over %d shards@.%a@." shards Minirel_telemetry.Registry.pp_snapshot
           (Router.snapshot_merged router)
   end
+
+(* --trace-sample N [--trace-seed S]: 1-in-N stratified span sampling on
+   [engine]'s tracer, reproducible from the seed — the same seed always
+   selects the same ticks. N = 1 traces every query. *)
+let apply_trace_sampling engine sample tseed =
+  match sample with
+  | None -> ()
+  | Some every ->
+      Tracer.set_sampling
+        ?seed:(Option.map Int64.of_int tseed)
+        (Engine.tracer engine) ~every
+
+(* Answer a seeded T1 workload and print the final query's stitched
+   span tree: one tree per query even across the sharded parallel
+   fan-out — per-shard subtrees annotated with shard/domain/worker,
+   probe-path attribution on every answer span. *)
+let trace scale seed queries shards domains probe_path sample tseed =
+  let catalog, params, t1 = build ~scale ~seed in
+  let dz = Zipf.create ~n:params.Tpcr.n_dates ~alpha:1.07 in
+  let sz = Zipf.create ~n:params.Tpcr.n_suppliers ~alpha:1.07 in
+  let rng = SM.create ~seed:(seed + 1) in
+  let gen () = Querygen.gen_t1 t1 ~dates_zipf:dz ~supp_zipf:sz ~e:2 ~f:2 rng in
+  with_pool ~domains @@ fun par ->
+  (* [e] owns the tracer the root span opens on (shard 0 when sharded) *)
+  let e, answer =
+    if shards <= 1 then begin
+      let engine = Engine.create ~catalog () in
+      Engine.set_parallel engine par;
+      Engine.set_probe_path engine probe_path;
+      ignore (Engine.ensure_view ~capacity:2_000 ~f_max:3 engine t1);
+      (engine, fun ?trace q ~on_tuple -> Engine.answer ?trace engine q ~on_tuple)
+    end
+    else begin
+      let router = shard_tpcr ~shards catalog in
+      Router.set_parallel router par;
+      Router.set_probe_path router probe_path;
+      ignore (Router.create_view ~capacity:2_000 ~f_max:3 router t1);
+      (Router.shard router 0, fun ?trace q ~on_tuple -> Router.answer ?trace router q ~on_tuple)
+    end
+  in
+  apply_trace_sampling e sample tseed;
+  for _ = 1 to max 0 (queries - 1) do
+    ignore (answer (gen ()) ~on_tuple:(fun _ _ -> ()))
+  done;
+  Engine.force_next_trace e;
+  let tr = Engine.trace_start e "select:t1" in
+  let n = ref 0 in
+  let stats, _ = answer ?trace:tr (gen ()) ~on_tuple:(fun _ _ -> incr n) in
+  Option.iter (Engine.trace_finish e) tr;
+  Fmt.pr "@.%d tuples (%d via O2), overhead %.1f µs, exec %.1f µs@." !n
+    stats.Pmv.Answer.partial_count
+    (Int64.to_float stats.Pmv.Answer.overhead_ns /. 1e3)
+    (Int64.to_float stats.Pmv.Answer.exec_ns /. 1e3);
+  match Engine.last_trace e with
+  | Some tr -> Fmt.pr "@.%a" Span.pp_trace tr
+  | None -> Fmt.pr "telemetry disabled — no trace recorded@."
+
+(* Drive queries interleaved with lineitem inserts (so maintenance,
+   publishes and — with --fault — failpoint hits land in the recorder),
+   then dump the flight recorder: a merged, globally-ordered event log
+   whose digest depends only on what happened, not when. *)
+let flight scale seed queries shards domains probe_path fault_site =
+  let catalog, params, t1 = build ~scale ~seed in
+  let dz = Zipf.create ~n:params.Tpcr.n_dates ~alpha:1.07 in
+  let sz = Zipf.create ~n:params.Tpcr.n_suppliers ~alpha:1.07 in
+  let rng = SM.create ~seed:(seed + 1) in
+  let gen () = Querygen.gen_t1 t1 ~dates_zipf:dz ~supp_zipf:sz ~e:2 ~f:2 rng in
+  let lineitem i =
+    [|
+      Value.Int (1_000_000 + i);
+      Value.Int (1 + (i mod params.Tpcr.n_suppliers));
+      Value.Int 1;
+      Value.Int (1 + (i mod 50));
+      Value.Float 100.0;
+      Value.Str "";
+    |]
+  in
+  with_pool ~domains @@ fun par ->
+  Flight.reset ();
+  let arm reg =
+    match fault_site with
+    | None -> ()
+    | Some site ->
+        Fault.enable_in ~seed reg;
+        Fault.arm_in reg site Fault.Once
+  in
+  let answer, run_dml =
+    if shards <= 1 then begin
+      let engine = Engine.create ~catalog () in
+      Engine.set_parallel engine par;
+      Engine.set_probe_path engine probe_path;
+      ignore (Engine.ensure_view ~capacity:2_000 ~f_max:3 engine t1);
+      arm (Engine.fault engine);
+      ( (fun q ~on_tuple -> ignore (Engine.answer engine q ~on_tuple)),
+        fun changes -> ignore (Engine.run engine changes) )
+    end
+    else begin
+      let router = shard_tpcr ~shards catalog in
+      Router.set_parallel router par;
+      Router.set_probe_path router probe_path;
+      ignore (Router.create_view ~capacity:2_000 ~f_max:3 router t1);
+      List.iter (fun e -> arm (Engine.fault e)) (Router.shards router);
+      ( (fun q ~on_tuple -> ignore (Router.answer router q ~on_tuple)),
+        fun changes -> ignore (Router.run router changes) )
+    end
+  in
+  let faults = ref 0 in
+  for i = 1 to queries do
+    answer (gen ()) ~on_tuple:(fun _ _ -> ());
+    if i mod 5 = 0 then
+      (* an armed maintain.apply raises here: the view missed the step
+         (stale drift, the torture driver's domain) — the recorder keeps
+         the Fault_hit and the workload carries on *)
+      try run_dml [ Minirel_txn.Txn.Insert { rel = "lineitem"; tuple = lineitem i } ]
+      with Fault.Injected _ -> incr faults
+  done;
+  if !faults > 0 then Fmt.pr "%d injected fault(s) hit during DML@." !faults;
+  Flight.record Flight.Dump_trigger ~a:(Flight.intern "pmvctl.flight");
+  let events = Flight.dump () in
+  Fmt.pr "%a@." Flight.pp_dump events
 
 (* Run SQL statements against generated TPC-R data through the shell,
    one PMV per template (per shard when sharded). Each statement runs
@@ -401,6 +531,58 @@ let sql_cmd =
       const sql $ scale_arg $ seed_arg $ shards_arg $ domains_arg $ probe_path_arg
       $ statements)
 
+let trace_sample_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "trace-sample" ] ~docv:"N"
+        ~doc:
+          "Trace 1 in N queries (stratified: exactly one per window of N, which query \
+           being a pure function of the seed). 1 traces every query. Also settable via \
+           \\$(b,PMV_TRACE_SAMPLE).")
+
+let trace_seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "trace-seed" ] ~docv:"S"
+        ~doc:
+          "Seed of the sampling stream: the same seed reproduces the same sampled span \
+           set. Also settable via \\$(b,PMV_TRACE_SEED).")
+
+let trace_cmd =
+  let queries = Arg.(value & opt int 10 & info [ "queries" ] ~docv:"N") in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Answer a short T1 workload and print the last query's stitched span tree — one \
+          tree per query even across the sharded parallel fan-out, with per-shard \
+          subtrees annotated shard/domain/worker and probe-path attribution")
+    Term.(
+      const trace $ scale_arg $ seed_arg $ queries $ shards_arg $ domains_arg
+      $ probe_path_arg $ trace_sample_arg $ trace_seed_arg)
+
+let flight_cmd =
+  let queries = Arg.(value & opt int 50 & info [ "queries" ] ~docv:"N") in
+  let fault =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault" ] ~docv:"SITE"
+          ~doc:
+            "Arm the failpoint SITE (e.g. $(b,maintain.apply), $(b,lockmgr.acquire)) to \
+             fire once, so the hit and its fallout land in the recorder.")
+  in
+  Cmd.v
+    (Cmd.info "flight"
+       ~doc:
+         "Drive a query+DML workload (optionally with a forced fault) and dump the \
+          flight recorder: a merged, time-ordered low-level event log with a \
+          reproducible digest")
+    Term.(
+      const flight $ scale_arg $ seed_arg $ queries $ shards_arg $ domains_arg
+      $ probe_path_arg $ fault)
+
 let metrics_cmd =
   let queries = Arg.(value & opt int 200 & info [ "queries" ] ~docv:"N") in
   let format =
@@ -412,7 +594,9 @@ let metrics_cmd =
   Cmd.v
     (Cmd.info "metrics"
        ~doc:"Run a short T1 workload and dump the telemetry snapshot")
-    Term.(const metrics $ scale_arg $ seed_arg $ queries $ format $ shards_arg)
+    Term.(
+      const metrics $ scale_arg $ seed_arg $ queries $ format $ shards_arg
+      $ probe_path_arg)
 
 let repl_cmd =
   let fresh =
@@ -455,4 +639,14 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "pmvctl" ~doc)
-          [ demo_cmd; query_cmd; simulate_cmd; sql_cmd; metrics_cmd; repl_cmd; torture_cmd ]))
+          [
+            demo_cmd;
+            query_cmd;
+            simulate_cmd;
+            sql_cmd;
+            metrics_cmd;
+            trace_cmd;
+            flight_cmd;
+            repl_cmd;
+            torture_cmd;
+          ]))

@@ -124,11 +124,23 @@ let find_view t ~template = Pmv.Manager.find t.manager ~template
 (* Answer under the Section 3.6 S-lock protocol through the engine's
    manager (PMV when the template has one, plain otherwise). [par]
    overrides the attached pool for this query. *)
-let answer ?par ?profile ?probe_path t instance ~on_tuple =
+let answer ?par ?profile ?probe_path ?trace t instance ~on_tuple =
   let par = match par with Some _ -> par | None -> t.par in
   let probe_path = Option.value ~default:t.probe_path probe_path in
-  Pmv.Manager.answer ~locks:(locks t) ?par ?profile ~probe_path t.manager instance
-    ~on_tuple
+  Pmv.Manager.answer ~locks:(locks t) ?par ?profile ~probe_path ?trace t.manager
+    instance ~on_tuple
+
+(* Root-trace lifecycle on this engine's (possibly scoped) tracer: the
+   serving surface (shell, pmvctl) opens the root here, threads the
+   trace through [answer]/the router, and closes it so the stitched
+   tree lands in the tracer's retained ring. *)
+let trace_start ?at t name =
+  if Minirel_telemetry.Telemetry.is_enabled () then Tracer.start ?at t.tracer name
+  else None
+
+let trace_finish ?at t trace = Tracer.finish ?at t.tracer trace
+let last_trace t = Tracer.last t.tracer
+let force_next_trace t = Tracer.force_next t.tracer
 
 let snapshot t = Registry.snapshot t.registry
 

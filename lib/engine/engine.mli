@@ -102,15 +102,32 @@ val find_view : t -> template:string -> Pmv.View.t option
     boolean reports whether a view was used. [par] overrides the
     attached pool ({!set_parallel}) for this query; either way, O3
     heap scans and hash joins run morsel-parallel on the pool.
-    [probe_path] overrides the engine default ({!set_probe_path}). *)
+    [probe_path] overrides the engine default ({!set_probe_path});
+    [trace] propagates a caller-owned trace context so the whole
+    pipeline records into one stitched span tree (see
+    {!Pmv.Answer.answer}). *)
 val answer :
   ?par:Minirel_parallel.Pool.t ->
   ?profile:Minirel_exec.Exec_stats.t ->
   ?probe_path:Pmv.Answer.probe_path ->
+  ?trace:Minirel_telemetry.Span.trace ->
   t ->
   Minirel_query.Instance.t ->
   on_tuple:(Pmv.Answer.phase -> Minirel_storage.Tuple.t -> unit) ->
   Pmv.Answer.stats * bool
+
+(** Root-trace lifecycle on this engine's tracer (subject to its
+    stratified sampling; [None] when sampled out or telemetry is
+    disabled). The serving surface opens the root span here, threads
+    the trace through {!answer} or the router, then closes it with
+    {!trace_finish} to land it in the retained ring. [at] reuses a
+    monotonic timestamp the surface already read for its own latency
+    accounting, sparing always-on tracing a second clock read. *)
+val trace_start : ?at:int64 -> t -> string -> Minirel_telemetry.Span.trace option
+
+val trace_finish : ?at:int64 -> t -> Minirel_telemetry.Span.trace -> unit
+val last_trace : t -> Minirel_telemetry.Span.trace option
+val force_next_trace : t -> unit
 
 (** This engine's telemetry snapshot. *)
 val snapshot : t -> (string * Minirel_telemetry.Registry.value) list

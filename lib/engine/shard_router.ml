@@ -42,6 +42,8 @@ module Bcp = Minirel_query.Bcp
 module Txn = Minirel_txn.Txn
 module Export = Minirel_telemetry.Export
 module Histogram = Minirel_telemetry.Histogram
+module Span = Minirel_telemetry.Span
+module Flight = Minirel_telemetry.Flight
 
 module Pool = Minirel_parallel.Pool
 module Spsc = Minirel_parallel.Spsc
@@ -56,6 +58,13 @@ type part = Hash of int (* partition-key position *) | Replicated
 type probe_cache = {
   pc_compiled : Template.compiled;
   pc_segments : Pmv.Entry_store.t array;  (* one per shard, disjoint bcp sets *)
+  (* Per-segment fast-path counters, atomic because pool-driven callers
+     may race a concurrent reader; indexed like [pc_segments]. Exported
+     per (template, shard) through the [router.probe] source and with
+     {shard,template} labels in {!prometheus_string}. *)
+  pc_hits : int Atomic.t array;  (* probes returning a trusted version *)
+  pc_misses : int Atomic.t array;  (* probes finding nothing trusted *)
+  pc_installs : int Atomic.t array;  (* complete answers installed *)
 }
 
 (* Deterministic, router-owned fast-path counters (the per-run numbers
@@ -86,6 +95,41 @@ let empty_probe_stats () =
    its fast-path source lands in the process-global one — visible to
    [pmvctl metrics] next to the engine-level series; a newer router
    takes the name over, following the live instance. *)
+let probe_cache_templates t =
+  List.sort String.compare (Hashtbl.fold (fun name _ acc -> name :: acc) t.probe_caches [])
+
+(* Per-(template, shard) cache counter rows, template-sorted so
+   snapshots and exports stay deterministic. *)
+let probe_cache_rows t =
+  List.concat_map
+    (fun template ->
+      let pc = Hashtbl.find t.probe_caches template in
+      List.concat
+        (List.init (Array.length pc.pc_segments) (fun i ->
+             [
+               (template, i, "hits", Atomic.get pc.pc_hits.(i));
+               (template, i, "misses", Atomic.get pc.pc_misses.(i));
+               (template, i, "installs", Atomic.get pc.pc_installs.(i));
+             ])))
+    (probe_cache_templates t)
+
+let probe_cache_counters t ~template =
+  match Hashtbl.find_opt t.probe_caches template with
+  | None -> [||]
+  | Some pc ->
+      Array.init (Array.length pc.pc_segments) (fun i ->
+          (Atomic.get pc.pc_hits.(i), Atomic.get pc.pc_misses.(i),
+           Atomic.get pc.pc_installs.(i)))
+
+let reset_probe_cache_counters t =
+  Hashtbl.iter
+    (fun _ pc ->
+      let zero = Array.iter (fun c -> Atomic.set c 0) in
+      zero pc.pc_hits;
+      zero pc.pc_misses;
+      zero pc.pc_installs)
+    t.probe_caches
+
 let register_probe_telemetry ?(registry = Minirel_telemetry.Registry.default) t =
   let module R = Minirel_telemetry.Registry in
   let ps = t.pstats in
@@ -95,7 +139,8 @@ let register_probe_telemetry ?(registry = Minirel_telemetry.Registry.default) t 
       ps.fallbacks <- 0;
       ps.probes <- 0;
       ps.probe_hits <- 0;
-      Histogram.reset ps.probe_ns)
+      Histogram.reset ps.probe_ns;
+      reset_probe_cache_counters t)
     (fun () ->
       [
         ("fast_hits", R.Counter ps.fast_hits);
@@ -103,7 +148,11 @@ let register_probe_telemetry ?(registry = Minirel_telemetry.Registry.default) t 
         ("probes", R.Counter ps.probes);
         ("probe_hits", R.Counter ps.probe_hits);
         ("probe_ns", R.Histogram (Histogram.summary ps.probe_ns));
-      ])
+      ]
+      @ List.map
+          (fun (template, i, kind, n) ->
+            (Printf.sprintf "%s.s%d.%s" template i kind, R.Counter n))
+          (probe_cache_rows t))
 
 let create ?pool_capacity ?default_f_max ?default_policy ~shards () =
   if shards <= 0 then invalid_arg "Shard_router.create: shards must be positive";
@@ -143,7 +192,8 @@ let reset_probe_stats t =
   ps.fallbacks <- 0;
   ps.probes <- 0;
   ps.probe_hits <- 0;
-  Histogram.reset ps.probe_ns
+  Histogram.reset ps.probe_ns;
+  reset_probe_cache_counters t
 
 let n_shards t = Array.length t.shards
 let shard t i = t.shards.(i)
@@ -282,12 +332,16 @@ let create_view ?policy ?f_max ?capacity ?ub_bytes t compiled =
      count, while the 1-shard router matches the engine's own probe
      store entry for entry. *)
   let seg_capacity = Pmv.Entry_store.capacity (Pmv.View.probe_store views.(0)) in
+  let n = Array.length t.shards in
+  let counters () = Array.init n (fun _ -> Atomic.make 0) in
   Hashtbl.replace t.probe_caches compiled.Template.spec.Template.name
     {
       pc_compiled = compiled;
       pc_segments =
-        Array.init (Array.length t.shards) (fun _ ->
-            Pmv.Entry_store.create ~capacity:seg_capacity ~f_max:64 ());
+        Array.init n (fun _ -> Pmv.Entry_store.create ~capacity:seg_capacity ~f_max:64 ());
+      pc_hits = counters ();
+      pc_misses = counters ();
+      pc_installs = counters ();
     };
   views
 
@@ -338,9 +392,13 @@ let merge_stats (a : Pmv.Answer.stats) (b : Pmv.Answer.stats) =
    morsel batches, not singly: the producer coalesces up to
    [tuple_batch] of them per message, so the queue's mutex/condvar
    handshake is paid once per chunk instead of once per tuple. *)
+(* [Done] carries the shard task's finished span subtree when the query
+   is traced: spans are built shard-locally (each task owns its private
+   trace, so no cross-domain mutation) and grafted onto the caller's
+   trace in shard order by the consumer — one stitched tree per query. *)
 type msg =
   | Batch of (Pmv.Answer.phase * Minirel_storage.Tuple.t) array
-  | Done of Pmv.Answer.stats * bool
+  | Done of Pmv.Answer.stats * bool * Span.t option
   | Fail of exn
 
 (* Tuples per [Batch] message. *)
@@ -364,11 +422,26 @@ let shard_stream_capacity = 64
    tasks cannot be cancelled, so remaining queues are drained and
    discarded until every producer settles (a blocked producer would
    otherwise poison the pool), then the first exception re-raises. *)
-let answer_parallel pool ~probe_path t targets instance ~on_tuple =
+let answer_parallel ?trace pool ~probe_path t targets instance ~on_tuple =
+  let traced = Option.is_some trace in
   let queues = List.map (fun i -> (i, Spsc.create ~capacity:shard_stream_capacity)) targets in
   List.iter
     (fun (i, q) ->
       Pool.submit pool (fun () ->
+          (* Task-private span subtree: started on the worker domain,
+             finished before shipment, attached by the consumer. *)
+          let sub =
+            if not traced then None
+            else begin
+              let s = Span.start (Printf.sprintf "shard%d" i) in
+              Span.kv s "shard" (string_of_int i);
+              Span.kv s "domain" (string_of_int (Domain.self () :> int));
+              (match Pool.worker_index () with
+              | Some w -> Span.kv s "worker" (string_of_int w)
+              | None -> ());
+              Some s
+            end
+          in
           let buf = Array.make tuple_batch (Pmv.Answer.Partial, [||]) in
           let bn = ref 0 in
           let flush () =
@@ -377,18 +450,27 @@ let answer_parallel pool ~probe_path t targets instance ~on_tuple =
               bn := 0
             end
           in
+          let finished () =
+            Option.map
+              (fun s ->
+                Span.finish s;
+                Span.root s)
+              sub
+          in
           match
-            Engine.answer ~probe_path t.shards.(i) instance ~on_tuple:(fun phase tuple ->
+            Engine.answer ~probe_path ?trace:sub t.shards.(i) instance
+              ~on_tuple:(fun phase tuple ->
                 buf.(!bn) <- (phase, tuple);
                 incr bn;
                 if !bn = tuple_batch then flush ())
           with
           | stats, used ->
               flush ();
-              Spsc.push q (Done (stats, used))
+              Spsc.push q (Done (stats, used, finished ()))
           | exception exn ->
               (* tuples already delivered before the failure still
                  reach the consumer, exactly as unbatched pushes did *)
+              ignore (finished ());
               flush ();
               Spsc.push q (Fail exn)))
     queues;
@@ -406,7 +488,11 @@ let answer_parallel pool ~probe_path t targets instance ~on_tuple =
                     try on_tuple phase tuple with exn -> note exn)
                 items;
               drain ()
-          | Done (stats, used) -> Some (stats, used)
+          | Done (stats, used, sub) ->
+              (match (trace, sub) with
+              | Some tr, Some s -> Span.attach tr s
+              | _ -> ());
+              Some (stats, used)
           | Fail exn ->
               note exn;
               None
@@ -430,17 +516,31 @@ let answer_parallel pool ~probe_path t targets instance ~on_tuple =
    is attached (or passed), >= 2 targets and no profile (Exec_stats
    trees are single-owner); sequential otherwise. Either way the merged
    stream is identical to the sequential one. *)
-let answer_fanout ?par ?profile ~probe_path t targets instance ~on_tuple =
+let answer_fanout ?par ?profile ?trace ~probe_path t targets instance ~on_tuple =
   let pool = match par with Some _ -> par | None -> t.par in
   match pool with
   | Some pool
     when Pool.size pool >= 2 && List.length targets >= 2 && Option.is_none profile ->
-      answer_parallel pool ~probe_path t targets instance ~on_tuple
+      answer_parallel ?trace pool ~probe_path t targets instance ~on_tuple
   | _ -> (
       List.fold_left
         (fun acc i ->
+          (* sequential fan-out: the shard span opens inline on the
+             caller's trace, same shape as the grafted parallel one *)
+          (match trace with
+          | Some tr ->
+              Span.enter tr (Printf.sprintf "shard%d" i);
+              Span.kv tr "shard" (string_of_int i);
+              Span.kv tr "domain" (string_of_int (Domain.self () :> int))
+          | None -> ());
           let stats, used =
-            Engine.answer ?profile ~probe_path t.shards.(i) instance ~on_tuple
+            match Engine.answer ?profile ?trace ~probe_path t.shards.(i) instance ~on_tuple with
+            | r ->
+                Option.iter Span.leave trace;
+                r
+            | exception exn ->
+                Option.iter Span.leave trace;
+                raise exn
           in
           match acc with
           | None -> Some (stats, used)
@@ -461,7 +561,7 @@ let answer_fanout ?par ?profile ~probe_path t targets instance ~on_tuple =
    answers stamped with the segments' pre-query stamps — a delta racing
    the query bumps a stamp first, so a losing install publishes
    already-untrusted. *)
-let answer_epoch ?par ?profile t pc instance ~on_tuple =
+let answer_epoch ?par ?profile ?trace t pc instance ~on_tuple =
   let compiled = pc.pc_compiled in
   let ps = t.pstats in
   let nseg = Array.length pc.pc_segments in
@@ -473,6 +573,7 @@ let answer_epoch ?par ?profile t pc instance ~on_tuple =
   (* probe each distinct bcp once, memoising the trusted version *)
   let memo = Bcp.Table.create (2 * h) in
   let n_probed = ref 0 and n_hits = ref 0 in
+  Option.iter (fun tr -> Span.enter tr "router.probe") trace;
   let all_hit =
     List.for_all
       (fun cp ->
@@ -481,19 +582,32 @@ let answer_epoch ?par ?profile t pc instance ~on_tuple =
         ||
         begin
           incr n_probed;
-          let seg = pc.pc_segments.(seg_idx bcp) in
+          let si = seg_idx bcp in
+          let seg = pc.pc_segments.(si) in
           match Pmv.Entry_store.probe seg bcp with
           | Some v when Pmv.Entry_store.version_trusted seg v ->
               incr n_hits;
+              Atomic.incr pc.pc_hits.(si);
+              Flight.record Flight.Probe_hit ~a:si ~b:(Bcp.hash bcp land 0xffff);
               Bcp.Table.replace memo bcp v;
               true
-          | Some _ | None -> false
+          | Some _ | None ->
+              Atomic.incr pc.pc_misses.(si);
+              Flight.record Flight.Probe_miss ~a:si ~b:(Bcp.hash bcp land 0xffff);
+              false
         end)
       cps
   in
   Histogram.record ps.probe_ns (Int64.sub (Pmv.Answer.now ()) t0);
   ps.probes <- ps.probes + !n_probed;
   ps.probe_hits <- ps.probe_hits + !n_hits;
+  Option.iter
+    (fun tr ->
+      Span.kv tr "probes" (string_of_int !n_probed);
+      Span.kv tr "probe_hits" (string_of_int !n_hits);
+      Span.kv tr "path" (if all_hit then "router_cache" else "router_fallback");
+      Span.leave tr)
+    trace;
   if all_hit then begin
     ps.fast_hits <- ps.fast_hits + 1;
     let delivered = ref 0 in
@@ -562,18 +676,28 @@ let answer_epoch ?par ?profile t pc instance ~on_tuple =
        cache subsumes their per-view probe stores for routed templates,
        and stacking both epoch layers would pay O1 and the capture
        bookkeeping twice per miss *)
+    Option.iter (fun tr -> Span.enter tr "router.fallback") trace;
     let ((stats, _) as result) =
-      answer_fanout ?par ?profile ~probe_path:Pmv.Answer.Locked t targets instance
-        ~on_tuple:capturing
+      match
+        answer_fanout ?par ?profile ?trace ~probe_path:Pmv.Answer.Locked t targets
+          instance ~on_tuple:capturing
+      with
+      | r ->
+          Option.iter Span.leave trace;
+          r
+      | exception exn ->
+          Option.iter Span.leave trace;
+          raise exn
     in
     if stats.Pmv.Answer.stale_purged = 0 then
       Bcp.Table.iter
         (fun bcp (lst, n) ->
-          if !n <= seg_fmax then
-            ignore
-              (Pmv.Entry_store.install_complete
-                 pc.pc_segments.(seg_idx bcp)
-                 bcp !lst ~stamp:stamps.(seg_idx bcp)))
+          if !n <= seg_fmax then begin
+            let si = seg_idx bcp in
+            if Pmv.Entry_store.install_complete pc.pc_segments.(si) bcp !lst
+                 ~stamp:stamps.(si)
+            then Atomic.incr pc.pc_installs.(si)
+          end)
         captures;
     result
   end
@@ -587,15 +711,18 @@ let answer_epoch ?par ?profile t pc instance ~on_tuple =
    Either way the merged stream is identical to the sequential one.
    Under [probe_path = Epoch] (per call, or the [set_probe_path]
    default) the router first tries the shard-local probe fast path. *)
-let answer ?par ?profile ?probe_path t instance ~on_tuple =
+let answer ?par ?profile ?probe_path ?trace t instance ~on_tuple =
   let compiled = Minirel_query.Instance.compiled instance in
   let path = match probe_path with Some p -> p | None -> t.probe_path in
+  Option.iter
+    (fun tr -> Span.kv tr "probe_path" (Pmv.Answer.probe_path_to_string path))
+    trace;
   match
     (path, Hashtbl.find_opt t.probe_caches compiled.Template.spec.Template.name)
   with
-  | Pmv.Answer.Epoch, Some pc -> answer_epoch ?par ?profile t pc instance ~on_tuple
+  | Pmv.Answer.Epoch, Some pc -> answer_epoch ?par ?profile ?trace t pc instance ~on_tuple
   | _ ->
-      answer_fanout ?par ?profile ~probe_path:path t (template_shards t compiled)
+      answer_fanout ?par ?profile ?trace ~probe_path:path t (template_shards t compiled)
         instance ~on_tuple
 
 exception Enough
@@ -692,13 +819,37 @@ let snapshots t =
    merge). *)
 let snapshot_merged t = Export.merge_snapshots (List.map snd (snapshots t))
 
-(* Prometheus exposition with a [shard="i"] label on every series. *)
+(* Router probe-cache counters as Prometheus series carrying both a
+   [shard] and a [template] label, one series family per counter kind
+   (type comments emitted once per family). *)
+let probe_cache_prometheus_string t =
+  let rows = probe_cache_rows t in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun kind ->
+      let series = List.filter (fun (_, _, k, _) -> String.equal k kind) rows in
+      if series <> [] then begin
+        let family = "router_probe_cache_" ^ kind in
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" family);
+        List.iter
+          (fun (template, i, _, n) ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s{shard=%S,template=%S} %d\n" family (string_of_int i)
+                 template n))
+          series
+      end)
+    [ "hits"; "misses"; "installs" ];
+  Buffer.contents buf
+
+(* Prometheus exposition with a [shard="i"] label on every series, plus
+   the router probe-cache families labelled by shard and template. *)
 let prometheus_string t =
   String.concat ""
     (List.mapi
        (fun i (_, snap) ->
          Export.prometheus_string ~labels:[ ("shard", string_of_int i) ] snap)
        (snapshots t))
+  ^ probe_cache_prometheus_string t
 
 let reset_telemetry t = Array.iter Engine.reset_telemetry t.shards
 

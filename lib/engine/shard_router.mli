@@ -58,6 +58,14 @@ val probe_summary : t -> Minirel_telemetry.Histogram.summary
 
 val reset_probe_stats : t -> unit
 
+(** Per-segment [(hits, misses, installs)] of the template's router
+    probe cache, in shard order; [[||]] when the template has no
+    routed view. Also exported as
+    [router.probe.<template>.s<i>.{hits,misses,installs}] and, in
+    {!prometheus_string}, as [router_probe_cache_*] series with
+    [{shard,template}] labels. *)
+val probe_cache_counters : t -> template:string -> (int * int * int) array
+
 type part = Hash of int  (** partition-key position *) | Replicated
 
 val partitioning : t -> rel:string -> part option
@@ -151,11 +159,19 @@ val tuple_batch : int
     owning segments — no fan-out, no merge, no pool dispatch. Misses
     fall back to the full fan-out on the shards' classic locked path
     (the router-level cache subsumes per-shard fast paths) and install
-    what the fallback's stale-purge count proves complete. *)
+    what the fallback's stale-purge count proves complete.
+
+    [trace] propagates a caller-owned trace context: the router stitches
+    one span tree per query — a [router.probe] span under [Epoch], then
+    either the cache-hit stream or per-shard [shard<i>] subtrees (built
+    task-locally on the pool and grafted back in shard order) each
+    annotated with shard/domain/worker and the shard's own probe-path
+    spans. *)
 val answer :
   ?par:Minirel_parallel.Pool.t ->
   ?profile:Minirel_exec.Exec_stats.t ->
   ?probe_path:Pmv.Answer.probe_path ->
+  ?trace:Minirel_telemetry.Span.trace ->
   t ->
   Minirel_query.Instance.t ->
   on_tuple:(Pmv.Answer.phase -> Minirel_storage.Tuple.t -> unit) ->
@@ -184,7 +200,9 @@ val snapshots :
 val snapshot_merged : t -> (string * Minirel_telemetry.Registry.value) list
 
 (** Prometheus exposition of every shard with a [shard="i"] label on
-    each series. *)
+    each series, followed by the router probe-cache counter families
+    ([router_probe_cache_{hits,misses,installs}]) labelled with both
+    [shard] and [template]. *)
 val prometheus_string : t -> string
 
 val reset_telemetry : t -> unit

@@ -115,7 +115,13 @@ let fire_in reg name =
   && locked reg (fun () ->
          match Hashtbl.find_opt reg.table name with
          | None -> false
-         | Some site -> fire_armed site)
+         | Some site ->
+             let f = fire_armed site in
+             if f then
+               Minirel_telemetry.Flight.record Fault_hit
+                 ~a:(Minirel_telemetry.Flight.intern name)
+                 ~b:site.fired;
+             f)
 
 let hit_in reg name = if fire_in reg name then raise (Injected name)
 

@@ -30,8 +30,16 @@ type t = {
    any pool's worker fall back to inline sequential execution. *)
 let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
-let worker_loop t =
+(* Domain-local worker index (-1 outside a pool worker), so tracing can
+   attribute a task's spans to the domain that ran it. *)
+let worker_ix : int Domain.DLS.key = Domain.DLS.new_key (fun () -> -1)
+
+let worker_index () =
+  match Domain.DLS.get worker_ix with -1 -> None | i -> Some i
+
+let worker_loop t ix =
   Domain.DLS.set in_worker true;
+  Domain.DLS.set worker_ix ix;
   let rec loop () =
     Mutex.lock t.mutex;
     while Queue.is_empty t.queue && not t.stopping do
@@ -61,7 +69,7 @@ let create ~domains =
       workers = [||];
     }
   in
-  t.workers <- Array.init domains (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.workers <- Array.init domains (fun i -> Domain.spawn (fun () -> worker_loop t i));
   t
 
 let size t = Array.length t.workers

@@ -12,6 +12,10 @@ val create : domains:int -> t
 (** Worker count (0 after {!shutdown}). *)
 val size : t -> int
 
+(** The calling worker's index within its pool, [None] outside any
+    pool worker — span trees use it for domain attribution. *)
+val worker_index : unit -> int option
+
 (** Enqueue a fire-and-forget task. Tasks must handle their own
     exceptions — anything escaping is dropped, not re-raised.
     @raise Invalid_argument after {!shutdown}. *)

@@ -78,7 +78,10 @@ let publish ?stamp ~complete t entry =
   let old = Atomic.get entry.published in
   Atomic.set entry.published
     { v_tuples = entry.tuples; v_n = entry.n; v_complete = complete; v_stamp };
-  Minirel_parallel.Epoch.retire t.epoch (fun () -> ignore (Sys.opaque_identity old))
+  Minirel_telemetry.Flight.record Version_publish ~a:v_stamp ~b:entry.n;
+  Minirel_parallel.Epoch.retire t.epoch (fun () -> ignore (Sys.opaque_identity old));
+  Minirel_telemetry.Flight.record Epoch_advance
+    ~a:(Minirel_parallel.Epoch.current_epoch t.epoch)
 
 let new_entry t bcp =
   let entry =
@@ -145,7 +148,9 @@ let current_stamp t = Atomic.get t.stamp
 (* A relevant base delta happened: every complete version published
    before it can no longer be served as the whole answer for its bcp.
    One atomic increment; the versions themselves are untouched. *)
-let invalidate_complete t = ignore (Atomic.fetch_and_add t.stamp 1)
+let invalidate_complete t =
+  let s = Atomic.fetch_and_add t.stamp 1 in
+  Minirel_telemetry.Flight.record Version_distrust ~a:(s + 1)
 
 let version_trusted t v = v.v_complete && v.v_stamp = Atomic.get t.stamp
 
@@ -169,7 +174,11 @@ let probe t bcp =
       scan (Atomic.get t.rindex.(bucket_index t.rindex bcp)))
 
 let epoch_stats t = Minirel_parallel.Epoch.stats t.epoch
-let reclaim t = Minirel_parallel.Epoch.reclaim t.epoch
+
+let reclaim t =
+  let n = Minirel_parallel.Epoch.reclaim t.epoch in
+  if n > 0 then Minirel_telemetry.Flight.record Epoch_reclaim ~a:n;
+  n
 
 (* Engine shutdown: release the whole retire chain so repeated
    create/destroy cycles (Engine.scoped in tests) do not accumulate

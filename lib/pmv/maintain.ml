@@ -89,6 +89,9 @@ let on_delta ?(strategy = Aux_index) ?(fault = Minirel_fault.Fault.default) view
   | None -> ()
   | Some i ->
       Minirel_fault.Fault.hit_in fault "maintain.apply";
+      Minirel_telemetry.Flight.record Maint_apply
+        ~a:(Minirel_telemetry.Flight.intern (View.name view))
+        ~b:i;
       let { Minirel_txn.Txn.inserted; deleted; updated; _ } = delta in
       stats.View.skipped_inserts <- stats.View.skipped_inserts + List.length inserted;
       let removed = ref (handle_removal view catalog strategy ~delta_rel:i deleted) in
@@ -135,6 +138,9 @@ let process_with_lock ~strategy view txn_mgr delta_opt =
   with
   | Error _ ->
       (* a reader holds its S lock: defer further *)
+      Minirel_telemetry.Flight.record Maint_defer
+        ~a:(Minirel_telemetry.Flight.intern (View.name view))
+        ~b:(n_pending view + 1);
       (match delta_opt with
       | Some delta -> View.set_pending_deltas view (delta :: View.pending_deltas view)
       | None -> ())

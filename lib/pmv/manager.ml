@@ -152,16 +152,16 @@ let drop_view t ~template =
 (* Answer through the template's view when one exists, plainly
    otherwise. Returns the stats and whether a view was used. Plans come
    from the manager's template plan cache. *)
-let answer ?locks ?txn ?par ?profile ?probe_path t instance ~on_tuple =
+let answer ?locks ?txn ?par ?profile ?probe_path ?trace t instance ~on_tuple =
   let name = (Instance.compiled instance).Template.spec.Template.name in
   match find t ~template:name with
   | Some view ->
       ( Answer.answer ?locks ?txn ~plan_cache:t.plan_cache ?par ?profile ?probe_path
-          ~view t.catalog instance ~on_tuple,
+          ?trace ~view t.catalog instance ~on_tuple,
         true )
   | None ->
-      ( Answer.answer_plain ~plan_cache:t.plan_cache ?par ?profile t.catalog instance
-          ~on_tuple,
+      ( Answer.answer_plain ~plan_cache:t.plan_cache ?par ?profile ?trace t.catalog
+          instance ~on_tuple,
         false )
 
 (* Total approximate bytes across all views. *)

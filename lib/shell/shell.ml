@@ -19,6 +19,10 @@ module Parser = Minirel_sql.Parser
 module Binder = Minirel_sql.Binder
 module Engine = Minirel_engine.Engine
 module Router = Minirel_engine.Shard_router
+module Telemetry = Minirel_telemetry.Telemetry
+module Span = Minirel_telemetry.Span
+module Slo = Minirel_telemetry.Slo
+module Flight = Minirel_telemetry.Flight
 
 type t = {
   engine : Engine.t;
@@ -96,6 +100,8 @@ type result =
   | Explained of string  (* physical plan text *)
   | Traced of string  (* per-operator profile, span tree, plan-cache counters *)
   | Metrics of string  (* METRICS [RESET]: telemetry snapshot text *)
+  | Slo_report of string  (* SLO [...]: tail-latency watchdog report *)
+  | Flight_dump of string  (* FLIGHT [...]: flight-recorder dump / status *)
 
 exception Error of string
 
@@ -183,15 +189,15 @@ let agg_name (f, arg) =
 
 (* Every routed query runs under the Section 3.6 S-lock protocol, so
    the lock-manager telemetry reflects real query traffic. *)
-let answer_locked ?profile t instance ~on_tuple =
+let answer_locked ?profile ?trace t instance ~on_tuple =
   match t.router with
-  | Some router -> Router.answer ?profile router instance ~on_tuple
+  | Some router -> Router.answer ?profile ?trace router instance ~on_tuple
   | None ->
       Pmv.Manager.answer
         ~locks:(Minirel_txn.Txn.locks (txn_mgr t))
         ?profile
         ~probe_path:(Engine.probe_path t.engine)
-        (manager t) instance ~on_tuple
+        ?trace (manager t) instance ~on_tuple
 
 let ensure_view t compiled =
   let template = compiled.Template.spec.Template.name in
@@ -203,9 +209,7 @@ let ensure_view t compiled =
         ignore
           (Pmv.Manager.create_view ~ub_bytes:t.view_ub_bytes ~f_max:3 (manager t) compiled)
 
-let run_select t sql =
-  let compiled, instance, bound = Session.query_bound (session t) sql in
-  ensure_view t compiled;
+let run_select_body ?trace t compiled instance bound =
   let all = ref [] and partial = ref 0 in
   let collect phase tuple =
     all := tuple :: !all;
@@ -228,11 +232,11 @@ let run_select t sql =
             all := List.rev rows;
             total := List.length rows
         | None, None ->
-            let stats, _ = answer_locked t instance ~on_tuple:collect in
+            let stats, _ = answer_locked ?trace t instance ~on_tuple:collect in
             stats_overhead := stats.Pmv.Answer.overhead_ns;
             total := stats.Pmv.Answer.total_count)
     | _ ->
-        let stats, _ = answer_locked t instance ~on_tuple:collect in
+        let stats, _ = answer_locked ?trace t instance ~on_tuple:collect in
         stats_overhead := stats.Pmv.Answer.overhead_ns;
         total := stats.Pmv.Answer.total_count);
     let rows = List.rev !all in
@@ -296,7 +300,7 @@ let run_select t sql =
         partial_rows := tuple :: !partial_rows
       end
     in
-    let _stats, _ = answer_locked t instance ~on_tuple:collect2 in
+    let _stats, _ = answer_locked ?trace t instance ~on_tuple:collect2 in
     let groups = group_rows compiled bound (List.rev !all) in
     let partial_groups = group_rows compiled bound (List.rev !partial_rows) in
     let limit gs =
@@ -310,6 +314,32 @@ let run_select t sql =
     in
     Grouped { header; groups = limit groups; partial_groups = limit partial_groups }
   end
+
+(* Serve one SELECT end to end: open the root span on the engine's
+   tracer (subject to its sampling), thread the trace through the
+   router/manager so the whole pipeline stitches into one tree, then
+   account the end-to-end latency to the SLO watchdog — breaches keep
+   the span tree in the slow-query log and may snapshot the flight
+   recorder. *)
+let run_select t sql =
+  let compiled, instance, bound = Session.query_bound (session t) sql in
+  ensure_view t compiled;
+  let template = compiled.Template.spec.Template.name in
+  (* one clock read serves both the SLO latency sample and the root
+     span's endpoints (~at) — always-on tracing must not double them *)
+  let t0 = Telemetry.now_ns () in
+  let trace = Engine.trace_start ~at:t0 t.engine ("select:" ^ template) in
+  match run_select_body ?trace t compiled instance bound with
+  | result ->
+      let t1 = Telemetry.now_ns () in
+      Option.iter (Engine.trace_finish ~at:t1 t.engine) trace;
+      Slo.note_query Slo.default ~template
+        ?trace:(Option.map Span.root trace)
+        (Int64.sub t1 t0);
+      result
+  | exception exn ->
+      Option.iter (Engine.trace_finish t.engine) trace;
+      raise exn
 
 (* --- DDL / DML --- *)
 
@@ -439,14 +469,24 @@ let exec_statement t sql =
       in
       let compiled, instance, _bound = Session.query_bound (session t) sql_body in
       ensure_view t compiled;
+      let template = compiled.Template.spec.Template.name in
       let profile = Minirel_exec.Exec_stats.create () in
-      (* record this query's span tree regardless of sampling *)
-      Minirel_telemetry.Telemetry.force_next_trace ();
+      (* record this query's span tree regardless of sampling, on the
+         engine's own (possibly scoped) tracer; the shell opens the
+         root and the trace threads through the whole pipeline *)
+      Engine.force_next_trace t.engine;
+      let trace = Engine.trace_start t.engine ("select:" ^ template) in
       let stats, used_view =
-        answer_locked ~profile t instance ~on_tuple:(fun _ _ -> ())
+        match answer_locked ~profile ?trace t instance ~on_tuple:(fun _ _ -> ()) with
+        | r ->
+            Option.iter (Engine.trace_finish t.engine) trace;
+            r
+        | exception exn ->
+            Option.iter (Engine.trace_finish t.engine) trace;
+            raise exn
       in
       let spans =
-        match Minirel_telemetry.Telemetry.last_trace () with
+        match Engine.last_trace t.engine with
         | Some trace -> Fmt.str "@.%a" Minirel_telemetry.Span.pp_trace trace
         | None -> ""
       in
@@ -484,6 +524,29 @@ let exec_statement t sql =
             Metrics
               (Fmt.str "%a" Minirel_telemetry.Registry.pp_snapshot
                  (Engine.snapshot t.engine)))
+  | Ast.St_slo { arg } -> (
+      match arg with
+      | Ast.Slo_report -> Slo_report (Slo.report Slo.default)
+      | Ast.Slo_reset ->
+          Slo.reset Slo.default;
+          Slo_report "slo histograms, breaches and slow-query log reset"
+      | Ast.Slo_threshold us ->
+          Slo.set_threshold Slo.default (Int64.mul (Int64.of_int us) 1_000L);
+          Slo_report (Fmt.str "slo threshold set to %d µs" us))
+  | Ast.St_flight { arg } -> (
+      match arg with
+      | Ast.Flight_dump ->
+          Flight.record Flight.Dump_trigger ~a:(Flight.intern "shell.dump");
+          Flight_dump (Fmt.str "%a" Flight.pp_dump (Flight.dump ()))
+      | Ast.Flight_reset ->
+          Flight.reset ();
+          Flight_dump "flight recorder rings cleared"
+      | Ast.Flight_on ->
+          Flight.set_enabled true;
+          Flight_dump "flight recorder enabled"
+      | Ast.Flight_off ->
+          Flight.set_enabled false;
+          Flight_dump "flight recorder disabled")
   | Ast.St_delete { table; where } ->
       if not (Catalog.mem (catalog t) table) then fail "unknown relation %s" table;
       let schema = Catalog.schema (catalog t) table in
@@ -525,3 +588,5 @@ let pp_result ppf = function
   | Explained text -> Fmt.pf ppf "%s" text
   | Traced text -> Fmt.pf ppf "%s" text
   | Metrics text -> Fmt.pf ppf "%s" text
+  | Slo_report text -> Fmt.pf ppf "%s" text
+  | Flight_dump text -> Fmt.pf ppf "%s" text

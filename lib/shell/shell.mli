@@ -64,11 +64,22 @@ type result =
   | Metrics of string
       (** [METRICS]: a telemetry snapshot; [METRICS RESET]:
           confirmation that counters were zeroed *)
+  | Slo_report of string
+      (** [SLO]: the tail-latency watchdog report (per-template
+          quantiles, breach count, slow-query span trees); [SLO RESET]
+          and [SLO THRESHOLD <µs>] confirm their action *)
+  | Flight_dump of string
+      (** [FLIGHT [DUMP]]: the merged, time-ordered flight-recorder
+          event log with its digest; [FLIGHT RESET|ON|OFF] confirm
+          their action *)
 
 exception Error of string
 
-(** Execute one statement (SELECT [DISTINCT] / EXPLAIN / TRACE / CREATE
-    TABLE / CREATE INDEX / INSERT / UPDATE / DELETE).
+(** Execute one statement (SELECT [DISTINCT] / EXPLAIN / TRACE /
+    METRICS / SLO / FLIGHT / CREATE TABLE / CREATE INDEX / INSERT /
+    UPDATE / DELETE). Every SELECT opens a root span on the engine's
+    tracer (subject to sampling), threads it through the pipeline, and
+    accounts its end-to-end latency to {!Minirel_telemetry.Slo.default}.
     @raise Error, the frontend's Lexer/Parser/Binder errors, or
     Invalid_argument on bad input. *)
 val exec : t -> string -> result

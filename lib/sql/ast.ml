@@ -62,6 +62,11 @@ type statement =
   | St_explain of query
   | St_trace of query  (* run with per-operator executor profiling *)
   | St_metrics of { reset : bool }  (* METRICS [RESET]: telemetry snapshot *)
+  | St_slo of { arg : slo_arg }  (* SLO [RESET | THRESHOLD <us>]: tail-latency watchdog *)
+  | St_flight of { arg : flight_arg }  (* FLIGHT [DUMP | RESET | ON | OFF] *)
+
+and slo_arg = Slo_report | Slo_reset | Slo_threshold of int  (* microseconds *)
+and flight_arg = Flight_dump | Flight_reset | Flight_on | Flight_off
 
 let lit_to_value = function
   | L_int i -> Minirel_storage.Value.Int i

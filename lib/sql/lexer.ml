@@ -24,6 +24,8 @@ type token =
   | EXPLAIN
   | TRACE
   | METRICS
+  | SLO
+  | FLIGHT
   | GROUP
   | ORDER
   | BY
@@ -69,6 +71,8 @@ let token_to_string = function
   | EXPLAIN -> "EXPLAIN"
   | TRACE -> "TRACE"
   | METRICS -> "METRICS"
+  | SLO -> "SLO"
+  | FLIGHT -> "FLIGHT"
   | GROUP -> "GROUP"
   | ORDER -> "ORDER"
   | BY -> "BY"
@@ -123,6 +127,8 @@ let keyword_of_string s =
   | "explain" -> Some EXPLAIN
   | "trace" -> Some TRACE
   | "metrics" -> Some METRICS
+  | "slo" -> Some SLO
+  | "flight" -> Some FLIGHT
   | "group" -> Some GROUP
   | "order" -> Some ORDER
   | "by" -> Some BY

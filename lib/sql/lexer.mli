@@ -24,6 +24,8 @@ type token =
   | EXPLAIN
   | TRACE
   | METRICS
+  | SLO
+  | FLIGHT
   | GROUP
   | ORDER
   | BY

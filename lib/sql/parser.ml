@@ -331,6 +331,47 @@ let parse_statement input =
           | _ -> false
         in
         St_metrics { reset }
+    | Lexer.SLO ->
+        advance st;
+        (* arguments are bare identifiers, not keywords, for the same
+           reason as METRICS RESET *)
+        let arg =
+          match peek st with
+          | Lexer.IDENT id when String.lowercase_ascii id = "reset" ->
+              advance st;
+              Slo_reset
+          | Lexer.IDENT id when String.lowercase_ascii id = "threshold" -> (
+              advance st;
+              match peek st with
+              | Lexer.INT us when us >= 0 ->
+                  advance st;
+                  Slo_threshold us
+              | t ->
+                  fail "expected a non-negative microsecond count after SLO THRESHOLD, found %s"
+                    (Lexer.token_to_string t))
+          | _ -> Slo_report
+        in
+        St_slo { arg }
+    | Lexer.FLIGHT ->
+        advance st;
+        let arg =
+          match peek st with
+          | Lexer.IDENT id when String.lowercase_ascii id = "dump" ->
+              advance st;
+              Flight_dump
+          | Lexer.IDENT id when String.lowercase_ascii id = "reset" ->
+              advance st;
+              Flight_reset
+          | Lexer.ON ->
+              (* ON is already a keyword (CREATE INDEX ... ON) *)
+              advance st;
+              Flight_on
+          | Lexer.IDENT id when String.lowercase_ascii id = "off" ->
+              advance st;
+              Flight_off
+          | _ -> Flight_dump
+        in
+        St_flight { arg }
     | t -> fail "expected a statement, found %s" (Lexer.token_to_string t)
   in
   expect st Lexer.EOF;

@@ -29,6 +29,7 @@ let prometheus ?(labels = []) ppf snap =
           Fmt.pf ppf "%s%s %Ld@." n (q "0.5") s.Histogram.p50;
           Fmt.pf ppf "%s%s %Ld@." n (q "0.95") s.Histogram.p95;
           Fmt.pf ppf "%s%s %Ld@." n (q "0.99") s.Histogram.p99;
+          Fmt.pf ppf "%s%s %Ld@." n (q "0.999") s.Histogram.p999;
           Fmt.pf ppf "%s_sum%s %Ld@.%s_count%s %d@." n base s.Histogram.sum n base
             s.Histogram.count)
     snap
@@ -57,9 +58,9 @@ let json ppf snap =
       | Registry.Gauge g -> Fmt.pf ppf "%.6f" g
       | Registry.Histogram s ->
           Fmt.pf ppf
-            {|{"count": %d, "sum_ns": %Ld, "min_ns": %Ld, "max_ns": %Ld, "p50_ns": %Ld, "p95_ns": %Ld, "p99_ns": %Ld}|}
+            {|{"count": %d, "sum_ns": %Ld, "min_ns": %Ld, "max_ns": %Ld, "p50_ns": %Ld, "p95_ns": %Ld, "p99_ns": %Ld, "p999_ns": %Ld}|}
             s.Histogram.count s.Histogram.sum s.Histogram.min s.Histogram.max
-            s.Histogram.p50 s.Histogram.p95 s.Histogram.p99)
+            s.Histogram.p50 s.Histogram.p95 s.Histogram.p99 s.Histogram.p999)
     snap;
   Fmt.pf ppf "}"
 

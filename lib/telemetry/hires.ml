@@ -1,0 +1,156 @@
+(* High-resolution log-linear histogram (HDR style). Each power-of-two
+   range [2^e, 2^(e+1)) is split into [sub] linear subbuckets, so the
+   value reconstructed for a bucket is within a factor of (1 + 1/sub)
+   of every sample it holds: with sub = 32 the relative quantile error
+   is bounded by 1/32 = 3.125%. Bucket counts are retained (unlike
+   Histogram.summary), which makes merging *exact* and associative —
+   merged quantiles are identical to recording both streams into one
+   histogram, the property the shard snapshot merge relies on.
+
+   Layout: values < sub land in an exact linear prefix (one bucket per
+   integer), larger values in (exponent, subbucket) cells. A per-
+   histogram mutex keeps count/sum/min/max and the bucket array
+   mutually consistent across domains; recording is a few shifts plus
+   an uncontended lock, same budget as Histogram.record. *)
+
+let sub_bits = 5
+let sub = 1 lsl sub_bits (* 32 subbuckets per power of two *)
+
+(* Exponents 0..62 cover the full non-negative int64 range; exponents
+   below sub_bits are the exact prefix. *)
+let n_buckets = (63 - sub_bits) * sub + sub
+
+let index_of_ns ns =
+  let ns = if Int64.compare ns 0L < 0 then 0L else ns in
+  let v = Int64.to_int (Int64.shift_right_logical ns 0) in
+  (* int64 -> int is safe: monotonic-clock deltas fit 62 bits *)
+  let v = if v < 0 then max_int else v in
+  if v < sub then v
+  else begin
+    (* exponent = position of the highest set bit *)
+    let e = ref 0 and w = ref (v lsr 1) in
+    while !w > 0 do
+      incr e;
+      w := !w lsr 1
+    done;
+    let e = min !e 62 in
+    let sb = (v lsr (e - sub_bits)) land (sub - 1) in
+    ((e - sub_bits) * sub) + sub + sb
+  end
+
+(* Upper bound of bucket [i]: the largest value mapping to it. Used as
+   the quantile readout, so the reported quantile over-estimates by at
+   most one subbucket width (relative error <= 1/sub). *)
+let bucket_upper_ns i =
+  if i < sub then Int64.of_int i
+  else begin
+    let cell = i - sub in
+    let e = (cell / sub) + sub_bits in
+    let sb = cell mod sub in
+    if e >= 62 then Int64.max_int
+    else
+      let base = Int64.shift_left 1L e in
+      let width = Int64.shift_left 1L (e - sub_bits) in
+      Int64.sub (Int64.add base (Int64.mul width (Int64.of_int (sb + 1)))) 1L
+  end
+
+type t = {
+  counts : int array;
+  mutable count : int;
+  mutable sum : int64;
+  mutable min : int64;
+  mutable max : int64;
+  lock : Mutex.t;
+}
+
+let create () =
+  {
+    counts = Array.make n_buckets 0;
+    count = 0;
+    sum = 0L;
+    min = 0L;
+    max = 0L;
+    lock = Mutex.create ();
+  }
+
+let record t ns =
+  let ns = if Int64.compare ns 0L < 0 then 0L else ns in
+  let i = index_of_ns ns in
+  Mutex.lock t.lock;
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.sum <- Int64.add t.sum ns;
+  if t.count = 0 || Int64.compare ns t.min < 0 then t.min <- ns;
+  if Int64.compare ns t.max > 0 then t.max <- ns;
+  t.count <- t.count + 1;
+  Mutex.unlock t.lock
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let count t = locked t (fun () -> t.count)
+let sum_ns t = locked t (fun () -> t.sum)
+
+let quantile_of ~counts ~count p =
+  if count = 0 then 0L
+  else begin
+    let rank = int_of_float (ceil (p *. float_of_int count)) in
+    let rank = max 1 (min count rank) in
+    let cum = ref 0 and result = ref Int64.max_int in
+    (try
+       for i = 0 to n_buckets - 1 do
+         cum := !cum + counts.(i);
+         if !cum >= rank then begin
+           result := bucket_upper_ns i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+let quantile t p =
+  locked t (fun () -> quantile_of ~counts:t.counts ~count:t.count p)
+
+(* Merge [src] into [dst] bucket-wise. Exact: the result is
+   indistinguishable from having recorded both sample streams into
+   [dst], hence merging is associative and commutative. Locks are
+   taken in allocation order via Mutex.lock on dst then a copied src
+   snapshot, so no lock-order cycle is possible. *)
+let merge_into ~dst src =
+  let scounts, scount, ssum, smin, smax =
+    locked src (fun () -> (Array.copy src.counts, src.count, src.sum, src.min, src.max))
+  in
+  if scount > 0 then
+    locked dst (fun () ->
+        for i = 0 to n_buckets - 1 do
+          dst.counts.(i) <- dst.counts.(i) + scounts.(i)
+        done;
+        if dst.count = 0 || Int64.compare smin dst.min < 0 then dst.min <- smin;
+        if Int64.compare smax dst.max > 0 then dst.max <- smax;
+        dst.count <- dst.count + scount;
+        dst.sum <- Int64.add dst.sum ssum)
+
+let reset t =
+  locked t (fun () ->
+      Array.fill t.counts 0 n_buckets 0;
+      t.count <- 0;
+      t.sum <- 0L;
+      t.min <- 0L;
+      t.max <- 0L)
+
+(* Summarize into the registry's common summary shape so hires
+   histograms export through the same Prometheus/JSON path. *)
+let summary t : Histogram.summary =
+  locked t (fun () ->
+      let q = quantile_of ~counts:t.counts ~count:t.count in
+      {
+        Histogram.count = t.count;
+        sum = t.sum;
+        min = t.min;
+        max = t.max;
+        p50 = q 0.5;
+        p95 = q 0.95;
+        p99 = q 0.99;
+        p999 = q 0.999;
+      })

@@ -1,0 +1,36 @@
+(** High-resolution log-linear histogram (HDR style): each power-of-two
+    range is split into 32 linear subbuckets, bounding relative quantile
+    error by 1/32 (3.125%). Bucket counts are retained, so [merge_into]
+    is exact, associative and commutative — merged quantiles equal the
+    quantiles of the concatenated sample streams. *)
+
+type t
+
+val create : unit -> t
+
+(** Total bucket count (fixed). *)
+val n_buckets : int
+
+(** Bucket index a sample lands in (negative samples clamp to 0). *)
+val index_of_ns : int64 -> int
+
+(** Largest value mapping to bucket [i] — the quantile readout, hence
+    quantiles over-estimate by at most one subbucket width. *)
+val bucket_upper_ns : int -> int64
+
+val record : t -> int64 -> unit
+val count : t -> int
+val sum_ns : t -> int64
+
+(** [quantile t p] for [p] in (0, 1]: upper bound of the bucket holding
+    the rank-[ceil (p * count)] sample; 0 when empty; relative error
+    vs. the exact order statistic is at most 1/32. *)
+val quantile : t -> float -> int64
+
+(** Exact bucket-wise merge of [src] into [dst]. *)
+val merge_into : dst:t -> t -> unit
+
+val reset : t -> unit
+
+(** p50/p95/p99/p999 summary in the registry's common shape. *)
+val summary : t -> Histogram.summary

@@ -108,6 +108,7 @@ type summary = {
   p50 : int64;
   p95 : int64;
   p99 : int64;
+  p999 : int64;
 }
 
 let summary (t : t) =
@@ -121,6 +122,7 @@ let summary (t : t) =
         p50 = q 0.5;
         p95 = q 0.95;
         p99 = q 0.99;
+        p999 = q 0.999;
       })
 
 (* Merge two summaries (e.g. the same histogram across two shards).
@@ -139,6 +141,7 @@ let merge_summaries a b =
       p50 = (if Int64.compare a.p50 b.p50 >= 0 then a.p50 else b.p50);
       p95 = (if Int64.compare a.p95 b.p95 >= 0 then a.p95 else b.p95);
       p99 = (if Int64.compare a.p99 b.p99 >= 0 then a.p99 else b.p99);
+      p999 = (if Int64.compare a.p999 b.p999 >= 0 then a.p999 else b.p999);
     }
 
 let pp_summary ppf s =

@@ -43,6 +43,7 @@ type summary = {
   p50 : int64;
   p95 : int64;
   p99 : int64;
+  p999 : int64;
 }
 
 val summary : t -> summary

@@ -1,0 +1,149 @@
+(* Tail-latency SLO watchdog. High-resolution (1/32 relative error)
+   histograms keyed by free-form strings — the convention across the
+   stack is "<template>.<phase>" for per-phase samples and
+   "<template>.total" for end-to-end latencies recorded via
+   [note_query]. A query over the configured threshold is a breach:
+   the watchdog counts it, keeps the query's full span tree in a
+   bounded slow-query log, emits a flight-recorder event, and
+   auto-snapshots the flight recorder every [snapshot_after] breaches
+   so the events leading up to the tail are preserved even after the
+   rings wrap. *)
+
+type slow = { sq_template : string; sq_ns : int64; sq_trace : Span.t option }
+
+type t = {
+  hists : (string, Hires.t) Hashtbl.t;
+  lock : Mutex.t;
+  threshold_ns : int64 Atomic.t;
+  breaches : int Atomic.t;
+  slow_keep : int;
+  mutable slow : slow list; (* newest first, length <= slow_keep *)
+  snapshot_after : int;
+  mutable snapshot : Flight.event list option;
+}
+
+let create ?(threshold_ns = Int64.max_int) ?(slow_keep = 8) ?(snapshot_after = 1) () =
+  {
+    hists = Hashtbl.create 32;
+    lock = Mutex.create ();
+    threshold_ns = Atomic.make threshold_ns;
+    breaches = Atomic.make 0;
+    slow_keep;
+    slow = [];
+    snapshot_after;
+    snapshot = None;
+  }
+
+let set_threshold t ns = Atomic.set t.threshold_ns ns
+let threshold_ns t = Atomic.get t.threshold_ns
+let breaches t = Atomic.get t.breaches
+
+let hist t key =
+  Mutex.lock t.lock;
+  let h =
+    match Hashtbl.find_opt t.hists key with
+    | Some h -> h
+    | None ->
+        let h = Hires.create () in
+        Hashtbl.add t.hists key h;
+        h
+  in
+  Mutex.unlock t.lock;
+  h
+
+let observe t ~key ns = Hires.record (hist t key) ns
+
+let take n xs =
+  let rec go n = function x :: rest when n > 0 -> x :: go (n - 1) rest | _ -> [] in
+  go n xs
+
+let note_query t ~template ?trace ns =
+  observe t ~key:(template ^ ".total") ns;
+  if Int64.compare ns (Atomic.get t.threshold_ns) > 0 then begin
+    let n = Atomic.fetch_and_add t.breaches 1 + 1 in
+    Flight.record Slo_breach ~a:(Flight.intern template)
+      ~b:(Int64.to_int (Int64.div ns 1000L));
+    Mutex.lock t.lock;
+    t.slow <- take t.slow_keep ({ sq_template = template; sq_ns = ns; sq_trace = trace } :: t.slow);
+    Mutex.unlock t.lock;
+    if n mod t.snapshot_after = 0 then begin
+      Flight.record Dump_trigger ~a:(Flight.intern "slo.breach");
+      let events = Flight.dump () in
+      Mutex.lock t.lock;
+      t.snapshot <- Some events;
+      Mutex.unlock t.lock
+    end
+  end
+
+let slow_queries t =
+  Mutex.lock t.lock;
+  let s = t.slow in
+  Mutex.unlock t.lock;
+  s
+
+let last_snapshot t =
+  Mutex.lock t.lock;
+  let s = t.snapshot in
+  Mutex.unlock t.lock;
+  s
+
+let summaries t =
+  Mutex.lock t.lock;
+  let keyed = Hashtbl.fold (fun k h acc -> (k, h) :: acc) t.hists [] in
+  Mutex.unlock t.lock;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) keyed
+  |> List.map (fun (k, h) -> (k, Hires.summary h))
+
+let reset t =
+  Mutex.lock t.lock;
+  Hashtbl.reset t.hists;
+  t.slow <- [];
+  t.snapshot <- None;
+  Mutex.unlock t.lock;
+  Atomic.set t.breaches 0
+
+let us ns = Int64.to_float ns /. 1e3
+
+let report t =
+  let buf = Buffer.create 512 in
+  let ppf = Format.formatter_of_buffer buf in
+  let thr = Atomic.get t.threshold_ns in
+  if Int64.equal thr Int64.max_int then
+    Fmt.pf ppf "slo: threshold unset (SLO THRESHOLD <us>), breaches=%d@."
+      (Atomic.get t.breaches)
+  else
+    Fmt.pf ppf "slo: threshold=%.1fus breaches=%d@." (us thr) (Atomic.get t.breaches);
+  (match summaries t with
+  | [] -> Fmt.pf ppf "no latency samples recorded@."
+  | rows ->
+      Fmt.pf ppf "%-32s %8s %10s %10s %10s %10s@." "key" "count" "p50(us)"
+        "p95(us)" "p99(us)" "p999(us)";
+      List.iter
+        (fun (k, (s : Histogram.summary)) ->
+          Fmt.pf ppf "%-32s %8d %10.1f %10.1f %10.1f %10.1f@." k s.count
+            (us s.p50) (us s.p95) (us s.p99) (us s.p999))
+        rows);
+  (match slow_queries t with
+  | [] -> ()
+  | slow ->
+      Fmt.pf ppf "slow queries (newest first):@.";
+      List.iter
+        (fun sq ->
+          Fmt.pf ppf "- %s %.1fus@." sq.sq_template (us sq.sq_ns);
+          match sq.sq_trace with
+          | None -> ()
+          | Some root -> Fmt.pf ppf "%a" Span.pp root)
+        slow);
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let default = create ()
+
+(* Export the watchdog's histograms through the shared registry so
+   `pmvctl metrics` and the Prometheus endpoint pick up p50..p999
+   series without a dedicated code path. *)
+let () =
+  Registry.register_source Registry.default ~name:"slo"
+    ~reset:(fun () -> reset default)
+    (fun () ->
+      List.map (fun (k, s) -> (k ^ "_ns", Registry.Histogram s)) (summaries default))

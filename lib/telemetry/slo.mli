@@ -1,0 +1,48 @@
+(** Tail-latency SLO watchdog: high-resolution per-key latency
+    histograms (convention: ["<template>.<phase>"], with
+    ["<template>.total"] recorded by {!note_query}), a breach counter
+    against a configurable threshold, a bounded slow-query log keeping
+    each breaching query's full span tree, and automatic flight-
+    recorder snapshots on breach. *)
+
+type slow = { sq_template : string; sq_ns : int64; sq_trace : Span.t option }
+
+type t
+
+(** [threshold_ns] defaults to [Int64.max_int] (watchdog armed but
+    never breached until configured); [snapshot_after] is how many
+    breaches trigger one flight-recorder snapshot. *)
+val create : ?threshold_ns:int64 -> ?slow_keep:int -> ?snapshot_after:int -> unit -> t
+
+(** Process-wide instance; its histograms export through
+    {!Registry.default} under the ["slo."] prefix. *)
+val default : t
+
+val set_threshold : t -> int64 -> unit
+val threshold_ns : t -> int64
+val breaches : t -> int
+
+(** Record a phase latency sample under [key]. *)
+val observe : t -> key:string -> int64 -> unit
+
+(** Record a completed query's end-to-end latency (into
+    ["<template>.total"]); over-threshold queries count as breaches,
+    land in the slow-query log with their span tree, and may snapshot
+    the flight recorder. *)
+val note_query : t -> template:string -> ?trace:Span.t -> int64 -> unit
+
+(** Breaching queries, newest first. *)
+val slow_queries : t -> slow list
+
+(** The flight-recorder events captured at the most recent
+    auto-snapshot. *)
+val last_snapshot : t -> Flight.event list option
+
+(** Per-key p50/p95/p99/p999 summaries, key-sorted. *)
+val summaries : t -> (string * Histogram.summary) list
+
+(** Human-readable report: quantile table, breach count, slow-query
+    log with span trees. *)
+val report : t -> string
+
+val reset : t -> unit

@@ -16,12 +16,12 @@ type trace = { troot : t; mutable open_spans : t list (* innermost first *) }
 
 let root tr = tr.troot
 
-let make_span name =
-  let t0 = now () in
+let make_span ?at name =
+  let t0 = match at with Some t -> t | None -> now () in
   { name; start_ns = t0; stop_ns = t0; kvs = []; rev_children = [] }
 
-let start name =
-  let root = make_span name in
+let start ?at name =
+  let root = make_span ?at name in
   { troot = root; open_spans = [ root ] }
 
 let innermost tr =
@@ -49,12 +49,30 @@ let leaf tr name ns =
   in
   (innermost tr).rev_children <- span :: (innermost tr).rev_children
 
-let finish tr =
-  let stop = now () in
+(* Graft a finished subtree built on another domain under the innermost
+   open span. Timestamps are absolute monotonic ns from the same clock,
+   so the merged tree stays time-coherent without rebasing. *)
+let attach tr child = (innermost tr).rev_children <- child :: (innermost tr).rev_children
+
+let finish ?at tr =
+  let stop = match at with Some t -> t | None -> now () in
   List.iter (fun span -> span.stop_ns <- stop) tr.open_spans;
   tr.open_spans <- []
 
 let children t = List.rev t.rev_children
+
+(* First span named [name] in pre-order, the subtree root included. *)
+let rec find t name =
+  if String.equal t.name name then Some t
+  else
+    List.fold_left
+      (fun acc c -> match acc with Some _ -> acc | None -> find c name)
+      None (children t)
+
+let find_kv t key =
+  List.fold_left
+    (fun acc (k, v) -> match acc with Some _ -> acc | None when String.equal k key -> Some v | None -> None)
+    None (List.rev t.kvs)
 
 let inclusive_ns t =
   let d = Int64.sub t.stop_ns t.start_ns in

@@ -15,8 +15,10 @@ type trace
 
 val root : trace -> t
 
-(** Start a trace whose root span is open. *)
-val start : string -> trace
+(** Start a trace whose root span is open. [at] reuses a monotonic
+    timestamp the caller already read (serving surfaces time the query
+    anyway; always-on tracing must not read the clock twice). *)
+val start : ?at:int64 -> string -> trace
 
 (** Open a child of the innermost open span. *)
 val enter : trace -> string -> unit
@@ -32,10 +34,21 @@ val kv : trace -> string -> string -> unit
     per-tuple bookkeeping. *)
 val leaf : trace -> string -> int64 -> unit
 
-(** Close every open span, the root last. Idempotent. *)
-val finish : trace -> unit
+(** Graft a finished subtree (built on another domain, absolute
+    monotonic timestamps) under the innermost open span. *)
+val attach : trace -> t -> unit
+
+(** Close every open span, the root last. Idempotent. [at] as in
+    {!start}. *)
+val finish : ?at:int64 -> trace -> unit
 
 val children : t -> t list
+
+(** First span with the given name, pre-order, subtree root included. *)
+val find : t -> string -> t option
+
+(** Oldest value recorded for [key] on this span. *)
+val find_kv : t -> string -> string option
 val inclusive_ns : t -> int64
 val exclusive_ns : t -> int64
 

@@ -20,6 +20,22 @@ let trace_start name =
 let trace_finish trace = Tracer.finish Tracer.default trace
 let force_next_trace () = Tracer.force_next Tracer.default
 let last_trace () = Tracer.last Tracer.default
-let set_trace_sampling ~every = Tracer.set_sampling Tracer.default ~every
+let set_trace_sampling ?seed ~every () = Tracer.set_sampling ?seed Tracer.default ~every
+
+(* Environment overrides, read once at startup: PMV_TRACE_SAMPLE sets
+   the 1-in-k rate (1 = always-on tracing), PMV_TRACE_SEED the
+   sampling-offset seed. CLI flags (--trace-sample) take precedence by
+   calling {!set_trace_sampling} later. *)
+let () =
+  let ienv name =
+    match Sys.getenv_opt name with
+    | None -> None
+    | Some s -> ( match int_of_string_opt (String.trim s) with Some v -> Some v | None -> None)
+  in
+  let seed = Option.map Int64.of_int (ienv "PMV_TRACE_SEED") in
+  match (ienv "PMV_TRACE_SAMPLE", seed) with
+  | Some every, _ -> set_trace_sampling ?seed ~every ()
+  | None, Some _ -> Tracer.set_sampling ?seed Tracer.default ~every:(Tracer.sampling Tracer.default)
+  | None, None -> ()
 
 let pp_snapshot = Registry.pp_snapshot

@@ -35,5 +35,10 @@ val trace_finish : Span.trace -> unit
 val force_next_trace : unit -> unit
 
 val last_trace : unit -> Span.trace option
-val set_trace_sampling : every:int -> unit
+
+(** Set the default tracer's 1-in-[every] rate, optionally reseeding
+    the stratified sampling stream (see {!Tracer.set_sampling}). Also
+    settable via the [PMV_TRACE_SAMPLE] / [PMV_TRACE_SEED] environment
+    variables, read once at startup. *)
+val set_trace_sampling : ?seed:int64 -> every:int -> unit -> unit
 val pp_snapshot : Format.formatter -> (string * Registry.value) list -> unit

@@ -1,66 +1,103 @@
 (* Span-tree sampling. Recording every query's tree would make the
    tracer the hottest allocator in the engine; 1-in-k sampling keeps the
    distribution-shaped metrics in the histograms (always on) and the
-   microscope (the tree) cheap enough to leave enabled. *)
+   microscope (the tree) cheap enough to leave enabled.
+
+   Sampling is stratified and seeded: each consecutive window of
+   [every] ticks records exactly one trace, at an offset drawn from a
+   SplitMix64 stream over (seed, window). The rate guarantee of plain
+   modulo sampling is kept (exactly 1-in-k), but which queries are
+   sampled is a pure function of the seed — reproducible in tests and
+   torture runs, and decorrelated from any workload periodicity. *)
+
+module Sm = Minirel_prng.Split_mix
 
 type t = {
   every : int Atomic.t;
+  seed : int64 Atomic.t;
   tick : int Atomic.t;
   force : bool Atomic.t;
-  mutable keep : int;
-  mutable retained : Span.trace list;  (* most recent first, length <= keep *)
-  (* The default tracer is shared by every engine scope, so parallel
-     shard tasks race on the retained ring; the sampling decision in
-     {!start} is the per-span hot path and stays lock-free on atomics
-     so concurrent spans never serialise on a tracer mutex. *)
-  lock : Mutex.t;
+  (* Retention is a circular array, not a consed list: with always-on
+     sampling (every=1) a finish happens per query, and one overwriting
+     store keeps the hot path allocation-free while letting displaced
+     traces die young instead of churning through a [take]. The whole
+     tracer is lock-free — the default tracer is shared by every engine
+     scope, and parallel shard tasks would otherwise serialise their
+     finishes on a tracer mutex. A reader racing a writer observes
+     either the old or the new trace in a slot, which is all a debug
+     ring promises. *)
+  retained : Span.trace option array;  (* slot (finished-1) mod keep = newest *)
+  finished : int Atomic.t;  (* total traces ever retained *)
 }
 
-let create ?(sample_every = 16) ?(keep = 8) () =
+let create ?(sample_every = 16) ?(seed = 0L) ?(keep = 8) () =
   {
     every = Atomic.make (max 1 sample_every);
+    seed = Atomic.make seed;
     tick = Atomic.make 0;
     force = Atomic.make false;
-    keep = max 1 keep;
-    retained = [];
-    lock = Mutex.create ();
+    retained = Array.make (max 1 keep) None;
+    finished = Atomic.make 0;
   }
 
 let default = create ()
 
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let set_sampling ?seed t ~every =
+  Atomic.set t.every (max 1 every);
+  match seed with None -> () | Some s -> Atomic.set t.seed s
 
-let set_sampling t ~every = Atomic.set t.every (max 1 every)
 let sampling t = Atomic.get t.every
+let seed t = Atomic.get t.seed
 let force_next t = Atomic.set t.force true
 
-let start t name =
+(* Exactly one tick is sampled per window of [every]; the offset is the
+   SplitMix output for (seed, window), so the sampled set replays for a
+   fixed seed. *)
+let sampled t tick =
+  let every = Atomic.get t.every in
+  every <= 1
+  ||
+  let window = (tick - 1) / every in
+  let g =
+    Sm.of_int64
+      (Int64.logxor (Atomic.get t.seed)
+         (Int64.mul (Int64.of_int window) 0x9E3779B97F4A7C15L))
+  in
+  (tick - 1) mod every = Sm.int g ~bound:every
+
+let start ?at t name =
   let tick = Atomic.fetch_and_add t.tick 1 + 1 in
   let forced =
     (* the get is the common no-force path; the CAS makes a pending
        force fire exactly once under contention *)
     Atomic.get t.force && Atomic.compare_and_set t.force true false
   in
-  if forced || tick mod Atomic.get t.every = 0 then Some (Span.start name)
+  if forced || sampled t tick then begin
+    let trace = Span.start ?at name in
+    (* the tick doubles as the query's trace id *)
+    Span.kv trace "trace_id" (string_of_int tick);
+    Some trace
+  end
   else None
 
-let rec take n = function
-  | [] -> []
-  | _ when n <= 0 -> []
-  | x :: rest -> x :: take (n - 1) rest
-
-let finish t trace =
-  Span.finish trace;
-  locked t (fun () -> t.retained <- take t.keep (trace :: t.retained))
+let finish ?at t trace =
+  Span.finish ?at trace;
+  let i = Atomic.fetch_and_add t.finished 1 in
+  t.retained.(i mod Array.length t.retained) <- Some trace
 
 let last t =
-  locked t (fun () -> match t.retained with [] -> None | tr :: _ -> Some tr)
+  let n = Atomic.get t.finished in
+  if n = 0 then None else t.retained.((n - 1) mod Array.length t.retained)
 
-let recent t = locked t (fun () -> t.retained)
+let recent t =
+  let n = Atomic.get t.finished in
+  let keep = Array.length t.retained in
+  List.filter_map
+    (fun i -> t.retained.((n - 1 - i) mod keep))
+    (List.init (min n keep) Fun.id)
 
 let clear t =
   Atomic.set t.tick 0;
   Atomic.set t.force false;
-  locked t (fun () -> t.retained <- [])
+  Atomic.set t.finished 0;
+  Array.fill t.retained 0 (Array.length t.retained) None

@@ -1,25 +1,35 @@
 (** Sampling span recorder: counters stay always-on, span trees are
     recorded 1-in-[every] queries (plus on demand via {!force_next}),
-    and a small ring of recent traces is retained for inspection. *)
+    and a small ring of recent traces is retained for inspection.
+
+    Sampling is stratified and seeded: every window of [every] ticks
+    records exactly one trace at a SplitMix64-drawn offset, so the
+    sampled span set is a reproducible function of the seed. *)
 
 type t
 
-val create : ?sample_every:int -> ?keep:int -> unit -> t
+val create : ?sample_every:int -> ?seed:int64 -> ?keep:int -> unit -> t
 
 (** The tracer {!Telemetry} routes through. *)
 val default : t
 
-val set_sampling : t -> every:int -> unit
+(** Change the sampling rate, and optionally re-seed the offset
+    stream. [every <= 1] records every trace. *)
+val set_sampling : ?seed:int64 -> t -> every:int -> unit
+
 val sampling : t -> int
+val seed : t -> int64
 
 (** Record the next trace regardless of sampling. *)
 val force_next : t -> unit
 
-(** [None] when this query is sampled out. *)
-val start : t -> string -> Span.trace option
+(** [None] when this query is sampled out. The root span of a sampled
+    trace carries a ["trace_id"] kv (the tracer tick). [at] reuses a
+    monotonic timestamp the caller already read ({!Span.start}). *)
+val start : ?at:int64 -> t -> string -> Span.trace option
 
-(** Close the trace and retain it. *)
-val finish : t -> Span.trace -> unit
+(** Close the trace and retain it. [at] as in {!start}. *)
+val finish : ?at:int64 -> t -> Span.trace -> unit
 
 (** Most recently finished trace. *)
 val last : t -> Span.trace option

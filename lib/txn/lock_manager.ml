@@ -105,9 +105,18 @@ let acquire_unmeasured t ~txn ~obj mode =
             if holds then Ok () (* X subsumes S; re-entrant *)
             else Error { obj; holders = h.owners; held = h.mode; requested = mode })
 
+(* The engine never blocks on a lock, so a refused request *is* the
+   lock wait: record it in the flight recorder with the object name. *)
+let record_conflict obj txn =
+  Minirel_telemetry.Flight.record Lock_wait ~a:(Minirel_telemetry.Flight.intern obj)
+    ~b:txn
+
 let acquire t ~txn ~obj mode =
-  if not (Minirel_telemetry.Telemetry.is_enabled ()) then
-    acquire_unmeasured t ~txn ~obj mode
+  if not (Minirel_telemetry.Telemetry.is_enabled ()) then begin
+    let r = acquire_unmeasured t ~txn ~obj mode in
+    (match r with Error _ -> record_conflict obj txn | Ok () -> ());
+    r
+  end
   else begin
     let t0 = Minirel_telemetry.Telemetry.now_ns () in
     let r = acquire_unmeasured t ~txn ~obj mode in
@@ -115,7 +124,9 @@ let acquire t ~txn ~obj mode =
       (Int64.sub (Minirel_telemetry.Telemetry.now_ns ()) t0);
     (match r with
     | Ok () -> t.stats.acquires <- t.stats.acquires + 1
-    | Error _ -> t.stats.conflicts <- t.stats.conflicts + 1);
+    | Error _ ->
+        t.stats.conflicts <- t.stats.conflicts + 1;
+        record_conflict obj txn);
     r
   end
 
