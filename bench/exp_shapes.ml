@@ -1,0 +1,289 @@
+(* Section 3.6 query-shape benchmark: grouped-probe throughput at 1
+   and 4 hash-partitioned shards.
+
+   The measured loop asks the same Zipf T1 stream in grouped form
+   (GROUP BY orderkey with COUNT/SUM/MIN/MAX/AVG over the money
+   columns) under the Epoch read path. After warmup the router-level
+   probe cache holds every hot bcp's merged answer, so a grouped query
+   folds its groups straight out of the cache segments
+   ([Router.probe_grouped]) without touching any shard engine; misses
+   fall back to the fan-out merge ([Router.answer_grouped]), which is
+   how the cache fills. Per-query fast-path work is proportional to
+   the result size, not the shard count, so 4-shard throughput must
+   hold the 1-shard line — that ratio is the gate in check.sh.
+
+   Both configurations answer the identical seeded stream over
+   identically generated data; group-key checksums must agree, and a
+   sample of merged grouped answers (plus one answer per remaining
+   shape) is judged against the brute-force oracle. Results go to
+   BENCH_shapes.json. *)
+
+open Minirel_storage
+module Catalog = Minirel_index.Catalog
+module Template = Minirel_query.Template
+module Instance = Minirel_query.Instance
+module Aggregate = Minirel_query.Aggregate
+module Ordering = Minirel_query.Ordering
+module Router = Minirel_engine.Shard_router
+module Check = Minirel_check.Check
+module Tpcr = Minirel_workload.Tpcr
+module Querygen = Minirel_workload.Querygen
+module Zipf = Minirel_workload.Zipf
+module SM = Minirel_prng.Split_mix
+
+type cfg = { full : bool; seed : int; scale : float option }
+
+type run_result = {
+  label : string;
+  shards : int;
+  queries : int;
+  qps : float;
+  fast_hits : int;  (* grouped answers folded from the router cache *)
+  fallbacks : int;  (* grouped answers that fanned out and merged *)
+  groups_checksum : int;
+  oracle_clean : bool;
+}
+
+(* AVG sums floats in shard order, so merged values may differ from the
+   oracle's fold order in the last ulp: compare with a relative
+   epsilon. *)
+let value_close a b =
+  match (a, b) with
+  | Value.Float x, Value.Float y ->
+      Float.abs (x -. y)
+      <= 1e-6 *. Float.max 1.0 (Float.max (Float.abs x) (Float.abs y))
+  | _ -> Value.compare a b = 0
+
+let groups_agree expected actual =
+  List.length expected = List.length actual
+  && List.for_all2
+       (fun (ek, evs) (ak, avs) ->
+         Tuple.compare ek ak = 0 && Array.for_all2 value_close evs avs)
+       expected actual
+
+type live = {
+  l_label : string;
+  l_shards : int;
+  l_catalog : Catalog.t;  (* unsharded reference, the oracle's input *)
+  l_router : Router.t;
+  l_t1 : Template.compiled;
+  l_key : int array;
+  l_aggs : Aggregate.spec array;
+  l_order : Ordering.key array;
+  l_instances : Instance.t array;
+  l_gen : SM.t -> Instance.t;
+  mutable l_next : int;
+  mutable l_seg_walls : int64 list;
+  mutable l_fast_hits : int;
+  mutable l_fallbacks : int;
+  mutable l_checksum : int;
+}
+
+(* The grouped answer one way or the other: cache fold when every bcp
+   holds a trusted version, fan-out merge otherwise. *)
+let grouped_once l inst =
+  match Router.probe_grouped l.l_router inst ~key:l.l_key ~aggs:l.l_aggs with
+  | Some acc ->
+      l.l_fast_hits <- l.l_fast_hits + 1;
+      acc
+  | None ->
+      l.l_fallbacks <- l.l_fallbacks + 1;
+      let g, _ = Router.answer_grouped l.l_router inst ~key:l.l_key ~aggs:l.l_aggs in
+      g.Pmv.Extensions.g_groups
+
+let setup_config cfg ~scale ~per_shard_capacity ~n_queries ~shards =
+  let pool = Buffer_pool.create ~capacity:8_000 () in
+  let catalog = Catalog.create pool in
+  let params = Tpcr.params_for_scale ~seed:cfg.seed scale in
+  ignore (Tpcr.generate catalog params);
+  let t1 = Template.compile catalog Querygen.t1_spec in
+  let router = Router.create ~shards () in
+  List.iter
+    (fun rel ->
+      Router.declare router (Catalog.schema catalog rel) ~part:(`Hash "orderkey"))
+    [ "orders"; "lineitem" ];
+  Router.declare router (Catalog.schema catalog "customer") ~part:`Replicated;
+  Router.load_from router catalog;
+  ignore (Router.create_view ~capacity:per_shard_capacity ~f_max:3 router t1);
+  Router.set_probe_path router Pmv.Answer.Epoch;
+  let key, aggs, order =
+    match Querygen.shapes_for t1 ~k:10 with
+    | _ :: _ :: Querygen.Grouped { key; aggs } :: Querygen.Ordered { order; _ } :: _ ->
+        (key, aggs, order)
+    | _ -> failwith "t1 must support the grouped and ordered shapes"
+  in
+  let dz = Zipf.create ~n:params.Tpcr.n_dates ~alpha:1.07 in
+  let sz = Zipf.create ~n:params.Tpcr.n_suppliers ~alpha:1.07 in
+  let gen rng = Querygen.gen_t1 t1 ~dates_zipf:dz ~supp_zipf:sz ~e:2 ~f:2 rng in
+  (* warm through the plain epoch answer: fallbacks install each exact
+     bcp's merged answer into the router cache, and the grouped probe
+     reads the same segments. Warm until the hot bcp set is resident —
+     the fast path needs every one of a query's h bcps present. *)
+  let warm_rng = SM.create ~seed:(cfg.seed + 1) in
+  let n_warm = if cfg.full then 2_000 else 1_000 in
+  for _ = 1 to n_warm do
+    ignore (Router.answer router (gen warm_rng) ~on_tuple:(fun _ _ -> ()))
+  done;
+  let rng = SM.create ~seed:(cfg.seed + 2) in
+  {
+    l_label = Fmt.str "router%d" shards;
+    l_shards = shards;
+    l_catalog = catalog;
+    l_router = router;
+    l_t1 = t1;
+    l_key = key;
+    l_aggs = aggs;
+    l_order = order;
+    l_instances = Array.init n_queries (fun _ -> gen rng);
+    l_gen = gen;
+    l_next = 0;
+    l_seg_walls = [];
+    l_fast_hits = 0;
+    l_fallbacks = 0;
+    l_checksum = 0;
+  }
+
+(* Answer the next [seg_queries] grouped queries, timed as one
+   segment. The checksum covers group keys and counts only — AVG
+   floats may differ in the last ulp between shard counts. *)
+let run_segment l ~seg_queries =
+  let t0 = Monotonic_clock.now () in
+  for _ = 1 to seg_queries do
+    let inst = l.l_instances.(l.l_next) in
+    l.l_next <- l.l_next + 1;
+    let groups = grouped_once l inst in
+    List.iter
+      (fun (k, (accs : Aggregate.acc array)) ->
+        l.l_checksum <- l.l_checksum + Tuple.hash k + accs.(0).Aggregate.n)
+      groups
+  done;
+  l.l_seg_walls <- Int64.sub (Monotonic_clock.now ()) t0 :: l.l_seg_walls
+
+(* Oracle the shapes end to end on this configuration: a sample of
+   grouped answers plus one DISTINCT, one ORDER BY first-k and one
+   EXISTS, all against the unsharded reference. *)
+let oracle_shapes cfg l =
+  let rng = SM.create ~seed:(cfg.seed + 3) in
+  let grouped_ok =
+    List.for_all
+      (fun inst ->
+        let groups = grouped_once l inst in
+        groups_agree
+          (Check.ground_truth_grouped l.l_catalog inst ~key:l.l_key ~aggs:l.l_aggs)
+          (Pmv.Extensions.finalize_groups ~aggs:l.l_aggs groups))
+      (List.init 8 (fun _ -> l.l_gen rng))
+  in
+  let q = l.l_gen rng in
+  let distinct_ok =
+    let seen = Tuple.Table.create 64 and out = ref [] in
+    ignore
+      (Router.answer l.l_router q ~on_tuple:(fun _ t ->
+           if not (Tuple.Table.mem seen t) then begin
+             Tuple.Table.replace seen t ();
+             out := t :: !out
+           end));
+    let expect = Check.ground_truth_distinct l.l_catalog q in
+    List.length !out = List.length expect
+    && List.equal Tuple.equal
+         (List.sort Tuple.compare !out)
+         (List.sort Tuple.compare expect)
+  in
+  let ordered_ok =
+    let k = 10 in
+    let rows, _ = Router.answer_ordered_k l.l_router q ~order:l.l_order ~k in
+    List.equal Tuple.equal rows
+      (Check.ground_truth_ordered l.l_catalog q ~order:l.l_order ~limit:k ())
+  in
+  let exists_ok = fst (Router.exists_ l.l_router q) = Check.ground_truth_exists l.l_catalog q in
+  grouped_ok && distinct_ok && ordered_ok && exists_ok
+
+let finish_config cfg ~seg_queries l =
+  let median_seg_wall =
+    let sorted = List.sort Int64.compare l.l_seg_walls in
+    List.nth sorted (List.length sorted / 2)
+  in
+  let qps = float_of_int seg_queries /. (Int64.to_float median_seg_wall /. 1e9) in
+  {
+    label = l.l_label;
+    shards = l.l_shards;
+    queries = l.l_next;
+    qps;
+    fast_hits = l.l_fast_hits;
+    fallbacks = l.l_fallbacks;
+    groups_checksum = l.l_checksum;
+    oracle_clean = oracle_shapes cfg l;
+  }
+
+let json_of_run r =
+  Fmt.str
+    {|{"label": %S, "shards": %d, "queries": %d, "queries_per_sec": %.1f, "fast_hits": %d, "fallbacks": %d, "groups_checksum": %d, "oracle_clean": %b}|}
+    r.label r.shards r.queries r.qps r.fast_hits r.fallbacks r.groups_checksum
+    r.oracle_clean
+
+let run cfg =
+  Output.header ~id:"Shapes"
+    ~title:"grouped-probe throughput at 1 and 4 shards (Section 3.6 shapes)"
+    ~paper:
+      "(extension) grouped answers fold per-group accumulators out of the \
+       router's probe-cache segments; fan-out merges shard partials on a miss, \
+       so shard count must not tax the grouped serving path";
+  let scale = Option.value cfg.scale ~default:(if cfg.full then 0.01 else 0.003) in
+  let per_shard_capacity = if cfg.full then 400 else 200 in
+  (* paired interleaved segments, median per configuration: machine
+     drift lands on both shard counts alike *)
+  let n_segments = 3 in
+  let seg_queries = if cfg.full then 1_200 else 600 in
+  let n_queries = n_segments * seg_queries in
+  let lives =
+    List.map
+      (fun shards -> setup_config cfg ~scale ~per_shard_capacity ~n_queries ~shards)
+      [ 1; 4 ]
+  in
+  for _ = 1 to n_segments do
+    List.iter (fun l -> run_segment l ~seg_queries) lives
+  done;
+  let runs = List.map (finish_config cfg ~seg_queries) lives in
+  (match runs with
+  | [ a; b ] ->
+      if a.groups_checksum <> b.groups_checksum then
+        Fmt.epr "WARNING: 1-shard and 4-shard grouped streams disagree (%d vs %d)@."
+          a.groups_checksum b.groups_checksum
+  | _ -> ());
+  Output.row "%-9s %-7s %-9s %-12s %-10s %-10s %s@." "config" "shards" "queries"
+    "queries/s" "fast-hits" "fallbacks" "oracle";
+  List.iter
+    (fun r ->
+      Output.row "%-9s %-7d %-9d %-12.1f %-10d %-10d %s@." r.label r.shards r.queries
+        r.qps r.fast_hits r.fallbacks
+        (if r.oracle_clean then "clean" else "VIOLATED"))
+    runs;
+  let find s = List.find (fun r -> r.shards = s) runs in
+  let qps1 = (find 1).qps and qps4 = (find 4).qps in
+  let speedup = qps4 /. qps1 in
+  Output.row "grouped-probe qps: 1 shard %.1f, 4 shards %.1f (%.2fx)@." qps1 qps4 speedup;
+  let oracle_clean = List.for_all (fun r -> r.oracle_clean) runs in
+  let json =
+    Fmt.str
+      {|{
+  "experiment": "shapes",
+  "scale": %g,
+  "seed": %d,
+  "per_shard_view_capacity": %d,
+  "host_cores": %d,
+  "workload": "t1 zipf alpha=1.07, e=f=2, grouped by orderkey: count/sum/min/max/avg",
+  "runs": [%s],
+  "qps_1_shard": %.3f,
+  "qps_4_shard": %.3f,
+  "speedup_4_vs_1": %.3f,
+  "oracle_clean": %b
+}
+|}
+      scale cfg.seed per_shard_capacity
+      (Domain.recommended_domain_count ())
+      (String.concat ", " (List.map json_of_run runs))
+      qps1 qps4 speedup oracle_clean
+  in
+  let oc = open_out "BENCH_shapes.json" in
+  output_string oc json;
+  close_out oc;
+  Output.row "wrote BENCH_shapes.json@."

@@ -35,6 +35,7 @@ let experiments ~full ~seed ~scale ~domains =
       fun () -> Exp_observability.run { Exp_observability.full; seed; scale } );
     ("torture", fun () -> Exp_torture.run { Exp_torture.full; seed; scale });
     ("shard", fun () -> Exp_shard.run { Exp_shard.full; seed; scale });
+    ("shapes", fun () -> Exp_shapes.run { Exp_shapes.full; seed; scale });
     ("parallel", fun () -> Exp_parallel.run { Exp_parallel.full; seed; scale; domains });
   ]
 

@@ -72,6 +72,51 @@ let ground_truth catalog instance =
   full_mv catalog (Instance.compiled instance)
   |> List.filter (Instance.accepts_result instance)
 
+(* --- §3.6 shape ground truths (same full-scan independence) ----------- *)
+
+let ground_truth_distinct catalog instance =
+  let seen = Tuple.Table.create 64 in
+  List.filter
+    (fun t ->
+      if Tuple.Table.mem seen t then false
+      else begin
+        Tuple.Table.replace seen t ();
+        true
+      end)
+    (ground_truth catalog instance)
+
+(* Finalized per-group aggregate values, sorted by the projected key
+   tuple — computed by plain folding over the ground-truth multiset,
+   sharing only [Aggregate.finalize] with the streamed path. *)
+let ground_truth_grouped catalog instance ~key ~aggs =
+  let tbl = Tuple.Table.create 64 in
+  List.iter
+    (fun t ->
+      let k = Tuple.project t key in
+      let members = Option.value ~default:[] (Tuple.Table.find_opt tbl k) in
+      Tuple.Table.replace tbl k (t :: members))
+    (ground_truth catalog instance);
+  Tuple.Table.fold
+    (fun k members out ->
+      let accs = Aggregate.of_tuples aggs (List.rev members) in
+      (k, Array.mapi (fun i acc -> Aggregate.finalize aggs.(i) acc) accs) :: out)
+    tbl []
+  |> List.sort (fun (a, _) (b, _) -> Tuple.compare a b)
+
+let ground_truth_ordered catalog instance ~order ?limit () =
+  let sorted = Ordering.sort ~order (ground_truth catalog instance) in
+  match limit with
+  | None -> sorted
+  | Some k ->
+      let rec take n = function
+        | [] -> []
+        | _ when n <= 0 -> []
+        | x :: tl -> x :: take (n - 1) tl
+      in
+      take k sorted
+
+let ground_truth_exists catalog instance = ground_truth catalog instance <> []
+
 (* --- multiset diff ---------------------------------------------------- *)
 
 type diff = { missing : Tuple.t list; extra : Tuple.t list }
@@ -122,6 +167,8 @@ type report = {
   partials : int;
   ds_identity_ok : bool;
   stats : Pmv.Answer.stats;
+  template : string option;  (* which template the query instantiated *)
+  shape : string option;  (* query-shape class: plain/distinct/grouped/... *)
 }
 
 let report_ok r = diff_is_empty r.diff && r.ds_identity_ok
@@ -131,7 +178,15 @@ let report_ok_allowing_stale r =
   && List.length r.diff.extra = r.stats.Pmv.Answer.stale_purged
   && r.ds_identity_ok
 
+(* Name the template and shape up front: a sharded mismatch that prints
+   only the tuple diff is slow to triage. *)
 let pp_report ppf r =
+  let label name = function
+    | None -> ()
+    | Some s -> Fmt.pf ppf "%s=%s " name s
+  in
+  label "template" r.template;
+  label "shape" r.shape;
   Fmt.pf ppf "delivered=%d partials=%d stale=%d ds_identity=%b %a" r.delivered r.partials
     r.stats.Pmv.Answer.stale_purged r.ds_identity_ok pp_diff r.diff
 
@@ -141,7 +196,7 @@ let pp_report ppf r =
    answer statistics; the DS exactly-once identity is checked on those
    — for merged shard streams the summed stats must satisfy it just as
    a single engine's do. *)
-let check_answer_via ~expected answer =
+let check_answer_via ?template ?shape ~expected answer =
   let delivered = ref [] and partials = ref 0 in
   let stats =
     answer ~on_tuple:(fun phase t ->
@@ -156,10 +211,13 @@ let check_answer_via ~expected answer =
     ds_identity_ok =
       n_delivered = stats.Pmv.Answer.total_count + stats.Pmv.Answer.stale_purged;
     stats;
+    template;
+    shape;
   }
 
 let check_answer ?locks ?txn ?probe_path ~view catalog instance =
-  check_answer_via
+  let template = (Instance.compiled instance).Template.spec.Template.name in
+  check_answer_via ~template ~shape:"plain"
     ~expected:(ground_truth catalog instance)
     (fun ~on_tuple ->
       Pmv.Answer.answer ?locks ?txn ?probe_path ~view catalog instance ~on_tuple)

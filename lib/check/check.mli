@@ -17,6 +17,32 @@ val full_mv : Minirel_index.Catalog.t -> Template.compiled -> Tuple.t list
     Cselect. *)
 val ground_truth : Minirel_index.Catalog.t -> Instance.t -> Tuple.t list
 
+(** {!ground_truth} with set semantics (first occurrence kept). *)
+val ground_truth_distinct : Minirel_index.Catalog.t -> Instance.t -> Tuple.t list
+
+(** Finalized per-group aggregate values over {!ground_truth}, sorted
+    by the projected key tuple. Shares only [Aggregate.finalize] with
+    the streamed path. *)
+val ground_truth_grouped :
+  Minirel_index.Catalog.t ->
+  Instance.t ->
+  key:int array ->
+  aggs:Aggregate.spec array ->
+  (Tuple.t * Value.t array) list
+
+(** {!ground_truth} under the shared total order [Ordering.cmp ~order],
+    optionally cut to the first [limit] tuples (prefix-exact target for
+    first-k answers). *)
+val ground_truth_ordered :
+  Minirel_index.Catalog.t ->
+  Instance.t ->
+  order:Ordering.key array ->
+  ?limit:int ->
+  unit ->
+  Tuple.t list
+
+val ground_truth_exists : Minirel_index.Catalog.t -> Instance.t -> bool
+
 (** Multiset difference, both directions. *)
 type diff = {
   missing : Tuple.t list;  (** expected but not delivered *)
@@ -38,6 +64,10 @@ type report = {
           tuple reaches the user exactly once, plus the stale cached
           tuples O2 already streamed *)
   stats : Pmv.Answer.stats;
+  template : string option;
+      (** which template the query instantiated — printed first by
+          {!pp_report} so sharded mismatches triage fast *)
+  shape : string option;  (** query-shape class (plain/distinct/grouped/...) *)
 }
 
 (** No diff and the DS identity holds. *)
@@ -56,6 +86,8 @@ val pp_report : report Fmt.t
     identity is checked on the returned stats, so merged shard streams
     must satisfy it under summation just as a single engine does. *)
 val check_answer_via :
+  ?template:string ->
+  ?shape:string ->
   expected:Tuple.t list ->
   (on_tuple:(Pmv.Answer.phase -> Tuple.t -> unit) -> Pmv.Answer.stats) ->
   report

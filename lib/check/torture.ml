@@ -477,6 +477,115 @@ let txn_event st =
   note st (Fmt.str "txn: %s" (describe_change change));
   finish_txn st change (run_txn st change)
 
+(* --- Section 3.6 shape oracles ----------------------------------------- *)
+
+(* Finalized aggregate values may sum floats in different orders on the
+   streamed and oracle sides: compare with a relative epsilon. *)
+let value_close a b =
+  match (a, b) with
+  | Value.Float x, Value.Float y ->
+      Float.abs (x -. y)
+      <= 1e-6 *. Float.max 1.0 (Float.max (Float.abs x) (Float.abs y))
+  | _ -> Value.compare a b = 0
+
+let groups_agree expected actual =
+  List.length expected = List.length actual
+  && List.for_all2
+       (fun (ek, evs) (ak, avs) ->
+         Tuple.compare ek ak = 0
+         && Array.length evs = Array.length avs
+         && Array.for_all2 value_close evs avs)
+       expected actual
+
+let rows_equal expected actual =
+  List.length expected = List.length actual
+  && List.for_all2 (fun a b -> Tuple.compare a b = 0) expected actual
+
+(* Draw this query's shape from the seeded stream: plain stays dominant
+   (the classic oracle exercises the DS identity), the Section 3.6
+   shapes cover the rest. Non-plain shapes only run while no
+   maintenance is pending — their oracles have no allowing-stale
+   verdict. *)
+let draw_shape w compiled ~pending =
+  let k = 1 + SM.int w.rng ~bound:8 in
+  let shapes = Querygen.shapes_for compiled ~k in
+  let r = SM.int w.rng ~bound:10 in
+  if pending || r < 6 then Querygen.Plain
+  else
+    match shapes with
+    | _ :: (_ :: _ as rest) -> List.nth rest ((r - 6) mod List.length rest)
+    | _ -> Querygen.Plain
+
+(* Oracle-check one non-plain shape against the single-engine view;
+   every mismatch names the template and shape class. *)
+let shape_query st shape inst =
+  let sname = Querygen.shape_name shape in
+  let tname = st.t1.Template.spec.Template.name in
+  let txn = 1_000_000 + st.qid in
+  let locks = Txn.locks st.mgr in
+  let shape_fail fmt =
+    Fmt.kstr
+      (fun s ->
+        fail st "query %d template=%s shape=%s (%s): %s" st.qid tname sname
+          (describe_inst inst) s)
+      fmt
+  in
+  (match shape with
+  | Querygen.Plain -> assert false (* routed through check_answer *)
+  | Querygen.Distinct ->
+      let delivered = ref [] in
+      let _stats, n =
+        Pmv.Extensions.answer_distinct ~locks ~txn ~probe_path:st.cfg.probe_path
+          ~view:st.view st.catalog inst ~on_tuple:(fun _ t ->
+            delivered := t :: !delivered)
+      in
+      let d =
+        Check.diff_multiset
+          ~expected:(Check.ground_truth_distinct st.catalog inst)
+          ~actual:(List.rev !delivered)
+      in
+      if not (Check.diff_is_empty d) then shape_fail "%a" Check.pp_diff d
+      else if n <> List.length !delivered then
+        shape_fail "reported %d distinct, delivered %d" n (List.length !delivered)
+      else note st (Fmt.str "query %d (%s) %s: %d rows" st.qid (describe_inst inst) sname n)
+  | Querygen.Grouped { key; aggs } ->
+      let g =
+        Pmv.Extensions.answer_groups ~locks ~txn ~probe_path:st.cfg.probe_path
+          ~view:st.view st.catalog inst ~key ~aggs
+      in
+      (* shadow accumulators: the oracle folds its own rows through the
+         same associative specs, sharing only Aggregate.finalize *)
+      let expected = Check.ground_truth_grouped st.catalog inst ~key ~aggs in
+      let actual = Pmv.Extensions.finalize_groups ~aggs g.Pmv.Extensions.g_groups in
+      if not (groups_agree expected actual) then
+        shape_fail "%d groups vs %d oracle groups" (List.length actual)
+          (List.length expected)
+      else
+        note st
+          (Fmt.str "query %d (%s) %s: %d groups" st.qid (describe_inst inst) sname
+             (List.length actual))
+  | Querygen.Ordered { order; k } ->
+      let rows, _stats =
+        Pmv.Extensions.answer_ordered_k ~locks ~txn ~probe_path:st.cfg.probe_path
+          ~view:st.view st.catalog inst ~order ~k
+      in
+      let expected = Check.ground_truth_ordered st.catalog inst ~order ~limit:k () in
+      if not (rows_equal expected rows) then
+        shape_fail "first-%d prefix diverges from the oracle order" k
+      else
+        note st
+          (Fmt.str "query %d (%s) %s: first %d of %d" st.qid (describe_inst inst) sname
+             (List.length rows) k)
+  | Querygen.Exists ->
+      let got, how = Pmv.Extensions.exists_ ~probe_path:st.cfg.probe_path ~view:st.view st.catalog inst in
+      let want = Check.ground_truth_exists st.catalog inst in
+      if got <> want then shape_fail "answered %b, oracle says %b" got want
+      else
+        note st
+          (Fmt.str "query %d (%s) %s: %b (%s)" st.qid (describe_inst inst) sname got
+             (match how with `From_pmv -> "witness" | `Executed -> "executed")));
+  st.queries <- st.queries + 1
+
 let run_checked_query st =
   let e = 1 + SM.int st.w.rng ~bound:3 and f = 1 + SM.int st.w.rng ~bound:2 in
   let inst =
@@ -485,27 +594,41 @@ let run_checked_query st =
   st.qid <- st.qid + 1;
   let txn = 1_000_000 + st.qid in
   let pending = Pmv.Maintain.n_pending st.view > 0 in
-  match
-    Check.check_answer ~locks:(Txn.locks st.mgr) ~txn ~probe_path:st.cfg.probe_path
-      ~view:st.view st.catalog inst
-  with
-  | r ->
-      st.queries <- st.queries + 1;
-      let verdict = if pending then Check.report_ok_allowing_stale r else Check.report_ok r in
-      if not verdict then
-        fail st "query %d (%s)%s: %a" st.qid (describe_inst inst)
-          (if pending then " [pending maintenance]" else "")
-          Check.pp_report r
-      else
-        note st
-          (Fmt.str "query %d (%s): %d rows, %d partial, %d stale" st.qid (describe_inst inst)
-             r.Check.delivered r.Check.partials r.Check.stats.Pmv.Answer.stale_purged)
-  | exception Failure msg when lock_conflict msg ->
-      st.lock_rejects <- st.lock_rejects + 1;
-      note st (Fmt.str "query %d: lock rejected" st.qid)
-  | exception Fault.Injected site ->
-      st.io_faults <- st.io_faults + 1;
-      note st (Fmt.str "query %d: injected %s" st.qid site)
+  match draw_shape st.w st.t1 ~pending with
+  | Querygen.Plain -> (
+      match
+        Check.check_answer ~locks:(Txn.locks st.mgr) ~txn ~probe_path:st.cfg.probe_path
+          ~view:st.view st.catalog inst
+      with
+      | r ->
+          st.queries <- st.queries + 1;
+          let verdict =
+            if pending then Check.report_ok_allowing_stale r else Check.report_ok r
+          in
+          if not verdict then
+            fail st "query %d (%s)%s: %a" st.qid (describe_inst inst)
+              (if pending then " [pending maintenance]" else "")
+              Check.pp_report r
+          else
+            note st
+              (Fmt.str "query %d (%s): %d rows, %d partial, %d stale" st.qid
+                 (describe_inst inst) r.Check.delivered r.Check.partials
+                 r.Check.stats.Pmv.Answer.stale_purged)
+      | exception Failure msg when lock_conflict msg ->
+          st.lock_rejects <- st.lock_rejects + 1;
+          note st (Fmt.str "query %d: lock rejected" st.qid)
+      | exception Fault.Injected site ->
+          st.io_faults <- st.io_faults + 1;
+          note st (Fmt.str "query %d: injected %s" st.qid site))
+  | shape -> (
+      match shape_query st shape inst with
+      | () -> ()
+      | exception Failure msg when lock_conflict msg ->
+          st.lock_rejects <- st.lock_rejects + 1;
+          note st (Fmt.str "query %d: lock rejected" st.qid)
+      | exception Fault.Injected site ->
+          st.io_faults <- st.io_faults + 1;
+          note st (Fmt.str "query %d: injected %s" st.qid site))
 
 let crash_event st =
   let site = crash_sites.(SM.int st.w.rng ~bound:(Array.length crash_sites)) in
@@ -772,6 +895,70 @@ let sflush st =
       Fault.arm_in reg "maintain.defer" (Fault.Prob defer_prob))
     (Router.shards st.router)
 
+(* One non-plain shape through the router, oracle-checked against the
+   unsharded reference catalog. Sharded GROUP BY merges the shards'
+   partial accumulators, so this is the end-to-end check that the merge
+   reproduces what one engine over the whole data would compute. *)
+let sshape_query st shape inst =
+  let sname = Querygen.shape_name shape in
+  let shape_fail fmt =
+    Fmt.kstr
+      (fun s ->
+        sfail st "query %d template=t1 shape=%s (%s): %s" st.qid sname
+          (describe_inst inst) s)
+      fmt
+  in
+  (match shape with
+  | Querygen.Plain -> assert false (* routed through check_answer_via *)
+  | Querygen.Distinct ->
+      let seen = Tuple.Table.create 64 and delivered = ref [] in
+      let _stats =
+        Router.answer st.router inst ~on_tuple:(fun _ t ->
+            if not (Tuple.Table.mem seen t) then begin
+              Tuple.Table.replace seen t ();
+              delivered := t :: !delivered
+            end)
+      in
+      let d =
+        Check.diff_multiset
+          ~expected:(Check.ground_truth_distinct st.ref_catalog inst)
+          ~actual:(List.rev !delivered)
+      in
+      if not (Check.diff_is_empty d) then shape_fail "%a" Check.pp_diff d
+      else
+        snote st
+          (Fmt.str "query %d (%s) %s: %d rows" st.qid (describe_inst inst) sname
+             (List.length !delivered))
+  | Querygen.Grouped { key; aggs } ->
+      let g, _merged = Router.answer_grouped st.router inst ~key ~aggs in
+      let expected = Check.ground_truth_grouped st.ref_catalog inst ~key ~aggs in
+      let actual = Pmv.Extensions.finalize_groups ~aggs g.Pmv.Extensions.g_groups in
+      if not (groups_agree expected actual) then
+        shape_fail "%d merged groups vs %d oracle groups" (List.length actual)
+          (List.length expected)
+      else
+        snote st
+          (Fmt.str "query %d (%s) %s: %d groups" st.qid (describe_inst inst) sname
+             (List.length actual))
+  | Querygen.Ordered { order; k } ->
+      let rows, _stats = Router.answer_ordered_k st.router inst ~order ~k in
+      let expected = Check.ground_truth_ordered st.ref_catalog inst ~order ~limit:k () in
+      if not (rows_equal expected rows) then
+        shape_fail "first-%d prefix diverges from the oracle order" k
+      else
+        snote st
+          (Fmt.str "query %d (%s) %s: first %d of %d" st.qid (describe_inst inst) sname
+             (List.length rows) k)
+  | Querygen.Exists ->
+      let got, how = Router.exists_ st.router inst in
+      let want = Check.ground_truth_exists st.ref_catalog inst in
+      if got <> want then shape_fail "answered %b, oracle says %b" got want
+      else
+        snote st
+          (Fmt.str "query %d (%s) %s: %b (%s)" st.qid (describe_inst inst) sname got
+             (match how with `From_pmv -> "witness" | `Executed -> "executed")));
+  st.queries <- st.queries + 1
+
 let squery st =
   let e = 1 + SM.int st.w.rng ~bound:3 and f = 1 + SM.int st.w.rng ~bound:2 in
   let inst =
@@ -780,29 +967,42 @@ let squery st =
   in
   st.qid <- st.qid + 1;
   let pending = spending st in
-  match
-    Check.check_answer_via
-      ~expected:(Check.ground_truth st.ref_catalog inst)
-      (fun ~on_tuple -> fst (Router.answer st.router inst ~on_tuple))
-  with
-  | r ->
-      st.queries <- st.queries + 1;
-      let verdict = if pending then Check.report_ok_allowing_stale r else Check.report_ok r in
-      if not verdict then
-        sfail st "query %d (%s)%s: %a" st.qid (describe_inst inst)
-          (if pending then " [pending maintenance]" else "")
-          Check.pp_report r
-      else
-        snote st
-          (Fmt.str "query %d (%s): %d rows, %d partial, %d stale" st.qid
-             (describe_inst inst) r.Check.delivered r.Check.partials
-             r.Check.stats.Pmv.Answer.stale_purged)
-  | exception Failure msg when lock_conflict msg ->
-      st.lock_rejects <- st.lock_rejects + 1;
-      snote st (Fmt.str "query %d: lock rejected" st.qid)
-  | exception Fault.Injected site ->
-      st.io_faults <- st.io_faults + 1;
-      snote st (Fmt.str "query %d: injected %s" st.qid site)
+  match draw_shape st.w st.t1 ~pending with
+  | Querygen.Plain -> (
+      match
+        Check.check_answer_via ~template:"t1" ~shape:"plain"
+          ~expected:(Check.ground_truth st.ref_catalog inst)
+          (fun ~on_tuple -> fst (Router.answer st.router inst ~on_tuple))
+      with
+      | r ->
+          st.queries <- st.queries + 1;
+          let verdict =
+            if pending then Check.report_ok_allowing_stale r else Check.report_ok r
+          in
+          if not verdict then
+            sfail st "query %d (%s)%s: %a" st.qid (describe_inst inst)
+              (if pending then " [pending maintenance]" else "")
+              Check.pp_report r
+          else
+            snote st
+              (Fmt.str "query %d (%s): %d rows, %d partial, %d stale" st.qid
+                 (describe_inst inst) r.Check.delivered r.Check.partials
+                 r.Check.stats.Pmv.Answer.stale_purged)
+      | exception Failure msg when lock_conflict msg ->
+          st.lock_rejects <- st.lock_rejects + 1;
+          snote st (Fmt.str "query %d: lock rejected" st.qid)
+      | exception Fault.Injected site ->
+          st.io_faults <- st.io_faults + 1;
+          snote st (Fmt.str "query %d: injected %s" st.qid site))
+  | shape -> (
+      match sshape_query st shape inst with
+      | () -> ()
+      | exception Failure msg when lock_conflict msg ->
+          st.lock_rejects <- st.lock_rejects + 1;
+          snote st (Fmt.str "query %d: lock rejected" st.qid)
+      | exception Fault.Injected site ->
+          st.io_faults <- st.io_faults + 1;
+          snote st (Fmt.str "query %d: injected %s" st.qid site))
 
 (* Run the change on the shards, then mirror it into the reference
    catalog: the same seeded stream drives both sides, and every change

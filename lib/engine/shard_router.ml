@@ -765,6 +765,240 @@ let answer_first_k t instance ~k =
    with Enough -> ());
   !acc
 
+(* --- §3.6 query shapes across shards ----------------------------------- *)
+
+module Tuple = Minirel_storage.Tuple
+module Aggregate = Minirel_query.Aggregate
+module Ordering = Minirel_query.Ordering
+
+(* Sharded GROUP BY: each target shard folds its own delivered stream
+   into shard-local accumulators, and only those — one unfinalized
+   accumulator array per group, not tuples — cross the shard boundary;
+   the router merges them per group with [Extensions.merge_groups].
+   Nothing is recomputed over the union: the per-shard streams are
+   disjoint pieces of the global answer, the accumulators are
+   associative, and AVG stays mergeable because it travels as
+   SUM+COUNT. With a pool attached the shard folds run concurrently
+   (group merging is order-insensitive, unlike the streamed tuple
+   order, so no in-order queue discipline is needed). *)
+let answer_grouped ?par ?probe_path t instance ~key ~aggs =
+  Pmv.Extensions.note_shape `Grouped;
+  let compiled = Minirel_query.Instance.compiled instance in
+  let path = match probe_path with Some p -> p | None -> t.probe_path in
+  let targets = Array.of_list (template_shards t compiled) in
+  (* Under the epoch path a grouped miss warms the router cache exactly
+     like a plain epoch miss: each shard captures its own delivered
+     stream per exact bcp, bounded at the segment f_max, so what
+     crosses the shard boundary on top of the accumulator arrays stays
+     small. When the merged stats prove the stream exact the per-shard
+     captures concatenate into complete merged answers stamped with the
+     segments' pre-query stamps — subsequent grouped (and plain) probes
+     of those bcps take the fast path. *)
+  let install_ctx =
+    match path with
+    | Pmv.Answer.Locked -> None
+    | Pmv.Answer.Epoch -> (
+        match
+          Hashtbl.find_opt t.probe_caches compiled.Template.spec.Template.name
+        with
+        | None -> None
+        | Some pc ->
+            let stamps = Array.map Pmv.Entry_store.current_stamp pc.pc_segments in
+            let seen = Bcp.Table.create 8 in
+            let exact_bcps =
+              List.filter_map
+                (fun cp ->
+                  let bcp = Condition_part.bcp cp in
+                  if Condition_part.is_exact cp && not (Bcp.Table.mem seen bcp)
+                  then begin
+                    Bcp.Table.replace seen bcp ();
+                    Some bcp
+                  end
+                  else None)
+                (Condition_part.decompose instance)
+            in
+            Some (pc, stamps, exact_bcps, Pmv.Entry_store.f_max pc.pc_segments.(0)))
+  in
+  let shard_fold i =
+    let partial_tbl = Tuple.Table.create 32 and exact_tbl = Tuple.Table.create 32 in
+    let captures =
+      match install_ctx with
+      | None -> None
+      | Some (_, _, exact_bcps, seg_fmax) ->
+          let tbl = Bcp.Table.create (2 * List.length exact_bcps + 1) in
+          List.iter (fun bcp -> Bcp.Table.replace tbl bcp (ref [], ref 0)) exact_bcps;
+          Some (tbl, seg_fmax)
+    in
+    let stats, used =
+      Engine.answer ~probe_path:path t.shards.(i) instance ~on_tuple:(fun phase tuple ->
+          (match phase with
+          | Pmv.Answer.Partial -> Pmv.Extensions.fold_group partial_tbl ~key ~aggs tuple
+          | Pmv.Answer.Remaining -> ());
+          Pmv.Extensions.fold_group exact_tbl ~key ~aggs tuple;
+          match captures with
+          | None -> ()
+          | Some (tbl, seg_fmax) -> (
+              match
+                Bcp.Table.find_opt tbl (Condition_part.bcp_of_result compiled tuple)
+              with
+              | Some (lst, n) ->
+                  (* one-over the segment bound marks overflow *)
+                  if !n <= seg_fmax then begin
+                    lst := tuple :: !lst;
+                    incr n
+                  end
+              | None -> ()))
+    in
+    ( Pmv.Extensions.collect_groups partial_tbl,
+      Pmv.Extensions.collect_groups exact_tbl,
+      stats,
+      used,
+      captures )
+  in
+  let pool = match par with Some _ -> par | None -> t.par in
+  let per_shard =
+    match pool with
+    | Some pool when Pool.size pool >= 2 && Array.length targets >= 2 ->
+        Pool.map pool shard_fold targets
+    | _ -> Array.map shard_fold targets
+  in
+  Array.fold_left
+    (fun acc (p, g, s, u, _) ->
+      match acc with
+      | None -> Some (p, g, s, u)
+      | Some (ap, ag, astats, aused) ->
+          Some
+            ( Pmv.Extensions.merge_groups ap p,
+              Pmv.Extensions.merge_groups ag g,
+              merge_stats astats s,
+              aused && u ))
+    None per_shard
+  |> function
+  | Some (g_partial, g_groups, g_stats, used) ->
+      (match install_ctx with
+      | Some (pc, stamps, exact_bcps, seg_fmax)
+        when g_stats.Pmv.Answer.stale_purged = 0 ->
+          let nseg = Array.length pc.pc_segments in
+          let seg_idx bcp = (Bcp.hash bcp land max_int) mod nseg in
+          List.iter
+            (fun bcp ->
+              let total = ref 0 and tuples = ref [] in
+              Array.iter
+                (fun (_, _, _, _, captures) ->
+                  match captures with
+                  | Some (tbl, _) -> (
+                      match Bcp.Table.find_opt tbl bcp with
+                      | Some (lst, n) ->
+                          total := !total + !n;
+                          tuples := List.rev_append !lst !tuples
+                      | None -> ())
+                  | None -> ())
+                per_shard;
+              if !total <= seg_fmax then begin
+                let si = seg_idx bcp in
+                if
+                  Pmv.Entry_store.install_complete pc.pc_segments.(si) bcp !tuples
+                    ~stamp:stamps.(si)
+                then Atomic.incr pc.pc_installs.(si)
+              end)
+            exact_bcps
+      | _ -> ());
+      ({ Pmv.Extensions.g_partial; g_groups; g_stats }, used)
+  | None -> assert false (* targets is never empty *)
+
+(* Router-cache grouped fast path: when every bcp of the instance holds
+   a trusted complete version in the template's router-level probe
+   cache, the grouped answer folds straight out of the owning segments
+   — no fan-out, no execution. [None] on any miss (fall back to
+   {!answer_grouped}). *)
+let probe_grouped t instance ~key ~aggs =
+  let compiled = Minirel_query.Instance.compiled instance in
+  match Hashtbl.find_opt t.probe_caches compiled.Template.spec.Template.name with
+  | None -> None
+  | Some pc ->
+      let nseg = Array.length pc.pc_segments in
+      let seg_idx bcp = (Bcp.hash bcp land max_int) mod nseg in
+      let tbl = Tuple.Table.create 32 in
+      let rec go = function
+        | [] -> Some (Pmv.Extensions.collect_groups tbl)
+        | cp :: rest -> (
+            let bcp = Condition_part.bcp cp in
+            let seg = pc.pc_segments.(seg_idx bcp) in
+            match Pmv.Entry_store.probe seg bcp with
+            | Some v when Pmv.Entry_store.version_trusted seg v ->
+                List.iter
+                  (fun tuple ->
+                    if
+                      Condition_part.is_exact cp
+                      || Condition_part.check compiled cp tuple
+                    then Pmv.Extensions.fold_group tbl ~key ~aggs tuple)
+                  v.Pmv.Entry_store.v_tuples;
+                go rest
+            | Some _ | None -> None)
+      in
+      go (Condition_part.decompose instance)
+
+(* Sharded ORDER BY ... LIMIT k: each shard surrenders at most k
+   candidates (its own bounded top-k under the shared total order), so
+   what crosses the shard boundary is k*S tuples instead of the full
+   per-shard results; the router cuts the merged candidates back to
+   the global first k. Prefix-exact: the shared comparator is a total
+   order, so the global first k are contained in the union of the
+   per-shard first k. *)
+let answer_ordered_k ?probe_path t instance ~order ~k =
+  if k <= 0 then invalid_arg "Shard_router.answer_ordered_k: k must be positive";
+  Pmv.Extensions.note_shape `Ordered;
+  let compiled = Minirel_query.Instance.compiled instance in
+  let path = match probe_path with Some p -> p | None -> t.probe_path in
+  let template = compiled.Template.spec.Template.name in
+  let targets = template_shards t compiled in
+  let candidates = ref [] and stats_acc = ref None in
+  List.iter
+    (fun i ->
+      let e = t.shards.(i) in
+      let rows, stats =
+        match Engine.find_view e ~template with
+        | Some view ->
+            Pmv.Extensions.answer_ordered_k ~locks:(Engine.locks e) ~probe_path:path
+              ~view (Engine.catalog e) instance ~order ~k
+        | None ->
+            (* no view on this shard: bounded heap over the plain answer *)
+            let all = ref [] in
+            let stats, _ =
+              Engine.answer ~probe_path:path e instance ~on_tuple:(fun _ tuple ->
+                  all := tuple :: !all)
+            in
+            ( Minirel_exec.Grouping.top_k ~cmp:(Ordering.cmp ~order) ~k
+                (Minirel_exec.Cursor.of_list !all),
+              stats )
+      in
+      candidates := rows :: !candidates;
+      stats_acc :=
+        Some (match !stats_acc with None -> stats | Some s -> merge_stats s stats))
+    targets;
+  (Ordering.first_k ~order ~k (List.concat !candidates), Option.get !stats_acc)
+
+(* Sharded EXISTS: probe every target shard's view for a cached witness
+   first — any one cached satisfying tuple settles the question with no
+   engine work anywhere. Only when no shard holds a witness does the
+   router execute, shard by shard, stopping at the first tuple. *)
+let exists_ ?probe_path t instance =
+  Pmv.Extensions.note_shape `Exists;
+  let compiled = Minirel_query.Instance.compiled instance in
+  let path = match probe_path with Some p -> p | None -> t.probe_path in
+  let template = compiled.Template.spec.Template.name in
+  let targets = template_shards t compiled in
+  let witness =
+    List.exists
+      (fun i ->
+        match Engine.find_view t.shards.(i) ~template with
+        | Some view -> Pmv.Extensions.cached_witness ~probe_path:path ~view instance
+        | None -> false)
+      targets
+  in
+  if witness then (true, `From_pmv)
+  else (answer_first_k t instance ~k:1 <> [], `Executed)
+
 (* --- maintenance ------------------------------------------------------- *)
 
 (* Apply any queued (lock-deferred) deltas on every shard's views. *)

@@ -183,6 +183,56 @@ val answer :
 val answer_first_k :
   t -> Minirel_query.Instance.t -> k:int -> Minirel_storage.Tuple.t list
 
+(** {2 Section 3.6 query shapes across shards} *)
+
+(** Sharded GROUP BY: each target shard folds its own delivered stream
+    into shard-local accumulators; only those — one unfinalized
+    accumulator array per group — cross the shard boundary, merged per
+    group by [Extensions.merge_groups] (no per-shard full recompute;
+    AVG merges because it travels as SUM+COUNT). Returns the merged
+    exact/partial groups with summed stats, and whether every shard
+    answered through a view. With a pool attached or passed the shard
+    folds run concurrently. *)
+val answer_grouped :
+  ?par:Minirel_parallel.Pool.t ->
+  ?probe_path:Pmv.Answer.probe_path ->
+  t ->
+  Minirel_query.Instance.t ->
+  key:int array ->
+  aggs:Minirel_query.Aggregate.spec array ->
+  Pmv.Extensions.grouped_exact * bool
+
+(** Router-cache grouped fast path: folds the grouped answer straight
+    out of the template's router-level probe-cache segments when every
+    bcp holds a trusted complete version; [None] on any miss. *)
+val probe_grouped :
+  t ->
+  Minirel_query.Instance.t ->
+  key:int array ->
+  aggs:Minirel_query.Aggregate.spec array ->
+  Pmv.Extensions.group_acc option
+
+(** Sharded ORDER BY ... LIMIT k: per-shard bounded top-k (at most [k]
+    candidates surrendered per shard), merged and cut to the global
+    first [k] under the shared total order — prefix-exact.
+    @raise Invalid_argument if [k <= 0]. *)
+val answer_ordered_k :
+  ?probe_path:Pmv.Answer.probe_path ->
+  t ->
+  Minirel_query.Instance.t ->
+  order:Minirel_query.Ordering.key array ->
+  k:int ->
+  Minirel_storage.Tuple.t list * Pmv.Answer.stats
+
+(** Sharded EXISTS: any target shard's cached witness settles the
+    question as [`From_pmv] with no engine work; otherwise executes
+    shard by shard, stopping at the first tuple. *)
+val exists_ :
+  ?probe_path:Pmv.Answer.probe_path ->
+  t ->
+  Minirel_query.Instance.t ->
+  bool * [ `From_pmv | `Executed ]
+
 (** Apply queued (lock-deferred) deltas on every shard's views. *)
 val flush_pending : t -> unit
 

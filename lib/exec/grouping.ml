@@ -1,0 +1,64 @@
+(* Grouped-hash and bounded top-k heap operators (see the .mli). *)
+
+open Minirel_storage
+open Minirel_query
+
+let group_hash ~key ~aggs cursor =
+  let tbl = Tuple.Table.create 64 in
+  Cursor.iter
+    (fun t ->
+      let k = Tuple.project t key in
+      let accs =
+        match Tuple.Table.find_opt tbl k with
+        | Some accs -> accs
+        | None ->
+            let accs = Array.map (fun _ -> Aggregate.create ()) aggs in
+            Tuple.Table.add tbl k accs;
+            accs
+      in
+      Array.iteri (fun i spec -> Aggregate.add spec accs.(i) t) aggs)
+    cursor;
+  Tuple.Table.fold (fun k accs acc -> (k, accs) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Tuple.compare a b)
+
+(* Size-k max-heap over [cmp]: heap.(0) is the worst kept tuple, so one
+   comparison rejects most of the stream once the heap is warm. *)
+let top_k ~cmp ~k cursor =
+  if k <= 0 then []
+  else
+    let heap = Array.make k [||] in
+    let size = ref 0 in
+    let swap i j =
+      let t = heap.(i) in
+      heap.(i) <- heap.(j);
+      heap.(j) <- t
+    in
+    let rec sift_up i =
+      if i > 0 then
+        let p = (i - 1) / 2 in
+        if cmp heap.(p) heap.(i) < 0 then (
+          swap p i;
+          sift_up p)
+    in
+    let rec sift_down i n =
+      let l = (2 * i) + 1 and r = (2 * i) + 2 in
+      let largest = ref i in
+      if l < n && cmp heap.(l) heap.(!largest) > 0 then largest := l;
+      if r < n && cmp heap.(r) heap.(!largest) > 0 then largest := r;
+      if !largest <> i then (
+        swap i !largest;
+        sift_down !largest n)
+    in
+    Cursor.iter
+      (fun t ->
+        if !size < k then (
+          heap.(!size) <- t;
+          incr size;
+          sift_up (!size - 1))
+        else if cmp t heap.(0) < 0 then (
+          heap.(0) <- t;
+          sift_down 0 k))
+      cursor;
+    let out = Array.sub heap 0 !size in
+    Array.sort cmp out;
+    Array.to_list out

@@ -1,0 +1,21 @@
+(** Grouped-hash aggregation and bounded top-k heap operators for the
+    §3.6 query shapes. Both consume a tuple cursor; both are used by
+    the shell, the PMV extensions, and the shard router so every layer
+    aggregates and orders the same way. *)
+
+open Minirel_storage
+open Minirel_query
+
+val group_hash :
+  key:int array ->
+  aggs:Aggregate.spec array ->
+  Tuple.t Cursor.t ->
+  (Tuple.t * Aggregate.acc array) list
+(** Hash-group the stream by the projected [key] positions, folding
+    each tuple into that group's accumulators. Returns groups sorted
+    by key tuple so results compare structurally. *)
+
+val top_k : cmp:(Tuple.t -> Tuple.t -> int) -> k:int -> Tuple.t Cursor.t -> Tuple.t list
+(** Keep the k smallest tuples under [cmp] in a bounded binary heap
+    (size-k max-heap: the root is evicted whenever a better candidate
+    arrives). Returns them sorted ascending under [cmp]. *)

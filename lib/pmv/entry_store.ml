@@ -29,13 +29,66 @@ type version = {
   v_stamp : int;  (* data stamp at publication; trusted iff still current *)
 }
 
+(* Memoized per-group aggregate accumulators over one entry's cached
+   tuples, keyed by the projected group-key tuple. [ac_key]/[ac_aggs]
+   identify the grouping the memo answers; a grouped probe with a
+   different signature rebuilds it. *)
+type agg_cache = {
+  ac_key : int array;
+  ac_aggs : Aggregate.spec array;
+  ac_groups : Aggregate.acc array Tuple.Table.t;
+}
+
 type entry = {
   e_bcp : Bcp.t;
   mutable tuples : Tuple.t list;  (* most recently cached first; <= f_max *)
   mutable n : int;
   mutable refs : int;  (* lifetime references; feeds popularity ranking *)
   published : version Atomic.t;
+  mutable e_agg : agg_cache option;
 }
+
+let agg_fold ac tuple =
+  let k = Tuple.project tuple ac.ac_key in
+  let accs =
+    match Tuple.Table.find_opt ac.ac_groups k with
+    | Some accs -> accs
+    | None ->
+        let accs = Array.map (fun _ -> Aggregate.create ()) ac.ac_aggs in
+        Tuple.Table.add ac.ac_groups k accs;
+        accs
+  in
+  Array.iteri (fun i spec -> Aggregate.add spec accs.(i) tuple) ac.ac_aggs
+
+(* Subtract one removed tuple from its group; called after the entry's
+   tuple list already dropped it. COUNT/SUM invert; when a MIN/MAX
+   extremum leaves (or the group empties), the group is recomputed from
+   the entry's remaining tuples — bounded by F, the paper's per-bcp
+   cap. *)
+let agg_unfold entry ac tuple =
+  let k = Tuple.project tuple ac.ac_key in
+  match Tuple.Table.find_opt ac.ac_groups k with
+  | None -> ()
+  | Some accs ->
+      let rebuild = ref false in
+      Array.iteri
+        (fun i spec ->
+          match Aggregate.remove spec accs.(i) tuple with
+          | `Ok -> ()
+          | `Rebuild -> rebuild := true)
+        ac.ac_aggs;
+      let members =
+        List.filter (fun t -> Tuple.equal (Tuple.project t ac.ac_key) k) entry.tuples
+      in
+      if members = [] then Tuple.Table.remove ac.ac_groups k
+      else if !rebuild then
+        Tuple.Table.replace ac.ac_groups k (Aggregate.of_tuples ac.ac_aggs members)
+
+let agg_on_add entry tuple =
+  match entry.e_agg with None -> () | Some ac -> agg_fold ac tuple
+
+let agg_on_remove entry tuple =
+  match entry.e_agg with None -> () | Some ac -> agg_unfold entry ac tuple
 
 type change = Added | Removed
 
@@ -93,6 +146,7 @@ let new_entry t bcp =
       published =
         Atomic.make
           { v_tuples = []; v_n = 0; v_complete = false; v_stamp = Atomic.get t.stamp };
+      e_agg = None;
     }
   in
   Bcp.Table.replace t.table bcp entry;
@@ -228,6 +282,7 @@ let add_tuple t entry tuple =
     entry.n <- entry.n + 1;
     t.n_tuples <- t.n_tuples + 1;
     t.tuple_bytes <- t.tuple_bytes + Tuple.size_bytes tuple;
+    agg_on_add entry tuple;
     t.on_change Added entry.e_bcp tuple;
     publish ~complete:false t entry;
     true
@@ -254,6 +309,7 @@ let remove_tuple t bcp tuple =
         entry.n <- entry.n - 1;
         t.n_tuples <- t.n_tuples - 1;
         t.tuple_bytes <- t.tuple_bytes - Tuple.size_bytes tuple;
+        agg_on_remove entry tuple;
         t.on_change Removed bcp tuple;
         publish ~complete:false t entry
       end;
@@ -275,6 +331,7 @@ let remove_matching t victim =
             incr removed;
             t.n_tuples <- t.n_tuples - 1;
             t.tuple_bytes <- t.tuple_bytes - Tuple.size_bytes tuple;
+            agg_on_remove entry tuple;
             t.on_change Removed entry.e_bcp tuple)
           drop;
         publish ~complete:false t entry
@@ -315,6 +372,8 @@ let install_complete t bcp tuples ~stamp =
     t.n_tuples <- t.n_tuples - entry.n;
     entry.tuples <- [];
     entry.n <- 0;
+    (* wholesale replacement: cheaper to drop the memo than replay it *)
+    entry.e_agg <- None;
     List.iter
       (fun tuple ->
         entry.tuples <- tuple :: entry.tuples;
@@ -333,6 +392,26 @@ let fold t f init =
   let acc = ref init in
   iter t (fun e -> acc := f !acc e);
   !acc
+
+(* Per-group accumulators over the entry's cached tuples. The memo is
+   (re)built when absent or when the requested grouping differs from
+   the memoized one; afterwards the add/remove choke points keep it
+   fresh. Copies are returned so callers can merge without aliasing
+   the memo. *)
+let entry_groups _t entry ~key ~aggs =
+  let ac =
+    match entry.e_agg with
+    | Some ac when ac.ac_key = key && ac.ac_aggs = aggs -> ac
+    | _ ->
+        let ac = { ac_key = key; ac_aggs = aggs; ac_groups = Tuple.Table.create 8 } in
+        List.iter (agg_fold ac) entry.tuples;
+        entry.e_agg <- Some ac;
+        ac
+  in
+  Tuple.Table.fold
+    (fun k accs out -> (k, Array.map Aggregate.copy accs) :: out)
+    ac.ac_groups []
+  |> List.sort (fun (a, _) (b, _) -> Tuple.compare a b)
 
 (* Paper invariant (Section 3.2): L*F*At bounds the PMV footprint. The
    published version must agree with the writer-visible entry state at

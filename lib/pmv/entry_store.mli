@@ -24,12 +24,21 @@ type version = {
   v_stamp : int;  (** data stamp at publication; see {!version_trusted} *)
 }
 
+(** Memoized per-group aggregate accumulators over one entry's cached
+    tuples (the §3.6 aggregate bcp entries). Maintained incrementally
+    at the tuple choke points: additions fold in, deletions subtract
+    (COUNT/SUM invert; a deleted MIN/MAX extremum triggers a bounded
+    per-group rebuild from the <= F cached tuples). *)
+type agg_cache
+
 type entry = {
   e_bcp : Bcp.t;
   mutable tuples : Tuple.t list;  (** most recently cached first; length <= F *)
   mutable n : int;
   mutable refs : int;  (** lifetime references; feeds popularity ranking *)
   published : version Atomic.t;  (** current immutable snapshot *)
+  mutable e_agg : agg_cache option;
+      (** grouped-aggregate memo; [None] until a grouped probe *)
 }
 
 type change = Added | Removed
@@ -127,6 +136,19 @@ val drop_entry : t -> Bcp.t -> unit
 
 val iter : t -> (entry -> unit) -> unit
 val fold : t -> ('a -> entry -> 'a) -> 'a -> 'a
+
+(** Per-group accumulators over the entry's cached tuples, grouped by
+    the projected [key] positions. Creates (or rebuilds, when the
+    memo's key/agg signature differs) the entry's {!agg_cache}; later
+    tuple additions and removals keep it fresh incrementally. Returned
+    accumulators are copies — callers may merge into them freely.
+    Writer-side only (the memo is not safe to read lock-free). *)
+val entry_groups :
+  t ->
+  entry ->
+  key:int array ->
+  aggs:Minirel_query.Aggregate.spec array ->
+  (Tuple.t * Minirel_query.Aggregate.acc array) list
 
 (** The Section 3.2 bounds: entries <= L, tuples <= L*F, every entry
     consistent with its published version. *)

@@ -1,0 +1,26 @@
+(* Deterministic total order for ORDER BY (see the .mli). *)
+
+open Minirel_storage
+
+type key = int * bool
+
+let cmp ~order a b =
+  let n = Array.length order in
+  let rec keys i =
+    if i >= n then Tuple.compare a b
+    else
+      let pos, desc = order.(i) in
+      let c = Value.compare a.(pos) b.(pos) in
+      if c <> 0 then if desc then -c else c else keys (i + 1)
+  in
+  keys 0
+
+let sort ~order tuples = List.sort (cmp ~order) tuples
+
+let first_k ~order ~k tuples =
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: tl -> x :: take (n - 1) tl
+  in
+  take k (sort ~order tuples)

@@ -1,0 +1,21 @@
+(** The one total order shared by every ORDER BY ... LIMIT k path.
+
+    Top-k across shards is only well-defined when every producer and
+    the oracle sort by the same comparator, including under duplicate
+    order keys — so after the order keys the full tuple breaks ties.
+    With that, first-k answers are prefix-exact regardless of arrival
+    order, which is what the differential harness checks. *)
+
+open Minirel_storage
+
+type key = int * bool
+(** Expanded result position and [desc] flag. *)
+
+val cmp : order:key array -> Tuple.t -> Tuple.t -> int
+(** Compare by each order key in turn (descending keys negate), then
+    by the full tuple ascending. Total and deterministic. *)
+
+val sort : order:key array -> Tuple.t list -> Tuple.t list
+
+val first_k : order:key array -> k:int -> Tuple.t list -> Tuple.t list
+(** [sort] then take the first [k] — the oracle's ground truth. *)

@@ -107,70 +107,60 @@ exception Error of string
 
 let fail fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
 
-(* --- aggregate folding over collected Ls' tuples --- *)
+(* --- Section 3.6 shape machinery over the bound clauses --- *)
 
-type acc = { mutable cnt : int; mutable sum : float; mutable mn : Value.t option; mutable mx : Value.t option }
+(* Aggregate select items as associative accumulator specs; positions
+   index the expanded Ls' result tuple. *)
+let agg_specs compiled (bound : Binder.bound) =
+  Array.of_list
+    (List.map
+       (fun (f, arg) ->
+         let pos = Option.map (Template.expanded_pos compiled) arg in
+         match (f, pos) with
+         | Ast.F_count, None -> Aggregate.Count
+         | Ast.F_count, Some p -> Aggregate.Count_of p
+         | Ast.F_sum, Some p -> Aggregate.Sum p
+         | Ast.F_avg, Some p -> Aggregate.Avg p
+         | Ast.F_min, Some p -> Aggregate.Min p
+         | Ast.F_max, Some p -> Aggregate.Max p
+         | _, None -> fail "aggregate needs an attribute argument")
+       bound.Binder.aggregates)
 
-let new_acc () = { cnt = 0; sum = 0.0; mn = None; mx = None }
+let group_key compiled (bound : Binder.bound) =
+  Array.of_list (List.map (Template.expanded_pos compiled) bound.Binder.group_by)
 
-let acc_add acc v =
-  acc.cnt <- acc.cnt + 1;
-  match v with
-  | None -> ()
-  | Some v ->
-      (match v with
-      | Value.Int i -> acc.sum <- acc.sum +. float_of_int i
-      | Value.Float f -> acc.sum <- acc.sum +. f
-      | Value.Null -> ()
-      | Value.Str _ -> ());
-      (match acc.mn with
-      | None -> acc.mn <- Some v
-      | Some m -> if Value.compare v m < 0 then acc.mn <- Some v);
-      match acc.mx with
-      | None -> acc.mx <- Some v
-      | Some m -> if Value.compare v m > 0 then acc.mx <- Some v
+let order_keys compiled (bound : Binder.bound) =
+  Array.of_list
+    (List.map
+       (fun (a, desc) -> (Template.expanded_pos compiled a, desc))
+       bound.Binder.order_by)
 
-let acc_finish f acc =
-  match f with
-  | Ast.F_count -> Value.Int acc.cnt
-  | Ast.F_sum -> Value.Float acc.sum
-  | Ast.F_avg -> if acc.cnt = 0 then Value.Null else Value.Float (acc.sum /. float_of_int acc.cnt)
-  | Ast.F_min -> Option.value ~default:Value.Null acc.mn
-  | Ast.F_max -> Option.value ~default:Value.Null acc.mx
-
-let group_rows compiled (bound : Binder.bound) rows =
-  let key_pos =
-    Array.of_list (List.map (Template.expanded_pos compiled) bound.Binder.group_by)
-  in
-  let agg_pos =
-    List.map
-      (fun (f, arg) -> (f, Option.map (Template.expanded_pos compiled) arg))
-      bound.Binder.aggregates
-  in
-  let tbl = Tuple.Table.create 64 in
-  let order = ref [] in
-  List.iter
-    (fun row ->
-      let key = Tuple.project row key_pos in
-      let accs =
-        match Tuple.Table.find_opt tbl key with
-        | Some accs -> accs
-        | None ->
-            let accs = List.map (fun _ -> new_acc ()) agg_pos in
-            Tuple.Table.replace tbl key accs;
-            order := key :: !order;
-            accs
+(* ORDER BY over grouped results: every order attribute is a GROUP BY
+   key (binder-enforced), located by its index in the key tuple. *)
+let sort_groups (bound : Binder.bound) groups =
+  match bound.Binder.order_by with
+  | [] -> groups
+  | order ->
+      let keys =
+        List.map
+          (fun (a, desc) ->
+            let rec idx i = function
+              | [] -> fail "ORDER BY attribute is not a GROUP BY key"
+              | b :: tl -> if a = b then i else idx (i + 1) tl
+            in
+            (idx 0 bound.Binder.group_by, desc))
+          order
       in
-      List.iter2
-        (fun acc (_, pos) -> acc_add acc (Option.map (fun p -> row.(p)) pos))
-        accs agg_pos)
-    rows;
-  List.rev_map
-    (fun key ->
-      let accs = Option.get (Tuple.Table.find_opt tbl key) in
-      (key, List.map2 (fun acc (f, _) -> acc_finish f acc) accs agg_pos))
-    !order
-  |> List.sort (fun (a, _) (b, _) -> Tuple.compare a b)
+      List.sort
+        (fun ((ka : Tuple.t), _) (kb, _) ->
+          let rec go = function
+            | [] -> Tuple.compare ka kb
+            | (p, desc) :: rest ->
+                let c = Value.compare ka.(p) kb.(p) in
+                if c <> 0 then if desc then -c else c else go rest
+          in
+          go keys)
+        groups
 
 let agg_name (f, arg) =
   let fname =
@@ -209,29 +199,141 @@ let ensure_view t compiled =
         ignore
           (Pmv.Manager.create_view ~ub_bytes:t.view_ub_bytes ~f_max:3 (manager t) compiled)
 
+(* --- EXISTS: per-row witness checks through the subquery's PMV --- *)
+
+(* One checker per EXISTS clause. The sub template compiles through the
+   session's signature cache (so repeated queries share its PMV) and
+   gets its own auto-created view; per outer row the correlated
+   selection slots fill with the row's values, then the witness check
+   short-circuits through the subquery's PMV — sharded or not — and
+   only executes (to the first tuple) on a miss. *)
+let exists_checkers t compiled (bound : Binder.bound) =
+  List.map
+    (fun (c : Binder.exists_clause) ->
+      let sub_compiled = Session.compile_exists (session t) c in
+      ensure_view t sub_compiled;
+      let corr =
+        List.map
+          (fun (slot, outer) -> (slot, Template.expanded_pos compiled outer))
+          c.Binder.ex_correlated
+      in
+      fun (row : Tuple.t) ->
+        let params =
+          Array.map
+            (function Some d -> d | None -> Instance.Dvalues [ Value.Null ])
+            c.Binder.ex_params
+        in
+        List.iter
+          (fun (slot, pos) -> params.(slot) <- Instance.Dvalues [ row.(pos) ])
+          corr;
+        let sub = Instance.make sub_compiled params in
+        match t.router with
+        | Some router -> fst (Router.exists_ router sub)
+        | None -> (
+            match
+              Pmv.Manager.find (manager t)
+                ~template:sub_compiled.Template.spec.Template.name
+            with
+            | Some view ->
+                fst
+                  (Pmv.Extensions.exists_ ~probe_path:(Engine.probe_path t.engine)
+                     ~view (catalog t) sub)
+            | None ->
+                (* no PMV (auto views off): execute to the first tuple *)
+                let plan = Minirel_exec.Planner.plan_query (catalog t) sub in
+                let cursor = Minirel_exec.Executor.cursor (catalog t) plan in
+                cursor () <> None))
+    bound.Binder.exists_
+
+(* Exact grouped accumulators — the partial (O2 preview) and final
+   group lists — through the sharded or single-view path; falls back
+   to folding the answer stream when no PMV exists. *)
+let grouped_answer ?trace t instance ~key ~aggs =
+  let template = (Instance.compiled instance).Template.spec.Template.name in
+  match t.router with
+  | Some router ->
+      let g, _ = Router.answer_grouped router instance ~key ~aggs in
+      (g.Pmv.Extensions.g_partial, g.Pmv.Extensions.g_groups)
+  | None -> (
+      match Pmv.Manager.find (manager t) ~template with
+      | Some view ->
+          let g =
+            Pmv.Extensions.answer_groups
+              ~locks:(Minirel_txn.Txn.locks (txn_mgr t))
+              ~probe_path:(Engine.probe_path t.engine)
+              ~view (catalog t) instance ~key ~aggs
+          in
+          (g.Pmv.Extensions.g_partial, g.Pmv.Extensions.g_groups)
+      | None ->
+          let partial_tbl = Tuple.Table.create 32
+          and exact_tbl = Tuple.Table.create 32 in
+          let _ =
+            answer_locked ?trace t instance ~on_tuple:(fun phase tuple ->
+                (match phase with
+                | Pmv.Answer.Partial ->
+                    Pmv.Extensions.fold_group partial_tbl ~key ~aggs tuple
+                | Pmv.Answer.Remaining -> ());
+                Pmv.Extensions.fold_group exact_tbl ~key ~aggs tuple)
+          in
+          ( Pmv.Extensions.collect_groups partial_tbl,
+            Pmv.Extensions.collect_groups exact_tbl ))
+
 let run_select_body ?trace t compiled instance bound =
-  let all = ref [] and partial = ref 0 in
-  let collect phase tuple =
-    all := tuple :: !all;
-    if phase = Pmv.Answer.Partial then incr partial
-  in
+  if bound.Binder.distinct then Pmv.Extensions.note_shape `Distinct;
+  let checkers = exists_checkers t compiled bound in
+  let keep row = List.for_all (fun chk -> chk row) checkers in
   if bound.Binder.aggregates = [] then begin
-    (* plain rows; LIMIT without ORDER BY can stop execution early *)
+    let all = ref [] and partial = ref 0 in
+    let collect phase tuple =
+      all := tuple :: !all;
+      if phase = Pmv.Answer.Partial then incr partial
+    in
     let stats_overhead = ref 0L and total = ref 0 in
+    (* short-circuit paths deliver their final Ls' rows directly *)
+    let served = ref None in
+    let template = compiled.Template.spec.Template.name in
+    (* first-k / top-k fast paths only apply when each delivered tuple
+       is final as-is: no EXISTS filtering, no DISTINCT collapsing *)
+    let plain_shape = checkers = [] && not bound.Binder.distinct in
     (match (bound.Binder.limit, bound.Binder.order_by) with
-    | Some 0, [] -> ()
-    | Some k, [] -> (
+    | Some 0, _ -> served := Some []
+    | Some k, [] when plain_shape -> (
         (* no ordering: stop execution after k tuples (Benefit 2) *)
-        match (t.router, Pmv.Manager.find (manager t) ~template:compiled.Template.spec.Template.name) with
+        match (t.router, Pmv.Manager.find (manager t) ~template) with
         | Some router, _ ->
             let rows = Router.answer_first_k router instance ~k in
-            all := List.rev rows;
+            served := Some rows;
             total := List.length rows
         | None, Some view ->
             let rows = Pmv.Extensions.answer_first_k ~view (catalog t) instance ~k in
-            all := List.rev rows;
+            served := Some rows;
             total := List.length rows
         | None, None ->
+            let stats, _ = answer_locked ?trace t instance ~on_tuple:collect in
+            stats_overhead := stats.Pmv.Answer.overhead_ns;
+            total := stats.Pmv.Answer.total_count)
+    | Some k, _ :: _ when plain_shape -> (
+        (* ORDER BY ... LIMIT k: bounded top-k under the shared total
+           order — sharded, at most k candidates cross per shard *)
+        let order = order_keys compiled bound in
+        let answered =
+          match (t.router, Pmv.Manager.find (manager t) ~template) with
+          | Some router, _ -> Some (Router.answer_ordered_k router instance ~order ~k)
+          | None, Some view ->
+              Some
+                (Pmv.Extensions.answer_ordered_k
+                   ~locks:(Minirel_txn.Txn.locks (txn_mgr t))
+                   ~probe_path:(Engine.probe_path t.engine)
+                   ~view (catalog t) instance ~order ~k)
+          | None, None -> None
+        in
+        match answered with
+        | Some (rows, stats) ->
+            served := Some rows;
+            stats_overhead := stats.Pmv.Answer.overhead_ns;
+            total := stats.Pmv.Answer.total_count;
+            partial := stats.Pmv.Answer.partial_count
+        | None ->
             let stats, _ = answer_locked ?trace t instance ~on_tuple:collect in
             stats_overhead := stats.Pmv.Answer.overhead_ns;
             total := stats.Pmv.Answer.total_count)
@@ -239,47 +341,62 @@ let run_select_body ?trace t compiled instance bound =
         let stats, _ = answer_locked ?trace t instance ~on_tuple:collect in
         stats_overhead := stats.Pmv.Answer.overhead_ns;
         total := stats.Pmv.Answer.total_count);
-    let rows = List.rev !all in
-    let rows =
-      match bound.Binder.order_by with
-      | [] -> rows
-      | order ->
-          let keys = Array.of_list (List.map (fun (a, _) -> Template.expanded_pos compiled a) order) in
-          let descs = List.map snd order in
-          let cmp a b =
-            let rec go i = function
-              | [] -> 0
-              | desc :: rest ->
-                  let c = Value.compare a.(keys.(i)) b.(keys.(i)) in
-                  if c <> 0 then if desc then -c else c else go (i + 1) rest
-            in
-            go 0 descs
+    let base =
+      match !served with
+      | Some rows -> rows (* already ordered and cut *)
+      | None ->
+          let delivered = List.rev !all in
+          let delivered =
+            if checkers = [] then delivered
+            else begin
+              (* EXISTS filters before ordering/limiting; [total]
+                 reports surviving rows *)
+              let kept = List.filter keep delivered in
+              total := List.length kept;
+              kept
+            end
           in
-          List.stable_sort cmp rows
+          let sorted =
+            match bound.Binder.order_by with
+            | [] -> delivered
+            | _ -> Ordering.sort ~order:(order_keys compiled bound) delivered
+          in
+          (* under DISTINCT the limit cuts distinct rows, below *)
+          if bound.Binder.distinct then sorted
+          else
+            match bound.Binder.limit with
+            | Some k -> List.filteri (fun i _ -> i < k) sorted
+            | None -> sorted
     in
-    let rows =
-      match bound.Binder.limit with
-      | Some k -> List.filteri (fun i _ -> i < k) rows
-      | None -> rows
+    (* the user-visible shape: exactly the written select attributes —
+       the Ls' tuple may carry more (order keys, EXISTS correlation
+       attrs) *)
+    let vis_pos =
+      Array.of_list (List.map (Template.expanded_pos compiled) bound.Binder.visible)
     in
     let header =
-      List.map (fun (a : Template.attr_ref) -> a.Template.attr) compiled.Template.spec.Template.select_list
+      List.map (fun (a : Template.attr_ref) -> a.Template.attr) bound.Binder.visible
     in
-    let visible = List.map (Template.visible_of_result compiled) rows in
+    let visible = List.map (fun row -> Tuple.project row vis_pos) base in
     let visible =
       if not bound.Binder.distinct then visible
       else begin
         (* set semantics over the user-visible rows, first occurrence
-           kept (so ORDER BY order survives) *)
+           kept (so ORDER BY order survives); LIMIT cuts after *)
         let seen = Tuple.Table.create 64 in
-        List.filter
-          (fun row ->
-            if Tuple.Table.mem seen row then false
-            else begin
-              Tuple.Table.replace seen row ();
-              true
-            end)
-          visible
+        let deduped =
+          List.filter
+            (fun row ->
+              if Tuple.Table.mem seen row then false
+              else begin
+                Tuple.Table.replace seen row ();
+                true
+              end)
+            visible
+        in
+        match bound.Binder.limit with
+        | Some k -> List.filteri (fun i _ -> i < k) deduped
+        | None -> deduped
       end
     in
     Rows
@@ -292,17 +409,33 @@ let run_select_body ?trace t compiled instance bound =
       }
   end
   else begin
-    let partial_rows = ref [] in
-    let collect2 phase tuple =
-      all := tuple :: !all;
-      if phase = Pmv.Answer.Partial then begin
-        incr partial;
-        partial_rows := tuple :: !partial_rows
+    let key = group_key compiled bound in
+    let aggs = agg_specs compiled bound in
+    let partial_acc, exact_acc =
+      if checkers = [] then grouped_answer ?trace t instance ~key ~aggs
+      else begin
+        (* EXISTS filters rows before they fold into their groups *)
+        let all = ref [] and partial_rows = ref [] in
+        let _ =
+          answer_locked ?trace t instance ~on_tuple:(fun phase tuple ->
+              all := tuple :: !all;
+              if phase = Pmv.Answer.Partial then partial_rows := tuple :: !partial_rows)
+        in
+        let fold rows =
+          let tbl = Tuple.Table.create 32 in
+          List.iter
+            (fun tu -> if keep tu then Pmv.Extensions.fold_group tbl ~key ~aggs tu)
+            rows;
+          Pmv.Extensions.collect_groups tbl
+        in
+        (fold (List.rev !partial_rows), fold (List.rev !all))
       end
     in
-    let _stats, _ = answer_locked ?trace t instance ~on_tuple:collect2 in
-    let groups = group_rows compiled bound (List.rev !all) in
-    let partial_groups = group_rows compiled bound (List.rev !partial_rows) in
+    let to_result acc =
+      Pmv.Extensions.finalize_groups ~aggs acc
+      |> List.map (fun (k, vs) -> (k, Array.to_list vs))
+      |> sort_groups bound
+    in
     let limit gs =
       match bound.Binder.limit with
       | Some k -> List.filteri (fun i _ -> i < k) gs
@@ -312,7 +445,12 @@ let run_select_body ?trace t compiled instance bound =
       List.map (fun (a : Template.attr_ref) -> a.Template.attr) bound.Binder.group_by
       @ List.map agg_name bound.Binder.aggregates
     in
-    Grouped { header; groups = limit groups; partial_groups = limit partial_groups }
+    Grouped
+      {
+        header;
+        groups = limit (to_result exact_acc);
+        partial_groups = limit (to_result partial_acc);
+      }
   end
 
 (* Serve one SELECT end to end: open the root span on the engine's

@@ -24,10 +24,6 @@ type atom =
   | A_between of qattr * lit * lit  (* closed interval *)
   | A_in of qattr * lit list
 
-type where_item =
-  | W_plain of atom  (* part of Cjoin *)
-  | W_group of atom list  (* parenthesised OR-disjunction: one Ci *)
-
 type agg_fun = F_count | F_sum | F_avg | F_min | F_max
 
 type select_item =
@@ -35,7 +31,12 @@ type select_item =
   | S_star
   | S_agg of agg_fun * qattr option  (* count star has no argument *)
 
-type query = {
+type where_item =
+  | W_plain of atom  (* part of Cjoin *)
+  | W_group of atom list  (* parenthesised OR-disjunction: one Ci *)
+  | W_exists of query  (* EXISTS (select ...), correlated via join atoms *)
+
+and query = {
   distinct : bool;
   select : select_item list;
   from : (string * string option) list;  (* relation, alias *)

@@ -5,7 +5,12 @@
 
    Two queries with the same template structure but different literals
    bind to the same canonical signature, so PMVs built for the template
-   serve them all — the paper's form-based-application setting. *)
+   serve them all — the paper's form-based-application setting.
+
+   EXISTS subqueries bind to their own template: correlated join atoms
+   (one side in the subquery scope, the other in the outer scope)
+   become extra equality selections of the sub template whose
+   parameter slot is filled per outer row at execution time. *)
 
 open Minirel_storage
 open Minirel_query
@@ -15,16 +20,28 @@ exception Error of string
 
 let fail fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
 
+type exists_clause = {
+  ex_spec : Template.spec;
+  ex_params : Instance.disjuncts option array;
+      (* None marks a correlated slot, filled per outer row *)
+  ex_correlated : (int * Template.attr_ref) list;
+      (* selection slot -> OUTER attr supplying the equality value *)
+  ex_signature : string;
+}
+
 type bound = {
   spec : Template.spec;
   params : Instance.disjuncts array;
   signature : string;  (* canonical template identity *)
   distinct : bool;
+  visible : Template.attr_ref list;
+      (* the user's plain select attributes, in written order *)
   aggregates : (Ast.agg_fun * Template.attr_ref option) list;
       (* aggregate select items, in order; empty for plain queries *)
   group_by : Template.attr_ref list;
   order_by : (Template.attr_ref * bool) list;  (* attr, descending *)
   limit : int option;
+  exists_ : exists_clause list;
 }
 
 (* Interval grids for interval-form selection attributes, keyed by
@@ -49,54 +66,244 @@ let resolve_from catalog from =
     from;
   (relations, alias_map)
 
-let bind ?(grids : grids list = []) catalog (q : query) =
-  let relations, alias_map = resolve_from catalog q.from in
+(* Name-resolution scope for one FROM list (the outer query and each
+   EXISTS subquery each get their own). *)
+type scope = {
+  relations : string array;
+  alias_map : (string, int) Hashtbl.t;
+  schema_of : int -> Schema.t;
+  grids : grids list;
+}
+
+let make_scope catalog grids from =
+  let relations, alias_map = resolve_from catalog from in
   let schema_of i = Minirel_index.Catalog.schema catalog relations.(i) in
-  let resolve (a : qattr) : Template.attr_ref =
-    match Hashtbl.find_opt alias_map a.q_rel with
-    | None -> fail "unknown relation or alias %s in %a" a.q_rel pp_qattr a
-    | Some rel ->
-        if not (Schema.mem (schema_of rel) a.q_attr) then
-          fail "relation %s has no attribute %s" relations.(rel) a.q_attr;
-        Template.attr_ref ~rel ~attr:a.q_attr
+  { relations; alias_map; schema_of; grids }
+
+let in_scope sc (a : qattr) = Hashtbl.mem sc.alias_map a.q_rel
+
+let resolve sc (a : qattr) : Template.attr_ref =
+  match Hashtbl.find_opt sc.alias_map a.q_rel with
+  | None -> fail "unknown relation or alias %s in %a" a.q_rel pp_qattr a
+  | Some rel ->
+      if not (Schema.mem (sc.schema_of rel) a.q_attr) then
+        fail "relation %s has no attribute %s" sc.relations.(rel) a.q_attr;
+      Template.attr_ref ~rel ~attr:a.q_attr
+
+let local_pos sc (r : Template.attr_ref) =
+  Schema.pos (sc.schema_of r.Template.rel) r.Template.attr
+
+let attr_ty sc (r : Template.attr_ref) = Schema.attr_ty (sc.schema_of r.Template.rel) (local_pos sc r)
+
+(* SQL-style literal coercion: integer literals against a float
+   column become floats; anything else must match the column type. *)
+let typed_value sc (r : Template.attr_ref) lit =
+  let ty = attr_ty sc r in
+  match (lit, ty) with
+  | L_int i, Schema.Tfloat -> Value.Float (float_of_int i)
+  | _ ->
+      let v = lit_to_value lit in
+      if Schema.ty_matches ty v then v
+      else
+        fail "literal %a has the wrong type for %s.%s" Value.pp v
+          sc.relations.(r.Template.rel) r.Template.attr
+
+let grid_for sc (r : Template.attr_ref) =
+  match List.assoc_opt (sc.relations.(r.Template.rel), r.Template.attr) sc.grids with
+  | Some g -> g
+  | None -> Discretize.of_cuts []  (* single full-domain basic interval *)
+
+(* Cjoin: a plain atom is a join edge or a fixed predicate. *)
+let plain_atom sc joins fixed = function
+  | A_join (a, b) ->
+      let ra = resolve sc a and rb = resolve sc b in
+      joins := (ra, rb) :: !joins
+  | A_cmp (a, op, lit) ->
+      let r = resolve sc a in
+      let v = typed_value sc r lit in
+      let cmp =
+        match op with
+        | Ceq -> Predicate.Eq
+        | Cne -> Predicate.Ne
+        | Clt -> Predicate.Lt
+        | Cle -> Predicate.Le
+        | Cgt -> Predicate.Gt
+        | Cge -> Predicate.Ge
+      in
+      fixed := (r.Template.rel, Predicate.Cmp (cmp, local_pos sc r, v)) :: !fixed
+  | A_between (a, lo, hi) ->
+      let r = resolve sc a in
+      fixed :=
+        ( r.Template.rel,
+          Predicate.In_interval
+            (local_pos sc r, Interval.closed ~lo:(typed_value sc r lo) ~hi:(typed_value sc r hi))
+        )
+        :: !fixed
+  | A_in (a, lits) ->
+      let r = resolve sc a in
+      fixed :=
+        (r.Template.rel, Predicate.In_set (local_pos sc r, List.map (typed_value sc r) lits))
+        :: !fixed
+
+(* Cselect: one parenthesised group = one Ci over a single attribute. *)
+let group_condition sc atoms =
+  let atom_attr = function
+    | A_join (a, _) -> fail "join condition %a = ... inside a selection group" pp_qattr a
+    | A_cmp (a, _, _) | A_between (a, _, _) | A_in (a, _) -> a
   in
-  let local_pos (r : Template.attr_ref) =
-    Schema.pos (schema_of r.Template.rel) r.Template.attr
+  let attrs = List.map atom_attr atoms in
+  let r =
+    match attrs with
+    | [] -> fail "empty selection group"
+    | first :: rest ->
+        let fr = resolve sc first in
+        List.iter
+          (fun a ->
+            if resolve sc a <> fr then
+              fail "a selection group must range over one attribute (saw %a and %a)"
+                pp_qattr first pp_qattr a)
+          rest;
+        fr
   in
-  (* SQL-style literal coercion: integer literals against a float
-     column become floats; anything else must match the column type. *)
-  let typed_value (r : Template.attr_ref) lit =
-    let sch = schema_of r.Template.rel in
-    let ty = Schema.attr_ty sch (local_pos r) in
-    match (lit, ty) with
-    | L_int i, Schema.Tfloat -> Value.Float (float_of_int i)
-    | _ ->
-        let v = lit_to_value lit in
-        if Schema.ty_matches ty v then v
-        else
-          fail "literal %a has the wrong type for %s.%s" Value.pp v
-            relations.(r.Template.rel) r.Template.attr
+  let values = ref [] and intervals = ref [] in
+  let tv = typed_value sc r in
+  List.iter
+    (function
+      | A_cmp (_, Ceq, lit) -> values := tv lit :: !values
+      | A_in (_, lits) -> values := List.rev_map tv lits @ !values
+      | A_between (_, lo, hi) ->
+          intervals := Interval.closed ~lo:(tv lo) ~hi:(tv hi) :: !intervals
+      | A_cmp (_, Clt, lit) -> intervals := Interval.below (tv lit) :: !intervals
+      | A_cmp (_, Cle, lit) ->
+          intervals := Interval.make Interval.Neg_inf (Interval.U_incl (tv lit)) :: !intervals
+      | A_cmp (_, Cgt, lit) ->
+          intervals := Interval.make (Interval.L_excl (tv lit)) Interval.Pos_inf :: !intervals
+      | A_cmp (_, Cge, lit) -> intervals := Interval.at_least (tv lit) :: !intervals
+      | A_cmp (_, Cne, _) -> fail "<> is not allowed in a selection group"
+      | A_join _ -> assert false (* ruled out by atom_attr *))
+    atoms;
+  match (List.rev !values, List.rev !intervals) with
+  | vs, [] -> (Template.Eq_sel r, Instance.Dvalues vs)
+  | [], ivs -> (Template.Range_sel (r, grid_for sc r), Instance.Dintervals ivs)
+  | _ -> fail "a selection group cannot mix equalities and ranges"
+
+let attr_sig (r : Template.attr_ref) = Fmt.str "%d.%s" r.Template.rel r.Template.attr
+
+let template_signature ~relations ~joins ~fixed ~select_list ~selections =
+  Fmt.str "from[%s]|join[%s]|fixed[%s]|sel[%s]|cs[%s]"
+    (String.concat "," (Array.to_list relations))
+    (String.concat "," (List.map (fun (a, b) -> attr_sig a ^ "=" ^ attr_sig b) joins))
+    (String.concat ","
+       (List.map (fun (rel, p) -> Fmt.str "%d:%a" rel Predicate.pp p) fixed))
+    (String.concat "," (List.map attr_sig select_list))
+    (String.concat ","
+       (List.map
+          (function
+            | Template.Eq_sel r -> "eq:" ^ attr_sig r
+            | Template.Range_sel (r, _) -> "rng:" ^ attr_sig r)
+          (Array.to_list selections)))
+
+(* Bind one EXISTS subquery. [outer] resolves correlated join sides
+   that do not name a subquery alias. Correlated equalities become
+   trailing Eq_sel selections of the sub template with a [None]
+   parameter slot. *)
+let bind_exists catalog grids outer (sub : query) =
+  if sub.distinct then fail "EXISTS subquery cannot use DISTINCT";
+  if sub.group_by <> [] || List.exists (function S_agg _ -> true | _ -> false) sub.select
+  then fail "EXISTS subquery cannot aggregate";
+  if sub.order_by <> [] || sub.limit <> None then
+    fail "EXISTS subquery cannot use ORDER BY or LIMIT";
+  let sc = make_scope catalog grids sub.from in
+  let joins = ref [] and fixed = ref [] and selections = ref [] in
+  let correlated = ref [] in
+  List.iter
+    (function
+      | W_exists _ -> fail "nested EXISTS is not supported"
+      | W_group atoms -> selections := group_condition sc atoms :: !selections
+      | W_plain (A_join (a, b)) -> (
+          match (in_scope sc a, in_scope sc b) with
+          | true, true -> plain_atom sc joins fixed (A_join (a, b))
+          | true, false -> correlated := (resolve sc a, outer b) :: !correlated
+          | false, true -> correlated := (resolve sc b, outer a) :: !correlated
+          | false, false ->
+              fail "neither side of %a = %a names the EXISTS subquery" pp_qattr a pp_qattr b)
+      | W_plain atom -> plain_atom sc joins fixed atom)
+    sub.where;
+  let correlated = List.rev !correlated in
+  if correlated = [] then
+    fail "an EXISTS subquery must correlate with the outer query via a join condition";
+  let selections = List.rev !selections in
+  let n_own = List.length selections in
+  let ex_correlated =
+    List.mapi (fun i (_, outer_ref) -> (n_own + i, outer_ref)) correlated
   in
+  let all_selections =
+    Array.of_list
+      (List.map fst selections
+      @ List.map (fun (inner, _) -> Template.Eq_sel inner) correlated)
+  in
+  let ex_params =
+    Array.of_list
+      (List.map (fun (_, d) -> Some d) selections @ List.map (fun _ -> None) correlated)
+  in
+  let select_list =
+    let plain =
+      List.concat_map
+        (function
+          | S_attr a -> [ resolve sc a ]
+          | S_star ->
+              List.concat
+                (List.init (Array.length sc.relations) (fun rel ->
+                     let sch = sc.schema_of rel in
+                     List.init (Schema.arity sch) (fun i ->
+                         Template.attr_ref ~rel ~attr:(Schema.attr_name sch i))))
+          | S_agg _ -> [])
+        sub.select
+    in
+    match plain with [] -> List.map (fun (inner, _) -> inner) correlated | l -> l
+  in
+  let joins = List.rev !joins and fixed = List.rev !fixed in
+  let ex_signature =
+    template_signature ~relations:sc.relations ~joins ~fixed ~select_list
+      ~selections:all_selections
+    ^ Fmt.str "|corr[%s]"
+        (String.concat ","
+           (List.map (fun (slot, r) -> Fmt.str "%d<-%s" slot (attr_sig r)) ex_correlated))
+  in
+  let ex_spec =
+    {
+      Template.name = Fmt.str "sql_ex_%08x" (Hashtbl.hash ex_signature land 0xFFFFFFFF);
+      relations = sc.relations;
+      joins;
+      fixed;
+      select_list;
+      selections = all_selections;
+    }
+  in
+  { ex_spec; ex_params; ex_correlated; ex_signature }
+
+let bind ?(grids : grids list = []) catalog (q : query) =
+  let sc = make_scope catalog grids q.from in
   (* select list: plain attributes and aggregate items *)
   let aggregates = ref [] in
   let plain_select =
     List.concat_map
       (function
-        | S_attr a -> [ resolve a ]
+        | S_attr a -> [ resolve sc a ]
         | S_star ->
             List.concat
-              (List.init (Array.length relations) (fun rel ->
-                   let sch = schema_of rel in
+              (List.init (Array.length sc.relations) (fun rel ->
+                   let sch = sc.schema_of rel in
                    List.init (Schema.arity sch) (fun i ->
                        Template.attr_ref ~rel ~attr:(Schema.attr_name sch i))))
         | S_agg (f, arg) ->
             (match (f, arg) with
             | F_count, None -> aggregates := (f, None) :: !aggregates
             | F_count, Some a | (F_min | F_max), Some a ->
-                aggregates := (f, Some (resolve a)) :: !aggregates
+                aggregates := (f, Some (resolve sc a)) :: !aggregates
             | (F_sum | F_avg), Some a ->
-                let r = resolve a in
-                (match Schema.attr_ty (schema_of r.Template.rel) (local_pos r) with
+                let r = resolve sc a in
+                (match attr_ty sc r with
                 | Schema.Tint | Schema.Tfloat -> ()
                 | Schema.Tstr -> fail "sum/avg need a numeric column, %a is a string" pp_qattr a);
                 aggregates := (f, Some r) :: !aggregates
@@ -106,17 +313,34 @@ let bind ?(grids : grids list = []) catalog (q : query) =
       q.select
   in
   let aggregates = List.rev !aggregates in
-  let group_by = List.map resolve q.group_by in
-  let order_by = List.map (fun (a, desc) -> (resolve a, desc)) q.order_by in
-  (* SQL grouping rules *)
+  let group_by = List.map (resolve sc) q.group_by in
+  let order_by = List.map (fun (a, desc) -> (resolve sc a, desc)) q.order_by in
+  (* SQL grouping and ordering rules *)
   if aggregates <> [] && List.exists (fun a -> not (List.mem a group_by)) plain_select then
     fail "plain select attributes must appear in GROUP BY when aggregating";
   if group_by <> [] && aggregates = [] then
     fail "GROUP BY needs at least one aggregate in the select list";
   if q.distinct && aggregates <> [] then
     fail "DISTINCT cannot be combined with aggregates";
+  if
+    q.distinct
+    && List.exists (fun (a, _) -> not (List.mem a plain_select)) order_by
+  then fail "with DISTINCT, ORDER BY attributes must appear in the select list";
+  if
+    aggregates <> []
+    && List.exists (fun (a, _) -> not (List.mem a group_by)) order_by
+  then fail "with aggregates, ORDER BY attributes must be GROUP BY keys";
   (* the template's Ls must carry every attribute the shell reads back:
-     plain attrs, group keys, aggregate arguments, order keys *)
+     plain attrs, group keys, aggregate arguments, order keys, and the
+     outer side of each EXISTS correlation *)
+  let exists_ =
+    List.filter_map
+      (function W_exists sub -> Some (bind_exists catalog grids (resolve sc) sub) | _ -> None)
+      q.where
+  in
+  let exists_outer_attrs =
+    List.concat_map (fun ex -> List.map snd ex.ex_correlated) exists_
+  in
   let agg_args = List.filter_map snd aggregates in
   let select_list =
     let seen = Hashtbl.create 8 in
@@ -127,7 +351,7 @@ let bind ?(grids : grids list = []) catalog (q : query) =
           Hashtbl.replace seen a ();
           true
         end)
-      (plain_select @ group_by @ agg_args @ List.map fst order_by)
+      (plain_select @ group_by @ agg_args @ List.map fst order_by @ exists_outer_attrs)
   in
   let select_list =
     if select_list <> [] then select_list
@@ -138,131 +362,65 @@ let bind ?(grids : grids list = []) catalog (q : query) =
         (function
           | W_group (atom :: _) -> (
               match atom with
-              | A_cmp (a, _, _) | A_between (a, _, _) | A_in (a, _) -> Some (resolve a)
+              | A_cmp (a, _, _) | A_between (a, _, _) | A_in (a, _) -> Some (resolve sc a)
               | A_join _ -> None)
           | _ -> None)
         q.where
   in
   if select_list = [] then fail "nothing to select";
-  (* Cjoin: plain atoms *)
-  let joins = ref [] and fixed = ref [] in
-  let plain_atom = function
-    | A_join (a, b) ->
-        let ra = resolve a and rb = resolve b in
-        joins := (ra, rb) :: !joins
-    | A_cmp (a, op, lit) ->
-        let r = resolve a in
-        let v = typed_value r lit in
-        let cmp =
-          match op with
-          | Ceq -> Predicate.Eq
-          | Cne -> Predicate.Ne
-          | Clt -> Predicate.Lt
-          | Cle -> Predicate.Le
-          | Cgt -> Predicate.Gt
-          | Cge -> Predicate.Ge
-        in
-        fixed := (r.Template.rel, Predicate.Cmp (cmp, local_pos r, v)) :: !fixed
-    | A_between (a, lo, hi) ->
-        let r = resolve a in
-        fixed :=
-          ( r.Template.rel,
-            Predicate.In_interval
-              (local_pos r, Interval.closed ~lo:(typed_value r lo) ~hi:(typed_value r hi)) )
-          :: !fixed
-    | A_in (a, lits) ->
-        let r = resolve a in
-        fixed :=
-          (r.Template.rel, Predicate.In_set (local_pos r, List.map (typed_value r) lits))
-          :: !fixed
-  in
-  (* Cselect: one parenthesised group = one Ci *)
-  let grid_for (r : Template.attr_ref) =
-    match List.assoc_opt (relations.(r.Template.rel), r.Template.attr) grids with
-    | Some g -> g
-    | None -> Discretize.of_cuts []  (* single full-domain basic interval *)
-  in
-  let atom_attr = function
-    | A_join (a, _) -> fail "join condition %a = ... inside a selection group" pp_qattr a
-    | A_cmp (a, _, _) | A_between (a, _, _) | A_in (a, _) -> a
-  in
-  let group_condition atoms =
-    let attrs = List.map atom_attr atoms in
-    let r =
-      match attrs with
-      | [] -> fail "empty selection group"
-      | first :: rest ->
-          let fr = resolve first in
-          List.iter
-            (fun a ->
-              if resolve a <> fr then
-                fail "a selection group must range over one attribute (saw %a and %a)"
-                  pp_qattr first pp_qattr a)
-            rest;
-          fr
-    in
-    let values = ref [] and intervals = ref [] in
-    let tv = typed_value r in
-    List.iter
-      (function
-        | A_cmp (_, Ceq, lit) -> values := tv lit :: !values
-        | A_in (_, lits) -> values := List.rev_map tv lits @ !values
-        | A_between (_, lo, hi) ->
-            intervals := Interval.closed ~lo:(tv lo) ~hi:(tv hi) :: !intervals
-        | A_cmp (_, Clt, lit) -> intervals := Interval.below (tv lit) :: !intervals
-        | A_cmp (_, Cle, lit) ->
-            intervals :=
-              Interval.make Interval.Neg_inf (Interval.U_incl (tv lit)) :: !intervals
-        | A_cmp (_, Cgt, lit) ->
-            intervals :=
-              Interval.make (Interval.L_excl (tv lit)) Interval.Pos_inf :: !intervals
-        | A_cmp (_, Cge, lit) -> intervals := Interval.at_least (tv lit) :: !intervals
-        | A_cmp (_, Cne, _) -> fail "<> is not allowed in a selection group"
-        | A_join _ -> assert false (* ruled out by atom_attr *))
-      atoms;
-    match (List.rev !values, List.rev !intervals) with
-    | vs, [] -> (Template.Eq_sel r, Instance.Dvalues vs)
-    | [], ivs -> (Template.Range_sel (r, grid_for r), Instance.Dintervals ivs)
-    | _ -> fail "a selection group cannot mix equalities and ranges"
-  in
-  let selections = ref [] in
+  let joins = ref [] and fixed = ref [] and selections = ref [] in
   List.iter
     (function
-      | W_plain a -> plain_atom a
-      | W_group atoms -> selections := group_condition atoms :: !selections)
+      | W_plain a -> plain_atom sc joins fixed a
+      | W_group atoms -> selections := group_condition sc atoms :: !selections
+      | W_exists _ -> ()  (* bound above *))
     q.where;
   let selections = List.rev !selections in
   if selections = [] then
     fail "the query needs at least one parenthesised selection condition";
   let spec_selections = Array.of_list (List.map fst selections) in
   let params = Array.of_list (List.map snd selections) in
+  let joins = List.rev !joins and fixed = List.rev !fixed in
   (* canonical template identity: everything except the parameters *)
   let signature =
-    let attr_sig (r : Template.attr_ref) = Fmt.str "%d.%s" r.Template.rel r.Template.attr in
-    Fmt.str "from[%s]|join[%s]|fixed[%s]|sel[%s]|cs[%s]"
-      (String.concat "," (Array.to_list relations))
-      (String.concat ","
-         (List.map (fun (a, b) -> attr_sig a ^ "=" ^ attr_sig b) (List.rev !joins)))
-      (String.concat ","
-         (List.map
-            (fun (rel, p) -> Fmt.str "%d:%a" rel Predicate.pp p)
-            (List.rev !fixed)))
-      (String.concat "," (List.map attr_sig select_list))
-      (String.concat ","
-         (List.map
-            (function
-              | Template.Eq_sel r -> "eq:" ^ attr_sig r
-              | Template.Range_sel (r, _) -> "rng:" ^ attr_sig r)
-            (Array.to_list spec_selections)))
+    template_signature ~relations:sc.relations ~joins ~fixed ~select_list
+      ~selections:spec_selections
+    ^
+    match exists_ with
+    | [] -> ""
+    | exs ->
+        Fmt.str "|exists[%s]" (String.concat ";" (List.map (fun e -> e.ex_signature) exs))
   in
   let spec =
     {
       Template.name = Fmt.str "sql_%08x" (Hashtbl.hash signature land 0xFFFFFFFF);
-      relations;
-      joins = List.rev !joins;
-      fixed = List.rev !fixed;
+      relations = sc.relations;
+      joins;
+      fixed;
       select_list;
       selections = spec_selections;
     }
   in
-  { spec; params; signature; distinct = q.distinct; aggregates; group_by; order_by; limit = q.limit }
+  let visible =
+    let seen = Hashtbl.create 8 in
+    List.filter
+      (fun (a : Template.attr_ref) ->
+        if Hashtbl.mem seen a then false
+        else begin
+          Hashtbl.replace seen a ();
+          true
+        end)
+      plain_select
+  in
+  {
+    spec;
+    params;
+    signature;
+    distinct = q.distinct;
+    visible;
+    aggregates;
+    group_by;
+    order_by;
+    limit = q.limit;
+    exists_;
+  }

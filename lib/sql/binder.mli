@@ -8,16 +8,30 @@ open Minirel_query
 
 exception Error of string
 
+type exists_clause = {
+  ex_spec : Template.spec;  (** the subquery's own template *)
+  ex_params : Instance.disjuncts option array;
+      (** [None] marks a correlated slot, filled per outer row *)
+  ex_correlated : (int * Template.attr_ref) list;
+      (** selection slot -> OUTER attribute supplying the equality *)
+  ex_signature : string;
+}
+
 type bound = {
   spec : Template.spec;
   params : Instance.disjuncts array;
   signature : string;  (** canonical template identity *)
   distinct : bool;
+  visible : Template.attr_ref list;
+      (** the user's plain select attributes, in written order — the
+          columns a result row shows (the template's [select_list] may
+          carry more: order keys, EXISTS correlation attrs) *)
   aggregates : (Ast.agg_fun * Template.attr_ref option) list;
       (** aggregate select items, in order; empty for plain queries *)
   group_by : Template.attr_ref list;
   order_by : (Template.attr_ref * bool) list;  (** attr, descending *)
   limit : int option;
+  exists_ : exists_clause list;
 }
 
 (** Interval grids for interval-form selection attributes, keyed by

@@ -21,6 +21,7 @@ type token =
   | UPDATE
   | SET
   | DISTINCT
+  | EXISTS
   | EXPLAIN
   | TRACE
   | METRICS
@@ -68,6 +69,7 @@ let token_to_string = function
   | UPDATE -> "UPDATE"
   | SET -> "SET"
   | DISTINCT -> "DISTINCT"
+  | EXISTS -> "EXISTS"
   | EXPLAIN -> "EXPLAIN"
   | TRACE -> "TRACE"
   | METRICS -> "METRICS"
@@ -124,6 +126,7 @@ let keyword_of_string s =
   | "update" -> Some UPDATE
   | "set" -> Some SET
   | "distinct" -> Some DISTINCT
+  | "exists" -> Some EXISTS
   | "explain" -> Some EXPLAIN
   | "trace" -> Some TRACE
   | "metrics" -> Some METRICS

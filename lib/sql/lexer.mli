@@ -21,6 +21,7 @@ type token =
   | UPDATE
   | SET
   | DISTINCT
+  | EXISTS
   | EXPLAIN
   | TRACE
   | METRICS

@@ -103,9 +103,6 @@ let group st =
   expect st Lexer.RPAREN;
   W_group xs
 
-let where_item st =
-  match peek st with Lexer.LPAREN -> group st | _ -> W_plain (atom st)
-
 let agg_fun_of_name name =
   match String.lowercase_ascii name with
   | "count" -> Some F_count
@@ -156,7 +153,18 @@ let comma_list st parse =
   in
   go []
 
-let select_query st =
+let rec where_item st =
+  match peek st with
+  | Lexer.LPAREN -> group st
+  | Lexer.EXISTS ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let q = select_query st in
+      expect st Lexer.RPAREN;
+      W_exists q
+  | _ -> W_plain (atom st)
+
+and select_query st =
   expect st Lexer.SELECT;
   let distinct =
     match peek st with

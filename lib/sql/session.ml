@@ -48,6 +48,19 @@ let compile_bound t (bound : Binder.bound) =
   in
   (compiled, Instance.make compiled bound.Binder.params)
 
+(* Compile an EXISTS clause's subquery template through the same
+   signature cache: repeated outer queries (and distinct outer
+   templates sharing a subquery shape) reuse one compiled template —
+   and therefore one PMV when routed through Pmv.Manager. *)
+let compile_exists t (c : Binder.exists_clause) =
+  match Hashtbl.find_opt t.templates c.Binder.ex_signature with
+  | Some compiled -> compiled
+  | None ->
+      let compiled = Template.compile t.catalog c.Binder.ex_spec in
+      Hashtbl.replace t.templates c.Binder.ex_signature compiled;
+      Hashtbl.replace t.names c.Binder.ex_spec.Template.name c.Binder.ex_signature;
+      compiled
+
 let query t sql =
   let ast = Parser.parse sql in
   compile_bound t (Binder.bind ~grids:t.grids t.catalog ast)

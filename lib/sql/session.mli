@@ -26,5 +26,9 @@ val query : t -> string -> Template.compiled * Instance.t
     itself does not carry (aggregates, group by, order by, limit). *)
 val query_bound : t -> string -> Template.compiled * Instance.t * Binder.bound
 
+(** Compile an EXISTS clause's subquery template through the same
+    signature cache (so repeated queries share its PMV). *)
+val compile_exists : t -> Binder.exists_clause -> Template.compiled
+
 val n_templates : t -> int
 val signature_of_name : t -> string -> string option

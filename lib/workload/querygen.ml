@@ -117,6 +117,72 @@ let draw_intervals grid zipf rng ~count ~span =
   in
   pick [] 0 0
 
+(* --- Section 3.6 query-shape descriptors --------------------------- *)
+
+(* A shape wraps how a generated instance is ASKED, not what it matches:
+   the same template instance can run plain, DISTINCT, grouped, ordered
+   first-k or as an EXISTS witness check. Positions are expanded Ls'
+   positions of the template's own select-list attributes, so the
+   descriptors work for any compiled template. *)
+type shape =
+  | Plain
+  | Distinct
+  | Grouped of { key : int array; aggs : Aggregate.spec array }
+  | Ordered of { order : Ordering.key array; k : int }
+  | Exists
+
+let shape_name = function
+  | Plain -> "plain"
+  | Distinct -> "distinct"
+  | Grouped _ -> "grouped"
+  | Ordered _ -> "ordered"
+  | Exists -> "exists"
+
+(* The shape classes a template supports: group by the first select
+   attribute aggregating over the tail, order by the second attribute
+   descending (first ascending as tiebreak), plus DISTINCT and EXISTS.
+   Deterministic — campaigns draw from this list by rng index. *)
+let shapes_for compiled ~k =
+  let pos a = Template.expanded_pos compiled a in
+  match compiled.Template.spec.Template.select_list with
+  | [] -> [ Plain ]
+  | [ a ] ->
+      [
+        Plain;
+        Distinct;
+        Grouped { key = [| pos a |]; aggs = [| Aggregate.Count |] };
+        Ordered { order = [| (pos a, false) |]; k };
+        Exists;
+      ]
+  | [ a; b ] ->
+      [
+        Plain;
+        Distinct;
+        Grouped
+          { key = [| pos a |]; aggs = [| Aggregate.Count; Aggregate.Sum (pos b) |] };
+        Ordered { order = [| (pos b, true); (pos a, false) |]; k };
+        Exists;
+      ]
+  | a :: b :: c :: _ ->
+      [
+        Plain;
+        Distinct;
+        Grouped
+          {
+            key = [| pos a |];
+            aggs =
+              [|
+                Aggregate.Count;
+                Aggregate.Sum (pos c);
+                Aggregate.Min (pos b);
+                Aggregate.Max (pos b);
+                Aggregate.Avg (pos c);
+              |];
+          };
+        Ordered { order = [| (pos b, true); (pos a, false) |]; k };
+        Exists;
+      ]
+
 (* Generic instance generator: one Zipf source per selection condition;
    equality conditions get [counts.(i)] distinct values, interval
    conditions get [counts.(i)] disjoint single-basic-interval pieces. *)

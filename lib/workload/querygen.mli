@@ -30,6 +30,26 @@ val gen_t2 :
 val draw_intervals :
   Discretize.t -> Zipf.t -> Minirel_prng.Split_mix.t -> count:int -> span:int -> Interval.t list
 
+(** {2 Section 3.6 query shapes}
+
+    A shape wraps how a generated instance is asked — plain, DISTINCT,
+    grouped (key + associative accumulator specs), ordered first-k, or
+    as an EXISTS witness check. Positions index the expanded Ls'
+    result tuple. *)
+type shape =
+  | Plain
+  | Distinct
+  | Grouped of { key : int array; aggs : Aggregate.spec array }
+  | Ordered of { order : Ordering.key array; k : int }
+  | Exists
+
+val shape_name : shape -> string
+
+(** The shape classes [compiled] supports, deterministically derived
+    from its select list (campaigns index into this list). [k] bounds
+    the ordered shape's first-k cut. *)
+val shapes_for : Template.compiled -> k:int -> shape list
+
 (** One query for any compiled template: [counts.(i)] values (equality
     form) or single-basic-interval pieces (interval form) per Ci, drawn
     from [zipfs.(i)]. *)

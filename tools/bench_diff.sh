@@ -2,7 +2,7 @@
 # Diff fresh bench JSON against the committed (HEAD) baselines so a
 # probe-bound serving regression cannot land silently.
 #
-# Usage: tools/bench_diff.sh [fresh_shard.json [fresh_parallel.json [fresh_observability.json]]]
+# Usage: tools/bench_diff.sh [fresh_shard.json [fresh_parallel.json [fresh_observability.json [fresh_shapes.json]]]]
 #   MAX_BENCH_REGRESSION_PCT=N   allowed regression (default 20)
 #
 # The default margin is set above the measured run-to-run noise floor
@@ -27,6 +27,7 @@ max="${MAX_BENCH_REGRESSION_PCT:-20}"
 fresh_shard="${1:-BENCH_shard.json}"
 fresh_parallel="${2:-BENCH_parallel.json}"
 fresh_observability="${3:-BENCH_observability.json}"
+fresh_shapes="${4:-BENCH_shapes.json}"
 status=0
 
 if ! git rev-parse --quiet --verify HEAD >/dev/null 2>&1; then
@@ -196,6 +197,54 @@ if git cat-file -e HEAD:BENCH_observability.json 2>/dev/null && [ -f "$fresh_obs
   fi
 else
   echo "bench_diff: no committed BENCH_observability.json baseline - skipped"
+fi
+
+# ---- shapes: grouped-probe serving across shard counts ----------------
+if git cat-file -e HEAD:BENCH_shapes.json 2>/dev/null && [ -f "$fresh_shapes" ]; then
+  base="$tmpdir/shapes_base.json"
+  git show HEAD:BENCH_shapes.json >"$base"
+
+  # answers must match the brute-force oracle on any host
+  oracle=$(jget "$fresh_shapes" oracle_clean)
+  if [ "$oracle" != "true" ]; then
+    echo "bench_diff FAIL: fresh shapes bench is not oracle-clean" >&2
+    status=1
+  fi
+
+  # the 4-vs-1-shard ratio divides two same-host measurements, so it
+  # compares on any host
+  old=$(jget "$base" speedup_4_vs_1)
+  new=$(jget "$fresh_shapes" speedup_4_vs_1)
+  if [ -n "$old" ] && [ -n "$new" ]; then
+    if within "$old" "$new"; then
+      echo "bench_diff: shapes speedup_4_vs_1 ${old} -> ${new} (ok)"
+    else
+      echo "bench_diff FAIL: shapes speedup_4_vs_1 regressed ${old} -> ${new} (> ${max}%)" >&2
+      status=1
+    fi
+  fi
+
+  # absolute grouped-probe q/s only compares on the same core count
+  old_cores=$(jget "$base" host_cores)
+  new_cores=$(jget "$fresh_shapes" host_cores)
+  if [ -n "$old_cores" ] && [ "$old_cores" = "$new_cores" ]; then
+    for key in qps_1_shard qps_4_shard; do
+      old=$(jget "$base" "$key")
+      new=$(jget "$fresh_shapes" "$key")
+      if [ -n "$old" ] && [ -n "$new" ]; then
+        if within "$old" "$new"; then
+          echo "bench_diff: shapes $key ${old} -> ${new} q/s (ok)"
+        else
+          echo "bench_diff FAIL: shapes $key regressed ${old} -> ${new} (> ${max}%)" >&2
+          status=1
+        fi
+      fi
+    done
+  else
+    echo "bench_diff: host_cores differ (${old_cores:-?} vs ${new_cores:-?}) - shapes q/s not compared"
+  fi
+else
+  echo "bench_diff: no committed BENCH_shapes.json baseline - skipped"
 fi
 
 exit $status

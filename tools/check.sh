@@ -86,6 +86,16 @@ epoch_out=$(dune exec bin/pmvctl.exe -- torture --seed 42 --events 200 --shards 
 }
 echo "$epoch_out"
 
+echo "== query-shape smoke (each Section 3.6 shape oracle-clean at 1 and 4 shards, both probe paths)"
+# the shapes suite runs the per-shape differential properties —
+# distinct / grouped / ordered first-k / exists against the
+# brute-force oracle across 1-4 shards and locked+epoch reads — plus
+# the pinned regression seed corpus
+dune exec test/test_main.exe -- test shapes || {
+  echo "FAIL: a Section 3.6 query shape diverged from the oracle" >&2
+  exit 1
+}
+
 echo "== flight recorder smoke (forced fault -> non-empty, time-ordered, digest-stable dump)"
 # a short faulted workload so the ring does not wrap past the early
 # Fault_hit: the dump must capture the injected maintain.apply, be
@@ -217,6 +227,39 @@ for attempt in 1 2 3; do
 done
 [ "$sh_ok" = "1" ] || {
   echo "FAIL: shard gates missed on every attempt (need scan 4-shard >= 1.5x [${speedup}x], 1-shard >= 0.85x [${one_shard}x], probe-bound router4 >= 1.0x [${p_router4}x], router1 >= 0.95x [${p_router1}x])" >&2
+  exit 1
+}
+
+echo "== grouped-probe shapes gate (4-shard grouped qps holds the 1-shard line, oracle clean)"
+# per-query fast-path work is proportional to the result size, not the
+# shard count, so fanning the data out must not tax grouped serving;
+# same spaced-retry policy as the other throughput gates
+shp_ok=0
+for attempt in 1 2 3; do
+  if [ "$attempt" != "1" ]; then
+    echo "shapes gate missed; cooling down before retry $attempt (noisy host)"
+    sleep 20
+  fi
+  dune exec bench/main.exe -- shapes ${BENCH_ARGS:-}
+  shp_qps1=$(awk -F': ' '/"qps_1_shard"/ { gsub(/[ ,]/, "", $2); print $2; exit }' BENCH_shapes.json)
+  shp_qps4=$(awk -F': ' '/"qps_4_shard"/ { gsub(/[ ,]/, "", $2); print $2; exit }' BENCH_shapes.json)
+  shp_oracle=$(awk -F': ' '/^ *"oracle_clean"/ { gsub(/[ ,}]/, "", $2); print $2; exit }' BENCH_shapes.json)
+  if [ -z "$shp_qps1" ] || [ -z "$shp_qps4" ] || [ -z "$shp_oracle" ]; then
+    echo "FAIL: missing fields in BENCH_shapes.json" >&2
+    exit 1
+  fi
+  echo "grouped-probe qps: 1 shard ${shp_qps1}, 4 shards ${shp_qps4}, oracle: ${shp_oracle}"
+  [ "$shp_oracle" = "true" ] || {
+    echo "FAIL: shapes bench answers violated the oracle" >&2
+    exit 1
+  }
+  if awk -v a="$shp_qps4" -v b="$shp_qps1" 'BEGIN { exit !(a >= b) }'; then
+    shp_ok=1
+    break
+  fi
+done
+[ "$shp_ok" = "1" ] || {
+  echo "FAIL: 4-shard grouped-probe qps ${shp_qps4} below 1-shard ${shp_qps1} on every attempt" >&2
   exit 1
 }
 
