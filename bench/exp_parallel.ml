@@ -20,6 +20,19 @@
      must equal the sequential one exactly (morsels merge in page
      order), and a sample is diffed against lib/check ground truth.
 
+   - shaped fan-out: the same 4-shard router answers a deterministic
+     mix of Section 3.6 shapes — plain, GROUP BY, ORDER BY LIMIT k,
+     EXISTS — drawn by query index, so every domain count sees the
+     identical shaped stream and the mixed checksums must agree.
+     Grouped checksums cover group keys and counts only (AVG floats
+     can differ in the last ulp between merge orders); ordered
+     checksums fold the delivered prefix in order.
+
+   Each pooled run embeds a snapshot of the work-stealing scheduler's
+   counters (submitted / local hits / injector hits / steals / parks /
+   task exceptions) so BENCH_parallel.json records how the morsels
+   actually moved between domains.
+
    The host's available core count is recorded in the JSON. On hosts
    with fewer cores than the largest pool, wall-clock speedups are
    still reported but flagged not applicable — a 1-core container
@@ -33,6 +46,7 @@
 open Minirel_storage
 module Catalog = Minirel_index.Catalog
 module Template = Minirel_query.Template
+module Aggregate = Minirel_query.Aggregate
 module Engine = Minirel_engine.Engine
 module Router = Minirel_engine.Shard_router
 module Pool = Minirel_parallel.Pool
@@ -53,6 +67,7 @@ type run_result = {
   total_tuples : int;
   checksum : int;
   oracle_clean : bool;
+  sched : Pool.stats option;  (* scheduler counters, pooled runs only *)
 }
 
 let fresh_tpcr cfg ~scale =
@@ -138,6 +153,7 @@ let fanout_config cfg ~scale ~capacity ~domains =
     total_tuples;
     checksum;
     oracle_clean;
+    sched = Option.map Pool.stats pool;
   }
 
 (* Morsel sweep: drop every index T1 can drive or join through, so the
@@ -193,13 +209,145 @@ let morsel_config cfg ~scale ~domains =
     total_tuples;
     checksum;
     oracle_clean;
+    sched = Option.map Pool.stats pool;
+  }
+
+(* Shaped fan-out sweep: the scan-bound 4-shard setup answers a mix of
+   Section 3.6 shapes chosen deterministically by query index
+   (plain / GROUP BY / ORDER BY LIMIT 10 / EXISTS in rotation), so the
+   mixed checksum is a function of the data and the stream alone and
+   must agree across domain counts. One answer per shape is judged
+   against the unsharded reference. *)
+
+(* AVG sums floats in shard order, so merged values may differ from the
+   oracle's fold order in the last ulp: compare with a relative
+   epsilon. *)
+let value_close a b =
+  match (a, b) with
+  | Value.Float x, Value.Float y ->
+      Float.abs (x -. y)
+      <= 1e-6 *. Float.max 1.0 (Float.max (Float.abs x) (Float.abs y))
+  | _ -> Value.compare a b = 0
+
+let groups_agree expected actual =
+  List.length expected = List.length actual
+  && List.for_all2
+       (fun (ek, evs) (ak, avs) ->
+         Tuple.compare ek ak = 0 && Array.for_all2 value_close evs avs)
+       expected actual
+
+let shaped_config cfg ~scale ~capacity ~domains =
+  let catalog, params = fresh_tpcr cfg ~scale in
+  Catalog.drop_index catalog ~rel:"lineitem" ~name:"lineitem_orderkey";
+  let t1 = Template.compile catalog Querygen.t1_spec in
+  let router = Router.create ~shards:4 () in
+  List.iter
+    (fun rel ->
+      Router.declare router (Catalog.schema catalog rel) ~part:(`Hash "orderkey"))
+    [ "orders"; "lineitem" ];
+  Router.declare router (Catalog.schema catalog "customer") ~part:`Replicated;
+  Router.load_from router catalog;
+  ignore (Router.create_view ~capacity ~f_max:3 router t1);
+  let key, aggs, order =
+    match Querygen.shapes_for t1 ~k:10 with
+    | _ :: _ :: Querygen.Grouped { key; aggs } :: Querygen.Ordered { order; _ } :: _
+      ->
+        (key, aggs, order)
+    | _ -> failwith "t1 must support the grouped and ordered shapes"
+  in
+  let pool = if domains >= 1 then Some (Pool.create ~domains) else None in
+  Router.set_parallel router pool;
+  let finally () =
+    Router.set_parallel router None;
+    Option.iter Pool.shutdown pool
+  in
+  Fun.protect ~finally @@ fun () ->
+  let gen = gens params t1 in
+  let n_warm = if cfg.full then 200 else 60 in
+  let warm_rng = SM.create ~seed:(cfg.seed + 1) in
+  for _ = 1 to n_warm do
+    ignore (Router.answer router (gen warm_rng) ~on_tuple:(fun _ _ -> ()))
+  done;
+  let n_queries = if cfg.full then 400 else 120 in
+  let rng = SM.create ~seed:(cfg.seed + 2) in
+  let instances = List.init n_queries (fun _ -> gen rng) in
+  let checksum = ref 0 and total_tuples = ref 0 in
+  let t0 = Monotonic_clock.now () in
+  List.iteri
+    (fun i inst ->
+      match i mod 4 with
+      | 0 ->
+          ignore
+            (Router.answer router inst ~on_tuple:(fun _ tuple ->
+                 incr total_tuples;
+                 checksum := !checksum + Tuple.hash tuple))
+      | 1 ->
+          let g, _ = Router.answer_grouped router inst ~key ~aggs in
+          List.iter
+            (fun (k, (accs : Aggregate.acc array)) ->
+              incr total_tuples;
+              checksum := !checksum + Tuple.hash k + accs.(0).Aggregate.n)
+            g.Pmv.Extensions.g_groups
+      | 2 ->
+          let rows, _ = Router.answer_ordered_k router inst ~order ~k:10 in
+          List.iteri
+            (fun j t ->
+              incr total_tuples;
+              checksum := !checksum + ((j + 1) * Tuple.hash t))
+            rows
+      | _ ->
+          let b, _ = Router.exists_ router inst in
+          checksum := !checksum + (if b then 1 else 0))
+    instances;
+  let wall_ns = Int64.sub (Monotonic_clock.now ()) t0 in
+  (* oracle: one answer per shape against the unsharded reference *)
+  let oracle_rng = SM.create ~seed:(cfg.seed + 3) in
+  let q = gen oracle_rng in
+  let plain_ok =
+    Check.report_ok
+      (Check.check_answer_via ~expected:(Check.ground_truth catalog q)
+         (fun ~on_tuple -> fst (Router.answer router q ~on_tuple)))
+  in
+  let grouped_ok =
+    let g, _ = Router.answer_grouped router q ~key ~aggs in
+    groups_agree
+      (Check.ground_truth_grouped catalog q ~key ~aggs)
+      (Pmv.Extensions.finalize_groups ~aggs g.Pmv.Extensions.g_groups)
+  in
+  let ordered_ok =
+    let rows, _ = Router.answer_ordered_k router q ~order ~k:10 in
+    List.equal Tuple.equal rows
+      (Check.ground_truth_ordered catalog q ~order ~limit:10 ())
+  in
+  let exists_ok =
+    fst (Router.exists_ router q) = Check.ground_truth_exists catalog q
+  in
+  {
+    label = (if domains = 0 then "seq" else Fmt.str "pool%d" domains);
+    domains;
+    queries = n_queries;
+    wall_ns;
+    qps = float_of_int n_queries /. (Int64.to_float wall_ns /. 1e9);
+    total_tuples = !total_tuples;
+    checksum = !checksum;
+    oracle_clean = plain_ok && grouped_ok && ordered_ok && exists_ok;
+    sched = Option.map Pool.stats pool;
   }
 
 let json_of_run r =
+  let sched =
+    match r.sched with
+    | None -> ""
+    | Some (s : Pool.stats) ->
+        Fmt.str
+          {|, "sched": {"submitted": %d, "local_hits": %d, "injector_hits": %d, "steals": %d, "parks": %d, "task_exns": %d}|}
+          s.Pool.submitted s.Pool.local_hits s.Pool.injector_hits s.Pool.steals
+          s.Pool.parks s.Pool.task_exns
+  in
   Fmt.str
-    {|{"label": %S, "domains": %d, "queries": %d, "wall_ns": %Ld, "queries_per_sec": %.1f, "total_tuples": %d, "checksum": %d, "oracle_clean": %b}|}
+    {|{"label": %S, "domains": %d, "queries": %d, "wall_ns": %Ld, "queries_per_sec": %.1f, "total_tuples": %d, "checksum": %d, "oracle_clean": %b%s}|}
     r.label r.domains r.queries r.wall_ns r.qps r.total_tuples r.checksum
-    r.oracle_clean
+    r.oracle_clean sched
 
 let print_sweep title runs =
   Output.row "@.%s@." title;
@@ -245,25 +393,34 @@ let run cfg =
     List.map (fun domains -> morsel_config cfg ~scale ~domains) domain_counts
   in
   print_sweep "morsel: single catalog, Scan -> Hash_join x2 plan" morsel;
+  let shaped =
+    List.map (fun domains -> shaped_config cfg ~scale ~capacity ~domains) domain_counts
+  in
+  print_sweep "shaped: 4 shards, plain/grouped/ordered-k/exists mix" shaped;
   let find runs d = List.find (fun r -> r.domains = d) runs in
   let speedup runs d = (find runs d).qps /. (find runs 0).qps in
   let fanout_speedup = speedup fanout max_domains in
   let morsel_speedup = speedup morsel max_domains in
+  let shaped_speedup = speedup shaped max_domains in
   let fanout_overhead_1 = speedup fanout 1 in
   let morsel_overhead_1 = speedup morsel 1 in
+  let shaped_overhead_1 = speedup shaped 1 in
   let speedup_applicable = cores >= max_domains && max_domains >= 2 in
-  let all = fanout @ morsel in
+  let all = fanout @ morsel @ shaped in
   let oracle_clean = List.for_all (fun r -> r.oracle_clean) all in
   let checksums_identical =
     List.for_all (fun r -> r.checksum = (find fanout 0).checksum) fanout
     && List.for_all (fun r -> r.checksum = (find morsel 0).checksum) morsel
+    && List.for_all (fun r -> r.checksum = (find shaped 0).checksum) shaped
   in
   Output.row "@.fan-out speedup (%d domains vs sequential): %.2fx@." max_domains
     fanout_speedup;
   Output.row "morsel speedup (%d domains vs sequential): %.2fx@." max_domains
     morsel_speedup;
-  Output.row "1-domain pool vs no pool: fan-out %.2fx, morsel %.2fx@."
-    fanout_overhead_1 morsel_overhead_1;
+  Output.row "shaped-mix speedup (%d domains vs sequential): %.2fx@." max_domains
+    shaped_speedup;
+  Output.row "1-domain pool vs no pool: fan-out %.2fx, morsel %.2fx, shaped %.2fx@."
+    fanout_overhead_1 morsel_overhead_1 shaped_overhead_1;
   if not speedup_applicable then
     Output.row
       "(host has %d core(s) — speedups not applicable, reported for the record)@."
@@ -290,6 +447,13 @@ let run cfg =
     "speedup_max_domains": %.3f,
     "overhead_1_domain": %.3f
   },
+  "shaped": {
+    "shards": 4,
+    "mix": "plain/grouped/ordered-k10/exists by query index",
+    "runs": [%s],
+    "speedup_max_domains": %.3f,
+    "overhead_1_domain": %.3f
+  },
   "checksums_identical": %b,
   "oracle_clean": %b
 }
@@ -298,7 +462,9 @@ let run cfg =
       (String.concat ", " (List.map json_of_run fanout))
       fanout_speedup fanout_overhead_1
       (String.concat ", " (List.map json_of_run morsel))
-      morsel_speedup morsel_overhead_1 checksums_identical oracle_clean
+      morsel_speedup morsel_overhead_1
+      (String.concat ", " (List.map json_of_run shaped))
+      shaped_speedup shaped_overhead_1 checksums_identical oracle_clean
   in
   let oc = open_out "BENCH_parallel.json" in
   output_string oc json;

@@ -261,6 +261,162 @@ let json_of_run r =
     r.label r.shards r.queries r.wall_ns r.qps r.pmv_queries r.total_tuples
     r.checksum r.oracle_clean probe
 
+(* Shaped mix across shard counts: the probe-bound setup (join-key
+   index kept, plan cache on, Locked path) answers a deterministic
+   rotation of Section 3.6 shapes — plain, GROUP BY, ORDER BY LIMIT
+   10, EXISTS — drawn by query index, at 1 and 4 shards. The mixed
+   checksum is a function of the data and the stream alone, so the
+   shard counts must agree; one answer per shape is judged against the
+   unsharded reference. Appended to BENCH_shard.json as its own block
+   so the long-standing plain-stream numbers stay comparable. *)
+
+type shaped_run = {
+  sh_label : string;
+  sh_shards : int;
+  sh_queries : int;
+  sh_qps : float;
+  sh_tuples : int;
+  sh_checksum : int;
+  sh_oracle : bool;
+}
+
+let value_close a b =
+  match (a, b) with
+  | Value.Float x, Value.Float y ->
+      Float.abs (x -. y)
+      <= 1e-6 *. Float.max 1.0 (Float.max (Float.abs x) (Float.abs y))
+  | _ -> Value.compare a b = 0
+
+let groups_agree expected actual =
+  List.length expected = List.length actual
+  && List.for_all2
+       (fun (ek, evs) (ak, avs) ->
+         Tuple.compare ek ak = 0 && Array.for_all2 value_close evs avs)
+       expected actual
+
+let shaped_config cfg ~scale ~per_shard_capacity ~shards =
+  let catalog, params = fresh_tpcr cfg ~scale in
+  let t1 = Template.compile catalog Querygen.t1_spec in
+  let router = Router.create ~shards () in
+  List.iter
+    (fun rel ->
+      Router.declare router (Catalog.schema catalog rel) ~part:(`Hash "orderkey"))
+    [ "orders"; "lineitem" ];
+  Router.declare router (Catalog.schema catalog "customer") ~part:`Replicated;
+  Router.load_from router catalog;
+  ignore (Router.create_view ~capacity:per_shard_capacity ~f_max:3 router t1);
+  let key, aggs, order =
+    match Querygen.shapes_for t1 ~k:10 with
+    | _ :: _ :: Querygen.Grouped { key; aggs } :: Querygen.Ordered { order; _ } :: _
+      ->
+        (key, aggs, order)
+    | _ -> failwith "t1 must support the grouped and ordered shapes"
+  in
+  let dz = Zipf.create ~n:params.Tpcr.n_dates ~alpha:1.07 in
+  let sz = Zipf.create ~n:params.Tpcr.n_suppliers ~alpha:1.07 in
+  let gen rng = Querygen.gen_t1 t1 ~dates_zipf:dz ~supp_zipf:sz ~e:2 ~f:2 rng in
+  let warm_rng = SM.create ~seed:(cfg.seed + 1) in
+  let n_warm = if cfg.full then 200 else 60 in
+  for _ = 1 to n_warm do
+    ignore (Router.answer router (gen warm_rng) ~on_tuple:(fun _ _ -> ()))
+  done;
+  let n_queries = if cfg.full then 400 else 120 in
+  let rng = SM.create ~seed:(cfg.seed + 2) in
+  let instances = List.init n_queries (fun _ -> gen rng) in
+  let checksum = ref 0 and tuples = ref 0 in
+  let t0 = Monotonic_clock.now () in
+  List.iteri
+    (fun i inst ->
+      match i mod 4 with
+      | 0 ->
+          ignore
+            (Router.answer router inst ~on_tuple:(fun _ tuple ->
+                 incr tuples;
+                 checksum := !checksum + Tuple.hash tuple))
+      | 1 ->
+          let g, _ = Router.answer_grouped router inst ~key ~aggs in
+          List.iter
+            (fun (k, (accs : Minirel_query.Aggregate.acc array)) ->
+              incr tuples;
+              checksum :=
+                !checksum + Tuple.hash k + accs.(0).Minirel_query.Aggregate.n)
+            g.Pmv.Extensions.g_groups
+      | 2 ->
+          let rows, _ = Router.answer_ordered_k router inst ~order ~k:10 in
+          List.iteri
+            (fun j t ->
+              incr tuples;
+              checksum := !checksum + ((j + 1) * Tuple.hash t))
+            rows
+      | _ ->
+          let b, _ = Router.exists_ router inst in
+          checksum := !checksum + (if b then 1 else 0))
+    instances;
+  let wall_ns = Int64.sub (Monotonic_clock.now ()) t0 in
+  let oracle_rng = SM.create ~seed:(cfg.seed + 3) in
+  let q = gen oracle_rng in
+  let plain_ok =
+    Minirel_check.Check.report_ok
+      (Minirel_check.Check.check_answer_via
+         ~expected:(Minirel_check.Check.ground_truth catalog q)
+         (fun ~on_tuple -> fst (Router.answer router q ~on_tuple)))
+  in
+  let grouped_ok =
+    let g, _ = Router.answer_grouped router q ~key ~aggs in
+    groups_agree
+      (Minirel_check.Check.ground_truth_grouped catalog q ~key ~aggs)
+      (Pmv.Extensions.finalize_groups ~aggs g.Pmv.Extensions.g_groups)
+  in
+  let ordered_ok =
+    let rows, _ = Router.answer_ordered_k router q ~order ~k:10 in
+    List.equal Tuple.equal rows
+      (Minirel_check.Check.ground_truth_ordered catalog q ~order ~limit:10 ())
+  in
+  let exists_ok =
+    fst (Router.exists_ router q)
+    = Minirel_check.Check.ground_truth_exists catalog q
+  in
+  {
+    sh_label = Fmt.str "router%d" shards;
+    sh_shards = shards;
+    sh_queries = n_queries;
+    sh_qps = float_of_int n_queries /. (Int64.to_float wall_ns /. 1e9);
+    sh_tuples = !tuples;
+    sh_checksum = !checksum;
+    sh_oracle = plain_ok && grouped_ok && ordered_ok && exists_ok;
+  }
+
+let json_of_shaped r =
+  Fmt.str
+    {|{"label": %S, "shards": %d, "queries": %d, "queries_per_sec": %.1f, "total_tuples": %d, "checksum": %d, "oracle_clean": %b}|}
+    r.sh_label r.sh_shards r.sh_queries r.sh_qps r.sh_tuples r.sh_checksum
+    r.sh_oracle
+
+let run_shaped cfg ~scale ~per_shard_capacity =
+  Output.row "@.shaped mix: plain/grouped/ordered-k/exists by query index@.";
+  let runs =
+    List.map (fun shards -> shaped_config cfg ~scale ~per_shard_capacity ~shards) [ 1; 4 ]
+  in
+  Output.row "%-9s %-7s %-9s %-12s %-9s %s@." "config" "shards" "queries"
+    "queries/s" "tuples" "oracle";
+  List.iter
+    (fun r ->
+      Output.row "%-9s %-7d %-9d %-12.1f %-9d %s@." r.sh_label r.sh_shards
+        r.sh_queries r.sh_qps r.sh_tuples
+        (if r.sh_oracle then "clean" else "VIOLATED"))
+    runs;
+  let identical =
+    match runs with
+    | a :: rest ->
+        List.for_all
+          (fun r -> r.sh_checksum = a.sh_checksum && r.sh_tuples = a.sh_tuples)
+          rest
+    | [] -> true
+  in
+  if not identical then
+    Fmt.epr "WARNING: shaped mix disagrees between shard counts@.";
+  (runs, identical)
+
 (* One regime under one read path: all four configurations, the
    checksum cross-check, the printed table, and the regime's speedup
    ratios. *)
@@ -340,6 +496,7 @@ let run cfg =
     run_regime cfg ~scale ~per_shard_capacity ~probe_bound:true
       ~probe_path:Pmv.Answer.Locked
   in
+  let shaped_runs, shaped_identical = run_shaped cfg ~scale ~per_shard_capacity in
   let find runs s = List.find (fun r -> r.shards = s) runs in
   (* the tentpole ratios: epoch-path routers against the epoch-path
      engine baseline — fan-out must no longer lose to one engine *)
@@ -349,6 +506,7 @@ let run cfg =
     router4_vs_engine router1_vs_engine;
   let oracle_clean =
     List.for_all (fun r -> r.oracle_clean) (scan_runs @ probe_runs @ locked_runs)
+    && List.for_all (fun r -> r.sh_oracle) shaped_runs
   in
   (* the same stream must checksum identically whichever path served it *)
   let checksums_identical =
@@ -384,6 +542,11 @@ let run cfg =
     },
     "checksums_identical": %b
   },
+  "shaped": {
+    "mix": "plain/grouped/ordered-k10/exists by query index",
+    "runs": [%s],
+    "checksums_identical": %b
+  },
   "oracle_clean": %b
 }
 |}
@@ -394,7 +557,9 @@ let run cfg =
       (String.concat ", " (List.map json_of_run probe_runs))
       probe_speedup_4 probe_one_shard_ratio router4_vs_engine router1_vs_engine
       (String.concat ", " (List.map json_of_run locked_runs))
-      locked_speedup_4 locked_one_shard_ratio checksums_identical oracle_clean
+      locked_speedup_4 locked_one_shard_ratio checksums_identical
+      (String.concat ", " (List.map json_of_shaped shaped_runs))
+      shaped_identical oracle_clean
   in
   let oc = open_out "BENCH_shard.json" in
   output_string oc json;

@@ -36,10 +36,13 @@ module Fault = Minirel_fault.Fault
 
 (* Run [f] with a Domain pool of [domains] workers (None when 1 —
    everything stays sequential), shutting the pool down on the way
-   out. *)
+   out. The scheduler counters register against the default registry
+   so `pmvctl metrics`-style snapshots show pool.sched.* alongside the
+   engine sources. *)
 let with_pool ~domains f =
   if domains >= 2 then begin
     let pool = Pool.create ~domains in
+    Pool.register_telemetry pool Minirel_telemetry.Registry.default;
     Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f (Some pool))
   end
   else f None
@@ -143,14 +146,18 @@ let simulate alpha h n policy =
    the telemetry in the requested format. Sharded prom output labels
    every series with its shard; text and json report the merged view
    (counters/gauges summed, histogram summaries merged). *)
-let metrics scale seed queries format shards probe_path =
+let metrics scale seed queries format shards domains probe_path =
   let catalog, params, t1 = build ~scale ~seed in
   let dz = Zipf.create ~n:params.Tpcr.n_dates ~alpha:1.07 in
   let sz = Zipf.create ~n:params.Tpcr.n_suppliers ~alpha:1.07 in
   let rng = SM.create ~seed:(seed + 1) in
   let gen () = Querygen.gen_t1 t1 ~dates_zipf:dz ~supp_zipf:sz ~e:2 ~f:2 rng in
+  with_pool ~domains @@ fun par ->
   if shards <= 1 then begin
+    (* the engine shares Registry.default, where with_pool registered
+       pool.sched — the snapshot carries the scheduler counters *)
     let engine = Engine.create ~catalog () in
+    Engine.set_parallel engine par;
     Engine.set_probe_path engine probe_path;
     ignore (Engine.ensure_view ~capacity:2_000 ~f_max:3 engine t1);
     for _ = 1 to queries do
@@ -165,6 +172,12 @@ let metrics scale seed queries format shards probe_path =
   else begin
     let router = shard_tpcr ~shards catalog in
     Router.set_probe_path router probe_path;
+    Router.set_parallel router par;
+    (* shards have scoped registries; put pool.sched on shard 0 so the
+       merged snapshot (and prom export) carries it *)
+    Option.iter
+      (fun p -> Pool.register_telemetry p (Engine.registry (Router.shard router 0)))
+      par;
     ignore (Router.create_view ~capacity:2_000 ~f_max:3 router t1);
     for _ = 1 to queries do
       ignore (Router.answer router (gen ()) ~on_tuple:(fun _ _ -> ()))
@@ -596,7 +609,7 @@ let metrics_cmd =
        ~doc:"Run a short T1 workload and dump the telemetry snapshot")
     Term.(
       const metrics $ scale_arg $ seed_arg $ queries $ format $ shards_arg
-      $ probe_path_arg)
+      $ domains_arg $ probe_path_arg)
 
 let repl_cmd =
   let fresh =

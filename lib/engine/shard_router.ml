@@ -77,6 +77,33 @@ type probe_stats = {
   probe_ns : Histogram.t;  (* latency of the probe phase, hit or miss *)
 }
 
+(* One recycled fan-out harness for a shard: the SPSC stream, the
+   tuple batch buffer and the interned span label a shard task needs.
+   Building these per query was measurable allocation on the fan-out
+   path; a slot keyed by shard id hands a stolen shard task the warm
+   state the previous fan-out already built. Slots are validated
+   against the router's [ddl_epoch] — any DDL (declare/create/index/
+   view/load) bumps it and strands every older slot, so a recycled
+   queue can never straddle a schema change. *)
+type aff_slot = {
+  aff_queue : msg Spsc.t;
+  aff_buf : (Pmv.Answer.phase * Minirel_storage.Tuple.t) array;
+  aff_label : string;  (* "shard%d", precomputed *)
+  aff_epoch : int;  (* ddl_epoch the slot was built under *)
+}
+
+and msg =
+  | Batch of (Pmv.Answer.phase * Minirel_storage.Tuple.t) array
+  | Done of Pmv.Answer.stats * bool * Span.t option
+  | Fail of exn
+
+(* Engine-affinity counters: how often a fan-out found a warm slot. *)
+type aff_stats = {
+  aff_hits : int Atomic.t;
+  aff_misses : int Atomic.t;  (* slot empty or taken by a racing query *)
+  aff_invalidations : int Atomic.t;  (* slot discarded: stale ddl_epoch *)
+}
+
 type t = {
   shards : Engine.t array;
   parts : (string, part) Hashtbl.t;  (* relation -> partitioning *)
@@ -86,15 +113,26 @@ type t = {
   (* Domain pool for parallel shard fan-out; externally owned, see
      [set_parallel]. *)
   mutable par : Pool.t option;
+  (* Engine-affinity cache: one recyclable fan-out harness per shard,
+     taken with an atomic exchange (concurrent queries miss rather
+     than share), invalidated by [ddl_epoch]. *)
+  aff_slots : aff_slot option Atomic.t array;
+  ddl_epoch : int Atomic.t;
+  astats : aff_stats;
+  (* Router-owned scoped registry holding the router-level sources
+     (probe fast path, engine affinity) so [snapshot_merged] carries
+     them next to the summed per-shard series. *)
+  registry : Minirel_telemetry.Registry.t;
 }
 
 let empty_probe_stats () =
   { fast_hits = 0; fallbacks = 0; probes = 0; probe_hits = 0; probe_ns = Histogram.create () }
 
-(* The router has no registry of its own (each shard's is private), so
-   its fast-path source lands in the process-global one — visible to
-   [pmvctl metrics] next to the engine-level series; a newer router
-   takes the name over, following the live instance. *)
+(* The router-level sources register twice: in the process-global
+   registry (visible to [pmvctl metrics] next to engine-level series; a
+   newer router takes the name over, following the live instance) and
+   in the router's own scoped [registry], which [snapshot_merged] folds
+   in so sharded snapshots carry them too. *)
 let probe_cache_templates t =
   List.sort String.compare (Hashtbl.fold (fun name _ acc -> name :: acc) t.probe_caches [])
 
@@ -154,6 +192,36 @@ let register_probe_telemetry ?(registry = Minirel_telemetry.Registry.default) t 
             (Printf.sprintf "%s.s%d.%s" template i kind, R.Counter n))
           (probe_cache_rows t))
 
+let register_affinity_telemetry ?(registry = Minirel_telemetry.Registry.default) t =
+  let module R = Minirel_telemetry.Registry in
+  let a = t.astats in
+  R.register_source registry ~name:"router.affinity"
+    ~reset:(fun () ->
+      Atomic.set a.aff_hits 0;
+      Atomic.set a.aff_misses 0;
+      Atomic.set a.aff_invalidations 0)
+    (fun () ->
+      [
+        ("aff_hits", R.Counter (Atomic.get a.aff_hits));
+        ("aff_misses", R.Counter (Atomic.get a.aff_misses));
+        ("aff_invalidations", R.Counter (Atomic.get a.aff_invalidations));
+        ("ddl_epoch", R.Counter (Atomic.get t.ddl_epoch));
+      ])
+
+let affinity_stats t =
+  ( Atomic.get t.astats.aff_hits,
+    Atomic.get t.astats.aff_misses,
+    Atomic.get t.astats.aff_invalidations )
+
+let ddl_epoch t = Atomic.get t.ddl_epoch
+
+(* Any schema-shape change strands every outstanding affinity slot:
+   bump the epoch and drop what is parked right now (slots checked out
+   by in-flight queries age out on their put-back epoch check). *)
+let bump_ddl_epoch t =
+  Atomic.incr t.ddl_epoch;
+  Array.iter (fun slot -> Atomic.set slot None) t.aff_slots
+
 let create ?pool_capacity ?default_f_max ?default_policy ~shards () =
   if shards <= 0 then invalid_arg "Shard_router.create: shards must be positive";
   let t =
@@ -168,13 +236,32 @@ let create ?pool_capacity ?default_f_max ?default_policy ~shards () =
       pstats = empty_probe_stats ();
       probe_path = Pmv.Answer.Locked;
       par = None;
+      aff_slots = Array.init shards (fun _ -> Atomic.make None);
+      ddl_epoch = Atomic.make 0;
+      astats =
+        {
+          aff_hits = Atomic.make 0;
+          aff_misses = Atomic.make 0;
+          aff_invalidations = Atomic.make 0;
+        };
+      registry = Minirel_telemetry.Registry.create ();
     }
   in
   register_probe_telemetry t;
+  register_affinity_telemetry t;
+  register_probe_telemetry ~registry:t.registry t;
+  register_affinity_telemetry ~registry:t.registry t;
   t
 
 let parallel t = t.par
-let set_parallel t pool = t.par <- pool
+(* The pool threads down to every shard engine: a shard task running
+   on a pool worker then forks its O3 morsel batches into that
+   worker's deque (Pool.map fork-join), where idle domains steal them
+   — the morsel path is stealable end to end instead of running
+   inline inside one shard task. *)
+let set_parallel t pool =
+  t.par <- pool;
+  Array.iter (fun e -> Engine.set_parallel e pool) t.shards
 let probe_path t = t.probe_path
 
 (* Switch the default read path for [answer]; [Epoch] also threads down
@@ -227,7 +314,8 @@ let declare t schema ~part =
             invalid_arg
               (Printf.sprintf "Shard_router: %s has no attribute %s" rel attr))
   in
-  Hashtbl.replace t.parts rel part
+  Hashtbl.replace t.parts rel part;
+  bump_ddl_epoch t
 
 (* Create [schema]'s relation on every shard under [part]. *)
 let create_relation t schema ~part =
@@ -237,7 +325,8 @@ let create_relation t schema ~part =
 let create_index t ?kind ~rel ~name ~attrs () =
   Array.iter
     (fun e -> ignore (Catalog.create_index (Engine.catalog e) ?kind ~rel ~name ~attrs ()))
-    t.shards
+    t.shards;
+  bump_ddl_epoch t
 
 (* --- DML routing ------------------------------------------------------- *)
 
@@ -343,6 +432,7 @@ let create_view ?policy ?f_max ?capacity ?ub_bytes t compiled =
       pc_misses = counters ();
       pc_installs = counters ();
     };
+  bump_ddl_epoch t;
   views
 
 (* Shards a template's answer must consult: all of them as soon as any
@@ -387,19 +477,16 @@ let merge_stats (a : Pmv.Answer.stats) (b : Pmv.Answer.stats) =
     stale_purged = a.Pmv.Answer.stale_purged + b.Pmv.Answer.stale_purged;
   }
 
-(* Per-shard stream messages flowing producer (shard task) to consumer
-   (the merging caller) over a bounded SPSC queue. Tuples travel in
-   morsel batches, not singly: the producer coalesces up to
-   [tuple_batch] of them per message, so the queue's mutex/condvar
-   handshake is paid once per chunk instead of once per tuple. *)
-(* [Done] carries the shard task's finished span subtree when the query
-   is traced: spans are built shard-locally (each task owns its private
-   trace, so no cross-domain mutation) and grafted onto the caller's
-   trace in shard order by the consumer — one stitched tree per query. *)
-type msg =
-  | Batch of (Pmv.Answer.phase * Minirel_storage.Tuple.t) array
-  | Done of Pmv.Answer.stats * bool * Span.t option
-  | Fail of exn
+(* Per-shard stream messages ([msg], declared with the affinity slot
+   type above) flow producer (shard task) to consumer (the merging
+   caller) over a bounded SPSC queue. Tuples travel in morsel batches,
+   not singly: the producer coalesces up to [tuple_batch] of them per
+   message, so the queue's mutex/condvar handshake is paid once per
+   chunk instead of once per tuple. [Done] carries the shard task's
+   finished span subtree when the query is traced: spans are built
+   shard-locally (each task owns its private trace, so no cross-domain
+   mutation) and grafted onto the caller's trace in shard order by the
+   consumer — one stitched tree per query. *)
 
 (* Tuples per [Batch] message. *)
 let tuple_batch = 64
@@ -410,13 +497,52 @@ let tuple_batch = 64
    consumer. *)
 let shard_stream_capacity = 64
 
+(* Check out shard [i]'s fan-out harness, or build a cold one. The
+   atomic exchange means two concurrent queries over the same shard
+   never share a slot — the loser takes a fresh harness and counts a
+   miss. A hit hands the (possibly stolen) shard task the queue,
+   batch buffer and span label the previous fan-out warmed up. *)
+let aff_take t i =
+  let epoch = Atomic.get t.ddl_epoch in
+  match Atomic.exchange t.aff_slots.(i) None with
+  | Some slot when slot.aff_epoch = epoch ->
+      Atomic.incr t.astats.aff_hits;
+      slot
+  | prior ->
+      if Option.is_some prior then Atomic.incr t.astats.aff_invalidations
+      else Atomic.incr t.astats.aff_misses;
+      {
+        aff_queue = Spsc.create ~capacity:shard_stream_capacity;
+        aff_buf = Array.make tuple_batch (Pmv.Answer.Partial, [||]);
+        aff_label = Printf.sprintf "shard%d" i;
+        aff_epoch = epoch;
+      }
+
+(* Park the harness for the next fan-out — only once its queue is
+   fully drained (the consumer always pops through [Done]/[Fail], so
+   recycling never observes a non-empty queue). A slot that aged past
+   a DDL bump is dropped; a slot already re-parked by a racing query
+   is simply discarded. *)
+let aff_put t i slot =
+  if slot.aff_epoch = Atomic.get t.ddl_epoch then
+    ignore (Atomic.compare_and_set t.aff_slots.(i) None (Some slot))
+
 (* Parallel fan-out: one pool task per target shard, each answering on
    its own single-owner engine and streaming through its own SPSC
    queue. The consumer drains the queues in shard order, so the merged
-   stream is tuple-for-tuple the sequential one — and because the pool
-   dispatches FIFO and tasks were submitted in shard order, the
-   earliest undrained shard's task is always running or next in line:
-   the in-order merge cannot starve.
+   stream is tuple-for-tuple the sequential one.
+
+   The merge cannot starve under work stealing — the argument that
+   replaced the old "pool dispatch is FIFO" invariant: shard tasks
+   enter the pool's injector in shard order and are *claimed* in that
+   order (a worker only takes injector work when its own deque is
+   empty, and deques hold only finite descendants of already-running
+   tasks), so when the consumer blocks on shard i every earlier
+   shard's task has already completed and shard i's task is running
+   or is the next external claim; thieves steal the oldest fork
+   first, so stolen morsel work inside a shard task finishes in fork
+   order too. Property-tested in test_parallel.ml (steal storms never
+   change the merged stream).
 
    Early termination changes shape here: when [on_tuple] raises, shard
    tasks cannot be cancelled, so remaining queues are drained and
@@ -424,16 +550,17 @@ let shard_stream_capacity = 64
    otherwise poison the pool), then the first exception re-raises. *)
 let answer_parallel ?trace pool ~probe_path t targets instance ~on_tuple =
   let traced = Option.is_some trace in
-  let queues = List.map (fun i -> (i, Spsc.create ~capacity:shard_stream_capacity)) targets in
+  let queues = List.map (fun i -> (i, aff_take t i)) targets in
   List.iter
-    (fun (i, q) ->
+    (fun (i, slot) ->
+      let q = slot.aff_queue in
       Pool.submit pool (fun () ->
           (* Task-private span subtree: started on the worker domain,
              finished before shipment, attached by the consumer. *)
           let sub =
             if not traced then None
             else begin
-              let s = Span.start (Printf.sprintf "shard%d" i) in
+              let s = Span.start slot.aff_label in
               Span.kv s "shard" (string_of_int i);
               Span.kv s "domain" (string_of_int (Domain.self () :> int));
               (match Pool.worker_index () with
@@ -442,7 +569,7 @@ let answer_parallel ?trace pool ~probe_path t targets instance ~on_tuple =
               Some s
             end
           in
-          let buf = Array.make tuple_batch (Pmv.Answer.Partial, [||]) in
+          let buf = slot.aff_buf in
           let bn = ref 0 in
           let flush () =
             if !bn > 0 then begin
@@ -478,7 +605,8 @@ let answer_parallel ?trace pool ~probe_path t targets instance ~on_tuple =
   let note exn = if Option.is_none !failure then failure := Some exn in
   let results =
     List.map
-      (fun (_, q) ->
+      (fun (i, slot) ->
+        let q = slot.aff_queue in
         let rec drain () =
           match Spsc.pop q with
           | Batch items ->
@@ -497,7 +625,11 @@ let answer_parallel ?trace pool ~probe_path t targets instance ~on_tuple =
               note exn;
               None
         in
-        drain ())
+        let r = drain () in
+        (* producer settled (it pushed Done/Fail last) and the queue is
+           drained: safe to park the harness for the next fan-out *)
+        aff_put t i slot;
+        r)
       queues
   in
   match !failure with
@@ -513,14 +645,17 @@ let answer_parallel ?trace pool ~probe_path t targets instance ~on_tuple =
       |> Option.get
 
 (* Fan out to the target shards: parallel when a pool with >= 2 workers
-   is attached (or passed), >= 2 targets and no profile (Exec_stats
-   trees are single-owner); sequential otherwise. Either way the merged
-   stream is identical to the sequential one. *)
+   is attached (or passed), >= 2 targets, no profile (Exec_stats trees
+   are single-owner) and the caller is not itself a pool worker (a
+   worker-side [submit] runs inline, so a worker-driven fan-out would
+   produce into its own un-drained SPSC queues); sequential otherwise.
+   Either way the merged stream is identical to the sequential one. *)
 let answer_fanout ?par ?profile ?trace ~probe_path t targets instance ~on_tuple =
   let pool = match par with Some _ -> par | None -> t.par in
   match pool with
   | Some pool
-    when Pool.size pool >= 2 && List.length targets >= 2 && Option.is_none profile ->
+    when Pool.size pool >= 2 && List.length targets >= 2 && Option.is_none profile
+         && Pool.worker_index () = None ->
       answer_parallel ?trace pool ~probe_path t targets instance ~on_tuple
   | _ -> (
       List.fold_left
@@ -1041,7 +1176,8 @@ let load_from t source =
           in
           create_index t ~rel ~name:(Minirel_index.Index.name idx) ~attrs ())
         (Catalog.indexes source rel))
-    (Catalog.relations source)
+    (Catalog.relations source);
+  bump_ddl_epoch t
 
 (* --- telemetry --------------------------------------------------------- *)
 
@@ -1050,8 +1186,12 @@ let snapshots t =
   Array.to_list (Array.map (fun e -> (Engine.name e, Engine.snapshot e)) t.shards)
 
 (* One aggregated snapshot (counters/gauges add, histogram summaries
-   merge). *)
-let snapshot_merged t = Export.merge_snapshots (List.map snd (snapshots t))
+   merge), plus the router-level sources from the router's own scoped
+   registry — disjoint names, so the merge just concatenates them. *)
+let snapshot_merged t =
+  Export.merge_snapshots
+    (List.map snd (snapshots t)
+    @ [ Minirel_telemetry.Registry.snapshot t.registry ])
 
 (* Router probe-cache counters as Prometheus series carrying both a
    [shard] and a [template] label, one series family per counter kind
@@ -1085,7 +1225,9 @@ let prometheus_string t =
        (snapshots t))
   ^ probe_cache_prometheus_string t
 
-let reset_telemetry t = Array.iter Engine.reset_telemetry t.shards
+let reset_telemetry t =
+  Array.iter Engine.reset_telemetry t.shards;
+  Minirel_telemetry.Registry.reset t.registry
 
 (* --- shutdown ---------------------------------------------------------- *)
 

@@ -29,7 +29,10 @@ val parallel : t -> Minirel_parallel.Pool.t option
 
 (** Attach (or detach, with [None]) a Domain pool: {!answer} then
     fans per-shard answers out to the pool's worker domains. The pool
-    stays externally owned — shut it down where it was created. *)
+    also threads down to every shard engine ({!Engine.set_parallel}),
+    so a shard task forks its O3 morsel batches into its worker's
+    deque for idle domains to steal. The pool stays externally owned —
+    shut it down where it was created. *)
 val set_parallel : t -> Minirel_parallel.Pool.t option -> unit
 
 (** Default read path for {!answer} (initially {!Pmv.Answer.Locked});
@@ -65,6 +68,20 @@ val reset_probe_stats : t -> unit
     {!prometheus_string}, as [router_probe_cache_*] series with
     [{shard,template}] labels. *)
 val probe_cache_counters : t -> template:string -> (int * int * int) array
+
+(** Engine-affinity cache counters [(hits, misses, invalidations)]:
+    how often a parallel fan-out checked out a warm per-shard harness
+    (SPSC stream, tuple batch buffer, span label) left by a previous
+    fan-out, built a cold one, or discarded a slot stranded by a DDL
+    epoch bump. Also exported as the [router.affinity] telemetry
+    source, both process-global and in {!snapshot_merged}. *)
+val affinity_stats : t -> int * int * int
+
+(** Monotonic schema-shape epoch: bumped by {!declare},
+    {!create_relation}, {!create_index}, {!create_view} and
+    {!load_from}; every affinity slot built under an older epoch is
+    invalidated. *)
+val ddl_epoch : t -> int
 
 type part = Hash of int  (** partition-key position *) | Replicated
 
@@ -148,9 +165,13 @@ val tuple_batch : int
     pool, each streaming through a bounded per-shard queue; the merge
     consumes the queues in shard order, so the delivered stream is
     tuple-for-tuple identical to the sequential one and the DS
-    identity still sums exactly. Profiled runs stay sequential. When
-    [on_tuple] raises in parallel mode, in-flight shards finish with
-    their output discarded before the exception re-raises.
+    identity still sums exactly. The in-order merge cannot starve
+    under the pool's work-stealing dispatch: shard tasks are claimed
+    off the injector in submission order, so the earliest undrained
+    shard's task is always completed, running, or the next claim (see
+    pool.mli). Profiled runs stay sequential. When [on_tuple] raises
+    in parallel mode, in-flight shards finish with their output
+    discarded before the exception re-raises.
 
     Under [probe_path = Epoch] (per call, or the {!set_probe_path}
     default) the router first tries the shard-local probe fast path:
@@ -246,7 +267,8 @@ val snapshots :
   t -> (string * (string * Minirel_telemetry.Registry.value) list) list
 
 (** One aggregated snapshot (counters/gauges add, histogram summaries
-    merge). *)
+    merge), including the router-level [router.probe] and
+    [router.affinity] sources. *)
 val snapshot_merged : t -> (string * Minirel_telemetry.Registry.value) list
 
 (** Prometheus exposition of every shard with a [shard="i"] label on

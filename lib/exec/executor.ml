@@ -132,12 +132,19 @@ let register_telemetry ?(registry = Minirel_telemetry.Registry.default)
 
 module Pool = Minirel_parallel.Pool
 
-(* ~4 morsels per domain: slack for uneven predicate selectivity
-   without drowning the pool in task-dispatch overhead. *)
+(* Morsel *batches* are the steal unit: ~8 batches per domain gives
+   thieves slack against uneven predicate selectivity (a domain stuck
+   on a dense range sheds whole batches, not single pages), while a
+   2-page floor keeps each batch coarse enough that a steal pays for
+   more than its CAS. The work-stealing pool made dispatch cheap
+   (deque push/pop instead of a global mutexed FIFO), which is what
+   affords a finer split than the old 4-per-domain one. *)
+let morsel_min_pages = 2
+
 let morsel_ranges ~n_pages ~domains =
   if n_pages <= 0 then [||]
   else begin
-    let target = max 1 (min n_pages (4 * domains)) in
+    let target = max 1 (min (max 1 (n_pages / morsel_min_pages)) (8 * domains)) in
     let per = (n_pages + target - 1) / target in
     let n = (n_pages + per - 1) / per in
     Array.init n (fun i -> (i * per, min n_pages (succ i * per)))

@@ -4,7 +4,14 @@
     {!set_stats}). A hit binds parameters in O(params); cached skeletons
     are compiled with the fast path ([~fast:true]), so index-less join
     edges run as hash joins instead of naive nested loops. Any error
-    falls back to the uncached planner. *)
+    falls back to the uncached planner.
+
+    Each domain additionally keeps a bounded domain-local shadow of
+    the skeletons it bound recently (keyed by cache identity), so a
+    shard task stolen onto another domain revalidates and binds from
+    its own shadow instead of probing the engine-owned table across
+    domains. Shadow entries obey the same catalog-version and
+    stats-epoch invalidation; {!shadow_hits} counts them. *)
 
 type t
 
@@ -36,10 +43,16 @@ val clear : t -> unit
 
 val counters : t -> counters
 
+(** Hits served from the calling-domain shadow (no shared-table
+    probe); steady-state total hits = [counters.hits + shadow_hits].
+    Exported as the [shadow_hits] counter of the telemetry source. *)
+val shadow_hits : t -> int
+
 (** Stable name/value pairs for telemetry registration. *)
 val counters_to_list : counters -> (string * int) list
 
-(** Zero the hit/miss/invalidation/fallback counters. *)
+(** Zero the hit/miss/invalidation/fallback counters (including
+    {!shadow_hits}). *)
 val reset_counters : t -> unit
 
 (** Register this cache as telemetry source [name] (default

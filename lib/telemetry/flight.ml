@@ -29,6 +29,8 @@ type kind =
   | Maint_apply
   | Slo_breach
   | Dump_trigger
+  | Sched_steal
+  | Task_exn
 
 let kind_to_string = function
   | Probe_hit -> "probe.hit"
@@ -44,6 +46,8 @@ let kind_to_string = function
   | Maint_apply -> "maint.apply"
   | Slo_breach -> "slo.breach"
   | Dump_trigger -> "dump.trigger"
+  | Sched_steal -> "sched.steal"
+  | Task_exn -> "task.exn"
 
 let kind_code = function
   | Probe_hit -> 0
@@ -59,6 +63,8 @@ let kind_code = function
   | Maint_apply -> 10
   | Slo_breach -> 11
   | Dump_trigger -> 12
+  | Sched_steal -> 13
+  | Task_exn -> 14
 
 let n_rings = 8
 
@@ -126,7 +132,7 @@ let kinds_by_code =
   [|
     Probe_hit; Probe_miss; Version_publish; Version_distrust; Epoch_advance;
     Epoch_reclaim; Stale_purge; Lock_wait; Fault_hit; Maint_defer; Maint_apply;
-    Slo_breach; Dump_trigger;
+    Slo_breach; Dump_trigger; Sched_steal; Task_exn;
   |]
 
 let record ?(a = 0) ?(b = 0) ?ts kind =

@@ -19,6 +19,8 @@ type kind =
   | Maint_apply
   | Slo_breach
   | Dump_trigger
+  | Sched_steal  (** a pool worker stole a task: [a]=thief ix, [b]=victim ix *)
+  | Task_exn  (** a fire-and-forget pool task raised: [a]=worker ix *)
 
 val kind_to_string : kind -> string
 

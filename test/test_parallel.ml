@@ -1,13 +1,17 @@
-(* Domain pool and SPSC queue semantics, the parallel shard fan-out
-   against the sequential oracle (multiset + DS identity and
-   tuple-for-tuple order identity), morsel-parallel executor cursors
-   against sequential ones, and domain-safety of the shared telemetry
-   and PRNG touchpoints under real contention. *)
+(* Work-stealing pool and SPSC queue semantics — the deque owner/thief
+   protocol under steal storms, nested submit/map from workers, task
+   exceptions counted instead of swallowed — plus the parallel shard
+   fan-out against the sequential oracle (multiset + DS identity and
+   tuple-for-tuple order identity: the non-starvation property that
+   replaced the FIFO-dispatch invariant), morsel-parallel executor
+   cursors against sequential ones, and domain-safety of the shared
+   telemetry and PRNG touchpoints under real contention. *)
 
 open Minirel_storage
 open Minirel_query
 module Pool = Minirel_parallel.Pool
 module Spsc = Minirel_parallel.Spsc
+module Flight = Minirel_telemetry.Flight
 module Router = Minirel_engine.Shard_router
 module Check = Minirel_check.Check
 module Registry = Minirel_telemetry.Registry
@@ -71,6 +75,129 @@ let test_pool_shutdown () =
     | () -> false
     | exception Invalid_argument _ -> true)
 
+(* Satellite fix: a fire-and-forget task that raises is counted (and
+   leaves a flight event) instead of vanishing in a catch-all. *)
+let test_task_exn_counted () =
+  let pool = Pool.create ~domains:2 in
+  let ok = Atomic.make 0 in
+  for i = 1 to 8 do
+    Pool.submit pool (fun () ->
+        if i mod 2 = 0 then failwith "boom" else Atomic.incr ok)
+  done;
+  Pool.shutdown pool;  (* drains every queued task *)
+  let s = Pool.stats pool in
+  check Alcotest.int "healthy tasks ran" 4 (Atomic.get ok);
+  check Alcotest.int "raising tasks counted" 4 s.Pool.task_exns;
+  check Alcotest.bool "flight recorded the escapes" true
+    (List.exists (fun e -> e.Flight.e_kind = Flight.Task_exn) (Flight.dump ()))
+
+(* Satellite (c): submit from inside a worker runs inline — the task
+   has already run when submit returns, so a worker can never deadlock
+   waiting on scheduling only it could provide. *)
+let test_nested_submit_inline () =
+  with_pool ~domains:2 @@ fun pool ->
+  let inline_ok = Atomic.make true in
+  let nested_ran = Atomic.make 0 in
+  let results =
+    Pool.map pool
+      (fun x ->
+        let ran = ref false in
+        Pool.submit pool (fun () ->
+            Atomic.incr nested_ran;
+            ran := true);
+        if not !ran then Atomic.set inline_ok false;
+        x * 2)
+      (Array.init 12 Fun.id)
+  in
+  check Alcotest.bool "nested submit completed before returning" true
+    (Atomic.get inline_ok);
+  check Alcotest.int "every nested submit ran" 12 (Atomic.get nested_ran);
+  check
+    (Alcotest.array Alcotest.int)
+    "outer results intact"
+    (Array.init 12 (fun x -> x * 2))
+    results
+
+(* Nested map from a worker forks onto the worker's own deque
+   (stealable by idle workers) instead of running inline — a fork-join
+   storm across many concurrent outer tasks must still produce exact
+   results, and every subtask must run exactly once. *)
+let test_fork_join_storm () =
+  with_pool ~domains:4 @@ fun pool ->
+  let subtasks = Atomic.make 0 in
+  let results =
+    Pool.map pool
+      (fun x ->
+        Array.fold_left ( + ) 0
+          (Pool.map pool
+             (fun y ->
+               Atomic.incr subtasks;
+               x * y)
+             (Array.init 20 Fun.id)))
+      (Array.init 16 Fun.id)
+  in
+  check
+    (Alcotest.array Alcotest.int)
+    "fork-join sums exact"
+    (Array.init 16 (fun x -> 190 * x))
+    results;
+  check Alcotest.int "every subtask ran exactly once" (16 * 20)
+    (Atomic.get subtasks);
+  let s = Pool.stats pool in
+  check Alcotest.bool "forked subtasks went through the deques" true
+    (s.Pool.local_hits > 0)
+
+(* --- deque owner/thief protocol --- *)
+
+(* Satellite (b): under a multi-domain steal storm interleaved with
+   owner pushes and pops (including wraparound refills when the ring
+   fills), the multiset of items taken — by owner or thieves — is
+   exactly the multiset pushed: nothing lost, nothing duplicated. *)
+let prop_deque_steal_storm =
+  QCheck2.Test.make ~name:"deque steal storm: no task lost or duplicated"
+    ~count:12
+    QCheck2.Gen.(pair (int_range 1 4) (int_range 50 400))
+    (fun (thieves, items) ->
+      let dq = Pool.Deque.create ~capacity:64 in
+      let stolen = Array.make thieves [] in
+      let stop = Atomic.make false in
+      let doms =
+        Array.init thieves (fun k ->
+            Domain.spawn (fun () ->
+                let rec go acc =
+                  match Pool.Deque.steal dq with
+                  | Some v -> go (v :: acc)
+                  | None ->
+                      if Atomic.get stop then acc
+                      else begin
+                        Domain.cpu_relax ();
+                        go acc
+                      end
+                in
+                stolen.(k) <- go []))
+      in
+      let popped = ref [] in
+      let note = function Some v -> popped := v :: !popped | None -> () in
+      for i = 0 to items - 1 do
+        while not (Pool.Deque.push dq i) do
+          (* ring full: make room as the owner would (run one task) *)
+          note (Pool.Deque.pop dq)
+        done;
+        if i mod 7 = 0 then note (Pool.Deque.pop dq)
+      done;
+      let rec drain () =
+        match Pool.Deque.pop dq with
+        | Some v ->
+            popped := v :: !popped;
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      Atomic.set stop true;
+      Array.iter Domain.join doms;
+      let taken = !popped @ List.concat (Array.to_list stolen) in
+      List.sort compare taken = List.init items Fun.id)
+
 (* --- spsc --- *)
 
 let test_spsc_order () =
@@ -112,9 +239,14 @@ let same_stream a b =
 
 (* Cold then warm: the parallel merged stream must be tuple-for-tuple
    (and phase-for-phase) the sequential router's, oracle-clean with
-   the DS identity intact under summation. *)
+   the DS identity intact under summation. This is satellite (a): the
+   work-stealing scheduler may claim, steal and interleave shard tasks
+   and their morsel forks any way it likes across 1-4 shards x 1-4
+   domains — the merged stream contents and order must not move. The
+   warm round also exercises the router's engine-affinity slots. *)
 let prop_parallel_fanout =
-  QCheck2.Test.make ~name:"parallel fan-out == sequential oracle" ~count:20
+  QCheck2.Test.make ~name:"parallel fan-out == sequential oracle under stealing"
+    ~count:20
     QCheck2.Gen.(
       quad (int_range 1 4) (int_range 1 4)
         (list_size (int_range 1 3) (int_range 0 9))
@@ -223,6 +355,10 @@ let suite =
     Alcotest.test_case "pool nested map" `Quick test_pool_nested_map;
     Alcotest.test_case "pool run_all" `Quick test_pool_run_all;
     Alcotest.test_case "pool shutdown" `Quick test_pool_shutdown;
+    Alcotest.test_case "pool task exceptions counted" `Quick test_task_exn_counted;
+    Alcotest.test_case "nested submit runs inline" `Quick test_nested_submit_inline;
+    Alcotest.test_case "fork-join storm exact" `Quick test_fork_join_storm;
+    QCheck_alcotest.to_alcotest prop_deque_steal_storm;
     Alcotest.test_case "spsc order across domains" `Quick test_spsc_order;
     QCheck_alcotest.to_alcotest prop_parallel_fanout;
     Alcotest.test_case "morsel cursors == sequential" `Quick test_morsel_cursors;

@@ -17,7 +17,9 @@
 #   - absolute probe-bound q/s per configuration only compares when the
 #     fresh host reports the same host_cores as the committed run;
 #   - parallel speedups only compare when both runs mark
-#     speedup_applicable (a 1-core host cannot reproduce them).
+#     speedup_applicable (a 1-core host cannot reproduce them);
+#   - the parallel 1-domain overhead ratios (scheduler cost) compare on
+#     matching core counts even where the speedups do not.
 # Exits 0 with a note when there is no git HEAD or no committed
 # baseline to diff against.
 set -eu
@@ -139,6 +141,33 @@ if git cat-file -e HEAD:BENCH_parallel.json 2>/dev/null && [ -f "$fresh_parallel
   else
     echo "bench_diff: parallel speedups not applicable/comparable on this host - skipped"
   fi
+
+  # the pooled runs must carry the work-stealing scheduler's counter
+  # snapshot (submitted/local_hits/injector_hits/steals/parks/task_exns)
+  if ! grep -q '"sched":' "$fresh_parallel"; then
+    echo "bench_diff FAIL: fresh BENCH_parallel.json carries no scheduler counter snapshot" >&2
+    status=1
+  fi
+
+  # 1-domain overhead divides two same-host measurements of the same
+  # sweep, so it compares whenever the core counts match even where the
+  # speedups do not apply (fan-out is the first occurrence of the key,
+  # morsel the second); a drop past the margin means the scheduler got
+  # more expensive per dispatched task
+  if grep -q '"overhead_1_domain"' "$base" && [ -n "$old_cores" ] && [ "$old_cores" = "$new_cores" ]; then
+    for idx in 1 2; do
+      if [ "$idx" = "1" ]; then sweep=fan-out; else sweep=morsel; fi
+      old=$(awk -F': ' -v want="$idx" '/"overhead_1_domain"/ { if (++n == want) { gsub(/[ ,]/, "", $2); print $2; exit } }' "$base")
+      new=$(awk -F': ' -v want="$idx" '/"overhead_1_domain"/ { if (++n == want) { gsub(/[ ,]/, "", $2); print $2; exit } }' "$fresh_parallel")
+      [ -n "$old" ] && [ -n "$new" ] || continue
+      if within "$old" "$new"; then
+        echo "bench_diff: parallel $sweep overhead_1_domain ${old} -> ${new} (ok)"
+      else
+        echo "bench_diff FAIL: parallel $sweep overhead_1_domain regressed ${old} -> ${new} (> ${max}%)" >&2
+        status=1
+      fi
+    done
+  fi
 else
   echo "bench_diff: no committed BENCH_parallel.json baseline - skipped"
 fi
@@ -204,8 +233,9 @@ if git cat-file -e HEAD:BENCH_shapes.json 2>/dev/null && [ -f "$fresh_shapes" ];
   base="$tmpdir/shapes_base.json"
   git show HEAD:BENCH_shapes.json >"$base"
 
-  # answers must match the brute-force oracle on any host
-  oracle=$(jget "$fresh_shapes" oracle_clean)
+  # answers must match the brute-force oracle on any host (anchored:
+  # the per-run entries repeat the key inline earlier in the file)
+  oracle=$(awk -F': ' '/^ *"oracle_clean"/ { gsub(/[ ,}]/, "", $2); print $2; exit }' "$fresh_shapes")
   if [ "$oracle" != "true" ]; then
     echo "bench_diff FAIL: fresh shapes bench is not oracle-clean" >&2
     status=1
