@@ -9,7 +9,7 @@
 type 'k slot = { mutable key : 'k option; mutable refbit : bool }
 
 type 'k state = {
-  slots : 'k slot array;
+  mutable slots : 'k slot array;
   pos : ('k, int) Hashtbl.t;  (* key -> slot index *)
   mutable hand : int;
   mutable free : int list;  (* empty slot indexes *)
@@ -61,6 +61,33 @@ let admit st k =
   s.key <- Some k;
   s.refbit <- true;
   Hashtbl.replace st.pos k i
+
+(* Rebuild the circular array at the new size. Shrinking first evicts
+   by the normal hand sweep until the survivors fit; the rebuild packs
+   surviving slots in hand order (so second-chance order is preserved)
+   and resets the hand to the front. *)
+let resize st n =
+  let old_n = Array.length st.slots in
+  if n <> old_n then begin
+    while Hashtbl.length st.pos > n do
+      evict_at st (find_victim st)
+    done;
+    let slots = Array.init n (fun _ -> { key = None; refbit = false }) in
+    let filled = ref 0 in
+    for d = 0 to old_n - 1 do
+      let s = st.slots.((st.hand + d) mod old_n) in
+      match s.key with
+      | Some k ->
+          slots.(!filled).key <- Some k;
+          slots.(!filled).refbit <- s.refbit;
+          Hashtbl.replace st.pos k !filled;
+          incr filled
+      | None -> ()
+    done;
+    st.slots <- slots;
+    st.hand <- 0;
+    st.free <- List.init (n - !filled) (fun i -> n - 1 - i)
+  end
 
 let create ~capacity : 'k Policy.t =
   if capacity <= 0 then invalid_arg "Clock.create: capacity must be positive";
@@ -116,5 +143,6 @@ let create ~capacity : 'k Policy.t =
     size;
     iter;
     set_on_evict;
+    resize = (fun n -> resize st n);
     stats = st.stats;
   }

@@ -4,7 +4,7 @@
 type 'k state = {
   order : 'k Queue.t;  (* admission order; may hold stale entries *)
   tbl : ('k, unit) Hashtbl.t;
-  capacity : int;
+  mutable capacity : int;
   mutable on_evict : 'k -> unit;
   stats : Cache_stats.t;
 }
@@ -56,6 +56,12 @@ let create ~capacity : 'k Policy.t =
   let size () = Hashtbl.length st.tbl in
   let iter f = Hashtbl.iter (fun k _ -> f k) st.tbl in
   let set_on_evict f = st.on_evict <- f in
+  let resize n =
+    st.capacity <- n;
+    while Hashtbl.length st.tbl > st.capacity do
+      evict_oldest st
+    done
+  in
   {
     Policy.name = "fifo";
     capacity;
@@ -67,5 +73,6 @@ let create ~capacity : 'k Policy.t =
     size;
     iter;
     set_on_evict;
+    resize;
     stats = st.stats;
   }

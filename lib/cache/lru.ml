@@ -11,7 +11,7 @@ type 'k state = {
   tbl : ('k, 'k node) Hashtbl.t;
   mutable head : 'k node option;  (* most recently used *)
   mutable tail : 'k node option;  (* least recently used *)
-  capacity : int;
+  mutable capacity : int;
   mutable on_evict : 'k -> unit;
   stats : Cache_stats.t;
 }
@@ -81,6 +81,12 @@ let create ~capacity : 'k Policy.t =
   let size () = Hashtbl.length st.tbl in
   let iter f = Hashtbl.iter (fun k _ -> f k) st.tbl in
   let set_on_evict f = st.on_evict <- f in
+  let resize n =
+    st.capacity <- n;
+    while Hashtbl.length st.tbl > st.capacity do
+      evict_lru st
+    done
+  in
   {
     Policy.name = "lru";
     capacity;
@@ -92,5 +98,6 @@ let create ~capacity : 'k Policy.t =
     size;
     iter;
     set_on_evict;
+    resize;
     stats = st.stats;
   }

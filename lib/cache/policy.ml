@@ -23,7 +23,7 @@ type outcome = [ `Resident | `Admitted | `Rejected ]
 
 type 'k t = {
   name : string;
-  capacity : int;
+  mutable capacity : int;
   admit_on_fill : bool;
   mem : 'k -> bool;
   reference : 'k -> outcome;
@@ -32,11 +32,23 @@ type 'k t = {
   size : unit -> int;  (** number of resident keys *)
   iter : ('k -> unit) -> unit;  (** over resident keys, unspecified order *)
   set_on_evict : ('k -> unit) -> unit;
+  resize : int -> unit;  (** change the resident bound; shrink evicts *)
   stats : Cache_stats.t;
 }
 
 let name t = t.name
 let capacity t = t.capacity
+
+(* Change the resident-key bound in place. Shrinking evicts victims in
+   the policy's own replacement order, reported through the eviction
+   callback; growing only raises the bound (ghost/stage areas rescale
+   with it). *)
+let resize t n =
+  if n <= 0 then invalid_arg "Policy.resize: capacity must be positive";
+  if n <> t.capacity then begin
+    t.resize n;
+    t.capacity <- n
+  end
 let admit_on_fill t = t.admit_on_fill
 let mem t k = t.mem k
 let reference t k = t.reference k

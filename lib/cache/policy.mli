@@ -24,7 +24,7 @@ type outcome = [ `Resident | `Admitted | `Rejected ]
 
 type 'k t = {
   name : string;
-  capacity : int;
+  mutable capacity : int;
   admit_on_fill : bool;
   mem : 'k -> bool;
   reference : 'k -> outcome;
@@ -33,11 +33,19 @@ type 'k t = {
   size : unit -> int;
   iter : ('k -> unit) -> unit;
   set_on_evict : ('k -> unit) -> unit;
+  resize : int -> unit;
   stats : Cache_stats.t;
 }
 
 val name : 'k t -> string
 val capacity : 'k t -> int
+
+(** Change the resident-key bound in place (the budget arbiter's
+    rebalance). Shrinking evicts victims in the policy's own
+    replacement order through the eviction callback; growing only
+    raises the bound. @raise Invalid_argument when [n <= 0]. *)
+val resize : 'k t -> int -> unit
+
 val admit_on_fill : 'k t -> bool
 
 (** Whether the key is resident (data-holding). *)

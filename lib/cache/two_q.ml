@@ -13,7 +13,7 @@ type 'k state = {
   am : 'k Policy.t;
   a1 : 'k Queue.t;  (* FIFO of staged keys; may hold stale entries *)
   a1_mem : ('k, unit) Hashtbl.t;  (* live staged keys *)
-  a1_capacity : int;
+  mutable a1_capacity : int;
   stats : Cache_stats.t;
 }
 
@@ -25,18 +25,16 @@ let rec compact st =
       compact st
   | _ -> ()
 
+(* Drop the oldest live ghost. *)
+let rec pop_live st =
+  match Queue.pop st.a1 with
+  | victim when Hashtbl.mem st.a1_mem victim -> Hashtbl.remove st.a1_mem victim
+  | _ -> pop_live st
+  | exception Queue.Empty -> ()
+
 let stage st k =
   compact st;
-  if Hashtbl.length st.a1_mem >= st.a1_capacity then begin
-    (* evict the oldest live ghost *)
-    let rec pop_live () =
-      match Queue.pop st.a1 with
-      | victim when Hashtbl.mem st.a1_mem victim -> Hashtbl.remove st.a1_mem victim
-      | _ -> pop_live ()
-      | exception Queue.Empty -> ()
-    in
-    pop_live ()
-  end;
+  if Hashtbl.length st.a1_mem >= st.a1_capacity then pop_live st;
   Queue.push k st.a1;
   Hashtbl.replace st.a1_mem k ()
 
@@ -92,6 +90,15 @@ let create ~capacity : 'k Policy.t =
         st.stats.Cache_stats.evictions <- st.stats.Cache_stats.evictions + 1;
         f k)
   in
+  let resize n =
+    (* Am carries the residents; A1 rescales to 50% and sheds its
+       oldest ghosts (keys only, so no eviction reports) *)
+    Policy.resize st.am n;
+    st.a1_capacity <- max 1 (n / 2);
+    while Hashtbl.length st.a1_mem > st.a1_capacity do
+      pop_live st
+    done
+  in
   {
     Policy.name = "2q";
     capacity;
@@ -103,5 +110,6 @@ let create ~capacity : 'k Policy.t =
     size;
     iter;
     set_on_evict;
+    resize;
     stats = st.stats;
   }

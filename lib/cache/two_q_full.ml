@@ -15,10 +15,10 @@ type 'k state = {
   am : 'k Policy.t;  (* LRU *)
   a1in : 'k Queue.t;
   a1in_mem : ('k, unit) Hashtbl.t;
-  a1in_capacity : int;
+  mutable a1in_capacity : int;
   a1out : 'k Queue.t;  (* ghosts; may hold stale entries *)
   a1out_mem : ('k, unit) Hashtbl.t;
-  a1out_capacity : int;
+  mutable a1out_capacity : int;
   mutable on_evict : 'k -> unit;
   stats : Cache_stats.t;
 }
@@ -30,35 +30,33 @@ let rec ghost_compact st =
       ghost_compact st
   | _ -> ()
 
+(* Drop the oldest live ghost. *)
+let rec ghost_pop_live st =
+  match Queue.pop st.a1out with
+  | victim when Hashtbl.mem st.a1out_mem victim -> Hashtbl.remove st.a1out_mem victim
+  | _ -> ghost_pop_live st
+  | exception Queue.Empty -> ()
+
 let ghost_stage st k =
   ghost_compact st;
-  if Hashtbl.length st.a1out_mem >= st.a1out_capacity then begin
-    let rec pop_live () =
-      match Queue.pop st.a1out with
-      | victim when Hashtbl.mem st.a1out_mem victim -> Hashtbl.remove st.a1out_mem victim
-      | _ -> pop_live ()
-      | exception Queue.Empty -> ()
-    in
-    pop_live ()
-  end;
+  if Hashtbl.length st.a1out_mem >= st.a1out_capacity then ghost_pop_live st;
   Queue.push k st.a1out;
   Hashtbl.replace st.a1out_mem k ()
 
+(* Evict A1in's oldest resident to the ghost queue. *)
+let rec a1in_pop_live st =
+  match Queue.pop st.a1in with
+  | victim when Hashtbl.mem st.a1in_mem victim ->
+      Hashtbl.remove st.a1in_mem victim;
+      st.stats.Cache_stats.evictions <- st.stats.Cache_stats.evictions + 1;
+      st.on_evict victim;
+      ghost_stage st victim
+  | _ -> a1in_pop_live st
+  | exception Queue.Empty -> ()
+
 (* Admit into A1in, spilling its oldest resident to the ghost queue. *)
 let a1in_admit st k =
-  if Hashtbl.length st.a1in_mem >= st.a1in_capacity then begin
-    let rec pop_live () =
-      match Queue.pop st.a1in with
-      | victim when Hashtbl.mem st.a1in_mem victim ->
-          Hashtbl.remove st.a1in_mem victim;
-          st.stats.Cache_stats.evictions <- st.stats.Cache_stats.evictions + 1;
-          st.on_evict victim;
-          ghost_stage st victim
-      | _ -> pop_live ()
-      | exception Queue.Empty -> ()
-    in
-    pop_live ()
-  end;
+  if Hashtbl.length st.a1in_mem >= st.a1in_capacity then a1in_pop_live st;
   Queue.push k st.a1in;
   Hashtbl.replace st.a1in_mem k ()
 
@@ -125,6 +123,19 @@ let create ~capacity : 'k Policy.t =
     Hashtbl.iter (fun k () -> f k) st.a1in_mem
   in
   let set_on_evict f = st.on_evict <- f in
+  let resize n =
+    (* recompute all three areas from the new total, spilling A1in
+       overflow to the ghost queue before Am shrinks *)
+    st.a1in_capacity <- (if n < 2 then 0 else max 1 (n / 4));
+    st.a1out_capacity <- max 1 (n / 2);
+    while Hashtbl.length st.a1in_mem > st.a1in_capacity do
+      a1in_pop_live st
+    done;
+    Policy.resize st.am (max 1 (n - st.a1in_capacity));
+    while Hashtbl.length st.a1out_mem > st.a1out_capacity do
+      ghost_pop_live st
+    done
+  in
   {
     Policy.name = "2q-full";
     capacity;
@@ -136,5 +147,6 @@ let create ~capacity : 'k Policy.t =
     size;
     iter;
     set_on_evict;
+    resize;
     stats = st.stats;
   }

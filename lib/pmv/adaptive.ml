@@ -1,0 +1,59 @@
+(* Heavy-light classification of maintenance keys (DESIGN.md Section
+   17, after Abo-Khamis/Olteanu's heavy-light partitioning): a view's
+   deferred maintenance observes the update key of every deleted or
+   updated base tuple (its projection onto the relation's Ls'
+   attributes — the same key the auxiliary indexes bucket by) in a
+   decaying count-min sketch. Keys whose recent update frequency
+   clears an adaptive threshold are heavy: their victims are removed
+   eagerly, keeping the hot entries exact. The long tail is light:
+   its deltas only mark the affected entries lapsed, to be purged and
+   refilled on next probe, making maintenance cost track the heavy
+   head instead of the full update volume.
+
+   The threshold adapts with volume: a key is heavy when its estimate
+   reaches [heavy_share] of the decayed total, floored at
+   [heavy_min]. Because the sketch never under-counts, a key at or
+   above the threshold by true frequency is never classified light;
+   misclassifying cannot affect answers either way (lapse keeps
+   answers exact), only where the maintenance work happens. *)
+
+type t = {
+  sketch : Freq_sketch.t;
+  heavy_min : int;  (* absolute estimate floor for heavy *)
+  heavy_share : float;  (* fraction of the decayed total *)
+  mutable heavy : int;  (* classification counters *)
+  mutable light : int;
+}
+
+let create ?(rows = 4) ?(width = 1024) ?(decay_every = 8192) ?(heavy_min = 4)
+    ?(heavy_share = 0.01) () =
+  if heavy_min <= 0 then invalid_arg "Adaptive.create: heavy_min must be positive";
+  if heavy_share <= 0.0 || heavy_share > 1.0 then
+    invalid_arg "Adaptive.create: heavy_share must be in (0, 1]";
+  {
+    sketch = Freq_sketch.create ~rows ~width ~decay_every ();
+    heavy_min;
+    heavy_share;
+    heavy = 0;
+    light = 0;
+  }
+
+let threshold t =
+  max t.heavy_min
+    (int_of_float (Float.ceil (t.heavy_share *. float_of_int (Freq_sketch.total t.sketch))))
+
+(* Observe one update of [key] and classify it against the
+   post-observation threshold. *)
+let observe t key =
+  let est = Freq_sketch.observe t.sketch key in
+  let heavy = est >= threshold t in
+  if heavy then t.heavy <- t.heavy + 1 else t.light <- t.light + 1;
+  heavy
+
+let sketch t = t.sketch
+let n_heavy t = t.heavy
+let n_light t = t.light
+
+let reset_counters t =
+  t.heavy <- 0;
+  t.light <- 0

@@ -1,0 +1,34 @@
+(** Heavy-light classifier for adaptive deferred maintenance (DESIGN.md
+    Section 17). Classifies per-relation update keys (base-tuple
+    projections onto a relation's Ls' attributes) by recent update
+    frequency: heavy keys keep eager victim maintenance, light keys
+    only lapse the affected entries. The sketch never under-counts, so
+    a key truly at or above the threshold is never classified light. *)
+
+type t
+
+(** Sketch dimensions as in {!Freq_sketch.create}; a key is heavy when
+    its estimate reaches [heavy_share] of the decayed observation
+    total, floored at [heavy_min]. *)
+val create :
+  ?rows:int ->
+  ?width:int ->
+  ?decay_every:int ->
+  ?heavy_min:int ->
+  ?heavy_share:float ->
+  unit ->
+  t
+
+(** Count one update of [key] and return whether it is heavy. *)
+val observe : t -> 'a -> bool
+
+(** Current heavy threshold (adapts with observed volume). *)
+val threshold : t -> int
+
+val sketch : t -> Freq_sketch.t
+
+(** Classification counters since creation (or [reset_counters]). *)
+val n_heavy : t -> int
+
+val n_light : t -> int
+val reset_counters : t -> unit

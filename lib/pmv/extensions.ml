@@ -24,6 +24,13 @@ let note_shape = function
   | `Ordered -> count_shape c_shape_ordered
   | `Exists -> count_shape c_shape_exists
 
+(* Per-view shaped-answer count: the budget arbiter's value measure
+   weighs shaped traffic alongside plain probe hits (DESIGN.md
+   Section 17). *)
+let note_view_shape view =
+  let s = View.stats view in
+  s.View.shaped_queries <- s.View.shaped_queries + 1
+
 (* --- DISTINCT --- *)
 
 (* Answer with set semantics: each distinct result tuple is delivered
@@ -32,6 +39,7 @@ let note_shape = function
    from O2 are surfaced, and O3 suppresses anything already delivered. *)
 let answer_distinct ?locks ?txn ?probe_path ~view catalog instance ~on_tuple =
   count_shape c_shape_distinct;
+  note_view_shape view;
   let seen = Tuple.Table.create 256 in
   let dedup phase tuple =
     if not (Tuple.Table.mem seen tuple) then begin
@@ -200,6 +208,7 @@ let fold_group tbl ~key ~aggs tuple =
    the accumulators inherit exactly-once too. *)
 let answer_groups ?locks ?txn ?probe_path ~view catalog instance ~key ~aggs =
   count_shape c_shape_grouped;
+  note_view_shape view;
   let partial_tbl = Tuple.Table.create 64 and exact_tbl = Tuple.Table.create 64 in
   let on_tuple phase tuple =
     (match phase with
@@ -254,7 +263,10 @@ let probe_groups ?(probe_path = Answer.Locked) ~view instance ~key ~aggs =
             match Entry_store.find store bcp with
             | None -> None
             | Some entry ->
-                if not (Entry_store.version_trusted store (Atomic.get entry.published))
+                if
+                  Entry_store.is_lapsed entry
+                  || not
+                       (Entry_store.version_trusted store (Atomic.get entry.published))
                 then None
                 else
                   let part =
@@ -297,6 +309,7 @@ let probe_groups ?(probe_path = Answer.Locked) ~view instance ~key ~aggs =
    comparator). *)
 let answer_ordered_k ?locks ?txn ?probe_path ~view catalog instance ~order ~k =
   count_shape c_shape_ordered;
+  note_view_shape view;
   if k <= 0 then invalid_arg "Extensions.answer_ordered_k: k must be positive";
   let all = ref [] in
   let stats =
@@ -323,7 +336,8 @@ let cached_witness ?(probe_path = Answer.Locked) ~view instance =
   match probe_path with
     | Answer.Locked ->
         (* a cached tuple is a valid witness only while no relevant
-           delta is waiting in deferred maintenance *)
+           delta is waiting in deferred maintenance and its entry has
+           not lapsed (a lapsed entry's tuples may be stale) *)
         let store = View.store view in
         View.pending_deltas view = []
         && List.exists
@@ -331,9 +345,10 @@ let cached_witness ?(probe_path = Answer.Locked) ~view instance =
                match Entry_store.find store (Condition_part.bcp cp) with
                | None -> false
                | Some entry ->
-                   List.exists
-                     (fun tuple -> Condition_part.check compiled cp tuple)
-                     entry.Entry_store.tuples)
+                   (not (Entry_store.is_lapsed entry))
+                   && List.exists
+                        (fun tuple -> Condition_part.check compiled cp tuple)
+                        entry.Entry_store.tuples)
              cps
     | Answer.Epoch ->
         (* lock-free: only a trusted complete version proves freshness *)
@@ -351,6 +366,7 @@ let cached_witness ?(probe_path = Answer.Locked) ~view instance =
 
 let exists_ ?(probe_path = Answer.Locked) ~view catalog instance =
   count_shape c_shape_exists;
+  note_view_shape view;
   if cached_witness ~probe_path ~view instance then (true, `From_pmv)
   else
     let plan = Minirel_exec.Planner.plan_query catalog instance in

@@ -1,0 +1,72 @@
+(* Space-bounded update-frequency sketch for heavy-light maintenance
+   (DESIGN.md Section 17): a count-min sketch [d rows x w counters]
+   with periodic decay. Each observed key increments one counter per
+   row (seeded-hash indexed); the estimate is the minimum over rows,
+   so it never under-counts — a key whose true frequency clears the
+   heavy threshold can never be classified light (the property the
+   qcheck suite pins down). Every [decay_every] observations all
+   counters and the running total halve, so the classification tracks
+   the recent update distribution instead of all history. *)
+
+type t = {
+  rows : int array array;  (* d x w counters *)
+  seeds : int array;  (* one hash seed per row *)
+  width : int;
+  decay_every : int;
+  mutable total : int;  (* decayed observation count *)
+  mutable since_decay : int;
+}
+
+let create ?(rows = 4) ?(width = 1024) ?(decay_every = 8192) () =
+  if rows <= 0 || width <= 0 || decay_every <= 0 then
+    invalid_arg "Freq_sketch.create: all parameters must be positive";
+  {
+    rows = Array.init rows (fun _ -> Array.make width 0);
+    (* fixed seeds: deterministic across runs, distinct across rows *)
+    seeds = Array.init rows (fun i -> (i * 0x9e3779b1) lxor 0x5bd1e995);
+    width;
+    decay_every;
+    total = 0;
+    since_decay = 0;
+  }
+
+let cell t i key = Hashtbl.seeded_hash t.seeds.(i) key mod t.width
+
+(* Halve every counter and the total: old observations fade
+   geometrically, and no estimate ever increases (decay
+   monotonicity). *)
+let decay t =
+  Array.iter (fun row -> Array.iteri (fun j c -> row.(j) <- c / 2) row) t.rows;
+  t.total <- t.total / 2;
+  t.since_decay <- 0
+
+(* Count one observation of [key]; returns the key's updated estimate
+   (the min over rows, read during the increment pass). *)
+let observe t key =
+  let est = ref max_int in
+  Array.iteri
+    (fun i row ->
+      let j = cell t i key in
+      let c = row.(j) + 1 in
+      row.(j) <- c;
+      if c < !est then est := c)
+    t.rows;
+  t.total <- t.total + 1;
+  t.since_decay <- t.since_decay + 1;
+  let e = !est in
+  if t.since_decay >= t.decay_every then decay t;
+  e
+
+(* Read-only estimate: min over rows, no count. *)
+let estimate t key =
+  let est = ref max_int in
+  Array.iteri
+    (fun i row ->
+      let c = row.(cell t i key) in
+      if c < !est then est := c)
+    t.rows;
+  !est
+
+let total t = t.total
+let width t = t.width
+let n_rows t = Array.length t.rows

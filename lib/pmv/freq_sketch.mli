@@ -1,0 +1,32 @@
+(** Count-min frequency sketch with periodic decay, used by heavy-light
+    adaptive maintenance (DESIGN.md Section 17) to classify per-bcp
+    update keys by recent update frequency in bounded space.
+
+    Estimates never under-count (min over [rows] over-approximating
+    counters), so a key whose true observation count reaches a
+    threshold always estimates at or above it; [decay] halves every
+    counter so estimates track the recent distribution and never
+    increase across a decay. *)
+
+type t
+
+(** [rows] hash rows of [width] counters each; counters and the total
+    halve after every [decay_every] observations.
+    @raise Invalid_argument unless all parameters are positive. *)
+val create : ?rows:int -> ?width:int -> ?decay_every:int -> unit -> t
+
+(** Count one observation of [key] (any hashable value) and return its
+    updated estimate. May trigger a decay after updating. *)
+val observe : t -> 'a -> int
+
+(** Estimate [key]'s observation count without counting. *)
+val estimate : t -> 'a -> int
+
+(** Halve all counters and the total now. *)
+val decay : t -> unit
+
+(** Decayed total number of observations. *)
+val total : t -> int
+
+val width : t -> int
+val n_rows : t -> int

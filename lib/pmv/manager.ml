@@ -14,7 +14,17 @@ open Minirel_query
 module Catalog = Minirel_index.Catalog
 module Plan_cache = Minirel_exec.Plan_cache
 
-type entry = { view : View.t; ub_bytes : int option }
+type entry = {
+  view : View.t;
+  mutable ub_bytes : int option;
+  (* budget-arbiter state (DESIGN.md Section 17): cumulative stat
+     snapshots at the last rebalance and the EMA-smoothed measured
+     hit-value-per-byte since *)
+  mutable ema_value : float;
+  mutable last_hits : int;
+  mutable last_partials : int;
+  mutable last_shaped : int;
+}
 
 type t = {
   catalog : Catalog.t;
@@ -25,6 +35,11 @@ type t = {
   mutable txn_mgr : Minirel_txn.Txn.t option;
   default_f_max : int;
   default_policy : Minirel_cache.Policies.kind;
+  default_adaptive : bool;  (* new views get a heavy-light classifier *)
+  mutable budget_total : int option;  (* global UB across all views *)
+  mutable rebalance_every : int option;  (* auto-rebalance period, in answers *)
+  mutable answers_since_rebalance : int;
+  mutable rebalances : int;
 }
 
 (* Register a view as telemetry source [pmv.<template>]: query/fill
@@ -42,6 +57,10 @@ let register_view_telemetry ?(registry = Minirel_telemetry.Registry.default) vie
       vstats.View.skipped_inserts <- 0;
       vstats.View.maint_removed <- 0;
       vstats.View.maint_skipped_updates <- 0;
+      vstats.View.shaped_queries <- 0;
+      (match View.adaptive view with
+      | Some ad -> Adaptive.reset_counters ad
+      | None -> ());
       Minirel_cache.Cache_stats.reset (Entry_store.policy_stats (View.store view)))
     (fun () ->
       [
@@ -52,11 +71,23 @@ let register_view_telemetry ?(registry = Minirel_telemetry.Registry.default) vie
         ("skipped_inserts", R.Counter vstats.View.skipped_inserts);
         ("maint_removed", R.Counter vstats.View.maint_removed);
         ("maint_skipped_updates", R.Counter vstats.View.maint_skipped_updates);
+        ("shaped_queries", R.Counter vstats.View.shaped_queries);
         ("entries", R.Gauge (float_of_int (View.n_entries view)));
         ("tuples", R.Gauge (float_of_int (View.n_tuples view)));
         ("bytes", R.Gauge (float_of_int (View.size_bytes view)));
         ("hit_ratio", R.Gauge (View.hit_ratio view));
       ]
+      @ (let store = View.store view in
+         ("maint.lapsed", R.Counter (Entry_store.n_lapse_marked store))
+         :: ("maint.recomputed", R.Counter (Entry_store.n_lapse_recomputed store))
+         ::
+         (match View.adaptive view with
+         | Some ad ->
+             [
+               ("maint.heavy", R.Counter (Adaptive.n_heavy ad));
+               ("maint.light", R.Counter (Adaptive.n_light ad));
+             ]
+         | None -> []))
       @ (let ps = View.probe_store view in
          let es = Entry_store.epoch_stats ps in
          [
@@ -72,7 +103,8 @@ let register_view_telemetry ?(registry = Minirel_telemetry.Registry.default) vie
              (Entry_store.policy_stats (View.store view))))
 
 let create ?(default_f_max = 2) ?(default_policy = Minirel_cache.Policies.Clock)
-    ?(registry = Minirel_telemetry.Registry.default) catalog =
+    ?(default_adaptive = false) ?(registry = Minirel_telemetry.Registry.default)
+    catalog =
   let t =
     {
       catalog;
@@ -83,6 +115,11 @@ let create ?(default_f_max = 2) ?(default_policy = Minirel_cache.Policies.Clock)
       txn_mgr = None;
       default_f_max;
       default_policy;
+      default_adaptive;
+      budget_total = None;
+      rebalance_every = None;
+      answers_since_rebalance = 0;
+      rebalances = 0;
     }
   in
   (* A manager is the engine's chokepoint, so creating one (re)binds its
@@ -110,12 +147,13 @@ let default_avg_tuple_bytes = 64
    refines At from representative result tuples. Alternatively pass
    [capacity] directly. @raise Invalid_argument when the template
    already has a view or when neither capacity nor budget is given. *)
-let create_view ?policy ?f_max ?capacity ?ub_bytes ?(sample = []) t compiled =
+let create_view ?policy ?f_max ?capacity ?ub_bytes ?(sample = []) ?adaptive t compiled =
   let name = compiled.Template.spec.Template.name in
   if Hashtbl.mem t.views name then
     invalid_arg (Fmt.str "Manager.create_view: template %s already has a view" name);
   let f_max = Option.value ~default:t.default_f_max f_max in
   let policy = Option.value ~default:t.default_policy policy in
+  let adaptive = Option.value ~default:t.default_adaptive adaptive in
   let capacity =
     match (capacity, ub_bytes) with
     | Some c, _ -> c
@@ -129,11 +167,23 @@ let create_view ?policy ?f_max ?capacity ?ub_bytes ?(sample = []) t compiled =
         invalid_arg "Manager.create_view: pass either ~capacity or ~ub_bytes"
   in
   let view = View.create ~policy ~f_max ~capacity ~name compiled in
-  Hashtbl.replace t.views name { view; ub_bytes };
+  if adaptive then View.set_adaptive view (Some (Adaptive.create ()));
+  Hashtbl.replace t.views name
+    { view; ub_bytes; ema_value = 0.0; last_hits = 0; last_partials = 0; last_shaped = 0 };
   t.order <- name :: t.order;
   register_view_telemetry ~registry:t.registry view;
   (match t.txn_mgr with Some mgr -> Maintain.attach view mgr | None -> ());
   view
+
+(* Turn heavy-light maintenance on or off for every registered view.
+   Turning it on keeps an already-trained classifier in place. *)
+let set_adaptive_all t on =
+  List.iter
+    (fun e ->
+      if not on then View.set_adaptive e.view None
+      else if View.adaptive e.view = None then
+        View.set_adaptive e.view (Some (Adaptive.create ())))
+    (entries t)
 
 (* Attach deferred maintenance for every current and future view. *)
 let attach_maintenance t mgr =
@@ -149,6 +199,98 @@ let drop_view t ~template =
   Hashtbl.remove t.views template;
   t.order <- List.filter (fun n -> n <> template) t.order
 
+(* ---- Global UB budget arbitration (DESIGN.md Section 17) ----
+
+   Instead of freezing each template's UB at creation, the manager can
+   own one global byte budget and periodically re-split it by measured
+   value: since the last rebalance each view earned
+
+     value = d(query_hits) + d(shaped_queries) + 0.01 * d(partial_tuples)
+
+   (a shaped or plain hit each count 1; raw partial tuples count at 1%
+   so a view streaming many tuples per hit doesn't drown the others).
+   Value per byte is EMA-smoothed (alpha 0.5) so one quiet interval
+   doesn't zero a previously useful template, each view's share is
+   floored at half its equal share to keep starvation bounded, and the
+   new per-view UB feeds the same Section 3.2 rule (L = UB/(F*At*1.04),
+   2Q's Am correction included) used at creation. *)
+
+module Tm = Minirel_telemetry.Telemetry
+
+let c_rebalance = Tm.counter "budget.rebalance"
+
+let set_global_budget ?auto_every t total =
+  if total <= 0 then invalid_arg "Manager.set_global_budget: total must be positive";
+  (match auto_every with
+  | Some n when n <= 0 -> invalid_arg "Manager.set_global_budget: auto_every must be positive"
+  | _ -> ());
+  t.budget_total <- Some total;
+  t.rebalance_every <- auto_every;
+  t.answers_since_rebalance <- 0
+
+let global_budget t = t.budget_total
+let rebalances t = t.rebalances
+
+let rebalance t =
+  match t.budget_total with
+  | None -> []
+  | Some total ->
+      let es = entries t in
+      let n = List.length es in
+      if n = 0 then []
+      else begin
+        (* measured hit-value-per-byte since the last rebalance, EMA-smoothed *)
+        List.iter
+          (fun e ->
+            let vstats = View.stats e.view in
+            let hits = vstats.View.query_hits in
+            let partials = vstats.View.partial_tuples in
+            let shaped = vstats.View.shaped_queries in
+            let value =
+              float_of_int (hits - e.last_hits)
+              +. float_of_int (shaped - e.last_shaped)
+              +. (0.01 *. float_of_int (partials - e.last_partials))
+            in
+            e.last_hits <- hits;
+            e.last_partials <- partials;
+            e.last_shaped <- shaped;
+            let vpb = value /. float_of_int (max 1 (View.size_bytes e.view)) in
+            e.ema_value <- (if e.ema_value = 0.0 then vpb else (0.5 *. e.ema_value) +. (0.5 *. vpb)))
+          es;
+        let sum = List.fold_left (fun acc e -> acc +. e.ema_value) 0.0 es in
+        let equal = 1.0 /. float_of_int n in
+        let raw_share e = if sum <= 0.0 then equal else e.ema_value /. sum in
+        (* floor at half the equal share so no template starves outright *)
+        let shares = List.map (fun e -> (e, Float.max (0.5 *. equal) (raw_share e))) es in
+        let norm = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 shares in
+        t.rebalances <- t.rebalances + 1;
+        if Tm.is_enabled () then Minirel_telemetry.Registry.incr c_rebalance;
+        List.map
+          (fun (e, share) ->
+            let ub = int_of_float (float_of_int total *. share /. norm) in
+            e.ub_bytes <- Some ub;
+            let store = View.store e.view in
+            let avg =
+              let nt = Entry_store.n_tuples store in
+              if nt > 0 then max 1 (Entry_store.tuple_bytes store / nt)
+              else default_avg_tuple_bytes
+            in
+            let l =
+              Sizing.max_entries
+                { Sizing.ub_bytes = ub; f_max = Entry_store.f_max store; avg_tuple_bytes = avg }
+            in
+            let l =
+              if Entry_store.policy_name store = "2q" then Sizing.two_q_am_of_clock_l l else l
+            in
+            Entry_store.resize store ~capacity:l;
+            Entry_store.resize (View.probe_store e.view) ~capacity:(4 * l);
+            Minirel_telemetry.Flight.record Minirel_telemetry.Flight.Budget_rebalance
+              ~a:(Minirel_telemetry.Flight.intern (View.name e.view))
+              ~b:l;
+            (View.name e.view, l))
+          shares
+      end
+
 (* Answer through the template's view when one exists, plainly
    otherwise. Returns the stats and whether a view was used. Plans come
    from the manager's template plan cache. *)
@@ -156,9 +298,19 @@ let answer ?locks ?txn ?par ?profile ?probe_path ?trace t instance ~on_tuple =
   let name = (Instance.compiled instance).Template.spec.Template.name in
   match find t ~template:name with
   | Some view ->
-      ( Answer.answer ?locks ?txn ~plan_cache:t.plan_cache ?par ?profile ?probe_path
-          ?trace ~view t.catalog instance ~on_tuple,
-        true )
+      let r =
+        Answer.answer ?locks ?txn ~plan_cache:t.plan_cache ?par ?profile ?probe_path
+          ?trace ~view t.catalog instance ~on_tuple
+      in
+      (match t.rebalance_every with
+      | Some every ->
+          t.answers_since_rebalance <- t.answers_since_rebalance + 1;
+          if t.answers_since_rebalance >= every then begin
+            t.answers_since_rebalance <- 0;
+            ignore (rebalance t)
+          end
+      | None -> ());
+      (r, true)
   | None ->
       ( Answer.answer_plain ~plan_cache:t.plan_cache ?par ?profile ?trace t.catalog
           instance ~on_tuple,

@@ -10,10 +10,13 @@ type t
 
 (** [registry] receives the engine-level telemetry sources (buffer
     pool, plan cache, executor) and every per-view [pmv.<template>]
-    source; default: the process-global registry. *)
+    source; default: the process-global registry. [default_adaptive]
+    (default false) gives every new view a heavy-light maintenance
+    classifier (DESIGN.md Section 17). *)
 val create :
   ?default_f_max:int ->
   ?default_policy:Minirel_cache.Policies.kind ->
+  ?default_adaptive:bool ->
   ?registry:Minirel_telemetry.Registry.t ->
   Minirel_index.Catalog.t ->
   t
@@ -36,6 +39,8 @@ val find : t -> template:string -> View.t option
     ([capacity]) or from a storage budget ([ub_bytes], with [sample]
     result tuples refining the paper's At). If maintenance is attached,
     the new view subscribes immediately.
+    [adaptive] (default: the manager's [default_adaptive]) attaches a
+    heavy-light maintenance classifier to the new view.
     @raise Invalid_argument when the template already has a view or
     when neither [capacity] nor [ub_bytes] is given. *)
 val create_view :
@@ -44,9 +49,39 @@ val create_view :
   ?capacity:int ->
   ?ub_bytes:int ->
   ?sample:Minirel_storage.Tuple.t list ->
+  ?adaptive:bool ->
   t ->
   Template.compiled ->
   View.t
+
+(** Turn heavy-light maintenance on or off for every registered view;
+    turning it on keeps an already-trained classifier in place. *)
+val set_adaptive_all : t -> bool -> unit
+
+(** {2 Global UB budget arbitration (DESIGN.md Section 17)}
+
+    Instead of freezing each template's UB at creation, the manager can
+    own one global byte budget: {!rebalance} re-splits it across
+    templates in proportion to their EMA-smoothed measured
+    hit-value-per-byte (hits + shaped answers + 1% of partial tuples,
+    per byte of footprint), floors every share at half the equal share,
+    and resizes each view's entry store (and 4x probe store) through
+    the Section 3.2 rule. *)
+
+(** [set_global_budget ?auto_every t total] arms the arbiter with
+    [total] bytes across all views; when [auto_every] is given,
+    {!answer} triggers a rebalance every that many view-answered
+    queries. @raise Invalid_argument on non-positive arguments. *)
+val set_global_budget : ?auto_every:int -> t -> int -> unit
+
+val global_budget : t -> int option
+
+(** Re-split the global budget now; returns the new (template, L) pairs
+    ([] when no budget is armed or no views exist). *)
+val rebalance : t -> (string * int) list
+
+(** Rebalances performed since creation. *)
+val rebalances : t -> int
 
 (** Attach deferred maintenance for every current and future view. *)
 val attach_maintenance : t -> Minirel_txn.Txn.t -> unit

@@ -33,6 +33,7 @@ type stats = {
   mutable skipped_inserts : int;  (* base inserts needing no maintenance *)
   mutable maint_removed : int;  (* tuples dropped by deferred maintenance *)
   mutable maint_skipped_updates : int;  (* updates not touching Ls'/Cjoin *)
+  mutable shaped_queries : int;  (* §3.6 shaped answers (distinct/grouped/...) *)
 }
 
 type t = {
@@ -48,6 +49,8 @@ type t = {
   relevant : int list array;  (* per relation: positions that matter to the view *)
   mutable pending_deltas : Minirel_txn.Txn.delta list;
       (* maintenance deferred past a reader's S lock (newest first) *)
+  mutable adaptive : Adaptive.t option;
+      (* heavy-light classifier; None = pure eager maintenance *)
 }
 
 let empty_stats () =
@@ -59,6 +62,7 @@ let empty_stats () =
     skipped_inserts = 0;
     maint_removed = 0;
     maint_skipped_updates = 0;
+    shaped_queries = 0;
   }
 
 (* Positions (in relation [i]'s schema) that matter to the view: Ls'
@@ -168,6 +172,7 @@ let create ?(policy = Minirel_cache.Policies.Clock) ?(f_max = 2) ?(aux_maintenan
       stats = empty_stats ();
       relevant;
       pending_deltas = [];
+      adaptive = None;
     }
   in
   Entry_store.set_on_change store (fun change bcp tuple ->
@@ -179,6 +184,20 @@ let create ?(policy = Minirel_cache.Policies.Clock) ?(f_max = 2) ?(aux_maintenan
 
 let pending_deltas t = t.pending_deltas
 let set_pending_deltas t ds = t.pending_deltas <- ds
+
+(* Heavy-light adaptive maintenance (DESIGN.md Section 17). The light
+   (lapse) path needs the auxiliary indexes to locate affected entries,
+   so a view without them classifies every key heavy — pure eager. *)
+let adaptive t = t.adaptive
+let set_adaptive t ad = t.adaptive <- ad
+
+(* The update key of [base] under relation [rel]: its projection onto
+   the relation's Ls' attributes — the same key the auxiliary index
+   buckets by, and the key the heavy-light classifier observes. *)
+let aux_base_key t ~rel base =
+  match t.aux with
+  | None -> None
+  | Some auxes -> Some (aux_key_of_base auxes.(rel) base)
 
 let name t = t.name
 let compiled t = t.compiled

@@ -27,6 +27,8 @@ type token =
   | METRICS
   | SLO
   | FLIGHT
+  | MAINT
+  | BUDGET
   | GROUP
   | ORDER
   | BY
@@ -75,6 +77,8 @@ let token_to_string = function
   | METRICS -> "METRICS"
   | SLO -> "SLO"
   | FLIGHT -> "FLIGHT"
+  | MAINT -> "MAINT"
+  | BUDGET -> "BUDGET"
   | GROUP -> "GROUP"
   | ORDER -> "ORDER"
   | BY -> "BY"
@@ -132,6 +136,8 @@ let keyword_of_string s =
   | "metrics" -> Some METRICS
   | "slo" -> Some SLO
   | "flight" -> Some FLIGHT
+  | "maint" -> Some MAINT
+  | "budget" -> Some BUDGET
   | "group" -> Some GROUP
   | "order" -> Some ORDER
   | "by" -> Some BY

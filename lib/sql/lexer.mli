@@ -27,6 +27,8 @@ type token =
   | METRICS
   | SLO
   | FLIGHT
+  | MAINT
+  | BUDGET
   | GROUP
   | ORDER
   | BY

@@ -380,6 +380,45 @@ let parse_statement input =
           | _ -> Flight_dump
         in
         St_flight { arg }
+    | Lexer.MAINT ->
+        advance st;
+        let arg =
+          match peek st with
+          | Lexer.ON ->
+              (* ON is already a keyword (CREATE INDEX ... ON) *)
+              advance st;
+              Maint_on
+          | Lexer.IDENT id when String.lowercase_ascii id = "off" ->
+              advance st;
+              Maint_off
+          | Lexer.IDENT id when String.lowercase_ascii id = "status" ->
+              advance st;
+              Maint_status
+          | _ -> Maint_status
+        in
+        St_maint { arg }
+    | Lexer.BUDGET ->
+        advance st;
+        let arg =
+          match peek st with
+          | Lexer.IDENT id when String.lowercase_ascii id = "rebalance" ->
+              advance st;
+              Budget_rebalance
+          | Lexer.IDENT id when String.lowercase_ascii id = "total" -> (
+              advance st;
+              match peek st with
+              | Lexer.INT bytes when bytes > 0 ->
+                  advance st;
+                  Budget_total bytes
+              | t ->
+                  fail "expected a positive byte count after BUDGET TOTAL, found %s"
+                    (Lexer.token_to_string t))
+          | Lexer.IDENT id when String.lowercase_ascii id = "status" ->
+              advance st;
+              Budget_status
+          | _ -> Budget_status
+        in
+        St_budget { arg }
     | t -> fail "expected a statement, found %s" (Lexer.token_to_string t)
   in
   expect st Lexer.EOF;

@@ -17,6 +17,9 @@ type kind =
   | Fault_hit
   | Maint_defer
   | Maint_apply
+  | Maint_lapse  (** light-key lapse mark: [a]=tuples left in the entry *)
+  | Maint_recompute  (** lapsed entry purged at reference: [a]=tuples dropped *)
+  | Budget_rebalance  (** arbiter resized a view: [a]=template id, [b]=new L *)
   | Slo_breach
   | Dump_trigger
   | Sched_steal  (** a pool worker stole a task: [a]=thief ix, [b]=victim ix *)

@@ -1,0 +1,311 @@
+(* Heavy-light adaptive maintenance (DESIGN.md Section 17): the
+   frequency sketch's safety properties, the lapse path's answer
+   equivalence with eager maintenance — single engine and sharded,
+   locked and epoch probe paths — the flush_pending interaction with
+   lapsed keys, and the budget arbiter's resize machinery. *)
+
+open Minirel_storage
+open Minirel_query
+module View = Pmv.View
+module Manager = Pmv.Manager
+module Maintain = Pmv.Maintain
+module Txn = Minirel_txn.Txn
+module Torture = Minirel_check.Torture
+module Policy = Minirel_cache.Policy
+
+let check = Alcotest.check
+let vi i = Value.Int i
+
+(* --- frequency sketch properties --- *)
+
+(* Count-min never under-counts: min-over-rows only over-approximates,
+   so with decay off every key estimates at or above its true count. *)
+let qcheck_sketch_overcounts =
+  QCheck2.Test.make ~name:"sketch never under-counts (decay off)" ~count:200
+    QCheck2.Gen.(list_size (int_bound 300) (int_bound 25))
+    (fun keys ->
+      let s = Pmv.Freq_sketch.create ~rows:2 ~width:32 ~decay_every:1_000_000 () in
+      List.iter (fun k -> ignore (Pmv.Freq_sketch.observe s k)) keys;
+      let truth = Hashtbl.create 16 in
+      List.iter
+        (fun k ->
+          Hashtbl.replace truth k (1 + Option.value ~default:0 (Hashtbl.find_opt truth k)))
+        keys;
+      Hashtbl.fold
+        (fun k n ok -> ok && Pmv.Freq_sketch.estimate s k >= n)
+        truth true)
+
+(* Decay halves: every estimate lands in [est/2, est] — monotone
+   non-increasing, and never below the floor of the halving. *)
+let qcheck_sketch_decay_monotone =
+  QCheck2.Test.make ~name:"sketch decay is monotone halving" ~count:200
+    QCheck2.Gen.(list_size (int_bound 300) (int_bound 25))
+    (fun keys ->
+      let s = Pmv.Freq_sketch.create ~rows:3 ~width:32 ~decay_every:1_000_000 () in
+      List.iter (fun k -> ignore (Pmv.Freq_sketch.observe s k)) keys;
+      let before = List.init 26 (fun k -> Pmv.Freq_sketch.estimate s k) in
+      let total_before = Pmv.Freq_sketch.total s in
+      Pmv.Freq_sketch.decay s;
+      Pmv.Freq_sketch.total s <= total_before
+      && List.for_all2
+           (fun b k ->
+             let a = Pmv.Freq_sketch.estimate s k in
+             a <= b && a >= b / 2)
+           before
+           (List.init 26 Fun.id))
+
+(* No false-light: a key whose true count reaches the classifier's
+   threshold can never estimate below it, so it is never light. *)
+let qcheck_no_false_light =
+  QCheck2.Test.make ~name:"no false-light above the heavy threshold" ~count:200
+    QCheck2.Gen.(list_size (int_bound 400) (int_bound 25))
+    (fun keys ->
+      let a =
+        Pmv.Adaptive.create ~rows:2 ~width:32 ~decay_every:1_000_000 ~heavy_min:4 ()
+      in
+      List.iter (fun k -> ignore (Pmv.Adaptive.observe a k)) keys;
+      let truth = Hashtbl.create 16 in
+      List.iter
+        (fun k ->
+          Hashtbl.replace truth k (1 + Option.value ~default:0 (Hashtbl.find_opt truth k)))
+        keys;
+      let thr = Pmv.Adaptive.threshold a in
+      let sk = Pmv.Adaptive.sketch a in
+      Hashtbl.fold
+        (fun k n ok -> ok && (n < thr || Pmv.Freq_sketch.estimate sk k >= thr))
+        truth true)
+
+let test_classifier_heavy_light () =
+  let a = Pmv.Adaptive.create ~heavy_min:4 ~decay_every:1_000_000 () in
+  let heavy_at = ref 0 in
+  for i = 1 to 10 do
+    if Pmv.Adaptive.observe a "hot" && !heavy_at = 0 then heavy_at := i
+  done;
+  check Alcotest.bool "hot key turns heavy" true (!heavy_at > 0 && !heavy_at <= 4);
+  check Alcotest.bool "fresh key is light" false (Pmv.Adaptive.observe a "cold");
+  check Alcotest.bool "both classes counted" true
+    (Pmv.Adaptive.n_heavy a > 0 && Pmv.Adaptive.n_light a > 0);
+  Pmv.Adaptive.reset_counters a;
+  check Alcotest.int "counters reset" 0 (Pmv.Adaptive.n_heavy a + Pmv.Adaptive.n_light a)
+
+(* --- differential: adaptive == eager answers --- *)
+
+(* Two identical engines, one eager aux-index and one adaptive, replay
+   the same delete stream; every instance must answer exactly like
+   brute force on both, under both probe paths. *)
+let test_adaptive_matches_eager () =
+  let build () =
+    let catalog = Helpers.fresh_catalog () in
+    Helpers.build_rs catalog;
+    let c = Template.compile catalog Helpers.eqt_spec in
+    let view = View.create ~capacity:30 ~f_max:3 ~name:"eqt" c in
+    let mgr = Txn.create catalog in
+    (catalog, c, view, mgr)
+  in
+  let catalog_e, c_e, view_e, mgr_e = build () in
+  let catalog_a, c_a, view_a, mgr_a = build () in
+  View.set_adaptive view_a (Some (Pmv.Adaptive.create ~heavy_min:3 ()));
+  Maintain.attach ~strategy:Maintain.Aux_index ~use_locks:false view_e mgr_e;
+  Maintain.attach ~strategy:Maintain.Aux_index ~use_locks:false view_a mgr_a;
+  let inst c f g = Instance.make c [| Instance.Dvalues [ vi f ]; Instance.Dvalues [ vi g ] |] in
+  (* warm both views over the same probe grid *)
+  for f = 0 to 4 do
+    for g = 0 to 3 do
+      ignore (Helpers.collect_answer ~view:view_e catalog_e (inst c_e f g));
+      ignore (Helpers.collect_answer ~view:view_a catalog_a (inst c_a f g))
+    done
+  done;
+  (* the same churn on both: skewed s.g deletes (heavy) and scattered
+     r.f deletes (light) *)
+  let deletes =
+    [ ("s", 1, 1); ("s", 1, 1); ("s", 1, 2); ("r", 2, 3); ("r", 2, 7); ("s", 1, 0) ]
+  in
+  List.iter
+    (fun (rel, pos, v) ->
+      let ch = Txn.Delete { rel; pred = Predicate.Cmp (Predicate.Eq, pos, vi v) } in
+      ignore (Txn.run mgr_e [ ch ]);
+      ignore (Txn.run mgr_a [ ch ]))
+    deletes;
+  List.iter
+    (fun probe_path ->
+      for f = 0 to 4 do
+        for g = 0 to 3 do
+          let truth = Helpers.brute_force_answer catalog_e (inst c_e f g) in
+          let got_e = ref [] and got_a = ref [] in
+          let _ =
+            Pmv.Answer.answer ~probe_path ~view:view_e catalog_e (inst c_e f g)
+              ~on_tuple:(fun _ t -> got_e := t :: !got_e)
+          in
+          let _ =
+            Pmv.Answer.answer ~probe_path ~view:view_a catalog_a (inst c_a f g)
+              ~on_tuple:(fun _ t -> got_a := t :: !got_a)
+          in
+          check Alcotest.bool "eager exact" true (Helpers.same_multiset !got_e truth);
+          check Alcotest.bool "adaptive exact" true (Helpers.same_multiset !got_a truth)
+        done
+      done)
+    [ Pmv.Answer.Locked; Pmv.Answer.Epoch ];
+  check Alcotest.bool "the light path actually ran" true
+    (Pmv.Entry_store.n_lapse_marked (View.store view_a) > 0
+    || match View.adaptive view_a with
+       | Some a -> Pmv.Adaptive.n_light a > 0
+       | None -> false)
+
+(* Torture campaigns with adaptive maintenance on: oracle-exact across
+   shard counts and both probe paths. *)
+let test_torture_adaptive () =
+  List.iter
+    (fun (shards, probe_path) ->
+      let cfg =
+        {
+          (Torture.default_cfg ~seed:7) with
+          Torture.events = 60;
+          scale = 0.0003;
+          check_every = 20;
+          shards;
+          probe_path;
+          adaptive = true;
+        }
+      in
+      let o = if shards = 1 then Torture.run cfg else Torture.run_sharded cfg in
+      if not (Torture.ok o) then
+        Alcotest.failf "shards=%d %s: %a" shards
+          (match probe_path with Pmv.Answer.Locked -> "locked" | Pmv.Answer.Epoch -> "epoch")
+          Torture.pp_outcome o)
+    [
+      (1, Pmv.Answer.Locked);
+      (1, Pmv.Answer.Epoch);
+      (2, Pmv.Answer.Locked);
+      (4, Pmv.Answer.Epoch);
+    ]
+
+(* --- flush_pending with the lapse path (satellite regression) --- *)
+
+(* A delta queued behind a reader's S lock whose keys all lapse must
+   still clear n_pending when flushed, and answers stay exact. *)
+let test_flush_pending_lapsed () =
+  let catalog = Helpers.fresh_catalog () in
+  Helpers.build_rs catalog;
+  let c = Template.compile catalog Helpers.eqt_spec in
+  let view = View.create ~capacity:20 ~f_max:2 ~name:"lapse" c in
+  (* heavy_min high: every key classifies light, forcing the lapse path *)
+  View.set_adaptive view (Some (Pmv.Adaptive.create ~heavy_min:1_000 ()));
+  let mgr = Txn.create catalog in
+  Maintain.attach ~use_locks:true view mgr;
+  let locks = Minirel_txn.Txn.locks mgr in
+  let inst = Instance.make c [| Instance.Dvalues [ vi 1 ]; Instance.Dvalues [ vi 1 ] |] in
+  let _ = Helpers.collect_answer ~view catalog inst in
+  check Alcotest.bool "warmed" true (View.n_tuples view > 0);
+  let pending_inside = ref (-1) and fired = ref false in
+  let _ =
+    Pmv.Answer.answer ~locks ~txn:7 ~view catalog inst ~on_tuple:(fun _ _ ->
+        if not !fired then begin
+          fired := true;
+          ignore
+            (Txn.run mgr
+               [ Txn.Delete { rel = "s"; pred = Predicate.Cmp (Predicate.Eq, 1, vi 1) } ]);
+          pending_inside := Maintain.n_pending view
+        end)
+  in
+  check Alcotest.int "delta queued behind the S lock" 1 !pending_inside;
+  Maintain.flush_pending view mgr;
+  check Alcotest.int "lapse-only flush clears the queue" 0 (Maintain.n_pending view);
+  let got, _, _ = Helpers.collect_answer ~view catalog inst in
+  check Alcotest.bool "exact after lapse flush" true
+    (Helpers.same_multiset got (Helpers.brute_force_answer catalog inst));
+  check Alcotest.bool "answers keep coming exact" true
+    (let got2, _, _ = Helpers.collect_answer ~view catalog inst in
+     Helpers.same_multiset got2 (Helpers.brute_force_answer catalog inst))
+
+(* --- resize machinery for the budget arbiter --- *)
+
+let test_policy_resize () =
+  List.iter
+    (fun (label, (create : capacity:int -> int Policy.t)) ->
+      let p = create ~capacity:8 in
+      let evicted = ref [] in
+      Policy.set_on_evict p (fun k -> evicted := k :: !evicted);
+      for k = 1 to 8 do
+        Policy.admit p k;
+        (* a second touch promotes staged keys under the 2Q variants *)
+        ignore (Policy.reference p k)
+      done;
+      let before = Policy.size p in
+      Policy.resize p 3;
+      check Alcotest.int (label ^ ": capacity follows") 3 (Policy.capacity p);
+      check Alcotest.bool (label ^ ": shrunk to bound") true (Policy.size p <= 3);
+      check Alcotest.bool (label ^ ": eviction callback saw the victims") true
+        (List.length !evicted >= before - 3);
+      Policy.resize p 10;
+      check Alcotest.int (label ^ ": grow raises the bound") 10 (Policy.capacity p);
+      check Alcotest.bool (label ^ ": grow evicts nothing") true (Policy.size p <= 3);
+      check Alcotest.bool (label ^ ": rejects non-positive") true
+        (match Policy.resize p 0 with
+        | () -> false
+        | exception Invalid_argument _ -> true))
+    [
+      ("clock", Minirel_cache.Clock.create);
+      ("lru", Minirel_cache.Lru.create);
+      ("fifo", Minirel_cache.Fifo.create);
+      ("2q", Minirel_cache.Two_q.create);
+      ("2q-full", Minirel_cache.Two_q_full.create);
+    ]
+
+let test_manager_rebalance () =
+  let catalog = Helpers.fresh_catalog () in
+  Helpers.build_rs catalog;
+  let c_eqt = Template.compile catalog Helpers.eqt_spec in
+  let grid = Discretize.of_cuts (List.init 11 (fun i -> vi (i * 10))) in
+  ignore (Minirel_index.Catalog.create_index catalog ~rel:"s" ~name:"s_e" ~attrs:[ "e" ] ());
+  let c_iv = Template.compile catalog (Helpers.eqt_interval_spec ~grid) in
+  let m = Manager.create ~default_f_max:2 catalog in
+  let v1 = Manager.create_view ~ub_bytes:40_000 m c_eqt in
+  let v2 = Manager.create_view ~ub_bytes:40_000 m c_iv in
+  check Alcotest.bool "no budget, no rebalance" true (Manager.rebalance m = []);
+  Manager.set_global_budget m 80_000;
+  check Alcotest.bool "budget armed" true (Manager.global_budget m = Some 80_000);
+  (* all traffic to v1: its hit value per byte should dominate *)
+  for f = 0 to 4 do
+    for g = 0 to 3 do
+      let inst =
+        Instance.make c_eqt [| Instance.Dvalues [ vi f ]; Instance.Dvalues [ vi g ] |]
+      in
+      for _ = 1 to 3 do
+        ignore (Manager.answer m inst ~on_tuple:(fun _ _ -> ()))
+      done
+    done
+  done;
+  let ls = Manager.rebalance m in
+  check Alcotest.int "both views re-sized" 2 (List.length ls);
+  check Alcotest.int "rebalance counted" 1 (Manager.rebalances m);
+  let l_of name = List.assoc name ls in
+  check Alcotest.bool "hot view grows past the cold one" true (l_of "eqt" > l_of "eqt_iv");
+  check Alcotest.bool "cold view keeps its floored share" true (l_of "eqt_iv" > 0);
+  check Alcotest.int "capacity applied to the hot store" (l_of "eqt")
+    (Pmv.Entry_store.capacity (View.store v1));
+  check Alcotest.int "capacity applied to the cold store" (l_of "eqt_iv")
+    (Pmv.Entry_store.capacity (View.store v2));
+  (* answers stay exact after the resize *)
+  let inst =
+    Instance.make c_eqt [| Instance.Dvalues [ vi 1 ]; Instance.Dvalues [ vi 1 ] |]
+  in
+  let got = ref [] in
+  let _ = Manager.answer m inst ~on_tuple:(fun _ t -> got := t :: !got) in
+  check Alcotest.bool "exact after rebalance" true
+    (Helpers.same_multiset !got (Helpers.brute_force_answer catalog inst))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_sketch_overcounts;
+    QCheck_alcotest.to_alcotest qcheck_sketch_decay_monotone;
+    QCheck_alcotest.to_alcotest qcheck_no_false_light;
+    Alcotest.test_case "classifier heavy/light" `Quick test_classifier_heavy_light;
+    Alcotest.test_case "adaptive == eager answers (both probe paths)" `Quick
+      test_adaptive_matches_eager;
+    Alcotest.test_case "torture oracle clean, shards x probe paths" `Slow
+      test_torture_adaptive;
+    Alcotest.test_case "flush_pending clears lapse-only deltas" `Quick
+      test_flush_pending_lapsed;
+    Alcotest.test_case "policy resize across all policies" `Quick test_policy_resize;
+    Alcotest.test_case "manager budget rebalance" `Quick test_manager_rebalance;
+  ]

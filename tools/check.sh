@@ -4,8 +4,9 @@
 # probe path), a flight-recorder smoke, telemetry and observability
 # overhead, shard scaling, probe-bound serving, work-stealing Domain-pool
 # parallelism (core-aware: speedups where the cores exist, scheduler
-# overhead vs the committed baseline on 1-core hosts), and a bench diff
-# against committed baselines.
+# overhead vs the committed baseline on 1-core hosts), heavy-light
+# adaptive maintenance + budget arbitration, and a bench diff against
+# committed baselines.
 #
 # Usage: tools/check.sh [--skip-bench]
 #   SKIP_BENCH=1          same as --skip-bench
@@ -87,6 +88,18 @@ epoch_out=$(dune exec bin/pmvctl.exe -- torture --seed 42 --events 200 --shards 
   exit 1
 }
 echo "$epoch_out"
+
+echo "== adaptive-maintenance torture smoke (lapse protocol oracle-exact: single engine, sharded, epoch path)"
+# heavy-light classification on: light-key deltas lapse entries instead
+# of eager victim maintenance, and every oracle check must stay exact
+for extra in "" "--shards 3" "--shards 3 --probe-path epoch"; do
+  ad_out=$(dune exec bin/pmvctl.exe -- torture --seed 42 --events 200 --adaptive $extra) || {
+    echo "$ad_out"
+    echo "FAIL: adaptive torture campaign ($extra) reported oracle violations" >&2
+    exit 1
+  }
+done
+echo "$ad_out"
 
 echo "== query-shape smoke (each Section 3.6 shape oracle-clean at 1 and 4 shards, both probe paths)"
 # the shapes suite runs the per-shape differential properties —
@@ -334,6 +347,39 @@ else
     fi
   fi
 fi
+
+echo "== adaptive maintenance + budget arbitration gate (adaptive >= 1.5x eager delta-join, arbitrated hit >= static, oracle clean)"
+# correctness (post-churn oracle) fails immediately; the throughput and
+# hit-ratio thresholds get the same spaced retries as the other gates
+ad_ok=0
+for attempt in 1 2 3; do
+  if [ "$attempt" != "1" ]; then
+    echo "adaptive gate missed; cooling down before retry $attempt (noisy host)"
+    sleep 20
+  fi
+  dune exec bench/main.exe -- adaptive ${BENCH_ARGS:-}
+  ad_speedup=$(awk -F': ' '/"speedup_adaptive_vs_dj"/ { gsub(/[ ,]/, "", $2); print $2; exit }' BENCH_adaptive.json)
+  ad_oracle=$(awk -F': ' '/"oracle_clean"/ { gsub(/[ ,}]/, "", $2); print $2; exit }' BENCH_adaptive.json)
+  ad_gain=$(awk -F': ' '/"hit_ratio_gain"/ { gsub(/[ ,]/, "", $2); print $2; exit }' BENCH_adaptive.json)
+  if [ -z "$ad_speedup" ] || [ -z "$ad_oracle" ] || [ -z "$ad_gain" ]; then
+    echo "FAIL: missing fields in BENCH_adaptive.json" >&2
+    exit 1
+  fi
+  echo "adaptive vs eager delta-join maintenance: ${ad_speedup}x, arbitrated-vs-static hit gain: ${ad_gain}, oracle: ${ad_oracle}"
+  [ "$ad_oracle" = "true" ] || {
+    echo "FAIL: adaptive bench answers violated the oracle after the churn" >&2
+    exit 1
+  }
+  if awk -v s="$ad_speedup" 'BEGIN { exit !(s >= 1.5) }' &&
+     awk -v g="$ad_gain" 'BEGIN { exit !(g >= 0) }'; then
+    ad_ok=1
+    break
+  fi
+done
+[ "$ad_ok" = "1" ] || {
+  echo "FAIL: adaptive gates missed on every attempt (need maintenance speedup >= 1.5x [${ad_speedup}x], hit gain >= 0 [${ad_gain}])" >&2
+  exit 1
+}
 
 echo "== bench diff vs committed baselines (> ${MAX_BENCH_REGRESSION_PCT:-20}% q/s regression fails)"
 # same spaced-retry policy as the gates: the diff compares absolute
